@@ -1,0 +1,434 @@
+//! `AES` benchmark (ported from tiny-AES128-C): full AES-128 — key
+//! schedule, encryption and decryption — in EV64 assembly. The multiply
+//! tables and the MixColumns bodies are generated from the host reference
+//! so the guest and reference can never drift apart structurally; behaviour
+//! is still verified differentially against [`elide_crypto::aes::Aes`].
+
+use crate::harness::App;
+use elide_crypto::aes::{gmul, inv_sbox, Aes, SBOX};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn byte_table(name: &str, vals: &[u8]) -> String {
+    let mut s = format!("{name}:\n");
+    for chunk in vals.chunks(16) {
+        s.push_str("    .byte ");
+        for (i, v) in chunk.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            write!(s, "{v}").expect("write");
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// ShiftRows source-index table: `new[i] = st[tab[i]]` (column-major state).
+fn shift_tab() -> [u8; 16] {
+    let mut t = [0u8; 16];
+    for c in 0..4 {
+        for r in 0..4 {
+            t[4 * c + r] = (4 * ((c + r) % 4) + r) as u8;
+        }
+    }
+    t
+}
+
+fn inverse_perm(t: [u8; 16]) -> [u8; 16] {
+    let mut inv = [0u8; 16];
+    for (i, &v) in t.iter().enumerate() {
+        inv[v as usize] = i as u8;
+    }
+    inv
+}
+
+/// Generates the MixColumns (or inverse) body for one column held at
+/// `aes_st + 4c`, with input bytes preloaded in r5..r8 and the column base
+/// address in r11.
+fn mix_body(coeff_rows: [[u8; 4]; 4]) -> String {
+    let mut s = String::new();
+    for (r, coeffs) in coeff_rows.iter().enumerate() {
+        s.push_str("    movi r9, 0\n");
+        for (j, &coeff) in coeffs.iter().enumerate() {
+            let src = 5 + j; // r5..r8
+            if coeff == 1 {
+                s.push_str(&format!("    xor  r9, r9, r{src}\n"));
+            } else {
+                s.push_str(&format!(
+                    "    la   r12, aes_mul{coeff}\n    add  r12, r12, r{src}\n    ld8u r13, [r12]\n    xor  r9, r9, r13\n"
+                ));
+            }
+        }
+        s.push_str(&format!("    st8  r9, [r11+{r}]\n"));
+    }
+    s
+}
+
+/// Builds the guest program.
+pub fn app() -> App {
+    let mul = |k: u8| -> Vec<u8> { (0..=255u8).map(|b| gmul(b, k)).collect() };
+    let mut tables = String::new();
+    tables.push_str(&byte_table("aes_sbox", &SBOX));
+    tables.push_str(&byte_table("aes_inv_sbox", &inv_sbox()[..]));
+    for k in [2u8, 3, 9, 11, 13, 14] {
+        tables.push_str(&byte_table(&format!("aes_mul{k}"), &mul(k)));
+    }
+    tables.push_str(&byte_table("aes_shift_tab", &shift_tab()));
+    tables.push_str(&byte_table("aes_inv_shift_tab", &inverse_perm(shift_tab())));
+    tables.push_str(&byte_table(
+        "aes_rcon",
+        &[0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36],
+    ));
+
+    let enc_mix = mix_body([[2, 3, 1, 1], [1, 2, 3, 1], [1, 1, 2, 3], [3, 1, 1, 2]]);
+    let dec_mix = mix_body([[14, 11, 13, 9], [9, 14, 11, 13], [13, 9, 14, 11], [11, 13, 9, 14]]);
+
+    let asm = format!(
+        r#"
+.section text
+; aes_set_key(key = r2, 16 bytes) -> r0 = 0
+.global aes_set_key
+.func aes_set_key
+    la   r1, aes_rk
+    movi r3, 16
+    call elide_memcpy
+    movi r10, 4              ; word index i
+.kloop:
+    movi r9, 44
+    bgeu r10, r9, .kdone
+    la   r11, aes_rk
+    shli r12, r10, 2
+    add  r13, r11, r12       ; &rk[4i]
+    ld8u r5, [r13-4]
+    ld8u r6, [r13-3]
+    ld8u r7, [r13-2]
+    ld8u r8, [r13-1]
+    andi r9, r10, 3
+    movi r14, 0
+    bne  r9, r14, .no_rot
+    ; RotWord
+    mov  r9, r5
+    mov  r5, r6
+    mov  r6, r7
+    mov  r7, r8
+    mov  r8, r9
+    ; SubWord
+    la   r14, aes_sbox
+    add  r9, r14, r5
+    ld8u r5, [r9]
+    add  r9, r14, r6
+    ld8u r6, [r9]
+    add  r9, r14, r7
+    ld8u r7, [r9]
+    add  r9, r14, r8
+    ld8u r8, [r9]
+    ; Rcon
+    shrui r9, r10, 2
+    addi r9, r9, -1
+    la   r14, aes_rcon
+    add  r9, r14, r9
+    ld8u r9, [r9]
+    xor  r5, r5, r9
+.no_rot:
+    ld8u r9, [r13-16]
+    xor  r9, r9, r5
+    st8  r9, [r13]
+    ld8u r9, [r13-15]
+    xor  r9, r9, r6
+    st8  r9, [r13+1]
+    ld8u r9, [r13-14]
+    xor  r9, r9, r7
+    st8  r9, [r13+2]
+    ld8u r9, [r13-13]
+    xor  r9, r9, r8
+    st8  r9, [r13+3]
+    addi r10, r10, 1
+    jmp  .kloop
+.kdone:
+    movi r0, 0
+    ret
+.endfunc
+
+; aes_ark(round = r1): state ^= round key
+.func aes_ark
+    la   r2, aes_rk
+    shli r3, r1, 4
+    add  r2, r2, r3
+    la   r3, aes_st
+    movi r4, 0
+.loop:
+    movi r5, 16
+    bgeu r4, r5, .done
+    add  r5, r3, r4
+    ld8u r6, [r5]
+    add  r7, r2, r4
+    ld8u r8, [r7]
+    xor  r6, r6, r8
+    st8  r6, [r5]
+    addi r4, r4, 1
+    jmp  .loop
+.done:
+    ret
+.endfunc
+
+; aes_subbytes(table = r1): state = table[state]
+.func aes_subbytes
+    la   r3, aes_st
+    movi r4, 0
+.loop:
+    movi r5, 16
+    bgeu r4, r5, .done
+    add  r5, r3, r4
+    ld8u r6, [r5]
+    add  r7, r1, r6
+    ld8u r6, [r7]
+    st8  r6, [r5]
+    addi r4, r4, 1
+    jmp  .loop
+.done:
+    ret
+.endfunc
+
+; aes_permute(table = r1): state = state[table[i]]
+.func aes_permute
+    la   r3, aes_st
+    la   r4, aes_tmp
+    movi r5, 0
+.loop:
+    movi r6, 16
+    bgeu r5, r6, .copy
+    add  r6, r1, r5
+    ld8u r7, [r6]            ; src index
+    add  r7, r3, r7
+    ld8u r8, [r7]
+    add  r6, r4, r5
+    st8  r8, [r6]
+    addi r5, r5, 1
+    jmp  .loop
+.copy:
+    la   r1, aes_st
+    la   r2, aes_tmp
+    movi r3, 16
+    call elide_memcpy
+    ret
+.endfunc
+
+; aes_mixcols: forward MixColumns over the state
+.func aes_mixcols
+    movi r10, 0              ; column
+.col_loop:
+    movi r9, 4
+    bgeu r10, r9, .done
+    la   r11, aes_st
+    shli r9, r10, 2
+    add  r11, r11, r9        ; column base
+    ld8u r5, [r11]
+    ld8u r6, [r11+1]
+    ld8u r7, [r11+2]
+    ld8u r8, [r11+3]
+{enc_mix}
+    addi r10, r10, 1
+    jmp  .col_loop
+.done:
+    ret
+.endfunc
+
+; aes_invmixcols: inverse MixColumns over the state
+.func aes_invmixcols
+    movi r10, 0
+.col_loop:
+    movi r9, 4
+    bgeu r10, r9, .done
+    la   r11, aes_st
+    shli r9, r10, 2
+    add  r11, r11, r9
+    ld8u r5, [r11]
+    ld8u r6, [r11+1]
+    ld8u r7, [r11+2]
+    ld8u r8, [r11+3]
+{dec_mix}
+    addi r10, r10, 1
+    jmp  .col_loop
+.done:
+    ret
+.endfunc
+
+; aes_encrypt(in = r2, out = r4) -> r0 = 16
+.global aes_encrypt
+.func aes_encrypt
+    la   r6, aes_out_ptr
+    st64 r4, [r6]
+    la   r1, aes_st
+    movi r3, 16
+    call elide_memcpy
+    movi r1, 0
+    call aes_ark
+    movi r10, 1
+.eloop:
+    movi r9, 10
+    bgeu r10, r9, .efinal
+    push r10
+    la   r1, aes_sbox
+    call aes_subbytes
+    la   r1, aes_shift_tab
+    call aes_permute
+    call aes_mixcols
+    pop  r10
+    mov  r1, r10
+    push r10
+    call aes_ark
+    pop  r10
+    addi r10, r10, 1
+    jmp  .eloop
+.efinal:
+    la   r1, aes_sbox
+    call aes_subbytes
+    la   r1, aes_shift_tab
+    call aes_permute
+    movi r1, 10
+    call aes_ark
+    la   r11, aes_out_ptr
+    ld64 r1, [r11]
+    la   r2, aes_st
+    movi r3, 16
+    call elide_memcpy
+    movi r0, 16
+    ret
+.endfunc
+
+; aes_decrypt(in = r2, out = r4) -> r0 = 16
+.global aes_decrypt
+.func aes_decrypt
+    la   r6, aes_out_ptr
+    st64 r4, [r6]
+    la   r1, aes_st
+    movi r3, 16
+    call elide_memcpy
+    movi r1, 10
+    call aes_ark
+    la   r1, aes_inv_shift_tab
+    call aes_permute
+    la   r1, aes_inv_sbox
+    call aes_subbytes
+    movi r10, 9
+.dloop:
+    movi r9, 0
+    beq  r10, r9, .dfinal
+    mov  r1, r10
+    push r10
+    call aes_ark
+    call aes_invmixcols
+    la   r1, aes_inv_shift_tab
+    call aes_permute
+    la   r1, aes_inv_sbox
+    call aes_subbytes
+    pop  r10
+    addi r10, r10, -1
+    jmp  .dloop
+.dfinal:
+    movi r1, 0
+    call aes_ark
+    la   r11, aes_out_ptr
+    ld64 r1, [r11]
+    la   r2, aes_st
+    movi r3, 16
+    call elide_memcpy
+    movi r0, 16
+    ret
+.endfunc
+
+.section rodata
+.align 8
+{tables}
+
+.section bss
+.align 8
+aes_out_ptr:
+    .zero 8
+aes_rk:
+    .zero 176
+aes_st:
+    .zero 16
+aes_tmp:
+    .zero 16
+"#
+    );
+    App { name: "AES", asm, ecalls: vec!["aes_set_key", "aes_encrypt", "aes_decrypt"] }
+}
+
+/// Encrypt/decrypt a batch of blocks under several keys, against the
+/// reference. Returns block operations performed.
+///
+/// # Panics
+///
+/// Panics on divergence from the reference.
+pub fn workload(rt: &mut elide_enclave::EnclaveRuntime, idx: &HashMap<String, u64>) -> u64 {
+    let set_key = idx["aes_set_key"];
+    let encrypt = idx["aes_encrypt"];
+    let decrypt = idx["aes_decrypt"];
+    let mut ops = 0;
+    for key_seed in 0u8..3 {
+        let key: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(31) ^ key_seed);
+        let reference = Aes::new_128(&key);
+        rt.ecall(set_key, &key, 0).expect("set_key ecall");
+        for block_seed in 0u8..8 {
+            let block: [u8; 16] =
+                core::array::from_fn(|i| (i as u8).wrapping_mul(17).wrapping_add(block_seed));
+            let mut expect = block;
+            reference.encrypt_block(&mut expect);
+            let r = rt.ecall(encrypt, &block, 16).expect("encrypt ecall");
+            assert_eq!(&r.output[..16], &expect, "encrypt mismatch key {key_seed}");
+            let r = rt.ecall(decrypt, &expect, 16).expect("decrypt ecall");
+            assert_eq!(&r.output[..16], &block, "decrypt mismatch key {key_seed}");
+            ops += 2;
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{launch_plain, launch_protected};
+    use elide_core::sanitizer::DataPlacement;
+
+    #[test]
+    fn fips197_appendix_b_in_guest() {
+        let app = app();
+        let mut p = launch_plain(&app, 60).unwrap();
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let block: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        p.runtime.ecall(p.indices["aes_set_key"], &key, 0).unwrap();
+        let r = p.runtime.ecall(p.indices["aes_encrypt"], &block, 16).unwrap();
+        assert_eq!(
+            &r.output[..16],
+            &[
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
+                0x6a, 0x0b, 0x32
+            ]
+        );
+    }
+
+    #[test]
+    fn guest_matches_reference_batch() {
+        let app = app();
+        let mut p = launch_plain(&app, 61).unwrap();
+        assert_eq!(workload(&mut p.runtime, &p.indices), 48);
+    }
+
+    #[test]
+    fn protected_roundtrip() {
+        let app = app();
+        let mut p = launch_protected(&app, DataPlacement::Remote, 62).unwrap();
+        assert!(p.app.runtime.ecall(p.indices["aes_set_key"], &[0u8; 16], 0).is_err());
+        p.restore().unwrap();
+        workload(&mut p.app.runtime, &p.indices);
+    }
+}

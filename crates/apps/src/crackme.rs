@@ -1,0 +1,151 @@
+//! `Crackme` benchmark: a license check whose validation algorithm (and
+//! embedded expected digest) is the secret — the classic DRM target the
+//! paper motivates. Ported from "an easy linux crackme".
+//!
+//! The check: each input byte is XORed with `0x5A`, rotated left 3 within
+//! the byte, and compared against an embedded table derived from the real
+//! password. An attacker with the plain enclave file reads both the
+//! transform and the table straight out of the disassembly; with SgxElide
+//! they get zeroes.
+
+use crate::harness::App;
+
+/// The vendor's secret password (lives only on the build machine and, via
+/// the transform table, inside the protected text section).
+pub const PASSWORD: &[u8; 16] = b"SGXELIDE_CGO2018";
+
+/// The byte transform the guest applies to candidate input.
+pub fn transform(b: u8) -> u8 {
+    (b ^ 0x5A).rotate_left(3)
+}
+
+/// Host reference check.
+pub fn reference_check(input: &[u8]) -> bool {
+    input.len() == PASSWORD.len()
+        && input.iter().zip(PASSWORD.iter()).all(|(&i, &p)| transform(i) == transform(p))
+}
+
+/// Builds the guest program. The expected bytes are embedded as *immediate
+/// operands* inside the function body (not in `.rodata`), so the secret is
+/// part of the code the sanitizer redacts.
+pub fn app() -> App {
+    let mut body = String::new();
+    for (i, &b) in PASSWORD.iter().enumerate() {
+        let e = transform(b);
+        body.push_str(&format!(
+            "    ld8u r4, [r2+{i}]\n\
+             \x20   xori r4, r4, 0x5A\n\
+             \x20   shli r5, r4, 3\n\
+             \x20   shrui r4, r4, 5\n\
+             \x20   or   r4, r4, r5\n\
+             \x20   andi r4, r4, 0xff\n\
+             \x20   movi r5, {e}\n\
+             \x20   bne  r4, r5, .bad\n"
+        ));
+    }
+    let asm = format!(
+        ".section text\n\
+         .global check_password\n\
+         .func check_password\n\
+         \x20   ; r2 = input ptr, r3 = input len -> r0 = 1 if the password matches\n\
+         \x20   movi r6, 16\n\
+         \x20   bne  r3, r6, .bad\n\
+         {body}\
+         \x20   movi r0, 1\n\
+         \x20   ret\n\
+         .bad:\n\
+         \x20   movi r0, 0\n\
+         \x20   ret\n\
+         .endfunc\n"
+    );
+    App { name: "Crackme", asm, ecalls: vec!["check_password"] }
+}
+
+/// The 8-byte instruction encoding of the first embedded comparison — the
+/// signature an attacker would scan for.
+pub fn signature() -> [u8; 8] {
+    elide_vm::isa::Instr::new(elide_vm::isa::Opcode::Movi, 5, 0, 0, transform(PASSWORD[0]) as i32)
+        .encode()
+}
+
+/// The benchmark's built-in workload: a batch of wrong candidates plus the
+/// real password; panics on any divergence from the reference. Returns the
+/// number of checks performed.
+///
+/// # Panics
+///
+/// Panics if the guest disagrees with [`reference_check`].
+pub fn workload(
+    rt: &mut elide_enclave::EnclaveRuntime,
+    idx: &std::collections::HashMap<String, u64>,
+) -> u64 {
+    let check = idx["check_password"];
+    let mut cases: Vec<Vec<u8>> = vec![
+        PASSWORD.to_vec(),
+        b"WRONG_PASSWORD!!".to_vec(),
+        b"SGXELIDE_CGO2019".to_vec(),
+        b"short".to_vec(),
+        vec![],
+        vec![0u8; 16],
+    ];
+    for i in 0..32u8 {
+        let mut c = PASSWORD.to_vec();
+        c[(i % 16) as usize] ^= i + 1;
+        cases.push(c);
+    }
+    let mut n = 0;
+    for case in &cases {
+        let got = rt.ecall(check, case, 0).expect("check_password ecall").status;
+        let expect = u64::from(reference_check(case));
+        assert_eq!(got, expect, "guest disagrees with reference for {case:?}");
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{launch_plain, launch_protected};
+    use elide_core::sanitizer::DataPlacement;
+
+    #[test]
+    fn plain_guest_matches_reference() {
+        let app = app();
+        let mut p = launch_plain(&app, 10).unwrap();
+        assert!(workload(&mut p.runtime, &p.indices) > 30);
+    }
+
+    #[test]
+    fn accepts_only_the_real_password() {
+        let app = app();
+        let mut p = launch_plain(&app, 10).unwrap();
+        let check = p.indices["check_password"];
+        assert_eq!(p.runtime.ecall(check, PASSWORD, 0).unwrap().status, 1);
+        assert_eq!(p.runtime.ecall(check, b"AAAAAAAAAAAAAAAA", 0).unwrap().status, 0);
+    }
+
+    #[test]
+    fn protected_roundtrip() {
+        let app = app();
+        let mut p = launch_protected(&app, DataPlacement::LocalEncrypted, 11).unwrap();
+        let check = p.indices["check_password"];
+        assert!(p.app.runtime.ecall(check, PASSWORD, 0).is_err());
+        p.restore().unwrap();
+        assert_eq!(p.app.runtime.ecall(check, PASSWORD, 0).unwrap().status, 1);
+        workload(&mut p.app.runtime, &p.indices);
+    }
+
+    #[test]
+    fn sanitized_image_hides_the_embedded_comparison() {
+        let app = app();
+        let image = app.build_elide_image().unwrap();
+        let needle = signature();
+        assert!(elide_core::attack::find_signature(&image, &needle));
+        let p = launch_protected(&app, DataPlacement::Remote, 12).unwrap();
+        assert!(
+            !elide_core::attack::find_signature(&p.package.image, &needle),
+            "sanitized image must not contain the password-derived immediates"
+        );
+    }
+}

@@ -1,0 +1,389 @@
+//! `DES` benchmark (ported from tarequeh/DES): table-driven DES — key
+//! schedule, all permutations, the Feistel network — in EV64 assembly,
+//! differentially tested against [`elide_crypto::des::Des`].
+
+use crate::harness::App;
+use elide_crypto::des::{Des, E, FP, IP, P, PC1, PC2, SBOX, SHIFTS};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn byte_table(name: &str, vals: &[u8]) -> String {
+    let mut s = format!("{name}:\n");
+    for chunk in vals.chunks(16) {
+        s.push_str("    .byte ");
+        for (i, v) in chunk.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            write!(s, "{v}").expect("write");
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Builds the guest program.
+pub fn app() -> App {
+    let mut tables = String::new();
+    tables.push_str(&byte_table("des_ip", &IP));
+    tables.push_str(&byte_table("des_fp", &FP));
+    tables.push_str(&byte_table("des_e", &E));
+    tables.push_str(&byte_table("des_p", &P));
+    tables.push_str(&byte_table("des_pc1", &PC1));
+    tables.push_str(&byte_table("des_pc2", &PC2));
+    tables.push_str(&byte_table("des_shifts", &SHIFTS));
+    let flat_sbox: Vec<u8> = SBOX.iter().flatten().copied().collect();
+    tables.push_str(&byte_table("des_sbox", &flat_sbox));
+
+    let asm = format!(
+        r#"
+.section text
+; des_permute(src = r1, table = r2, nbits = r3, inbits = r4) -> r0
+.func des_permute
+    movi r5, 0               ; out
+    movi r6, 0               ; i
+.loop:
+    bgeu r6, r3, .done
+    add  r7, r2, r6
+    ld8u r7, [r7]            ; table[i], 1-based
+    sub  r7, r4, r7
+    shru r8, r1, r7
+    andi r8, r8, 1
+    shli r5, r5, 1
+    or   r5, r5, r8
+    addi r6, r6, 1
+    jmp  .loop
+.done:
+    mov  r0, r5
+    ret
+.endfunc
+
+; des_set_key(key = r2, 8 bytes) -> r0 = 0
+.global des_set_key
+.func des_set_key
+    ; load key big-endian into r1
+    movi r1, 0
+    movi r5, 0
+.keyload:
+    movi r6, 8
+    bgeu r5, r6, .loaded
+    add  r6, r2, r5
+    ld8u r7, [r6]
+    shli r1, r1, 8
+    or   r1, r1, r7
+    addi r5, r5, 1
+    jmp  .keyload
+.loaded:
+    la   r2, des_pc1
+    movi r3, 56
+    movi r4, 64
+    call des_permute
+    ; c = top 28 bits, d = low 28 bits
+    shrui r10, r0, 28        ; c
+    li   r11, 0xFFFFFFF
+    and  r11, r0, r11        ; d
+    movi r12, 0              ; round
+.kloop:
+    movi r9, 16
+    bgeu r12, r9, .kdone
+    ; shift amount
+    la   r9, des_shifts
+    add  r9, r9, r12
+    ld8u r9, [r9]
+    ; rotate c and d left by r9 within 28 bits
+    li   r14, 0xFFFFFFF
+    shl  r5, r10, r9
+    movi r6, 28
+    sub  r6, r6, r9
+    shru r7, r10, r6
+    or   r5, r5, r7
+    and  r10, r5, r14
+    shl  r5, r11, r9
+    shru r7, r11, r6
+    or   r5, r5, r7
+    and  r11, r5, r14
+    ; combined = (c << 28) | d  -> PC2 -> subkey
+    shli r1, r10, 28
+    or   r1, r1, r11
+    la   r2, des_pc2
+    movi r3, 48
+    movi r4, 56
+    push r10
+    push r11
+    push r12
+    call des_permute
+    pop  r12
+    pop  r11
+    pop  r10
+    la   r9, des_subkeys
+    shli r5, r12, 3
+    add  r9, r9, r5
+    st64 r0, [r9]
+    addi r12, r12, 1
+    jmp  .kloop
+.kdone:
+    movi r0, 0
+    ret
+.endfunc
+
+; des_feistel(half = r1, subkey held in des_cur_subkey) -> r0
+.func des_feistel
+    la   r2, des_e
+    movi r3, 48
+    movi r4, 32
+    call des_permute
+    la   r2, des_cur_subkey
+    ld64 r2, [r2]
+    xor  r1, r0, r2          ; x = E(r) ^ k (48 bits)
+    movi r5, 0               ; sbox output accumulator
+    movi r6, 0               ; sbox index
+.sloop:
+    movi r7, 8
+    bgeu r6, r7, .sdone
+    ; shift = 42 - 6i
+    movi r7, 42
+    shli r8, r6, 2
+    add  r8, r8, r6
+    add  r8, r8, r6          ; 6i
+    sub  r7, r7, r8
+    shru r7, r1, r7
+    andi r7, r7, 63          ; six
+    shrui r8, r7, 4
+    andi r8, r8, 2
+    andi r9, r7, 1
+    or   r8, r8, r9          ; row
+    shrui r9, r7, 1
+    andi r9, r9, 15          ; col
+    shli r10, r6, 6
+    shli r8, r8, 4
+    add  r10, r10, r8
+    add  r10, r10, r9
+    la   r8, des_sbox
+    add  r10, r8, r10
+    ld8u r10, [r10]
+    shli r5, r5, 4
+    or   r5, r5, r10
+    addi r6, r6, 1
+    jmp  .sloop
+.sdone:
+    mov  r1, r5
+    la   r2, des_p
+    movi r3, 32
+    movi r4, 32
+    call des_permute
+    ret
+.endfunc
+
+; des_crypt_common(block = r1, direction = r2: 0 encrypt / 1 decrypt) -> r0
+.func des_crypt_common
+    push r2
+    la   r2, des_ip
+    movi r3, 64
+    movi r4, 64
+    call des_permute
+    pop  r13                 ; direction
+    shrui r10, r0, 32        ; l
+    movi r11, -1
+    shrui r11, r11, 32
+    and  r11, r0, r11        ; r
+    movi r12, 0              ; round
+.rloop:
+    movi r9, 16
+    bgeu r12, r9, .rdone
+    ; subkey index: encrypt -> i, decrypt -> 15 - i
+    mov  r9, r12
+    movi r14, 0
+    beq  r13, r14, .fwd
+    movi r9, 15
+    sub  r9, r9, r12
+.fwd:
+    shli r9, r9, 3
+    la   r14, des_subkeys
+    add  r9, r14, r9
+    ld64 r9, [r9]
+    la   r14, des_cur_subkey
+    st64 r9, [r14]
+    mov  r1, r11
+    push r10
+    push r11
+    push r12
+    push r13
+    call des_feistel
+    pop  r13
+    pop  r12
+    pop  r11
+    pop  r10
+    xor  r9, r10, r0         ; next r = l ^ f(r, k)
+    mov  r10, r11
+    mov  r11, r9
+    addi r12, r12, 1
+    jmp  .rloop
+.rdone:
+    ; preoutput = (r16, l16), then FP
+    shli r1, r11, 32
+    or   r1, r1, r10
+    la   r2, des_fp
+    movi r3, 64
+    movi r4, 64
+    call des_permute
+    ret
+.endfunc
+
+; des_encrypt_block(in = r2 [8 bytes], out = r4 [8 bytes]) -> r0 = 8
+.global des_encrypt_block
+.func des_encrypt_block
+    la   r6, des_out_ptr
+    st64 r4, [r6]
+    movi r1, 0
+    movi r5, 0
+.load:
+    movi r6, 8
+    bgeu r5, r6, .go
+    add  r6, r2, r5
+    ld8u r7, [r6]
+    shli r1, r1, 8
+    or   r1, r1, r7
+    addi r5, r5, 1
+    jmp  .load
+.go:
+    movi r2, 0
+    call des_crypt_common
+    call des_store_result
+    movi r0, 8
+    ret
+.endfunc
+
+; des_decrypt_block(in = r2 [8 bytes], out = r4 [8 bytes]) -> r0 = 8
+.global des_decrypt_block
+.func des_decrypt_block
+    la   r6, des_out_ptr
+    st64 r4, [r6]
+    movi r1, 0
+    movi r5, 0
+.load:
+    movi r6, 8
+    bgeu r5, r6, .go
+    add  r6, r2, r5
+    ld8u r7, [r6]
+    shli r1, r1, 8
+    or   r1, r1, r7
+    addi r5, r5, 1
+    jmp  .load
+.go:
+    movi r2, 1
+    call des_crypt_common
+    call des_store_result
+    movi r0, 8
+    ret
+.endfunc
+
+; des_store_result: writes r0 big-endian to des_out_ptr
+.func des_store_result
+    la   r11, des_out_ptr
+    ld64 r11, [r11]
+    movi r5, 0
+.store:
+    movi r6, 8
+    bgeu r5, r6, .done
+    movi r7, 56
+    shli r8, r5, 3
+    sub  r7, r7, r8
+    shru r7, r0, r7
+    andi r7, r7, 0xff
+    add  r8, r11, r5
+    st8  r7, [r8]
+    addi r5, r5, 1
+    jmp  .store
+.done:
+    ret
+.endfunc
+
+.section rodata
+.align 8
+{tables}
+
+.section bss
+.align 8
+des_out_ptr:
+    .zero 8
+des_cur_subkey:
+    .zero 8
+des_subkeys:
+    .zero 128
+"#
+    );
+    App {
+        name: "DES",
+        asm,
+        ecalls: vec!["des_set_key", "des_encrypt_block", "des_decrypt_block"],
+    }
+}
+
+/// Encrypt/decrypt a batch of blocks under several keys, against the
+/// reference. Returns block operations performed.
+///
+/// # Panics
+///
+/// Panics on divergence from the reference.
+pub fn workload(rt: &mut elide_enclave::EnclaveRuntime, idx: &HashMap<String, u64>) -> u64 {
+    let set_key = idx["des_set_key"];
+    let encrypt = idx["des_encrypt_block"];
+    let decrypt = idx["des_decrypt_block"];
+    let mut ops = 0;
+    for key_seed in 0u8..3 {
+        let key: [u8; 8] = core::array::from_fn(|i| (i as u8).wrapping_mul(43) ^ key_seed);
+        let reference = Des::new(&key);
+        rt.ecall(set_key, &key, 0).expect("set_key ecall");
+        for block_seed in 0u64..8 {
+            let block = block_seed.wrapping_mul(0x0123_4567_89AB_CDEF).wrapping_add(7);
+            let expect = reference.encrypt_block(block);
+            let r = rt.ecall(encrypt, &block.to_be_bytes(), 8).expect("encrypt ecall");
+            let got = u64::from_be_bytes(r.output[..8].try_into().expect("8 bytes"));
+            assert_eq!(got, expect, "DES encrypt mismatch key {key_seed}");
+            let r = rt.ecall(decrypt, &expect.to_be_bytes(), 8).expect("decrypt ecall");
+            let got = u64::from_be_bytes(r.output[..8].try_into().expect("8 bytes"));
+            assert_eq!(got, block, "DES decrypt mismatch key {key_seed}");
+            ops += 2;
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{launch_plain, launch_protected};
+    use elide_core::sanitizer::DataPlacement;
+
+    #[test]
+    fn classic_vector_in_guest() {
+        let app = app();
+        let mut p = launch_plain(&app, 70).unwrap();
+        let key = [0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1];
+        p.runtime.ecall(p.indices["des_set_key"], &key, 0).unwrap();
+        let r = p
+            .runtime
+            .ecall(p.indices["des_encrypt_block"], &0x0123456789ABCDEFu64.to_be_bytes(), 8)
+            .unwrap();
+        assert_eq!(
+            u64::from_be_bytes(r.output[..8].try_into().unwrap()),
+            0x85E813540F0AB405
+        );
+    }
+
+    #[test]
+    fn guest_matches_reference_batch() {
+        let app = app();
+        let mut p = launch_plain(&app, 71).unwrap();
+        assert_eq!(workload(&mut p.runtime, &p.indices), 48);
+    }
+
+    #[test]
+    fn protected_roundtrip() {
+        let app = app();
+        let mut p = launch_protected(&app, DataPlacement::LocalEncrypted, 72).unwrap();
+        assert!(p.app.runtime.ecall(p.indices["des_set_key"], &[0u8; 8], 0).is_err());
+        p.restore().unwrap();
+        workload(&mut p.app.runtime, &p.indices);
+    }
+}

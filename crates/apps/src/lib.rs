@@ -1,0 +1,60 @@
+//! # elide-apps
+//!
+//! The seven benchmark applications of the SgxElide paper (Table 1),
+//! re-implemented as EV64 enclave guest programs: four cryptographic
+//! algorithms (AES, DES, SHA-1, the RFC 6234 SHAs), two games (2048 and a
+//! Biniax-style puzzle), and a crackme. Each module provides the guest
+//! assembly, a host reference implementation, and a `workload` that
+//! differentially tests the guest against the reference — the analog of
+//! the paper's "built-in test suites".
+//!
+//! [`harness`] builds every app in two configurations: plain SGX (the
+//! baseline of Figures 3/4) and SgxElide-protected.
+
+pub mod aes_app;
+pub mod biniax;
+pub mod crackme;
+pub mod des_app;
+pub mod game2048;
+pub mod harness;
+pub mod sha1_app;
+pub mod shas_app;
+pub mod xtea;
+
+use harness::App;
+
+/// All seven benchmarks in the paper's Table 1 order.
+pub fn all_apps() -> Vec<App> {
+    vec![
+        aes_app::app(),
+        des_app::app(),
+        sha1_app::app(),
+        shas_app::app(),
+        game2048::app(),
+        biniax::app(),
+        crackme::app(),
+    ]
+}
+
+/// Runs the named app's workload (used by the benchmark harness).
+///
+/// # Panics
+///
+/// Panics if the name is unknown or the workload diverges from its
+/// reference implementation.
+pub fn run_workload(
+    name: &str,
+    rt: &mut elide_enclave::EnclaveRuntime,
+    idx: &std::collections::HashMap<String, u64>,
+) -> u64 {
+    match name {
+        "AES" => aes_app::workload(rt, idx),
+        "DES" => des_app::workload(rt, idx),
+        "Sha1" => sha1_app::workload(rt, idx),
+        "Shas" => shas_app::workload(rt, idx),
+        "2048" => game2048::workload(rt, idx),
+        "Biniax" => biniax::workload(rt, idx),
+        "Crackme" => crackme::workload(rt, idx),
+        other => panic!("unknown benchmark {other}"),
+    }
+}

@@ -1,0 +1,344 @@
+//! `Sha1` benchmark (RFC 3174): a complete SHA-1 — padding, message
+//! schedule and all 80 rounds — implemented in EV64 assembly and executed
+//! inside the enclave. Differentially tested against
+//! [`elide_crypto::sha1`].
+
+use crate::harness::App;
+use elide_crypto::sha1::Sha1;
+use std::collections::HashMap;
+
+/// Maximum message size the guest buffer accepts.
+pub const MAX_MSG: usize = 8192;
+
+/// Builds the guest program.
+pub fn app() -> App {
+    let asm = r#"
+.section text
+; sha1_hash(in = r2, len = r3, out = r4) -> r0 = 20 on success, -1 if too big
+.global sha1_hash
+.func sha1_hash
+    ; reject messages that do not fit the buffer with padding
+    li   r6, 8120
+    bgeu r3, r6, .too_big
+    ; save args to bss
+    la   r6, sha1_out_ptr
+    st64 r4, [r6]
+    ; copy message into msgbuf
+    la   r1, sha1_msgbuf
+    push r2
+    push r3
+    call elide_memcpy
+    pop  r3
+    pop  r2
+    ; --- padding ---
+    la   r5, sha1_msgbuf
+    add  r6, r5, r3
+    movi r7, 0x80
+    st8  r7, [r6]
+    addi r6, r6, 1
+    ; zero until (len mod 64) == 56
+.pad_loop:
+    sub  r7, r6, r5
+    andi r8, r7, 63
+    movi r9, 56
+    beq  r8, r9, .pad_done
+    movi r7, 0
+    st8  r7, [r6]
+    addi r6, r6, 1
+    jmp  .pad_loop
+.pad_done:
+    ; append 64-bit big-endian bit length
+    shli r7, r3, 3           ; bitlen
+    movi r8, 56              ; shift
+.len_loop:
+    shru r9, r7, r8
+    andi r9, r9, 0xff
+    st8  r9, [r6]
+    addi r6, r6, 1
+    movi r9, 0
+    beq  r8, r9, .len_done
+    addi r8, r8, -8
+    jmp  .len_loop
+.len_done:
+    ; number of blocks -> sha1_nblocks
+    la   r5, sha1_msgbuf
+    sub  r7, r6, r5
+    shrui r7, r7, 6
+    la   r8, sha1_nblocks
+    st64 r7, [r8]
+    ; initialize state h0..h4 from rodata
+    la   r1, sha1_state
+    la   r2, sha1_init
+    movi r3, 20
+    call elide_memcpy
+    ; --- block loop ---
+    la   r11, sha1_msgbuf    ; block pointer
+.block_loop:
+    la   r8, sha1_nblocks
+    ld64 r7, [r8]
+    movi r9, 0
+    beq  r7, r9, .finish
+    addi r7, r7, -1
+    st64 r7, [r8]
+
+    ; load 16 BE words into w[0..16]
+    la   r12, sha1_w
+    movi r10, 0
+.load_w:
+    movi r9, 16
+    bgeu r10, r9, .extend_w
+    shli r9, r10, 2
+    add  r13, r11, r9
+    ld8u r5, [r13]
+    shli r5, r5, 8
+    ld8u r6, [r13+1]
+    or   r5, r5, r6
+    shli r5, r5, 8
+    ld8u r6, [r13+2]
+    or   r5, r5, r6
+    shli r5, r5, 8
+    ld8u r6, [r13+3]
+    or   r5, r5, r6
+    shli r9, r10, 2
+    add  r13, r12, r9
+    st32 r5, [r13]
+    addi r10, r10, 1
+    jmp  .load_w
+.extend_w:
+    ; w[i] = rotl1(w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]), i in 16..80
+    movi r10, 16
+.ext_loop:
+    movi r9, 80
+    bgeu r10, r9, .rounds
+    shli r9, r10, 2
+    add  r13, r12, r9
+    ld32u r5, [r13-12]
+    ld32u r6, [r13-32]
+    xor  r5, r5, r6
+    ld32u r6, [r13-56]
+    xor  r5, r5, r6
+    ld32u r6, [r13-64]
+    xor  r5, r5, r6
+    rotl32i r5, r5, 1
+    st32 r5, [r13]
+    addi r10, r10, 1
+    jmp  .ext_loop
+.rounds:
+    ; a..e in r5..r9
+    la   r13, sha1_state
+    ld32u r5, [r13]
+    ld32u r6, [r13+4]
+    ld32u r7, [r13+8]
+    ld32u r8, [r13+12]
+    ld32u r9, [r13+16]
+    movi r10, 0              ; i
+.round_loop:
+    movi r14, 80
+    bgeu r10, r14, .add_back
+    ; select f and k by range into r14 (f) and r13 (k)
+    movi r14, 20
+    bltu r10, r14, .f0
+    movi r14, 40
+    bltu r10, r14, .f1
+    movi r14, 60
+    bltu r10, r14, .f2
+    ; f3: b ^ c ^ d, k = 0xCA62C1D6
+    xor  r14, r6, r7
+    xor  r14, r14, r8
+    li   r13, 0xCA62C1D6
+    jmp  .have_f
+.f0:
+    ; (b & c) | (~b & d), k = 0x5A827999
+    and  r14, r6, r7
+    movi r13, -1
+    xor  r13, r6, r13
+    and  r13, r13, r8
+    or   r14, r14, r13
+    li   r13, 0x5A827999
+    jmp  .have_f
+.f1:
+    xor  r14, r6, r7
+    xor  r14, r14, r8
+    li   r13, 0x6ED9EBA1
+    jmp  .have_f
+.f2:
+    ; (b&c) | (b&d) | (c&d), k = 0x8F1BBCDC
+    and  r14, r6, r7
+    and  r13, r6, r8
+    or   r14, r14, r13
+    and  r13, r7, r8
+    or   r14, r14, r13
+    li   r13, 0x8F1BBCDC
+    jmp  .have_f
+.have_f:
+    ; tmp = rotl5(a) + f + e + k + w[i]
+    rotl32i r1, r5, 5
+    add32 r1, r1, r14
+    add32 r1, r1, r9
+    add32 r1, r1, r13
+    la   r13, sha1_w
+    shli r14, r10, 2
+    add  r13, r13, r14
+    ld32u r13, [r13]
+    add32 r1, r1, r13
+    ; e=d; d=c; c=rotl30(b); b=a; a=tmp
+    mov  r9, r8
+    mov  r8, r7
+    rotl32i r7, r6, 30
+    mov  r6, r5
+    mov  r5, r1
+    addi r10, r10, 1
+    jmp  .round_loop
+.add_back:
+    la   r13, sha1_state
+    ld32u r14, [r13]
+    add32 r14, r14, r5
+    st32 r14, [r13]
+    ld32u r14, [r13+4]
+    add32 r14, r14, r6
+    st32 r14, [r13+4]
+    ld32u r14, [r13+8]
+    add32 r14, r14, r7
+    st32 r14, [r13+8]
+    ld32u r14, [r13+12]
+    add32 r14, r14, r8
+    st32 r14, [r13+12]
+    ld32u r14, [r13+16]
+    add32 r14, r14, r9
+    st32 r14, [r13+16]
+    addi r11, r11, 64
+    jmp  .block_loop
+.finish:
+    ; write digest big-endian to out
+    la   r11, sha1_out_ptr
+    ld64 r11, [r11]
+    la   r12, sha1_state
+    movi r10, 0
+.out_loop:
+    movi r9, 5
+    bgeu r10, r9, .done
+    shli r9, r10, 2
+    add  r13, r12, r9
+    ld32u r5, [r13]
+    shli r9, r10, 2
+    add  r13, r11, r9
+    shrui r6, r5, 24
+    st8  r6, [r13]
+    shrui r6, r5, 16
+    st8  r6, [r13+1]
+    shrui r6, r5, 8
+    st8  r6, [r13+2]
+    st8  r5, [r13+3]
+    addi r10, r10, 1
+    jmp  .out_loop
+.done:
+    movi r0, 20
+    ret
+.too_big:
+    movi r0, -1
+    ret
+.endfunc
+
+.section rodata
+.align 4
+sha1_init:
+    .word 0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0
+
+.section bss
+.align 8
+sha1_out_ptr:
+    .zero 8
+sha1_nblocks:
+    .zero 8
+sha1_state:
+    .zero 24
+sha1_w:
+    .zero 320
+sha1_msgbuf:
+    .zero 8256
+"#
+    .to_string();
+    App { name: "Sha1", asm, ecalls: vec!["sha1_hash"] }
+}
+
+/// Runs the RFC 3174 test vectors plus assorted lengths against the
+/// reference. Returns hashes computed.
+///
+/// # Panics
+///
+/// Panics on divergence from [`Sha1`].
+pub fn workload(rt: &mut elide_enclave::EnclaveRuntime, idx: &HashMap<String, u64>) -> u64 {
+    let hash = idx["sha1_hash"];
+    let mut cases: Vec<Vec<u8>> = vec![
+        b"abc".to_vec(),
+        b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq".to_vec(),
+        b"a".repeat(1000),
+        Vec::new(),
+        vec![0x80; 55],
+        vec![0xFF; 56], // padding boundary
+        vec![0x01; 64],
+        vec![0x02; 65],
+        (0..=255u8).collect(),
+    ];
+    for n in [1usize, 63, 119, 120, 121, 500] {
+        cases.push((0..n).map(|i| (i * 31) as u8).collect());
+    }
+    let mut count = 0;
+    for case in &cases {
+        let r = rt.ecall(hash, case, 20).expect("sha1 ecall");
+        assert_eq!(r.status, 20);
+        assert_eq!(
+            r.output[..20],
+            Sha1::digest(case),
+            "sha1 mismatch for len {}",
+            case.len()
+        );
+        count += 1;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{launch_plain, launch_protected};
+    use elide_core::sanitizer::DataPlacement;
+    use proptest::prelude::*;
+
+    #[test]
+    fn guest_matches_rfc_vectors() {
+        let app = app();
+        let mut p = launch_plain(&app, 40).unwrap();
+        assert!(workload(&mut p.runtime, &p.indices) >= 15);
+    }
+
+    #[test]
+    fn oversized_message_rejected() {
+        let app = app();
+        let mut p = launch_plain(&app, 40).unwrap();
+        let big = vec![0u8; 9000];
+        let r = p.runtime.ecall(p.indices["sha1_hash"], &big, 20).unwrap();
+        assert_eq!(r.status as i64, -1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn prop_guest_matches_reference(data in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let app = app();
+            let mut p = launch_plain(&app, 41).unwrap();
+            let r = p.runtime.ecall(p.indices["sha1_hash"], &data, 20).unwrap();
+            prop_assert_eq!(&r.output[..20], &Sha1::digest(&data));
+        }
+    }
+
+    #[test]
+    fn protected_roundtrip() {
+        let app = app();
+        let mut p = launch_protected(&app, DataPlacement::Remote, 42).unwrap();
+        assert!(p.app.runtime.ecall(p.indices["sha1_hash"], b"abc", 20).is_err());
+        p.restore().unwrap();
+        let r = p.app.runtime.ecall(p.indices["sha1_hash"], b"abc", 20).unwrap();
+        assert_eq!(&r.output[..20], &Sha1::digest(b"abc"));
+    }
+}

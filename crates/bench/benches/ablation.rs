@@ -1,0 +1,78 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! * **Whitelist vs. blacklist** (§3.2): blacklist mode redacts only the
+//!   annotated secret functions and ships a much smaller payload, at the
+//!   cost of developer annotations. Compare sanitize time and payload size.
+//! * **Sealed relaunch** (step ❼): restoring from the sealed blob versus a
+//!   full attested server round trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elide_apps::harness::launch_protected;
+use elide_core::sanitizer::{sanitize, sanitize_blacklist, DataPlacement};
+use elide_core::whitelist::Whitelist;
+use elide_crypto::rng::SeededRandom;
+
+fn bench_modes(c: &mut Criterion) {
+    let app = elide_apps::crackme::app();
+    let image = app.build_elide_image().expect("build");
+    let whitelist = Whitelist::from_dummy_enclave().expect("whitelist");
+
+    let mut group = c.benchmark_group("ablation_sanitize_mode");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("whitelist", app.name), |b| {
+        let mut rng = SeededRandom::new(1);
+        b.iter(|| sanitize(&image, &whitelist, DataPlacement::Remote, &mut rng).expect("sanitize"));
+    });
+    group.bench_function(BenchmarkId::new("blacklist", app.name), |b| {
+        let mut rng = SeededRandom::new(1);
+        b.iter(|| {
+            sanitize_blacklist(&image, &["check_password"], DataPlacement::Remote, &mut rng)
+                .expect("sanitize")
+        });
+    });
+    group.finish();
+
+    // Report payload sizes once (printed into Criterion's output stream).
+    let mut rng = SeededRandom::new(1);
+    let wl = sanitize(&image, &whitelist, DataPlacement::Remote, &mut rng).expect("sanitize");
+    let bl = sanitize_blacklist(&image, &["check_password"], DataPlacement::Remote, &mut rng)
+        .expect("sanitize");
+    println!(
+        "ablation payload bytes: whitelist={} blacklist={}",
+        wl.secret_data.len(),
+        bl.secret_data.len()
+    );
+}
+
+fn bench_sealed_relaunch(c: &mut Criterion) {
+    let app = elide_apps::crackme::app();
+    let mut group = c.benchmark_group("ablation_restore_path");
+    group.sample_size(10);
+    group.bench_function("first_restore_full_attestation", |b| {
+        b.iter_with_setup(
+            || launch_protected(&app, DataPlacement::Remote, 42).expect("launch"),
+            |mut p| {
+                p.restore().expect("restore");
+                p
+            },
+        );
+    });
+    group.bench_function("sealed_relaunch_no_server", |b| {
+        b.iter_with_setup(
+            || {
+                let mut p = launch_protected(&app, DataPlacement::Remote, 42).expect("launch");
+                p.restore().expect("first restore");
+                p.relaunch(43).expect("relaunch");
+                p
+            },
+            |mut p| {
+                p.restore().expect("sealed restore");
+                p
+            },
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_sealed_relaunch);
+criterion_main!(benches);

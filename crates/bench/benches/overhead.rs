@@ -1,0 +1,40 @@
+//! Criterion bench for **Figures 3 and 4**: end-to-end runtime (enclave
+//! creation through the benchmark's built-in test suite) of the plain SGX
+//! build versus the SgxElide build, with remote and local data. The
+//! relative shape should match the paper: SgxElide within a few percent of
+//! the baseline, because all overhead is in one-time restoration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elide_apps::harness::{launch_plain, launch_protected};
+use elide_apps::run_workload;
+use elide_bench::figure_apps;
+use elide_core::sanitizer::DataPlacement;
+
+fn bench_overhead(c: &mut Criterion) {
+    for (figure, placement, label) in [
+        ("fig3", DataPlacement::Remote, "remote"),
+        ("fig4", DataPlacement::LocalEncrypted, "local"),
+    ] {
+        let mut group = c.benchmark_group(format!("{figure}_overhead_{label}"));
+        group.sample_size(10);
+        for app in figure_apps() {
+            group.bench_function(BenchmarkId::new("sgx_only", app.name), |b| {
+                b.iter(|| {
+                    let mut p = launch_plain(&app, 42).expect("launch");
+                    run_workload(app.name, &mut p.runtime, &p.indices)
+                });
+            });
+            group.bench_function(BenchmarkId::new("sgxelide", app.name), |b| {
+                b.iter(|| {
+                    let mut p = launch_protected(&app, placement, 42).expect("launch");
+                    p.restore().expect("restore");
+                    run_workload(app.name, &mut p.app.runtime, &p.indices)
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Table 2's "Restore Time" columns: one
+//! `elide_restore` call against a freshly launched sanitized enclave —
+//! attested handshake, metadata fetch, data fetch/decrypt, the
+//! self-modifying copy, and sealing — remote vs. local data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elide_apps::harness::launch_protected;
+use elide_core::sanitizer::DataPlacement;
+
+fn bench_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_restore");
+    group.sample_size(10);
+    for app in elide_apps::all_apps() {
+        for (label, placement) in
+            [("remote", DataPlacement::Remote), ("local", DataPlacement::LocalEncrypted)]
+        {
+            group.bench_function(BenchmarkId::new(label, app.name), |b| {
+                b.iter_with_setup(
+                    || launch_protected(&app, placement, 42).expect("launch"),
+                    |mut p| {
+                        p.restore().expect("restore");
+                        p
+                    },
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_restore);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates **Table 1** of the paper: per-benchmark size
+//! characteristics of the trusted component and of what the sanitizer
+//! redacts, plus the whitelist size (§6.2 reports 170 functions for the
+//! SDK build; ours is smaller because SDK crypto is modeled as intrinsics).
+
+use elide_bench::table1_row;
+use elide_core::whitelist::Whitelist;
+
+fn main() {
+    let whitelist = Whitelist::from_dummy_enclave().expect("whitelist");
+    println!("Table 1: ported benchmarks (trusted component statistics)");
+    println!(
+        "{:<10} {:>8} {:>10} {:>9} {:>11} {:>11}",
+        "Benchmark", "ASM LOC", "TC Funcs", "TC Bytes", "San. Funcs", "San. Bytes"
+    );
+    for app in elide_apps::all_apps() {
+        let r = table1_row(&app, &whitelist);
+        println!(
+            "{:<10} {:>8} {:>10} {:>9} {:>11} {:>11}",
+            r.name, r.asm_loc, r.tc_functions, r.tc_bytes, r.sanitized_functions,
+            r.sanitized_bytes
+        );
+    }
+    println!();
+    println!("Whitelist (dummy enclave) functions: {}", whitelist.len());
+    for f in whitelist.iter() {
+        println!("  {f}");
+    }
+}

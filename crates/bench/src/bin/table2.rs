@@ -1,0 +1,39 @@
+//! Regenerates **Table 2** of the paper: sanitization and restoration
+//! execution time (ms) with remote and local data, mean ± standard
+//! deviation over 10 runs, exactly the paper's methodology ("We ran the
+//! sanitizer 10 times per benchmark, then took the average and standard
+//! deviation").
+
+use elide_bench::{restore_times, sanitize_times};
+use elide_core::sanitizer::DataPlacement;
+
+fn main() {
+    const RUNS: usize = 10;
+    println!("Table 2: sanitization/restoration execution time (ms), {RUNS} runs");
+    println!(
+        "{:<10} | {:>9} {:>6} {:>9} {:>6} | {:>9} {:>6} {:>9} {:>6}",
+        "", "Remote", "", "", "", "Local", "", "", ""
+    );
+    println!(
+        "{:<10} | {:>9} {:>6} {:>9} {:>6} | {:>9} {:>6} {:>9} {:>6}",
+        "Benchmark", "Sanitize", "Std", "Restore", "Std", "Sanitize", "Std", "Restore", "Std"
+    );
+    for app in elide_apps::all_apps() {
+        let san_r = sanitize_times(&app, DataPlacement::Remote, RUNS);
+        let res_r = restore_times(&app, DataPlacement::Remote, RUNS);
+        let san_l = sanitize_times(&app, DataPlacement::LocalEncrypted, RUNS);
+        let res_l = restore_times(&app, DataPlacement::LocalEncrypted, RUNS);
+        println!(
+            "{:<10} | {:>9.3} {:>6.3} {:>9.2} {:>6.2} | {:>9.3} {:>6.3} {:>9.2} {:>6.2}",
+            app.name,
+            san_r.mean_ms,
+            san_r.std_ms,
+            res_r.mean_ms,
+            res_r.std_ms,
+            san_l.mean_ms,
+            san_l.std_ms,
+            res_l.mean_ms,
+            res_l.std_ms,
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! # elide-bench
+//!
+//! Measurement helpers shared by the paper-table binaries (`table1`,
+//! `table2`, `figures`) and the Criterion benches. Each table/figure of the
+//! SgxElide paper maps to one entry point here; see `EXPERIMENTS.md` at the
+//! repository root for the index.
+
+use elide_apps::harness::{launch_protected, App};
+use elide_apps::run_workload;
+use elide_core::sanitizer::{sanitize, DataPlacement};
+use elide_core::whitelist::Whitelist;
+use elide_crypto::rng::SeededRandom;
+use elide_elf::ElfFile;
+use std::time::Instant;
+
+/// Mean and standard deviation of a sample, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Sample mean (ms).
+    pub mean_ms: f64,
+    /// Sample standard deviation (ms).
+    pub std_ms: f64,
+}
+
+/// Computes mean/stddev over raw samples in seconds.
+pub fn stats(samples: &[f64]) -> Stats {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    Stats { mean_ms: mean * 1e3, std_ms: var.sqrt() * 1e3 }
+}
+
+/// Times `f` over `runs` executions, returning per-run seconds.
+pub fn time_runs<F: FnMut()>(runs: usize, mut f: F) -> Vec<f64> {
+    let mut out = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        f();
+        out.push(t0.elapsed().as_secs_f64());
+    }
+    out
+}
+
+/// One row of Table 1 (static size characteristics).
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Guest assembly lines (the "TC LOC" analog).
+    pub asm_loc: usize,
+    /// Function symbols in the trusted component.
+    pub tc_functions: usize,
+    /// Text-section bytes.
+    pub tc_bytes: u64,
+    /// Functions the sanitizer redacted.
+    pub sanitized_functions: usize,
+    /// Bytes the sanitizer redacted.
+    pub sanitized_bytes: u64,
+}
+
+/// Computes a Table 1 row for one benchmark.
+///
+/// # Panics
+///
+/// Panics if the build or sanitization pipeline fails (benchmark harness
+/// context).
+pub fn table1_row(app: &App, whitelist: &Whitelist) -> Table1Row {
+    let image = app.build_elide_image().expect("build");
+    let elf = ElfFile::parse(image.clone()).expect("parse");
+    let tc_functions = elf.function_symbols().count();
+    let tc_bytes = elf.section_by_name(".text").expect(".text").sh_size;
+    let mut rng = SeededRandom::new(0xBE7C);
+    let out = sanitize(&image, whitelist, DataPlacement::Remote, &mut rng).expect("sanitize");
+    Table1Row {
+        name: app.name,
+        asm_loc: app.asm.lines().filter(|l| !l.trim().is_empty()).count(),
+        tc_functions,
+        tc_bytes,
+        sanitized_functions: out.sanitized_functions.len(),
+        sanitized_bytes: out.sanitized_functions.iter().map(|(_, s)| s).sum(),
+    }
+}
+
+/// Measures sanitize time over `runs` (Table 2, "Sanitize Time").
+///
+/// # Panics
+///
+/// Panics if the pipeline fails.
+pub fn sanitize_times(app: &App, placement: DataPlacement, runs: usize) -> Stats {
+    let image = app.build_elide_image().expect("build");
+    let whitelist = Whitelist::from_dummy_enclave().expect("whitelist");
+    let mut rng = SeededRandom::new(7);
+    let samples = time_runs(runs, || {
+        let out = sanitize(&image, &whitelist, placement, &mut rng).expect("sanitize");
+        std::hint::black_box(out.image.len());
+    });
+    stats(&samples)
+}
+
+/// Measures restore time over `runs` fresh launches (Table 2, "Restore
+/// Time"). Each run launches a new sanitized enclave (fresh sealed store)
+/// and times only the `elide_restore` call.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails.
+pub fn restore_times(app: &App, placement: DataPlacement, runs: usize) -> Stats {
+    let mut samples = Vec::with_capacity(runs);
+    for run in 0..runs {
+        let mut p = launch_protected(app, placement, 1000 + run as u64).expect("launch");
+        let t0 = Instant::now();
+        p.restore().expect("restore");
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    stats(&samples)
+}
+
+/// A plain build prepared offline (image built and signed once); only the
+/// runtime — load, `EINIT`, workload — is timed, matching the paper's
+/// methodology (`time ./app` on a pre-built binary).
+pub struct PreparedPlain {
+    app: App,
+    image: Vec<u8>,
+    sigstruct: sgx_sim::sigstruct::SigStruct,
+    cpu: sgx_sim::SgxCpu,
+    indices: std::collections::HashMap<String, u64>,
+}
+
+/// Builds and signs the plain configuration once.
+///
+/// # Panics
+///
+/// Panics if the build pipeline fails.
+pub fn prepare_plain(app: &App) -> PreparedPlain {
+    use elide_crypto::rsa::RsaKeyPair;
+    let image = app.build_plain_image().expect("build");
+    let mut rng = SeededRandom::new(0xF1);
+    let cpu = sgx_sim::SgxCpu::new(&mut rng);
+    let vendor = RsaKeyPair::generate(512, &mut rng);
+    let sigstruct = elide_enclave::loader::sign_enclave(&image, &vendor, 1, 1).expect("sign");
+    PreparedPlain { app: app.clone(), image, sigstruct, cpu, indices: app.plain_indices() }
+}
+
+impl PreparedPlain {
+    /// One timed run: enclave creation + `reps` workload iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run fails.
+    pub fn run_seconds(&self, seed: u64, reps: usize) -> f64 {
+        let t0 = Instant::now();
+        let loaded = elide_enclave::loader::load_enclave(&self.cpu, &self.image, &self.sigstruct)
+            .expect("load");
+        let mut rt = elide_enclave::runtime::EnclaveRuntime::with_rng(
+            loaded,
+            Box::new(SeededRandom::new(seed)),
+        );
+        for _ in 0..reps {
+            std::hint::black_box(run_workload(self.app.name, &mut rt, &self.indices));
+        }
+        t0.elapsed().as_secs_f64()
+    }
+}
+
+/// A protected build prepared offline: sanitized + signed package, platform
+/// and server stood up once. Timed runs cover load, `elide_restore`, and
+/// the workload.
+pub struct PreparedElide {
+    app: App,
+    package: elide_core::api::ProtectedPackage,
+    platform: elide_core::api::Platform,
+    server: std::sync::Arc<std::sync::Mutex<elide_core::server::AuthServer>>,
+    indices: std::collections::HashMap<String, u64>,
+}
+
+/// Builds, protects, and stands up the server once.
+///
+/// # Panics
+///
+/// Panics if the pipeline fails.
+pub fn prepare_elide(app: &App, placement: DataPlacement) -> PreparedElide {
+    use elide_core::api::{protect, Mode, Platform};
+    use elide_crypto::rsa::RsaKeyPair;
+    use sgx_sim::quote::AttestationService;
+    let image = app.build_elide_image().expect("build");
+    let mut rng = SeededRandom::new(0xF2);
+    let vendor = RsaKeyPair::generate(512, &mut rng);
+    let package = protect(&image, &vendor, &Mode::Whitelist, placement, &mut rng).expect("protect");
+    let mut ias = AttestationService::new();
+    let platform = Platform::provision(&mut rng, &mut ias);
+    let server = std::sync::Arc::new(std::sync::Mutex::new(package.make_server(ias)));
+    PreparedElide { app: app.clone(), package, platform, server, indices: app.protected_indices() }
+}
+
+impl PreparedElide {
+    /// One timed run: enclave creation + restore + `reps` workload
+    /// iterations, with a fresh sealed store (first-launch behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run fails.
+    pub fn run_seconds(&self, seed: u64, reps: usize) -> f64 {
+        use elide_core::protocol::InProcessTransport;
+        use elide_core::restore::new_sealed_store;
+        let t0 = Instant::now();
+        let transport = std::sync::Arc::new(std::sync::Mutex::new(InProcessTransport::new(
+            std::sync::Arc::clone(&self.server),
+        )));
+        let mut launched = self
+            .package
+            .launch(&self.platform, transport, new_sealed_store(), seed)
+            .expect("launch");
+        launched.restore(self.indices["elide_restore"]).expect("restore");
+        for _ in 0..reps {
+            std::hint::black_box(run_workload(self.app.name, &mut launched.runtime, &self.indices));
+        }
+        t0.elapsed().as_secs_f64()
+    }
+}
+
+/// The five non-game benchmarks measured in Figures 3 and 4 (the games
+/// "run forever" in the paper and are excluded there too).
+pub fn figure_apps() -> Vec<App> {
+    use elide_apps::*;
+    vec![aes_app::app(), des_app::app(), sha1_app::app(), shas_app::app(), crackme::app()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_constant_sample() {
+        let s = stats(&[0.002, 0.002, 0.002]);
+        assert!((s.mean_ms - 2.0).abs() < 1e-9);
+        assert!(s.std_ms.abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_row_smoke() {
+        let app = elide_apps::crackme::app();
+        let wl = Whitelist::from_dummy_enclave().unwrap();
+        let row = table1_row(&app, &wl);
+        assert!(row.tc_functions > row.sanitized_functions);
+        assert!(row.sanitized_bytes > 0);
+        assert!(row.tc_bytes > row.sanitized_bytes);
+    }
+}

@@ -1,0 +1,180 @@
+//! High-level orchestration: protect an enclave image, stand up the
+//! authentication server, and launch the protected enclave — the developer
+//! workflow of Figure 1 in a few calls.
+
+use crate::error::ElideError;
+use crate::meta::SecretMeta;
+use crate::protocol::Transport;
+use crate::restore::{
+    elide_restore, install_elide_ocalls, ElideFiles, RestoreStats, SealedStore,
+};
+use crate::sanitizer::{sanitize, sanitize_blacklist, DataPlacement, SanitizedEnclave};
+use crate::server::{AuthServer, ExpectedIdentity};
+use crate::whitelist::Whitelist;
+use elide_crypto::rng::{RandomSource, SeededRandom};
+use elide_crypto::rsa::RsaKeyPair;
+use elide_enclave::loader::{load_enclave, measure_enclave, sign_enclave};
+use elide_enclave::runtime::EnclaveRuntime;
+use sgx_sim::quote::{AttestationService, QuotingEnclave};
+use sgx_sim::sigstruct::SigStruct;
+use sgx_sim::SgxCpu;
+use std::sync::{Arc, Mutex};
+
+/// Sanitization mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mode {
+    /// Whitelist mode (the paper's final design): redact everything not in
+    /// the dummy enclave.
+    Whitelist,
+    /// Blacklist mode (the §3.2 ablation): redact only the named functions.
+    Blacklist(Vec<String>),
+}
+
+/// A user platform: SGX processor plus its provisioned quoting enclave.
+pub struct Platform {
+    /// The processor.
+    pub cpu: SgxCpu,
+    /// The quoting enclave.
+    pub qe: Arc<QuotingEnclave>,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform").finish_non_exhaustive()
+    }
+}
+
+impl Platform {
+    /// Powers on a platform and registers its device key with `ias`.
+    pub fn provision(rng: &mut dyn RandomSource, ias: &mut AttestationService) -> Platform {
+        let cpu = SgxCpu::new(rng);
+        let qe = QuotingEnclave::provision(&cpu, rng);
+        ias.register_device(qe.device_public_key().clone());
+        Platform { cpu, qe: Arc::new(qe) }
+    }
+}
+
+/// Everything `protect` produces: ship `image` + `sigstruct` (+
+/// `local_data_file`), give `meta`/`server_data` to the server.
+pub struct ProtectedPackage {
+    /// The sanitized, signed enclave image.
+    pub image: Vec<u8>,
+    /// Vendor signature over the sanitized measurement.
+    pub sigstruct: SigStruct,
+    /// Server-only metadata.
+    pub meta: SecretMeta,
+    /// Server-only plaintext payload (empty in local mode).
+    pub server_data: Vec<u8>,
+    /// `enclave.secret.data` shipped with the enclave (local mode).
+    pub local_data_file: Vec<u8>,
+    /// MRENCLAVE of the sanitized image (what attestation must show).
+    pub mrenclave: [u8; 32],
+    /// Names and sizes of sanitized functions (Table 1).
+    pub sanitized_functions: Vec<(String, u64)>,
+}
+
+impl std::fmt::Debug for ProtectedPackage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtectedPackage")
+            .field("image_len", &self.image.len())
+            .field("sanitized_functions", &self.sanitized_functions.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Sanitizes and signs an enclave image built with the SgxElide runtime.
+///
+/// # Errors
+///
+/// Propagates sanitizer and signing errors; in particular
+/// [`ElideError::BadImage`] when the image was not linked against
+/// [`crate::elide_asm::ELIDE_ASM`].
+pub fn protect(
+    image: &[u8],
+    vendor: &RsaKeyPair,
+    mode: &Mode,
+    placement: DataPlacement,
+    rng: &mut dyn RandomSource,
+) -> Result<ProtectedPackage, ElideError> {
+    let out: SanitizedEnclave = match mode {
+        Mode::Whitelist => {
+            let wl = Whitelist::from_dummy_enclave()?;
+            sanitize(image, &wl, placement, rng)?
+        }
+        Mode::Blacklist(fns) => {
+            let names: Vec<&str> = fns.iter().map(String::as_str).collect();
+            sanitize_blacklist(image, &names, placement, rng)?
+        }
+    };
+    let sigstruct = sign_enclave(&out.image, vendor, 1, 1)?;
+    let mrenclave = measure_enclave(&out.image)?;
+    Ok(ProtectedPackage {
+        image: out.image,
+        sigstruct,
+        meta: out.meta,
+        server_data: out.secret_data,
+        local_data_file: out.local_data_file,
+        mrenclave,
+        sanitized_functions: out.sanitized_functions,
+    })
+}
+
+impl ProtectedPackage {
+    /// Builds the authentication server for this package, pinned to the
+    /// sanitized enclave's measurement and the vendor identity.
+    pub fn make_server(&self, ias: AttestationService) -> AuthServer {
+        let expected = ExpectedIdentity {
+            mrenclave: Some(self.mrenclave),
+            mrsigner: self.sigstruct.mrsigner().ok(),
+        };
+        let data = if self.meta.is_local() { Vec::new() } else { self.server_data.clone() };
+        AuthServer::new(self.meta.clone(), data, expected, ias)
+    }
+
+    /// The files the untrusted host ships next to the enclave.
+    pub fn files(&self, sealed: SealedStore) -> ElideFiles {
+        ElideFiles {
+            data_file: if self.meta.is_local() { Some(self.local_data_file.clone()) } else { None },
+            sealed,
+        }
+    }
+
+    /// Loads the sanitized enclave on `platform` and wires the SgxElide
+    /// ocalls against `transport`. Returns the runtime, ready for
+    /// [`LaunchedApp::restore`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates load/`EINIT` failures.
+    pub fn launch(
+        &self,
+        platform: &Platform,
+        transport: Arc<Mutex<dyn Transport + Send>>,
+        sealed: SealedStore,
+        seed: u64,
+    ) -> Result<LaunchedApp, ElideError> {
+        let loaded = load_enclave(&platform.cpu, &self.image, &self.sigstruct)?;
+        let mut runtime =
+            EnclaveRuntime::with_rng(loaded, Box::new(SeededRandom::new(seed)));
+        install_elide_ocalls(&mut runtime, transport, Arc::clone(&platform.qe), self.files(sealed));
+        Ok(LaunchedApp { runtime })
+    }
+}
+
+/// A launched (sanitized) enclave with the SgxElide ocalls installed.
+#[derive(Debug)]
+pub struct LaunchedApp {
+    /// The underlying enclave runtime; use it for application ecalls.
+    pub runtime: EnclaveRuntime,
+}
+
+impl LaunchedApp {
+    /// Restores the enclave's secret code (the one developer-visible call).
+    ///
+    /// # Errors
+    ///
+    /// See [`elide_restore`].
+    pub fn restore(&mut self, restore_ecall_index: u64) -> Result<RestoreStats, ElideError> {
+        elide_restore(&mut self.runtime, restore_ecall_index)
+    }
+}

@@ -1,0 +1,396 @@
+//! The SgxElide in-enclave runtime: `elide_restore` in EV64 assembly.
+//!
+//! This code is linked into every protected enclave and is, together with
+//! the tRTS, exactly what the whitelist keeps unsanitized — the enclave
+//! boots with only this code intact and restores everything else.
+//!
+//! The restore flow implements Figure 2 of the paper:
+//!
+//! 1. Try the sealed blob (step ❼ of a previous run) — restore without any
+//!    server contact if it unseals.
+//! 2. Otherwise run the attested handshake: DH keygen, `EREPORT` binding
+//!    SHA-256 of the DH public value, ocall to the server (the host turns
+//!    the report into a quote), derive the session key.
+//! 3. `REQUEST_META` (step ❷/❸): fetch and decrypt the metadata.
+//! 4. Local data: `elide_read_file` + AES-GCM with the key from the meta
+//!    (steps ➃/➄). Remote data: `REQUEST_DATA` over the channel (❹/❺).
+//! 5. Copy the original bytes over the sanitized text (step ❻), computing
+//!    the text base *position-independently* from `elide_restore`'s own
+//!    address minus the offset carried in the metadata (§5).
+//! 6. Seal the restored text and hand it to the host (step ❼).
+
+/// Ocall index for `elide_server_request` (r1 = request type, r2/r3 = in
+/// ptr/len, r4/r5 = out ptr/cap; returns response length or negative).
+pub const OCALL_SERVER_REQUEST: i32 = 100;
+/// Ocall index for `elide_read_file` (r1 = file id: 0 = secret data,
+/// 1 = sealed blob; r4/r5 = out ptr/cap; returns length or negative).
+pub const OCALL_READ_FILE: i32 = 101;
+/// Ocall index for `elide_write_file` (r1 = file id, r2/r3 = ptr/len).
+pub const OCALL_WRITE_FILE: i32 = 102;
+
+/// Request type bytes of the single-byte server protocol (§5).
+pub mod request {
+    /// Fetch the secret metadata.
+    pub const META: u64 = 1;
+    /// Fetch the secret data.
+    pub const DATA: u64 = 2;
+    /// Attested DH handshake (precedes META/DATA).
+    pub const HANDSHAKE: u64 = 3;
+}
+
+/// Error codes `elide_restore` returns in `r0`.
+pub mod restore_status {
+    /// Restoration succeeded.
+    pub const OK: u64 = 0;
+    /// Handshake ocall failed (server unreachable — the DoS case §3.1).
+    pub const HANDSHAKE_FAILED: u64 = 1;
+    /// DH derivation rejected the server's public value.
+    pub const BAD_SERVER_KEY: u64 = 2;
+    /// Metadata request or decryption failed.
+    pub const META_FAILED: u64 = 3;
+    /// Data request/read failed.
+    pub const DATA_FAILED: u64 = 4;
+    /// Data decryption failed (wrong key or tampered ciphertext).
+    pub const DATA_AUTH_FAILED: u64 = 5;
+}
+
+/// Untrusted scratch area used by the elide ocalls (request payloads).
+pub const UELIDE_REQ: u64 = 0x7004_0000;
+/// Untrusted scratch area for server responses.
+pub const UELIDE_RESP: u64 = 0x7006_0000;
+
+/// The `elide_restore` implementation and its state buffers.
+pub const ELIDE_ASM: &str = r#"
+; ---------------------------------------------------------------
+; SgxElide runtime restorer (whitelisted code).
+; ---------------------------------------------------------------
+.section text
+
+.global elide_restore
+.func elide_restore
+    ldpc r9
+    addi r9, r9, -8          ; r9 = &elide_restore (PIC anchor)
+    push r9
+
+    ; ---------- fast path: sealed blob from a previous run ----------
+    movi r1, 1               ; file id 1 = sealed blob
+    li   r4, 0x70040000
+    li   r5, 0x80000
+    ocall 101                ; elide_read_file
+    movi r6, 0
+    blts r0, r6, .no_seal
+    ; blob layout: [text_len u64][restore_off u64][iv 12][ct][tag 16].
+    ; The blob comes from UNTRUSTED storage: validate before trusting its
+    ; length fields (a malicious host may hand us garbage).
+    movi r6, 44
+    bltu r0, r6, .no_seal    ; too short to hold the header
+    mov  r9, r0              ; blob length (r9 survives memcpy)
+    mov  r3, r0
+    la   r1, __elide_buf
+    li   r2, 0x70040000
+    call elide_memcpy
+    la   r8, __elide_buf
+    ld64 r10, [r8]           ; text_len (untrusted until checked)
+    ld64 r11, [r8+8]         ; restore_off
+    li   r6, 0x10000
+    bgeu r10, r6, .no_seal   ; larger than the restore buffers allow
+    bgeu r11, r6, .no_seal   ; offset must be inside the text section
+    addi r6, r10, 44
+    bne  r6, r9, .no_seal    ; length field inconsistent with the blob
+    movi r1, 0               ; seal key policy = MRENCLAVE
+    la   r2, __elide_seal_key
+    intrin 4                 ; EGETKEY
+    ld64 r12, [sp]           ; &elide_restore
+    sub  r12, r12, r11       ; text base
+    la   r1, __elide_seal_key
+    addi r2, r8, 16          ; iv
+    addi r3, r8, 28          ; ct
+    mov  r4, r10
+    mov  r5, r12             ; decrypt straight over the text section
+    intrin 1                 ; AESGCM_DECRYPT
+    movi r6, 0
+    bne  r0, r6, .no_seal    ; rebuilt enclave or tampered blob: full path
+    movi r0, 0
+    pop  r9
+    ret
+
+.no_seal:
+    ; ---------- attested handshake ----------
+    la   r1, __elide_dh_pub
+    intrin 6                 ; DH_KEYGEN -> r0 = pub len
+    mov  r10, r0
+    la   r1, __elide_report_data
+    movi r2, 0
+    movi r3, 64
+    call elide_memset
+    la   r1, __elide_dh_pub
+    mov  r2, r10
+    la   r3, __elide_report_data
+    intrin 3                 ; SHA256(dh_pub) -> report_data
+    la   r1, __elide_report_data
+    la   r2, __elide_report
+    intrin 5                 ; EREPORT
+    ; request payload: report(160) || dh_pub
+    li   r1, 0x70040000
+    la   r2, __elide_report
+    movi r3, 160
+    call elide_memcpy
+    li   r1, 0x70040000
+    addi r1, r1, 160
+    la   r2, __elide_dh_pub
+    mov  r3, r10
+    call elide_memcpy
+    movi r1, 3               ; REQUEST_HANDSHAKE
+    li   r2, 0x70040000
+    addi r3, r10, 160        ; 160-byte report + DH public value
+    li   r4, 0x70060000
+    li   r5, 0x20000
+    ocall 100
+    movi r6, 0
+    blts r0, r6, .fail_handshake
+    mov  r12, r0             ; server pub length (r12 survives memcpy)
+    la   r1, __elide_peer
+    li   r2, 0x70060000
+    mov  r3, r12
+    call elide_memcpy
+    la   r1, __elide_peer
+    mov  r2, r12
+    la   r3, __elide_session_key
+    intrin 7                 ; DH_DERIVE
+    movi r6, 0
+    bne  r0, r6, .fail_badkey
+
+    ; ---------- REQUEST_META (steps 2/3) ----------
+    movi r1, 1
+    li   r2, 0
+    movi r3, 0
+    li   r4, 0x70060000
+    li   r5, 0x20000
+    ocall 100
+    movi r6, 0
+    blts r0, r6, .fail_meta
+    movi r6, 29
+    bltu r0, r6, .fail_meta  ; shorter than IV + tag + 1 byte
+    li   r6, 0x10040
+    bgeu r0, r6, .fail_meta  ; larger than the restore buffers
+    mov  r12, r0             ; response length (r12 survives memcpy)
+    la   r1, __elide_buf
+    li   r2, 0x70060000
+    mov  r3, r12
+    call elide_memcpy
+    la   r1, __elide_session_key
+    la   r2, __elide_buf
+    la   r3, __elide_buf
+    addi r3, r3, 12
+    addi r4, r12, -28
+    la   r5, __elide_meta
+    intrin 1
+    movi r6, 0
+    bne  r0, r6, .fail_meta
+    la   r8, __elide_meta
+    ld64 r10, [r8]           ; flags
+    ld64 r11, [r8+8]         ; data_len
+    ld64 r12, [r8+16]        ; text_len
+    ld64 r13, [r8+24]        ; restore_offset
+
+    li   r6, 0x10000
+    bgeu r11, r6, .fail_data ; data_len beyond the restore buffers
+    bgeu r12, r6, .fail_data ; text_len beyond the restore buffers
+    andi r6, r10, 1
+    movi r7, 0
+    beq  r6, r7, .remote
+
+    ; ---------- local data: read file, decrypt with meta key ----------
+    movi r1, 0               ; file id 0 = secret data
+    li   r4, 0x70040000
+    li   r5, 0x80000
+    ocall 101
+    movi r6, 0
+    blts r0, r6, .fail_data
+    la   r1, __elide_buf
+    li   r2, 0x70040000
+    mov  r3, r11
+    call elide_memcpy
+    la   r1, __elide_buf
+    add  r1, r1, r11
+    la   r2, __elide_meta
+    addi r2, r2, 64          ; tag lives in the metadata
+    movi r3, 16
+    call elide_memcpy
+    la   r1, __elide_meta
+    addi r1, r1, 32          ; key
+    la   r2, __elide_meta
+    addi r2, r2, 48          ; iv
+    la   r3, __elide_buf
+    mov  r4, r11
+    la   r5, __elide_data
+    intrin 1
+    movi r6, 0
+    bne  r0, r6, .fail_auth
+    jmp  .restore
+
+.remote:
+    ; ---------- remote data over the channel (steps 4/5) ----------
+    movi r1, 2               ; REQUEST_DATA
+    li   r2, 0
+    movi r3, 0
+    li   r4, 0x70060000
+    li   r5, 0x80000
+    ocall 100
+    movi r6, 0
+    blts r0, r6, .fail_data
+    movi r6, 29
+    bltu r0, r6, .fail_data
+    li   r6, 0x10040
+    bgeu r0, r6, .fail_data
+    mov  r9, r0              ; response length (r9 survives memcpy)
+    la   r1, __elide_buf
+    li   r2, 0x70060000
+    mov  r3, r9
+    call elide_memcpy
+    la   r1, __elide_session_key
+    la   r2, __elide_buf
+    la   r3, __elide_buf
+    addi r3, r3, 12
+    addi r4, r9, -28
+    la   r5, __elide_data
+    intrin 1
+    movi r6, 0
+    bne  r0, r6, .fail_auth
+
+.restore:
+    ; ---------- step 6: copy original bytes over sanitized text ----------
+    ld64 r14, [sp]           ; &elide_restore
+    sub  r14, r14, r13       ; text base = &elide_restore - restore_offset
+    andi r6, r10, 2
+    movi r7, 0
+    bne  r6, r7, .ranged
+    mov  r1, r14
+    la   r2, __elide_data
+    mov  r3, r12
+    call elide_memcpy
+    jmp  .seal
+
+.ranged:
+    ; blacklist mode: data = [count u64][(off u64, len u64)*][bytes...]
+    la   r8, __elide_data
+    ld64 r9, [r8]            ; count
+    addi r5, r8, 8           ; entry cursor
+    shli r6, r9, 4
+    add  r6, r5, r6          ; bytes cursor
+    movi r7, 0
+.rloop:
+    beq  r9, r7, .seal
+    ld64 r1, [r5]            ; offset
+    add  r1, r14, r1
+    ld64 r3, [r5+8]          ; length
+    mov  r2, r6
+    add  r6, r6, r3
+    addi r5, r5, 16
+    push r5
+    push r6
+    push r7
+    push r9
+    call elide_memcpy
+    pop  r9
+    pop  r7
+    pop  r6
+    pop  r5
+    addi r9, r9, -1
+    jmp  .rloop
+
+.seal:
+    ; ---------- step 7: seal for server-free future launches ----------
+    movi r1, 0
+    la   r2, __elide_seal_key
+    intrin 4                 ; EGETKEY
+    la   r8, __elide_buf
+    st64 r12, [r8]           ; text_len
+    st64 r13, [r8+8]         ; restore_offset
+    addi r1, r8, 16
+    movi r2, 12
+    intrin 8                 ; RAND iv
+    la   r1, __elide_seal_key
+    addi r2, r8, 16
+    mov  r3, r14             ; src = restored text
+    mov  r4, r12
+    addi r5, r8, 28
+    intrin 2                 ; AESGCM_ENCRYPT (ct || tag)
+    li   r1, 0x70040000
+    mov  r2, r8
+    addi r3, r12, 44         ; 8 + 8 + 12 + text_len + 16
+    call elide_memcpy
+    movi r1, 1
+    li   r2, 0x70040000
+    addi r3, r12, 44
+    ocall 102                ; elide_write_file (best effort)
+    movi r0, 0
+    pop  r9
+    ret
+
+.fail_handshake:
+    movi r0, 1
+    pop  r9
+    ret
+.fail_badkey:
+    movi r0, 2
+    pop  r9
+    ret
+.fail_meta:
+    movi r0, 3
+    pop  r9
+    ret
+.fail_data:
+    movi r0, 4
+    pop  r9
+    ret
+.fail_auth:
+    movi r0, 5
+    pop  r9
+    ret
+.endfunc
+
+.section bss
+.align 16
+__elide_session_key:
+    .zero 16
+__elide_seal_key:
+    .zero 16
+__elide_dh_pub:
+    .zero 128
+__elide_peer:
+    .zero 128
+__elide_report_data:
+    .zero 64
+__elide_report:
+    .zero 192
+__elide_meta:
+    .zero 96
+__elide_data:
+    .zero 65536
+__elide_buf:
+    .zero 65600
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elide_vm::asm::assemble;
+
+    #[test]
+    fn elide_asm_assembles() {
+        let obj = assemble(ELIDE_ASM).unwrap();
+        let restore = obj.symbol("elide_restore").unwrap();
+        assert!(restore.global);
+        assert!(restore.size > 0);
+        assert!(obj.symbol("__elide_buf").is_some());
+    }
+
+    #[test]
+    fn buffers_fit_the_protocol() {
+        let obj = assemble(ELIDE_ASM).unwrap();
+        let bss = obj.section("bss").unwrap();
+        // Data + buf must be able to hold a 64 KiB text section.
+        assert!(bss.size >= 2 * 64 * 1024);
+    }
+}

@@ -1,0 +1,79 @@
+//! # elide-core
+//!
+//! SgxElide: enclave code secrecy via self-modification (CGO 2018), the
+//! primary contribution of this repository.
+//!
+//! The enclave file must be signed before it can be initialized, so any
+//! secret in it can be disassembled. SgxElide therefore ships a *sanitized*
+//! enclave — every non-whitelisted function zeroed — and restores the
+//! original bytes at run time, after attestation, by treating code as data:
+//!
+//! * [`whitelist`] — builds the dummy enclave and extracts the functions
+//!   that must survive (the SgxElide runtime + tRTS).
+//! * [`sanitizer`] — redacts functions, emits `enclave.secret.meta` /
+//!   `enclave.secret.data`, and sets `PF_W` on the text segment.
+//! * [`elide_asm`] — the in-enclave restorer (`elide_restore`) in EV64
+//!   assembly, including sealing for server-free relaunches.
+//! * [`server`] / [`protocol`] — the authentication server (in-process or
+//!   TCP) releasing secrets only to attested enclaves.
+//! * [`restore`] — the untrusted ocalls (`elide_server_request`,
+//!   `elide_read_file`, `elide_write_file`) and the restore entry point.
+//! * [`api`] — one-call `protect` / `launch` / `restore` orchestration.
+//! * [`attack`] — the adversary's toolkit (disassembly, signature scans,
+//!   controlled-channel page-trace attribution) used by the evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use elide_core::api::{protect, Mode, Platform};
+//! use elide_core::elide_asm::ELIDE_ASM;
+//! use elide_core::protocol::InProcessTransport;
+//! use elide_core::restore::new_sealed_store;
+//! use elide_core::sanitizer::DataPlacement;
+//! use elide_crypto::rng::SeededRandom;
+//! use elide_crypto::rsa::RsaKeyPair;
+//! use elide_enclave::image::EnclaveImageBuilder;
+//! use sgx_sim::quote::AttestationService;
+//! use std::sync::{Arc, Mutex};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build an enclave whose `get_answer` is a trade secret.
+//! let mut builder = EnclaveImageBuilder::new();
+//! builder
+//!     .source(ELIDE_ASM)
+//!     .source(".section text\n.global get_answer\n.func get_answer\n    movi r0, 42\n    ret\n.endfunc\n")
+//!     .ecall("get_answer")
+//!     .ecall("elide_restore");
+//! let image = builder.build()?;
+//!
+//! // Protect it (sanitize + sign) and stand up the infrastructure.
+//! let mut rng = SeededRandom::new(1);
+//! let vendor = RsaKeyPair::generate(512, &mut rng);
+//! let package = protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng)?;
+//! let mut ias = AttestationService::new();
+//! let platform = Platform::provision(&mut rng, &mut ias);
+//! let server = Arc::new(Mutex::new(package.make_server(ias)));
+//! let transport = Arc::new(Mutex::new(InProcessTransport::new(server)));
+//!
+//! // Launch: the secret is dead until restored...
+//! let mut app = package.launch(&platform, transport, new_sealed_store(), 7)?;
+//! assert!(app.runtime.ecall(0, &[], 0).is_err());
+//! // ...and alive afterwards.
+//! app.restore(1)?;
+//! assert_eq!(app.runtime.ecall(0, &[], 0)?.status, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod api;
+pub mod attack;
+pub mod elide_asm;
+pub mod error;
+pub mod meta;
+pub mod protocol;
+pub mod restore;
+pub mod sanitizer;
+pub mod server;
+pub mod whitelist;
+
+pub use error::{ElideError, ServerError};

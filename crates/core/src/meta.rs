@@ -1,0 +1,182 @@
+//! The `enclave.secret.meta` format (§4.2): everything the enclave needs to
+//! restore itself — data length, the `elide_restore` offset used for
+//! position-independent text-base recovery, and (for locally stored data)
+//! the AES-GCM key, IV and MAC.
+//!
+//! The meta file "must never be distributed with the enclave and only
+//! reside on the authentication server"; at run time its *plaintext body*
+//! travels to the enclave over the attested channel.
+
+/// Magic prefix of serialized meta files.
+pub const META_MAGIC: &[u8; 8] = b"ELIDMETA";
+
+/// Size of the plaintext body sent to the enclave (matches the layout the
+/// `elide_restore` assembly parses).
+pub const META_BODY_LEN: usize = 80;
+
+/// Flag bit: the secret data ships with the enclave, AES-GCM encrypted.
+pub const FLAG_ENCRYPTED_LOCAL: u64 = 1;
+/// Flag bit: the data payload is a ranged (blacklist-mode) record set
+/// rather than the whole text section.
+pub const FLAG_RANGED: u64 = 2;
+
+/// Secret metadata (the server's `enclave.secret.meta`).
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretMeta {
+    /// Combination of [`FLAG_ENCRYPTED_LOCAL`] and [`FLAG_RANGED`].
+    pub flags: u64,
+    /// Length of the (plaintext) data payload.
+    pub data_len: u64,
+    /// Length of the enclave's text section.
+    pub text_len: u64,
+    /// Offset of `elide_restore` from the text section start (§5).
+    pub restore_offset: u64,
+    /// Data key (all zero in remote mode).
+    pub key: [u8; 16],
+    /// Data IV (all zero in remote mode).
+    pub iv: [u8; 12],
+    /// Data GCM tag (all zero in remote mode).
+    pub tag: [u8; 16],
+}
+
+impl std::fmt::Debug for SecretMeta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The key must never leak through logs.
+        f.debug_struct("SecretMeta")
+            .field("flags", &self.flags)
+            .field("data_len", &self.data_len)
+            .field("text_len", &self.text_len)
+            .field("restore_offset", &self.restore_offset)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SecretMeta {
+    /// True if the secret data is stored locally (encrypted).
+    pub fn is_local(&self) -> bool {
+        self.flags & FLAG_ENCRYPTED_LOCAL != 0
+    }
+
+    /// True for blacklist-mode ranged payloads.
+    pub fn is_ranged(&self) -> bool {
+        self.flags & FLAG_RANGED != 0
+    }
+
+    /// Serializes the 80-byte body the enclave parses.
+    pub fn to_body(&self) -> [u8; META_BODY_LEN] {
+        let mut b = [0u8; META_BODY_LEN];
+        b[0..8].copy_from_slice(&self.flags.to_le_bytes());
+        b[8..16].copy_from_slice(&self.data_len.to_le_bytes());
+        b[16..24].copy_from_slice(&self.text_len.to_le_bytes());
+        b[24..32].copy_from_slice(&self.restore_offset.to_le_bytes());
+        b[32..48].copy_from_slice(&self.key);
+        b[48..60].copy_from_slice(&self.iv);
+        // b[60..64] reserved.
+        b[64..80].copy_from_slice(&self.tag);
+        b
+    }
+
+    /// Parses a body serialized by [`SecretMeta::to_body`].
+    pub fn from_body(b: &[u8]) -> Option<SecretMeta> {
+        if b.len() != META_BODY_LEN {
+            return None;
+        }
+        Some(SecretMeta {
+            flags: u64::from_le_bytes(b[0..8].try_into().ok()?),
+            data_len: u64::from_le_bytes(b[8..16].try_into().ok()?),
+            text_len: u64::from_le_bytes(b[16..24].try_into().ok()?),
+            restore_offset: u64::from_le_bytes(b[24..32].try_into().ok()?),
+            key: b[32..48].try_into().ok()?,
+            iv: b[48..60].try_into().ok()?,
+            tag: b[64..80].try_into().ok()?,
+        })
+    }
+
+    /// Serializes the on-disk meta file (`ELIDMETA` + version + body).
+    pub fn to_file_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 2 + META_BODY_LEN);
+        out.extend_from_slice(META_MAGIC);
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&self.to_body());
+        out
+    }
+
+    /// Parses an on-disk meta file.
+    pub fn from_file_bytes(bytes: &[u8]) -> Option<SecretMeta> {
+        if bytes.len() != 8 + 2 + META_BODY_LEN || &bytes[..8] != META_MAGIC {
+            return None;
+        }
+        let version = u16::from_le_bytes(bytes[8..10].try_into().ok()?);
+        if version != 1 {
+            return None;
+        }
+        SecretMeta::from_body(&bytes[10..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SecretMeta {
+        SecretMeta {
+            flags: FLAG_ENCRYPTED_LOCAL,
+            data_len: 4096,
+            text_len: 4096,
+            restore_offset: 0x240,
+            key: [7; 16],
+            iv: [8; 12],
+            tag: [9; 16],
+        }
+    }
+
+    #[test]
+    fn body_roundtrip() {
+        let m = sample();
+        assert_eq!(SecretMeta::from_body(&m.to_body()).unwrap(), m);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = sample();
+        let f = m.to_file_bytes();
+        assert_eq!(SecretMeta::from_file_bytes(&f).unwrap(), m);
+        assert!(SecretMeta::from_file_bytes(&f[..f.len() - 1]).is_none());
+        let mut bad = f.clone();
+        bad[0] = b'X';
+        assert!(SecretMeta::from_file_bytes(&bad).is_none());
+        let mut wrong_version = f;
+        wrong_version[8] = 9;
+        assert!(SecretMeta::from_file_bytes(&wrong_version).is_none());
+    }
+
+    #[test]
+    fn body_layout_matches_asm_offsets() {
+        // These offsets are hard-coded in elide_asm.rs; lock them down.
+        let m = sample();
+        let b = m.to_body();
+        assert_eq!(u64::from_le_bytes(b[0..8].try_into().unwrap()), m.flags);
+        assert_eq!(u64::from_le_bytes(b[8..16].try_into().unwrap()), m.data_len);
+        assert_eq!(u64::from_le_bytes(b[16..24].try_into().unwrap()), m.text_len);
+        assert_eq!(u64::from_le_bytes(b[24..32].try_into().unwrap()), m.restore_offset);
+        assert_eq!(&b[32..48], &m.key);
+        assert_eq!(&b[48..60], &m.iv);
+        assert_eq!(&b[64..80], &m.tag);
+    }
+
+    #[test]
+    fn debug_hides_key() {
+        let s = format!("{:?}", sample());
+        assert!(!s.contains('7') || !s.contains("key"), "{s}");
+    }
+
+    #[test]
+    fn flag_helpers() {
+        let mut m = sample();
+        assert!(m.is_local());
+        assert!(!m.is_ranged());
+        m.flags = FLAG_RANGED;
+        assert!(m.is_ranged());
+        assert!(!m.is_local());
+    }
+}

@@ -1,0 +1,226 @@
+//! The client/server protocol (§5): single-byte requests, length-prefixed
+//! frames, AES-GCM channel encryption after the attested handshake.
+
+use crate::error::{ElideError, ServerError};
+use crate::server::AuthServer;
+use elide_crypto::gcm::AesGcm;
+use elide_crypto::rng::RandomSource;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex};
+
+/// Channel message overhead: 12-byte IV + 16-byte tag.
+pub const CHANNEL_OVERHEAD: usize = 28;
+
+/// Encrypts a channel message as `[iv 12][ct][tag 16]`.
+pub fn encrypt_msg(key: &[u8; 16], plaintext: &[u8], rng: &mut dyn RandomSource) -> Vec<u8> {
+    let gcm = AesGcm::new(key).expect("16-byte key");
+    let mut iv = [0u8; 12];
+    rng.fill(&mut iv);
+    let (ct, tag) = gcm.seal(&iv, &[], plaintext);
+    let mut out = Vec::with_capacity(CHANNEL_OVERHEAD + ct.len());
+    out.extend_from_slice(&iv);
+    out.extend_from_slice(&ct);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Decrypts a channel message produced by [`encrypt_msg`].
+///
+/// # Errors
+///
+/// Returns [`ElideError::Transport`] on truncated or unauthentic messages.
+pub fn decrypt_msg(key: &[u8; 16], msg: &[u8]) -> Result<Vec<u8>, ElideError> {
+    if msg.len() < CHANNEL_OVERHEAD {
+        return Err(ElideError::Transport("channel message too short".into()));
+    }
+    let gcm = AesGcm::new(key).expect("16-byte key");
+    let iv: [u8; 12] = msg[..12].try_into().expect("12 bytes");
+    let tag: [u8; 16] = msg[msg.len() - 16..].try_into().expect("16 bytes");
+    gcm.open(&iv, &[], &msg[12..msg.len() - 16], &tag)
+        .map_err(|_| ElideError::Transport("channel authentication failed".into()))
+}
+
+/// Client-side transport to the authentication server.
+pub trait Transport {
+    /// Sends request type `req` with `payload`, returning the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElideError::Server`] for server-reported failures and
+    /// [`ElideError::Transport`] for connection problems.
+    fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError>;
+}
+
+/// In-process transport: calls the server object directly. Fast path for
+/// tests and single-process demos.
+pub struct InProcessTransport {
+    server: Arc<Mutex<AuthServer>>,
+}
+
+impl std::fmt::Debug for InProcessTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InProcessTransport").finish_non_exhaustive()
+    }
+}
+
+impl InProcessTransport {
+    /// Wraps a shared server.
+    pub fn new(server: Arc<Mutex<AuthServer>>) -> Self {
+        InProcessTransport { server }
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError> {
+        let mut server = self.server.lock().expect("server mutex poisoned");
+        server.handle(req, payload).map_err(ElideError::Server)
+    }
+}
+
+// ---------------------------------------------------------------------
+// TCP transport (the paper's server.py runs over network sockets).
+// Frame format:  request  = [req u8][len u32 LE][payload]
+//                response = [status u8][len u32 LE][payload]
+// status 0 = ok; otherwise a ServerError discriminant.
+// ---------------------------------------------------------------------
+
+/// Status byte for success.
+const STATUS_OK: u8 = 0;
+
+pub(crate) fn server_error_to_status(e: &ServerError) -> u8 {
+    match e {
+        ServerError::AttestationFailed => 1,
+        ServerError::WrongEnclave => 2,
+        ServerError::BadBinding => 3,
+        ServerError::NoSession => 4,
+        ServerError::BadRequest => 5,
+        ServerError::UnknownRequest(_) => 6,
+    }
+}
+
+pub(crate) fn status_to_server_error(status: u8) -> ServerError {
+    match status {
+        1 => ServerError::AttestationFailed,
+        2 => ServerError::WrongEnclave,
+        3 => ServerError::BadBinding,
+        4 => ServerError::NoSession,
+        5 => ServerError::BadRequest,
+        other => ServerError::UnknownRequest(other),
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, tag: u8, payload: &[u8]) -> std::io::Result<()> {
+    stream.write_all(&[tag])?;
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; 5];
+    stream.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok((header[0], payload))
+}
+
+/// TCP transport to a [`crate::server::AuthServer`] served by
+/// [`crate::server::serve_tcp`].
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7788"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElideError::Transport`] if the connection fails.
+    pub fn connect(addr: &str) -> Result<Self, ElideError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ElideError::Transport(format!("connect {addr}: {e}")))?;
+        stream.set_nodelay(true).ok();
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError> {
+        write_frame(&mut self.stream, req, payload)
+            .map_err(|e| ElideError::Transport(format!("send: {e}")))?;
+        let (status, body) = read_frame(&mut self.stream)
+            .map_err(|e| ElideError::Transport(format!("recv: {e}")))?;
+        if status == STATUS_OK {
+            Ok(body)
+        } else {
+            Err(ElideError::Server(status_to_server_error(status)))
+        }
+    }
+}
+
+/// Serves one TCP connection against the shared server state with its own
+/// [`crate::server::SessionState`]; returns when the peer disconnects.
+/// Concurrent connections never share a channel key.
+pub(crate) fn serve_connection(
+    stream: &mut TcpStream,
+    server: &Arc<Mutex<AuthServer>>,
+) -> std::io::Result<()> {
+    let mut session = crate::server::SessionState::new();
+    loop {
+        let (req, payload) = match read_frame(stream) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let result = {
+            let mut s = server.lock().expect("server mutex poisoned");
+            s.handle_with_session(&mut session, req, &payload)
+        };
+        match result {
+            Ok(body) => write_frame(stream, STATUS_OK, &body)?,
+            Err(e) => write_frame(stream, server_error_to_status(&e), &[])?,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elide_crypto::rng::SeededRandom;
+
+    #[test]
+    fn channel_roundtrip() {
+        let key = [5u8; 16];
+        let mut rng = SeededRandom::new(1);
+        let msg = encrypt_msg(&key, b"the secret text section", &mut rng);
+        assert_eq!(msg.len(), b"the secret text section".len() + CHANNEL_OVERHEAD);
+        assert_eq!(decrypt_msg(&key, &msg).unwrap(), b"the secret text section");
+    }
+
+    #[test]
+    fn channel_rejects_wrong_key_and_tamper() {
+        let mut rng = SeededRandom::new(1);
+        let msg = encrypt_msg(&[5u8; 16], b"data", &mut rng);
+        assert!(decrypt_msg(&[6u8; 16], &msg).is_err());
+        let mut bad = msg.clone();
+        bad[13] ^= 1;
+        assert!(decrypt_msg(&[5u8; 16], &bad).is_err());
+        assert!(decrypt_msg(&[5u8; 16], &msg[..20]).is_err());
+    }
+
+    #[test]
+    fn status_mapping_roundtrip() {
+        for e in [
+            ServerError::AttestationFailed,
+            ServerError::WrongEnclave,
+            ServerError::BadBinding,
+            ServerError::NoSession,
+            ServerError::BadRequest,
+        ] {
+            assert_eq!(status_to_server_error(server_error_to_status(&e)), e);
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The untrusted half of the Runtime Restorer: the `elide_server_request`,
+//! `elide_read_file` and `elide_write_file` ocalls (§3.4: "the ocalls are
+//! automatically called by our library"), plus the host-side helper that
+//! invokes the `elide_restore` ecall.
+
+use crate::elide_asm::{request, OCALL_READ_FILE, OCALL_SERVER_REQUEST, OCALL_WRITE_FILE};
+use crate::error::ElideError;
+use crate::protocol::Transport;
+use elide_enclave::runtime::EnclaveRuntime;
+use sgx_sim::quote::QuotingEnclave;
+use sgx_sim::report::Report;
+use std::sync::{Arc, Mutex};
+
+/// Shared, persistent store for the sealed blob (stands in for the file the
+/// paper's step ❼ writes to disk; persists across enclave launches).
+pub type SealedStore = Arc<Mutex<Option<Vec<u8>>>>;
+
+/// Creates an empty sealed store.
+pub fn new_sealed_store() -> SealedStore {
+    Arc::new(Mutex::new(None))
+}
+
+/// Host-side files available to the enclave's ocalls.
+#[derive(Debug, Clone)]
+pub struct ElideFiles {
+    /// `enclave.secret.data` shipped next to the enclave (local mode).
+    pub data_file: Option<Vec<u8>>,
+    /// The sealed blob store.
+    pub sealed: SealedStore,
+}
+
+impl ElideFiles {
+    /// Files for remote mode: no local data, fresh sealed store.
+    pub fn remote() -> Self {
+        ElideFiles { data_file: None, sealed: new_sealed_store() }
+    }
+
+    /// Files for local mode.
+    pub fn local(data_file: Vec<u8>) -> Self {
+        ElideFiles { data_file: Some(data_file), sealed: new_sealed_store() }
+    }
+}
+
+/// Installs the three SgxElide ocalls into an enclave runtime.
+///
+/// The `elide_server_request` handler additionally converts the enclave's
+/// local-attestation report into a quote via the platform quoting enclave
+/// before forwarding the handshake — the host-side leg of remote
+/// attestation.
+pub fn install_elide_ocalls(
+    rt: &mut EnclaveRuntime,
+    transport: Arc<Mutex<dyn Transport + Send>>,
+    qe: Arc<QuotingEnclave>,
+    files: ElideFiles,
+) {
+    // --- elide_server_request ---
+    let t = Arc::clone(&transport);
+    rt.register_ocall(
+        OCALL_SERVER_REQUEST,
+        Box::new(move |regs, mem| {
+            let req = regs[1] as u8;
+            let in_ptr = regs[2];
+            let in_len = regs[3] as usize;
+            let out_ptr = regs[4];
+            let out_cap = regs[5] as usize;
+            let result = (|| -> Result<Vec<u8>, ElideError> {
+                let payload =
+                    if in_len > 0 { mem.read(in_ptr, in_len)? } else { Vec::new() };
+                if req as u64 == request::HANDSHAKE {
+                    if payload.len() <= Report::SERIALIZED_LEN {
+                        return Err(ElideError::Transport("handshake payload too short".into()));
+                    }
+                    let report = Report::from_bytes(&payload[..Report::SERIALIZED_LEN])
+                        .ok_or_else(|| ElideError::Transport("bad report".into()))?;
+                    let quote = qe
+                        .quote(&report)
+                        .map_err(|e| ElideError::Transport(format!("quoting failed: {e}")))?;
+                    let quote_bytes = quote.to_bytes();
+                    let mut fwd =
+                        Vec::with_capacity(4 + quote_bytes.len() + payload.len() - 160);
+                    fwd.extend_from_slice(&(quote_bytes.len() as u32).to_le_bytes());
+                    fwd.extend_from_slice(&quote_bytes);
+                    fwd.extend_from_slice(&payload[Report::SERIALIZED_LEN..]);
+                    t.lock().expect("transport mutex").request(req, &fwd)
+                } else {
+                    t.lock().expect("transport mutex").request(req, &payload)
+                }
+            })();
+            match result {
+                Ok(body) if body.len() <= out_cap => {
+                    mem.write(out_ptr, &body)?;
+                    regs[0] = body.len() as u64;
+                }
+                // Failures surface to the guest as -1; it maps them to its
+                // own status codes (network errors are the developer's to
+                // handle, §3.4).
+                _ => regs[0] = u64::MAX,
+            }
+            Ok(())
+        }),
+    );
+
+    // --- elide_read_file ---
+    let data_file = files.data_file.clone();
+    let sealed = Arc::clone(&files.sealed);
+    rt.register_ocall(
+        OCALL_READ_FILE,
+        Box::new(move |regs, mem| {
+            let out_ptr = regs[4];
+            let out_cap = regs[5] as usize;
+            let contents: Option<Vec<u8>> = match regs[1] {
+                0 => data_file.clone(),
+                1 => sealed.lock().expect("sealed store").clone(),
+                _ => None,
+            };
+            match contents {
+                Some(bytes) if bytes.len() <= out_cap => {
+                    mem.write(out_ptr, &bytes)?;
+                    regs[0] = bytes.len() as u64;
+                }
+                _ => regs[0] = u64::MAX,
+            }
+            Ok(())
+        }),
+    );
+
+    // --- elide_write_file ---
+    let sealed = Arc::clone(&files.sealed);
+    rt.register_ocall(
+        OCALL_WRITE_FILE,
+        Box::new(move |regs, mem| {
+            if regs[1] == 1 {
+                let bytes = mem.read(regs[2], regs[3] as usize)?;
+                *sealed.lock().expect("sealed store") = Some(bytes);
+                regs[0] = 0;
+            } else {
+                regs[0] = u64::MAX;
+            }
+            Ok(())
+        }),
+    );
+}
+
+/// Statistics from one restoration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreStats {
+    /// Instructions the enclave retired during `elide_restore`.
+    pub instructions: u64,
+}
+
+/// Invokes the `elide_restore` ecall (the single call a developer adds,
+/// §3.4) and maps its status to an error.
+///
+/// # Errors
+///
+/// * [`ElideError::RestoreFailed`] — the enclave reported a failure status
+///   (see [`crate::elide_asm::restore_status`]).
+/// * [`ElideError::Enclave`] — the ecall itself faulted.
+pub fn elide_restore(
+    rt: &mut EnclaveRuntime,
+    restore_ecall_index: u64,
+) -> Result<RestoreStats, ElideError> {
+    let result = rt.ecall(restore_ecall_index, &[], 0)?;
+    if result.status != crate::elide_asm::restore_status::OK {
+        return Err(ElideError::RestoreFailed { status: result.status });
+    }
+    Ok(RestoreStats { instructions: result.instructions })
+}

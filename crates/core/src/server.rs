@@ -1,0 +1,285 @@
+//! The authentication server (the paper's `server.py`): holds
+//! `enclave.secret.meta` and, in remote mode, `enclave.secret.data`, and
+//! releases them only to an enclave that passes remote attestation.
+
+use crate::error::ServerError;
+use crate::meta::SecretMeta;
+use crate::protocol::{encrypt_msg, serve_connection};
+use elide_crypto::dh::DhKeyPair;
+use elide_crypto::rng::{OsRandom, RandomSource};
+use elide_crypto::sha2::Sha256;
+use sgx_sim::quote::{AttestationService, Quote};
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// What the server expects the attested enclave to look like.
+#[derive(Debug, Clone, Default)]
+pub struct ExpectedIdentity {
+    /// Required MRENCLAVE (the *sanitized* enclave's measurement).
+    pub mrenclave: Option<[u8; 32]>,
+    /// Required MRSIGNER (the vendor key fingerprint).
+    pub mrsigner: Option<[u8; 32]>,
+}
+
+/// Per-connection session state: the channel key established by one
+/// attested handshake. Each TCP connection (or in-process client) gets its
+/// own, so concurrent clients cannot interfere.
+#[derive(Default, Clone)]
+pub struct SessionState {
+    key: Option<[u8; 16]>,
+}
+
+impl std::fmt::Debug for SessionState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionState").field("established", &self.key.is_some()).finish()
+    }
+}
+
+impl SessionState {
+    /// Creates an empty (pre-handshake) session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True once a handshake succeeded on this session.
+    pub fn is_established(&self) -> bool {
+        self.key.is_some()
+    }
+}
+
+/// The developer-controlled trusted remote party.
+pub struct AuthServer {
+    meta: SecretMeta,
+    data: Vec<u8>,
+    expected: ExpectedIdentity,
+    ias: AttestationService,
+    default_session: SessionState,
+    rng: Box<dyn RandomSource + Send>,
+    /// Count of successful handshakes (for tests and monitoring).
+    pub handshakes: u64,
+}
+
+impl std::fmt::Debug for AuthServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuthServer")
+            .field("meta", &self.meta)
+            .field("data_len", &self.data.len())
+            .field("session", &self.default_session.is_established())
+            .finish_non_exhaustive()
+    }
+}
+
+impl AuthServer {
+    /// Creates a server from the sanitizer outputs. `data` is the plaintext
+    /// secret payload (empty is fine in local mode, where the enclave ships
+    /// the ciphertext and only needs the key from the meta).
+    pub fn new(
+        meta: SecretMeta,
+        data: Vec<u8>,
+        expected: ExpectedIdentity,
+        ias: AttestationService,
+    ) -> Self {
+        AuthServer {
+            meta,
+            data,
+            expected,
+            ias,
+            default_session: SessionState::new(),
+            rng: Box::new(OsRandom),
+            handshakes: 0,
+        }
+    }
+
+    /// Replaces the RNG (seeded in tests).
+    pub fn with_rng(mut self, rng: Box<dyn RandomSource + Send>) -> Self {
+        self.rng = rng;
+        self
+    }
+
+    /// Handles one request on the server's default session — the
+    /// single-client path used by in-process transports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError`] on attestation or protocol failures.
+    pub fn handle(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ServerError> {
+        let mut session = std::mem::take(&mut self.default_session);
+        let result = self.handle_with_session(&mut session, req, payload);
+        self.default_session = session;
+        result
+    }
+
+    /// Handles one request against an explicit per-connection session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServerError`] on attestation or protocol failures.
+    pub fn handle_with_session(
+        &mut self,
+        session: &mut SessionState,
+        req: u8,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, ServerError> {
+        match req as u64 {
+            crate::elide_asm::request::HANDSHAKE => {
+                let (response, key) = self.handshake(payload)?;
+                session.key = Some(key);
+                Ok(response)
+            }
+            crate::elide_asm::request::META => {
+                let key = session.key.ok_or(ServerError::NoSession)?;
+                Ok(encrypt_msg(&key, &self.meta.to_body(), self.rng.as_mut()))
+            }
+            crate::elide_asm::request::DATA => {
+                let key = session.key.ok_or(ServerError::NoSession)?;
+                if self.meta.is_local() {
+                    // Local mode: the data never leaves via the wire; the
+                    // enclave should have asked for the meta (key) only.
+                    return Err(ServerError::BadRequest);
+                }
+                Ok(encrypt_msg(&key, &self.data.clone(), self.rng.as_mut()))
+            }
+            other => Err(ServerError::UnknownRequest(other as u8)),
+        }
+    }
+
+    /// Attested handshake: payload is `[quote_len u32][quote][dh_pub]`.
+    /// Verifies the quote against the attestation service and the expected
+    /// identity, checks that the quote's report data binds the DH public
+    /// value, and returns `(server_dh_pub, session_key)`.
+    fn handshake(&mut self, payload: &[u8]) -> Result<(Vec<u8>, [u8; 16]), ServerError> {
+        if payload.len() < 4 {
+            return Err(ServerError::BadRequest);
+        }
+        let quote_len =
+            u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+        let rest = payload.get(4..).ok_or(ServerError::BadRequest)?;
+        if rest.len() < quote_len {
+            return Err(ServerError::BadRequest);
+        }
+        let quote = Quote::from_bytes(&rest[..quote_len]).ok_or(ServerError::BadRequest)?;
+        let client_pub = &rest[quote_len..];
+        if client_pub.is_empty() {
+            return Err(ServerError::BadRequest);
+        }
+
+        self.ias.verify_quote(&quote).map_err(|_| ServerError::AttestationFailed)?;
+        if let Some(expected) = self.expected.mrenclave {
+            if quote.mrenclave != expected {
+                return Err(ServerError::WrongEnclave);
+            }
+        }
+        if let Some(expected) = self.expected.mrsigner {
+            if quote.mrsigner != expected {
+                return Err(ServerError::WrongEnclave);
+            }
+        }
+        // The report data must be SHA-256 of the DH public value: this is
+        // what stops an attacker splicing their own key into an honest
+        // enclave's attestation.
+        let digest = Sha256::digest(client_pub);
+        if quote.report_data[..32] != digest {
+            return Err(ServerError::BadBinding);
+        }
+
+        let kp = DhKeyPair::generate(self.rng.as_mut());
+        let session =
+            kp.derive_session_key(client_pub).ok_or(ServerError::BadBinding)?;
+        self.handshakes += 1;
+        Ok((kp.public_bytes(), session))
+    }
+
+    /// True once the default session is established (tests).
+    pub fn has_session(&self) -> bool {
+        self.default_session.is_established()
+    }
+}
+
+/// Spawns a thread serving `server` over TCP, one handler thread per
+/// connection (each with an isolated session). The accept loop exits when
+/// the listener errors (e.g. is closed) or after accepting
+/// `max_connections` connections when `Some`; it then joins its handlers.
+pub fn serve_tcp(
+    listener: TcpListener,
+    server: Arc<Mutex<AuthServer>>,
+    max_connections: Option<usize>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut served = 0usize;
+        let mut handlers = Vec::new();
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { break };
+            let server = Arc::clone(&server);
+            handlers.push(std::thread::spawn(move || {
+                let _ = serve_connection(&mut stream, &server);
+            }));
+            served += 1;
+            if let Some(max) = max_connections {
+                if served >= max {
+                    break;
+                }
+            }
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::SecretMeta;
+    use elide_crypto::rng::SeededRandom;
+
+    fn sample_meta(local: bool) -> SecretMeta {
+        SecretMeta {
+            flags: if local { 1 } else { 0 },
+            data_len: 4,
+            text_len: 4,
+            restore_offset: 0,
+            key: [1; 16],
+            iv: [2; 12],
+            tag: [3; 16],
+        }
+    }
+
+    fn server(local: bool) -> AuthServer {
+        AuthServer::new(
+            sample_meta(local),
+            b"data".to_vec(),
+            ExpectedIdentity::default(),
+            AttestationService::new(),
+        )
+        .with_rng(Box::new(SeededRandom::new(1)))
+    }
+
+    #[test]
+    fn meta_requires_session() {
+        let mut s = server(false);
+        assert_eq!(s.handle(1, &[]), Err(ServerError::NoSession));
+        assert_eq!(s.handle(2, &[]), Err(ServerError::NoSession));
+    }
+
+    #[test]
+    fn unknown_request_rejected() {
+        let mut s = server(false);
+        assert_eq!(s.handle(9, &[]), Err(ServerError::UnknownRequest(9)));
+    }
+
+    #[test]
+    fn malformed_handshake_rejected() {
+        let mut s = server(false);
+        assert_eq!(s.handle(3, &[]), Err(ServerError::BadRequest));
+        assert_eq!(s.handle(3, &[0xFF; 3]), Err(ServerError::BadRequest));
+        // Declared quote length longer than payload.
+        let mut p = vec![0u8; 8];
+        p[..4].copy_from_slice(&100u32.to_le_bytes());
+        assert_eq!(s.handle(3, &p), Err(ServerError::BadRequest));
+    }
+
+    // Full handshake paths are covered by the end-to-end tests in
+    // `restore.rs` and the integration suite, where a real enclave,
+    // quoting enclave and attestation service exist.
+}

@@ -1,0 +1,614 @@
+//! Arbitrary-precision unsigned integers, sized for the needs of RSA
+//! signature verification (SIGSTRUCT) and classic Diffie–Hellman.
+//!
+//! Little-endian `u64` limbs, schoolbook multiplication and shift-subtract
+//! division. Performance is more than adequate for the handful of public-key
+//! operations per enclave launch that the SgxElide flow performs.
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// use elide_crypto::bignum::BigUint;
+/// let a = BigUint::from_u64(7);
+/// let b = BigUint::from_u64(9);
+/// assert_eq!(a.mul(&b).to_u64(), Some(63));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct BigUint {
+    // Invariant: no trailing zero limbs; zero is the empty vector.
+    limbs: Vec<u64>,
+}
+
+impl std::fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BigUint(0x")?;
+        if self.limbs.is_empty() {
+            write!(f, "0")?;
+        }
+        for (i, limb) in self.limbs.iter().rev().enumerate() {
+            if i == 0 {
+                write!(f, "{limb:x}")?;
+            } else {
+                write!(f, "{limb:016x}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+impl std::fmt::Display for BigUint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.limbs
+            .len()
+            .cmp(&other.limbs.len())
+            .then_with(|| self.limbs.iter().rev().cmp(other.limbs.iter().rev()))
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint::from_u64(1)
+    }
+
+    /// Creates from a `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Creates from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        let mut cur: u64 = 0;
+        let mut shift = 0;
+        for &b in bytes.iter().rev() {
+            cur |= (b as u64) << shift;
+            shift += 8;
+            if shift == 64 {
+                limbs.push(cur);
+                cur = 0;
+                shift = 0;
+            }
+        }
+        if cur != 0 || shift != 0 {
+            limbs.push(cur);
+        }
+        let mut n = BigUint { limbs };
+        n.normalize();
+        n
+    }
+
+    /// Serializes to big-endian bytes with no leading zeros (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        while out.first() == Some(&0) {
+            out.remove(0);
+        }
+        out
+    }
+
+    /// Serializes to exactly `len` big-endian bytes, left-padded with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_bytes_be_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(raw.len() <= len, "value does not fit in {len} bytes");
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// True if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True if the low bit is set.
+    pub fn is_odd(&self) -> bool {
+        self.limbs.first().is_some_and(|l| l & 1 == 1)
+    }
+
+    /// Number of significant bits.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        self.limbs.get(limb).is_some_and(|l| (l >> (i % 64)) & 1 == 1)
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self - other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint::sub would underflow");
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, u1) = self.limbs[i].overflowing_sub(b);
+            let (d2, u2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (u1 as u64) + (u2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self * other`.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u128 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let t = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self << bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// `self >> bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs[limb_shift..]);
+        } else {
+            let src = &self.limbs[limb_shift..];
+            for i in 0..src.len() {
+                let hi = src.get(i + 1).copied().unwrap_or(0);
+                out.push((src[i] >> bit_shift) | (hi << (64 - bit_shift)));
+            }
+        }
+        let mut n = BigUint { limbs: out };
+        n.normalize();
+        n
+    }
+
+    /// Returns `(quotient, remainder)` of `self / divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn divrem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self < divisor {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            // Fast path: single-limb divisor.
+            let d = divisor.limbs[0] as u128;
+            let mut q = vec![0u64; self.limbs.len()];
+            let mut rem: u128 = 0;
+            for i in (0..self.limbs.len()).rev() {
+                let cur = (rem << 64) | self.limbs[i] as u128;
+                q[i] = (cur / d) as u64;
+                rem = cur % d;
+            }
+            let mut qn = BigUint { limbs: q };
+            qn.normalize();
+            return (qn, BigUint::from_u64(rem as u64));
+        }
+        self.divrem_knuth(divisor)
+    }
+
+    /// Multi-limb division, Knuth TAOCP vol. 2 Algorithm D.
+    fn divrem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        const B: u128 = 1 << 64;
+        let n = divisor.limbs.len();
+        let m = self.limbs.len() - n;
+
+        // D1: normalize so the divisor's top limb has its high bit set.
+        let shift = divisor.limbs[n - 1].leading_zeros() as usize;
+        let vn = divisor.shl(shift).limbs;
+        let mut un = self.shl(shift).limbs;
+        un.resize(self.limbs.len() + 1, 0); // extra high limb for D2..D7
+
+        let mut q = vec![0u64; m + 1];
+        // D2..D7: loop over quotient digits, most significant first.
+        for j in (0..=m).rev() {
+            // D3: estimate qhat from the top two dividend limbs.
+            let top = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+            let mut qhat = top / vn[n - 1] as u128;
+            let mut rhat = top % vn[n - 1] as u128;
+            while qhat >= B
+                || (n >= 2
+                    && qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128))
+            {
+                qhat -= 1;
+                rhat += vn[n - 1] as u128;
+                if rhat >= B {
+                    break;
+                }
+            }
+            // D4: multiply and subtract.
+            let mut borrow: i128 = 0;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let p = qhat * vn[i] as u128 + carry;
+                carry = p >> 64;
+                let t = un[i + j] as i128 - (p as u64) as i128 + borrow;
+                un[i + j] = t as u64;
+                borrow = t >> 64;
+            }
+            let t = un[j + n] as i128 - carry as i128 + borrow;
+            un[j + n] = t as u64;
+            // D5/D6: if we subtracted too much, add the divisor back.
+            if t < 0 {
+                qhat -= 1;
+                let mut carry: u128 = 0;
+                for i in 0..n {
+                    let s = un[i + j] as u128 + vn[i] as u128 + carry;
+                    un[i + j] = s as u64;
+                    carry = s >> 64;
+                }
+                un[j + n] = un[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = qhat as u64;
+        }
+
+        let mut quotient = BigUint { limbs: q };
+        quotient.normalize();
+        let mut rem = BigUint { limbs: un[..n].to_vec() };
+        rem.normalize();
+        (quotient, rem.shr(shift))
+    }
+
+    /// `self mod m`.
+    pub fn rem(&self, m: &BigUint) -> BigUint {
+        self.divrem(m).1
+    }
+
+    /// Modular exponentiation: `self^exp mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn modpow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modpow modulus must be nonzero");
+        if m == &BigUint::one() {
+            return BigUint::zero();
+        }
+        let mut base = self.rem(m);
+        let mut result = BigUint::one();
+        for i in 0..exp.bits() {
+            if exp.bit(i) {
+                result = result.mul(&base).rem(m);
+            }
+            if i + 1 < exp.bits() {
+                base = base.mul(&base).rem(m);
+            }
+        }
+        result
+    }
+
+    /// Modular inverse via extended Euclid, if it exists.
+    pub fn modinv(&self, m: &BigUint) -> Option<BigUint> {
+        // Extended Euclid with signed coefficients tracked as (sign, magnitude).
+        let mut r0 = m.clone();
+        let mut r1 = self.rem(m);
+        // t coefficients: t0 = 0, t1 = 1; signs: false = non-negative.
+        let mut t0 = (false, BigUint::zero());
+        let mut t1 = (false, BigUint::one());
+        while !r1.is_zero() {
+            let (q, r2) = r0.divrem(&r1);
+            // t2 = t0 - q * t1
+            let qt1 = q.mul(&t1.1);
+            let t2 = signed_sub(&t0, &(t1.0, qt1));
+            r0 = r1;
+            r1 = r2;
+            t0 = t1;
+            t1 = t2;
+        }
+        if r0 != BigUint::one() {
+            return None;
+        }
+        // Normalize t0 into [0, m).
+        let val = if t0.0 { m.sub(&t0.1.rem(m)).rem(m) } else { t0.1.rem(m) };
+        Some(val)
+    }
+}
+
+/// Computes `a - b` on sign-magnitude pairs.
+fn signed_sub(a: &(bool, BigUint), b: &(bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        // a - b with both non-negative.
+        (false, false) => {
+            if a.1 >= b.1 {
+                (false, a.1.sub(&b.1))
+            } else {
+                (true, b.1.sub(&a.1))
+            }
+        }
+        // a - (-b) = a + b
+        (false, true) => (false, a.1.add(&b.1)),
+        // -a - b = -(a + b)
+        (true, false) => (true, a.1.add(&b.1)),
+        // -a - (-b) = b - a
+        (true, true) => {
+            if b.1 >= a.1 {
+                (false, b.1.sub(&a.1))
+            } else {
+                (true, a.1.sub(&b.1))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let n = BigUint::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(n.to_bytes_be(), vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+    }
+
+    #[test]
+    fn leading_zero_bytes_ignored() {
+        let a = BigUint::from_bytes_be(&[0, 0, 0, 5]);
+        assert_eq!(a, BigUint::from_u64(5));
+        assert_eq!(a.to_bytes_be(), vec![5]);
+    }
+
+    #[test]
+    fn padded_serialization() {
+        let a = BigUint::from_u64(0x1234);
+        assert_eq!(a.to_bytes_be_padded(4), vec![0, 0, 0x12, 0x34]);
+    }
+
+    #[test]
+    fn add_with_carry_chain() {
+        let a = BigUint::from_bytes_be(&[0xff; 16]);
+        let one = BigUint::one();
+        let sum = a.add(&one);
+        let mut expect = vec![1u8];
+        expect.extend(vec![0u8; 16]);
+        assert_eq!(sum.to_bytes_be(), expect);
+        assert_eq!(sum.sub(&one), a);
+    }
+
+    #[test]
+    fn division_known() {
+        let a = BigUint::from_u64(1_000_003);
+        let b = BigUint::from_u64(997);
+        let (q, r) = a.divrem(&b);
+        assert_eq!(q.to_u64(), Some(1_000_003 / 997));
+        assert_eq!(r.to_u64(), Some(1_000_003 % 997));
+    }
+
+    #[test]
+    fn modpow_small() {
+        let b = BigUint::from_u64(4);
+        let e = BigUint::from_u64(13);
+        let m = BigUint::from_u64(497);
+        assert_eq!(b.modpow(&e, &m).to_u64(), Some(445));
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // 2^(p-1) ≡ 1 (mod p) for prime p.
+        let p = BigUint::from_u64(1_000_000_007);
+        let e = BigUint::from_u64(1_000_000_006);
+        assert_eq!(BigUint::from_u64(2).modpow(&e, &p), BigUint::one());
+    }
+
+    #[test]
+    fn modinv_known() {
+        let a = BigUint::from_u64(3);
+        let m = BigUint::from_u64(11);
+        assert_eq!(a.modinv(&m).unwrap().to_u64(), Some(4));
+        // No inverse when gcd != 1.
+        assert!(BigUint::from_u64(6).modinv(&BigUint::from_u64(9)).is_none());
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from_u64(0b1011);
+        assert_eq!(a.shl(65).shr(65), a);
+        assert_eq!(a.shl(3).to_u64(), Some(0b1011000));
+        assert_eq!(a.shr(2).to_u64(), Some(0b10));
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        let a = BigUint::from_u64(0x8000_0000_0000_0000);
+        assert_eq!(a.bits(), 64);
+        assert!(a.bit(63));
+        assert!(!a.bit(62));
+        assert_eq!(BigUint::zero().bits(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+            let ab = BigUint::from_bytes_be(&a.to_be_bytes());
+            let bb = BigUint::from_bytes_be(&b.to_be_bytes());
+            prop_assert_eq!(ab.add(&bb).sub(&bb), ab);
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+            let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
+            let expect = (a as u128) * (b as u128);
+            prop_assert_eq!(prod.to_bytes_be(), BigUint::from_bytes_be(&expect.to_be_bytes()).to_bytes_be());
+        }
+
+        #[test]
+        fn prop_divrem_invariant(a in any::<u128>(), b in 1u64..) {
+            let ab = BigUint::from_bytes_be(&a.to_be_bytes());
+            let bb = BigUint::from_u64(b);
+            let (q, r) = ab.divrem(&bb);
+            prop_assert!(r < bb);
+            prop_assert_eq!(q.mul(&bb).add(&r), ab);
+        }
+
+        #[test]
+        fn prop_divrem_multilimb(a in proptest::collection::vec(any::<u64>(), 1..12),
+                                 b in proptest::collection::vec(any::<u64>(), 1..6)) {
+            let ab = BigUint { limbs: a }.add(&BigUint::zero()); // normalize
+            let mut bb = BigUint { limbs: b }.add(&BigUint::zero());
+            if bb.is_zero() { bb = BigUint::one(); }
+            let (q, r) = ab.divrem(&bb);
+            prop_assert!(r < bb);
+            prop_assert_eq!(q.mul(&bb).add(&r), ab);
+        }
+
+        #[test]
+        fn prop_divrem_big_divisor(a in any::<u128>(), b in any::<u128>()) {
+            prop_assume!(b != 0);
+            let ab = BigUint::from_bytes_be(&a.to_be_bytes());
+            let bb = BigUint::from_bytes_be(&b.to_be_bytes());
+            let (q, r) = ab.divrem(&bb);
+            prop_assert!(r < bb);
+            prop_assert_eq!(q.mul(&bb).add(&r), ab);
+        }
+
+        #[test]
+        fn prop_modpow_matches_naive(b in 0u64..1000, e in 0u64..30, m in 2u64..10000) {
+            let expect = {
+                let mut acc: u128 = 1;
+                for _ in 0..e { acc = acc * b as u128 % m as u128; }
+                acc as u64
+            };
+            let got = BigUint::from_u64(b).modpow(&BigUint::from_u64(e), &BigUint::from_u64(m));
+            prop_assert_eq!(got.to_u64(), Some(expect));
+        }
+
+        #[test]
+        fn prop_modinv_is_inverse(a in 1u64.., m in 3u64..) {
+            let ab = BigUint::from_u64(a);
+            let mb = BigUint::from_u64(m);
+            if let Some(inv) = ab.modinv(&mb) {
+                prop_assert_eq!(ab.mul(&inv).rem(&mb), BigUint::one());
+            }
+        }
+    }
+}

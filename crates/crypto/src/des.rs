@@ -1,0 +1,247 @@
+//! DES block cipher (FIPS 46-3).
+//!
+//! DES is one of the paper's seven benchmarks (ported from tarequeh/DES); it
+//! is implemented here as the host reference against which the enclave guest
+//! program is differentially tested. It is *not* used for any protocol
+//! security purpose.
+
+/// DES block size in bytes.
+pub const BLOCK_SIZE: usize = 8;
+
+// Initial permutation.
+pub const IP: [u8; 64] = [
+    58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4, 62, 54, 46, 38, 30, 22, 14, 6,
+    64, 56, 48, 40, 32, 24, 16, 8, 57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
+    61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+];
+
+// Final permutation (inverse of IP).
+pub const FP: [u8; 64] = [
+    40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31, 38, 6, 46, 14, 54, 22, 62, 30,
+    37, 5, 45, 13, 53, 21, 61, 29, 36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+    34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25,
+];
+
+// Expansion from 32 to 48 bits.
+pub const E: [u8; 48] = [
+    32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9, 8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17, 16, 17,
+    18, 19, 20, 21, 20, 21, 22, 23, 24, 25, 24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+];
+
+// P permutation applied to the S-box output.
+pub const P: [u8; 32] = [
+    16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10, 2, 8, 24, 14, 32, 27, 3, 9, 19,
+    13, 30, 6, 22, 11, 4, 25,
+];
+
+// Permuted choice 1 (key schedule).
+pub const PC1: [u8; 56] = [
+    57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18, 10, 2, 59, 51, 43, 35, 27, 19, 11, 3,
+    60, 52, 44, 36, 63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22, 14, 6, 61, 53, 45, 37,
+    29, 21, 13, 5, 28, 20, 12, 4,
+];
+
+// Permuted choice 2 (key schedule).
+pub const PC2: [u8; 48] = [
+    14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10, 23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2, 41,
+    52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48, 44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+];
+
+pub const SHIFTS: [u8; 16] = [1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1];
+
+pub const SBOX: [[u8; 64]; 8] = [
+    [
+        14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7, 0, 15, 7, 4, 14, 2, 13, 1, 10, 6,
+        12, 11, 9, 5, 3, 8, 4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0, 15, 12, 8, 2,
+        4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+    ],
+    [
+        15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10, 3, 13, 4, 7, 15, 2, 8, 14, 12, 0,
+        1, 10, 6, 9, 11, 5, 0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15, 13, 8, 10, 1,
+        3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+    ],
+    [
+        10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8, 13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5,
+        14, 12, 11, 15, 1, 13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7, 1, 10, 13, 0, 6,
+        9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+    ],
+    [
+        7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15, 13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2,
+        12, 1, 10, 14, 9, 10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4, 3, 15, 0, 6, 10,
+        1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+    ],
+    [
+        2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9, 14, 11, 2, 12, 4, 7, 13, 1, 5, 0,
+        15, 10, 3, 9, 8, 6, 4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14, 11, 8, 12, 7,
+        1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+    ],
+    [
+        12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11, 10, 15, 4, 2, 7, 12, 9, 5, 6, 1,
+        13, 14, 0, 11, 3, 8, 9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6, 4, 3, 2, 12,
+        9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+    ],
+    [
+        4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1, 13, 0, 11, 7, 4, 9, 1, 10, 14, 3,
+        5, 12, 2, 15, 8, 6, 1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2, 6, 11, 13, 8,
+        1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+    ],
+    [
+        13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7, 1, 15, 13, 8, 10, 3, 7, 4, 12, 5,
+        6, 11, 0, 14, 9, 2, 7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8, 2, 1, 14, 7,
+        4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+    ],
+];
+
+fn permute(input: u64, table: &[u8], in_bits: u32) -> u64 {
+    let mut out = 0u64;
+    for &pos in table {
+        out = (out << 1) | ((input >> (in_bits - pos as u32)) & 1);
+    }
+    out
+}
+
+/// DES context holding the 16 round subkeys.
+///
+/// # Examples
+///
+/// ```
+/// use elide_crypto::des::Des;
+/// let des = Des::new(&[0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1]);
+/// let ct = des.encrypt_block(0x0123456789ABCDEF);
+/// assert_eq!(des.decrypt_block(ct), 0x0123456789ABCDEF);
+/// ```
+#[derive(Clone)]
+pub struct Des {
+    subkeys: [u64; 16],
+}
+
+impl std::fmt::Debug for Des {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Des").finish_non_exhaustive()
+    }
+}
+
+impl Des {
+    /// Creates a DES context from an 8-byte key (parity bits ignored).
+    pub fn new(key: &[u8; 8]) -> Self {
+        let k = u64::from_be_bytes(*key);
+        let pc1 = permute(k, &PC1, 64); // 56 bits
+        let mut c = (pc1 >> 28) & 0x0FFF_FFFF;
+        let mut d = pc1 & 0x0FFF_FFFF;
+        let mut subkeys = [0u64; 16];
+        for (i, &s) in SHIFTS.iter().enumerate() {
+            c = ((c << s) | (c >> (28 - s as u32))) & 0x0FFF_FFFF;
+            d = ((d << s) | (d >> (28 - s as u32))) & 0x0FFF_FFFF;
+            subkeys[i] = permute((c << 28) | d, &PC2, 56);
+        }
+        Des { subkeys }
+    }
+
+    fn feistel(r: u32, subkey: u64) -> u32 {
+        let expanded = permute(r as u64, &E, 32) ^ subkey; // 48 bits
+        let mut out = 0u32;
+        for (i, sbox) in SBOX.iter().enumerate() {
+            let six = ((expanded >> (42 - 6 * i)) & 0x3F) as usize;
+            let row = ((six >> 4) & 2) | (six & 1);
+            let col = (six >> 1) & 0xF;
+            out = (out << 4) | sbox[row * 16 + col] as u32;
+        }
+        permute(out as u64, &P, 32) as u32
+    }
+
+    fn crypt(&self, block: u64, decrypt: bool) -> u64 {
+        let ip = permute(block, &IP, 64);
+        let mut l = (ip >> 32) as u32;
+        let mut r = ip as u32;
+        for i in 0..16 {
+            let k = if decrypt { self.subkeys[15 - i] } else { self.subkeys[i] };
+            let next_r = l ^ Self::feistel(r, k);
+            l = r;
+            r = next_r;
+        }
+        // Note the swap: (R16, L16).
+        permute(((r as u64) << 32) | l as u64, &FP, 64)
+    }
+
+    /// Encrypts one 64-bit block.
+    pub fn encrypt_block(&self, block: u64) -> u64 {
+        self.crypt(block, false)
+    }
+
+    /// Decrypts one 64-bit block.
+    pub fn decrypt_block(&self, block: u64) -> u64 {
+        self.crypt(block, true)
+    }
+
+    /// Encrypts a byte buffer in ECB mode (length must be a multiple of 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of the block size.
+    pub fn encrypt_ecb(&self, data: &mut [u8]) {
+        assert_eq!(data.len() % 8, 0, "DES ECB input must be block aligned");
+        for chunk in data.chunks_exact_mut(8) {
+            let b = u64::from_be_bytes(chunk.try_into().unwrap());
+            chunk.copy_from_slice(&self.encrypt_block(b).to_be_bytes());
+        }
+    }
+
+    /// Decrypts a byte buffer in ECB mode (length must be a multiple of 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of the block size.
+    pub fn decrypt_ecb(&self, data: &mut [u8]) {
+        assert_eq!(data.len() % 8, 0, "DES ECB input must be block aligned");
+        for chunk in data.chunks_exact_mut(8) {
+            let b = u64::from_be_bytes(chunk.try_into().unwrap());
+            chunk.copy_from_slice(&self.decrypt_block(b).to_be_bytes());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Classic worked example (Stallings / FIPS validation vector).
+    #[test]
+    fn known_vector() {
+        let des = Des::new(&[0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1]);
+        assert_eq!(des.encrypt_block(0x0123456789ABCDEF), 0x85E813540F0AB405);
+    }
+
+    #[test]
+    fn weak_key_all_zero_vector() {
+        // With an all-zero key, E(0) is a published vector.
+        let des = Des::new(&[0u8; 8]);
+        assert_eq!(des.encrypt_block(0), 0x8CA64DE9C1B123A7);
+    }
+
+    #[test]
+    fn roundtrip_many_blocks() {
+        let des = Des::new(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        for i in 0..64u64 {
+            let pt = i.wrapping_mul(0x9E3779B97F4A7C15);
+            assert_eq!(des.decrypt_block(des.encrypt_block(pt)), pt);
+        }
+    }
+
+    #[test]
+    fn ecb_roundtrip() {
+        let des = Des::new(&[9, 9, 9, 9, 9, 9, 9, 9]);
+        let mut data: Vec<u8> = (0..64u8).collect();
+        let orig = data.clone();
+        des.encrypt_ecb(&mut data);
+        assert_ne!(data, orig);
+        des.decrypt_ecb(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    #[should_panic(expected = "block aligned")]
+    fn ecb_unaligned_panics() {
+        let des = Des::new(&[0u8; 8]);
+        des.encrypt_ecb(&mut [0u8; 7]);
+    }
+}

@@ -1,0 +1,269 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! This is the cipher the paper uses both for the client/server channel and
+//! for locally stored secret data ("The client and server communicate using
+//! AES GCM encryption, and if the secret data is encrypted on disk it also
+//! uses AES GCM", §5). It mirrors the SGX SDK's `sgx_rijndael128GCM_*` API.
+
+use crate::aes::{ctr_xor, Aes};
+use crate::error::CryptoError;
+
+/// GCM nonce (IV) length in bytes. We use the standard 96-bit IV.
+pub const IV_LEN: usize = 12;
+/// GCM authentication tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Multiplies two elements of GF(2^128) as defined for GHASH.
+fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = x;
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+fn ghash(h: u128, aad: &[u8], ct: &[u8]) -> u128 {
+    let mut y = 0u128;
+    let absorb = |data: &[u8], y: &mut u128| {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            *y = gf_mul(*y ^ u128::from_be_bytes(block), h);
+        }
+    };
+    absorb(aad, &mut y);
+    absorb(ct, &mut y);
+    let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+    gf_mul(y ^ lens, h)
+}
+
+/// AES-GCM context bound to one key.
+///
+/// # Examples
+///
+/// ```
+/// use elide_crypto::gcm::AesGcm;
+/// # fn main() -> Result<(), elide_crypto::CryptoError> {
+/// let gcm = AesGcm::new(&[0x42; 16])?;
+/// let iv = [7u8; 12];
+/// let (ct, tag) = gcm.seal(&iv, b"metadata", b"secret code bytes");
+/// let pt = gcm.open(&iv, b"metadata", &ct, &tag)?;
+/// assert_eq!(pt, b"secret code bytes");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    h: u128,
+}
+
+impl std::fmt::Debug for AesGcm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AesGcm").finish_non_exhaustive()
+    }
+}
+
+impl AesGcm {
+    /// Creates a context from a 16- or 32-byte AES key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeyLength`] for other key sizes.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        let aes = Aes::new(key)?;
+        let mut hb = [0u8; 16];
+        aes.encrypt_block(&mut hb);
+        Ok(AesGcm { aes, h: u128::from_be_bytes(hb) })
+    }
+
+    fn j0(&self, iv: &[u8; IV_LEN]) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..IV_LEN].copy_from_slice(iv);
+        j0[15] = 1;
+        j0
+    }
+
+    /// Encrypts `plaintext`, authenticating it together with `aad`.
+    ///
+    /// Returns the ciphertext and the 16-byte tag.
+    pub fn seal(&self, iv: &[u8; IV_LEN], aad: &[u8], plaintext: &[u8]) -> (Vec<u8>, [u8; TAG_LEN]) {
+        let j0 = self.j0(iv);
+        let mut ctr1 = j0;
+        let c = u32::from_be_bytes([ctr1[12], ctr1[13], ctr1[14], ctr1[15]]).wrapping_add(1);
+        ctr1[12..16].copy_from_slice(&c.to_be_bytes());
+
+        let mut ct = plaintext.to_vec();
+        ctr_xor(&self.aes, &ctr1, &mut ct);
+
+        let s = ghash(self.h, aad, &ct);
+        let mut tag_block = j0;
+        self.aes.encrypt_block(&mut tag_block);
+        let tag = (u128::from_be_bytes(tag_block) ^ s).to_be_bytes();
+        (ct, tag)
+    }
+
+    /// Decrypts `ciphertext`, verifying the tag over it and `aad`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::AuthenticationFailed`] if the tag does not
+    /// verify; no plaintext is released in that case.
+    pub fn open(
+        &self,
+        iv: &[u8; IV_LEN],
+        aad: &[u8],
+        ciphertext: &[u8],
+        tag: &[u8; TAG_LEN],
+    ) -> Result<Vec<u8>, CryptoError> {
+        let j0 = self.j0(iv);
+        let s = ghash(self.h, aad, ciphertext);
+        let mut tag_block = j0;
+        self.aes.encrypt_block(&mut tag_block);
+        let expect = (u128::from_be_bytes(tag_block) ^ s).to_be_bytes();
+
+        // Constant-time-ish comparison: accumulate differences.
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        if diff != 0 {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+
+        let mut ctr1 = j0;
+        let c = u32::from_be_bytes([ctr1[12], ctr1[13], ctr1[14], ctr1[15]]).wrapping_add(1);
+        ctr1[12..16].copy_from_slice(&c.to_be_bytes());
+        let mut pt = ciphertext.to_vec();
+        ctr_xor(&self.aes, &ctr1, &mut pt);
+        Ok(pt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    // NIST GCM test case 1: empty plaintext, zero key/IV.
+    #[test]
+    fn nist_case_1_empty() {
+        let gcm = AesGcm::new(&[0u8; 16]).unwrap();
+        let iv = [0u8; 12];
+        let (ct, tag) = gcm.seal(&iv, &[], &[]);
+        assert!(ct.is_empty());
+        assert_eq!(tag.to_vec(), hex("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    // NIST GCM test case 2: one zero block.
+    #[test]
+    fn nist_case_2_single_block() {
+        let gcm = AesGcm::new(&[0u8; 16]).unwrap();
+        let iv = [0u8; 12];
+        let (ct, tag) = gcm.seal(&iv, &[], &[0u8; 16]);
+        assert_eq!(ct, hex("0388dace60b6a392f328c2b971b2fe78"));
+        assert_eq!(tag.to_vec(), hex("ab6e47d42cec13bdf53a67b21257bddf"));
+    }
+
+    // NIST GCM test case 4: AAD + 60-byte plaintext.
+    #[test]
+    fn nist_case_4_with_aad() {
+        let key = hex("feffe9928665731c6d6a8f9467308308");
+        let iv_v = hex("cafebabefacedbaddecaf888");
+        let mut iv = [0u8; 12];
+        iv.copy_from_slice(&iv_v);
+        let pt = hex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = hex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let gcm = AesGcm::new(&key).unwrap();
+        let (ct, tag) = gcm.seal(&iv, &aad, &pt);
+        assert_eq!(
+            ct,
+            hex(
+                "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+                 21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091"
+            )
+        );
+        assert_eq!(tag.to_vec(), hex("5bc94fbc3221a5db94fae95ae7121a47"));
+        let back = gcm.open(&iv, &aad, &ct, &tag).unwrap();
+        assert_eq!(back, pt);
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let gcm = AesGcm::new(&[9u8; 16]).unwrap();
+        let iv = [1u8; 12];
+        let (mut ct, tag) = gcm.seal(&iv, b"aad", b"top secret function bytes");
+        ct[3] ^= 1;
+        assert!(matches!(gcm.open(&iv, b"aad", &ct, &tag), Err(CryptoError::AuthenticationFailed)));
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let gcm = AesGcm::new(&[9u8; 16]).unwrap();
+        let iv = [1u8; 12];
+        let (ct, mut tag) = gcm.seal(&iv, &[], b"payload");
+        tag[0] ^= 0x80;
+        assert!(gcm.open(&iv, &[], &ct, &tag).is_err());
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let gcm = AesGcm::new(&[9u8; 16]).unwrap();
+        let iv = [1u8; 12];
+        let (ct, tag) = gcm.seal(&iv, b"aad-a", b"payload");
+        assert!(gcm.open(&iv, b"aad-b", &ct, &tag).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_seal_open_roundtrip(
+            key in any::<[u8; 16]>(),
+            iv in any::<[u8; 12]>(),
+            aad in proptest::collection::vec(any::<u8>(), 0..64),
+            pt in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let gcm = AesGcm::new(&key).unwrap();
+            let (ct, tag) = gcm.seal(&iv, &aad, &pt);
+            prop_assert_eq!(ct.len(), pt.len());
+            prop_assert_eq!(gcm.open(&iv, &aad, &ct, &tag).unwrap(), pt);
+        }
+
+        #[test]
+        fn prop_any_bit_flip_detected(
+            key in any::<[u8; 16]>(),
+            pt in proptest::collection::vec(any::<u8>(), 1..64),
+            flip in any::<usize>(),
+        ) {
+            let gcm = AesGcm::new(&key).unwrap();
+            let iv = [3u8; 12];
+            let (mut ct, tag) = gcm.seal(&iv, &[], &pt);
+            let bit = flip % (ct.len() * 8);
+            ct[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(gcm.open(&iv, &[], &ct, &tag).is_err());
+        }
+    }
+
+    #[test]
+    fn aes256_key_roundtrip() {
+        let gcm = AesGcm::new(&[0x11; 32]).unwrap();
+        let iv = [2u8; 12];
+        let (ct, tag) = gcm.seal(&iv, &[], b"with a 256-bit key");
+        assert_eq!(gcm.open(&iv, &[], &ct, &tag).unwrap(), b"with a 256-bit key");
+    }
+}

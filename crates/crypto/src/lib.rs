@@ -1,0 +1,45 @@
+//! # elide-crypto
+//!
+//! From-scratch cryptographic substrate for the SgxElide reproduction.
+//!
+//! The paper relies on the SGX SDK crypto library inside the enclave and
+//! python's `cryptography` package on the server; this crate replaces both
+//! with self-contained implementations:
+//!
+//! * [`aes`] / [`gcm`] — AES-128/256 and AES-GCM, the channel and sealing
+//!   cipher (`sgx_rijndael128GCM_*` analog).
+//! * [`sha1`] / [`sha2`] — hash functions; SHA-256 also backs enclave
+//!   measurement in `sgx-sim`.
+//! * [`hmac`] / [`kdf`] — MACs and key derivation (`EGETKEY` analog).
+//! * [`des`] — reference implementation for the DES benchmark.
+//! * [`bignum`] / [`prime`] / [`rsa`] — SIGSTRUCT signing and verification.
+//! * [`dh`] — the attested channel's key agreement.
+//! * [`rng`] — pluggable OS/seeded randomness.
+//!
+//! # Examples
+//!
+//! ```
+//! use elide_crypto::gcm::AesGcm;
+//! # fn main() -> Result<(), elide_crypto::CryptoError> {
+//! let gcm = AesGcm::new(&[0u8; 16])?;
+//! let (ct, tag) = gcm.seal(&[0u8; 12], b"", b"secret enclave text section");
+//! assert_eq!(gcm.open(&[0u8; 12], b"", &ct, &tag)?, b"secret enclave text section");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aes;
+pub mod bignum;
+pub mod des;
+pub mod dh;
+pub mod error;
+pub mod gcm;
+pub mod hmac;
+pub mod kdf;
+pub mod prime;
+pub mod rng;
+pub mod rsa;
+pub mod sha1;
+pub mod sha2;
+
+pub use error::CryptoError;

@@ -1,0 +1,279 @@
+//! RSA signatures with PKCS#1 v1.5-style padding over SHA-256.
+//!
+//! Real SGX verifies a 3072-bit RSA signature over the enclave measurement in
+//! SIGSTRUCT at `EINIT`. The simulator does exactly the same with keys from
+//! this module (key sizes are configurable so tests stay fast).
+
+use crate::bignum::BigUint;
+use crate::error::CryptoError;
+use crate::prime::generate_prime;
+use crate::rng::RandomSource;
+use crate::sha2::Sha256;
+
+/// An RSA public key (modulus and public exponent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: BigUint,
+    e: BigUint,
+}
+
+/// An RSA key pair.
+#[derive(Clone)]
+pub struct RsaKeyPair {
+    public: RsaPublicKey,
+    d: BigUint,
+}
+
+impl std::fmt::Debug for RsaKeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // The private exponent must never appear in logs.
+        f.debug_struct("RsaKeyPair").field("public", &self.public).finish_non_exhaustive()
+    }
+}
+
+/// DER-ish prefix marking a SHA-256 DigestInfo, as in PKCS#1 v1.5.
+const SHA256_PREFIX: [u8; 19] = [
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
+    0x05, 0x00, 0x04, 0x20,
+];
+
+impl RsaPublicKey {
+    /// Modulus size in bytes (the signature length).
+    pub fn modulus_len(&self) -> usize {
+        (self.n.bits() + 7) / 8
+    }
+
+    /// Serializes the key as `len(n) || n || len(e) || e` (u32 LE lengths).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.n.to_bytes_be();
+        let e = self.e.to_bytes_be();
+        let mut out = Vec::with_capacity(8 + n.len() + e.len());
+        out.extend_from_slice(&(n.len() as u32).to_le_bytes());
+        out.extend_from_slice(&n);
+        out.extend_from_slice(&(e.len() as u32).to_le_bytes());
+        out.extend_from_slice(&e);
+        out
+    }
+
+    /// Parses a key serialized by [`RsaPublicKey::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] on truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let err = |actual| CryptoError::InvalidLength { expected: 8, actual };
+        if bytes.len() < 4 {
+            return Err(err(bytes.len()));
+        }
+        let nlen = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        if bytes.len() < 4 + nlen + 4 {
+            return Err(err(bytes.len()));
+        }
+        let n = BigUint::from_bytes_be(&bytes[4..4 + nlen]);
+        let elen_off = 4 + nlen;
+        let elen = u32::from_le_bytes(bytes[elen_off..elen_off + 4].try_into().unwrap()) as usize;
+        if bytes.len() < elen_off + 4 + elen {
+            return Err(err(bytes.len()));
+        }
+        let e = BigUint::from_bytes_be(&bytes[elen_off + 4..elen_off + 4 + elen]);
+        Ok(RsaPublicKey { n, e })
+    }
+
+    /// Verifies a PKCS#1 v1.5 SHA-256 signature over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadSignature`] if verification fails.
+    pub fn verify(&self, message: &[u8], signature: &[u8]) -> Result<(), CryptoError> {
+        if signature.len() != self.modulus_len() {
+            return Err(CryptoError::BadSignature);
+        }
+        let s = BigUint::from_bytes_be(signature);
+        if s >= self.n {
+            return Err(CryptoError::BadSignature);
+        }
+        let em = s.modpow(&self.e, &self.n).to_bytes_be_padded(self.modulus_len());
+        let expect = pad_pkcs1(message, self.modulus_len())?;
+        if em == expect {
+            Ok(())
+        } else {
+            Err(CryptoError::BadSignature)
+        }
+    }
+
+    /// A stable fingerprint of the key (SHA-256 of its serialization); used
+    /// as the simulator's MRSIGNER value, matching SGX's definition of
+    /// MRSIGNER as the hash of the signer's public key.
+    pub fn fingerprint(&self) -> [u8; 32] {
+        Sha256::digest(&self.to_bytes())
+    }
+}
+
+fn pad_pkcs1(message: &[u8], k: usize) -> Result<Vec<u8>, CryptoError> {
+    let digest = Sha256::digest(message);
+    let t_len = SHA256_PREFIX.len() + 32;
+    if k < t_len + 11 {
+        return Err(CryptoError::MessageTooLarge);
+    }
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - t_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(&SHA256_PREFIX);
+    em.extend_from_slice(&digest);
+    Ok(em)
+}
+
+impl RsaKeyPair {
+    /// Generates a fresh key pair with a modulus of roughly `bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 512` (too small to pad a SHA-256 DigestInfo).
+    pub fn generate(bits: usize, rng: &mut dyn RandomSource) -> Self {
+        assert!(bits >= 512, "RSA modulus must be at least 512 bits");
+        let e = BigUint::from_u64(65537);
+        loop {
+            let p = generate_prime(bits / 2, rng);
+            let q = generate_prime(bits - bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let phi = p.sub(&BigUint::one()).mul(&q.sub(&BigUint::one()));
+            if let Some(d) = e.modinv(&phi) {
+                return RsaKeyPair { public: RsaPublicKey { n, e }, d };
+            }
+        }
+    }
+
+    /// Returns the public half.
+    pub fn public_key(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Serializes the key pair (public key bytes + private exponent).
+    ///
+    /// Simulator convenience: the output contains the PRIVATE key and must
+    /// be treated like one.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let pk = self.public.to_bytes();
+        let d = self.d.to_bytes_be();
+        let mut out = Vec::with_capacity(8 + pk.len() + d.len());
+        out.extend_from_slice(&(pk.len() as u32).to_le_bytes());
+        out.extend_from_slice(&pk);
+        out.extend_from_slice(&(d.len() as u32).to_le_bytes());
+        out.extend_from_slice(&d);
+        out
+    }
+
+    /// Parses a key pair serialized by [`RsaKeyPair::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidLength`] on truncated input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let err = |actual| CryptoError::InvalidLength { expected: 8, actual };
+        if bytes.len() < 4 {
+            return Err(err(bytes.len()));
+        }
+        let pk_len = u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        if bytes.len() < 4 + pk_len + 4 {
+            return Err(err(bytes.len()));
+        }
+        let public = RsaPublicKey::from_bytes(&bytes[4..4 + pk_len])?;
+        let off = 4 + pk_len;
+        let d_len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        if bytes.len() < off + 4 + d_len {
+            return Err(err(bytes.len()));
+        }
+        let d = BigUint::from_bytes_be(&bytes[off + 4..off + 4 + d_len]);
+        Ok(RsaKeyPair { public, d })
+    }
+
+    /// Signs `message` with PKCS#1 v1.5 SHA-256 padding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MessageTooLarge`] if the modulus is too small.
+    pub fn sign(&self, message: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        let k = self.public.modulus_len();
+        let em = pad_pkcs1(message, k)?;
+        let m = BigUint::from_bytes_be(&em);
+        Ok(m.modpow(&self.d, &self.public.n).to_bytes_be_padded(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRandom;
+
+    fn test_keypair() -> RsaKeyPair {
+        let mut rng = SeededRandom::new(0xE11DE);
+        RsaKeyPair::generate(512, &mut rng)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let kp = test_keypair();
+        let sig = kp.sign(b"enclave measurement").unwrap();
+        kp.public_key().verify(b"enclave measurement", &sig).unwrap();
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let kp = test_keypair();
+        let sig = kp.sign(b"message a").unwrap();
+        assert_eq!(
+            kp.public_key().verify(b"message b", &sig),
+            Err(CryptoError::BadSignature)
+        );
+    }
+
+    #[test]
+    fn corrupted_signature_rejected() {
+        let kp = test_keypair();
+        let mut sig = kp.sign(b"m").unwrap();
+        sig[0] ^= 1;
+        assert!(kp.public_key().verify(b"m", &sig).is_err());
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let kp1 = test_keypair();
+        let mut rng = SeededRandom::new(99);
+        let kp2 = RsaKeyPair::generate(512, &mut rng);
+        let sig = kp1.sign(b"m").unwrap();
+        assert!(kp2.public_key().verify(b"m", &sig).is_err());
+    }
+
+    #[test]
+    fn public_key_serialization_roundtrip() {
+        let kp = test_keypair();
+        let bytes = kp.public_key().to_bytes();
+        let back = RsaPublicKey::from_bytes(&bytes).unwrap();
+        assert_eq!(&back, kp.public_key());
+        assert!(RsaPublicKey::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(RsaPublicKey::from_bytes(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn keypair_serialization_roundtrip() {
+        let kp = test_keypair();
+        let back = RsaKeyPair::from_bytes(&kp.to_bytes()).unwrap();
+        let sig = back.sign(b"still works").unwrap();
+        kp.public_key().verify(b"still works", &sig).unwrap();
+        assert!(RsaKeyPair::from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn fingerprint_stable_and_distinct() {
+        let kp1 = test_keypair();
+        let mut rng = SeededRandom::new(7);
+        let kp2 = RsaKeyPair::generate(512, &mut rng);
+        assert_eq!(kp1.public_key().fingerprint(), kp1.public_key().fingerprint());
+        assert_ne!(kp1.public_key().fingerprint(), kp2.public_key().fingerprint());
+    }
+}

@@ -1,0 +1,154 @@
+//! SHA-1 (RFC 3174).
+//!
+//! This is the reference implementation the `Sha1` benchmark's guest code is
+//! differentially tested against (Table 1 of the paper uses the RFC 3174
+//! sample code as the ported application).
+
+/// Incremental SHA-1 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use elide_crypto::sha1::Sha1;
+/// let mut h = Sha1::new();
+/// h.update(b"abc");
+/// assert_eq!(h.finalize()[0], 0xa9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buf: Vec<u8>,
+    len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a SHA-1 hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            buf: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        self.buf.extend_from_slice(data);
+        let take = self.buf.len() - self.buf.len() % 64;
+        let complete: Vec<u8> = self.buf.drain(..take).collect();
+        for block in complete.chunks_exact(64) {
+            compress(&mut self.state, block.try_into().unwrap());
+        }
+    }
+
+    /// Finishes, returning the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bitlen = self.len.wrapping_mul(8);
+        self.buf.push(0x80);
+        while self.buf.len() % 64 != 56 {
+            self.buf.push(0);
+        }
+        self.buf.extend_from_slice(&bitlen.to_be_bytes());
+        let blocks = std::mem::take(&mut self.buf);
+        for block in blocks.chunks_exact(64) {
+            compress(&mut self.state, block.try_into().unwrap());
+        }
+        let mut out = [0u8; 20];
+        for (i, w) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot SHA-1.
+    pub fn digest(data: &[u8]) -> [u8; 20] {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().unwrap());
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e] = *state;
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i / 20 {
+            0 => ((b & c) | (!b & d), 0x5A827999u32),
+            1 => (b ^ c ^ d, 0x6ED9EBA1),
+            2 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+            _ => (b ^ c ^ d, 0xCA62C1D6),
+        };
+        let tmp = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = tmp;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc3174_test1_abc() {
+        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn rfc3174_test2_two_blocks() {
+        assert_eq!(
+            hex(&Sha1::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn rfc3174_test3_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&Sha1::digest(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..500u16).map(|x| (x % 251) as u8).collect();
+        let mut h = Sha1::new();
+        for c in data.chunks(9) {
+            h.update(c);
+        }
+        assert_eq!(h.finalize(), Sha1::digest(&data));
+    }
+}

@@ -1,0 +1,471 @@
+//! ELF64 writer: builds enclave shared objects from section contents and a
+//! symbol table. This is the back end of the EV64 linker — it lays each
+//! allocatable section into its own `PT_LOAD` segment with page-aligned
+//! offsets so the enclave loader can `EADD` pages directly from the file.
+
+use crate::types::*;
+
+/// Page size used for segment alignment (matches the EPC page size).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Specification of one section to emit.
+#[derive(Debug, Clone)]
+pub struct SectionSpec {
+    /// Section name (e.g. `.text`).
+    pub name: String,
+    /// Section type ([`SHT_PROGBITS`] or [`SHT_NOBITS`]).
+    pub sh_type: u32,
+    /// `SHF_*` flags.
+    pub flags: u64,
+    /// File contents (empty for `SHT_NOBITS`).
+    pub data: Vec<u8>,
+    /// Memory size; for `PROGBITS` it must equal `data.len()`, for `NOBITS`
+    /// it is the zero-fill size.
+    pub mem_size: u64,
+}
+
+impl SectionSpec {
+    /// Convenience constructor for a `PROGBITS` section.
+    pub fn progbits(name: &str, flags: u64, data: Vec<u8>) -> Self {
+        let mem_size = data.len() as u64;
+        SectionSpec { name: name.to_string(), sh_type: SHT_PROGBITS, flags, data, mem_size }
+    }
+
+    /// Convenience constructor for a `.bss`-style section.
+    pub fn nobits(name: &str, flags: u64, mem_size: u64) -> Self {
+        SectionSpec { name: name.to_string(), sh_type: SHT_NOBITS, flags, data: Vec::new(), mem_size }
+    }
+}
+
+/// Specification of one symbol to emit.
+#[derive(Debug, Clone)]
+pub struct SymbolSpec {
+    /// Symbol name.
+    pub name: String,
+    /// Name of the section the symbol lives in.
+    pub section: String,
+    /// Offset of the symbol from the section start.
+    pub offset: u64,
+    /// Symbol size in bytes.
+    pub size: u64,
+    /// [`STT_FUNC`], [`STT_OBJECT`] or [`STT_NOTYPE`].
+    pub sym_type: u8,
+    /// True for global binding.
+    pub global: bool,
+}
+
+/// Builder for enclave ELF images.
+///
+/// # Examples
+///
+/// ```
+/// use elide_elf::builder::{ElfBuilder, SectionSpec, SymbolSpec};
+/// use elide_elf::types::*;
+/// # fn main() -> Result<(), ElfError> {
+/// let mut b = ElfBuilder::new(0x100000);
+/// b.add_section(SectionSpec::progbits(".text", SHF_ALLOC | SHF_EXECINSTR, vec![1, 2, 3, 4]));
+/// b.add_symbol(SymbolSpec {
+///     name: "f".into(), section: ".text".into(), offset: 0, size: 4,
+///     sym_type: STT_FUNC, global: true,
+/// });
+/// b.entry("f");
+/// let bytes = b.build()?;
+/// let elf = elide_elf::parse::ElfFile::parse(bytes)?;
+/// assert_eq!(elf.symbol_by_name("f").unwrap().size, 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ElfBuilder {
+    link_base: u64,
+    machine: u16,
+    entry_symbol: Option<String>,
+    sections: Vec<SectionSpec>,
+    symbols: Vec<SymbolSpec>,
+}
+
+impl ElfBuilder {
+    /// Creates a builder with the given link base virtual address.
+    pub fn new(link_base: u64) -> Self {
+        ElfBuilder {
+            link_base,
+            machine: EM_EV64,
+            entry_symbol: None,
+            sections: Vec::new(),
+            symbols: Vec::new(),
+        }
+    }
+
+    /// Sets the entry-point symbol (must be added as a symbol before
+    /// [`ElfBuilder::build`]).
+    pub fn entry(&mut self, symbol: &str) -> &mut Self {
+        self.entry_symbol = Some(symbol.to_string());
+        self
+    }
+
+    /// Adds a section. Sections are laid out in insertion order.
+    pub fn add_section(&mut self, spec: SectionSpec) -> &mut Self {
+        self.sections.push(spec);
+        self
+    }
+
+    /// Adds a symbol.
+    pub fn add_symbol(&mut self, spec: SymbolSpec) -> &mut Self {
+        self.symbols.push(spec);
+        self
+    }
+
+    /// Serializes the image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElfError::NotFound`] if a symbol references a missing
+    /// section or the entry symbol is undefined.
+    pub fn build(&self) -> Result<Vec<u8>, ElfError> {
+        let alloc_count = self.sections.iter().filter(|s| s.flags & SHF_ALLOC != 0).count();
+        let phnum = alloc_count as u16;
+        // Layout: ehdr | phdrs | (aligned section contents)* | symtab | strtab | shstrtab | shdrs
+        let mut cursor = (EHDR_SIZE + phnum as usize * PHDR_SIZE) as u64;
+
+        // Assign file offsets and vaddrs to sections.
+        struct Placed {
+            file_off: u64,
+            vaddr: u64,
+        }
+        let mut placed: Vec<Placed> = Vec::with_capacity(self.sections.len());
+        for sec in &self.sections {
+            if sec.flags & SHF_ALLOC != 0 {
+                cursor = align_up(cursor, PAGE_SIZE);
+                placed.push(Placed { file_off: cursor, vaddr: self.link_base + cursor });
+                if sec.sh_type != SHT_NOBITS {
+                    cursor += sec.data.len() as u64;
+                }
+            } else {
+                cursor = align_up(cursor, 8);
+                placed.push(Placed { file_off: cursor, vaddr: 0 });
+                cursor += sec.data.len() as u64;
+            }
+        }
+
+        let section_vaddr = |name: &str| -> Result<u64, ElfError> {
+            self.sections
+                .iter()
+                .position(|s| s.name == name)
+                .map(|i| placed[i].vaddr)
+                .ok_or_else(|| ElfError::NotFound { what: format!("section {name}") })
+        };
+
+        // Build string tables and the symbol table.
+        let mut strtab = vec![0u8]; // index 0 = empty string
+        let mut symtab = vec![0u8; SYM_SIZE]; // null symbol
+        // Locals must precede globals; sh_info = index of first global.
+        let mut ordered: Vec<&SymbolSpec> = self.symbols.iter().filter(|s| !s.global).collect();
+        let first_global = ordered.len() + 1;
+        ordered.extend(self.symbols.iter().filter(|s| s.global));
+        for sym in &ordered {
+            let name_off = strtab.len() as u32;
+            strtab.extend_from_slice(sym.name.as_bytes());
+            strtab.push(0);
+            let sec_index = self
+                .sections
+                .iter()
+                .position(|s| s.name == sym.section)
+                .ok_or_else(|| ElfError::NotFound { what: format!("section {}", sym.section) })?;
+            let value = placed[sec_index].vaddr + sym.offset;
+            let binding = if sym.global { STB_GLOBAL } else { STB_LOCAL };
+            let mut entry = [0u8; SYM_SIZE];
+            entry[..4].copy_from_slice(&name_off.to_le_bytes());
+            entry[4] = (binding << 4) | (sym.sym_type & 0xf);
+            entry[5] = 0; // st_other
+            // +1: section header index 0 is the null section.
+            entry[6..8].copy_from_slice(&((sec_index as u16) + 1).to_le_bytes());
+            entry[8..16].copy_from_slice(&value.to_le_bytes());
+            entry[16..24].copy_from_slice(&sym.size.to_le_bytes());
+            symtab.extend_from_slice(&entry);
+        }
+
+        // Entry point.
+        let e_entry = match &self.entry_symbol {
+            Some(name) => {
+                let sym = self
+                    .symbols
+                    .iter()
+                    .find(|s| s.name == *name)
+                    .ok_or_else(|| ElfError::NotFound { what: format!("entry symbol {name}") })?;
+                section_vaddr(&sym.section)? + sym.offset
+            }
+            None => 0,
+        };
+
+        // Append the synthetic table sections after user sections.
+        cursor = align_up(cursor, 8);
+        let symtab_off = cursor;
+        cursor += symtab.len() as u64;
+        let strtab_off = cursor;
+        cursor += strtab.len() as u64;
+
+        // .shstrtab
+        let mut shstrtab = vec![0u8];
+        let mut shname_offsets: Vec<u32> = Vec::new();
+        for sec in &self.sections {
+            shname_offsets.push(shstrtab.len() as u32);
+            shstrtab.extend_from_slice(sec.name.as_bytes());
+            shstrtab.push(0);
+        }
+        for extra in [".symtab", ".strtab", ".shstrtab"] {
+            shname_offsets.push(shstrtab.len() as u32);
+            shstrtab.extend_from_slice(extra.as_bytes());
+            shstrtab.push(0);
+        }
+        let shstrtab_off = cursor;
+        cursor += shstrtab.len() as u64;
+
+        let shoff = align_up(cursor, 8);
+        let shnum = (self.sections.len() + 4) as u16; // null + user + symtab + strtab + shstrtab
+
+        let total = shoff as usize + shnum as usize * SHDR_SIZE;
+        let mut out = vec![0u8; total];
+
+        // --- File header ---
+        out[..4].copy_from_slice(&ELF_MAGIC);
+        out[4] = ELFCLASS64;
+        out[5] = ELFDATA2LSB;
+        out[6] = 1; // EV_CURRENT
+        out[16..18].copy_from_slice(&ET_DYN.to_le_bytes());
+        out[18..20].copy_from_slice(&self.machine.to_le_bytes());
+        out[20..24].copy_from_slice(&1u32.to_le_bytes()); // e_version
+        out[24..32].copy_from_slice(&e_entry.to_le_bytes());
+        out[32..40].copy_from_slice(&(EHDR_SIZE as u64).to_le_bytes()); // e_phoff
+        out[40..48].copy_from_slice(&shoff.to_le_bytes());
+        out[52..54].copy_from_slice(&(EHDR_SIZE as u16).to_le_bytes()); // e_ehsize
+        out[54..56].copy_from_slice(&(PHDR_SIZE as u16).to_le_bytes());
+        out[56..58].copy_from_slice(&phnum.to_le_bytes());
+        out[58..60].copy_from_slice(&(SHDR_SIZE as u16).to_le_bytes());
+        out[60..62].copy_from_slice(&shnum.to_le_bytes());
+        out[62..64].copy_from_slice(&((shnum - 1) as u16).to_le_bytes()); // shstrtab is last
+
+        // --- Program headers (one PT_LOAD per alloc section) ---
+        let mut ph_cursor = EHDR_SIZE;
+        for (i, sec) in self.sections.iter().enumerate() {
+            if sec.flags & SHF_ALLOC == 0 {
+                continue;
+            }
+            let mut flags = PF_R;
+            if sec.flags & SHF_WRITE != 0 {
+                flags |= PF_W;
+            }
+            if sec.flags & SHF_EXECINSTR != 0 {
+                flags |= PF_X;
+            }
+            let filesz = if sec.sh_type == SHT_NOBITS { 0 } else { sec.data.len() as u64 };
+            let ph = &mut out[ph_cursor..ph_cursor + PHDR_SIZE];
+            ph[..4].copy_from_slice(&PT_LOAD.to_le_bytes());
+            ph[4..8].copy_from_slice(&flags.to_le_bytes());
+            ph[8..16].copy_from_slice(&placed[i].file_off.to_le_bytes());
+            ph[16..24].copy_from_slice(&placed[i].vaddr.to_le_bytes());
+            ph[24..32].copy_from_slice(&placed[i].vaddr.to_le_bytes()); // p_paddr
+            ph[32..40].copy_from_slice(&filesz.to_le_bytes());
+            ph[40..48].copy_from_slice(&sec.mem_size.to_le_bytes());
+            ph[48..56].copy_from_slice(&PAGE_SIZE.to_le_bytes());
+            ph_cursor += PHDR_SIZE;
+        }
+
+        // --- Section contents ---
+        for (i, sec) in self.sections.iter().enumerate() {
+            if sec.sh_type != SHT_NOBITS {
+                let off = placed[i].file_off as usize;
+                out[off..off + sec.data.len()].copy_from_slice(&sec.data);
+            }
+        }
+        out[symtab_off as usize..symtab_off as usize + symtab.len()].copy_from_slice(&symtab);
+        out[strtab_off as usize..strtab_off as usize + strtab.len()].copy_from_slice(&strtab);
+        out[shstrtab_off as usize..shstrtab_off as usize + shstrtab.len()]
+            .copy_from_slice(&shstrtab);
+
+        // --- Section headers ---
+        let write_shdr = |out: &mut [u8],
+                          index: usize,
+                          name_off: u32,
+                          sh_type: u32,
+                          flags: u64,
+                          addr: u64,
+                          offset: u64,
+                          size: u64,
+                          link: u32,
+                          info: u32,
+                          entsize: u64| {
+            let base = shoff as usize + index * SHDR_SIZE;
+            let h = &mut out[base..base + SHDR_SIZE];
+            h[..4].copy_from_slice(&name_off.to_le_bytes());
+            h[4..8].copy_from_slice(&sh_type.to_le_bytes());
+            h[8..16].copy_from_slice(&flags.to_le_bytes());
+            h[16..24].copy_from_slice(&addr.to_le_bytes());
+            h[24..32].copy_from_slice(&offset.to_le_bytes());
+            h[32..40].copy_from_slice(&size.to_le_bytes());
+            h[40..44].copy_from_slice(&link.to_le_bytes());
+            h[44..48].copy_from_slice(&info.to_le_bytes());
+            h[48..56].copy_from_slice(&8u64.to_le_bytes()); // sh_addralign
+            h[56..64].copy_from_slice(&entsize.to_le_bytes());
+        };
+
+        // Index 0: null section (all zeroes already).
+        for (i, sec) in self.sections.iter().enumerate() {
+            let size = if sec.sh_type == SHT_NOBITS { sec.mem_size } else { sec.data.len() as u64 };
+            write_shdr(
+                &mut out,
+                i + 1,
+                shname_offsets[i],
+                sec.sh_type,
+                sec.flags,
+                placed[i].vaddr,
+                placed[i].file_off,
+                size,
+                0,
+                0,
+                0,
+            );
+        }
+        let n = self.sections.len();
+        let strtab_index = (n + 2) as u32;
+        write_shdr(
+            &mut out,
+            n + 1,
+            shname_offsets[n],
+            SHT_SYMTAB,
+            0,
+            0,
+            symtab_off,
+            symtab.len() as u64,
+            strtab_index,
+            first_global as u32,
+            SYM_SIZE as u64,
+        );
+        write_shdr(
+            &mut out,
+            n + 2,
+            shname_offsets[n + 1],
+            SHT_STRTAB,
+            0,
+            0,
+            strtab_off,
+            strtab.len() as u64,
+            0,
+            0,
+            0,
+        );
+        write_shdr(
+            &mut out,
+            n + 3,
+            shname_offsets[n + 2],
+            SHT_STRTAB,
+            0,
+            0,
+            shstrtab_off,
+            shstrtab.len() as u64,
+            0,
+            0,
+            0,
+        );
+
+        Ok(out)
+    }
+}
+
+fn align_up(v: u64, align: u64) -> u64 {
+    (v + align - 1) / align * align
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::ElfFile;
+
+    fn sample() -> Vec<u8> {
+        let mut b = ElfBuilder::new(0x100000);
+        b.add_section(SectionSpec::progbits(".text", SHF_ALLOC | SHF_EXECINSTR, vec![0xAA; 100]));
+        b.add_section(SectionSpec::progbits(".rodata", SHF_ALLOC, vec![0xBB; 40]));
+        b.add_section(SectionSpec::progbits(".data", SHF_ALLOC | SHF_WRITE, vec![0xCC; 8]));
+        b.add_section(SectionSpec::nobits(".bss", SHF_ALLOC | SHF_WRITE, 256));
+        b.add_symbol(SymbolSpec {
+            name: "main".into(),
+            section: ".text".into(),
+            offset: 16,
+            size: 32,
+            sym_type: STT_FUNC,
+            global: true,
+        });
+        b.add_symbol(SymbolSpec {
+            name: "helper".into(),
+            section: ".text".into(),
+            offset: 48,
+            size: 24,
+            sym_type: STT_FUNC,
+            global: false,
+        });
+        b.entry("main");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_sections_and_symbols() {
+        let elf = ElfFile::parse(sample()).unwrap();
+        let text = elf.section_by_name(".text").unwrap();
+        assert_eq!(text.sh_size, 100);
+        assert_eq!(elf.section_data(text).unwrap(), &[0xAA; 100][..]);
+        assert_eq!(elf.section_by_name(".bss").unwrap().sh_size, 256);
+        let main = elf.symbol_by_name("main").unwrap();
+        assert_eq!(main.size, 32);
+        assert_eq!(main.value, text.sh_addr + 16);
+        assert!(main.is_function());
+        assert_eq!(elf.function_symbols().count(), 2);
+        assert_eq!(elf.header().e_entry, main.value);
+    }
+
+    #[test]
+    fn segments_are_page_aligned_with_expected_flags() {
+        let elf = ElfFile::parse(sample()).unwrap();
+        let segs = elf.segments();
+        assert_eq!(segs.len(), 4);
+        for seg in segs {
+            assert_eq!(seg.p_type, PT_LOAD);
+            assert_eq!(seg.p_offset % PAGE_SIZE, 0);
+            assert_eq!(seg.p_vaddr % PAGE_SIZE, 0);
+        }
+        assert_eq!(segs[0].p_flags, PF_R | PF_X); // .text
+        assert_eq!(segs[1].p_flags, PF_R); // .rodata
+        assert_eq!(segs[2].p_flags, PF_R | PF_W); // .data
+        assert_eq!(segs[3].p_filesz, 0); // .bss
+        assert_eq!(segs[3].p_memsz, 256);
+    }
+
+    #[test]
+    fn vaddr_to_offset_translation() {
+        let elf = ElfFile::parse(sample()).unwrap();
+        let text = elf.section_by_name(".text").unwrap();
+        let off = elf.vaddr_to_offset(text.sh_addr + 5).unwrap();
+        assert_eq!(elf.bytes()[off], 0xAA);
+        assert!(elf.vaddr_to_offset(1).is_none());
+    }
+
+    #[test]
+    fn missing_entry_symbol_errors() {
+        let mut b = ElfBuilder::new(0);
+        b.add_section(SectionSpec::progbits(".text", SHF_ALLOC, vec![0]));
+        b.entry("nope");
+        assert!(matches!(b.build(), Err(ElfError::NotFound { .. })));
+    }
+
+    #[test]
+    fn symbol_in_missing_section_errors() {
+        let mut b = ElfBuilder::new(0);
+        b.add_symbol(SymbolSpec {
+            name: "x".into(),
+            section: ".ghost".into(),
+            offset: 0,
+            size: 0,
+            sym_type: STT_OBJECT,
+            global: true,
+        });
+        assert!(matches!(b.build(), Err(ElfError::NotFound { .. })));
+    }
+}

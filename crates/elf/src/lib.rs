@@ -1,0 +1,36 @@
+//! # elide-elf
+//!
+//! A minimal from-scratch ELF64 toolkit, sized for enclave shared objects.
+//!
+//! The SgxElide sanitizer operates on ELF files the way the paper's python
+//! sanitizer used `pyelftools`: it parses section headers, walks function
+//! symbols, zeroes the bodies of non-whitelisted functions, and patches the
+//! text segment's `p_flags` to make the pages writable at load time.
+//!
+//! * [`types`] — header structures and constants.
+//! * [`parse`] — [`parse::ElfFile`], a parser that keeps the raw image.
+//! * [`builder`] — [`builder::ElfBuilder`], the linker back end.
+//! * [`patch`] — in-place zeroing and `p_flags` patching.
+//!
+//! # Examples
+//!
+//! ```
+//! use elide_elf::builder::{ElfBuilder, SectionSpec};
+//! use elide_elf::parse::ElfFile;
+//! use elide_elf::types::*;
+//! # fn main() -> Result<(), ElfError> {
+//! let mut b = ElfBuilder::new(0x100000);
+//! b.add_section(SectionSpec::progbits(".text", SHF_ALLOC | SHF_EXECINSTR, vec![0x90; 64]));
+//! let elf = ElfFile::parse(b.build()?)?;
+//! assert_eq!(elf.section_by_name(".text").unwrap().sh_size, 64);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod builder;
+pub mod parse;
+pub mod patch;
+pub mod types;
+
+pub use parse::ElfFile;
+pub use types::ElfError;

@@ -1,0 +1,275 @@
+//! ELF64 parser: reads the header tables out of a byte image while keeping
+//! the raw bytes available for in-place patching (the sanitizer zeroes
+//! function bodies and flips segment flags directly in the file image).
+
+use crate::types::*;
+
+/// A parsed ELF file. Owns the raw bytes; patch operations mutate them and
+/// the header views stay consistent via [`ElfFile::reparse`].
+#[derive(Debug, Clone)]
+pub struct ElfFile {
+    bytes: Vec<u8>,
+    header: FileHeader,
+    segments: Vec<ProgramHeader>,
+    sections: Vec<SectionHeader>,
+    symbols: Vec<SymbolEntry>,
+}
+
+fn read_u16(b: &[u8], off: usize) -> Result<u16, ElfError> {
+    b.get(off..off + 2)
+        .map(|s| u16::from_le_bytes(s.try_into().unwrap()))
+        .ok_or(ElfError::Truncated { what: "u16 field" })
+}
+
+fn read_u32(b: &[u8], off: usize) -> Result<u32, ElfError> {
+    b.get(off..off + 4)
+        .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        .ok_or(ElfError::Truncated { what: "u32 field" })
+}
+
+fn read_u64(b: &[u8], off: usize) -> Result<u64, ElfError> {
+    b.get(off..off + 8)
+        .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        .ok_or(ElfError::Truncated { what: "u64 field" })
+}
+
+fn read_cstr(table: &[u8], off: usize) -> String {
+    let end = table[off..]
+        .iter()
+        .position(|&c| c == 0)
+        .map(|p| off + p)
+        .unwrap_or(table.len());
+    String::from_utf8_lossy(&table[off..end]).into_owned()
+}
+
+impl ElfFile {
+    /// Parses an ELF64 little-endian image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElfError`] if the image is not ELF64/LSB, is truncated, or
+    /// declares tables that fall outside the file.
+    pub fn parse(bytes: Vec<u8>) -> Result<Self, ElfError> {
+        if bytes.len() < EHDR_SIZE {
+            return Err(ElfError::Truncated { what: "file header" });
+        }
+        if bytes[..4] != ELF_MAGIC || bytes[4] != ELFCLASS64 || bytes[5] != ELFDATA2LSB {
+            return Err(ElfError::BadMagic);
+        }
+        let header = FileHeader {
+            e_type: read_u16(&bytes, 16)?,
+            e_machine: read_u16(&bytes, 18)?,
+            e_entry: read_u64(&bytes, 24)?,
+            e_phoff: read_u64(&bytes, 32)?,
+            e_shoff: read_u64(&bytes, 40)?,
+            e_phnum: read_u16(&bytes, 56)?,
+            e_shnum: read_u16(&bytes, 60)?,
+            e_shstrndx: read_u16(&bytes, 62)?,
+        };
+
+        let mut segments = Vec::with_capacity(header.e_phnum as usize);
+        for i in 0..header.e_phnum as usize {
+            let off = header.e_phoff as usize + i * PHDR_SIZE;
+            if off + PHDR_SIZE > bytes.len() {
+                return Err(ElfError::Truncated { what: "program header" });
+            }
+            segments.push(ProgramHeader {
+                p_type: read_u32(&bytes, off)?,
+                p_flags: read_u32(&bytes, off + 4)?,
+                p_offset: read_u64(&bytes, off + 8)?,
+                p_vaddr: read_u64(&bytes, off + 16)?,
+                p_filesz: read_u64(&bytes, off + 32)?,
+                p_memsz: read_u64(&bytes, off + 40)?,
+                p_align: read_u64(&bytes, off + 48)?,
+            });
+        }
+
+        // First pass: raw section headers without names.
+        let mut raw_sections = Vec::with_capacity(header.e_shnum as usize);
+        for i in 0..header.e_shnum as usize {
+            let off = header.e_shoff as usize + i * SHDR_SIZE;
+            if off + SHDR_SIZE > bytes.len() {
+                return Err(ElfError::Truncated { what: "section header" });
+            }
+            raw_sections.push(SectionHeader {
+                name: String::new(),
+                sh_name: read_u32(&bytes, off)?,
+                sh_type: read_u32(&bytes, off + 4)?,
+                sh_flags: read_u64(&bytes, off + 8)?,
+                sh_addr: read_u64(&bytes, off + 16)?,
+                sh_offset: read_u64(&bytes, off + 24)?,
+                sh_size: read_u64(&bytes, off + 32)?,
+                sh_link: read_u32(&bytes, off + 40)?,
+                sh_info: read_u32(&bytes, off + 44)?,
+                sh_addralign: read_u64(&bytes, off + 48)?,
+                sh_entsize: read_u64(&bytes, off + 56)?,
+            });
+        }
+
+        // Resolve section names via .shstrtab.
+        if !raw_sections.is_empty() {
+            let strndx = header.e_shstrndx as usize;
+            let strtab = raw_sections
+                .get(strndx)
+                .ok_or(ElfError::Unsupported { what: "e_shstrndx out of range" })?;
+            let start = strtab.sh_offset as usize;
+            let end = start + strtab.sh_size as usize;
+            if end > bytes.len() {
+                return Err(ElfError::Truncated { what: "section string table" });
+            }
+            let table = bytes[start..end].to_vec();
+            for sec in &mut raw_sections {
+                if (sec.sh_name as usize) < table.len() {
+                    sec.name = read_cstr(&table, sec.sh_name as usize);
+                }
+            }
+        }
+
+        // Symbols.
+        let mut symbols = Vec::new();
+        if let Some(symtab) = raw_sections.iter().find(|s| s.sh_type == SHT_SYMTAB) {
+            let strtab = raw_sections
+                .get(symtab.sh_link as usize)
+                .ok_or(ElfError::Unsupported { what: "symtab sh_link out of range" })?;
+            let str_start = strtab.sh_offset as usize;
+            let str_end = str_start + strtab.sh_size as usize;
+            if str_end > bytes.len() {
+                return Err(ElfError::Truncated { what: "symbol string table" });
+            }
+            let strs = bytes[str_start..str_end].to_vec();
+            let count = (symtab.sh_size / SYM_SIZE as u64) as usize;
+            for i in 0..count {
+                let off = symtab.sh_offset as usize + i * SYM_SIZE;
+                if off + SYM_SIZE > bytes.len() {
+                    return Err(ElfError::Truncated { what: "symbol table" });
+                }
+                let name_off = read_u32(&bytes, off)? as usize;
+                let info = bytes[off + 4];
+                let shndx = read_u16(&bytes, off + 6)?;
+                symbols.push(SymbolEntry {
+                    name: if name_off < strs.len() { read_cstr(&strs, name_off) } else { String::new() },
+                    value: read_u64(&bytes, off + 8)?,
+                    size: read_u64(&bytes, off + 16)?,
+                    sym_type: info & 0xf,
+                    binding: info >> 4,
+                    shndx,
+                });
+            }
+        }
+
+        Ok(ElfFile { bytes, header, segments, sections: raw_sections, symbols })
+    }
+
+    /// Re-parses the current byte image (after external patching).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any parse error from the patched image.
+    pub fn reparse(self) -> Result<Self, ElfError> {
+        ElfFile::parse(self.bytes)
+    }
+
+    /// The raw file image.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable access to the raw image for in-place patching. Header views
+    /// are *not* refreshed automatically; call [`ElfFile::reparse`] if you
+    /// modify header tables (pure content patches don't need it).
+    pub fn bytes_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.bytes
+    }
+
+    /// Consumes the file, returning the raw image.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// The file header.
+    pub fn header(&self) -> &FileHeader {
+        &self.header
+    }
+
+    /// All program headers.
+    pub fn segments(&self) -> &[ProgramHeader] {
+        &self.segments
+    }
+
+    /// All section headers (names resolved).
+    pub fn sections(&self) -> &[SectionHeader] {
+        &self.sections
+    }
+
+    /// All symbols (names resolved).
+    pub fn symbols(&self) -> &[SymbolEntry] {
+        &self.symbols
+    }
+
+    /// Looks up a section by name.
+    pub fn section_by_name(&self, name: &str) -> Option<&SectionHeader> {
+        self.sections.iter().find(|s| s.name == name)
+    }
+
+    /// Returns a section's contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElfError::OutOfBounds`] if the section extends past the file
+    /// (never the case for files produced by this crate's builder).
+    pub fn section_data(&self, section: &SectionHeader) -> Result<&[u8], ElfError> {
+        if section.sh_type == SHT_NOBITS {
+            return Ok(&[]);
+        }
+        let start = section.sh_offset as usize;
+        let end = start + section.sh_size as usize;
+        self.bytes.get(start..end).ok_or(ElfError::OutOfBounds)
+    }
+
+    /// Looks up a defined symbol by name.
+    pub fn symbol_by_name(&self, name: &str) -> Option<&SymbolEntry> {
+        self.symbols.iter().find(|s| s.name == name && s.shndx != 0)
+    }
+
+    /// Iterates over defined function symbols — the granularity at which the
+    /// sanitizer redacts code.
+    pub fn function_symbols(&self) -> impl Iterator<Item = &SymbolEntry> {
+        self.symbols.iter().filter(|s| s.is_function())
+    }
+
+    /// Translates a virtual address to a file offset using the segment table.
+    pub fn vaddr_to_offset(&self, vaddr: u64) -> Option<usize> {
+        self.segments.iter().find_map(|seg| {
+            if seg.p_type == PT_LOAD
+                && vaddr >= seg.p_vaddr
+                && vaddr < seg.p_vaddr + seg.p_filesz
+            {
+                Some((seg.p_offset + (vaddr - seg.p_vaddr)) as usize)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(ElfFile::parse(vec![0u8; 10]).unwrap_err(), ElfError::Truncated { what: "file header" });
+        let mut bad = vec![0u8; 128];
+        bad[..4].copy_from_slice(b"NOPE");
+        assert_eq!(ElfFile::parse(bad).unwrap_err(), ElfError::BadMagic);
+    }
+
+    #[test]
+    fn rejects_wrong_class() {
+        let mut b = vec![0u8; 128];
+        b[..4].copy_from_slice(&ELF_MAGIC);
+        b[4] = 1; // ELFCLASS32
+        b[5] = ELFDATA2LSB;
+        assert_eq!(ElfFile::parse(b).unwrap_err(), ElfError::BadMagic);
+    }
+}

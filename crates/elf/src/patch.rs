@@ -1,0 +1,129 @@
+//! In-place patch operations on ELF images — the primitives the SgxElide
+//! sanitizer is built from: zeroing function bodies and making the text
+//! segment writable by ORing `PF_W` into its program-header flags (§5).
+
+use crate::parse::ElfFile;
+use crate::types::*;
+
+/// Zeroes `len` bytes of the image starting at virtual address `vaddr`.
+///
+/// # Errors
+///
+/// Returns [`ElfError::OutOfBounds`] if the range is not fully covered by a
+/// loadable segment.
+pub fn zero_vaddr_range(elf: &mut ElfFile, vaddr: u64, len: u64) -> Result<(), ElfError> {
+    let start = elf.vaddr_to_offset(vaddr).ok_or(ElfError::OutOfBounds)?;
+    // The end must lie within the same translation (segments are contiguous
+    // in both file and memory).
+    let end_vaddr = vaddr + len;
+    if len > 0 {
+        elf.vaddr_to_offset(end_vaddr - 1).ok_or(ElfError::OutOfBounds)?;
+    }
+    let bytes = elf.bytes_mut();
+    for b in &mut bytes[start..start + len as usize] {
+        *b = 0;
+    }
+    Ok(())
+}
+
+/// Reads `len` bytes of the image starting at virtual address `vaddr`.
+///
+/// # Errors
+///
+/// Returns [`ElfError::OutOfBounds`] if the range is not mapped.
+pub fn read_vaddr_range(elf: &ElfFile, vaddr: u64, len: u64) -> Result<Vec<u8>, ElfError> {
+    let start = elf.vaddr_to_offset(vaddr).ok_or(ElfError::OutOfBounds)?;
+    if len > 0 {
+        elf.vaddr_to_offset(vaddr + len - 1).ok_or(ElfError::OutOfBounds)?;
+    }
+    Ok(elf.bytes()[start..start + len as usize].to_vec())
+}
+
+/// ORs flag bits into the program header covering `vaddr` ("we *or* the
+/// existing field's value with `PF_W`", §5). Returns the new flags.
+///
+/// # Errors
+///
+/// Returns [`ElfError::NotFound`] if no `PT_LOAD` segment covers `vaddr`.
+pub fn or_segment_flags(elf: &mut ElfFile, vaddr: u64, flags: u32) -> Result<u32, ElfError> {
+    let phoff = elf.header().e_phoff as usize;
+    let phnum = elf.header().e_phnum as usize;
+    let seg_index = elf
+        .segments()
+        .iter()
+        .position(|s| {
+            s.p_type == PT_LOAD && vaddr >= s.p_vaddr && vaddr < s.p_vaddr + s.p_memsz
+        })
+        .ok_or_else(|| ElfError::NotFound { what: format!("segment covering {vaddr:#x}") })?;
+    debug_assert!(seg_index < phnum);
+    let field_off = phoff + seg_index * PHDR_SIZE + 4;
+    let bytes = elf.bytes_mut();
+    let old = u32::from_le_bytes(bytes[field_off..field_off + 4].try_into().unwrap());
+    let new = old | flags;
+    bytes[field_off..field_off + 4].copy_from_slice(&new.to_le_bytes());
+    Ok(new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ElfBuilder, SectionSpec, SymbolSpec};
+
+    fn sample() -> ElfFile {
+        let mut b = ElfBuilder::new(0x100000);
+        b.add_section(SectionSpec::progbits(
+            ".text",
+            SHF_ALLOC | SHF_EXECINSTR,
+            (0..200u8).collect(),
+        ));
+        b.add_symbol(SymbolSpec {
+            name: "secret".into(),
+            section: ".text".into(),
+            offset: 50,
+            size: 20,
+            sym_type: STT_FUNC,
+            global: true,
+        });
+        ElfFile::parse(b.build().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn zero_function_body() {
+        let mut elf = sample();
+        let sym = elf.symbol_by_name("secret").unwrap().clone();
+        zero_vaddr_range(&mut elf, sym.value, sym.size).unwrap();
+        let data = read_vaddr_range(&elf, sym.value, sym.size).unwrap();
+        assert!(data.iter().all(|&b| b == 0));
+        // Bytes around the function are untouched.
+        let before = read_vaddr_range(&elf, sym.value - 1, 1).unwrap();
+        assert_eq!(before[0], 49);
+        let after = read_vaddr_range(&elf, sym.value + sym.size, 1).unwrap();
+        assert_eq!(after[0], 70);
+    }
+
+    #[test]
+    fn zero_out_of_bounds_rejected() {
+        let mut elf = sample();
+        let text = elf.section_by_name(".text").unwrap().clone();
+        assert!(zero_vaddr_range(&mut elf, text.sh_addr + 190, 100).is_err());
+        assert!(zero_vaddr_range(&mut elf, 0, 4).is_err());
+    }
+
+    #[test]
+    fn make_text_writable() {
+        let mut elf = sample();
+        let text_addr = elf.section_by_name(".text").unwrap().sh_addr;
+        assert_eq!(elf.segments()[0].p_flags, PF_R | PF_X);
+        let new = or_segment_flags(&mut elf, text_addr, PF_W).unwrap();
+        assert_eq!(new, PF_R | PF_W | PF_X);
+        // Reparse and confirm the change persisted into the file image.
+        let elf = elf.reparse().unwrap();
+        assert_eq!(elf.segments()[0].p_flags, PF_R | PF_W | PF_X);
+    }
+
+    #[test]
+    fn or_flags_unmapped_vaddr_rejected() {
+        let mut elf = sample();
+        assert!(or_segment_flags(&mut elf, 0xdead_0000, PF_W).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! ELF64 data structures and constants.
+//!
+//! Only the subset needed for enclave shared objects is modeled: the file
+//! header, program headers (segments), section headers, and the symbol
+//! table. All values are little-endian, as on x86-64 Linux.
+
+/// ELF magic bytes.
+pub const ELF_MAGIC: [u8; 4] = [0x7f, b'E', b'L', b'F'];
+/// 64-bit class.
+pub const ELFCLASS64: u8 = 2;
+/// Little-endian data encoding.
+pub const ELFDATA2LSB: u8 = 1;
+/// Shared-object file type (enclaves are `.so` files).
+pub const ET_DYN: u16 = 3;
+/// Machine number we assign to the EV64 enclave ISA (unofficial range).
+pub const EM_EV64: u16 = 0xE164;
+
+/// Loadable program segment.
+pub const PT_LOAD: u32 = 1;
+
+/// Segment is executable.
+pub const PF_X: u32 = 1;
+/// Segment is writable. The SgxElide sanitizer ORs this into the text
+/// segment's `p_flags`, exactly as described in §5 of the paper.
+pub const PF_W: u32 = 2;
+/// Segment is readable.
+pub const PF_R: u32 = 4;
+
+/// Program data section (e.g. `.text`).
+pub const SHT_PROGBITS: u32 = 1;
+/// Symbol table section.
+pub const SHT_SYMTAB: u32 = 2;
+/// String table section.
+pub const SHT_STRTAB: u32 = 3;
+/// Zero-initialized section (`.bss`).
+pub const SHT_NOBITS: u32 = 8;
+/// Null section (index 0).
+pub const SHT_NULL: u32 = 0;
+
+/// Section is allocated in memory at load time.
+pub const SHF_ALLOC: u64 = 2;
+/// Section is writable at run time.
+pub const SHF_WRITE: u64 = 1;
+/// Section contains executable instructions.
+pub const SHF_EXECINSTR: u64 = 4;
+
+/// Symbol type: function. Function symbols (with their `st_size`) are what
+/// the sanitizer enumerates to decide which byte ranges to redact.
+pub const STT_FUNC: u8 = 2;
+/// Symbol type: data object.
+pub const STT_OBJECT: u8 = 1;
+/// Symbol type: none.
+pub const STT_NOTYPE: u8 = 0;
+
+/// Symbol binding: global.
+pub const STB_GLOBAL: u8 = 1;
+/// Symbol binding: local.
+pub const STB_LOCAL: u8 = 0;
+
+/// Size of the ELF64 file header.
+pub const EHDR_SIZE: usize = 64;
+/// Size of one program header entry.
+pub const PHDR_SIZE: usize = 56;
+/// Size of one section header entry.
+pub const SHDR_SIZE: usize = 64;
+/// Size of one symbol table entry.
+pub const SYM_SIZE: usize = 24;
+
+/// The ELF64 file header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileHeader {
+    /// Object file type (we always use [`ET_DYN`]).
+    pub e_type: u16,
+    /// Target machine ([`EM_EV64`] for enclave images).
+    pub e_machine: u16,
+    /// Entry point virtual address.
+    pub e_entry: u64,
+    /// File offset of the program header table.
+    pub e_phoff: u64,
+    /// File offset of the section header table.
+    pub e_shoff: u64,
+    /// Number of program headers.
+    pub e_phnum: u16,
+    /// Number of section headers.
+    pub e_shnum: u16,
+    /// Index of the section name string table.
+    pub e_shstrndx: u16,
+}
+
+/// One program header (segment descriptor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramHeader {
+    /// Segment type (only [`PT_LOAD`] is meaningful here).
+    pub p_type: u32,
+    /// Permission flags: combination of [`PF_R`], [`PF_W`], [`PF_X`].
+    pub p_flags: u32,
+    /// File offset of the segment contents.
+    pub p_offset: u64,
+    /// Virtual address the segment is loaded at.
+    pub p_vaddr: u64,
+    /// Size of the segment in the file.
+    pub p_filesz: u64,
+    /// Size of the segment in memory (may exceed `p_filesz` for `.bss`).
+    pub p_memsz: u64,
+    /// Required alignment.
+    pub p_align: u64,
+}
+
+/// One section header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionHeader {
+    /// Resolved section name (from `.shstrtab`).
+    pub name: String,
+    /// Offset of the name in `.shstrtab`.
+    pub sh_name: u32,
+    /// Section type ([`SHT_PROGBITS`], [`SHT_SYMTAB`], ...).
+    pub sh_type: u32,
+    /// Section flags ([`SHF_ALLOC`] etc.).
+    pub sh_flags: u64,
+    /// Virtual address when loaded.
+    pub sh_addr: u64,
+    /// File offset of contents.
+    pub sh_offset: u64,
+    /// Size in bytes.
+    pub sh_size: u64,
+    /// Link field (symtab → strtab index).
+    pub sh_link: u32,
+    /// Extra info field.
+    pub sh_info: u32,
+    /// Alignment.
+    pub sh_addralign: u64,
+    /// Entry size for table sections.
+    pub sh_entsize: u64,
+}
+
+/// One symbol table entry with its name resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolEntry {
+    /// Symbol name.
+    pub name: String,
+    /// Value (virtual address for defined symbols).
+    pub value: u64,
+    /// Size in bytes (function body length for [`STT_FUNC`] symbols).
+    pub size: u64,
+    /// Symbol type ([`STT_FUNC`], [`STT_OBJECT`], ...).
+    pub sym_type: u8,
+    /// Binding ([`STB_GLOBAL`] or [`STB_LOCAL`]).
+    pub binding: u8,
+    /// Section index the symbol is defined in (`SHN_UNDEF` = 0).
+    pub shndx: u16,
+}
+
+impl SymbolEntry {
+    /// True if this is a defined function symbol.
+    pub fn is_function(&self) -> bool {
+        self.sym_type == STT_FUNC && self.shndx != 0
+    }
+}
+
+/// Errors from parsing or patching ELF files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ElfError {
+    /// The file does not begin with the ELF magic or is not ELF64/LSB.
+    BadMagic,
+    /// The file is truncated relative to a header or table it declares.
+    Truncated { what: &'static str },
+    /// A header field has an unsupported or inconsistent value.
+    Unsupported { what: &'static str },
+    /// A requested section or symbol does not exist.
+    NotFound { what: String },
+    /// An offset/length pair falls outside the file.
+    OutOfBounds,
+}
+
+impl std::fmt::Display for ElfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ElfError::BadMagic => write!(f, "not an ELF64 little-endian file"),
+            ElfError::Truncated { what } => write!(f, "file truncated while reading {what}"),
+            ElfError::Unsupported { what } => write!(f, "unsupported ELF feature: {what}"),
+            ElfError::NotFound { what } => write!(f, "not found in ELF file: {what}"),
+            ElfError::OutOfBounds => write!(f, "offset/length outside file bounds"),
+        }
+    }
+}
+
+impl std::error::Error for ElfError {}

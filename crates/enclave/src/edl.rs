@@ -1,0 +1,218 @@
+//! A miniature EDL (Enclave Definition Language) front end.
+//!
+//! The Intel SDK generates ecall/ocall bridge functions from an `.edl`
+//! file; this module does the same for EV64 enclaves: a declarative
+//! description of the trusted/untrusted interface that drives the ecall
+//! table generation and assigns stable ocall indices.
+//!
+//! # Syntax
+//!
+//! ```text
+//! trusted {
+//!     ecall get_answer;
+//!     ecall check_password;
+//! }
+//! untrusted {
+//!     ocall log_line;
+//!     ocall read_asset = 120;   // explicit index
+//! }
+//! ```
+//!
+//! Ecall indices are assigned in declaration order; ocalls count up from
+//! [`FIRST_OCALL_INDEX`] unless pinned explicitly (the SgxElide runtime
+//! reserves 100–102).
+
+use crate::error::EnclaveError;
+use crate::image::EnclaveImageBuilder;
+use elide_vm::asm::AsmError;
+
+/// First auto-assigned ocall index (0–99 and the elide range are reserved).
+pub const FIRST_OCALL_INDEX: i32 = 110;
+
+/// A parsed interface definition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Edl {
+    ecalls: Vec<String>,
+    ocalls: Vec<(String, i32)>,
+}
+
+fn syntax_error(line: usize, msg: impl Into<String>) -> EnclaveError {
+    EnclaveError::Asm(AsmError { line, msg: msg.into() })
+}
+
+impl Edl {
+    /// Parses EDL source.
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-tagged error for malformed declarations, duplicate
+    /// names, or conflicting ocall indices.
+    pub fn parse(source: &str) -> Result<Edl, EnclaveError> {
+        #[derive(PartialEq)]
+        enum Section {
+            None,
+            Trusted,
+            Untrusted,
+        }
+        let mut section = Section::None;
+        let mut edl = Edl::default();
+        let mut next_ocall = FIRST_OCALL_INDEX;
+        for (i, raw) in source.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.split("//").next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            match line {
+                "trusted {" => section = Section::Trusted,
+                "untrusted {" => section = Section::Untrusted,
+                "}" => section = Section::None,
+                decl => {
+                    let decl = decl
+                        .strip_suffix(';')
+                        .ok_or_else(|| syntax_error(line_no, "missing trailing ';'"))?;
+                    let mut parts = decl.split_whitespace();
+                    let kind = parts.next().unwrap_or("");
+                    let name = parts.next().unwrap_or("").to_string();
+                    if name.is_empty() {
+                        return Err(syntax_error(line_no, "missing function name"));
+                    }
+                    match (kind, &section) {
+                        ("ecall", Section::Trusted) => {
+                            if edl.ecalls.contains(&name) {
+                                return Err(syntax_error(line_no, format!("duplicate ecall {name}")));
+                            }
+                            if parts.next().is_some() {
+                                return Err(syntax_error(line_no, "ecalls take no options"));
+                            }
+                            edl.ecalls.push(name);
+                        }
+                        ("ocall", Section::Untrusted) => {
+                            let index = match (parts.next(), parts.next()) {
+                                (None, _) => {
+                                    let idx = next_ocall;
+                                    next_ocall += 1;
+                                    idx
+                                }
+                                (Some("="), Some(num)) => num.parse::<i32>().map_err(|_| {
+                                    syntax_error(line_no, format!("bad ocall index {num:?}"))
+                                })?,
+                                _ => return Err(syntax_error(line_no, "expected `= <index>`")),
+                            };
+                            if edl.ocalls.iter().any(|(n, i)| *n == name || *i == index) {
+                                return Err(syntax_error(
+                                    line_no,
+                                    format!("duplicate ocall name or index for {name}"),
+                                ));
+                            }
+                            edl.ocalls.push((name, index));
+                        }
+                        ("ecall", _) => {
+                            return Err(syntax_error(line_no, "ecall outside trusted section"))
+                        }
+                        ("ocall", _) => {
+                            return Err(syntax_error(line_no, "ocall outside untrusted section"))
+                        }
+                        (other, _) => {
+                            return Err(syntax_error(line_no, format!("unknown keyword {other:?}")))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(edl)
+    }
+
+    /// Declared ecalls in index order.
+    pub fn ecalls(&self) -> &[String] {
+        &self.ecalls
+    }
+
+    /// Index of a declared ecall.
+    pub fn ecall_index(&self, name: &str) -> Option<u64> {
+        self.ecalls.iter().position(|e| e == name).map(|i| i as u64)
+    }
+
+    /// Index of a declared ocall.
+    pub fn ocall_index(&self, name: &str) -> Option<i32> {
+        self.ocalls.iter().find(|(n, _)| n == name).map(|(_, i)| *i)
+    }
+
+    /// Applies the trusted interface to an image builder (declares every
+    /// ecall, in order).
+    pub fn apply(&self, builder: &mut EnclaveImageBuilder) {
+        for e in &self.ecalls {
+            builder.ecall(e);
+        }
+    }
+
+    /// Generates an assembly header of `OCALL_*` constants documenting the
+    /// untrusted interface (comment block; EV64 has no symbolic constants,
+    /// so guests use the numeric index with this as the reference).
+    pub fn ocall_reference_asm(&self) -> String {
+        let mut s = String::from("; --- ocall indices (generated from EDL) ---\n");
+        for (name, idx) in &self.ocalls {
+            s.push_str(&format!("; ocall {idx} = {name}\n"));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+trusted {
+    ecall get_answer;
+    ecall check_password;
+}
+untrusted {
+    ocall log_line;            // auto index
+    ocall read_asset = 120;
+}
+";
+
+    #[test]
+    fn parses_and_indexes() {
+        let edl = Edl::parse(SAMPLE).unwrap();
+        assert_eq!(edl.ecall_index("get_answer"), Some(0));
+        assert_eq!(edl.ecall_index("check_password"), Some(1));
+        assert_eq!(edl.ecall_index("nope"), None);
+        assert_eq!(edl.ocall_index("log_line"), Some(FIRST_OCALL_INDEX));
+        assert_eq!(edl.ocall_index("read_asset"), Some(120));
+    }
+
+    #[test]
+    fn builds_an_enclave_image() {
+        let edl = Edl::parse("trusted {\n    ecall f;\n}\n").unwrap();
+        let mut b = EnclaveImageBuilder::new();
+        b.source(".section text\n.global f\n.func f\n    movi r0, 1\n    ret\n.endfunc\n");
+        edl.apply(&mut b);
+        let image = b.build().unwrap();
+        assert!(elide_elf::ElfFile::parse(image).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Edl::parse("trusted {\n    ecall f\n}\n").is_err()); // missing ;
+        assert!(Edl::parse("ecall f;\n").is_err()); // outside section
+        assert!(Edl::parse("untrusted {\n    ocall x = twelve;\n}\n").is_err());
+        assert!(Edl::parse("trusted {\n    ecall f;\n    ecall f;\n}\n").is_err());
+        assert!(Edl::parse("untrusted {\n    ocall a = 5;\n    ocall b = 5;\n}\n").is_err());
+        assert!(Edl::parse("trusted {\n    grant f;\n}\n").is_err());
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let edl = Edl::parse("// header\ntrusted {\n    ecall f; // trailing\n}\n").unwrap();
+        assert_eq!(edl.ecalls(), &["f".to_string()]);
+    }
+
+    #[test]
+    fn reference_asm_lists_ocalls() {
+        let edl = Edl::parse(SAMPLE).unwrap();
+        let asm = edl.ocall_reference_asm();
+        assert!(asm.contains("ocall 120 = read_asset"));
+    }
+}

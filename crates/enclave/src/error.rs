@@ -1,0 +1,86 @@
+//! Unified error type for enclave build/load/run operations.
+
+use elide_vm::asm::AsmError;
+use elide_vm::link::LinkError;
+use elide_vm::mem::VmFault;
+use sgx_sim::SgxError;
+use std::fmt;
+
+/// Errors from building, loading or running an enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EnclaveError {
+    /// Assembly failure while building an image.
+    Asm(AsmError),
+    /// Link failure while building an image.
+    Link(LinkError),
+    /// ELF parse/patch failure.
+    Elf(elide_elf::ElfError),
+    /// SGX instruction failure (load or init time).
+    Sgx(SgxError),
+    /// Guest fault at run time (AEX).
+    Fault(VmFault),
+    /// An ocall arrived with no registered handler.
+    UnknownOcall {
+        /// The ocall index.
+        index: i32,
+    },
+    /// A required symbol is missing from the image.
+    MissingSymbol(String),
+    /// Host-side input exceeded the untrusted marshal area.
+    MarshalOverflow {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for EnclaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnclaveError::Asm(e) => write!(f, "assembly error: {e}"),
+            EnclaveError::Link(e) => write!(f, "link error: {e}"),
+            EnclaveError::Elf(e) => write!(f, "elf error: {e}"),
+            EnclaveError::Sgx(e) => write!(f, "sgx error: {e}"),
+            EnclaveError::Fault(e) => write!(f, "enclave fault: {e}"),
+            EnclaveError::UnknownOcall { index } => write!(f, "no handler for ocall {index}"),
+            EnclaveError::MissingSymbol(s) => write!(f, "missing symbol {s}"),
+            EnclaveError::MarshalOverflow { requested, available } => {
+                write!(f, "marshal area overflow: need {requested}, have {available}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnclaveError {}
+
+impl From<AsmError> for EnclaveError {
+    fn from(e: AsmError) -> Self {
+        EnclaveError::Asm(e)
+    }
+}
+
+impl From<LinkError> for EnclaveError {
+    fn from(e: LinkError) -> Self {
+        EnclaveError::Link(e)
+    }
+}
+
+impl From<elide_elf::ElfError> for EnclaveError {
+    fn from(e: elide_elf::ElfError) -> Self {
+        EnclaveError::Elf(e)
+    }
+}
+
+impl From<SgxError> for EnclaveError {
+    fn from(e: SgxError) -> Self {
+        EnclaveError::Sgx(e)
+    }
+}
+
+impl From<VmFault> for EnclaveError {
+    fn from(e: VmFault) -> Self {
+        EnclaveError::Fault(e)
+    }
+}

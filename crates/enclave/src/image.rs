@@ -1,0 +1,104 @@
+//! High-level enclave image builder: the `Makefile` of an SGX project.
+//!
+//! Combines the trusted runtime, the user's assembly sources, and the
+//! generated ecall table into one linked enclave `.so` image.
+
+use crate::error::EnclaveError;
+use crate::trts::{ecall_table_asm, TRTS_ASM};
+use elide_vm::asm::assemble;
+use elide_vm::link::{link, LinkOptions};
+use elide_vm::obj::Object;
+
+/// Builder for enclave ELF images.
+///
+/// # Examples
+///
+/// ```
+/// use elide_enclave::image::EnclaveImageBuilder;
+/// # fn main() -> Result<(), elide_enclave::EnclaveError> {
+/// let image = EnclaveImageBuilder::new()
+///     .source(".section text\n.global get_answer\n.func get_answer\n    movi r0, 42\n    ret\n.endfunc\n")
+///     .ecall("get_answer")
+///     .build()?;
+/// assert!(elide_elf::ElfFile::parse(image).is_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnclaveImageBuilder {
+    sources: Vec<String>,
+    ecalls: Vec<String>,
+    include_trts: bool,
+}
+
+impl EnclaveImageBuilder {
+    /// Creates a builder that links the trusted runtime by default.
+    pub fn new() -> Self {
+        EnclaveImageBuilder { sources: Vec::new(), ecalls: Vec::new(), include_trts: true }
+    }
+
+    /// Adds an assembly source file.
+    pub fn source(&mut self, asm: &str) -> &mut Self {
+        self.sources.push(asm.to_string());
+        self
+    }
+
+    /// Declares a trusted function callable from outside (ecall). The index
+    /// of each ecall is its declaration order.
+    pub fn ecall(&mut self, name: &str) -> &mut Self {
+        self.ecalls.push(name.to_string());
+        self
+    }
+
+    /// Index assigned to a declared ecall.
+    pub fn ecall_index(&self, name: &str) -> Option<u64> {
+        self.ecalls.iter().position(|e| e == name).map(|i| i as u64)
+    }
+
+    /// Assembles and links the image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler and linker errors.
+    pub fn build(&self) -> Result<Vec<u8>, EnclaveError> {
+        let mut objects: Vec<Object> = Vec::new();
+        if self.include_trts {
+            objects.push(assemble(TRTS_ASM)?);
+        }
+        for src in &self.sources {
+            objects.push(assemble(src)?);
+        }
+        let ecall_names: Vec<&str> = self.ecalls.iter().map(|s| s.as_str()).collect();
+        objects.push(assemble(&ecall_table_asm(&ecall_names))?);
+        Ok(link(&objects, &LinkOptions::default())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_indexes_ecalls() {
+        let mut b = EnclaveImageBuilder::new();
+        b.source(
+            ".section text\n.global f\n.func f\nmovi r0, 1\nret\n.endfunc\n\
+             .global g\n.func g\nmovi r0, 2\nret\n.endfunc\n",
+        );
+        b.ecall("f").ecall("g");
+        assert_eq!(b.ecall_index("f"), Some(0));
+        assert_eq!(b.ecall_index("g"), Some(1));
+        assert_eq!(b.ecall_index("h"), None);
+        let image = b.build().unwrap();
+        let elf = elide_elf::ElfFile::parse(image).unwrap();
+        assert!(elf.symbol_by_name("__ecall_table").is_some());
+        assert!(elf.symbol_by_name("elide_memcpy").is_some());
+    }
+
+    #[test]
+    fn undefined_ecall_fails_to_link() {
+        let mut b = EnclaveImageBuilder::new();
+        b.ecall("ghost");
+        assert!(matches!(b.build(), Err(EnclaveError::Link(_))));
+    }
+}

@@ -1,0 +1,54 @@
+//! # elide-enclave
+//!
+//! The enclave SDK runtime — the analog of the Intel SGX SDK's tRTS/uRTS
+//! pair for EV64 enclaves:
+//!
+//! * [`image`] — builds enclave `.so` images (tRTS + user code + generated
+//!   ecall table).
+//! * [`loader`] — the untrusted loader (`ECREATE`/`EADD`/`EEXTEND`/`EINIT`
+//!   from ELF program headers) and the offline signer.
+//! * [`runtime`] — EENTER bridge, ocall dispatch, the untrusted marshal
+//!   area, and trusted intrinsic services (SDK crypto, `EGETKEY`,
+//!   `EREPORT`, DH).
+//! * [`trts`] — the trusted runtime assembly every enclave links; its
+//!   functions are exactly the SgxElide whitelist seed.
+//! * [`seal`] — sealed-data blobs bound to enclave identity.
+//! * [`edl`] — a miniature EDL front end for declaring the interface.
+//!
+//! # Examples
+//!
+//! ```
+//! use elide_enclave::image::EnclaveImageBuilder;
+//! use elide_enclave::loader::{load_enclave, sign_enclave};
+//! use elide_enclave::runtime::EnclaveRuntime;
+//! use elide_crypto::rng::SeededRandom;
+//! use elide_crypto::rsa::RsaKeyPair;
+//! use sgx_sim::SgxCpu;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut builder = EnclaveImageBuilder::new();
+//! builder
+//!     .source(".section text\n.global answer\n.func answer\n    movi r0, 42\n    ret\n.endfunc\n")
+//!     .ecall("answer");
+//! let image = builder.build()?;
+//!
+//! let mut rng = SeededRandom::new(7);
+//! let cpu = SgxCpu::new(&mut rng);
+//! let vendor = RsaKeyPair::generate(512, &mut rng);
+//! let sig = sign_enclave(&image, &vendor, 1, 1)?;
+//! let mut rt = EnclaveRuntime::new(load_enclave(&cpu, &image, &sig)?);
+//! assert_eq!(rt.ecall(0, &[], 0)?.status, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod edl;
+pub mod error;
+pub mod image;
+pub mod loader;
+pub mod runtime;
+pub mod seal;
+pub mod trts;
+
+pub use error::EnclaveError;
+pub use runtime::EnclaveRuntime;

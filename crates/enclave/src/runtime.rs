@@ -1,0 +1,718 @@
+//! The enclave runtime: the host-side bridge (EENTER / ocall dispatch) and
+//! the in-enclave trusted services exposed to bytecode as intrinsics.
+//!
+//! Memory map during enclave execution:
+//!
+//! * ELRANGE (the enclave image) — accesses go through [`sgx_sim::Enclave`]
+//!   with the page permissions fixed at `EADD`; fetches are only allowed
+//!   here (enclave mode cannot execute untrusted memory).
+//! * The *untrusted marshal area* at [`UNTRUSTED_BASE`] — plain host memory
+//!   both sides can read and write; ecall/ocall buffers live here, exactly
+//!   like the SDK's bridge-managed buffers.
+
+use crate::error::EnclaveError;
+use crate::loader::LoadedEnclave;
+use elide_crypto::dh::DhKeyPair;
+use elide_crypto::gcm::AesGcm;
+use elide_crypto::rng::{OsRandom, RandomSource};
+use elide_crypto::sha2::Sha256;
+use elide_vm::interp::{Exit, Vm};
+use elide_vm::isa::{intrinsics, NUM_REGS};
+use elide_vm::mem::{Access, Bus, VmFault};
+use sgx_sim::enclave::AccessKind;
+use sgx_sim::epc::PagePerms;
+use sgx_sim::keys::SealPolicy;
+use sgx_sim::quote::QE_MEASUREMENT;
+use sgx_sim::report::{ereport, TargetInfo};
+use sgx_sim::Enclave;
+use std::collections::HashMap;
+
+/// Base address of the untrusted marshal area.
+pub const UNTRUSTED_BASE: u64 = 0x7000_0000;
+/// Default size of the untrusted marshal area.
+pub const UNTRUSTED_SIZE: usize = 1 << 20;
+/// Default instruction budget per ecall.
+pub const DEFAULT_FUEL: u64 = 2_000_000_000;
+
+/// Plain host memory shared between the enclave and the untrusted runtime.
+#[derive(Clone)]
+pub struct UntrustedMemory {
+    data: Vec<u8>,
+}
+
+impl std::fmt::Debug for UntrustedMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UntrustedMemory").field("size", &self.data.len()).finish()
+    }
+}
+
+impl UntrustedMemory {
+    fn new(size: usize) -> Self {
+        UntrustedMemory { data: vec![0; size] }
+    }
+
+    fn offset(&self, addr: u64, len: usize) -> Option<usize> {
+        let off = addr.checked_sub(UNTRUSTED_BASE)? as usize;
+        if off.checked_add(len)? <= self.data.len() {
+            Some(off)
+        } else {
+            None
+        }
+    }
+
+    /// Reads `len` bytes at untrusted address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::MarshalOverflow`] if out of range.
+    pub fn read(&self, addr: u64, len: usize) -> Result<Vec<u8>, EnclaveError> {
+        let off = self.offset(addr, len).ok_or(EnclaveError::MarshalOverflow {
+            requested: len,
+            available: self.data.len(),
+        })?;
+        Ok(self.data[off..off + len].to_vec())
+    }
+
+    /// Writes bytes at untrusted address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::MarshalOverflow`] if out of range.
+    pub fn write(&mut self, addr: u64, bytes: &[u8]) -> Result<(), EnclaveError> {
+        let off = self.offset(addr, bytes.len()).ok_or(EnclaveError::MarshalOverflow {
+            requested: bytes.len(),
+            available: self.data.len(),
+        })?;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+}
+
+/// Trusted services state (the "statically linked SDK" inside the enclave).
+struct TrustedServices {
+    dh: Option<DhKeyPair>,
+    rng: Box<dyn RandomSource>,
+}
+
+impl std::fmt::Debug for TrustedServices {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrustedServices").finish_non_exhaustive()
+    }
+}
+
+/// The memory world the VM executes against: enclave + untrusted area +
+/// trusted services. Implements [`Bus`].
+#[derive(Debug)]
+pub struct EnclaveWorld {
+    /// The initialized enclave.
+    pub enclave: Enclave,
+    /// The untrusted marshal area.
+    pub untrusted: UntrustedMemory,
+    services: TrustedServices,
+    /// When set, records the page offset of every instruction fetch — the
+    /// controlled-channel attacker's view (page-fault sequences, Xu et al.).
+    page_trace: Option<Vec<u64>>,
+    /// OS page-table write restrictions (`mprotect` analog): ranges the
+    /// *operating system* maps read-only on top of the EPC permissions.
+    /// Enforced only while the OS is honest — a malicious OS simply does
+    /// not apply them (§7: "mprotect must be called outside the enclave,
+    /// so this would not defend against a malicious OS").
+    os_readonly: Vec<(u64, u64)>,
+    /// Models a malicious OS that ignores `mprotect` requests.
+    malicious_os: bool,
+}
+
+fn map_sgx_fault(e: sgx_sim::SgxError, addr: u64, access: Access) -> VmFault {
+    match e {
+        sgx_sim::SgxError::PermissionDenied { addr } => VmFault::AccessViolation { addr, access },
+        sgx_sim::SgxError::PageNotPresent { addr } | sgx_sim::SgxError::OutOfRange { addr } => {
+            VmFault::Unmapped { addr, access }
+        }
+        _ => VmFault::Unmapped { addr, access },
+    }
+}
+
+impl EnclaveWorld {
+    fn in_enclave(&self, addr: u64) -> bool {
+        addr >= self.enclave.base() && addr < self.enclave.base() + self.enclave.size()
+    }
+
+    fn read_guest(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, VmFault> {
+        if self.in_enclave(addr) {
+            self.enclave
+                .read(addr, len, AccessKind::Read)
+                .map_err(|e| map_sgx_fault(e, addr, Access::Read))
+        } else {
+            self.untrusted
+                .read(addr, len)
+                .map_err(|_| VmFault::Unmapped { addr, access: Access::Read })
+        }
+    }
+
+    fn write_guest(&mut self, addr: u64, data: &[u8]) -> Result<(), VmFault> {
+        if self.in_enclave(addr) {
+            if !self.malicious_os {
+                let end = addr + data.len() as u64;
+                for &(lo, hi) in &self.os_readonly {
+                    if addr < hi && end > lo {
+                        return Err(VmFault::AccessViolation { addr, access: Access::Write });
+                    }
+                }
+            }
+            self.enclave
+                .write(addr, data)
+                .map_err(|e| map_sgx_fault(e, addr, Access::Write))
+        } else {
+            self.untrusted
+                .write(addr, data)
+                .map_err(|_| VmFault::Unmapped { addr, access: Access::Write })
+        }
+    }
+}
+
+impl Bus for EnclaveWorld {
+    fn load(&mut self, addr: u64, size: usize) -> Result<u64, VmFault> {
+        let bytes = self.read_guest(addr, size)?;
+        let mut v = 0u64;
+        for (i, b) in bytes.iter().enumerate() {
+            v |= (*b as u64) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), VmFault> {
+        let bytes: Vec<u8> = (0..size).map(|i| (value >> (8 * i)) as u8).collect();
+        self.write_guest(addr, &bytes)
+    }
+
+    fn fetch(&mut self, addr: u64) -> Result<[u8; 8], VmFault> {
+        // Enclave mode: instruction fetches outside ELRANGE are prohibited.
+        if !self.in_enclave(addr) {
+            return Err(VmFault::AccessViolation { addr, access: Access::Execute });
+        }
+        if let Some(trace) = &mut self.page_trace {
+            let page = addr & !0xFFF;
+            if trace.last() != Some(&page) {
+                trace.push(page);
+            }
+        }
+        let bytes = self
+            .enclave
+            .read(addr, 8, AccessKind::Execute)
+            .map_err(|e| map_sgx_fault(e, addr, Access::Execute))?;
+        Ok(bytes.try_into().expect("read returned 8 bytes"))
+    }
+
+    fn read_bytes(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, VmFault> {
+        self.read_guest(addr, len)
+    }
+
+    fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), VmFault> {
+        self.write_guest(addr, data)
+    }
+
+    fn intrinsic(&mut self, index: i32, regs: &mut [u64; NUM_REGS]) -> Result<(), VmFault> {
+        let bad = || VmFault::BadIntrinsic { index };
+        match index {
+            intrinsics::AESGCM_ENCRYPT | intrinsics::AESGCM_DECRYPT => {
+                let key: [u8; 16] =
+                    self.read_guest(regs[1], 16)?.try_into().map_err(|_| bad())?;
+                let iv: [u8; 12] = self.read_guest(regs[2], 12)?.try_into().map_err(|_| bad())?;
+                let src = regs[3];
+                let len = regs[4] as usize;
+                let dst = regs[5];
+                let gcm = AesGcm::new(&key).map_err(|_| bad())?;
+                if index == intrinsics::AESGCM_ENCRYPT {
+                    let plain = self.read_guest(src, len)?;
+                    let (ct, tag) = gcm.seal(&iv, &[], &plain);
+                    self.write_guest(dst, &ct)?;
+                    self.write_guest(dst + len as u64, &tag)?;
+                    regs[0] = 0;
+                } else {
+                    // Ciphertext followed by its 16-byte tag.
+                    let ct = self.read_guest(src, len)?;
+                    let tag: [u8; 16] =
+                        self.read_guest(src + len as u64, 16)?.try_into().map_err(|_| bad())?;
+                    match gcm.open(&iv, &[], &ct, &tag) {
+                        Ok(plain) => {
+                            self.write_guest(dst, &plain)?;
+                            regs[0] = 0;
+                        }
+                        Err(_) => regs[0] = 1,
+                    }
+                }
+            }
+            intrinsics::SHA256 => {
+                let data = self.read_guest(regs[1], regs[2] as usize)?;
+                let digest = Sha256::digest(&data);
+                self.write_guest(regs[3], &digest)?;
+                regs[0] = 0;
+            }
+            intrinsics::EGETKEY => {
+                let policy = match regs[1] {
+                    0 => SealPolicy::MrEnclave,
+                    1 => SealPolicy::MrSigner,
+                    _ => return Err(bad()),
+                };
+                let key = self.enclave.egetkey(policy).map_err(|_| bad())?;
+                self.write_guest(regs[2], &key)?;
+                regs[0] = 0;
+            }
+            intrinsics::EREPORT => {
+                let data: [u8; 64] =
+                    self.read_guest(regs[1], 64)?.try_into().map_err(|_| bad())?;
+                let report = ereport(&self.enclave, &TargetInfo { mrenclave: QE_MEASUREMENT }, data)
+                    .map_err(|_| bad())?;
+                self.write_guest(regs[2], &report.to_bytes())?;
+                regs[0] = sgx_sim::report::Report::SERIALIZED_LEN as u64;
+            }
+            intrinsics::DH_KEYGEN => {
+                let kp = DhKeyPair::generate(self.services.rng.as_mut());
+                let public = kp.public_bytes();
+                self.services.dh = Some(kp);
+                self.write_guest(regs[1], &public)?;
+                regs[0] = public.len() as u64;
+            }
+            intrinsics::DH_DERIVE => {
+                let peer = self.read_guest(regs[1], regs[2] as usize)?;
+                let kp = self.services.dh.as_ref().ok_or_else(bad)?;
+                match kp.derive_session_key(&peer) {
+                    Some(key) => {
+                        self.write_guest(regs[3], &key)?;
+                        regs[0] = 0;
+                    }
+                    None => regs[0] = 1,
+                }
+            }
+            intrinsics::RAND => {
+                let mut buf = vec![0u8; regs[2] as usize];
+                self.services.rng.fill(&mut buf);
+                self.write_guest(regs[1], &buf)?;
+                regs[0] = 0;
+            }
+            _ => return Err(bad()),
+        }
+        Ok(())
+    }
+}
+
+/// Signature of an ocall handler: receives the guest registers (arguments
+/// in `r1..r5`, result in `r0`) and the untrusted memory — the host can
+/// never touch enclave memory, exactly like a real ocall.
+pub type OcallHandler =
+    Box<dyn FnMut(&mut [u64; NUM_REGS], &mut UntrustedMemory) -> Result<(), EnclaveError>>;
+
+/// Result of one ecall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcallResult {
+    /// The guest's `r0` at `halt` (the ecall's return value).
+    pub status: u64,
+    /// Contents of the output area.
+    pub output: Vec<u8>,
+    /// Instructions retired servicing this ecall.
+    pub instructions: u64,
+}
+
+/// A running enclave plus its untrusted runtime (ocall table, marshal area).
+pub struct EnclaveRuntime {
+    world: EnclaveWorld,
+    entry: u64,
+    stack_top: u64,
+    ocalls: HashMap<i32, OcallHandler>,
+    /// Instruction budget per ecall.
+    pub fuel: u64,
+}
+
+impl std::fmt::Debug for EnclaveRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnclaveRuntime")
+            .field("entry", &format_args!("{:#x}", self.entry))
+            .field("ocalls", &self.ocalls.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EnclaveRuntime {
+    /// Wraps a loaded enclave with a default-sized marshal area and OS RNG.
+    pub fn new(loaded: LoadedEnclave) -> Self {
+        Self::with_rng(loaded, Box::new(OsRandom))
+    }
+
+    /// Wraps a loaded enclave, supplying the RNG for trusted services
+    /// (seeded in tests for reproducibility).
+    pub fn with_rng(loaded: LoadedEnclave, rng: Box<dyn RandomSource>) -> Self {
+        EnclaveRuntime {
+            world: EnclaveWorld {
+                enclave: loaded.enclave,
+                untrusted: UntrustedMemory::new(UNTRUSTED_SIZE),
+                services: TrustedServices { dh: None, rng },
+                page_trace: None,
+                os_readonly: Vec::new(),
+                malicious_os: false,
+            },
+            entry: loaded.entry,
+            stack_top: loaded.stack_top,
+            ocalls: HashMap::new(),
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Registers an ocall handler under `index`.
+    pub fn register_ocall(&mut self, index: i32, handler: OcallHandler) {
+        self.ocalls.insert(index, handler);
+    }
+
+    /// The enclave (for assertions and attacker-view helpers).
+    pub fn enclave(&self) -> &Enclave {
+        &self.world.enclave
+    }
+
+    /// Mutable access to the whole memory world — used by host-side
+    /// tooling such as the EPC paging manager, which on real hardware is
+    /// the (untrusted) kernel driver manipulating EPC mappings.
+    pub fn world_mut(&mut self) -> &mut EnclaveWorld {
+        &mut self.world
+    }
+
+    /// The untrusted marshal area.
+    pub fn untrusted(&self) -> &UntrustedMemory {
+        &self.world.untrusted
+    }
+
+    /// Mutable untrusted marshal area (host side).
+    pub fn untrusted_mut(&mut self) -> &mut UntrustedMemory {
+        &mut self.world.untrusted
+    }
+
+    /// Performs an ecall: writes `input` into the marshal area, enters the
+    /// enclave at the dispatch entry, services ocalls until `halt`, and
+    /// returns `r0` plus the output area.
+    ///
+    /// # Errors
+    ///
+    /// * [`EnclaveError::Fault`] — the guest faulted (e.g. called a
+    ///   sanitized function before restoration).
+    /// * [`EnclaveError::UnknownOcall`] — unregistered ocall index.
+    /// * [`EnclaveError::MarshalOverflow`] — input larger than the area.
+    pub fn ecall(
+        &mut self,
+        index: u64,
+        input: &[u8],
+        out_cap: usize,
+    ) -> Result<EcallResult, EnclaveError> {
+        let in_ptr = UNTRUSTED_BASE + 4096;
+        let out_ptr = in_ptr + ((input.len() as u64 + 15) & !15) + 16;
+        self.world.untrusted.write(in_ptr, input)?;
+        // Zero the output area for deterministic results.
+        self.world.untrusted.write(out_ptr, &vec![0u8; out_cap])?;
+
+        let mut vm = Vm::new(self.entry);
+        vm.set_sp(self.stack_top);
+        vm.regs[1] = index;
+        vm.regs[2] = in_ptr;
+        vm.regs[3] = input.len() as u64;
+        vm.regs[4] = out_ptr;
+        vm.regs[5] = out_cap as u64;
+
+        loop {
+            match vm.run(&mut self.world, self.fuel)? {
+                Exit::Halt(status) => {
+                    let output = self.world.untrusted.read(out_ptr, out_cap)?;
+                    return Ok(EcallResult { status, output, instructions: vm.retired });
+                }
+                Exit::Ocall(ocall_index) => {
+                    let handler = self
+                        .ocalls
+                        .get_mut(&ocall_index)
+                        .ok_or(EnclaveError::UnknownOcall { index: ocall_index })?;
+                    handler(&mut vm.regs, &mut self.world.untrusted)?;
+                }
+            }
+        }
+    }
+
+    /// Text-page permissions at `vaddr`, for assertions about the
+    /// sanitizer's `PF_W` patch.
+    pub fn page_perms(&self, vaddr: u64) -> Option<PagePerms> {
+        self.world.enclave.page_perms(vaddr)
+    }
+
+    /// Starts recording the page offsets of instruction fetches — the
+    /// observable of a controlled-channel attacker (a malicious OS tracking
+    /// page faults, §7).
+    pub fn enable_page_trace(&mut self) {
+        self.world.page_trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded page trace, leaving tracing enabled.
+    pub fn take_page_trace(&mut self) -> Vec<u64> {
+        match &mut self.world.page_trace {
+            Some(t) => std::mem::take(t),
+            None => Vec::new(),
+        }
+    }
+
+    /// `mprotect(addr, len, PROT_READ|PROT_EXEC)` analog: asks the OS to
+    /// revoke write access to an enclave address range on top of the EPC
+    /// permissions. The paper adds exactly this after restoration (§7).
+    /// The protection is only as strong as the OS: see
+    /// [`EnclaveRuntime::set_malicious_os`].
+    pub fn os_revoke_write(&mut self, addr: u64, len: u64) {
+        self.world.os_readonly.push((addr, addr + len));
+    }
+
+    /// Models an OS that ignores `mprotect` requests — the §7 limitation
+    /// ("this would not defend against a malicious OS or host
+    /// application").
+    pub fn set_malicious_os(&mut self, malicious: bool) {
+        self.world.malicious_os = malicious;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::{load_enclave, sign_enclave};
+    use crate::trts::{ecall_table_asm, TRTS_ASM};
+    use elide_crypto::rng::SeededRandom;
+    use elide_crypto::rsa::RsaKeyPair;
+    use elide_vm::asm::assemble_all;
+    use elide_vm::link::{link, LinkOptions};
+    use sgx_sim::SgxCpu;
+
+    fn build_runtime(user_asm: &str, ecalls: &[&str]) -> EnclaveRuntime {
+        let table = ecall_table_asm(ecalls);
+        let objs = assemble_all([TRTS_ASM, user_asm, table.as_str()]).unwrap();
+        let image = link(&objs, &LinkOptions::default()).unwrap();
+        let mut rng = SeededRandom::new(11);
+        let cpu = SgxCpu::new(&mut rng);
+        let vendor = RsaKeyPair::generate(512, &mut rng);
+        let sig = sign_enclave(&image, &vendor, 1, 1).unwrap();
+        let loaded = load_enclave(&cpu, &image, &sig).unwrap();
+        EnclaveRuntime::with_rng(loaded, Box::new(SeededRandom::new(99)))
+    }
+
+    #[test]
+    fn simple_ecall_returns_status() {
+        let mut rt = build_runtime(
+            ".section text\n.global answer\n.func answer\n    movi r0, 42\n    ret\n.endfunc\n",
+            &["answer"],
+        );
+        let r = rt.ecall(0, &[], 0).unwrap();
+        assert_eq!(r.status, 42);
+    }
+
+    #[test]
+    fn bad_ecall_index_returns_minus_one() {
+        let mut rt = build_runtime(
+            ".section text\n.global answer\n.func answer\n    movi r0, 42\n    ret\n.endfunc\n",
+            &["answer"],
+        );
+        let r = rt.ecall(7, &[], 0).unwrap();
+        assert_eq!(r.status as i64, -1);
+    }
+
+    #[test]
+    fn ecall_reads_input_writes_output() {
+        // Copies input to output, returns the length.
+        let user = "
+.section text
+.global echo
+.func echo
+    ; r2=in, r3=len, r4=out; memcpy(dst=r1, src=r2, len=r3)
+    mov  r1, r4
+    push r3
+    call elide_memcpy
+    pop  r0
+    ret
+.endfunc
+";
+        let mut rt = build_runtime(user, &["echo"]);
+        let r = rt.ecall(0, b"hello enclave", 32).unwrap();
+        assert_eq!(r.status, 13);
+        assert_eq!(&r.output[..13], b"hello enclave");
+    }
+
+    #[test]
+    fn ocall_roundtrip() {
+        // Guest asks the host to add 1 to r1.
+        let user = "
+.section text
+.global ask_host
+.func ask_host
+    movi r1, 41
+    ocall 3
+    ret
+.endfunc
+";
+        let mut rt = build_runtime(user, &["ask_host"]);
+        rt.register_ocall(
+            3,
+            Box::new(|regs, _mem| {
+                regs[0] = regs[1] + 1;
+                Ok(())
+            }),
+        );
+        let r = rt.ecall(0, &[], 0).unwrap();
+        assert_eq!(r.status, 42);
+    }
+
+    #[test]
+    fn unknown_ocall_is_an_error() {
+        let user = ".section text\n.global f\n.func f\n    ocall 9\n    ret\n.endfunc\n";
+        let mut rt = build_runtime(user, &["f"]);
+        assert_eq!(rt.ecall(0, &[], 0).unwrap_err(), EnclaveError::UnknownOcall { index: 9 });
+    }
+
+    #[test]
+    fn guest_cannot_write_text_pages_by_default() {
+        let user = "
+.section text
+.global overwrite_self
+.func overwrite_self
+    la   r1, overwrite_self
+    movi r2, 0
+    st64 r2, [r1]
+    movi r0, 0
+    ret
+.endfunc
+";
+        let mut rt = build_runtime(user, &["overwrite_self"]);
+        match rt.ecall(0, &[], 0).unwrap_err() {
+            EnclaveError::Fault(VmFault::AccessViolation { access: Access::Write, .. }) => {}
+            other => panic!("expected write violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guest_cannot_execute_untrusted_memory() {
+        let user = "
+.section text
+.global jump_out
+.func jump_out
+    li   r1, 0x70000000
+    jmpr r1
+.endfunc
+";
+        let mut rt = build_runtime(user, &["jump_out"]);
+        match rt.ecall(0, &[], 0).unwrap_err() {
+            EnclaveError::Fault(VmFault::AccessViolation { access: Access::Execute, .. }) => {}
+            other => panic!("expected execute violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn guest_can_access_untrusted_data() {
+        // Reads a value the host placed outside the marshal protocol.
+        let user = "
+.section text
+.global peek
+.func peek
+    li   r1, 0x70000800
+    ld64 r0, [r1]
+    ret
+.endfunc
+";
+        let mut rt = build_runtime(user, &["peek"]);
+        rt.untrusted_mut().write(0x7000_0800, &0xDEAD_BEEFu64.to_le_bytes()).unwrap();
+        assert_eq!(rt.ecall(0, &[], 0).unwrap().status, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn sha256_intrinsic_matches_host() {
+        let user = "
+.section text
+.global hash_input
+.func hash_input
+    ; r2=in ptr, r3=len, r4=out ptr
+    mov  r1, r2
+    mov  r2, r3
+    mov  r3, r4
+    intrin 3
+    movi r0, 32
+    ret
+.endfunc
+";
+        let mut rt = build_runtime(user, &["hash_input"]);
+        let r = rt.ecall(0, b"abc", 32).unwrap();
+        assert_eq!(r.status, 32);
+        assert_eq!(r.output, Sha256::digest(b"abc").to_vec());
+    }
+
+    #[test]
+    fn aesgcm_intrinsics_roundtrip_in_guest() {
+        // Guest encrypts then decrypts a message held in enclave bss.
+        let user = "
+.section text
+.global gcm_demo
+.func gcm_demo
+    ; encrypt: key, iv, src, len, dst
+    la   r1, key
+    la   r2, iv
+    la   r3, msg
+    movi r4, 16
+    la   r5, ctbuf
+    intrin 2
+    ; decrypt back into ptbuf
+    la   r1, key
+    la   r2, iv
+    la   r3, ctbuf
+    movi r4, 16
+    la   r5, ptbuf
+    intrin 1
+    movi r6, 0
+    bne  r0, r6, .fail
+    ; compare
+    la   r1, msg
+    la   r2, ptbuf
+    movi r3, 16
+    call elide_memcmp
+    ret
+.fail:
+    movi r0, 99
+    ret
+.endfunc
+.section rodata
+key: .byte 1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1
+iv:  .byte 2,2,2,2,2,2,2,2,2,2,2,2
+msg: .ascii \"sixteen byte msg\"
+.section bss
+ctbuf: .zero 32
+ptbuf: .zero 16
+";
+        let mut rt = build_runtime(user, &["gcm_demo"]);
+        let r = rt.ecall(0, &[], 0).unwrap();
+        assert_eq!(r.status, 0, "plaintext should roundtrip");
+    }
+
+    #[test]
+    fn egetkey_is_stable_within_enclave() {
+        let user = "
+.section text
+.global get_seal_key
+.func get_seal_key
+    ; write seal key twice into out buffer
+    movi r1, 0
+    mov  r2, r4
+    intrin 4
+    movi r1, 0
+    addi r2, r4, 16
+    intrin 4
+    movi r0, 32
+    ret
+.endfunc
+";
+        let mut rt = build_runtime(user, &["get_seal_key"]);
+        let r = rt.ecall(0, &[], 32).unwrap();
+        assert_eq!(&r.output[..16], &r.output[16..32]);
+        assert_ne!(&r.output[..16], &[0u8; 16]);
+    }
+
+    #[test]
+    fn fuel_budget_enforced() {
+        let user = ".section text\n.global spin\n.func spin\n.l:\n    jmp .l\n.endfunc\n";
+        let mut rt = build_runtime(user, &["spin"]);
+        rt.fuel = 1000;
+        assert_eq!(rt.ecall(0, &[], 0).unwrap_err(), EnclaveError::Fault(VmFault::OutOfFuel));
+    }
+}

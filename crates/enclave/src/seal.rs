@@ -1,0 +1,191 @@
+//! Sealed-data format (`sgx_seal_data` analog): AES-GCM under a key derived
+//! from the hardware fuse key and the enclave identity.
+//!
+//! SgxElide's step ❼ seals the restored secret so later launches need no
+//! server contact; this module provides the blob format and host-side
+//! helpers for tests (the in-enclave path uses the `EGETKEY` and AES-GCM
+//! intrinsics on the same format).
+
+use elide_crypto::gcm::AesGcm;
+use elide_crypto::rng::RandomSource;
+use sgx_sim::keys::SealPolicy;
+use sgx_sim::{Enclave, SgxError};
+
+/// Magic prefix of sealed blobs.
+pub const SEAL_MAGIC: &[u8; 8] = b"ELIDSEAL";
+
+/// A sealed blob: policy byte + IV + ciphertext + tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlob {
+    /// Key policy used (0 = MRENCLAVE, 1 = MRSIGNER).
+    pub policy: u8,
+    /// GCM nonce.
+    pub iv: [u8; 12],
+    /// Ciphertext.
+    pub ciphertext: Vec<u8>,
+    /// GCM tag.
+    pub tag: [u8; 16],
+}
+
+impl SealedBlob {
+    /// Serializes to `ELIDSEAL || policy || iv || tag || len || ct`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 1 + 12 + 16 + 4 + self.ciphertext.len());
+        out.extend_from_slice(SEAL_MAGIC);
+        out.push(self.policy);
+        out.extend_from_slice(&self.iv);
+        out.extend_from_slice(&self.tag);
+        out.extend_from_slice(&(self.ciphertext.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.ciphertext);
+        out
+    }
+
+    /// Parses a serialized blob.
+    pub fn from_bytes(bytes: &[u8]) -> Option<SealedBlob> {
+        if bytes.len() < 41 || &bytes[..8] != SEAL_MAGIC {
+            return None;
+        }
+        let policy = bytes[8];
+        let iv: [u8; 12] = bytes[9..21].try_into().ok()?;
+        let tag: [u8; 16] = bytes[21..37].try_into().ok()?;
+        let len = u32::from_le_bytes(bytes[37..41].try_into().ok()?) as usize;
+        let ciphertext = bytes.get(41..41 + len)?.to_vec();
+        Some(SealedBlob { policy, iv, ciphertext, tag })
+    }
+}
+
+/// Seals `data` to `enclave` under `policy`.
+///
+/// # Errors
+///
+/// Fails if the enclave is not initialized ([`SgxError::NotInitialized`]).
+pub fn seal(
+    enclave: &Enclave,
+    policy: SealPolicy,
+    data: &[u8],
+    rng: &mut dyn RandomSource,
+) -> Result<SealedBlob, SgxError> {
+    let key = enclave.egetkey(policy)?;
+    let gcm = AesGcm::new(&key).expect("16-byte key");
+    let mut iv = [0u8; 12];
+    rng.fill(&mut iv);
+    let policy_byte = match policy {
+        SealPolicy::MrEnclave => 0,
+        SealPolicy::MrSigner => 1,
+    };
+    let (ciphertext, tag) = gcm.seal(&iv, &[policy_byte], data);
+    Ok(SealedBlob { policy: policy_byte, iv, ciphertext, tag })
+}
+
+/// Unseals a blob inside `enclave`.
+///
+/// # Errors
+///
+/// * [`SgxError::NotInitialized`] — enclave identity unavailable.
+/// * [`SgxError::SealAuthFailed`] — wrong enclave, wrong processor, or
+///   tampered blob.
+pub fn unseal(enclave: &Enclave, blob: &SealedBlob) -> Result<Vec<u8>, SgxError> {
+    let policy = match blob.policy {
+        0 => SealPolicy::MrEnclave,
+        1 => SealPolicy::MrSigner,
+        _ => return Err(SgxError::SealAuthFailed),
+    };
+    let key = enclave.egetkey(policy)?;
+    let gcm = AesGcm::new(&key).expect("16-byte key");
+    gcm.open(&blob.iv, &[blob.policy], &blob.ciphertext, &blob.tag)
+        .map_err(|_| SgxError::SealAuthFailed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elide_crypto::rng::SeededRandom;
+    use elide_crypto::rsa::RsaKeyPair;
+    use sgx_sim::epc::{PagePerms, PageType};
+    use sgx_sim::sigstruct::SigStruct;
+    use sgx_sim::SgxCpu;
+
+    fn enclave_with(cpu: &SgxCpu, fill: u8, vendor: &RsaKeyPair) -> Enclave {
+        let mut e = cpu.ecreate(0x100000, 0x1000).unwrap();
+        e.eadd(0x100000, &[fill; 4096], PagePerms::RX, PageType::Reg).unwrap();
+        for i in 0..16 {
+            e.eextend(0x100000 + i * 256).unwrap();
+        }
+        let sig = SigStruct::sign(vendor, e.current_measurement().unwrap(), 1, 1).unwrap();
+        e.einit(&sig).unwrap();
+        e
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let mut rng = SeededRandom::new(1);
+        let cpu = SgxCpu::new(&mut rng);
+        let vendor = RsaKeyPair::generate(512, &mut rng);
+        let e = enclave_with(&cpu, 1, &vendor);
+        let blob = seal(&e, SealPolicy::MrEnclave, b"restored text section", &mut rng).unwrap();
+        assert_eq!(unseal(&e, &blob).unwrap(), b"restored text section");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut rng = SeededRandom::new(1);
+        let cpu = SgxCpu::new(&mut rng);
+        let vendor = RsaKeyPair::generate(512, &mut rng);
+        let e = enclave_with(&cpu, 1, &vendor);
+        let blob = seal(&e, SealPolicy::MrSigner, b"data", &mut rng).unwrap();
+        let parsed = SealedBlob::from_bytes(&blob.to_bytes()).unwrap();
+        assert_eq!(parsed, blob);
+        assert!(SealedBlob::from_bytes(b"short").is_none());
+        assert!(SealedBlob::from_bytes(b"WRONGMAGIC_________________________________").is_none());
+    }
+
+    #[test]
+    fn different_enclave_cannot_unseal_mrenclave_policy() {
+        let mut rng = SeededRandom::new(1);
+        let cpu = SgxCpu::new(&mut rng);
+        let vendor = RsaKeyPair::generate(512, &mut rng);
+        let a = enclave_with(&cpu, 1, &vendor);
+        let b = enclave_with(&cpu, 2, &vendor);
+        let blob = seal(&a, SealPolicy::MrEnclave, b"secret", &mut rng).unwrap();
+        assert_eq!(unseal(&b, &blob), Err(SgxError::SealAuthFailed));
+    }
+
+    #[test]
+    fn same_signer_can_unseal_mrsigner_policy() {
+        let mut rng = SeededRandom::new(1);
+        let cpu = SgxCpu::new(&mut rng);
+        let vendor = RsaKeyPair::generate(512, &mut rng);
+        let a = enclave_with(&cpu, 1, &vendor);
+        let b = enclave_with(&cpu, 2, &vendor);
+        let blob = seal(&a, SealPolicy::MrSigner, b"vendor data", &mut rng).unwrap();
+        assert_eq!(unseal(&b, &blob).unwrap(), b"vendor data");
+    }
+
+    #[test]
+    fn tampered_blob_rejected() {
+        let mut rng = SeededRandom::new(1);
+        let cpu = SgxCpu::new(&mut rng);
+        let vendor = RsaKeyPair::generate(512, &mut rng);
+        let e = enclave_with(&cpu, 1, &vendor);
+        let mut blob = seal(&e, SealPolicy::MrEnclave, b"secret", &mut rng).unwrap();
+        blob.ciphertext[0] ^= 1;
+        assert_eq!(unseal(&e, &blob), Err(SgxError::SealAuthFailed));
+        // Policy confusion also rejected.
+        let mut blob2 = seal(&e, SealPolicy::MrEnclave, b"secret", &mut rng).unwrap();
+        blob2.policy = 1;
+        assert_eq!(unseal(&e, &blob2), Err(SgxError::SealAuthFailed));
+    }
+
+    #[test]
+    fn other_processor_cannot_unseal() {
+        let mut rng = SeededRandom::new(1);
+        let cpu1 = SgxCpu::new(&mut rng);
+        let cpu2 = SgxCpu::new(&mut rng);
+        let vendor = RsaKeyPair::generate(512, &mut rng);
+        let a = enclave_with(&cpu1, 1, &vendor);
+        let b = enclave_with(&cpu2, 1, &vendor); // identical measurement!
+        assert_eq!(a.mrenclave(), b.mrenclave());
+        let blob = seal(&a, SealPolicy::MrEnclave, b"secret", &mut rng).unwrap();
+        assert_eq!(unseal(&b, &blob), Err(SgxError::SealAuthFailed));
+    }
+}

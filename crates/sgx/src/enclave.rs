@@ -1,0 +1,589 @@
+//! The simulated processor and enclave life cycle: `ECREATE` → `EADD` /
+//! `EEXTEND` → `EINIT` → enclave-mode memory access, plus `EGETKEY` and the
+//! attacker's view of enclave memory.
+
+use crate::epc::{EpcPage, PagePerms, PageType, PAGE_SIZE};
+use crate::error::SgxError;
+use crate::keys::{HardwareKeys, SealPolicy};
+use crate::measure::{Measurement, EEXTEND_CHUNK};
+use elide_crypto::aes::{ctr_xor, Aes};
+use elide_crypto::rng::RandomSource;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The kind of memory access being attempted (maps onto VM accesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+/// A simulated SGX-capable processor: fused keys plus a per-boot MEE key.
+#[derive(Debug, Clone)]
+pub struct SgxCpu {
+    hw: Arc<HardwareKeys>,
+    boot_nonce: [u8; 16],
+}
+
+impl SgxCpu {
+    /// Powers on a processor with fresh fuses.
+    pub fn new(rng: &mut dyn RandomSource) -> Self {
+        let hw = HardwareKeys::generate(rng);
+        let mut boot_nonce = [0u8; 16];
+        rng.fill(&mut boot_nonce);
+        SgxCpu { hw: Arc::new(hw), boot_nonce }
+    }
+
+    /// Simulates a reboot: same fuses, fresh MEE key.
+    pub fn reboot(&mut self, rng: &mut dyn RandomSource) {
+        rng.fill(&mut self.boot_nonce);
+    }
+
+    /// Persists the simulated processor (fuses + boot nonce) so separate
+    /// tool invocations can model the *same* machine.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        out.extend_from_slice(&self.hw.to_bytes());
+        out.extend_from_slice(&self.boot_nonce);
+        out
+    }
+
+    /// Restores a processor persisted by [`SgxCpu::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<SgxCpu> {
+        if bytes.len() != 48 {
+            return None;
+        }
+        let fuse: [u8; 32] = bytes[..32].try_into().ok()?;
+        let boot_nonce: [u8; 16] = bytes[32..48].try_into().ok()?;
+        Some(SgxCpu { hw: Arc::new(HardwareKeys::from_bytes(fuse)), boot_nonce })
+    }
+
+    /// The fused key material (used by the quoting enclave, which on real
+    /// hardware shares the key hierarchy).
+    pub(crate) fn hardware(&self) -> &HardwareKeys {
+        &self.hw
+    }
+
+    /// `ECREATE`: allocates an enclave covering `[base, base + size)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SgxError::BadAlignment`] unless both `base` and `size` are
+    /// page-aligned and `size` is nonzero.
+    pub fn ecreate(&self, base: u64, size: u64) -> Result<Enclave, SgxError> {
+        if base % PAGE_SIZE != 0 || size % PAGE_SIZE != 0 || size == 0 {
+            return Err(SgxError::BadAlignment { addr: base });
+        }
+        Ok(Enclave {
+            cpu: self.clone(),
+            base,
+            size,
+            pages: BTreeMap::new(),
+            measurement: Some(Measurement::ecreate(size)),
+            mrenclave: [0; 32],
+            mrsigner: [0; 32],
+            initialized: false,
+        })
+    }
+}
+
+/// One enclave instance.
+pub struct Enclave {
+    cpu: SgxCpu,
+    base: u64,
+    size: u64,
+    pages: BTreeMap<u64, EpcPage>, // keyed by page offset within ELRANGE
+    measurement: Option<Measurement>,
+    mrenclave: [u8; 32],
+    mrsigner: [u8; 32],
+    initialized: bool,
+}
+
+impl std::fmt::Debug for Enclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Enclave")
+            .field("base", &format_args!("{:#x}", self.base))
+            .field("size", &format_args!("{:#x}", self.size))
+            .field("pages", &self.pages.len())
+            .field("initialized", &self.initialized)
+            .finish()
+    }
+}
+
+impl Enclave {
+    /// ELRANGE base address.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// ELRANGE size in bytes.
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// True after a successful `EINIT`.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// MRENCLAVE (zero before `EINIT`).
+    pub fn mrenclave(&self) -> [u8; 32] {
+        self.mrenclave
+    }
+
+    /// MRSIGNER (zero before `EINIT`).
+    pub fn mrsigner(&self) -> [u8; 32] {
+        self.mrsigner
+    }
+
+    fn check_vaddr(&self, vaddr: u64) -> Result<u64, SgxError> {
+        if vaddr < self.base || vaddr >= self.base + self.size {
+            return Err(SgxError::OutOfRange { addr: vaddr });
+        }
+        Ok(vaddr - self.base)
+    }
+
+    /// `EADD`: copies a 4 KiB page into the EPC with immutable permissions.
+    ///
+    /// # Errors
+    ///
+    /// Fails after `EINIT` (SGX-v1), on misaligned addresses, or outside
+    /// ELRANGE.
+    pub fn eadd(
+        &mut self,
+        vaddr: u64,
+        data: &[u8; PAGE_SIZE as usize],
+        perms: PagePerms,
+        ptype: PageType,
+    ) -> Result<(), SgxError> {
+        if self.initialized {
+            return Err(SgxError::AlreadyInitialized);
+        }
+        let off = self.check_vaddr(vaddr)?;
+        if off % PAGE_SIZE != 0 {
+            return Err(SgxError::BadAlignment { addr: vaddr });
+        }
+        self.pages.insert(off, EpcPage::new(Box::new(*data), perms, ptype));
+        self.measurement
+            .as_mut()
+            .expect("measurement live before EINIT")
+            .eadd(off, perms, ptype);
+        Ok(())
+    }
+
+    /// `EEXTEND`: measures one 256-byte chunk of an added page.
+    ///
+    /// # Errors
+    ///
+    /// Fails after `EINIT`, on non-chunk-aligned offsets, or when the page
+    /// has not been added.
+    pub fn eextend(&mut self, vaddr: u64) -> Result<(), SgxError> {
+        if self.initialized {
+            return Err(SgxError::AlreadyInitialized);
+        }
+        let off = self.check_vaddr(vaddr)?;
+        if off % EEXTEND_CHUNK as u64 != 0 {
+            return Err(SgxError::BadExtendChunk);
+        }
+        let page_off = off & !(PAGE_SIZE - 1);
+        let page = self.pages.get(&page_off).ok_or(SgxError::PageNotPresent { addr: vaddr })?;
+        let within = (off - page_off) as usize;
+        let chunk = page.data[within..within + EEXTEND_CHUNK].to_vec();
+        self.measurement
+            .as_mut()
+            .expect("measurement live before EINIT")
+            .eextend(off, &chunk);
+        Ok(())
+    }
+
+    /// `EINIT`: verifies SIGSTRUCT and freezes the enclave.
+    ///
+    /// # Errors
+    ///
+    /// * [`SgxError::BadSigstruct`] — vendor signature invalid.
+    /// * [`SgxError::MeasurementMismatch`] — signed MRENCLAVE differs from
+    ///   the value the hardware measured ("unless the enclave's measurement
+    ///   matches ... the hardware will not initialize it", §2.1).
+    pub fn einit(&mut self, sigstruct: &crate::sigstruct::SigStruct) -> Result<(), SgxError> {
+        if self.initialized {
+            return Err(SgxError::AlreadyInitialized);
+        }
+        sigstruct.verify().map_err(|_| SgxError::BadSigstruct)?;
+        let measured = self
+            .measurement
+            .take()
+            .expect("measurement live before EINIT")
+            .finalize();
+        if measured != sigstruct.measurement {
+            // Restore the state? Architecturally EINIT can be retried, but a
+            // failed measurement means the enclave must be rebuilt anyway.
+            return Err(SgxError::MeasurementMismatch {
+                expected: sigstruct.measurement,
+                actual: measured,
+            });
+        }
+        self.mrenclave = measured;
+        self.mrsigner = sigstruct.mrsigner().map_err(|_| SgxError::BadSigstruct)?;
+        self.initialized = true;
+        Ok(())
+    }
+
+    fn page_for(
+        &self,
+        vaddr: u64,
+        kind: AccessKind,
+    ) -> Result<(&EpcPage, usize), SgxError> {
+        let off = self.check_vaddr(vaddr)?;
+        let page_off = off & !(PAGE_SIZE - 1);
+        let page = self.pages.get(&page_off).ok_or(SgxError::PageNotPresent { addr: vaddr })?;
+        let ok = match kind {
+            AccessKind::Read => page.perms.readable(),
+            AccessKind::Write => page.perms.writable(),
+            AccessKind::Execute => page.perms.executable(),
+        };
+        if !ok {
+            return Err(SgxError::PermissionDenied { addr: vaddr });
+        }
+        Ok((page, (off - page_off) as usize))
+    }
+
+    /// Reads `len` bytes at `vaddr` from enclave mode, permission-checked,
+    /// page-crossing allowed.
+    ///
+    /// # Errors
+    ///
+    /// Fails before `EINIT`, outside ELRANGE, on absent pages, or without
+    /// read (or execute, for [`AccessKind::Execute`]) permission.
+    pub fn read(&self, vaddr: u64, len: usize, kind: AccessKind) -> Result<Vec<u8>, SgxError> {
+        if !self.initialized {
+            return Err(SgxError::NotInitialized);
+        }
+        if len as u64 > self.size {
+            return Err(SgxError::OutOfRange { addr: vaddr });
+        }
+        let mut out = Vec::with_capacity(len);
+        let mut addr = vaddr;
+        let mut remaining = len;
+        while remaining > 0 {
+            let (page, within) = self.page_for(addr, kind)?;
+            let take = remaining.min(PAGE_SIZE as usize - within);
+            out.extend_from_slice(&page.data[within..within + take]);
+            addr += take as u64;
+            remaining -= take;
+        }
+        Ok(out)
+    }
+
+    /// Writes bytes at `vaddr` from enclave mode, permission-checked.
+    /// This is the self-modification path: it succeeds on text pages only
+    /// if the sanitizer made them writable at `EADD` time.
+    ///
+    /// # Errors
+    ///
+    /// Fails before `EINIT`, outside ELRANGE, on absent pages, or without
+    /// write permission.
+    pub fn write(&mut self, vaddr: u64, data: &[u8]) -> Result<(), SgxError> {
+        if !self.initialized {
+            return Err(SgxError::NotInitialized);
+        }
+        // Validate the entire range first so partial writes never happen.
+        let mut addr = vaddr;
+        let mut remaining = data.len();
+        while remaining > 0 {
+            let (_, within) = self.page_for(addr, AccessKind::Write)?;
+            let take = remaining.min(PAGE_SIZE as usize - within);
+            addr += take as u64;
+            remaining -= take;
+        }
+        let mut addr = vaddr;
+        let mut src = data;
+        while !src.is_empty() {
+            let off = addr - self.base;
+            let page_off = off & !(PAGE_SIZE - 1);
+            let within = (off - page_off) as usize;
+            let take = src.len().min(PAGE_SIZE as usize - within);
+            let page = self.pages.get_mut(&page_off).expect("validated above");
+            page.data[within..within + take].copy_from_slice(&src[..take]);
+            addr += take as u64;
+            src = &src[take..];
+        }
+        Ok(())
+    }
+
+    /// `EGETKEY`: derives the seal key for this enclave under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Fails before `EINIT` (identity not yet established).
+    pub fn egetkey(&self, policy: SealPolicy) -> Result<[u8; 16], SgxError> {
+        if !self.initialized {
+            return Err(SgxError::NotInitialized);
+        }
+        Ok(self.cpu.hw.seal_key(policy, &self.mrenclave, &self.mrsigner))
+    }
+
+    /// The report key this enclave uses to *verify* reports targeted at it.
+    ///
+    /// # Errors
+    ///
+    /// Fails before `EINIT`.
+    pub fn report_key(&self) -> Result<[u8; 16], SgxError> {
+        if !self.initialized {
+            return Err(SgxError::NotInitialized);
+        }
+        Ok(self.cpu.hw.report_key(&self.mrenclave))
+    }
+
+    /// The processor this enclave runs on.
+    pub fn cpu(&self) -> &SgxCpu {
+        &self.cpu
+    }
+
+    // ------------------------------------------------------------------
+    // Attacker views
+    // ------------------------------------------------------------------
+
+    /// What non-enclave software sees when it reads enclave linear
+    /// addresses: the abort page — all ones — regardless of content.
+    pub fn abort_page_read(&self, _vaddr: u64, len: usize) -> Vec<u8> {
+        vec![0xFF; len]
+    }
+
+    /// What a physical attacker sees on the memory bus: the page contents
+    /// encrypted by the MEE under a per-boot key. Returns `(page_offset,
+    /// ciphertext)` pairs for all resident pages.
+    pub fn dram_image(&self) -> Vec<(u64, Vec<u8>)> {
+        let mee = Aes::new_128(&self.cpu.hw.mee_key(&self.cpu.boot_nonce));
+        self.pages
+            .iter()
+            .map(|(&off, page)| {
+                let mut buf = page.data.to_vec();
+                let mut ctr = [0u8; 16];
+                ctr[..8].copy_from_slice(&off.to_le_bytes());
+                ctr_xor(&mee, &ctr, &mut buf);
+                (off, buf)
+            })
+            .collect()
+    }
+
+    /// The measurement the hardware has accumulated so far (pre-`EINIT`).
+    /// The enclave signing tool uses this to compute the value to place in
+    /// SIGSTRUCT, exactly as `sgx_sign` replays the load sequence.
+    ///
+    /// # Errors
+    ///
+    /// Fails after `EINIT` (the live measurement is consumed).
+    pub fn current_measurement(&self) -> Result<[u8; 32], SgxError> {
+        self.measurement
+            .as_ref()
+            .map(|m| m.current())
+            .ok_or(SgxError::AlreadyInitialized)
+    }
+
+    pub(crate) fn page_restore(&mut self, page_off: u64, page: EpcPage) {
+        self.pages.insert(page_off, page);
+    }
+
+    pub(crate) fn page_evict(&mut self, page_off: u64) -> Option<EpcPage> {
+        self.pages.remove(&page_off)
+    }
+
+    /// Page offsets of all resident pages (for iteration by tooling).
+    pub fn resident_pages(&self) -> Vec<u64> {
+        self.pages.keys().copied().collect()
+    }
+
+    /// Permissions of the page containing `vaddr`, if resident.
+    pub fn page_perms(&self, vaddr: u64) -> Option<PagePerms> {
+        let off = vaddr.checked_sub(self.base)?;
+        self.pages.get(&(off & !(PAGE_SIZE - 1))).map(|p| p.perms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigstruct::SigStruct;
+    use elide_crypto::rng::SeededRandom;
+    use elide_crypto::rsa::RsaKeyPair;
+
+    fn cpu() -> SgxCpu {
+        SgxCpu::new(&mut SeededRandom::new(42))
+    }
+
+    fn vendor() -> RsaKeyPair {
+        RsaKeyPair::generate(512, &mut SeededRandom::new(0xBEEF))
+    }
+
+    /// Builds and initializes a one-page enclave, returning it.
+    fn small_enclave(perms: PagePerms, fill: u8) -> Enclave {
+        let cpu = cpu();
+        let mut e = cpu.ecreate(0x100000, 0x10000).unwrap();
+        e.eadd(0x100000, &[fill; 4096], perms, PageType::Reg).unwrap();
+        for i in 0..16 {
+            e.eextend(0x100000 + i * 256).unwrap();
+        }
+        let m = e.current_measurement().unwrap();
+        let sig = SigStruct::sign(&vendor(), m, 1, 1).unwrap();
+        e.einit(&sig).unwrap();
+        e
+    }
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let e = small_enclave(PagePerms::RX, 7);
+        assert!(e.is_initialized());
+        assert_ne!(e.mrenclave(), [0u8; 32]);
+        assert_eq!(e.read(0x100000, 4, AccessKind::Read).unwrap(), vec![7, 7, 7, 7]);
+        assert_eq!(e.read(0x100000, 8, AccessKind::Execute).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn ecreate_rejects_misaligned() {
+        assert!(cpu().ecreate(0x100001, 0x1000).is_err());
+        assert!(cpu().ecreate(0x100000, 0x1001).is_err());
+        assert!(cpu().ecreate(0x100000, 0).is_err());
+    }
+
+    #[test]
+    fn write_to_readonly_text_denied() {
+        let mut e = small_enclave(PagePerms::RX, 0);
+        let err = e.write(0x100000, &[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, SgxError::PermissionDenied { .. }));
+    }
+
+    #[test]
+    fn write_to_rwx_text_allowed_and_visible_to_fetch() {
+        // The SgxElide case: text pages EADDed with W because the sanitizer
+        // set PF_W before signing.
+        let mut e = small_enclave(PagePerms::RWX, 0);
+        e.write(0x100000, &[9, 9]).unwrap();
+        assert_eq!(e.read(0x100000, 2, AccessKind::Execute).unwrap(), vec![9, 9]);
+    }
+
+    #[test]
+    fn einit_rejects_wrong_measurement() {
+        let cpu = cpu();
+        let mut e = cpu.ecreate(0x100000, 0x1000).unwrap();
+        e.eadd(0x100000, &[1; 4096], PagePerms::RX, PageType::Reg).unwrap();
+        for i in 0..16 {
+            e.eextend(0x100000 + i * 256).unwrap();
+        }
+        let sig = SigStruct::sign(&vendor(), [0xAB; 32], 1, 1).unwrap();
+        assert!(matches!(e.einit(&sig), Err(SgxError::MeasurementMismatch { .. })));
+    }
+
+    #[test]
+    fn einit_rejects_bad_signature() {
+        let cpu = cpu();
+        let mut e = cpu.ecreate(0x100000, 0x1000).unwrap();
+        e.eadd(0x100000, &[1; 4096], PagePerms::RX, PageType::Reg).unwrap();
+        let m = e.current_measurement().unwrap();
+        let mut sig = SigStruct::sign(&vendor(), m, 1, 1).unwrap();
+        sig.signature[0] ^= 1;
+        assert_eq!(e.einit(&sig), Err(SgxError::BadSigstruct));
+    }
+
+    #[test]
+    fn eadd_after_einit_rejected() {
+        let mut e = small_enclave(PagePerms::RX, 0);
+        let err = e.eadd(0x101000, &[0; 4096], PagePerms::RW, PageType::Reg).unwrap_err();
+        assert_eq!(err, SgxError::AlreadyInitialized);
+    }
+
+    #[test]
+    fn access_before_init_rejected() {
+        let cpu = cpu();
+        let mut e = cpu.ecreate(0x100000, 0x1000).unwrap();
+        e.eadd(0x100000, &[1; 4096], PagePerms::RX, PageType::Reg).unwrap();
+        assert_eq!(e.read(0x100000, 1, AccessKind::Read), Err(SgxError::NotInitialized));
+        assert_eq!(e.write(0x100000, &[0]), Err(SgxError::NotInitialized));
+    }
+
+    #[test]
+    fn unmeasured_page_changes_mrenclave_only_via_eadd() {
+        // Two enclaves with identical EADDs but different EEXTEND coverage
+        // must measure differently.
+        let cpu = cpu();
+        let build = |extend: bool| {
+            let mut e = cpu.ecreate(0x100000, 0x1000).unwrap();
+            e.eadd(0x100000, &[5; 4096], PagePerms::RX, PageType::Reg).unwrap();
+            if extend {
+                e.eextend(0x100000).unwrap();
+            }
+            e.current_measurement().unwrap()
+        };
+        assert_ne!(build(true), build(false));
+    }
+
+    #[test]
+    fn abort_page_semantics_for_outside_readers() {
+        let e = small_enclave(PagePerms::RX, 0x33);
+        assert_eq!(e.abort_page_read(0x100000, 4), vec![0xFF; 4]);
+    }
+
+    #[test]
+    fn dram_image_is_ciphertext_and_boot_dependent() {
+        let mut rng = SeededRandom::new(42);
+        let mut cpu = SgxCpu::new(&mut rng);
+        let build = |cpu: &SgxCpu| {
+            let mut e = cpu.ecreate(0x100000, 0x1000).unwrap();
+            e.eadd(0x100000, &[0x55; 4096], PagePerms::RX, PageType::Reg).unwrap();
+            e
+        };
+        let img1 = build(&cpu).dram_image();
+        assert_ne!(img1[0].1, vec![0x55; 4096], "MEE must encrypt DRAM contents");
+        cpu.reboot(&mut rng);
+        let img2 = build(&cpu).dram_image();
+        assert_ne!(img1[0].1, img2[0].1, "MEE key must rotate across boots");
+    }
+
+    #[test]
+    fn seal_keys_differ_between_enclaves() {
+        let a = small_enclave(PagePerms::RX, 1);
+        let b = small_enclave(PagePerms::RX, 2);
+        assert_ne!(
+            a.egetkey(SealPolicy::MrEnclave).unwrap(),
+            b.egetkey(SealPolicy::MrEnclave).unwrap()
+        );
+        // Same signer → same MRSIGNER seal key.
+        assert_eq!(
+            a.egetkey(SealPolicy::MrSigner).unwrap(),
+            b.egetkey(SealPolicy::MrSigner).unwrap()
+        );
+    }
+
+    #[test]
+    fn page_crossing_reads() {
+        let cpu = cpu();
+        let mut e = cpu.ecreate(0x100000, 0x10000).unwrap();
+        e.eadd(0x100000, &[1; 4096], PagePerms::RW, PageType::Reg).unwrap();
+        e.eadd(0x101000, &[2; 4096], PagePerms::RW, PageType::Reg).unwrap();
+        let m = e.current_measurement().unwrap();
+        let sig = SigStruct::sign(&vendor(), m, 1, 1).unwrap();
+        e.einit(&sig).unwrap();
+        let data = e.read(0x100FFE, 4, AccessKind::Read).unwrap();
+        assert_eq!(data, vec![1, 1, 2, 2]);
+        e.write(0x100FFF, &[9, 9]).unwrap();
+        assert_eq!(e.read(0x100FFF, 2, AccessKind::Read).unwrap(), vec![9, 9]);
+    }
+
+    #[test]
+    fn partial_write_never_happens_on_fault() {
+        let cpu = cpu();
+        let mut e = cpu.ecreate(0x100000, 0x10000).unwrap();
+        e.eadd(0x100000, &[0; 4096], PagePerms::RW, PageType::Reg).unwrap();
+        e.eadd(0x101000, &[0; 4096], PagePerms::RO, PageType::Reg).unwrap();
+        let m = e.current_measurement().unwrap();
+        let sig = SigStruct::sign(&vendor(), m, 1, 1).unwrap();
+        e.einit(&sig).unwrap();
+        // Write crossing into the read-only page must fail atomically.
+        let err = e.write(0x100FFC, &[7; 8]).unwrap_err();
+        assert!(matches!(err, SgxError::PermissionDenied { .. }));
+        assert_eq!(e.read(0x100FFC, 4, AccessKind::Read).unwrap(), vec![0; 4]);
+    }
+}

@@ -1,0 +1,132 @@
+//! The Enclave Page Cache: 4 KiB pages with permissions fixed at `EADD`.
+//!
+//! The central architectural fact SgxElide depends on lives here: page
+//! permissions are immutable after `EADD` in SGX-v1 ("dynamically setting
+//! page permissions for an enclave at runtime is not permitted by the
+//! hardware", §3.1), so self-modification requires the sanitizer to mark
+//! text pages writable *before* signing.
+
+/// EPC page size.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Page permission bits (fixed at `EADD`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PagePerms(u8);
+
+impl PagePerms {
+    /// Read permission bit.
+    pub const R: PagePerms = PagePerms(1);
+    /// Write permission bit.
+    pub const W: PagePerms = PagePerms(2);
+    /// Execute permission bit.
+    pub const X: PagePerms = PagePerms(4);
+    /// Read + execute (normal text pages).
+    pub const RX: PagePerms = PagePerms(1 | 4);
+    /// Read + write (data pages).
+    pub const RW: PagePerms = PagePerms(1 | 2);
+    /// Read + write + execute (SgxElide text pages).
+    pub const RWX: PagePerms = PagePerms(1 | 2 | 4);
+    /// Read only.
+    pub const RO: PagePerms = PagePerms(1);
+
+    /// Creates from raw bits (low three bits used).
+    pub fn from_bits(bits: u8) -> Self {
+        PagePerms(bits & 0b111)
+    }
+
+    /// Raw bits.
+    pub fn bits(&self) -> u8 {
+        self.0
+    }
+
+    /// True if readable.
+    pub fn readable(&self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// True if writable.
+    pub fn writable(&self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// True if executable.
+    pub fn executable(&self) -> bool {
+        self.0 & 4 != 0
+    }
+}
+
+impl std::fmt::Display for PagePerms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.readable() { 'r' } else { '-' },
+            if self.writable() { 'w' } else { '-' },
+            if self.executable() { 'x' } else { '-' }
+        )
+    }
+}
+
+/// EPC page type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PageType {
+    /// SECS control page (one per enclave; never directly accessible).
+    Secs = 0,
+    /// Thread control structure page.
+    Tcs = 1,
+    /// Regular code/data page.
+    Reg = 2,
+}
+
+/// One EPC page.
+#[derive(Clone)]
+pub struct EpcPage {
+    /// Page contents (plaintext view inside the package; DRAM holds
+    /// MEE-encrypted bytes — see [`crate::enclave::Enclave::dram_image`]).
+    pub data: Box<[u8; PAGE_SIZE as usize]>,
+    /// Permissions fixed at `EADD`.
+    pub perms: PagePerms,
+    /// Page type.
+    pub ptype: PageType,
+}
+
+impl std::fmt::Debug for EpcPage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never dump page contents (they may hold secrets after restore).
+        f.debug_struct("EpcPage")
+            .field("perms", &self.perms)
+            .field("ptype", &self.ptype)
+            .finish()
+    }
+}
+
+impl EpcPage {
+    /// Creates a page from a 4 KiB buffer.
+    pub fn new(data: Box<[u8; PAGE_SIZE as usize]>, perms: PagePerms, ptype: PageType) -> Self {
+        EpcPage { data, perms, ptype }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perm_bits() {
+        assert!(PagePerms::RX.readable() && PagePerms::RX.executable());
+        assert!(!PagePerms::RX.writable());
+        assert!(PagePerms::RWX.writable());
+        assert_eq!(PagePerms::from_bits(0xFF).bits(), 0b111);
+        assert_eq!(PagePerms::RW.to_string(), "rw-");
+        assert_eq!(PagePerms::RX.to_string(), "r-x");
+    }
+
+    #[test]
+    fn debug_hides_contents() {
+        let page = EpcPage::new(Box::new([0x42; 4096]), PagePerms::RO, PageType::Reg);
+        let s = format!("{page:?}");
+        assert!(!s.contains("0x42") && !s.contains("66"));
+        assert!(s.contains("EpcPage"));
+    }
+}

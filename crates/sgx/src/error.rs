@@ -1,0 +1,83 @@
+//! Error model for the SGX simulator — mirrors the fault/#GP conditions the
+//! real instructions raise.
+
+use std::fmt;
+
+/// Errors raised by simulated SGX instructions and enclave memory accesses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SgxError {
+    /// Operation requires an initialized enclave (`EINIT` not yet run).
+    NotInitialized,
+    /// `EADD`/`EEXTEND` after `EINIT` — SGX-v1 forbids post-init changes,
+    /// which is exactly why SgxElide must restore code *through* ordinary
+    /// writes to pages that were writable at `EADD` time.
+    AlreadyInitialized,
+    /// Address outside the enclave's linear range (ELRANGE).
+    OutOfRange {
+        /// Offending address.
+        addr: u64,
+    },
+    /// Address not page-aligned where alignment is architectural.
+    BadAlignment {
+        /// Offending address.
+        addr: u64,
+    },
+    /// Access to a page that was never `EADD`ed.
+    PageNotPresent {
+        /// Offending address.
+        addr: u64,
+    },
+    /// Access denied by the page permissions fixed at `EADD`.
+    PermissionDenied {
+        /// Offending address.
+        addr: u64,
+    },
+    /// SIGSTRUCT signature did not verify.
+    BadSigstruct,
+    /// SIGSTRUCT measurement does not match the enclave's MRENCLAVE.
+    MeasurementMismatch {
+        /// What SIGSTRUCT declared.
+        expected: [u8; 32],
+        /// What the hardware measured.
+        actual: [u8; 32],
+    },
+    /// A report MAC failed to verify.
+    ReportMacMismatch,
+    /// A quote signature failed to verify or the device is unknown.
+    BadQuote,
+    /// Sealed/evicted data failed authentication.
+    SealAuthFailed,
+    /// An evicted page was replayed (version counter mismatch).
+    ReplayDetected,
+    /// `EEXTEND` chunk must be 256 bytes within one page.
+    BadExtendChunk,
+}
+
+impl fmt::Display for SgxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgxError::NotInitialized => write!(f, "enclave is not initialized"),
+            SgxError::AlreadyInitialized => {
+                write!(f, "enclave already initialized (SGX-v1 forbids this operation)")
+            }
+            SgxError::OutOfRange { addr } => write!(f, "address {addr:#x} outside ELRANGE"),
+            SgxError::BadAlignment { addr } => write!(f, "address {addr:#x} is misaligned"),
+            SgxError::PageNotPresent { addr } => write!(f, "no EPC page at {addr:#x}"),
+            SgxError::PermissionDenied { addr } => {
+                write!(f, "EPC permission denied at {addr:#x}")
+            }
+            SgxError::BadSigstruct => write!(f, "SIGSTRUCT signature invalid"),
+            SgxError::MeasurementMismatch { .. } => {
+                write!(f, "SIGSTRUCT measurement does not match MRENCLAVE")
+            }
+            SgxError::ReportMacMismatch => write!(f, "report MAC mismatch"),
+            SgxError::BadQuote => write!(f, "quote verification failed"),
+            SgxError::SealAuthFailed => write!(f, "sealed data failed authentication"),
+            SgxError::ReplayDetected => write!(f, "evicted page replay detected"),
+            SgxError::BadExtendChunk => write!(f, "EEXTEND chunk must be 256 bytes in one page"),
+        }
+    }
+}
+
+impl std::error::Error for SgxError {}

@@ -1,0 +1,126 @@
+//! Hardware-fused key material and `EGETKEY`-style derivations.
+//!
+//! Every simulated processor has a unique fuse key. Seal keys are derived
+//! from the fuse key plus enclave identity (MRENCLAVE or MRSIGNER policy),
+//! report keys from the fuse key plus the *target* enclave's measurement —
+//! the same binding structure as the real key hierarchy.
+
+use elide_crypto::kdf::derive_key_128;
+use elide_crypto::rng::RandomSource;
+
+/// Key-derivation policy for seal keys, as in `sgx_seal_data`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealPolicy {
+    /// Bind to the exact enclave measurement (MRENCLAVE). A re-built enclave
+    /// cannot unseal.
+    MrEnclave,
+    /// Bind to the signer (MRSIGNER). Any enclave from the same vendor key
+    /// can unseal.
+    MrSigner,
+}
+
+/// Per-processor fused secrets.
+#[derive(Clone)]
+pub struct HardwareKeys {
+    fuse: [u8; 32],
+}
+
+impl std::fmt::Debug for HardwareKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HardwareKeys").finish_non_exhaustive()
+    }
+}
+
+impl HardwareKeys {
+    /// Burns fresh fuses from `rng`.
+    pub fn generate(rng: &mut dyn RandomSource) -> Self {
+        let mut fuse = [0u8; 32];
+        rng.fill(&mut fuse);
+        HardwareKeys { fuse }
+    }
+
+    /// Exports the fuse material (simulator persistence — a real CPU's
+    /// fuses obviously never leave the die).
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.fuse
+    }
+
+    /// Restores fuses exported by [`HardwareKeys::to_bytes`].
+    pub fn from_bytes(fuse: [u8; 32]) -> Self {
+        HardwareKeys { fuse }
+    }
+
+    /// Derives a seal key for an enclave identity under `policy`.
+    pub fn seal_key(
+        &self,
+        policy: SealPolicy,
+        mrenclave: &[u8; 32],
+        mrsigner: &[u8; 32],
+    ) -> [u8; 16] {
+        match policy {
+            SealPolicy::MrEnclave => derive_key_128(&self.fuse, "seal-mrenclave", mrenclave),
+            SealPolicy::MrSigner => derive_key_128(&self.fuse, "seal-mrsigner", mrsigner),
+        }
+    }
+
+    /// Derives the report key a *target* enclave would use to verify reports
+    /// addressed to it.
+    pub fn report_key(&self, target_mrenclave: &[u8; 32]) -> [u8; 16] {
+        derive_key_128(&self.fuse, "report", target_mrenclave)
+    }
+
+    /// Derives the per-boot memory-encryption-engine key (what encrypts EPC
+    /// contents in DRAM).
+    pub fn mee_key(&self, boot_nonce: &[u8; 16]) -> [u8; 16] {
+        derive_key_128(&self.fuse, "mee", boot_nonce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elide_crypto::rng::SeededRandom;
+
+    fn hw(seed: u64) -> HardwareKeys {
+        HardwareKeys::generate(&mut SeededRandom::new(seed))
+    }
+
+    #[test]
+    fn seal_keys_bind_to_identity() {
+        let h = hw(1);
+        let m1 = [1u8; 32];
+        let m2 = [2u8; 32];
+        let s = [9u8; 32];
+        assert_eq!(
+            h.seal_key(SealPolicy::MrEnclave, &m1, &s),
+            h.seal_key(SealPolicy::MrEnclave, &m1, &s)
+        );
+        assert_ne!(
+            h.seal_key(SealPolicy::MrEnclave, &m1, &s),
+            h.seal_key(SealPolicy::MrEnclave, &m2, &s)
+        );
+        // MRSIGNER policy ignores the measurement.
+        assert_eq!(
+            h.seal_key(SealPolicy::MrSigner, &m1, &s),
+            h.seal_key(SealPolicy::MrSigner, &m2, &s)
+        );
+    }
+
+    #[test]
+    fn different_processors_have_different_keys() {
+        let m = [3u8; 32];
+        let s = [4u8; 32];
+        assert_ne!(
+            hw(1).seal_key(SealPolicy::MrEnclave, &m, &s),
+            hw(2).seal_key(SealPolicy::MrEnclave, &m, &s)
+        );
+        assert_ne!(hw(1).report_key(&m), hw(2).report_key(&m));
+    }
+
+    #[test]
+    fn key_domains_are_separated() {
+        let h = hw(5);
+        let m = [7u8; 32];
+        assert_ne!(h.seal_key(SealPolicy::MrEnclave, &m, &m).to_vec(), h.report_key(&m).to_vec());
+    }
+}

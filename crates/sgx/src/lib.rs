@@ -1,0 +1,53 @@
+//! # sgx-sim
+//!
+//! A software model of the Intel SGX ISA extension, faithful to the subset
+//! of behaviour the SgxElide paper depends on:
+//!
+//! * [`enclave`] — `ECREATE`/`EADD`/`EEXTEND`/`EINIT` life cycle, enclave
+//!   memory with per-page permissions **fixed at `EADD`** (the SGX-v1
+//!   constraint that forces the sanitizer to pre-set `PF_W`), `EGETKEY`,
+//!   abort-page semantics for outside readers, and the MEE's DRAM view.
+//! * [`measure`] — the MRENCLAVE chain (256-byte `EEXTEND` chunks).
+//! * [`sigstruct`] — vendor-signed enclave metadata checked at `EINIT`.
+//! * [`report`] / [`quote`] — local attestation, the quoting enclave, and
+//!   an attestation-service model.
+//! * [`keys`] — the fused key hierarchy (seal/report/MEE keys).
+//! * [`paging`] — `EWB`/`ELDU` with integrity and rollback protection.
+//!
+//! # Examples
+//!
+//! ```
+//! use sgx_sim::enclave::SgxCpu;
+//! use sgx_sim::epc::{PagePerms, PageType};
+//! use sgx_sim::sigstruct::SigStruct;
+//! use elide_crypto::rng::SeededRandom;
+//! use elide_crypto::rsa::RsaKeyPair;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = SeededRandom::new(1);
+//! let cpu = SgxCpu::new(&mut rng);
+//! let mut enclave = cpu.ecreate(0x100000, 0x1000)?;
+//! enclave.eadd(0x100000, &[0x90; 4096], PagePerms::RX, PageType::Reg)?;
+//! for i in 0..16 {
+//!     enclave.eextend(0x100000 + i * 256)?;
+//! }
+//! let vendor = RsaKeyPair::generate(512, &mut rng);
+//! let sig = SigStruct::sign(&vendor, enclave.current_measurement()?, 1, 1)?;
+//! enclave.einit(&sig)?;
+//! assert!(enclave.is_initialized());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod enclave;
+pub mod epc;
+pub mod error;
+pub mod keys;
+pub mod measure;
+pub mod paging;
+pub mod quote;
+pub mod report;
+pub mod sigstruct;
+
+pub use enclave::{AccessKind, Enclave, SgxCpu};
+pub use error::SgxError;

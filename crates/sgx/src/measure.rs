@@ -1,0 +1,129 @@
+//! The MRENCLAVE measurement chain.
+//!
+//! Mirrors the architectural protocol: `ECREATE` starts the hash, each
+//! `EADD` absorbs the page's offset and security attributes, and each
+//! `EEXTEND` absorbs one 256-byte chunk of page content (so a full page
+//! takes 16 `EEXTEND`s, as the paper's background section describes).
+//! `EINIT` freezes the hash; the result is MRENCLAVE.
+
+use crate::epc::{PagePerms, PageType};
+use elide_crypto::sha2::Sha256;
+
+/// Size of one `EEXTEND` measurement chunk.
+pub const EEXTEND_CHUNK: usize = 256;
+
+/// Incremental measurement state.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    hasher: Sha256,
+    extend_count: u64,
+}
+
+impl Measurement {
+    /// Starts a measurement for an enclave of `size` bytes (`ECREATE`).
+    pub fn ecreate(size: u64) -> Self {
+        let mut hasher = Sha256::new();
+        hasher.update(b"ECREATE\0");
+        hasher.update(&size.to_le_bytes());
+        Measurement { hasher, extend_count: 0 }
+    }
+
+    /// Absorbs an `EADD` record: page offset within the enclave plus its
+    /// immutable security attributes.
+    pub fn eadd(&mut self, page_offset: u64, perms: PagePerms, ptype: PageType) {
+        self.hasher.update(b"EADD\0\0\0\0");
+        self.hasher.update(&page_offset.to_le_bytes());
+        self.hasher.update(&[perms.bits(), ptype as u8]);
+    }
+
+    /// Absorbs one 256-byte `EEXTEND` chunk at `offset` within the enclave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is not exactly 256 bytes (callers validate first).
+    pub fn eextend(&mut self, offset: u64, chunk: &[u8]) {
+        assert_eq!(chunk.len(), EEXTEND_CHUNK, "EEXTEND chunk must be 256 bytes");
+        self.hasher.update(b"EEXTEND\0");
+        self.hasher.update(&offset.to_le_bytes());
+        self.hasher.update(chunk);
+        self.extend_count += 1;
+    }
+
+    /// Number of `EEXTEND`s performed (16 per fully-measured page).
+    pub fn extend_count(&self) -> u64 {
+        self.extend_count
+    }
+
+    /// Freezes the measurement (`EINIT`), producing MRENCLAVE.
+    pub fn finalize(self) -> [u8; 32] {
+        self.hasher.finalize()
+    }
+
+    /// Returns MRENCLAVE without consuming the state (used to compare what
+    /// a signing tool computed against what the hardware will compute).
+    pub fn current(&self) -> [u8; 32] {
+        self.hasher.clone().finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epc::{PagePerms, PageType};
+
+    fn measure_pages(pages: &[(u64, [u8; 4096])]) -> [u8; 32] {
+        let mut m = Measurement::ecreate(0x10000);
+        for (off, data) in pages {
+            m.eadd(*off, PagePerms::RX, PageType::Reg);
+            for (i, chunk) in data.chunks(EEXTEND_CHUNK).enumerate() {
+                m.eextend(off + (i * EEXTEND_CHUNK) as u64, chunk);
+            }
+        }
+        m.finalize()
+    }
+
+    #[test]
+    fn deterministic() {
+        let pages = [(0u64, [7u8; 4096])];
+        assert_eq!(measure_pages(&pages), measure_pages(&pages));
+    }
+
+    #[test]
+    fn content_changes_measurement() {
+        let a = measure_pages(&[(0, [1u8; 4096])]);
+        let b = measure_pages(&[(0, [2u8; 4096])]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn offset_changes_measurement() {
+        let a = measure_pages(&[(0, [1u8; 4096])]);
+        let b = measure_pages(&[(4096, [1u8; 4096])]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn perms_change_measurement() {
+        let mut a = Measurement::ecreate(4096);
+        a.eadd(0, PagePerms::RX, PageType::Reg);
+        let mut b = Measurement::ecreate(4096);
+        b.eadd(0, PagePerms::RWX, PageType::Reg);
+        assert_ne!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn sixteen_extends_per_page() {
+        let mut m = Measurement::ecreate(4096);
+        m.eadd(0, PagePerms::RX, PageType::Reg);
+        for i in 0..16 {
+            m.eextend(i * 256, &[0u8; 256]);
+        }
+        assert_eq!(m.extend_count(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "256 bytes")]
+    fn bad_chunk_panics() {
+        Measurement::ecreate(0).eextend(0, &[0u8; 255]);
+    }
+}

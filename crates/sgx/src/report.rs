@@ -1,0 +1,183 @@
+//! Local attestation: `EREPORT` and report verification.
+//!
+//! A report binds the reporting enclave's identity (MRENCLAVE/MRSIGNER) and
+//! 64 bytes of caller data under a MAC keyed for a *target* enclave; only
+//! the target (or platform enclaves such as the quoting enclave) can verify
+//! it. Report data is how the SgxElide enclave binds its DH public value to
+//! the attestation.
+
+use crate::enclave::Enclave;
+use crate::error::SgxError;
+use elide_crypto::hmac::{hmac_sha256, hmac_sha256_verify};
+
+/// Identifies the enclave a report is addressed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TargetInfo {
+    /// Target enclave's MRENCLAVE.
+    pub mrenclave: [u8; 32],
+}
+
+/// An attestation report (`sgx_report_t` analog).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Reporting enclave's MRENCLAVE.
+    pub mrenclave: [u8; 32],
+    /// Reporting enclave's MRSIGNER.
+    pub mrsigner: [u8; 32],
+    /// Caller-chosen payload (e.g. hash of a DH public key).
+    pub report_data: [u8; 64],
+    /// MAC over the body, keyed for the target.
+    pub mac: [u8; 32],
+}
+
+impl Report {
+    fn body(mrenclave: &[u8; 32], mrsigner: &[u8; 32], report_data: &[u8; 64]) -> Vec<u8> {
+        let mut b = Vec::with_capacity(32 + 32 + 64 + 7);
+        b.extend_from_slice(b"EREPORT");
+        b.extend_from_slice(mrenclave);
+        b.extend_from_slice(mrsigner);
+        b.extend_from_slice(report_data);
+        b
+    }
+
+    /// Serialized size in bytes.
+    pub const SERIALIZED_LEN: usize = 32 + 32 + 64 + 32;
+
+    /// Serializes the report (fixed 160-byte layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::SERIALIZED_LEN);
+        out.extend_from_slice(&self.mrenclave);
+        out.extend_from_slice(&self.mrsigner);
+        out.extend_from_slice(&self.report_data);
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses a report serialized by [`Report::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Report> {
+        if bytes.len() != Self::SERIALIZED_LEN {
+            return None;
+        }
+        Some(Report {
+            mrenclave: bytes[0..32].try_into().ok()?,
+            mrsigner: bytes[32..64].try_into().ok()?,
+            report_data: bytes[64..128].try_into().ok()?,
+            mac: bytes[128..160].try_into().ok()?,
+        })
+    }
+}
+
+/// `EREPORT`: produces a report from `enclave` addressed to `target`.
+///
+/// # Errors
+///
+/// Fails if the reporting enclave is not initialized.
+pub fn ereport(
+    enclave: &Enclave,
+    target: &TargetInfo,
+    report_data: [u8; 64],
+) -> Result<Report, SgxError> {
+    if !enclave.is_initialized() {
+        return Err(SgxError::NotInitialized);
+    }
+    let key = enclave.cpu().hardware().report_key(&target.mrenclave);
+    let mrenclave = enclave.mrenclave();
+    let mrsigner = enclave.mrsigner();
+    let mac = hmac_sha256(&key, &Report::body(&mrenclave, &mrsigner, &report_data));
+    Ok(Report { mrenclave, mrsigner, report_data, mac })
+}
+
+/// Verifies a report from inside the *target* enclave (which can derive its
+/// own report key with `EGETKEY`).
+///
+/// # Errors
+///
+/// Returns [`SgxError::ReportMacMismatch`] when the MAC does not verify.
+pub fn verify_report(target: &Enclave, report: &Report) -> Result<(), SgxError> {
+    let key = target.report_key()?;
+    let body = Report::body(&report.mrenclave, &report.mrsigner, &report.report_data);
+    if hmac_sha256_verify(&key, &body, &report.mac) {
+        Ok(())
+    } else {
+        Err(SgxError::ReportMacMismatch)
+    }
+}
+
+/// Verifies a report using raw hardware access — only platform enclaves
+/// (the quoting enclave) may do this on real hardware.
+pub(crate) fn verify_report_with_hw(
+    hw: &crate::keys::HardwareKeys,
+    target_mrenclave: &[u8; 32],
+    report: &Report,
+) -> bool {
+    let key = hw.report_key(target_mrenclave);
+    let body = Report::body(&report.mrenclave, &report.mrsigner, &report.report_data);
+    hmac_sha256_verify(&key, &body, &report.mac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::SgxCpu;
+    use crate::epc::{PagePerms, PageType};
+    use crate::sigstruct::SigStruct;
+    use elide_crypto::rng::SeededRandom;
+    use elide_crypto::rsa::RsaKeyPair;
+
+    fn make(cpu: &SgxCpu, fill: u8) -> Enclave {
+        let mut e = cpu.ecreate(0x100000, 0x1000).unwrap();
+        e.eadd(0x100000, &[fill; 4096], PagePerms::RX, PageType::Reg).unwrap();
+        for i in 0..16 {
+            e.eextend(0x100000 + i * 256).unwrap();
+        }
+        let kp = RsaKeyPair::generate(512, &mut SeededRandom::new(1));
+        let sig = SigStruct::sign(&kp, e.current_measurement().unwrap(), 1, 1).unwrap();
+        e.einit(&sig).unwrap();
+        e
+    }
+
+    #[test]
+    fn local_attestation_roundtrip() {
+        let cpu = SgxCpu::new(&mut SeededRandom::new(3));
+        let a = make(&cpu, 1);
+        let b = make(&cpu, 2);
+        let mut data = [0u8; 64];
+        data[..4].copy_from_slice(b"dhpk");
+        let report = ereport(&a, &TargetInfo { mrenclave: b.mrenclave() }, data).unwrap();
+        verify_report(&b, &report).unwrap();
+        assert_eq!(report.mrenclave, a.mrenclave());
+    }
+
+    #[test]
+    fn tampered_report_rejected() {
+        let cpu = SgxCpu::new(&mut SeededRandom::new(3));
+        let a = make(&cpu, 1);
+        let b = make(&cpu, 2);
+        let mut report =
+            ereport(&a, &TargetInfo { mrenclave: b.mrenclave() }, [0u8; 64]).unwrap();
+        report.report_data[0] ^= 1;
+        assert_eq!(verify_report(&b, &report), Err(SgxError::ReportMacMismatch));
+    }
+
+    #[test]
+    fn report_for_wrong_target_rejected() {
+        let cpu = SgxCpu::new(&mut SeededRandom::new(3));
+        let a = make(&cpu, 1);
+        let b = make(&cpu, 2);
+        let c = make(&cpu, 3);
+        let report =
+            ereport(&a, &TargetInfo { mrenclave: b.mrenclave() }, [0u8; 64]).unwrap();
+        assert!(verify_report(&c, &report).is_err());
+    }
+
+    #[test]
+    fn cross_processor_report_rejected() {
+        let cpu1 = SgxCpu::new(&mut SeededRandom::new(3));
+        let cpu2 = SgxCpu::new(&mut SeededRandom::new(4));
+        let a = make(&cpu1, 1);
+        let b = make(&cpu2, 1);
+        let report =
+            ereport(&a, &TargetInfo { mrenclave: b.mrenclave() }, [0u8; 64]).unwrap();
+        assert!(verify_report(&b, &report).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! SIGSTRUCT: the enclave signature structure checked by `EINIT`.
+//!
+//! The enclave vendor signs the expected measurement with their RSA key;
+//! `EINIT` refuses to initialize an enclave whose measured MRENCLAVE differs
+//! from the signed value. This is why SgxElide must sign the *sanitized*
+//! enclave ("sign a dummy enclave and restore all secrets after
+//! initializing", §3.2).
+
+use elide_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+use elide_crypto::CryptoError;
+
+/// The signed enclave metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigStruct {
+    /// Expected MRENCLAVE.
+    pub measurement: [u8; 32],
+    /// Vendor product id.
+    pub product_id: u16,
+    /// Security version number.
+    pub svn: u16,
+    /// Serialized vendor public key.
+    pub signer_key: Vec<u8>,
+    /// RSA signature over the payload.
+    pub signature: Vec<u8>,
+}
+
+impl SigStruct {
+    fn payload(measurement: &[u8; 32], product_id: u16, svn: u16) -> Vec<u8> {
+        let mut p = Vec::with_capacity(32 + 4 + 9);
+        p.extend_from_slice(b"SIGSTRUCT");
+        p.extend_from_slice(measurement);
+        p.extend_from_slice(&product_id.to_le_bytes());
+        p.extend_from_slice(&svn.to_le_bytes());
+        p
+    }
+
+    /// Signs a measurement with the vendor key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates RSA signing errors (modulus too small).
+    pub fn sign(
+        keypair: &RsaKeyPair,
+        measurement: [u8; 32],
+        product_id: u16,
+        svn: u16,
+    ) -> Result<Self, CryptoError> {
+        let payload = Self::payload(&measurement, product_id, svn);
+        let signature = keypair.sign(&payload)?;
+        Ok(SigStruct {
+            measurement,
+            product_id,
+            svn,
+            signer_key: keypair.public_key().to_bytes(),
+            signature,
+        })
+    }
+
+    /// Verifies the embedded signature and returns the signer's public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadSignature`] if the signature (or embedded
+    /// key encoding) is invalid.
+    pub fn verify(&self) -> Result<RsaPublicKey, CryptoError> {
+        let key = RsaPublicKey::from_bytes(&self.signer_key)
+            .map_err(|_| CryptoError::BadSignature)?;
+        let payload = Self::payload(&self.measurement, self.product_id, self.svn);
+        key.verify(&payload, &self.signature)?;
+        Ok(key)
+    }
+
+    /// MRSIGNER: the hash of the signer's public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadSignature`] if the embedded key is invalid.
+    pub fn mrsigner(&self) -> Result<[u8; 32], CryptoError> {
+        Ok(RsaPublicKey::from_bytes(&self.signer_key)
+            .map_err(|_| CryptoError::BadSignature)?
+            .fingerprint())
+    }
+}
+
+impl SigStruct {
+    /// Serializes the SIGSTRUCT for distribution next to the enclave file.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SIGSFILE");
+        out.extend_from_slice(&self.measurement);
+        out.extend_from_slice(&self.product_id.to_le_bytes());
+        out.extend_from_slice(&self.svn.to_le_bytes());
+        out.extend_from_slice(&(self.signer_key.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.signer_key);
+        out.extend_from_slice(&(self.signature.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses a SIGSTRUCT serialized by [`SigStruct::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<SigStruct> {
+        if bytes.len() < 8 + 32 + 4 + 8 || &bytes[..8] != b"SIGSFILE" {
+            return None;
+        }
+        let measurement: [u8; 32] = bytes[8..40].try_into().ok()?;
+        let product_id = u16::from_le_bytes(bytes[40..42].try_into().ok()?);
+        let svn = u16::from_le_bytes(bytes[42..44].try_into().ok()?);
+        let mut off = 44;
+        let key_len = u32::from_le_bytes(bytes.get(off..off + 4)?.try_into().ok()?) as usize;
+        off += 4;
+        let signer_key = bytes.get(off..off + key_len)?.to_vec();
+        off += key_len;
+        let sig_len = u32::from_le_bytes(bytes.get(off..off + 4)?.try_into().ok()?) as usize;
+        off += 4;
+        let signature = bytes.get(off..off + sig_len)?.to_vec();
+        Some(SigStruct { measurement, product_id, svn, signer_key, signature })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use elide_crypto::rng::SeededRandom;
+
+    fn vendor() -> RsaKeyPair {
+        RsaKeyPair::generate(512, &mut SeededRandom::new(0x51657))
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let kp = vendor();
+        let sig = SigStruct::sign(&kp, [7u8; 32], 1, 2).unwrap();
+        let key = sig.verify().unwrap();
+        assert_eq!(&key, kp.public_key());
+        assert_eq!(sig.mrsigner().unwrap(), kp.public_key().fingerprint());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let kp = vendor();
+        let sig = SigStruct::sign(&kp, [9u8; 32], 3, 4).unwrap();
+        let back = SigStruct::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(back, sig);
+        back.verify().unwrap();
+        assert!(SigStruct::from_bytes(b"garbage").is_none());
+    }
+
+    #[test]
+    fn tampered_measurement_rejected() {
+        let kp = vendor();
+        let mut sig = SigStruct::sign(&kp, [7u8; 32], 1, 2).unwrap();
+        sig.measurement[0] ^= 1;
+        assert!(sig.verify().is_err());
+    }
+
+    #[test]
+    fn tampered_svn_rejected() {
+        let kp = vendor();
+        let mut sig = SigStruct::sign(&kp, [7u8; 32], 1, 2).unwrap();
+        sig.svn = 3;
+        assert!(sig.verify().is_err());
+    }
+
+    #[test]
+    fn swapped_key_rejected() {
+        let kp = vendor();
+        let other = RsaKeyPair::generate(512, &mut SeededRandom::new(777));
+        let mut sig = SigStruct::sign(&kp, [7u8; 32], 1, 2).unwrap();
+        sig.signer_key = other.public_key().to_bytes();
+        assert!(sig.verify().is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! `elide-run`: the untrusted application host (`./app` analog). Loads a
+//! (sanitized) enclave, restores it through the authentication server, and
+//! invokes an ecall — printing the timing line the paper's benchmarks
+//! print ("Time elapsed in enclave initialization").
+//!
+//! ```text
+//! elide-run SANITIZED.so --sig enclave.sig --platform platform.bin \
+//!     --server 127.0.0.1:7788 --restore-index N \
+//!     [--data enclave.secret.data] [--sealed sealed.bin] \
+//!     [--ecall N] [--input HEX] [--out-cap BYTES]
+//! ```
+
+use elide_core::protocol::TcpTransport;
+use elide_core::restore::{elide_restore, install_elide_ocalls, ElideFiles};
+use elide_tools::{parse_hex, read_file, run_tool, to_hex, write_file, Args, PlatformFile};
+use sgx_sim::sigstruct::SigStruct;
+use std::path::Path;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    run_tool(real_main())
+}
+
+fn real_main() -> Result<(), String> {
+    let mut args = Args::capture();
+    let sig_path = args.opt("--sig").ok_or("missing --sig")?;
+    let platform_path = args.opt("--platform").unwrap_or_else(|| "platform.bin".to_string());
+    let server = args.opt("--server").unwrap_or_else(|| "127.0.0.1:7788".to_string());
+    let restore_index =
+        args.opt("--restore-index").ok_or("missing --restore-index")?.parse::<u64>()
+            .map_err(|e| format!("bad --restore-index: {e}"))?;
+    let data_path = args.opt("--data");
+    let sealed_path = args.opt("--sealed");
+    let ecall = args.opt("--ecall").map(|e| e.parse::<u64>());
+    let input = match args.opt("--input") {
+        Some(hex) => parse_hex(&hex)?,
+        None => Vec::new(),
+    };
+    let out_cap = args.opt("--out-cap").map(|c| c.parse::<usize>()).transpose()
+        .map_err(|e| format!("bad --out-cap: {e}"))?.unwrap_or(64);
+    let inputs = args.finish()?;
+    let [image_path] = inputs.as_slice() else {
+        return Err("expected exactly one enclave image".into());
+    };
+
+    let image = read_file(image_path)?;
+    let sigstruct = SigStruct::from_bytes(&read_file(&sig_path)?)
+        .ok_or_else(|| format!("{sig_path}: not a SIGSTRUCT file"))?;
+    let platform = PlatformFile::load_or_create(&platform_path)?;
+
+    // --- enclave initialization (timed, like the paper's benchmarks) ---
+    let t0 = Instant::now();
+    let loaded = elide_enclave::loader::load_enclave(&platform.cpu, &image, &sigstruct)
+        .map_err(|e| format!("load failed: {e}"))?;
+    let mut rt = elide_enclave::EnclaveRuntime::new(loaded);
+
+    let sealed_store = Arc::new(Mutex::new(match &sealed_path {
+        Some(p) if Path::new(p).exists() => Some(read_file(p)?),
+        _ => None,
+    }));
+    let files = ElideFiles {
+        data_file: match &data_path {
+            Some(p) => Some(read_file(p)?),
+            None => None,
+        },
+        sealed: Arc::clone(&sealed_store),
+    };
+    let transport = Arc::new(Mutex::new(
+        TcpTransport::connect(&server).map_err(|e| e.to_string())?,
+    ));
+    install_elide_ocalls(&mut rt, transport, Arc::new(platform.qe), files);
+
+    let stats = elide_restore(&mut rt, restore_index).map_err(|e| format!("restore: {e}"))?;
+    println!(
+        "Time elapsed in enclave initialization: {:.3} ms ({} guest instructions)",
+        t0.elapsed().as_secs_f64() * 1e3,
+        stats.instructions
+    );
+
+    if let Some(p) = &sealed_path {
+        if let Some(blob) = sealed_store.lock().expect("sealed store").clone() {
+            write_file(p, &blob)?;
+        }
+    }
+
+    // --- application ecall ---
+    if let Some(index) = ecall {
+        let index = index.map_err(|e| format!("bad --ecall: {e}"))?;
+        let r = rt.ecall(index, &input, out_cap).map_err(|e| format!("ecall: {e}"))?;
+        println!("status = {}", r.status);
+        if out_cap > 0 {
+            println!("output = {}", to_hex(&r.output));
+        }
+    }
+    Ok(())
+}

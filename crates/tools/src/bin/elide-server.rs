@@ -1,0 +1,66 @@
+//! `elide-server`: the authentication server (`server.py` analog).
+//!
+//! ```text
+//! elide-server --meta enclave.secret.meta --data enclave.secret.data \
+//!     --listen 127.0.0.1:7788 --platform platform.bin \
+//!     [--mrenclave HEX] [--connections N]
+//! ```
+//!
+//! `--platform` names the simulated machine whose quoting enclave the
+//! server trusts (the attestation-service registration step). The paper's
+//! server must be started "before each SgxElide application" — run this,
+//! then `elide-run`.
+
+use elide_core::meta::SecretMeta;
+use elide_core::server::{serve_tcp, AuthServer, ExpectedIdentity};
+use elide_tools::{parse_hex, read_file, run_tool, Args, PlatformFile};
+use sgx_sim::quote::AttestationService;
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+
+fn main() -> ExitCode {
+    run_tool(real_main())
+}
+
+fn real_main() -> Result<(), String> {
+    let mut args = Args::capture();
+    let meta_path = args.opt("--meta").ok_or("missing --meta")?;
+    let data_path = args.opt("--data").ok_or("missing --data")?;
+    let listen = args.opt("--listen").unwrap_or_else(|| "127.0.0.1:7788".to_string());
+    let platform_path = args.opt("--platform").unwrap_or_else(|| "platform.bin".to_string());
+    let mrenclave = args.opt("--mrenclave");
+    let connections = args.opt("--connections").map(|c| c.parse::<usize>());
+    args.finish()?;
+
+    let meta = SecretMeta::from_file_bytes(&read_file(&meta_path)?)
+        .ok_or_else(|| format!("{meta_path}: not a secret.meta file"))?;
+    let data = if meta.is_local() { Vec::new() } else { read_file(&data_path)? };
+
+    let platform = PlatformFile::load_or_create(&platform_path)?;
+    let mut ias = AttestationService::new();
+    ias.register_device(platform.qe.device_public_key().clone());
+
+    let expected = ExpectedIdentity {
+        mrenclave: match mrenclave {
+            Some(hex) => {
+                let bytes = parse_hex(&hex)?;
+                Some(bytes.try_into().map_err(|_| "MRENCLAVE must be 32 bytes")?)
+            }
+            None => None,
+        },
+        mrsigner: None,
+    };
+
+    let server = Arc::new(Mutex::new(AuthServer::new(meta, data, expected, ias)));
+    let listener =
+        TcpListener::bind(&listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
+    println!("elide-server listening on {listen}");
+    let max = match connections {
+        Some(Ok(n)) => Some(n),
+        Some(Err(e)) => return Err(format!("bad --connections: {e}")),
+        None => None,
+    };
+    serve_tcp(listener, server, max).join().map_err(|_| "server thread panicked".to_string())?;
+    Ok(())
+}

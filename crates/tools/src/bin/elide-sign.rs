@@ -1,0 +1,47 @@
+//! `elide-sign`: the `sgx_sign` analog — measures an enclave image and
+//! signs a SIGSTRUCT with the vendor key.
+//!
+//! ```text
+//! elide-sign ENCLAVE.so --key vendor.key --out enclave.sig [--gen-key]
+//! ```
+//!
+//! `--gen-key` creates the vendor key file if absent.
+
+use elide_tools::{read_file, run_tool, to_hex, write_file, Args};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    run_tool(real_main())
+}
+
+fn real_main() -> Result<(), String> {
+    let mut args = Args::capture();
+    let key_path = args.opt("--key").ok_or("missing --key")?;
+    let out = args.opt("--out").ok_or("missing --out")?;
+    let gen_key = args.flag("--gen-key");
+    let inputs = args.finish()?;
+    let [input] = inputs.as_slice() else {
+        return Err("expected exactly one enclave image".into());
+    };
+
+    let vendor = if Path::new(&key_path).exists() {
+        elide_crypto::rsa::RsaKeyPair::from_bytes(&read_file(&key_path)?)
+            .map_err(|e| format!("{key_path}: {e}"))?
+    } else if gen_key {
+        let kp = elide_crypto::rsa::RsaKeyPair::generate(512, &mut elide_crypto::rng::OsRandom);
+        write_file(&key_path, &kp.to_bytes())?;
+        println!("generated vendor key {key_path}");
+        kp
+    } else {
+        return Err(format!("{key_path} not found (pass --gen-key to create it)"));
+    };
+
+    let image = read_file(input)?;
+    let sigstruct = elide_enclave::loader::sign_enclave(&image, &vendor, 1, 1)
+        .map_err(|e| format!("signing failed: {e}"))?;
+    write_file(&out, &sigstruct.to_bytes())?;
+    println!("MRENCLAVE = {}", to_hex(&sigstruct.measurement));
+    println!("MRSIGNER  = {}", to_hex(&sigstruct.mrsigner().map_err(|e| e.to_string())?));
+    Ok(())
+}

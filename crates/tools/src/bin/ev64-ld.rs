@@ -1,0 +1,59 @@
+//! `ev64-ld`: assembles EV64 `.s` sources and links an enclave image.
+//!
+//! ```text
+//! ev64-ld --out enclave.so [--elide] [--no-trts] [--ecall NAME]... SOURCE.s...
+//! ```
+//!
+//! `--elide` links the SgxElide runtime and appends the `elide_restore`
+//! ecall (the "recompile both components with our library" step of §6.1).
+
+use elide_tools::{read_file, run_tool, write_file, Args};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    run_tool(real_main())
+}
+
+fn real_main() -> Result<(), String> {
+    let mut args = Args::capture();
+    let out = args.opt("--out").ok_or("usage: ev64-ld --out FILE [--elide] [--ecall NAME]... SRC.s...")?;
+    let with_elide = args.flag("--elide");
+    let no_trts = args.flag("--no-trts");
+    let mut ecalls = Vec::new();
+    while let Some(e) = args.opt("--ecall") {
+        ecalls.push(e);
+    }
+    let sources = args.finish()?;
+    if sources.is_empty() {
+        return Err("no source files given".into());
+    }
+
+    let mut builder = elide_enclave::image::EnclaveImageBuilder::new();
+    if no_trts {
+        return Err("--no-trts is unsupported: the entry dispatch lives in the tRTS".into());
+    }
+    if with_elide {
+        builder.source(elide_core::elide_asm::ELIDE_ASM);
+    }
+    for src in &sources {
+        let text = read_file(src)?;
+        let text = String::from_utf8(text).map_err(|e| format!("{src}: not UTF-8: {e}"))?;
+        builder.source(&text);
+    }
+    for e in &ecalls {
+        builder.ecall(e);
+    }
+    if with_elide {
+        builder.ecall("elide_restore");
+    }
+    let image = builder.build().map_err(|e| format!("build failed: {e}"))?;
+    write_file(&out, &image)?;
+    println!("{out}: {} bytes", image.len());
+    for (i, e) in ecalls.iter().enumerate() {
+        println!("  ecall {i} = {e}");
+    }
+    if with_elide {
+        println!("  ecall {} = elide_restore", ecalls.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! `ev64-objdump`: the attacker's disassembler for enclave images — the
+//! tool the paper's threat model hands to everyone ("The enclave file can
+//! be disassembled").
+//!
+//! ```text
+//! ev64-objdump ENCLAVE.so [--func NAME] [--summary]
+//! ```
+
+use elide_core::attack::{analyze_image, disassemble_function};
+use elide_tools::{read_file, run_tool, Args};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    run_tool(real_main())
+}
+
+fn real_main() -> Result<(), String> {
+    let mut args = Args::capture();
+    let func = args.opt("--func");
+    let summary = args.flag("--summary");
+    let inputs = args.finish()?;
+    let [input] = inputs.as_slice() else {
+        return Err("usage: ev64-objdump ENCLAVE.so [--func NAME] [--summary]".into());
+    };
+    let image = read_file(input)?;
+
+    if summary {
+        let r = analyze_image(&image).map_err(|e| e.to_string())?;
+        println!("{input}:");
+        println!("  functions:        {} total, {} readable", r.total_functions, r.readable_functions);
+        println!("  decodable text:   {:.1}%", r.decodable_fraction * 100.0);
+        println!(
+            "  visible bytes:    {} of {}",
+            r.visible_text_bytes, r.total_text_bytes
+        );
+        for name in &r.readable_names {
+            println!("    readable: {name}");
+        }
+        return Ok(());
+    }
+
+    let listing =
+        disassemble_function(&image, func.as_deref()).map_err(|e| e.to_string())?;
+    println!("{listing}");
+    Ok(())
+}

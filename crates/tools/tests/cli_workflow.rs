@@ -1,0 +1,216 @@
+//! Drives the complete artifact workflow (Appendix A) through the real
+//! command-line binaries: build → whitelist → sanitize → sign → server →
+//! run (restore + ecall) → sealed re-run.
+
+use std::fs;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("elide-cli-{name}-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn run(bin: &str, args: &[&str], dir: &PathBuf) -> Output {
+    let path = match bin {
+        "ev64-ld" => env!("CARGO_BIN_EXE_ev64-ld"),
+        "elide-sanitize" => env!("CARGO_BIN_EXE_elide-sanitize"),
+        "elide-sign" => env!("CARGO_BIN_EXE_elide-sign"),
+        "elide-run" => env!("CARGO_BIN_EXE_elide-run"),
+        other => panic!("unknown bin {other}"),
+    };
+    let out = Command::new(path).args(args).current_dir(dir).output().expect("spawn");
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+const GUEST: &str = "\
+.section text
+.global get_magic
+.func get_magic
+    movi r0, 0x1234
+    ret
+.endfunc
+";
+
+/// Picks a free loopback port by binding to port 0 and dropping.
+fn free_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0").unwrap().local_addr().unwrap().port()
+}
+
+#[test]
+fn full_artifact_workflow() {
+    let dir = workdir("full");
+    fs::write(dir.join("guest.s"), GUEST).unwrap();
+
+    // 1. Build the enclave with the SgxElide runtime (ecall 0 = get_magic,
+    //    ecall 1 = elide_restore).
+    run("ev64-ld", &["--out", "enclave.so", "--elide", "--ecall", "get_magic", "guest.s"], &dir);
+
+    // 2. Generate the reusable whitelist (the BaseEnclave make step).
+    run("elide-sanitize", &["--gen-whitelist", "whitelist.txt"], &dir);
+    let wl = fs::read_to_string(dir.join("whitelist.txt")).unwrap();
+    assert!(wl.contains("elide_restore"));
+
+    // 3. Sanitize with remote data.
+    let out = run(
+        "elide-sanitize",
+        &[
+            "enclave.so", "--out", "sanitized.so", "--meta", "enclave.secret.meta",
+            "--data", "enclave.secret.data", "--whitelist", "whitelist.txt",
+        ],
+        &dir,
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sanitized"), "{stdout}");
+
+    // 4. Sign the sanitized enclave with a fresh vendor key.
+    let out = run(
+        "elide-sign",
+        &["sanitized.so", "--key", "vendor.key", "--out", "enclave.sig", "--gen-key"],
+        &dir,
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mrenclave = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("MRENCLAVE = "))
+        .expect("MRENCLAVE printed")
+        .trim()
+        .to_string();
+
+    // 5. Start the server pinned to the sanitized measurement. Three
+    //    connections: the readiness probe plus two `elide-run`s.
+    let port = free_port();
+    let listen = format!("127.0.0.1:{port}");
+    let server_bin = env!("CARGO_BIN_EXE_elide-server");
+    let mut server = Command::new(server_bin)
+        .args([
+            "--meta", "enclave.secret.meta", "--data", "enclave.secret.data",
+            "--listen", &listen, "--platform", "platform.bin",
+            "--mrenclave", &mrenclave, "--connections", "3",
+        ])
+        .current_dir(&dir)
+        .spawn()
+        .expect("server spawn");
+    // Wait for the listener to come up.
+    for _ in 0..100 {
+        if std::net::TcpStream::connect(&listen).is_ok() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // 6. Run the app: restore, then call get_magic (ecall 0).
+    let out = run(
+        "elide-run",
+        &[
+            "sanitized.so", "--sig", "enclave.sig", "--platform", "platform.bin",
+            "--server", &listen, "--restore-index", "1",
+            "--sealed", "sealed.bin", "--ecall", "0", "--out-cap", "0",
+        ],
+        &dir,
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Time elapsed in enclave initialization"), "{stdout}");
+    assert!(stdout.contains(&format!("status = {}", 0x1234)), "{stdout}");
+    assert!(dir.join("sealed.bin").exists(), "step 7 must write the sealed blob");
+
+    // 7. Second run restores from sealed data; it still connects the
+    //    transport but must not need a handshake. (The server allows one
+    //    more connection; the run closes it without requests.)
+    let out = run(
+        "elide-run",
+        &[
+            "sanitized.so", "--sig", "enclave.sig", "--platform", "platform.bin",
+            "--server", &listen, "--restore-index", "1",
+            "--sealed", "sealed.bin", "--ecall", "0", "--out-cap", "0",
+        ],
+        &dir,
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(&format!("status = {}", 0x1234)), "{stdout}");
+
+    server.wait().expect("server exits after max connections");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn local_data_workflow() {
+    let dir = workdir("local");
+    fs::write(dir.join("guest.s"), GUEST).unwrap();
+    run("ev64-ld", &["--out", "enclave.so", "--elide", "--ecall", "get_magic", "guest.s"], &dir);
+    // `-c` = encrypt data locally, exactly the paper's flag.
+    run(
+        "elide-sanitize",
+        &[
+            "enclave.so", "--out", "sanitized.so", "--meta", "enclave.secret.meta",
+            "--data", "enclave.secret.data", "-c",
+        ],
+        &dir,
+    );
+    run(
+        "elide-sign",
+        &["sanitized.so", "--key", "vendor.key", "--out", "enclave.sig", "--gen-key"],
+        &dir,
+    );
+
+    let port = free_port();
+    let listen = format!("127.0.0.1:{port}");
+    let mut server = Command::new(env!("CARGO_BIN_EXE_elide-server"))
+        .args([
+            "--meta", "enclave.secret.meta", "--data", "enclave.secret.data",
+            "--listen", &listen, "--platform", "platform.bin", "--connections", "2",
+        ])
+        .current_dir(&dir)
+        .spawn()
+        .expect("server spawn");
+    for _ in 0..100 {
+        if std::net::TcpStream::connect(&listen).is_ok() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let out = run(
+        "elide-run",
+        &[
+            "sanitized.so", "--sig", "enclave.sig", "--platform", "platform.bin",
+            "--server", &listen, "--restore-index", "1",
+            "--data", "enclave.secret.data", "--ecall", "0", "--out-cap", "0",
+        ],
+        &dir,
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(&format!("status = {}", 0x1234)), "{stdout}");
+    server.wait().expect("server exit");
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sanitized_enclave_is_unreadable() {
+    let dir = workdir("secrecy");
+    fs::write(dir.join("guest.s"), GUEST).unwrap();
+    run("ev64-ld", &["--out", "enclave.so", "--elide", "--ecall", "get_magic", "guest.s"], &dir);
+    run(
+        "elide-sanitize",
+        &[
+            "enclave.so", "--out", "sanitized.so", "--meta", "m.bin", "--data", "d.bin",
+        ],
+        &dir,
+    );
+    // The magic constant is in the original but not the sanitized image.
+    let original = fs::read(dir.join("enclave.so")).unwrap();
+    let sanitized = fs::read(dir.join("sanitized.so")).unwrap();
+    let needle = 0x1234u32.to_le_bytes();
+    let contains = |hay: &[u8]| hay.windows(4).any(|w| w == needle);
+    assert!(contains(&original));
+    assert!(!contains(&sanitized));
+    fs::remove_dir_all(&dir).ok();
+}

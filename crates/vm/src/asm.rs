@@ -1,0 +1,912 @@
+//! The EV64 assembler: translates assembly text into relocatable
+//! [`Object`]s.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment            # also a comment
+//! .section text        ; text | rodata | data | bss
+//! .global memcpy8      ; export with global binding
+//! .func memcpy8        ; begin a function symbol (size measured to .endfunc)
+//!     beq   r2, r0, .done
+//! .loop:
+//!     ld64  r4, [r1]
+//!     st64  r4, [r3]
+//!     addi  r1, r1, 8
+//!     addi  r3, r3, 8
+//!     addi  r2, r2, -8
+//!     bne   r2, r0, .loop
+//! .done:
+//!     ret
+//! .endfunc
+//!
+//! .section rodata
+//! table:
+//!     .quad memcpy8    ; 64-bit absolute relocation
+//!     .word 42         ; u32
+//!     .byte 1, 2, 3
+//!     .ascii "hi"
+//!     .asciz "hi"      ; NUL-terminated
+//!     .zero 16
+//!     .align 8
+//! ```
+//!
+//! Labels beginning with `.` are local to the enclosing function and are
+//! name-mangled (`memcpy8.loop`), so they never collide across functions.
+//!
+//! Pseudo-instructions: `li rd, imm64`, `la rd, symbol`, `push rs`,
+//! `pop rd`, `nop`.
+
+use crate::isa::{Instr, Opcode, REG_SP};
+use crate::obj::{ObjSymbol, Object, Reloc, RelocKind, SectionData, SymKind};
+use std::collections::HashMap;
+
+/// Assembly error with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// One parsed operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Operand {
+    Reg(u8),
+    Imm(i64),
+    Sym(String),
+    /// `[reg + disp]`
+    Mem(u8, i32),
+}
+
+struct Assembler {
+    sections: Vec<(String, SectionData)>,
+    current: usize,
+    symbols: Vec<ObjSymbol>,
+    globals: Vec<String>,
+    func: Option<(String, u64)>, // name, start offset in current section
+    func_section: usize,
+    line: usize,
+}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError { line, msg: msg.into() })
+}
+
+/// Assembles EV64 source text into a relocatable object.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] naming the offending line for any syntax error,
+/// unknown mnemonic, malformed operand, or structural problem (e.g. a
+/// `.func` without `.endfunc`).
+///
+/// # Examples
+///
+/// ```
+/// let obj = elide_vm::asm::assemble(
+///     ".section text\n.global f\n.func f\n    movi r0, 7\n    ret\n.endfunc\n",
+/// ).unwrap();
+/// assert_eq!(obj.symbol("f").unwrap().size, 16);
+/// ```
+pub fn assemble(source: &str) -> Result<Object, AsmError> {
+    let mut asm = Assembler {
+        sections: vec![("text".to_string(), SectionData::default())],
+        current: 0,
+        symbols: Vec::new(),
+        globals: Vec::new(),
+        func: None,
+        func_section: 0,
+        line: 0,
+    };
+    for (idx, raw_line) in source.lines().enumerate() {
+        asm.line = idx + 1;
+        let line = strip_comment(raw_line).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        asm.process_line(&line)?;
+    }
+    if let Some((name, _)) = &asm.func {
+        return err(asm.line, format!("function {name} missing .endfunc"));
+    }
+    // Apply .global markers.
+    for g in &asm.globals {
+        if let Some(sym) = asm.symbols.iter_mut().find(|s| &s.name == g) {
+            sym.global = true;
+        }
+        // A .global for an undefined symbol is allowed; the linker will
+        // report it if it is actually referenced and never defined.
+    }
+    Ok(Object { sections: asm.sections, symbols: asm.symbols })
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Respect string literals when searching for comment characters.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ';' | '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+impl Assembler {
+    fn section_is_bss(&self) -> bool {
+        self.sections[self.current].0 == "bss"
+    }
+
+    fn cur(&mut self) -> &mut SectionData {
+        &mut self.sections[self.current].1
+    }
+
+    fn offset(&self) -> u64 {
+        self.sections[self.current].1.size
+    }
+
+    fn emit_bytes(&mut self, bytes: &[u8]) -> Result<(), AsmError> {
+        if self.section_is_bss() {
+            return err(self.line, "cannot emit initialized bytes into bss");
+        }
+        let s = self.cur();
+        s.bytes.extend_from_slice(bytes);
+        s.size = s.bytes.len() as u64;
+        Ok(())
+    }
+
+    fn emit_instr(&mut self, i: Instr) -> Result<(), AsmError> {
+        self.emit_bytes(&i.encode())
+    }
+
+    fn mangle(&self, label: &str) -> Result<String, AsmError> {
+        if let Some(stripped) = label.strip_prefix('.') {
+            match &self.func {
+                Some((f, _)) => Ok(format!("{f}.{stripped}")),
+                None => err(self.line, format!("local label {label} outside a function")),
+            }
+        } else {
+            Ok(label.to_string())
+        }
+    }
+
+    fn define_symbol(&mut self, name: &str, kind: SymKind) -> Result<(), AsmError> {
+        let mangled = self.mangle(name)?;
+        if self.symbols.iter().any(|s| s.name == mangled) {
+            return err(self.line, format!("duplicate symbol {mangled}"));
+        }
+        let section = self.sections[self.current].0.clone();
+        self.symbols.push(ObjSymbol {
+            name: mangled,
+            section,
+            offset: self.offset(),
+            size: 0,
+            kind,
+            global: false,
+        });
+        Ok(())
+    }
+
+    fn process_line(&mut self, line: &str) -> Result<(), AsmError> {
+        // Label definition?
+        if let Some(colon) = find_label_colon(line) {
+            let label = &line[..colon];
+            if !is_ident(label) {
+                return err(self.line, format!("invalid label name {label:?}"));
+            }
+            let kind = if label.starts_with('.') { SymKind::Label } else { SymKind::Object };
+            self.define_symbol(label, kind)?;
+            let rest = line[colon + 1..].trim();
+            if rest.is_empty() {
+                return Ok(());
+            }
+            return self.process_line(rest);
+        }
+
+        if let Some(directive) = line.strip_prefix('.') {
+            // Directives that are really label-ish were handled above;
+            // these are ".name args".
+            let (name, args) = split_first_word(directive);
+            return self.directive(name, args.trim());
+        }
+
+        let (mnemonic, rest) = split_first_word(line);
+        let operands = parse_operands(rest, self.line)?;
+        self.instruction(&mnemonic.to_ascii_lowercase(), &operands)
+    }
+
+    fn directive(&mut self, name: &str, args: &str) -> Result<(), AsmError> {
+        match name {
+            "section" => {
+                let sec = args.trim_start_matches('.');
+                if !matches!(sec, "text" | "rodata" | "data" | "bss") {
+                    return err(self.line, format!("unknown section {args:?}"));
+                }
+                if let Some(i) = self.sections.iter().position(|(n, _)| n == sec) {
+                    self.current = i;
+                } else {
+                    self.sections.push((sec.to_string(), SectionData::default()));
+                    self.current = self.sections.len() - 1;
+                }
+                Ok(())
+            }
+            "global" => {
+                if !is_ident(args) {
+                    return err(self.line, format!("invalid symbol name {args:?}"));
+                }
+                self.globals.push(args.to_string());
+                Ok(())
+            }
+            "func" => {
+                if self.func.is_some() {
+                    return err(self.line, "nested .func");
+                }
+                if !is_ident(args) || args.starts_with('.') {
+                    return err(self.line, format!("invalid function name {args:?}"));
+                }
+                self.define_symbol(args, SymKind::Func)?;
+                self.func = Some((args.to_string(), self.offset()));
+                self.func_section = self.current;
+                Ok(())
+            }
+            "endfunc" => {
+                let (fname, start) = match self.func.take() {
+                    Some(f) => f,
+                    None => return err(self.line, ".endfunc without .func"),
+                };
+                if self.func_section != self.current {
+                    return err(self.line, "section changed inside a function");
+                }
+                let end = self.offset();
+                let sym = self
+                    .symbols
+                    .iter_mut()
+                    .find(|s| s.name == fname)
+                    .expect("function symbol defined by .func");
+                sym.size = end - start;
+                Ok(())
+            }
+            "byte" => {
+                let vals = parse_int_list(args, self.line)?;
+                let bytes: Vec<u8> = vals.iter().map(|&v| v as u8).collect();
+                self.emit_bytes(&bytes)
+            }
+            "word" => {
+                for v in parse_int_list(args, self.line)? {
+                    self.emit_bytes(&(v as u32).to_le_bytes())?;
+                }
+                Ok(())
+            }
+            "quad" => {
+                for piece in split_commas(args) {
+                    let piece = piece.trim();
+                    if let Ok(v) = parse_int(piece) {
+                        self.emit_bytes(&(v as u64).to_le_bytes())?;
+                    } else if is_ident(piece) {
+                        let sym = self.mangle(piece)?;
+                        let offset = self.offset();
+                        self.cur().relocs.push(Reloc {
+                            offset,
+                            symbol: sym,
+                            kind: RelocKind::Abs64,
+                            addend: 0,
+                        });
+                        self.emit_bytes(&0u64.to_le_bytes())?;
+                    } else {
+                        return err(self.line, format!("bad .quad operand {piece:?}"));
+                    }
+                }
+                Ok(())
+            }
+            "ascii" | "asciz" => {
+                let s = parse_string(args, self.line)?;
+                self.emit_bytes(s.as_bytes())?;
+                if name == "asciz" {
+                    self.emit_bytes(&[0])?;
+                }
+                Ok(())
+            }
+            "zero" => {
+                let n = parse_int(args).map_err(|e| AsmError { line: self.line, msg: e })?;
+                if n < 0 {
+                    return err(self.line, ".zero with negative size");
+                }
+                if self.section_is_bss() {
+                    let s = self.cur();
+                    s.size += n as u64;
+                    Ok(())
+                } else {
+                    self.emit_bytes(&vec![0u8; n as usize])
+                }
+            }
+            "align" => {
+                let n = parse_int(args).map_err(|e| AsmError { line: self.line, msg: e })?;
+                if n <= 0 || (n & (n - 1)) != 0 {
+                    return err(self.line, ".align requires a positive power of two");
+                }
+                let n = n as u64;
+                let pad = (n - self.offset() % n) % n;
+                if self.section_is_bss() {
+                    self.cur().size += pad;
+                    Ok(())
+                } else {
+                    self.emit_bytes(&vec![0u8; pad as usize])
+                }
+            }
+            other => err(self.line, format!("unknown directive .{other}")),
+        }
+    }
+
+    fn reloc_here(&mut self, field_offset: u64, symbol: &str, kind: RelocKind) -> Result<(), AsmError> {
+        let sym = self.mangle(symbol)?;
+        self.cur().relocs.push(Reloc { offset: field_offset, symbol: sym, kind, addend: 0 });
+        Ok(())
+    }
+
+    fn instruction(&mut self, mnemonic: &str, ops: &[Operand]) -> Result<(), AsmError> {
+        use Opcode::*;
+        let line = self.line;
+        let reg = |o: &Operand| -> Result<u8, AsmError> {
+            match o {
+                Operand::Reg(r) => Ok(*r),
+                other => err(line, format!("expected register, got {other:?}")),
+            }
+        };
+        let imm32 = |o: &Operand| -> Result<i32, AsmError> {
+            match o {
+                Operand::Imm(v) => i32::try_from(*v)
+                    .map_err(|_| AsmError { line, msg: format!("immediate {v} out of i32 range") }),
+                other => err(line, format!("expected immediate, got {other:?}")),
+            }
+        };
+        let want = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                err(line, format!("{mnemonic} expects {n} operands, got {}", ops.len()))
+            }
+        };
+
+        // Three-register ALU ops.
+        let alu3 = [
+            ("add", Add), ("sub", Sub), ("mul", Mul), ("divu", Divu), ("remu", Remu),
+            ("and", And), ("or", Or), ("xor", Xor), ("shl", Shl), ("shru", Shru),
+            ("shrs", Shrs), ("rotl32", Rotl32), ("rotr32", Rotr32), ("add32", Add32),
+            ("sub32", Sub32), ("mul32", Mul32),
+        ];
+        if let Some((_, op)) = alu3.iter().find(|(m, _)| *m == mnemonic) {
+            want(3)?;
+            let i = Instr::new(*op, reg(&ops[0])?, reg(&ops[1])?, reg(&ops[2])?, 0);
+            return self.emit_instr(i);
+        }
+
+        // Register-immediate ALU ops.
+        let alu_imm = [
+            ("addi", Addi), ("andi", Andi), ("ori", Ori), ("xori", Xori), ("shli", Shli),
+            ("shrui", Shrui), ("shrsi", Shrsi), ("rotl32i", Rotl32i), ("rotr32i", Rotr32i),
+            ("add32i", Add32i),
+        ];
+        if let Some((_, op)) = alu_imm.iter().find(|(m, _)| *m == mnemonic) {
+            want(3)?;
+            let i = Instr::new(*op, reg(&ops[0])?, reg(&ops[1])?, 0, imm32(&ops[2])?);
+            return self.emit_instr(i);
+        }
+
+        // Loads/stores.
+        let mems = [
+            ("ld8u", Ld8u), ("ld16u", Ld16u), ("ld32u", Ld32u), ("ld64", Ld64),
+            ("st8", St8), ("st16", St16), ("st32", St32), ("st64", St64),
+        ];
+        if let Some((_, op)) = mems.iter().find(|(m, _)| *m == mnemonic) {
+            want(2)?;
+            let val = reg(&ops[0])?;
+            let (base, disp) = match &ops[1] {
+                Operand::Mem(base, disp) => (*base, *disp),
+                other => return err(line, format!("expected [reg+imm], got {other:?}")),
+            };
+            return self.emit_instr(Instr::new(*op, val, base, 0, disp));
+        }
+
+        // Branches.
+        let branches = [
+            ("beq", Beq), ("bne", Bne), ("bltu", Bltu), ("bgeu", Bgeu), ("blts", Blts),
+            ("bges", Bges),
+        ];
+        if let Some((_, op)) = branches.iter().find(|(m, _)| *m == mnemonic) {
+            want(3)?;
+            let a = reg(&ops[0])?;
+            let b = reg(&ops[1])?;
+            match &ops[2] {
+                Operand::Sym(s) => {
+                    let field = self.offset() + 4;
+                    self.reloc_here(field, s, RelocKind::Rel32)?;
+                    return self.emit_instr(Instr::new(*op, a, b, 0, 0));
+                }
+                Operand::Imm(v) => {
+                    let imm = i32::try_from(*v)
+                        .map_err(|_| AsmError { line, msg: "branch offset out of range".into() })?;
+                    return self.emit_instr(Instr::new(*op, a, b, 0, imm));
+                }
+                other => return err(line, format!("expected label, got {other:?}")),
+            }
+        }
+
+        match mnemonic {
+            "mov" => {
+                want(2)?;
+                let i = Instr::new(Mov, reg(&ops[0])?, reg(&ops[1])?, 0, 0);
+                self.emit_instr(i)
+            }
+            "movi" => {
+                want(2)?;
+                let i = Instr::new(Movi, reg(&ops[0])?, 0, 0, imm32(&ops[1])?);
+                self.emit_instr(i)
+            }
+            "movhi" => {
+                want(2)?;
+                let i = Instr::new(Movhi, reg(&ops[0])?, 0, 0, imm32(&ops[1])?);
+                self.emit_instr(i)
+            }
+            "jmp" => {
+                want(1)?;
+                match &ops[0] {
+                    Operand::Sym(s) => {
+                        let field = self.offset() + 4;
+                        self.reloc_here(field, s, RelocKind::Rel32)?;
+                        self.emit_instr(Instr::new(Jmp, 0, 0, 0, 0))
+                    }
+                    Operand::Imm(v) => self.emit_instr(Instr::new(Jmp, 0, 0, 0, *v as i32)),
+                    other => err(line, format!("expected label, got {other:?}")),
+                }
+            }
+            "call" => {
+                want(1)?;
+                match &ops[0] {
+                    Operand::Sym(s) => {
+                        let field = self.offset() + 4;
+                        self.reloc_here(field, s, RelocKind::Rel32)?;
+                        self.emit_instr(Instr::new(Call, 0, 0, 0, 0))
+                    }
+                    other => err(line, format!("call expects a symbol, got {other:?}")),
+                }
+            }
+            "callr" => {
+                want(1)?;
+                let r = reg(&ops[0])?;
+                self.emit_instr(Instr::new(Callr, 0, r, 0, 0))
+            }
+            "jmpr" => {
+                want(1)?;
+                let r = reg(&ops[0])?;
+                self.emit_instr(Instr::new(Jmpr, 0, r, 0, 0))
+            }
+            "ret" => {
+                want(0)?;
+                self.emit_instr(Instr::new(Ret, 0, 0, 0, 0))
+            }
+            "ldpc" => {
+                want(1)?;
+                let i = Instr::new(Ldpc, reg(&ops[0])?, 0, 0, 0);
+                self.emit_instr(i)
+            }
+            "halt" => {
+                want(0)?;
+                self.emit_instr(Instr::new(Halt, 0, 0, 0, 0))
+            }
+            "ocall" => {
+                want(1)?;
+                let i = Instr::new(Ocall, 0, 0, 0, imm32(&ops[0])?);
+                self.emit_instr(i)
+            }
+            "intrin" => {
+                want(1)?;
+                let i = Instr::new(Intrin, 0, 0, 0, imm32(&ops[0])?);
+                self.emit_instr(i)
+            }
+            // --- pseudo-instructions ---
+            "nop" => {
+                want(0)?;
+                self.emit_instr(Instr::new(Addi, 0, 0, 0, 0))
+            }
+            "li" => {
+                want(2)?;
+                let rd = reg(&ops[0])?;
+                let v = match &ops[1] {
+                    Operand::Imm(v) => *v,
+                    other => return err(line, format!("li expects an immediate, got {other:?}")),
+                };
+                self.emit_instr(Instr::new(Movi, rd, 0, 0, v as i32))?;
+                // movi sign-extends; emit movhi when the upper half differs.
+                if (v as i32 as i64) != v {
+                    self.emit_instr(Instr::new(Movhi, rd, 0, 0, (v as u64 >> 32) as i32))?;
+                }
+                Ok(())
+            }
+            "la" => {
+                want(2)?;
+                let rd = reg(&ops[0])?;
+                let sym = match &ops[1] {
+                    Operand::Sym(s) => s.clone(),
+                    other => return err(line, format!("la expects a symbol, got {other:?}")),
+                };
+                let field = self.offset() + 4;
+                self.reloc_here(field, &sym, RelocKind::AbsLo32)?;
+                self.emit_instr(Instr::new(Movi, rd, 0, 0, 0))?;
+                let field = self.offset() + 4;
+                self.reloc_here(field, &sym, RelocKind::AbsHi32)?;
+                self.emit_instr(Instr::new(Movhi, rd, 0, 0, 0))
+            }
+            "push" => {
+                want(1)?;
+                let rs = reg(&ops[0])?;
+                self.emit_instr(Instr::new(Addi, REG_SP, REG_SP, 0, -8))?;
+                self.emit_instr(Instr::new(St64, rs, REG_SP, 0, 0))
+            }
+            "pop" => {
+                want(1)?;
+                let rd = reg(&ops[0])?;
+                self.emit_instr(Instr::new(Ld64, rd, REG_SP, 0, 0))?;
+                self.emit_instr(Instr::new(Addi, REG_SP, REG_SP, 0, 8))
+            }
+            other => err(line, format!("unknown mnemonic {other:?}")),
+        }
+    }
+}
+
+fn find_label_colon(line: &str) -> Option<usize> {
+    // A label is IDENT ':' at line start (no whitespace inside the ident).
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b':' => return if i > 0 { Some(i) } else { None },
+            b if (b as char).is_alphanumeric() || b == b'_' || b == b'.' => continue,
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().map(|c| c.is_alphabetic() || c == '_' || c == '.').unwrap_or(false)
+        && s.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+}
+
+fn split_first_word(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+fn split_commas(s: &str) -> Vec<&str> {
+    if s.trim().is_empty() {
+        Vec::new()
+    } else {
+        s.split(',').collect()
+    }
+}
+
+fn parse_int(s: &str) -> Result<i64, String> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).map_err(|e| format!("bad integer {s:?}: {e}"))? as i64
+    } else if let Some(bin) = body.strip_prefix("0b") {
+        u64::from_str_radix(bin, 2).map_err(|e| format!("bad integer {s:?}: {e}"))? as i64
+    } else {
+        body.parse::<u64>().map_err(|e| format!("bad integer {s:?}: {e}"))? as i64
+    };
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_int_list(s: &str, line: usize) -> Result<Vec<i64>, AsmError> {
+    split_commas(s)
+        .iter()
+        .map(|p| parse_int(p).map_err(|msg| AsmError { line, msg }))
+        .collect()
+}
+
+fn parse_string(s: &str, line: usize) -> Result<String, AsmError> {
+    let s = s.trim();
+    if s.len() < 2 || !s.starts_with('"') || !s.ends_with('"') {
+        return err(line, format!("expected quoted string, got {s:?}"));
+    }
+    let inner = &s[1..s.len() - 1];
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('0') => out.push('\0'),
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                other => return err(line, format!("bad escape \\{other:?}")),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+fn parse_operands(s: &str, line: usize) -> Result<Vec<Operand>, AsmError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    split_commas(s).iter().map(|p| parse_operand(p.trim(), line)).collect()
+}
+
+fn parse_reg(s: &str) -> Option<u8> {
+    if s == "sp" {
+        return Some(REG_SP);
+    }
+    let num = s.strip_prefix('r')?;
+    let n: u8 = num.parse().ok()?;
+    if (n as usize) < crate::isa::NUM_REGS {
+        Some(n)
+    } else {
+        None
+    }
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, AsmError> {
+    if let Some(r) = parse_reg(s) {
+        return Ok(Operand::Reg(r));
+    }
+    if s.starts_with('[') && s.ends_with(']') {
+        let inner = &s[1..s.len() - 1];
+        // forms: reg | reg+imm | reg-imm
+        let (reg_part, disp) = if let Some(plus) = inner.find('+') {
+            (&inner[..plus], parse_int(&inner[plus + 1..]).map_err(|msg| AsmError { line, msg })?)
+        } else if let Some(minus) = inner.rfind('-') {
+            if minus == 0 {
+                return err(line, format!("bad memory operand {s:?}"));
+            }
+            (
+                &inner[..minus],
+                -parse_int(&inner[minus + 1..]).map_err(|msg| AsmError { line, msg })?,
+            )
+        } else {
+            (inner, 0)
+        };
+        let base = parse_reg(reg_part.trim())
+            .ok_or_else(|| AsmError { line, msg: format!("bad base register {reg_part:?}") })?;
+        let disp = i32::try_from(disp)
+            .map_err(|_| AsmError { line, msg: "displacement out of range".into() })?;
+        return Ok(Operand::Mem(base, disp));
+    }
+    if let Ok(v) = parse_int(s) {
+        return Ok(Operand::Imm(v));
+    }
+    if is_ident(s) {
+        return Ok(Operand::Sym(s.to_string()));
+    }
+    err(line, format!("cannot parse operand {s:?}"))
+}
+
+/// Convenience: assemble several source files into one vector of objects.
+///
+/// # Errors
+///
+/// Returns the first assembly error together with its source index.
+pub fn assemble_all<'a>(
+    sources: impl IntoIterator<Item = &'a str>,
+) -> Result<Vec<Object>, AsmError> {
+    sources.into_iter().map(assemble).collect()
+}
+
+/// Returns a map of function name → body size for an object, used by tests
+/// and by whitelist generation.
+pub fn function_sizes(obj: &Object) -> HashMap<String, u64> {
+    obj.symbols
+        .iter()
+        .filter(|s| s.kind == SymKind::Func)
+        .map(|s| (s.name.clone(), s.size))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Opcode;
+
+    #[test]
+    fn assembles_simple_function() {
+        let obj = assemble(
+            ".section text\n\
+             .global f\n\
+             .func f\n\
+                 movi r0, 7\n\
+                 addi r0, r0, 35\n\
+                 ret\n\
+             .endfunc\n",
+        )
+        .unwrap();
+        let text = obj.section("text").unwrap();
+        assert_eq!(text.bytes.len(), 24);
+        let f = obj.symbol("f").unwrap();
+        assert_eq!(f.size, 24);
+        assert!(f.global);
+        assert_eq!(f.kind, SymKind::Func);
+    }
+
+    #[test]
+    fn local_labels_are_mangled() {
+        let obj = assemble(
+            ".section text\n\
+             .func a\n\
+             .loop:\n\
+                 jmp .loop\n\
+             .endfunc\n\
+             .func b\n\
+             .loop:\n\
+                 jmp .loop\n\
+             .endfunc\n",
+        )
+        .unwrap();
+        assert!(obj.symbol("a.loop").is_some());
+        assert!(obj.symbol("b.loop").is_some());
+        let text = obj.section("text").unwrap();
+        assert_eq!(text.relocs.len(), 2);
+        assert_eq!(text.relocs[0].symbol, "a.loop");
+        assert_eq!(text.relocs[1].symbol, "b.loop");
+    }
+
+    #[test]
+    fn local_label_outside_function_rejected() {
+        let e = assemble(".section text\n.orphan:\n").unwrap_err();
+        assert!(e.msg.contains("outside a function"), "{e}");
+    }
+
+    #[test]
+    fn data_directives() {
+        let obj = assemble(
+            ".section rodata\n\
+             tbl:\n\
+                 .byte 1, 2, 0xff\n\
+                 .align 4\n\
+                 .word 0xdeadbeef\n\
+                 .quad 0x1122334455667788\n\
+                 .ascii \"hi\"\n\
+                 .asciz \"z\"\n\
+                 .zero 3\n",
+        )
+        .unwrap();
+        let ro = obj.section("rodata").unwrap();
+        assert_eq!(&ro.bytes[..3], &[1, 2, 0xff]);
+        assert_eq!(&ro.bytes[4..8], &0xdeadbeefu32.to_le_bytes());
+        assert_eq!(&ro.bytes[8..16], &0x1122334455667788u64.to_le_bytes());
+        assert_eq!(&ro.bytes[16..18], b"hi");
+        assert_eq!(&ro.bytes[18..20], b"z\0");
+        assert_eq!(ro.bytes.len(), 23);
+        assert_eq!(obj.symbol("tbl").unwrap().kind, SymKind::Object);
+    }
+
+    #[test]
+    fn quad_symbol_emits_abs64_reloc() {
+        let obj = assemble(
+            ".section text\n.func f\nret\n.endfunc\n\
+             .section rodata\ntable: .quad f\n",
+        )
+        .unwrap();
+        let ro = obj.section("rodata").unwrap();
+        assert_eq!(ro.relocs.len(), 1);
+        assert_eq!(ro.relocs[0].kind, RelocKind::Abs64);
+        assert_eq!(ro.relocs[0].symbol, "f");
+    }
+
+    #[test]
+    fn la_emits_two_relocs() {
+        let obj = assemble(".section text\n.func f\nla r1, f\nret\n.endfunc\n").unwrap();
+        let text = obj.section("text").unwrap();
+        assert_eq!(text.relocs.len(), 2);
+        assert_eq!(text.relocs[0].kind, RelocKind::AbsLo32);
+        assert_eq!(text.relocs[1].kind, RelocKind::AbsHi32);
+        assert_eq!(text.bytes.len(), 24); // la is 2 instructions + ret
+    }
+
+    #[test]
+    fn li_expands_by_magnitude() {
+        let small = assemble(".section text\n.func f\nli r1, 5\nret\n.endfunc\n").unwrap();
+        assert_eq!(small.section("text").unwrap().bytes.len(), 16);
+        let big =
+            assemble(".section text\n.func f\nli r1, 0x123456789a\nret\n.endfunc\n").unwrap();
+        assert_eq!(big.section("text").unwrap().bytes.len(), 24);
+        // Negative i32 range still fits one instruction.
+        let neg = assemble(".section text\n.func f\nli r1, -4\nret\n.endfunc\n").unwrap();
+        assert_eq!(neg.section("text").unwrap().bytes.len(), 16);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let obj = assemble(
+            ".section text\n.func f\n\
+             ld64 r1, [r2+16]\n\
+             st8 r3, [sp-8]\n\
+             ld32u r4, [r5]\n\
+             ret\n.endfunc\n",
+        )
+        .unwrap();
+        let text = obj.section("text").unwrap();
+        let i0 = Instr::decode(text.bytes[0..8].try_into().unwrap()).unwrap();
+        assert_eq!((i0.op, i0.a, i0.b, i0.imm), (Opcode::Ld64, 1, 2, 16));
+        let i1 = Instr::decode(text.bytes[8..16].try_into().unwrap()).unwrap();
+        assert_eq!((i1.op, i1.a, i1.b, i1.imm), (Opcode::St8, 3, 15, -8));
+        let i2 = Instr::decode(text.bytes[16..24].try_into().unwrap()).unwrap();
+        assert_eq!((i2.op, i2.a, i2.b, i2.imm), (Opcode::Ld32u, 4, 5, 0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("movi r0, 1\nbogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = assemble(".func f\nret\n").unwrap_err();
+        assert!(e.msg.contains("missing .endfunc"));
+        let e = assemble(".section what\n").unwrap_err();
+        assert!(e.msg.contains("unknown section"));
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let e = assemble(".section text\n.func f\nret\n.endfunc\n.func f\nret\n.endfunc\n")
+            .unwrap_err();
+        assert!(e.msg.contains("duplicate symbol"));
+    }
+
+    #[test]
+    fn bss_accepts_only_zero_fill() {
+        let obj = assemble(".section bss\nbuf: .zero 128\n.align 64\n").unwrap();
+        let bss = obj.section("bss").unwrap();
+        assert_eq!(bss.size, 128); // already 64-aligned
+        assert!(bss.bytes.is_empty());
+        let e = assemble(".section bss\n.byte 1\n").unwrap_err();
+        assert!(e.msg.contains("bss"));
+    }
+
+    #[test]
+    fn comments_and_strings() {
+        let obj = assemble(
+            ".section rodata\nmsg: .ascii \"a;b#c\" ; trailing comment\n# full line\n",
+        )
+        .unwrap();
+        assert_eq!(obj.section("rodata").unwrap().bytes, b"a;b#c");
+    }
+
+    #[test]
+    fn assembler_never_panics_on_arbitrary_lines() {
+        use proptest::prelude::*;
+        use proptest::test_runner::TestRunner;
+        let mut runner = TestRunner::default();
+        runner
+            .run(&proptest::collection::vec(".{0,40}", 0..12), |lines| {
+                let src = lines.join("\n");
+                let _ = assemble(&src); // must never panic
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn push_pop_expand() {
+        let obj = assemble(".section text\n.func f\npush r1\npop r2\nret\n.endfunc\n").unwrap();
+        assert_eq!(obj.section("text").unwrap().bytes.len(), 40);
+    }
+}

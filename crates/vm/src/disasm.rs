@@ -1,0 +1,156 @@
+//! EV64 disassembler — the attacker's tool.
+//!
+//! The paper's threat model lets anyone disassemble the enclave file before
+//! initialization ("The enclave file can be disassembled, so the algorithms
+//! used by the enclave developer will not remain secret"). This module is
+//! used by tests, examples and the `attack` module of `elide-core` to show
+//! exactly what an attacker recovers from an image before and after
+//! sanitization.
+
+use crate::isa::{Instr, Opcode, INSTR_SIZE};
+
+/// One disassembled line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Virtual address of the instruction.
+    pub addr: u64,
+    /// Raw bytes.
+    pub bytes: [u8; 8],
+    /// Rendered text (`"(bad)"` for undecodable words).
+    pub text: String,
+    /// Whether the word decoded to a valid instruction.
+    pub valid: bool,
+}
+
+fn reg(n: u8) -> String {
+    if n == 15 {
+        "sp".to_string()
+    } else {
+        format!("r{n}")
+    }
+}
+
+fn render(i: &Instr, addr: u64) -> String {
+    use Opcode::*;
+    let m = i.op.mnemonic();
+    match i.op {
+        Illegal => "(bad)".to_string(),
+        Halt | Ret => m.to_string(),
+        Mov => format!("{m} {}, {}", reg(i.a), reg(i.b)),
+        Movi | Movhi => format!("{m} {}, {:#x}", reg(i.a), i.imm),
+        Add | Sub | Mul | Divu | Remu | And | Or | Xor | Shl | Shru | Shrs | Rotl32 | Rotr32
+        | Add32 | Sub32 | Mul32 => {
+            format!("{m} {}, {}, {}", reg(i.a), reg(i.b), reg(i.c))
+        }
+        Addi | Andi | Ori | Xori | Shli | Shrui | Shrsi | Rotl32i | Rotr32i | Add32i => {
+            format!("{m} {}, {}, {}", reg(i.a), reg(i.b), i.imm)
+        }
+        Ld8u | Ld16u | Ld32u | Ld64 => {
+            format!("{m} {}, [{}{:+}]", reg(i.a), reg(i.b), i.imm)
+        }
+        St8 | St16 | St32 | St64 => {
+            format!("{m} {}, [{}{:+}]", reg(i.a), reg(i.b), i.imm)
+        }
+        Jmp | Call => {
+            let target = addr.wrapping_add(INSTR_SIZE).wrapping_add(i.imm as i64 as u64);
+            format!("{m} {target:#x}")
+        }
+        Beq | Bne | Bltu | Bgeu | Blts | Bges => {
+            let target = addr.wrapping_add(INSTR_SIZE).wrapping_add(i.imm as i64 as u64);
+            format!("{m} {}, {}, {target:#x}", reg(i.a), reg(i.b))
+        }
+        Callr | Jmpr => format!("{m} {}", reg(i.b)),
+        Ldpc => format!("{m} {}", reg(i.a)),
+        Ocall | Intrin => format!("{m} {}", i.imm),
+    }
+}
+
+/// Disassembles `code` starting at virtual address `base`.
+///
+/// Trailing bytes that do not fill an instruction are ignored.
+pub fn disassemble(code: &[u8], base: u64) -> Vec<DisasmLine> {
+    let mut out = Vec::with_capacity(code.len() / 8);
+    for (idx, chunk) in code.chunks_exact(8).enumerate() {
+        let bytes: [u8; 8] = chunk.try_into().unwrap();
+        let addr = base + idx as u64 * INSTR_SIZE;
+        match Instr::decode(&bytes) {
+            Some(i) if i.op != Opcode::Illegal => {
+                out.push(DisasmLine { addr, bytes, text: render(&i, addr), valid: true })
+            }
+            _ => out.push(DisasmLine { addr, bytes, text: "(bad)".to_string(), valid: false }),
+        }
+    }
+    out
+}
+
+/// Renders a full listing as text, one instruction per line.
+pub fn listing(code: &[u8], base: u64) -> String {
+    disassemble(code, base)
+        .iter()
+        .map(|l| {
+            let hex: String = l.bytes.iter().map(|b| format!("{b:02x}")).collect();
+            format!("{:#010x}:  {}  {}", l.addr, hex, l.text)
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Fraction of words in `code` that decode to valid instructions — a crude
+/// measure of how much intelligible code an attacker can recover.
+pub fn decodable_fraction(code: &[u8]) -> f64 {
+    let lines = disassemble(code, 0);
+    if lines.is_empty() {
+        return 0.0;
+    }
+    lines.iter().filter(|l| l.valid).count() as f64 / lines.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn disassembles_assembled_code() {
+        let obj = assemble(
+            ".section text\n.func f\n\
+             movi r1, 16\n\
+             add r0, r1, r2\n\
+             ld64 r3, [sp+8]\n\
+             beq r0, r1, .l\n\
+             .l:\n\
+             ret\n.endfunc\n",
+        )
+        .unwrap();
+        let text = &obj.section("text").unwrap().bytes;
+        let lines = disassemble(text, 0x1000);
+        assert!(lines.iter().all(|l| l.valid));
+        assert_eq!(lines[0].text, "movi r1, 0x10");
+        assert_eq!(lines[1].text, "add r0, r1, r2");
+        assert_eq!(lines[2].text, "ld64 r3, [sp+8]");
+        assert!(lines[3].text.starts_with("beq r0, r1, 0x1020"));
+        assert_eq!(lines[4].text, "ret");
+    }
+
+    #[test]
+    fn zeroed_code_is_all_bad() {
+        let lines = disassemble(&[0u8; 64], 0);
+        assert!(lines.iter().all(|l| !l.valid));
+        assert_eq!(decodable_fraction(&[0u8; 64]), 0.0);
+    }
+
+    #[test]
+    fn listing_formats_addresses() {
+        let obj = assemble(".section text\n.func f\nret\n.endfunc\n").unwrap();
+        let s = listing(&obj.section("text").unwrap().bytes, 0x100000);
+        assert!(s.contains("0x00100000"));
+        assert!(s.contains("ret"));
+    }
+
+    #[test]
+    fn decodable_fraction_mixed() {
+        let mut code = vec![0u8; 8];
+        code.extend_from_slice(&crate::isa::Instr::new(crate::isa::Opcode::Halt, 0, 0, 0, 0).encode());
+        assert!((decodable_fraction(&code) - 0.5).abs() < 1e-9);
+    }
+}

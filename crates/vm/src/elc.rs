@@ -1,0 +1,1003 @@
+//! Elc: a small imperative language compiling to EV64 assembly.
+//!
+//! The paper's enclaves are compiled C; Elc plays that role for EV64 so
+//! benchmark logic can be written above assembly level while still
+//! producing real, sanitizable `.text` bytes. The compiler is a classic
+//! three-stage pipeline: lexer → recursive-descent parser → single-pass
+//! code generator with a register value-stack and frame-slot locals.
+//!
+//! # Language
+//!
+//! ```text
+//! // XTEA-style mixing round
+//! fn mix(v0, v1, k) {
+//!     let sum = 0x9E3779B9;
+//!     v0 = v0 + (((v1 << 4) ^ (v1 >> 5)) + v1 ^ (sum + k));
+//!     return v0;
+//! }
+//!
+//! fn main(inp, len, outp, cap) {
+//!     let i = 0;
+//!     let acc = 0;
+//!     while (i < len) {
+//!         acc = acc + load8(inp + i);
+//!         if (acc > 1000) { acc = acc % 1000; }
+//!         i = i + 1;
+//!     }
+//!     store64(outp, acc);
+//!     return acc;
+//! }
+//! ```
+//!
+//! * All values are `u64`; arithmetic wraps; comparisons are unsigned and
+//!   yield 0/1.
+//! * Functions take up to 4 parameters, passed in `r2..r5` — exactly the
+//!   ecall ABI, so an Elc function is directly usable as an ecall.
+//! * Builtins: `load8/load16/load32/load64(addr)`,
+//!   `store8/store16/store32/store64(addr, value)`.
+//! * Operators by falling precedence: unary `- ~ !`; `* / %`; `+ -`;
+//!   `<< >>`; `< <= > >=`; `== !=`; `&`; `^`; `|`; `&&`; `||`
+//!   (logical forms short-circuit).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Compilation error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElcError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for ElcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ElcError {}
+
+fn err<T>(line: usize, msg: impl Into<String>) -> Result<T, ElcError> {
+    Err(ElcError { line, msg: msg.into() })
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    Punct(&'static str),
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Lexed {
+    tok: Tok,
+    line: usize,
+}
+
+const PUNCTS: [&str; 28] = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "(", ")", "{", "}", ",", ";", "+", "-", "*",
+    "/", "%", "<", ">", "=", "&", "|", "^", "~", "!", ":",
+];
+
+fn lex(src: &str) -> Result<Vec<Lexed>, ElcError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1;
+    'outer: while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut radix = 10;
+            if c == '0' && matches!(bytes.get(i + 1), Some(b'x') | Some(b'X')) {
+                radix = 16;
+                i += 2;
+            }
+            let num_start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_hexdigit() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let text: String =
+                src[num_start..i].chars().filter(|&ch| ch != '_').collect();
+            let text = if radix == 10 { &src[start..i] } else { text.as_str() };
+            let v = u64::from_str_radix(text.trim_start_matches("0x"), radix)
+                .map_err(|e| ElcError { line, msg: format!("bad number: {e}") })?;
+            out.push(Lexed { tok: Tok::Num(v), line });
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Lexed { tok: Tok::Ident(src[start..i].to_string()), line });
+            continue;
+        }
+        for p in PUNCTS {
+            if src[i..].starts_with(p) {
+                out.push(Lexed { tok: Tok::Punct(p), line });
+                i += p.len();
+                continue 'outer;
+            }
+        }
+        return err(line, format!("unexpected character {c:?}"));
+    }
+    out.push(Lexed { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Num(u64),
+    Var(String),
+    Unary(&'static str, Box<Expr>),
+    Binary(&'static str, Box<Expr>, Box<Expr>),
+    Call(String, Vec<Expr>),
+    Load(usize, Box<Expr>), // size in bytes
+}
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Let(String, Expr),
+    Assign(String, Expr),
+    Store(usize, Expr, Expr),
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    While(Expr, Vec<Stmt>),
+    Return(Option<Expr>),
+    Expr(Expr),
+}
+
+#[derive(Debug, Clone)]
+struct Function {
+    name: String,
+    params: Vec<String>,
+    body: Vec<Stmt>,
+    line: usize,
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Lexed>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), ElcError> {
+        let line = self.line();
+        match self.next() {
+            Tok::Punct(got) if got == p => Ok(()),
+            other => err(line, format!("expected {p:?}, got {other:?}")),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ElcError> {
+        let line = self.line();
+        match self.next() {
+            Tok::Ident(s) => Ok(s),
+            other => err(line, format!("expected identifier, got {other:?}")),
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(got) if *got == p) {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn program(&mut self) -> Result<Vec<Function>, ElcError> {
+        let mut fns = Vec::new();
+        while !matches!(self.peek(), Tok::Eof) {
+            let line = self.line();
+            let kw = self.expect_ident()?;
+            if kw != "fn" {
+                return err(line, format!("expected `fn`, got {kw:?}"));
+            }
+            let name = self.expect_ident()?;
+            self.expect_punct("(")?;
+            let mut params = Vec::new();
+            if !self.eat_punct(")") {
+                loop {
+                    params.push(self.expect_ident()?);
+                    if self.eat_punct(")") {
+                        break;
+                    }
+                    self.expect_punct(",")?;
+                }
+            }
+            if params.len() > 4 {
+                return err(line, "at most 4 parameters supported");
+            }
+            let body = self.block()?;
+            fns.push(Function { name, params, body, line });
+        }
+        Ok(fns)
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ElcError> {
+        self.expect_punct("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_punct("}") {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ElcError> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Ident(kw) if kw == "let" => {
+                self.next();
+                let name = self.expect_ident()?;
+                self.expect_punct("=")?;
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Let(name, e))
+            }
+            Tok::Ident(kw) if kw == "if" => {
+                self.next();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then = self.block()?;
+                let els = if matches!(self.peek(), Tok::Ident(k) if k == "else") {
+                    self.next();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(cond, then, els))
+            }
+            Tok::Ident(kw) if kw == "while" => {
+                self.next();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(Stmt::While(cond, self.block()?))
+            }
+            Tok::Ident(kw) if kw == "return" => {
+                self.next();
+                if self.eat_punct(";") {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Tok::Ident(name) if store_size(&name).is_some() => {
+                // storeN(addr, value);
+                self.next();
+                let size = store_size(&name).expect("checked");
+                self.expect_punct("(")?;
+                let addr = self.expr()?;
+                self.expect_punct(",")?;
+                let value = self.expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Store(size, addr, value))
+            }
+            Tok::Ident(name) => {
+                // assignment or expression-statement
+                if matches!(&self.toks[self.pos + 1].tok, Tok::Punct(p) if *p == "=") {
+                    self.next();
+                    self.next();
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Assign(name, e))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Expr(e))
+                }
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                let _ = line;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ElcError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_level: usize) -> Result<Expr, ElcError> {
+        // Levels from loosest to tightest.
+        const LEVELS: [&[&str]; 9] = [
+            &["||"],
+            &["&&"],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["==", "!="],
+            &["<", "<=", ">", ">="],
+            &["<<", ">>"],
+            &["+", "-"],
+        ];
+        if min_level == LEVELS.len() {
+            return self.term();
+        }
+        let mut lhs = self.binary(min_level + 1)?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct(p) if LEVELS[min_level].contains(p) => *p,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.binary(min_level + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ElcError> {
+        // Tightest binary level: * / %
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Punct(p) if ["*", "/", "%"].contains(p) => *p,
+                _ => break,
+            };
+            self.next();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ElcError> {
+        match self.peek() {
+            Tok::Punct(p) if ["-", "~", "!"].contains(p) => {
+                let op = *p;
+                self.next();
+                Ok(Expr::Unary(op, Box::new(self.unary()?)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ElcError> {
+        let line = self.line();
+        match self.next() {
+            Tok::Num(v) => Ok(Expr::Num(v)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat_punct(")") {
+                                break;
+                            }
+                            self.expect_punct(",")?;
+                        }
+                    }
+                    if let Some(size) = load_size(&name) {
+                        if args.len() != 1 {
+                            return err(line, format!("{name} takes one argument"));
+                        }
+                        return Ok(Expr::Load(size, Box::new(args.remove_first())));
+                    }
+                    if store_size(&name).is_some() {
+                        return err(line, format!("{name} is a statement, not an expression"));
+                    }
+                    if args.len() > 4 {
+                        return err(line, "at most 4 arguments supported");
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => err(line, format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+trait RemoveFirst<T> {
+    fn remove_first(&mut self) -> T;
+}
+
+impl<T> RemoveFirst<T> for Vec<T> {
+    fn remove_first(&mut self) -> T {
+        self.remove(0)
+    }
+}
+
+fn load_size(name: &str) -> Option<usize> {
+    match name {
+        "load8" => Some(1),
+        "load16" => Some(2),
+        "load32" => Some(4),
+        "load64" => Some(8),
+        _ => None,
+    }
+}
+
+fn store_size(name: &str) -> Option<usize> {
+    match name {
+        "store8" => Some(1),
+        "store16" => Some(2),
+        "store32" => Some(4),
+        "store64" => Some(8),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generator
+// ---------------------------------------------------------------------
+
+/// Registers used as the expression value stack (caller-saved).
+const VALUE_REGS: [&str; 9] = ["r6", "r7", "r8", "r9", "r10", "r11", "r12", "r13", "r14"];
+
+struct Codegen {
+    out: String,
+    label: usize,
+    locals: HashMap<String, i32>, // frame offset from sp
+    frame: i32,
+    depth: usize, // value-stack depth
+    fn_line: usize,
+}
+
+impl Codegen {
+    fn emit(&mut self, line: &str) {
+        self.out.push_str("    ");
+        self.out.push_str(line);
+        self.out.push('\n');
+    }
+
+    fn fresh_label(&mut self, what: &str) -> String {
+        self.label += 1;
+        format!(".L{}_{what}", self.label)
+    }
+
+    fn push_reg(&mut self) -> Result<&'static str, ElcError> {
+        if self.depth >= VALUE_REGS.len() {
+            return err(self.fn_line, "expression too deeply nested");
+        }
+        let r = VALUE_REGS[self.depth];
+        self.depth += 1;
+        Ok(r)
+    }
+
+    fn pop_reg(&mut self) -> &'static str {
+        self.depth -= 1;
+        VALUE_REGS[self.depth]
+    }
+
+    fn top_reg(&self) -> &'static str {
+        VALUE_REGS[self.depth - 1]
+    }
+
+    fn local_offset(&mut self, name: &str, line: usize) -> Result<i32, ElcError> {
+        self.locals
+            .get(name)
+            .copied()
+            .ok_or_else(|| ElcError { line, msg: format!("unknown variable {name}") })
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), ElcError> {
+        match e {
+            Expr::Num(v) => {
+                let r = self.push_reg()?;
+                self.emit(&format!("li {r}, {v}"));
+            }
+            Expr::Var(name) => {
+                let off = self.local_offset(name, self.fn_line)?;
+                let r = self.push_reg()?;
+                self.emit(&format!("ld64 {r}, [sp+{off}]"));
+            }
+            Expr::Unary(op, inner) => {
+                self.expr(inner)?;
+                let r = self.top_reg();
+                match *op {
+                    "-" => {
+                        self.emit(&format!("movi r1, 0"));
+                        self.emit(&format!("sub {r}, r1, {r}"));
+                    }
+                    "~" => self.emit(&format!("xori {r}, {r}, -1")),
+                    "!" => {
+                        let set = self.fresh_label("not");
+                        self.emit("movi r1, 0");
+                        self.emit(&format!("beq {r}, r1, {set}_one"));
+                        self.emit(&format!("movi {r}, 0"));
+                        self.emit(&format!("jmp {set}_done"));
+                        self.out.push_str(&format!("{set}_one:\n"));
+                        self.emit(&format!("movi {r}, 1"));
+                        self.out.push_str(&format!("{set}_done:\n"));
+                    }
+                    _ => unreachable!("unary ops are - ~ !"),
+                }
+            }
+            Expr::Binary(op, lhs, rhs) => self.binary(op, lhs, rhs)?,
+            Expr::Load(size, addr) => {
+                self.expr(addr)?;
+                let r = self.top_reg();
+                let mnem = match size {
+                    1 => "ld8u",
+                    2 => "ld16u",
+                    4 => "ld32u",
+                    _ => "ld64",
+                };
+                self.emit(&format!("{mnem} {r}, [{r}]"));
+            }
+            Expr::Call(name, args) => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                // Save value-stack registers below the arguments.
+                let arg_base = self.depth - args.len();
+                for i in 0..arg_base {
+                    self.emit(&format!("push {}", VALUE_REGS[i]));
+                }
+                // Move arguments into r2..r5 (they sit on top of the stack).
+                for (i, _) in args.iter().enumerate() {
+                    self.emit(&format!("mov r{}, {}", 2 + i, VALUE_REGS[arg_base + i]));
+                }
+                self.emit(&format!("call {name}"));
+                for _ in args {
+                    self.pop_reg();
+                }
+                for i in (0..arg_base).rev() {
+                    self.emit(&format!("pop {}", VALUE_REGS[i]));
+                }
+                let r = self.push_reg()?;
+                self.emit(&format!("mov {r}, r0"));
+            }
+        }
+        Ok(())
+    }
+
+    fn binary(&mut self, op: &str, lhs: &Expr, rhs: &Expr) -> Result<(), ElcError> {
+        // Short-circuit forms first.
+        if op == "&&" || op == "||" {
+            let label = self.fresh_label("sc");
+            self.expr(lhs)?;
+            let r = self.top_reg();
+            // Normalize to 0/1.
+            self.emit("movi r1, 0");
+            self.emit(&format!("beq {r}, r1, {label}_zero"));
+            self.emit(&format!("movi {r}, 1"));
+            self.emit(&format!("jmp {label}_test"));
+            self.out.push_str(&format!("{label}_zero:\n"));
+            self.emit(&format!("movi {r}, 0"));
+            self.out.push_str(&format!("{label}_test:\n"));
+            self.emit("movi r1, 0");
+            if op == "&&" {
+                self.emit(&format!("beq {r}, r1, {label}_done"));
+            } else {
+                self.emit(&format!("bne {r}, r1, {label}_done"));
+            }
+            self.pop_reg();
+            self.expr(rhs)?;
+            let r2 = self.top_reg();
+            // Normalize rhs too.
+            self.emit("movi r1, 0");
+            self.emit(&format!("beq {r2}, r1, {label}_rzero"));
+            self.emit(&format!("movi {r2}, 1"));
+            self.emit(&format!("jmp {label}_done"));
+            self.out.push_str(&format!("{label}_rzero:\n"));
+            self.emit(&format!("movi {r2}, 0"));
+            self.out.push_str(&format!("{label}_done:\n"));
+            return Ok(());
+        }
+
+        self.expr(lhs)?;
+        self.expr(rhs)?;
+        let rb = self.pop_reg();
+        let ra = self.top_reg();
+        match op {
+            "+" => self.emit(&format!("add {ra}, {ra}, {rb}")),
+            "-" => self.emit(&format!("sub {ra}, {ra}, {rb}")),
+            "*" => self.emit(&format!("mul {ra}, {ra}, {rb}")),
+            "/" => self.emit(&format!("divu {ra}, {ra}, {rb}")),
+            "%" => self.emit(&format!("remu {ra}, {ra}, {rb}")),
+            "&" => self.emit(&format!("and {ra}, {ra}, {rb}")),
+            "|" => self.emit(&format!("or {ra}, {ra}, {rb}")),
+            "^" => self.emit(&format!("xor {ra}, {ra}, {rb}")),
+            "<<" => self.emit(&format!("shl {ra}, {ra}, {rb}")),
+            ">>" => self.emit(&format!("shru {ra}, {ra}, {rb}")),
+            "==" | "!=" | "<" | "<=" | ">" | ">=" => {
+                let label = self.fresh_label("cmp");
+                let branch = match op {
+                    "==" => format!("beq {ra}, {rb}, {label}_true"),
+                    "!=" => format!("bne {ra}, {rb}, {label}_true"),
+                    "<" => format!("bltu {ra}, {rb}, {label}_true"),
+                    ">=" => format!("bgeu {ra}, {rb}, {label}_true"),
+                    ">" => format!("bltu {rb}, {ra}, {label}_true"),
+                    _ => format!("bgeu {rb}, {ra}, {label}_true"), // <=
+                };
+                self.emit(&branch);
+                self.emit(&format!("movi {ra}, 0"));
+                self.emit(&format!("jmp {label}_done"));
+                self.out.push_str(&format!("{label}_true:\n"));
+                self.emit(&format!("movi {ra}, 1"));
+                self.out.push_str(&format!("{label}_done:\n"));
+            }
+            other => return err(self.fn_line, format!("unsupported operator {other}")),
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), ElcError> {
+        match s {
+            Stmt::Let(name, e) => {
+                if self.locals.contains_key(name) {
+                    return err(self.fn_line, format!("variable {name} already defined"));
+                }
+                self.expr(e)?;
+                let off = self.frame;
+                self.frame += 8;
+                self.locals.insert(name.clone(), off);
+                let r = self.pop_reg();
+                self.emit(&format!("st64 {r}, [sp+{off}]"));
+            }
+            Stmt::Assign(name, e) => {
+                let off = self.local_offset(name, self.fn_line)?;
+                self.expr(e)?;
+                let r = self.pop_reg();
+                self.emit(&format!("st64 {r}, [sp+{off}]"));
+            }
+            Stmt::Store(size, addr, value) => {
+                self.expr(addr)?;
+                self.expr(value)?;
+                let rv = self.pop_reg();
+                let ra = self.pop_reg();
+                let mnem = match size {
+                    1 => "st8",
+                    2 => "st16",
+                    4 => "st32",
+                    _ => "st64",
+                };
+                self.emit(&format!("{mnem} {rv}, [{ra}]"));
+            }
+            Stmt::If(cond, then, els) => {
+                let label = self.fresh_label("if");
+                self.expr(cond)?;
+                let r = self.pop_reg();
+                self.emit("movi r1, 0");
+                self.emit(&format!("beq {r}, r1, {label}_else"));
+                for s in then {
+                    self.stmt(s)?;
+                }
+                self.emit(&format!("jmp {label}_end"));
+                self.out.push_str(&format!("{label}_else:\n"));
+                for s in els {
+                    self.stmt(s)?;
+                }
+                self.out.push_str(&format!("{label}_end:\n"));
+            }
+            Stmt::While(cond, body) => {
+                let label = self.fresh_label("while");
+                self.out.push_str(&format!("{label}_top:\n"));
+                self.expr(cond)?;
+                let r = self.pop_reg();
+                self.emit("movi r1, 0");
+                self.emit(&format!("beq {r}, r1, {label}_end"));
+                for s in body {
+                    self.stmt(s)?;
+                }
+                self.emit(&format!("jmp {label}_top"));
+                self.out.push_str(&format!("{label}_end:\n"));
+            }
+            Stmt::Return(e) => {
+                match e {
+                    Some(e) => {
+                        self.expr(e)?;
+                        let r = self.pop_reg();
+                        self.emit(&format!("mov r0, {r}"));
+                    }
+                    None => self.emit("movi r0, 0"),
+                }
+                self.emit("jmp .Lepilogue");
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.pop_reg();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Maximum locals+params per function (frame slots).
+const MAX_FRAME_SLOTS: i32 = 64;
+
+fn count_lets(stmts: &[Stmt]) -> i32 {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Let(..) => 1,
+            Stmt::If(_, a, b) => count_lets(a) + count_lets(b),
+            Stmt::While(_, a) => count_lets(a),
+            _ => 0,
+        })
+        .sum()
+}
+
+/// Compiles Elc source into EV64 assembly. Every function becomes a global
+/// `.func`, directly usable as an ecall (parameters map to `r2..r5`).
+///
+/// # Errors
+///
+/// Returns an [`ElcError`] naming the offending line.
+///
+/// # Examples
+///
+/// ```
+/// let asm = elide_vm::elc::compile(
+///     "fn add_mul(a, b) { return (a + b) * 2; }",
+/// ).unwrap();
+/// let obj = elide_vm::asm::assemble(&asm).unwrap();
+/// assert!(obj.symbol("add_mul").is_some());
+/// ```
+pub fn compile(source: &str) -> Result<String, ElcError> {
+    let toks = lex(source)?;
+    let mut parser = Parser { toks, pos: 0 };
+    let fns = parser.program()?;
+    if fns.is_empty() {
+        return err(1, "no functions defined");
+    }
+
+    let mut out = String::from(".section text\n");
+    for f in &fns {
+        let slots = f.params.len() as i32 + count_lets(&f.body);
+        if slots > MAX_FRAME_SLOTS {
+            return err(f.line, format!("function {} needs too many locals", f.name));
+        }
+        let frame_size = slots.max(1) * 8;
+        let mut cg = Codegen {
+            out: String::new(),
+            label: 0,
+            locals: HashMap::new(),
+            frame: 0,
+            depth: 0,
+            fn_line: f.line,
+        };
+        // Prologue: reserve frame, spill parameters (r2..r5) to slots.
+        cg.emit(&format!("addi sp, sp, -{frame_size}"));
+        for (i, p) in f.params.iter().enumerate() {
+            let off = cg.frame;
+            cg.frame += 8;
+            if cg.locals.insert(p.clone(), off).is_some() {
+                return err(f.line, format!("duplicate parameter {p}"));
+            }
+            cg.emit(&format!("st64 r{}, [sp+{off}]", 2 + i));
+        }
+        for s in &f.body {
+            cg.stmt(s)?;
+        }
+        // Implicit `return 0` at the end.
+        cg.emit("movi r0, 0");
+        // Epilogue.
+        cg.out.push_str(".Lepilogue:\n");
+        cg.emit(&format!("addi sp, sp, {frame_size}"));
+        cg.emit("ret");
+
+        out.push_str(&format!(".global {}\n.func {}\n", f.name, f.name));
+        out.push_str(&cg.out);
+        out.push_str(".endfunc\n\n");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::interp::{Exit, Vm};
+    use crate::link::{link, LinkOptions};
+    use crate::mem::FlatMemory;
+
+    /// Compiles, links (entry = `main`), and runs with up to 4 args.
+    fn run_elc(src: &str, args: &[u64]) -> u64 {
+        let asm = compile(src).unwrap_or_else(|e| panic!("compile: {e}\n{src}"));
+        let full = format!("{asm}");
+        let obj = assemble(&full).unwrap_or_else(|e| panic!("assemble: {e}\n{full}"));
+        let image = link(&[obj], &LinkOptions { base: 0, entry: "main".into() }).unwrap();
+        let elf = elide_elf::ElfFile::parse(image).unwrap();
+        let text = elf.section_by_name(".text").unwrap();
+        let mut mem = FlatMemory::new(0, 1 << 20);
+        mem.write_at(text.sh_addr, elf.section_data(text).unwrap());
+        if let Some(data) = elf.section_by_name(".data") {
+            mem.write_at(data.sh_addr, elf.section_data(data).unwrap());
+        }
+        let mut vm = Vm::new(elf.header().e_entry);
+        vm.set_sp(1 << 20);
+        for (i, &a) in args.iter().enumerate() {
+            vm.regs[2 + i] = a;
+        }
+        match vm.run(&mut mem, 10_000_000).unwrap() {
+            Exit::Halt(_) => unreachable!("elc functions return"),
+            Exit::Ocall(_) => unreachable!("no ocalls in elc"),
+        }
+    }
+
+    /// Variant that stops at `ret` by planting a `halt` return address.
+    fn eval(src: &str, args: &[u64]) -> u64 {
+        // Wrap: entry calls main then halts.
+        let asm = compile(src).unwrap_or_else(|e| panic!("compile: {e}"));
+        let wrapper = "\
+.section text
+.global __start
+.func __start
+    mov r15, sp
+    call main
+    halt
+.endfunc
+";
+        let objs = vec![assemble(wrapper).unwrap(), assemble(&asm).unwrap()];
+        let image = link(&objs, &LinkOptions { base: 0, entry: "__start".into() }).unwrap();
+        let elf = elide_elf::ElfFile::parse(image).unwrap();
+        let text = elf.section_by_name(".text").unwrap();
+        let mut mem = FlatMemory::new(0, 1 << 20);
+        mem.write_at(text.sh_addr, elf.section_data(text).unwrap());
+        let mut vm = Vm::new(elf.header().e_entry);
+        vm.set_sp((1 << 20) - 64);
+        for (i, &a) in args.iter().enumerate() {
+            vm.regs[2 + i] = a;
+        }
+        match vm.run(&mut mem, 50_000_000).unwrap() {
+            Exit::Halt(v) => v,
+            Exit::Ocall(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(eval("fn main(a, b) { return a + b * 2; }", &[10, 4]), 18);
+        assert_eq!(eval("fn main(a, b) { return (a + b) * 2; }", &[10, 4]), 28);
+        assert_eq!(eval("fn main(a) { return a / 3 + a % 3; }", &[10]), 4);
+        assert_eq!(eval("fn main(a) { return a << 4 | a >> 60; }", &[1]), 16);
+        assert_eq!(eval("fn main() { return 0xff ^ 0x0f; }", &[]), 0xf0);
+        assert_eq!(eval("fn main(a) { return -a; }", &[5]), (-5i64) as u64);
+        assert_eq!(eval("fn main(a) { return ~a; }", &[0]), u64::MAX);
+    }
+
+    #[test]
+    fn comparisons_yield_bool() {
+        assert_eq!(eval("fn main(a, b) { return a < b; }", &[1, 2]), 1);
+        assert_eq!(eval("fn main(a, b) { return a < b; }", &[2, 2]), 0);
+        assert_eq!(eval("fn main(a, b) { return a <= b; }", &[2, 2]), 1);
+        assert_eq!(eval("fn main(a, b) { return a > b; }", &[3, 2]), 1);
+        assert_eq!(eval("fn main(a, b) { return a == b; }", &[7, 7]), 1);
+        assert_eq!(eval("fn main(a, b) { return a != b; }", &[7, 7]), 0);
+        assert_eq!(eval("fn main() { return !0; }", &[]), 1);
+        assert_eq!(eval("fn main() { return !5; }", &[]), 0);
+    }
+
+    #[test]
+    fn short_circuit_logic() {
+        // Division by zero on the rhs must not execute when short-circuited.
+        assert_eq!(eval("fn main(a) { return a == 0 || 10 / a > 1; }", &[0]), 1);
+        assert_eq!(eval("fn main(a) { return a != 0 && 10 / a > 1; }", &[0]), 0);
+        assert_eq!(eval("fn main(a) { return a != 0 && 10 / a > 1; }", &[4]), 1);
+        assert_eq!(eval("fn main(a, b) { return a && b; }", &[5, 9]), 1);
+    }
+
+    #[test]
+    fn control_flow() {
+        let collatz = "
+fn main(n) {
+    let steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps = steps + 1;
+    }
+    return steps;
+}";
+        assert_eq!(eval(collatz, &[6]), 8);
+        assert_eq!(eval(collatz, &[27]), 111);
+    }
+
+    #[test]
+    fn function_calls_and_recursion() {
+        let fib = "
+fn fib(n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+fn main(n) { return fib(n); }";
+        assert_eq!(eval(fib, &[10]), 55);
+        assert_eq!(eval(fib, &[15]), 610);
+    }
+
+    #[test]
+    fn memory_builtins() {
+        let src = "
+fn main(p) {
+    store64(p, 0x1122334455667788);
+    store8(p + 8, 0xAB);
+    return load32(p + 4) + load8(p + 8);
+}";
+        // p = 0x80000 inside flat memory.
+        assert_eq!(eval(src, &[0x80000]), 0x11223344 + 0xAB);
+    }
+
+    #[test]
+    fn implicit_return_zero() {
+        assert_eq!(eval("fn main() { let x = 5; }", &[]), 0);
+    }
+
+    #[test]
+    fn errors_are_reported_with_lines() {
+        assert!(compile("fn main( { }").is_err());
+        assert!(compile("fn main() { return x; }").is_err());
+        assert!(compile("fn main() { let a = 1; let a = 2; }").is_err());
+        assert!(compile("fn main(a, b, c, d, e) { }").is_err());
+        assert!(compile("fn main() { store8(1); }").is_err());
+        assert!(compile("").is_err());
+        let e = compile("fn main() {\n  return 1 $ 2;\n}").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn compiled_code_is_position_sane() {
+        // The generated assembly must assemble and produce a function body.
+        let asm = compile("fn f(a) { return a * a; }").unwrap();
+        let obj = assemble(&asm).unwrap();
+        let f = obj.symbol("f").unwrap();
+        assert!(f.size >= 5 * 8);
+        let _ = run_elc; // silence unused in case of cfg changes
+    }
+}

@@ -1,0 +1,355 @@
+//! The EV64 linker: merges relocatable objects, resolves symbols, applies
+//! relocations, and emits an enclave ELF image via [`elide_elf`].
+//!
+//! Layout is delegated to [`ElfBuilder`] in two passes: a first build with
+//! unpatched section bytes fixes every section's virtual address, the
+//! relocations are applied against those addresses, and a second build emits
+//! the final image. This guarantees the linker and the ELF writer can never
+//! disagree about layout.
+
+use crate::obj::{Object, RelocKind, SymKind};
+use elide_elf::builder::{ElfBuilder, SectionSpec, SymbolSpec};
+use elide_elf::parse::ElfFile;
+use elide_elf::types::{
+    ElfError, SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE, STT_FUNC, STT_OBJECT,
+};
+use std::collections::HashMap;
+
+/// Default link base for enclave images.
+pub const DEFAULT_BASE: u64 = 0x0010_0000;
+
+/// Linker errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinkError {
+    /// The same global symbol is defined in more than one object.
+    DuplicateSymbol(String),
+    /// A relocation references a symbol no object defines.
+    UndefinedSymbol(String),
+    /// A PC-relative target is out of the 32-bit range.
+    RelocOutOfRange(String),
+    /// The requested entry symbol is not defined.
+    MissingEntry(String),
+    /// The ELF writer reported an error.
+    Elf(ElfError),
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::DuplicateSymbol(s) => write!(f, "duplicate symbol {s}"),
+            LinkError::UndefinedSymbol(s) => write!(f, "undefined symbol {s}"),
+            LinkError::RelocOutOfRange(s) => write!(f, "relocation out of range for {s}"),
+            LinkError::MissingEntry(s) => write!(f, "entry symbol {s} not defined"),
+            LinkError::Elf(e) => write!(f, "elf error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+impl From<ElfError> for LinkError {
+    fn from(e: ElfError) -> Self {
+        LinkError::Elf(e)
+    }
+}
+
+/// Linker options.
+#[derive(Debug, Clone)]
+pub struct LinkOptions {
+    /// Link base virtual address.
+    pub base: u64,
+    /// Entry symbol name.
+    pub entry: String,
+}
+
+impl Default for LinkOptions {
+    fn default() -> Self {
+        LinkOptions { base: DEFAULT_BASE, entry: "__enclave_entry".to_string() }
+    }
+}
+
+/// Canonical section order (ELF section name, flags).
+fn canonical_sections() -> [(&'static str, &'static str, u64); 4] {
+    [
+        ("text", ".text", SHF_ALLOC | SHF_EXECINSTR),
+        ("rodata", ".rodata", SHF_ALLOC),
+        ("data", ".data", SHF_ALLOC | SHF_WRITE),
+        ("bss", ".bss", SHF_ALLOC | SHF_WRITE),
+    ]
+}
+
+/// Links objects into an enclave ELF image.
+///
+/// # Errors
+///
+/// Returns a [`LinkError`] for duplicate or undefined symbols, relocation
+/// overflow, or a missing entry symbol.
+///
+/// # Examples
+///
+/// ```
+/// use elide_vm::asm::assemble;
+/// use elide_vm::link::{link, LinkOptions};
+/// let obj = assemble(
+///     ".section text\n.global main\n.func main\n    movi r0, 1\n    halt\n.endfunc\n",
+/// ).unwrap();
+/// let opts = LinkOptions { entry: "main".into(), ..Default::default() };
+/// let image = link(&[obj], &opts).unwrap();
+/// let elf = elide_elf::ElfFile::parse(image).unwrap();
+/// assert!(elf.symbol_by_name("main").is_some());
+/// ```
+pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Vec<u8>, LinkError> {
+    // --- 1. Merge sections in canonical order, tracking per-chunk bases ---
+    // merged[sec_name] = bytes; chunk_base[(obj_idx, sec_name)] = offset
+    let mut merged: HashMap<&str, Vec<u8>> = HashMap::new();
+    let mut merged_size: HashMap<&str, u64> = HashMap::new();
+    let mut chunk_base: HashMap<(usize, String), u64> = HashMap::new();
+
+    for (canon, _, _) in canonical_sections() {
+        let mut bytes = Vec::new();
+        let mut size: u64 = 0;
+        for (oi, obj) in objects.iter().enumerate() {
+            if let Some(data) = obj.section(canon) {
+                // Align each chunk to 16 bytes.
+                let pad = (16 - size % 16) % 16;
+                size += pad;
+                if canon != "bss" {
+                    bytes.extend(std::iter::repeat(0u8).take(pad as usize));
+                    chunk_base.insert((oi, canon.to_string()), size);
+                    bytes.extend_from_slice(&data.bytes);
+                    size += data.bytes.len() as u64;
+                } else {
+                    chunk_base.insert((oi, canon.to_string()), size);
+                    size += data.size;
+                }
+            }
+        }
+        merged.insert(canon, bytes);
+        merged_size.insert(canon, size);
+    }
+
+    // --- 2. Global symbol map: name -> (section, merged offset, size, kind, global) ---
+    struct Resolved {
+        section: String,
+        offset: u64,
+        size: u64,
+        kind: SymKind,
+        global: bool,
+    }
+    let mut symmap: HashMap<String, Resolved> = HashMap::new();
+    for (oi, obj) in objects.iter().enumerate() {
+        for sym in &obj.symbols {
+            let base = chunk_base
+                .get(&(oi, sym.section.clone()))
+                .copied()
+                .ok_or_else(|| LinkError::UndefinedSymbol(sym.name.clone()))?;
+            if symmap.contains_key(&sym.name) {
+                return Err(LinkError::DuplicateSymbol(sym.name.clone()));
+            }
+            symmap.insert(
+                sym.name.clone(),
+                Resolved {
+                    section: sym.section.clone(),
+                    offset: base + sym.offset,
+                    size: sym.size,
+                    kind: sym.kind,
+                    global: sym.global,
+                },
+            );
+        }
+    }
+
+    if !symmap.contains_key(&opts.entry) {
+        return Err(LinkError::MissingEntry(opts.entry.clone()));
+    }
+
+    // --- 3. First build: fix section addresses ---
+    let build = |merged: &HashMap<&str, Vec<u8>>| -> Result<Vec<u8>, LinkError> {
+        let mut b = ElfBuilder::new(opts.base);
+        for (canon, elf_name, flags) in canonical_sections() {
+            let size = merged_size[canon];
+            if size == 0 {
+                continue;
+            }
+            if canon == "bss" {
+                b.add_section(SectionSpec::nobits(elf_name, flags, size));
+            } else {
+                b.add_section(SectionSpec::progbits(elf_name, flags, merged[canon].clone()));
+            }
+        }
+        // Deterministic symbol order: the image (and thus MRENCLAVE) must be
+        // reproducible for the vendor's signature and the server's
+        // expected measurement.
+        let mut ordered: Vec<(&String, &Resolved)> = symmap.iter().collect();
+        ordered.sort_by_key(|(name, _)| name.as_str());
+        for (name, r) in ordered {
+            if r.kind == SymKind::Label {
+                continue; // linker-internal
+            }
+            let elf_section = canonical_sections()
+                .iter()
+                .find(|(c, _, _)| *c == r.section)
+                .map(|(_, e, _)| e.to_string())
+                .expect("canonical section");
+            b.add_symbol(SymbolSpec {
+                name: name.clone(),
+                section: elf_section,
+                offset: r.offset,
+                size: r.size,
+                sym_type: if r.kind == SymKind::Func { STT_FUNC } else { STT_OBJECT },
+                global: r.global,
+            });
+        }
+        b.entry(&opts.entry);
+        Ok(b.build()?)
+    };
+
+    let first = build(&merged)?;
+    let elf = ElfFile::parse(first)?;
+    let mut section_vaddr: HashMap<&str, u64> = HashMap::new();
+    for (canon, elf_name, _) in canonical_sections() {
+        if let Some(sec) = elf.section_by_name(elf_name) {
+            section_vaddr.insert(canon, sec.sh_addr);
+        }
+    }
+
+    // --- 4. Apply relocations against fixed addresses ---
+    for (oi, obj) in objects.iter().enumerate() {
+        for (sec_name, data) in &obj.sections {
+            let Some(&sec_addr) = section_vaddr.get(sec_name.as_str()) else {
+                continue;
+            };
+            let Some(&base) = chunk_base.get(&(oi, sec_name.clone())) else { continue };
+            let out = merged.get_mut(sec_name.as_str()).expect("merged section exists");
+            for reloc in &data.relocs {
+                let target = symmap
+                    .get(&reloc.symbol)
+                    .ok_or_else(|| LinkError::UndefinedSymbol(reloc.symbol.clone()))?;
+                let target_vaddr = section_vaddr
+                    .get(target.section.as_str())
+                    .ok_or_else(|| LinkError::UndefinedSymbol(reloc.symbol.clone()))?
+                    + target.offset;
+                let target_vaddr = (target_vaddr as i64 + reloc.addend) as u64;
+                let field = (base + reloc.offset) as usize;
+                match reloc.kind {
+                    RelocKind::Rel32 => {
+                        // The imm field sits at instr_offset + 4.
+                        let instr_vaddr = sec_addr + base + reloc.offset - 4;
+                        let delta = target_vaddr.wrapping_sub(instr_vaddr.wrapping_add(8)) as i64;
+                        let delta = i32::try_from(delta as i64)
+                            .map_err(|_| LinkError::RelocOutOfRange(reloc.symbol.clone()))?;
+                        out[field..field + 4].copy_from_slice(&delta.to_le_bytes());
+                    }
+                    RelocKind::AbsLo32 => {
+                        out[field..field + 4]
+                            .copy_from_slice(&(target_vaddr as u32).to_le_bytes());
+                    }
+                    RelocKind::AbsHi32 => {
+                        out[field..field + 4]
+                            .copy_from_slice(&((target_vaddr >> 32) as u32).to_le_bytes());
+                    }
+                    RelocKind::Abs64 => {
+                        out[field..field + 8].copy_from_slice(&target_vaddr.to_le_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    // --- 5. Final build with patched bytes ---
+    build(&merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn link_one(src: &str, entry: &str) -> Vec<u8> {
+        let obj = assemble(src).unwrap();
+        link(&[obj], &LinkOptions { entry: entry.into(), ..Default::default() }).unwrap()
+    }
+
+    #[test]
+    fn links_single_object_with_entry() {
+        let image = link_one(
+            ".section text\n.global main\n.func main\nmovi r0, 3\nhalt\n.endfunc\n",
+            "main",
+        );
+        let elf = ElfFile::parse(image).unwrap();
+        let main = elf.symbol_by_name("main").unwrap();
+        assert_eq!(elf.header().e_entry, main.value);
+        assert_eq!(main.size, 16);
+    }
+
+    #[test]
+    fn cross_object_call_resolves() {
+        let a = assemble(
+            ".section text\n.global main\n.func main\ncall helper\nhalt\n.endfunc\n",
+        )
+        .unwrap();
+        let b = assemble(
+            ".section text\n.global helper\n.func helper\nmovi r0, 9\nret\n.endfunc\n",
+        )
+        .unwrap();
+        let image =
+            link(&[a, b], &LinkOptions { entry: "main".into(), ..Default::default() }).unwrap();
+        let elf = ElfFile::parse(image).unwrap();
+        assert!(elf.symbol_by_name("helper").is_some());
+    }
+
+    #[test]
+    fn undefined_symbol_reported() {
+        let a = assemble(".section text\n.global main\n.func main\ncall ghost\n.endfunc\n")
+            .unwrap();
+        let e = link(&[a], &LinkOptions { entry: "main".into(), ..Default::default() })
+            .unwrap_err();
+        assert_eq!(e, LinkError::UndefinedSymbol("ghost".into()));
+    }
+
+    #[test]
+    fn duplicate_global_reported() {
+        let a = assemble(".section text\n.global f\n.func f\nret\n.endfunc\n").unwrap();
+        let e = link(
+            &[a.clone(), a],
+            &LinkOptions { entry: "f".into(), ..Default::default() },
+        )
+        .unwrap_err();
+        assert_eq!(e, LinkError::DuplicateSymbol("f".into()));
+    }
+
+    #[test]
+    fn missing_entry_reported() {
+        let a = assemble(".section text\n.func f\nret\n.endfunc\n").unwrap();
+        let e = link(&[a], &LinkOptions { entry: "main".into(), ..Default::default() })
+            .unwrap_err();
+        assert_eq!(e, LinkError::MissingEntry("main".into()));
+    }
+
+    #[test]
+    fn local_labels_not_exported() {
+        let image = link_one(
+            ".section text\n.global main\n.func main\n.here:\njmp .here\n.endfunc\n",
+            "main",
+        );
+        let elf = ElfFile::parse(image).unwrap();
+        assert!(elf.symbol_by_name("main.here").is_none());
+        assert!(elf.symbol_by_name("main").is_some());
+    }
+
+    #[test]
+    fn bss_and_data_sections_link() {
+        let image = link_one(
+            ".section text\n.global main\n.func main\nla r1, buf\nla r2, init\nhalt\n.endfunc\n\
+             .section data\ninit: .quad 77\n\
+             .section bss\nbuf: .zero 4096\n",
+            "main",
+        );
+        let elf = ElfFile::parse(image).unwrap();
+        assert_eq!(elf.section_by_name(".bss").unwrap().sh_size, 4096);
+        let init = elf.symbol_by_name("init").unwrap();
+        let data = elf.section_by_name(".data").unwrap();
+        assert_eq!(init.value, data.sh_addr);
+    }
+}

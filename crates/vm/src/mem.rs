@@ -1,0 +1,249 @@
+//! The memory bus abstraction the interpreter executes against, and the
+//! fault model.
+//!
+//! The enclave runtime implements [`Bus`] over EPC pages with SGX permission
+//! semantics (reads/writes/fetches are checked against the page permissions
+//! fixed at `EADD`); unit tests use the permissionless [`FlatMemory`].
+
+use std::fmt;
+
+/// The kind of memory access that faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Access::Read => write!(f, "read"),
+            Access::Write => write!(f, "write"),
+            Access::Execute => write!(f, "execute"),
+        }
+    }
+}
+
+/// Faults raised during execution (the AEX analog: execution stops and the
+/// host sees the fault; enclave state is not exposed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmFault {
+    /// Fetched bytes did not decode to a valid instruction — this is what
+    /// happens when control reaches a sanitized (zeroed) function.
+    IllegalInstruction {
+        /// Address of the offending instruction.
+        addr: u64,
+    },
+    /// An access violated page permissions (e.g. a store to non-writable
+    /// text when the sanitizer did not set `PF_W`).
+    AccessViolation {
+        /// Faulting address.
+        addr: u64,
+        /// Access kind.
+        access: Access,
+    },
+    /// An access touched unmapped memory.
+    Unmapped {
+        /// Faulting address.
+        addr: u64,
+        /// Access kind.
+        access: Access,
+    },
+    /// Unsigned division or remainder by zero.
+    DivideByZero {
+        /// Address of the dividing instruction.
+        addr: u64,
+    },
+    /// The fuel budget was exhausted (runaway guest protection).
+    OutOfFuel,
+    /// An intrinsic was invoked with an unknown number or bad arguments.
+    BadIntrinsic {
+        /// The intrinsic index.
+        index: i32,
+    },
+}
+
+impl fmt::Display for VmFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmFault::IllegalInstruction { addr } => {
+                write!(f, "illegal instruction at {addr:#x}")
+            }
+            VmFault::AccessViolation { addr, access } => {
+                write!(f, "permission denied for {access} at {addr:#x}")
+            }
+            VmFault::Unmapped { addr, access } => {
+                write!(f, "{access} of unmapped address {addr:#x}")
+            }
+            VmFault::DivideByZero { addr } => write!(f, "division by zero at {addr:#x}"),
+            VmFault::OutOfFuel => write!(f, "instruction budget exhausted"),
+            VmFault::BadIntrinsic { index } => write!(f, "bad intrinsic invocation {index}"),
+        }
+    }
+}
+
+impl std::error::Error for VmFault {}
+
+/// Memory bus used by the interpreter. All accesses may fault.
+pub trait Bus {
+    /// Loads `size` bytes (1, 2, 4 or 8) little-endian, zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses or insufficient permissions.
+    fn load(&mut self, addr: u64, size: usize) -> Result<u64, VmFault>;
+
+    /// Stores the low `size` bytes of `value` little-endian.
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses or insufficient permissions.
+    fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), VmFault>;
+
+    /// Fetches 8 instruction bytes (requires execute permission).
+    ///
+    /// # Errors
+    ///
+    /// Faults on unmapped addresses or non-executable pages.
+    fn fetch(&mut self, addr: u64) -> Result<[u8; 8], VmFault>;
+
+    /// Services an `intrin` instruction. The default faults; buses that
+    /// model an enclave override this with the trusted runtime services
+    /// (SDK crypto, `EGETKEY`, `EREPORT`, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns a fault to abort the guest.
+    fn intrinsic(
+        &mut self,
+        index: i32,
+        _regs: &mut [u64; crate::isa::NUM_REGS],
+    ) -> Result<(), VmFault> {
+        Err(VmFault::BadIntrinsic { index })
+    }
+
+    /// Bulk read used by intrinsics; default loops over byte loads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first faulting byte access.
+    fn read_bytes(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, VmFault> {
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            out.push(self.load(addr + i as u64, 1)? as u8);
+        }
+        Ok(out)
+    }
+
+    /// Bulk write used by intrinsics; default loops over byte stores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first faulting byte access.
+    fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), VmFault> {
+        for (i, &b) in data.iter().enumerate() {
+            self.store(addr + i as u64, 1, b as u64)?;
+        }
+        Ok(())
+    }
+}
+
+/// A flat, fully readable/writable/executable memory region; the test bus.
+#[derive(Debug, Clone)]
+pub struct FlatMemory {
+    base: u64,
+    data: Vec<u8>,
+}
+
+impl FlatMemory {
+    /// Creates a region of `size` zero bytes starting at `base`.
+    pub fn new(base: u64, size: usize) -> Self {
+        FlatMemory { base, data: vec![0; size] }
+    }
+
+    /// Copies `bytes` into the region at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds (test setup error).
+    pub fn write_at(&mut self, addr: u64, bytes: &[u8]) {
+        let off = (addr - self.base) as usize;
+        self.data[off..off + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Reads a slice at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds (test setup error).
+    pub fn read_at(&self, addr: u64, len: usize) -> &[u8] {
+        let off = (addr - self.base) as usize;
+        &self.data[off..off + len]
+    }
+
+    fn offset(&self, addr: u64, len: usize, access: Access) -> Result<usize, VmFault> {
+        let off = addr.checked_sub(self.base).ok_or(VmFault::Unmapped { addr, access })? as usize;
+        if off + len > self.data.len() {
+            return Err(VmFault::Unmapped { addr, access });
+        }
+        Ok(off)
+    }
+}
+
+impl Bus for FlatMemory {
+    fn load(&mut self, addr: u64, size: usize) -> Result<u64, VmFault> {
+        let off = self.offset(addr, size, Access::Read)?;
+        let mut v = 0u64;
+        for i in (0..size).rev() {
+            v = (v << 8) | self.data[off + i] as u64;
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), VmFault> {
+        let off = self.offset(addr, size, Access::Write)?;
+        for i in 0..size {
+            self.data[off + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    fn fetch(&mut self, addr: u64) -> Result<[u8; 8], VmFault> {
+        let off = self.offset(addr, 8, Access::Execute)?;
+        Ok(self.data[off..off + 8].try_into().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_memory_load_store() {
+        let mut m = FlatMemory::new(0x1000, 64);
+        m.store(0x1000, 8, 0x0102030405060708).unwrap();
+        assert_eq!(m.load(0x1000, 8).unwrap(), 0x0102030405060708);
+        assert_eq!(m.load(0x1000, 1).unwrap(), 0x08); // little-endian
+        assert_eq!(m.load(0x1004, 4).unwrap(), 0x01020304);
+    }
+
+    #[test]
+    fn unmapped_faults() {
+        let mut m = FlatMemory::new(0x1000, 16);
+        assert!(matches!(m.load(0x0, 1), Err(VmFault::Unmapped { .. })));
+        assert!(matches!(m.load(0x100F, 8), Err(VmFault::Unmapped { .. })));
+        assert!(matches!(m.store(0x2000, 1, 0), Err(VmFault::Unmapped { .. })));
+    }
+
+    #[test]
+    fn bulk_helpers() {
+        let mut m = FlatMemory::new(0, 32);
+        m.write_bytes(4, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read_bytes(4, 3).unwrap(), vec![1, 2, 3]);
+    }
+}

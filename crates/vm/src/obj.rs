@@ -1,0 +1,91 @@
+//! Relocatable object format produced by the assembler and consumed by the
+//! linker — the EV64 analog of `.o` files.
+
+/// How a relocation patches its field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelocKind {
+    /// 32-bit PC-relative: `target - (instr_addr + 8)`, written at the
+    /// immediate field (used by `jmp`, branches and `call`).
+    Rel32,
+    /// Low 32 bits of the target's absolute address (the `movi` half of a
+    /// `la` pseudo-instruction).
+    AbsLo32,
+    /// High 32 bits of the target's absolute address (the `movhi` half).
+    AbsHi32,
+    /// Full 64-bit absolute address (`.quad symbol`, e.g. ecall tables).
+    Abs64,
+}
+
+/// One relocation record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reloc {
+    /// Byte offset *of the field to patch* within the section.
+    pub offset: u64,
+    /// Target symbol name.
+    pub symbol: String,
+    /// Patch kind.
+    pub kind: RelocKind,
+    /// Constant added to the symbol address before patching.
+    pub addend: i64,
+}
+
+/// Classification of a defined symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymKind {
+    /// A function (redactable unit for the sanitizer; exported to ELF).
+    Func,
+    /// A data object (exported to ELF).
+    Object,
+    /// An assembler-local label (linker-internal, not exported).
+    Label,
+}
+
+/// A symbol defined in an object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjSymbol {
+    /// Name (local labels are function-prefixed, e.g. `memcpy.loop`).
+    pub name: String,
+    /// Defining section name.
+    pub section: String,
+    /// Offset within the section.
+    pub offset: u64,
+    /// Size in bytes (function body size for [`SymKind::Func`]).
+    pub size: u64,
+    /// Kind.
+    pub kind: SymKind,
+    /// Global binding (visible across objects).
+    pub global: bool,
+}
+
+/// One section of an object.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SectionData {
+    /// Contents (empty for `.bss`-style sections).
+    pub bytes: Vec<u8>,
+    /// Memory size; equals `bytes.len()` except for zero-fill sections.
+    pub size: u64,
+    /// Relocations against this section's contents.
+    pub relocs: Vec<Reloc>,
+}
+
+/// A relocatable object: named sections plus a symbol table.
+#[derive(Debug, Clone, Default)]
+pub struct Object {
+    /// Sections in declaration order, keyed by canonical name
+    /// (`text`, `rodata`, `data`, `bss`).
+    pub sections: Vec<(String, SectionData)>,
+    /// Defined symbols.
+    pub symbols: Vec<ObjSymbol>,
+}
+
+impl Object {
+    /// Looks up a section by name.
+    pub fn section(&self, name: &str) -> Option<&SectionData> {
+        self.sections.iter().find(|(n, _)| n == name).map(|(_, d)| d)
+    }
+
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&ObjSymbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+}

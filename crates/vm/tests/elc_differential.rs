@@ -1,0 +1,128 @@
+//! Differential testing of the Elc compiler: random expression trees are
+//! evaluated by a direct Rust interpreter and by compiling + running the
+//! generated EV64 code; the results must agree.
+
+use elide_vm::asm::assemble;
+use elide_vm::elc::compile;
+use elide_vm::interp::{Exit, Vm};
+use elide_vm::link::{link, LinkOptions};
+use elide_vm::mem::FlatMemory;
+use proptest::prelude::*;
+
+/// Expression AST mirrored on both sides.
+#[derive(Debug, Clone)]
+enum E {
+    A,
+    B,
+    Lit(u64),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>, Box<E>),
+    Shr(Box<E>, Box<E>),
+    Lt(Box<E>, Box<E>),
+    Eq(Box<E>, Box<E>),
+    Not(Box<E>),
+}
+
+fn eval(e: &E, a: u64, b: u64) -> u64 {
+    match e {
+        E::A => a,
+        E::B => b,
+        E::Lit(v) => *v,
+        E::Add(x, y) => eval(x, a, b).wrapping_add(eval(y, a, b)),
+        E::Sub(x, y) => eval(x, a, b).wrapping_sub(eval(y, a, b)),
+        E::Mul(x, y) => eval(x, a, b).wrapping_mul(eval(y, a, b)),
+        E::And(x, y) => eval(x, a, b) & eval(y, a, b),
+        E::Or(x, y) => eval(x, a, b) | eval(y, a, b),
+        E::Xor(x, y) => eval(x, a, b) ^ eval(y, a, b),
+        // Elc's shift semantics mask the amount to 6 bits (EV64 semantics).
+        E::Shl(x, y) => eval(x, a, b) << (eval(y, a, b) & 63),
+        E::Shr(x, y) => eval(x, a, b) >> (eval(y, a, b) & 63),
+        E::Lt(x, y) => u64::from(eval(x, a, b) < eval(y, a, b)),
+        E::Eq(x, y) => u64::from(eval(x, a, b) == eval(y, a, b)),
+        E::Not(x) => u64::from(eval(x, a, b) == 0),
+    }
+}
+
+fn to_src(e: &E) -> String {
+    match e {
+        E::A => "a".into(),
+        E::B => "b".into(),
+        E::Lit(v) => format!("{v}"),
+        E::Add(x, y) => format!("({} + {})", to_src(x), to_src(y)),
+        E::Sub(x, y) => format!("({} - {})", to_src(x), to_src(y)),
+        E::Mul(x, y) => format!("({} * {})", to_src(x), to_src(y)),
+        E::And(x, y) => format!("({} & {})", to_src(x), to_src(y)),
+        E::Or(x, y) => format!("({} | {})", to_src(x), to_src(y)),
+        E::Xor(x, y) => format!("({} ^ {})", to_src(x), to_src(y)),
+        E::Shl(x, y) => format!("({} << {})", to_src(x), to_src(y)),
+        E::Shr(x, y) => format!("({} >> {})", to_src(x), to_src(y)),
+        E::Lt(x, y) => format!("({} < {})", to_src(x), to_src(y)),
+        E::Eq(x, y) => format!("({} == {})", to_src(x), to_src(y)),
+        E::Not(x) => format!("(!{})", to_src(x)),
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::A),
+        Just(E::B),
+        (0u64..1_000_000).prop_map(E::Lit),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Add(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Sub(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Mul(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::And(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Or(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Xor(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Shl(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Shr(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Lt(Box::new(x), Box::new(y))),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Eq(Box::new(x), Box::new(y))),
+            inner.prop_map(|x| E::Not(Box::new(x))),
+        ]
+    })
+}
+
+fn run_compiled(src: &str, a: u64, b: u64) -> u64 {
+    let asm = compile(src).expect("compile");
+    let wrapper = "\
+.section text
+.global __start
+.func __start
+    call main
+    halt
+.endfunc
+";
+    let objs = vec![assemble(wrapper).unwrap(), assemble(&asm).unwrap()];
+    let image = link(&objs, &LinkOptions { base: 0, entry: "__start".into() }).unwrap();
+    let elf = elide_elf::ElfFile::parse(image).unwrap();
+    let text = elf.section_by_name(".text").unwrap();
+    let mut mem = FlatMemory::new(0, 1 << 20);
+    mem.write_at(text.sh_addr, elf.section_data(text).unwrap());
+    let mut vm = Vm::new(elf.header().e_entry);
+    vm.set_sp((1 << 20) - 64);
+    vm.regs[2] = a;
+    vm.regs[3] = b;
+    match vm.run(&mut mem, 10_000_000).expect("run") {
+        Exit::Halt(v) => v,
+        Exit::Ocall(_) => unreachable!(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn compiled_expressions_match_interpreter(e in arb_expr(), a in any::<u64>(), b in any::<u64>()) {
+        let src = format!("fn main(a, b) {{ return {}; }}", to_src(&e));
+        let expect = eval(&e, a, b);
+        let got = run_compiled(&src, a, b);
+        prop_assert_eq!(got, expect, "source: {}", src);
+    }
+}

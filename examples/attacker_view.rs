@@ -1,0 +1,75 @@
+//! The adversary's perspective, end to end: disassembly of the shipped
+//! file, abort-page reads, the MEE DRAM view, and a controlled-channel
+//! page trace — for the SHA-1 benchmark, before and after protection.
+//!
+//! Run with: `cargo run --example attacker_view`
+
+use sgxelide::apps::harness::{launch_plain, launch_protected};
+use sgxelide::apps::sha1_app;
+use sgxelide::core::attack::{analyze_image, attribute_page_trace, disassemble_function};
+use sgxelide::core::sanitizer::DataPlacement;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = sha1_app::app();
+
+    println!("=== 1. static analysis of the shipped enclave file ===");
+    let original = app.build_elide_image()?;
+    for (label, image) in [("unprotected", &original)] {
+        let r = analyze_image(image)?;
+        println!(
+            "{label}: {}/{} functions readable, {:.0}% of text decodable, {} of {} bytes visible",
+            r.readable_functions,
+            r.total_functions,
+            r.decodable_fraction * 100.0,
+            r.visible_text_bytes,
+            r.total_text_bytes
+        );
+    }
+    let mut p = launch_protected(&app, DataPlacement::Remote, 0xA77)?;
+    let r = analyze_image(&p.package.image)?;
+    println!(
+        "protected:   {}/{} functions readable, {:.0}% of text decodable, {} of {} bytes visible",
+        r.readable_functions,
+        r.total_functions,
+        r.decodable_fraction * 100.0,
+        r.visible_text_bytes,
+        r.total_text_bytes
+    );
+    println!("\nsha1_hash disassembly, unprotected (first 4 instructions):");
+    for line in disassemble_function(&original, Some("sha1_hash"))?.lines().take(4) {
+        println!("    {line}");
+    }
+    println!("sha1_hash disassembly, protected:");
+    for line in disassemble_function(&p.package.image, Some("sha1_hash"))?.lines().take(4) {
+        println!("    {line}");
+    }
+
+    println!("\n=== 2. runtime memory views after restoration ===");
+    p.restore()?;
+    let enclave = p.app.runtime.enclave();
+    println!(
+        "abort-page read of restored text: {:02x?}...",
+        &enclave.abort_page_read(enclave.base(), 8)
+    );
+    let dram = enclave.dram_image();
+    println!(
+        "MEE DRAM image: {} pages of ciphertext, first page starts {:02x?}...",
+        dram.len(),
+        &dram[0].1[..8]
+    );
+
+    println!("\n=== 3. controlled-channel page trace (malicious OS) ===");
+    let mut plain = launch_plain(&app, 0xA78)?;
+    plain.runtime.enable_page_trace();
+    plain.runtime.ecall(plain.indices["sha1_hash"], b"abc", 20)?;
+    let trace = plain.runtime.take_page_trace();
+    let plain_image = app.build_plain_image()?;
+    let names = attribute_page_trace(&plain_image, &trace)?;
+    println!("pages touched: {}", trace.len());
+    println!("attribution on the unprotected build: {:?}", &names[..names.len().min(6)]);
+    println!(
+        "on the protected build the same pages hold zeroed bytes, so page\n\
+         knowledge no longer reveals which algorithm runs (§7)."
+    );
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Cloud deployment scenario: the enclave runs on an (untrusted) host and
+//! fetches its secrets from the developer's authentication server over a
+//! real TCP connection — the paper's `server.py` topology — then relaunches
+//! using sealed data with no network at all.
+//!
+//! Run with: `cargo run --example cloud_tcp`
+
+use sgxelide::apps::harness::App;
+use sgxelide::core::api::{protect, Mode, Platform};
+use sgxelide::core::protocol::TcpTransport;
+use sgxelide::core::restore::new_sealed_store;
+use sgxelide::core::sanitizer::DataPlacement;
+use sgxelide::core::server::serve_tcp;
+use sgxelide::core::elide_asm::ELIDE_ASM;
+use sgxelide::crypto::rng::OsRandom;
+use sgxelide::crypto::rsa::RsaKeyPair;
+use sgxelide::enclave::image::EnclaveImageBuilder;
+use sgxelide::sgx::quote::AttestationService;
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = OsRandom;
+
+    // The proprietary analytics kernel a hospital won't give the cloud.
+    let app = App {
+        name: "risk-model",
+        asm: ".section text\n.global risk_score\n.func risk_score\n\
+              \x20   ld64 r5, [r2]\n\
+              \x20   movi r6, 31\n\
+              \x20   mul  r5, r5, r6\n\
+              \x20   addi r0, r5, 17\n\
+              \x20   ret\n.endfunc\n"
+            .to_string(),
+        ecalls: vec!["risk_score"],
+    };
+    let mut builder = EnclaveImageBuilder::new();
+    builder.source(ELIDE_ASM).source(&app.asm);
+    builder.ecall("risk_score").ecall("elide_restore");
+    let image = builder.build()?;
+
+    println!("[vendor] protecting the model and starting the auth server");
+    let vendor = RsaKeyPair::generate(512, &mut rng);
+    let package = protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng)?;
+    let mut ias = AttestationService::new();
+    let platform = Platform::provision(&mut rng, &mut ias);
+    let server = Arc::new(Mutex::new(package.make_server(ias)));
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    println!("[vendor] authentication server listening on {addr}");
+    let handle = serve_tcp(listener, Arc::clone(&server), Some(1));
+
+    println!("[cloud ] launching sanitized enclave; restoring over TCP");
+    let transport = Arc::new(Mutex::new(TcpTransport::connect(&addr.to_string())?));
+    let sealed = new_sealed_store();
+    let mut enclave = package.launch(&platform, transport, Arc::clone(&sealed), 1)?;
+    enclave.restore(1)?;
+    let r = enclave.runtime.ecall(0, &100u64.to_le_bytes(), 0)?;
+    println!("[cloud ] risk_score(100) = {}", r.status);
+    assert_eq!(r.status, 100 * 31 + 17);
+    drop(enclave);
+    handle.join().expect("server thread");
+
+    println!("[cloud ] relaunching OFFLINE from sealed data (step 7)");
+    struct NoNetwork;
+    impl sgxelide::core::protocol::Transport for NoNetwork {
+        fn request(&mut self, _: u8, _: &[u8]) -> Result<Vec<u8>, sgxelide::core::ElideError> {
+            Err(sgxelide::core::ElideError::Transport("network disabled".into()))
+        }
+    }
+    let mut enclave2 =
+        package.launch(&platform, Arc::new(Mutex::new(NoNetwork)), sealed, 2)?;
+    enclave2.restore(1)?;
+    let r = enclave2.runtime.ecall(0, &7u64.to_le_bytes(), 0)?;
+    println!("[cloud ] risk_score(7) = {} — restored without any server", r.status);
+    assert_eq!(r.status, 7 * 31 + 17);
+    Ok(())
+}

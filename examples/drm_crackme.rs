@@ -1,0 +1,62 @@
+//! DRM scenario (§1's motivation): a license check protected by SgxElide.
+//! Shows the attacker's view of the enclave file before and after
+//! sanitization, then runs the license check legitimately.
+//!
+//! Run with: `cargo run --example drm_crackme`
+
+use sgxelide::apps::crackme;
+use sgxelide::apps::harness::launch_protected;
+use sgxelide::core::attack::{analyze_image, disassemble_function, find_signature};
+use sgxelide::core::sanitizer::DataPlacement;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let app = crackme::app();
+
+    // --- the attacker downloads the unprotected enclave ---
+    println!("=== attacker's view of the UNPROTECTED enclave ===");
+    let original = app.build_elide_image()?;
+    let report = analyze_image(&original)?;
+    println!(
+        "functions readable: {}/{}   decodable text: {:.0}%",
+        report.readable_functions,
+        report.total_functions,
+        report.decodable_fraction * 100.0
+    );
+    let listing = disassemble_function(&original, Some("check_password"))?;
+    println!("first lines of check_password:");
+    for line in listing.lines().take(6) {
+        println!("    {line}");
+    }
+    println!(
+        "signature scan finds the embedded check: {}",
+        find_signature(&original, &crackme::signature())
+    );
+
+    // --- the vendor ships the SgxElide-protected build instead ---
+    println!("\n=== attacker's view of the PROTECTED enclave ===");
+    let mut p = launch_protected(&app, DataPlacement::LocalEncrypted, 0xD21)?;
+    let report = analyze_image(&p.package.image)?;
+    println!(
+        "functions readable: {}/{} (whitelisted runtime only)",
+        report.readable_functions, report.total_functions
+    );
+    let listing = disassemble_function(&p.package.image, Some("check_password"))?;
+    println!("first lines of check_password:");
+    for line in listing.lines().take(3) {
+        println!("    {line}");
+    }
+    println!(
+        "signature scan finds the embedded check: {}",
+        find_signature(&p.package.image, &crackme::signature())
+    );
+
+    // --- the legitimate user restores and runs the check ---
+    println!("\n=== legitimate user ===");
+    p.restore()?;
+    let idx = p.indices["check_password"];
+    let ok = p.app.runtime.ecall(idx, crackme::PASSWORD, 0)?.status;
+    let bad = p.app.runtime.ecall(idx, b"letmein_letmein_", 0)?.status;
+    println!("check(correct password) = {ok}   check(wrong password) = {bad}");
+    assert_eq!((ok, bad), (1, 0));
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Tour of Elc, the high-level language of the EV64 toolchain: write the
+//! secret logic in Elc, compile it to assembly, protect it with SgxElide,
+//! and run it — the "compiled C" developer experience of the paper.
+//!
+//! Run with: `cargo run --example elc_tour`
+
+use sgxelide::apps::harness::{launch_protected, App};
+use sgxelide::core::sanitizer::DataPlacement;
+use sgxelide::vm::elc;
+
+const PRICING_MODEL: &str = "
+// A trade-secret pricing model: volume discounts with a secret
+// breakpoint schedule, the kind of business logic §1 wants hidden.
+fn unit_price(qty) {
+    let base = 1000;
+    if (qty >= 500) { return base - 275; }
+    if (qty >= 100) { return base - 150; }
+    if (qty >= 10)  { return base - 40; }
+    return base;
+}
+
+fn quote(inp, len, outp, cap) {
+    // input: u64 quantity; output: u64 total price
+    let qty = load64(inp);
+    let total = qty * unit_price(qty);
+    // Loyalty hash mixed in so competitors cannot tabulate the schedule
+    // from a handful of quotes.
+    let h = qty;
+    h = (h ^ (h >> 33)) * 0xFF51AFD7ED558CCD;
+    h = (h ^ (h >> 33)) & 0xFF;
+    total = total - (total * h) / 100000;
+    store64(outp, total);
+    return total;
+}
+";
+
+fn reference_quote(qty: u64) -> u64 {
+    let base = 1000u64;
+    let unit = if qty >= 500 {
+        base - 275
+    } else if qty >= 100 {
+        base - 150
+    } else if qty >= 10 {
+        base - 40
+    } else {
+        base
+    };
+    let total = qty.wrapping_mul(unit);
+    let mut h = qty;
+    h = (h ^ (h >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h = (h ^ (h >> 33)) & 0xFF;
+    total - (total.wrapping_mul(h)) / 100_000
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("[1] compiling the Elc pricing model to EV64 assembly");
+    let asm = elc::compile(PRICING_MODEL)?;
+    println!("    {} lines of generated assembly", asm.lines().count());
+    for line in asm.lines().take(8) {
+        println!("    | {line}");
+    }
+
+    println!("[2] protecting with SgxElide (local encrypted data) and launching");
+    let app = App { name: "pricing", asm, ecalls: vec!["quote", "unit_price"] };
+    let mut p = launch_protected(&app, DataPlacement::LocalEncrypted, 0xE1C)?;
+
+    println!("[3] before restore, the pricing model is dead:");
+    match p.app.runtime.ecall(p.indices["quote"], &100u64.to_le_bytes(), 8) {
+        Err(e) => println!("    {e}"),
+        Ok(_) => println!("    unexpected success"),
+    }
+
+    p.restore()?;
+    println!("[4] after restore, quoting works and matches the reference:");
+    for qty in [1u64, 9, 10, 99, 100, 499, 500, 10_000] {
+        let r = p.app.runtime.ecall(p.indices["quote"], &qty.to_le_bytes(), 8)?;
+        let expect = reference_quote(qty);
+        println!("    quote({qty:>6}) = {:>12}  (reference {expect})", r.status);
+        assert_eq!(r.status, expect);
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Game anti-cheat scenario (§1): the 2048 merge logic and the Biniax
+//! asset-decryption key run inside protected enclaves, so a cheating
+//! player can neither re-implement the scoring nor rip the assets.
+//!
+//! Run with: `cargo run --example game_anticheat`
+
+use sgxelide::apps::harness::launch_protected;
+use sgxelide::apps::{biniax, game2048};
+use sgxelide::core::attack::find_signature;
+use sgxelide::core::sanitizer::DataPlacement;
+
+fn print_board(board: &[u8]) {
+    for row in board.chunks(4) {
+        let cells: Vec<String> = row
+            .iter()
+            .map(|&c| if c == 0 { ".".into() } else { format!("{}", 1u32 << c) })
+            .collect();
+        println!("    {:>5} {:>5} {:>5} {:>5}", cells[0], cells[1], cells[2], cells[3]);
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 2048: trusted merge logic ---
+    println!("=== 2048 with enclave-protected game logic ===");
+    let app = game2048::app();
+    let mut p = launch_protected(&app, DataPlacement::Remote, 0x600D)?;
+    p.restore()?;
+    let board: [u8; 16] = [1, 1, 2, 0, 2, 2, 0, 0, 3, 0, 3, 1, 0, 0, 0, 4];
+    println!("before move-left:");
+    print_board(&board);
+    let r = p.app.runtime.ecall(p.indices["move_left"], &board, 16)?;
+    println!("after move-left (score gained: {}):", r.status);
+    print_board(&r.output[..16]);
+    let (expect, score) = game2048::reference_move_left(board);
+    assert_eq!(&r.output[..16], &expect);
+    assert_eq!(r.status, score);
+
+    // --- Biniax: protected asset decryption ---
+    println!("\n=== Biniax asset decryption inside the enclave ===");
+    let app = biniax::app();
+    let mut p = launch_protected(&app, DataPlacement::Remote, 0xB1A)?;
+    // The asset key seed is NOT in the shipped binary:
+    let seed_sig = (biniax::ASSET_SEED as u32).to_le_bytes();
+    println!(
+        "asset key findable in shipped enclave file: {}",
+        find_signature(&p.package.image, &seed_sig)
+    );
+    p.restore()?;
+    let secret_level = b"LEVEL-7: the hidden castle";
+    let encrypted = biniax::reference_decode(secret_level); // XOR is symmetric
+    let r = p.app.runtime.ecall(p.indices["decode_assets"], &encrypted, encrypted.len())?;
+    println!(
+        "enclave-decoded asset: {:?}",
+        String::from_utf8_lossy(&r.output[..secret_level.len()])
+    );
+    assert_eq!(&r.output[..secret_level.len()], secret_level);
+    Ok(())
+}

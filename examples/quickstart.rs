@@ -1,0 +1,69 @@
+//! Quickstart: protect an enclave whose one function is a trade secret,
+//! stand up the authentication server, and watch the secret go from dead
+//! (sanitized) to alive (restored).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sgxelide::core::api::{protect, Mode, Platform};
+use sgxelide::core::elide_asm::ELIDE_ASM;
+use sgxelide::core::protocol::InProcessTransport;
+use sgxelide::core::restore::new_sealed_store;
+use sgxelide::core::sanitizer::DataPlacement;
+use sgxelide::crypto::rng::OsRandom;
+use sgxelide::crypto::rsa::RsaKeyPair;
+use sgxelide::enclave::image::EnclaveImageBuilder;
+use sgxelide::sgx::quote::AttestationService;
+use std::sync::{Arc, Mutex};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = OsRandom;
+
+    // 1. Develop the enclave as usual; `get_answer` is the secret sauce.
+    println!("[1] building enclave with the SgxElide runtime linked in");
+    let mut builder = EnclaveImageBuilder::new();
+    builder
+        .source(ELIDE_ASM)
+        .source(
+            ".section text\n.global get_answer\n.func get_answer\n    movi r0, 42\n    ret\n.endfunc\n",
+        )
+        .ecall("get_answer")       // index 0
+        .ecall("elide_restore");   // index 1
+    let image = builder.build()?;
+
+    // 2. Sanitize + sign (Figure 1's "Dummy Enclave Code Generation").
+    println!("[2] sanitizing and signing (whitelist mode, remote data)");
+    let vendor = RsaKeyPair::generate(512, &mut rng);
+    let package = protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng)?;
+    println!(
+        "    redacted {} function(s), {} byte(s)",
+        package.sanitized_functions.len(),
+        package.sanitized_functions.iter().map(|(_, s)| s).sum::<u64>()
+    );
+
+    // 3. Provision a platform and the developer's authentication server.
+    println!("[3] provisioning SGX platform + authentication server");
+    let mut ias = AttestationService::new();
+    let platform = Platform::provision(&mut rng, &mut ias);
+    let server = Arc::new(Mutex::new(package.make_server(ias)));
+    let transport = Arc::new(Mutex::new(InProcessTransport::new(server)));
+
+    // 4. Launch: EINIT succeeds (the *sanitized* measurement was signed),
+    //    but the secret function faults if called.
+    println!("[4] launching the sanitized enclave");
+    let mut app = package.launch(&platform, transport, new_sealed_store(), 7)?;
+    match app.runtime.ecall(0, &[], 0) {
+        Err(e) => println!("    calling the secret before restore faults: {e}"),
+        Ok(r) => println!("    unexpected success: {r:?}"),
+    }
+
+    // 5. The single developer-visible call (§3.4).
+    println!("[5] elide_restore: attest, fetch, decrypt, self-modify, seal");
+    let stats = app.restore(1)?;
+    println!("    restored in {} guest instructions", stats.instructions);
+
+    // 6. The secret is back.
+    let r = app.runtime.ecall(0, &[], 0)?;
+    println!("[6] get_answer() = {}", r.status);
+    assert_eq!(r.status, 42);
+    Ok(())
+}

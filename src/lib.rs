@@ -1,0 +1,24 @@
+//! # sgxelide
+//!
+//! Facade crate for the SgxElide reproduction (CGO 2018): re-exports the
+//! whole stack so examples, integration tests and downstream users can
+//! depend on one crate.
+//!
+//! * [`crypto`](elide_crypto) — AES-GCM, SHA-2, RSA, DH, ... from scratch.
+//! * [`elf`](elide_elf) — ELF64 reader/writer/patcher.
+//! * [`vm`](elide_vm) — the EV64 enclave ISA toolchain and interpreter.
+//! * [`sgx`](sgx_sim) — the SGX hardware model.
+//! * [`enclave`](elide_enclave) — loader, trusted runtime, bridges.
+//! * [`core`](elide_core) — SgxElide itself: sanitizer, server, restorer.
+//! * [`apps`](elide_apps) — the seven paper benchmarks as guest programs.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! system inventory.
+
+pub use elide_apps as apps;
+pub use elide_core as core;
+pub use elide_crypto as crypto;
+pub use elide_elf as elf;
+pub use elide_enclave as enclave;
+pub use elide_vm as vm;
+pub use sgx_sim as sgx;

@@ -1,0 +1,66 @@
+//! Concurrency: one authentication server provisioning several enclaves at
+//! once over TCP, each connection with its own attested session.
+
+use sgxelide::core::api::{protect, Mode, Platform};
+use sgxelide::core::elide_asm::ELIDE_ASM;
+use sgxelide::core::protocol::TcpTransport;
+use sgxelide::core::restore::new_sealed_store;
+use sgxelide::core::sanitizer::DataPlacement;
+use sgxelide::core::server::serve_tcp;
+use sgxelide::crypto::rng::SeededRandom;
+use sgxelide::crypto::rsa::RsaKeyPair;
+use sgxelide::enclave::image::EnclaveImageBuilder;
+use sgxelide::sgx::quote::AttestationService;
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+
+#[test]
+fn many_clients_restore_concurrently_from_one_server() {
+    const CLIENTS: usize = 4;
+
+    let mut b = EnclaveImageBuilder::new();
+    b.source(ELIDE_ASM)
+        .source(".section text\n.global s\n.func s\n    movi r0, 77\n    ret\n.endfunc\n")
+        .ecall("s")
+        .ecall("elide_restore");
+    let image = b.build().unwrap();
+    let mut rng = SeededRandom::new(0xC0C0);
+    let vendor = RsaKeyPair::generate(512, &mut rng);
+    let package = Arc::new(
+        protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng).unwrap(),
+    );
+
+    // All clients run on the same (trusted) platform model; the server
+    // trusts that platform's quoting enclave.
+    let mut ias = AttestationService::new();
+    let platform = Arc::new(Platform::provision(&mut rng, &mut ias));
+    let server = Arc::new(Mutex::new(package.make_server(ias)));
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let server_thread = serve_tcp(listener, Arc::clone(&server), Some(CLIENTS));
+
+    let mut clients = Vec::new();
+    for i in 0..CLIENTS {
+        let package = Arc::clone(&package);
+        let platform = Arc::clone(&platform);
+        let addr = addr.clone();
+        clients.push(std::thread::spawn(move || {
+            let transport =
+                Arc::new(Mutex::new(TcpTransport::connect(&addr).expect("connect")));
+            let mut app = package
+                .launch(&platform, transport, new_sealed_store(), 0xC1 + i as u64)
+                .expect("launch");
+            app.restore(1).expect("restore");
+            app.runtime.ecall(0, &[], 0).expect("ecall").status
+        }));
+    }
+    for c in clients {
+        assert_eq!(c.join().expect("client thread"), 77);
+    }
+    server_thread.join().expect("server thread");
+    assert_eq!(
+        server.lock().unwrap().handshakes,
+        CLIENTS as u64,
+        "every client performed its own attested handshake"
+    );
+}

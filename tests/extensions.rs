@@ -1,0 +1,183 @@
+//! Tests for the features the paper discusses but did not implement (§7),
+//! which this reproduction adds: post-restore write revocation, paging of
+//! restored enclaves, and enclave-identity binding of sealed data.
+
+use sgxelide::apps::crackme;
+use sgxelide::apps::harness::{launch_protected, App};
+use sgxelide::core::sanitizer::DataPlacement;
+use sgxelide::crypto::rng::SeededRandom;
+use sgxelide::sgx::enclave::AccessKind;
+use sgxelide::sgx::paging::PagingManager;
+
+/// Guest that tries to overwrite its own (restored) text section.
+fn self_patching_app() -> App {
+    App {
+        name: "selfpatch",
+        asm: ".section text\n\
+              .global patch_self\n.func patch_self\n\
+              \x20   la   r1, victim\n\
+              \x20   movi r2, 0\n\
+              \x20   st64 r2, [r1]\n\
+              \x20   movi r0, 1\n\
+              \x20   ret\n.endfunc\n\
+              .global victim\n.func victim\n\
+              \x20   movi r0, 7\n\
+              \x20   ret\n.endfunc\n"
+            .to_string(),
+        ecalls: vec!["patch_self", "victim"],
+    }
+}
+
+/// §7: after restoration, the host revokes write access to the text
+/// segment ("We added an mprotect call revoking PROT_WRITE for the enclave
+/// text section immediately after restoring"). An in-enclave write gadget
+/// can no longer modify code.
+#[test]
+fn os_write_revocation_blocks_code_injection() {
+    let app = self_patching_app();
+    let mut p = launch_protected(&app, DataPlacement::Remote, 0xE01).unwrap();
+    p.restore().unwrap();
+
+    // Without revocation, the SgxElide-writable text lets the gadget win.
+    assert_eq!(p.app.runtime.ecall(p.indices["patch_self"], &[], 0).unwrap().status, 1);
+    assert!(
+        p.app.runtime.ecall(p.indices["victim"], &[], 0).is_err(),
+        "victim overwritten with zeroes must fault"
+    );
+
+    // Fresh instance: restore, then revoke like the paper does.
+    let mut p = launch_protected(&app, DataPlacement::Remote, 0xE02).unwrap();
+    p.restore().unwrap();
+    let elf = sgxelide::elf::ElfFile::parse(p.package.image.clone()).unwrap();
+    let text = elf.section_by_name(".text").unwrap();
+    p.app.runtime.os_revoke_write(text.sh_addr, text.sh_size);
+
+    assert!(
+        p.app.runtime.ecall(p.indices["patch_self"], &[], 0).is_err(),
+        "write gadget must fault after mprotect revocation"
+    );
+    assert_eq!(p.app.runtime.ecall(p.indices["victim"], &[], 0).unwrap().status, 7);
+}
+
+/// §7's caveat: the revocation is OS-enforced, so a malicious OS ignores
+/// it — the residual risk the paper acknowledges.
+#[test]
+fn malicious_os_ignores_write_revocation() {
+    let app = self_patching_app();
+    let mut p = launch_protected(&app, DataPlacement::Remote, 0xE03).unwrap();
+    p.restore().unwrap();
+    let elf = sgxelide::elf::ElfFile::parse(p.package.image.clone()).unwrap();
+    let text = elf.section_by_name(".text").unwrap();
+    p.app.runtime.os_revoke_write(text.sh_addr, text.sh_size);
+    p.app.runtime.set_malicious_os(true);
+    assert_eq!(
+        p.app.runtime.ecall(p.indices["patch_self"], &[], 0).unwrap().status,
+        1,
+        "a malicious OS does not honor mprotect"
+    );
+}
+
+/// EPC paging of a *restored* enclave: evicted pages carrying restored
+/// secrets are ciphertext in untrusted memory and reload intact.
+#[test]
+fn paging_out_restored_secrets_keeps_them_encrypted() {
+    let app = crackme::app();
+    let mut p = launch_protected(&app, DataPlacement::Remote, 0xE04).unwrap();
+    p.restore().unwrap();
+    let check = p.indices["check_password"];
+    assert_eq!(p.app.runtime.ecall(check, crackme::PASSWORD, 0).unwrap().status, 1);
+
+    // Evict every resident page, scanning the blobs for the secret.
+    let mut rng = SeededRandom::new(0xE05);
+    let mut pm = PagingManager::new(&mut rng);
+    let needle = crackme::signature();
+    let world = p.app.runtime.world_mut();
+    let pages = world.enclave.resident_pages();
+    let mut blobs = Vec::new();
+    for off in pages {
+        let blob = pm.ewb(&mut world.enclave, off, &mut rng).unwrap();
+        assert!(
+            !blob.ciphertext.windows(needle.len()).any(|w| w == needle),
+            "restored secret visible in evicted page"
+        );
+        blobs.push(blob);
+    }
+    // Fully evicted: even the entry fails.
+    assert!(p.app.runtime.ecall(check, crackme::PASSWORD, 0).is_err());
+
+    // Reload and run again.
+    let world = p.app.runtime.world_mut();
+    for blob in &blobs {
+        pm.eldu(&mut world.enclave, blob).unwrap();
+    }
+    assert_eq!(p.app.runtime.ecall(check, crackme::PASSWORD, 0).unwrap().status, 1);
+}
+
+/// Sealed blobs bind to MRENCLAVE: a *different* protected app cannot
+/// consume another app's sealed restore blob (it falls back to the server
+/// and restores its own code correctly).
+#[test]
+fn sealed_blob_bound_to_enclave_identity() {
+    let app_a = crackme::app();
+    let mut a = launch_protected(&app_a, DataPlacement::Remote, 0xE06).unwrap();
+    a.restore().unwrap();
+    let stolen = a.sealed.lock().unwrap().clone().expect("sealed blob exists");
+
+    let app_b = sgxelide::apps::game2048::app();
+    let mut b = launch_protected(&app_b, DataPlacement::Remote, 0xE07).unwrap();
+    // Plant A's sealed blob into B's store.
+    *b.sealed.lock().unwrap() = Some(stolen);
+    b.restore().unwrap();
+    // B restored *its own* code via the server (seal decrypt failed and
+    // fell through), so its workload still passes.
+    sgxelide::apps::game2048::workload(&mut b.app.runtime, &b.indices);
+    assert!(b.server.lock().unwrap().handshakes >= 1, "server fallback must have happened");
+}
+
+/// Restored enclaves survive an `EWB`/`ELDU` cycle *of the text pages
+/// specifically* while running — the pages come back with their (writable)
+/// permissions, preserving SgxElide's invariants.
+#[test]
+fn paging_preserves_text_writability() {
+    let app = crackme::app();
+    let mut p = launch_protected(&app, DataPlacement::Remote, 0xE08).unwrap();
+    p.restore().unwrap();
+    let elf = sgxelide::elf::ElfFile::parse(p.package.image.clone()).unwrap();
+    let text = elf.section_by_name(".text").unwrap();
+    let text_page_off = text.sh_addr - p.app.runtime.enclave().base();
+
+    let mut rng = SeededRandom::new(0xE09);
+    let mut pm = PagingManager::new(&mut rng);
+    let world = p.app.runtime.world_mut();
+    let blob = pm.ewb(&mut world.enclave, text_page_off & !0xFFF, &mut rng).unwrap();
+    pm.eldu(&mut world.enclave, &blob).unwrap();
+    let perms = p.app.runtime.page_perms(text.sh_addr).unwrap();
+    assert!(perms.writable() && perms.executable());
+    // And the code still runs.
+    let check = p.indices["check_password"];
+    assert_eq!(p.app.runtime.ecall(check, crackme::PASSWORD, 0).unwrap().status, 1);
+}
+
+/// The enclave's own read of its text equals the pre-sanitization bytes
+/// even after an eviction/reload cycle of every page.
+#[test]
+fn full_evict_reload_is_transparent() {
+    let app = sgxelide::apps::biniax::app();
+    let mut p = launch_protected(&app, DataPlacement::LocalEncrypted, 0xE0A).unwrap();
+    p.restore().unwrap();
+    let enclave = p.app.runtime.enclave();
+    let base = enclave.base();
+    let before = enclave.read(base + 0x1000, 512, AccessKind::Read).unwrap();
+
+    let mut rng = SeededRandom::new(0xE0B);
+    let mut pm = PagingManager::new(&mut rng);
+    let world = p.app.runtime.world_mut();
+    let pages = world.enclave.resident_pages();
+    let blobs: Vec<_> =
+        pages.iter().map(|&off| pm.ewb(&mut world.enclave, off, &mut rng).unwrap()).collect();
+    for blob in &blobs {
+        pm.eldu(&mut world.enclave, blob).unwrap();
+    }
+    let after = p.app.runtime.enclave().read(base + 0x1000, 512, AccessKind::Read).unwrap();
+    assert_eq!(before, after);
+}

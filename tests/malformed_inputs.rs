@@ -1,0 +1,142 @@
+//! Robustness against malformed untrusted inputs: oversized, truncated and
+//! garbage server responses must produce clean failure statuses (never
+//! faults or partial restores), since the untrusted host fully controls
+//! the ocall results.
+
+use sgxelide::core::api::{protect, Mode, Platform};
+use sgxelide::core::elide_asm::{request, restore_status, ELIDE_ASM};
+use sgxelide::core::protocol::{InProcessTransport, Transport};
+use sgxelide::core::restore::new_sealed_store;
+use sgxelide::core::sanitizer::DataPlacement;
+use sgxelide::core::ElideError;
+use sgxelide::crypto::rng::SeededRandom;
+use sgxelide::crypto::rsa::RsaKeyPair;
+use sgxelide::enclave::image::EnclaveImageBuilder;
+use sgxelide::sgx::quote::AttestationService;
+use std::sync::{Arc, Mutex};
+
+struct Rewriter<F: FnMut(u8, Vec<u8>) -> Vec<u8>> {
+    inner: InProcessTransport,
+    rewrite: F,
+}
+
+impl<F: FnMut(u8, Vec<u8>) -> Vec<u8>> Transport for Rewriter<F> {
+    fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError> {
+        let resp = self.inner.request(req, payload)?;
+        Ok((self.rewrite)(req, resp))
+    }
+}
+
+fn restore_with<F>(rewrite: F, seed: u64) -> Result<(), ElideError>
+where
+    F: FnMut(u8, Vec<u8>) -> Vec<u8> + Send + 'static,
+{
+    let mut b = EnclaveImageBuilder::new();
+    b.source(ELIDE_ASM)
+        .source(".section text\n.global s\n.func s\n    movi r0, 3\n    ret\n.endfunc\n")
+        .ecall("s")
+        .ecall("elide_restore");
+    let image = b.build().unwrap();
+    let mut rng = SeededRandom::new(seed);
+    let vendor = RsaKeyPair::generate(512, &mut rng);
+    let package =
+        protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng).unwrap();
+    let mut ias = AttestationService::new();
+    let platform = Platform::provision(&mut rng, &mut ias);
+    let server = Arc::new(Mutex::new(package.make_server(ias)));
+    let transport = Arc::new(Mutex::new(Rewriter {
+        inner: InProcessTransport::new(server),
+        rewrite,
+    }));
+    let mut app = package.launch(&platform, transport, new_sealed_store(), seed ^ 3).unwrap();
+    app.restore(1).map(|_| ())
+}
+
+#[test]
+fn truncated_meta_response_fails_cleanly() {
+    let err = restore_with(
+        |req, mut resp| {
+            if req as u64 == request::META {
+                resp.truncate(10); // below IV+tag minimum
+            }
+            resp
+        },
+        0xA1,
+    )
+    .unwrap_err();
+    assert_eq!(err, ElideError::RestoreFailed { status: restore_status::META_FAILED });
+}
+
+#[test]
+fn empty_meta_response_fails_cleanly() {
+    let err = restore_with(
+        |req, resp| if req as u64 == request::META { Vec::new() } else { resp },
+        0xA2,
+    )
+    .unwrap_err();
+    // An empty response fits no message; the enclave reports META failure
+    // (the host-side ocall also maps zero-capacity overflows to -1).
+    assert_eq!(err, ElideError::RestoreFailed { status: restore_status::META_FAILED });
+}
+
+#[test]
+fn oversized_data_response_fails_cleanly() {
+    let err = restore_with(
+        |req, resp| {
+            if req as u64 == request::DATA {
+                vec![0x41; 300 * 1024] // larger than the guest restore buffers
+            } else {
+                resp
+            }
+        },
+        0xA3,
+    )
+    .unwrap_err();
+    // Either the ocall layer rejects it (doesn't fit out_cap → -1 → DATA
+    // failure) or the guest's length guard does; both must be clean.
+    assert_eq!(err, ElideError::RestoreFailed { status: restore_status::DATA_FAILED });
+}
+
+#[test]
+fn garbage_data_response_fails_cleanly() {
+    let err = restore_with(
+        |req, resp| {
+            if req as u64 == request::DATA {
+                vec![0xCC; 4096]
+            } else {
+                resp
+            }
+        },
+        0xA4,
+    )
+    .unwrap_err();
+    assert_eq!(err, ElideError::RestoreFailed { status: restore_status::DATA_AUTH_FAILED });
+}
+
+#[test]
+fn wrong_sized_handshake_response_fails_cleanly() {
+    for (len, seed) in [(0usize, 0xA5u64), (1, 0xA6), (4096, 0xA7)] {
+        let err = restore_with(
+            move |req, resp| {
+                if req as u64 == request::HANDSHAKE {
+                    vec![7u8; len]
+                } else {
+                    resp
+                }
+            },
+            seed,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ElideError::RestoreFailed {
+                    status: restore_status::BAD_SERVER_KEY
+                        | restore_status::HANDSHAKE_FAILED
+                        | restore_status::META_FAILED
+                }
+            ),
+            "len {len}: got {err:?}"
+        );
+    }
+}

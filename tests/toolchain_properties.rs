@@ -1,0 +1,158 @@
+//! Property tests over the EV64 toolchain and the ELF/sanitizer layers —
+//! the invariants the SgxElide pipeline silently relies on.
+
+use proptest::prelude::*;
+use sgxelide::core::sanitizer::{sanitize, DataPlacement};
+use sgxelide::core::whitelist::Whitelist;
+use sgxelide::crypto::rng::SeededRandom;
+use sgxelide::elf::ElfFile;
+use sgxelide::vm::asm::assemble;
+use sgxelide::vm::disasm::disassemble;
+use sgxelide::vm::isa::{Instr, Opcode};
+use sgxelide::vm::link::{link, LinkOptions};
+
+/// Every instruction the assembler can emit must disassemble as valid —
+/// i.e. the attacker's tool always reads unsanitized code.
+#[test]
+fn assembled_code_is_fully_decodable() {
+    let src = "
+.section text
+.global f
+.func f
+    movi r1, -5
+    movhi r2, 0x7fff
+    add r3, r1, r2
+    sub32 r4, r3, r1
+    rotl32i r5, r4, 13
+    ld64 r6, [sp+8]
+    st16 r6, [r1-4]
+    beq r1, r2, .skip
+    call g
+.skip:
+    ldpc r7
+    ocall 100
+    intrin 3
+    ret
+.endfunc
+.global g
+.func g
+    halt
+.endfunc
+";
+    let obj = assemble(src).unwrap();
+    let text = &obj.section("text").unwrap().bytes;
+    let lines = disassemble(text, 0x1000);
+    assert!(lines.iter().all(|l| l.valid), "{lines:#?}");
+}
+
+proptest! {
+    /// Encode → decode → encode is the identity for every valid instruction.
+    #[test]
+    fn prop_instruction_roundtrip(op in prop::sample::select(vec![
+            Opcode::Halt, Opcode::Mov, Opcode::Movi, Opcode::Movhi, Opcode::Add,
+            Opcode::Divu, Opcode::Shrs, Opcode::Rotl32, Opcode::Add32i, Opcode::Ld8u,
+            Opcode::St64, Opcode::Jmp, Opcode::Beq, Opcode::Call, Opcode::Callr,
+            Opcode::Ret, Opcode::Ldpc, Opcode::Ocall, Opcode::Intrin,
+        ]), a in 0u8..16, b in 0u8..16, c in 0u8..16, imm in any::<i32>()) {
+        let i = Instr::new(op, a, b, c, imm);
+        let decoded = Instr::decode(&i.encode()).unwrap();
+        prop_assert_eq!(decoded.encode(), i.encode());
+    }
+
+    /// The ELF parser never panics on arbitrary byte soup (robustness of
+    /// the attacker-facing and loader-facing surface).
+    #[test]
+    fn prop_elf_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = ElfFile::parse(bytes);
+    }
+
+    /// The parser also never panics on a *mutated valid image* — the shape
+    /// a malicious host would feed the loader.
+    #[test]
+    fn prop_elf_parser_survives_mutations(pos in 0usize..2048, val in any::<u8>()) {
+        let obj = assemble(".section text\n.global m\n.func m\n    halt\n.endfunc\n").unwrap();
+        let mut image = link(&[obj], &LinkOptions { entry: "m".into(), ..Default::default() })
+            .unwrap();
+        let idx = pos % image.len();
+        image[idx] = val;
+        let _ = ElfFile::parse(image);
+    }
+}
+
+/// Sanitizer invariants over all seven real benchmarks:
+/// 1. whitelisted function bytes are untouched;
+/// 2. non-whitelisted function bytes are all zero;
+/// 3. everything outside `.text` is byte-identical except the patched
+///    program header flags.
+#[test]
+fn sanitizer_touches_exactly_the_right_bytes() {
+    let wl = Whitelist::from_dummy_enclave().unwrap();
+    for app in sgxelide::apps::all_apps() {
+        let image = app.build_elide_image().unwrap();
+        let mut rng = SeededRandom::new(0x7C);
+        let out = sanitize(&image, &wl, DataPlacement::Remote, &mut rng).unwrap();
+
+        let before = ElfFile::parse(image.clone()).unwrap();
+        let after = ElfFile::parse(out.image.clone()).unwrap();
+
+        for sym in before.function_symbols() {
+            let start = before.vaddr_to_offset(sym.value).unwrap();
+            let end = start + sym.size as usize;
+            let orig = &image[start..end];
+            let new = &out.image[start..end];
+            if wl.contains(&sym.name) {
+                assert_eq!(orig, new, "{}: whitelisted {} modified", app.name, sym.name);
+            } else {
+                assert!(
+                    new.iter().all(|&b| b == 0),
+                    "{}: {} not fully redacted",
+                    app.name,
+                    sym.name
+                );
+            }
+        }
+
+        // Outside .text: identical except program headers.
+        let text = before.section_by_name(".text").unwrap();
+        let t0 = text.sh_offset as usize;
+        let t1 = t0 + text.sh_size as usize;
+        let ph0 = before.header().e_phoff as usize;
+        let ph1 = ph0 + before.header().e_phnum as usize * 56;
+        for (i, (a, b)) in image.iter().zip(out.image.iter()).enumerate() {
+            if (t0..t1).contains(&i) || (ph0..ph1).contains(&i) {
+                continue;
+            }
+            assert_eq!(a, b, "{}: byte {i} outside text/phdrs changed", app.name);
+        }
+        let _ = after;
+    }
+}
+
+/// Linking is deterministic: identical inputs produce identical images,
+/// which is what makes MRENCLAVE reproducible for the vendor and the
+/// attestation server.
+#[test]
+fn linking_is_deterministic() {
+    for app in sgxelide::apps::all_apps() {
+        let a = app.build_elide_image().unwrap();
+        let b = app.build_elide_image().unwrap();
+        assert_eq!(a, b, "{}: non-deterministic image", app.name);
+        assert_eq!(
+            sgxelide::enclave::loader::measure_enclave(&a).unwrap(),
+            sgxelide::enclave::loader::measure_enclave(&b).unwrap()
+        );
+    }
+}
+
+/// Sanitization is idempotent: sanitizing a sanitized image changes
+/// nothing further (all targets already zero; PF_W already set).
+#[test]
+fn sanitization_is_idempotent() {
+    let wl = Whitelist::from_dummy_enclave().unwrap();
+    let app = sgxelide::apps::crackme::app();
+    let image = app.build_elide_image().unwrap();
+    let mut rng = SeededRandom::new(0x1D);
+    let once = sanitize(&image, &wl, DataPlacement::Remote, &mut rng).unwrap();
+    let twice = sanitize(&once.image, &wl, DataPlacement::Remote, &mut rng).unwrap();
+    assert_eq!(once.image, twice.image);
+}
