@@ -107,8 +107,7 @@ pub fn workload(rt: &mut elide_enclave::EnclaveRuntime, idx: &HashMap<String, u6
 
     // A synthetic "encrypted asset": the reference-encoded version of a
     // recognizable plaintext (XOR is symmetric).
-    let plaintext: Vec<u8> =
-        (0..512u32).map(|i| (i * 7 + 13) as u8).collect();
+    let plaintext: Vec<u8> = (0..512u32).map(|i| (i * 7 + 13) as u8).collect();
     let encrypted = reference_decode(&plaintext); // encode == decode for XOR
     let result = rt.ecall(decode, &encrypted, encrypted.len()).expect("decode ecall");
     assert_eq!(&result.output[..plaintext.len()], &plaintext, "asset decode mismatch");

@@ -312,11 +312,7 @@ des_subkeys:
     .zero 128
 "#
     );
-    App {
-        name: "DES",
-        asm,
-        ecalls: vec!["des_set_key", "des_encrypt_block", "des_decrypt_block"],
-    }
+    App { name: "DES", asm, ecalls: vec!["des_set_key", "des_encrypt_block", "des_decrypt_block"] }
 }
 
 /// Encrypt/decrypt a batch of blocks under several keys, against the
@@ -365,10 +361,7 @@ mod tests {
             .runtime
             .ecall(p.indices["des_encrypt_block"], &0x0123456789ABCDEFu64.to_be_bytes(), 8)
             .unwrap();
-        assert_eq!(
-            u64::from_be_bytes(r.output[..8].try_into().unwrap()),
-            0x85E813540F0AB405
-        );
+        assert_eq!(u64::from_be_bytes(r.output[..8].try_into().unwrap()), 0x85E813540F0AB405);
     }
 
     #[test]

@@ -109,7 +109,7 @@ pub struct ProtectedApp {
     /// The platform, reusable for re-launches.
     pub platform: Platform,
     /// Shared server handle (for assertions).
-    pub server: Arc<Mutex<AuthServer>>,
+    pub server: Arc<AuthServer>,
     /// The sealed store shared across launches.
     pub sealed: SealedStore,
 }
@@ -132,14 +132,9 @@ impl ProtectedApp {
     ///
     /// Propagates load errors.
     pub fn relaunch(&mut self, seed: u64) -> Result<(), ElideError> {
-        let transport =
-            Arc::new(Mutex::new(InProcessTransport::new(Arc::clone(&self.server))));
-        self.app = self.package.launch(
-            &self.platform,
-            transport,
-            Arc::clone(&self.sealed),
-            seed,
-        )?;
+        let transport = Arc::new(Mutex::new(InProcessTransport::new(Arc::clone(&self.server))));
+        self.app =
+            self.package.launch(&self.platform, transport, Arc::clone(&self.sealed), seed)?;
         Ok(())
     }
 }
@@ -160,7 +155,7 @@ pub fn launch_protected(
     let package = protect(&image, &vendor, &Mode::Whitelist, placement, &mut rng)?;
     let mut ias = AttestationService::new();
     let platform = Platform::provision(&mut rng, &mut ias);
-    let server = Arc::new(Mutex::new(package.make_server(ias)));
+    let server = Arc::new(package.make_server(ias));
     let transport = Arc::new(Mutex::new(InProcessTransport::new(Arc::clone(&server))));
     let sealed = new_sealed_store();
     let launched = package.launch(&platform, transport, Arc::clone(&sealed), seed ^ 2)?;
@@ -209,14 +204,14 @@ mod tests {
         let app = tiny_app();
         let mut p = launch_protected(&app, DataPlacement::Remote, 3).unwrap();
         p.restore().unwrap();
-        let handshakes_before = p.server.lock().unwrap().handshakes;
+        let handshakes_before = p.server.handshakes();
         assert!(p.sealed.lock().unwrap().is_some(), "restore must seal");
         p.relaunch(9).unwrap();
         p.restore().unwrap();
         let f = p.indices["f"];
         assert_eq!(p.app.runtime.ecall(f, &[], 0).unwrap().status, 5);
         assert_eq!(
-            p.server.lock().unwrap().handshakes,
+            p.server.handshakes(),
             handshakes_before,
             "second restore must not contact the server"
         );

@@ -287,12 +287,7 @@ pub fn workload(rt: &mut elide_enclave::EnclaveRuntime, idx: &HashMap<String, u6
     for case in &cases {
         let r = rt.ecall(hash, case, 20).expect("sha1 ecall");
         assert_eq!(r.status, 20);
-        assert_eq!(
-            r.output[..20],
-            Sha1::digest(case),
-            "sha1 mismatch for len {}",
-            case.len()
-        );
+        assert_eq!(r.output[..20], Sha1::digest(case), "sha1 mismatch for len {}", case.len());
         count += 1;
     }
     count
@@ -303,7 +298,7 @@ mod tests {
     use super::*;
     use crate::harness::{launch_plain, launch_protected};
     use elide_core::sanitizer::DataPlacement;
-    use proptest::prelude::*;
+    use elide_crypto::rng::{RandomSource, SeededRandom};
 
     #[test]
     fn guest_matches_rfc_vectors() {
@@ -321,14 +316,16 @@ mod tests {
         assert_eq!(r.status as i64, -1);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(8))]
-        #[test]
-        fn prop_guest_matches_reference(data in proptest::collection::vec(any::<u8>(), 0..300)) {
-            let app = app();
-            let mut p = launch_plain(&app, 41).unwrap();
+    #[test]
+    fn prop_guest_matches_reference() {
+        let mut rng = SeededRandom::new(0x5A101);
+        let app = app();
+        let mut p = launch_plain(&app, 41).unwrap();
+        for case in 0..8 {
+            let mut data = vec![0u8; (rng.next_u64() % 300) as usize];
+            rng.fill(&mut data);
             let r = p.runtime.ecall(p.indices["sha1_hash"], &data, 20).unwrap();
-            prop_assert_eq!(&r.output[..20], &Sha1::digest(&data));
+            assert_eq!(&r.output[..20], &Sha1::digest(&data), "case {case}");
         }
     }
 

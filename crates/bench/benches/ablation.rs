@@ -5,34 +5,39 @@
 //!   cost of developer annotations. Compare sanitize time and payload size.
 //! * **Sealed relaunch** (step ❼): restoring from the sealed blob versus a
 //!   full attested server round trip.
+//!
+//! Plain-main harness (`cargo bench --bench ablation`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use elide_apps::harness::launch_protected;
+use elide_bench::{stats, time_runs};
 use elide_core::sanitizer::{sanitize, sanitize_blacklist, DataPlacement};
 use elide_core::whitelist::Whitelist;
 use elide_crypto::rng::SeededRandom;
+use std::time::Instant;
 
-fn bench_modes(c: &mut Criterion) {
+fn bench_modes() {
     let app = elide_apps::crackme::app();
     let image = app.build_elide_image().expect("build");
     let whitelist = Whitelist::from_dummy_enclave().expect("whitelist");
 
-    let mut group = c.benchmark_group("ablation_sanitize_mode");
-    group.sample_size(20);
-    group.bench_function(BenchmarkId::new("whitelist", app.name), |b| {
-        let mut rng = SeededRandom::new(1);
-        b.iter(|| sanitize(&image, &whitelist, DataPlacement::Remote, &mut rng).expect("sanitize"));
+    println!("ablation_sanitize_mode");
+    println!("{:<12} {:>12} {:>12}", "mode", "mean (ms)", "std (ms)");
+    let mut rng = SeededRandom::new(1);
+    let wl_times = time_runs(20, || {
+        sanitize(&image, &whitelist, DataPlacement::Remote, &mut rng).expect("sanitize");
     });
-    group.bench_function(BenchmarkId::new("blacklist", app.name), |b| {
-        let mut rng = SeededRandom::new(1);
-        b.iter(|| {
-            sanitize_blacklist(&image, &["check_password"], DataPlacement::Remote, &mut rng)
-                .expect("sanitize")
-        });
-    });
-    group.finish();
+    let s = stats(&wl_times);
+    println!("{:<12} {:>12.4} {:>12.4}", "whitelist", s.mean_ms, s.std_ms);
 
-    // Report payload sizes once (printed into Criterion's output stream).
+    let mut rng = SeededRandom::new(1);
+    let bl_times = time_runs(20, || {
+        sanitize_blacklist(&image, &["check_password"], DataPlacement::Remote, &mut rng)
+            .expect("sanitize");
+    });
+    let s = stats(&bl_times);
+    println!("{:<12} {:>12.4} {:>12.4}", "blacklist", s.mean_ms, s.std_ms);
+
+    // Report payload sizes once.
     let mut rng = SeededRandom::new(1);
     let wl = sanitize(&image, &whitelist, DataPlacement::Remote, &mut rng).expect("sanitize");
     let bl = sanitize_blacklist(&image, &["check_password"], DataPlacement::Remote, &mut rng)
@@ -44,35 +49,35 @@ fn bench_modes(c: &mut Criterion) {
     );
 }
 
-fn bench_sealed_relaunch(c: &mut Criterion) {
+fn bench_sealed_relaunch() {
     let app = elide_apps::crackme::app();
-    let mut group = c.benchmark_group("ablation_restore_path");
-    group.sample_size(10);
-    group.bench_function("first_restore_full_attestation", |b| {
-        b.iter_with_setup(
-            || launch_protected(&app, DataPlacement::Remote, 42).expect("launch"),
-            |mut p| {
-                p.restore().expect("restore");
-                p
-            },
-        );
-    });
-    group.bench_function("sealed_relaunch_no_server", |b| {
-        b.iter_with_setup(
-            || {
-                let mut p = launch_protected(&app, DataPlacement::Remote, 42).expect("launch");
-                p.restore().expect("first restore");
-                p.relaunch(43).expect("relaunch");
-                p
-            },
-            |mut p| {
-                p.restore().expect("sealed restore");
-                p
-            },
-        );
-    });
-    group.finish();
+    println!("\nablation_restore_path");
+    println!("{:<32} {:>12} {:>12}", "path", "mean (ms)", "std (ms)");
+
+    let mut samples = Vec::with_capacity(10);
+    for _ in 0..10 {
+        let mut p = launch_protected(&app, DataPlacement::Remote, 42).expect("launch");
+        let t0 = Instant::now();
+        p.restore().expect("restore");
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let s = stats(&samples);
+    println!("{:<32} {:>12.4} {:>12.4}", "first_restore_full_attestation", s.mean_ms, s.std_ms);
+
+    let mut samples = Vec::with_capacity(10);
+    for _ in 0..10 {
+        let mut p = launch_protected(&app, DataPlacement::Remote, 42).expect("launch");
+        p.restore().expect("first restore");
+        p.relaunch(43).expect("relaunch");
+        let t0 = Instant::now();
+        p.restore().expect("sealed restore");
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    let s = stats(&samples);
+    println!("{:<32} {:>12.4} {:>12.4}", "sealed_relaunch_no_server", s.mean_ms, s.std_ms);
 }
 
-criterion_group!(benches, bench_modes, bench_sealed_relaunch);
-criterion_main!(benches);
+fn main() {
+    bench_modes();
+    bench_sealed_relaunch();
+}

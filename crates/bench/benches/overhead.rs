@@ -1,40 +1,39 @@
-//! Criterion bench for **Figures 3 and 4**: end-to-end runtime (enclave
-//! creation through the benchmark's built-in test suite) of the plain SGX
-//! build versus the SgxElide build, with remote and local data. The
-//! relative shape should match the paper: SgxElide within a few percent of
-//! the baseline, because all overhead is in one-time restoration.
+//! Bench for **Figures 3 and 4**: end-to-end runtime (enclave creation
+//! through the benchmark's built-in test suite) of the plain SGX build
+//! versus the SgxElide build, with remote and local data. The relative
+//! shape should match the paper: SgxElide within a few percent of the
+//! baseline, because all overhead is in one-time restoration.
+//!
+//! Plain-main harness (`cargo bench --bench overhead`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use elide_apps::harness::{launch_plain, launch_protected};
 use elide_apps::run_workload;
-use elide_bench::figure_apps;
+use elide_bench::{figure_apps, stats, time_runs};
 use elide_core::sanitizer::DataPlacement;
 
-fn bench_overhead(c: &mut Criterion) {
+fn main() {
     for (figure, placement, label) in [
         ("fig3", DataPlacement::Remote, "remote"),
         ("fig4", DataPlacement::LocalEncrypted, "local"),
     ] {
-        let mut group = c.benchmark_group(format!("{figure}_overhead_{label}"));
-        group.sample_size(10);
+        println!("{figure}_overhead_{label}");
+        println!("{:<14} {:>10} {:>12} {:>12}", "app", "build", "mean (ms)", "std (ms)");
         for app in figure_apps() {
-            group.bench_function(BenchmarkId::new("sgx_only", app.name), |b| {
-                b.iter(|| {
-                    let mut p = launch_plain(&app, 42).expect("launch");
-                    run_workload(app.name, &mut p.runtime, &p.indices)
-                });
+            let plain = time_runs(10, || {
+                let mut p = launch_plain(&app, 42).expect("launch");
+                run_workload(app.name, &mut p.runtime, &p.indices);
             });
-            group.bench_function(BenchmarkId::new("sgxelide", app.name), |b| {
-                b.iter(|| {
-                    let mut p = launch_protected(&app, placement, 42).expect("launch");
-                    p.restore().expect("restore");
-                    run_workload(app.name, &mut p.app.runtime, &p.indices)
-                });
+            let s = stats(&plain);
+            println!("{:<14} {:>10} {:>12.4} {:>12.4}", app.name, "sgx_only", s.mean_ms, s.std_ms);
+
+            let elide = time_runs(10, || {
+                let mut p = launch_protected(&app, placement, 42).expect("launch");
+                p.restore().expect("restore");
+                run_workload(app.name, &mut p.app.runtime, &p.indices);
             });
+            let s = stats(&elide);
+            println!("{:<14} {:>10} {:>12.4} {:>12.4}", app.name, "sgxelide", s.mean_ms, s.std_ms);
         }
-        group.finish();
+        println!();
     }
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

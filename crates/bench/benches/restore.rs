@@ -1,32 +1,32 @@
-//! Criterion bench for Table 2's "Restore Time" columns: one
-//! `elide_restore` call against a freshly launched sanitized enclave —
-//! attested handshake, metadata fetch, data fetch/decrypt, the
-//! self-modifying copy, and sealing — remote vs. local data.
+//! Bench for Table 2's "Restore Time" columns: one `elide_restore` call
+//! against a freshly launched sanitized enclave — attested handshake,
+//! metadata fetch, data fetch/decrypt, the self-modifying copy, and
+//! sealing — remote vs. local data.
+//!
+//! Plain-main harness (`cargo bench --bench restore`); launch time is kept
+//! out of the timed region.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use elide_apps::harness::launch_protected;
+use elide_bench::stats;
 use elide_core::sanitizer::DataPlacement;
+use std::time::Instant;
 
-fn bench_restore(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_restore");
-    group.sample_size(10);
+fn main() {
+    println!("table2_restore");
+    println!("{:<14} {:>8} {:>12} {:>12}", "app", "mode", "mean (ms)", "std (ms)");
     for app in elide_apps::all_apps() {
         for (label, placement) in
             [("remote", DataPlacement::Remote), ("local", DataPlacement::LocalEncrypted)]
         {
-            group.bench_function(BenchmarkId::new(label, app.name), |b| {
-                b.iter_with_setup(
-                    || launch_protected(&app, placement, 42).expect("launch"),
-                    |mut p| {
-                        p.restore().expect("restore");
-                        p
-                    },
-                );
-            });
+            let mut samples = Vec::with_capacity(10);
+            for _ in 0..10 {
+                let mut p = launch_protected(&app, placement, 42).expect("launch");
+                let t0 = Instant::now();
+                p.restore().expect("restore");
+                samples.push(t0.elapsed().as_secs_f64());
+            }
+            let s = stats(&samples);
+            println!("{:<14} {:>8} {:>12.4} {:>12.4}", app.name, label, s.mean_ms, s.std_ms);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_restore);
-criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Restore throughput under client concurrency: one authentication server
+//! (the layered service: framed wire → per-connection sessions → secret
+//! store → bounded worker pool) provisioning N parallel clients over
+//! loopback TCP. Companion to Table 2's per-restore latency — this bench
+//! answers "how many enclaves can one server bring up at once?".
+
+use elide_bench::stats;
+use elide_core::api::{protect, Mode, Platform};
+use elide_core::elide_asm::ELIDE_ASM;
+use elide_core::protocol::TcpTransport;
+use elide_core::restore::new_sealed_store;
+use elide_core::sanitizer::DataPlacement;
+use elide_core::server::AuthServer;
+use elide_core::service::{serve, ServiceConfig};
+use elide_core::transport::tcp::TcpAcceptor;
+use elide_crypto::rng::SeededRandom;
+use elide_crypto::rsa::RsaKeyPair;
+use elide_enclave::image::EnclaveImageBuilder;
+use sgx_sim::quote::AttestationService;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const CONCURRENCY: [usize; 3] = [1, 4, 16];
+const ROUNDS: usize = 5;
+
+fn main() {
+    let mut b = EnclaveImageBuilder::new();
+    b.source(ELIDE_ASM)
+        .source(".section text\n.global s\n.func s\n    movi r0, 7\n    ret\n.endfunc\n")
+        .ecall("s")
+        .ecall("elide_restore");
+    let image = b.build().expect("build");
+    let mut rng = SeededRandom::new(0x7B);
+    let vendor = RsaKeyPair::generate(512, &mut rng);
+    let package = Arc::new(
+        protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng)
+            .expect("protect"),
+    );
+    let mut ias = AttestationService::new();
+    let platform = Arc::new(Platform::provision(&mut rng, &mut ias));
+    let server = Arc::new(package.make_server(ias));
+
+    println!("# Restore throughput: one server, N concurrent TCP clients");
+    println!("# ({} rounds per N; full launch + attested restore per client)", ROUNDS);
+    println!(
+        "{:<10} {:>8} {:>14} {:>14} {:>16}",
+        "clients", "rounds", "wall mean ms", "wall std ms", "restores/sec"
+    );
+
+    for &n in &CONCURRENCY {
+        let mut samples = Vec::with_capacity(ROUNDS);
+        for round in 0..ROUNDS {
+            samples.push(run_round(&package, &platform, &server, n, round as u64));
+        }
+        let s = stats(&samples);
+        let throughput = n as f64 / (s.mean_ms / 1e3);
+        println!(
+            "{:<10} {:>8} {:>14.4} {:>14.4} {:>16.1}",
+            n, ROUNDS, s.mean_ms, s.std_ms, throughput
+        );
+    }
+}
+
+/// One round: serve `n` clients to completion, returning wall seconds.
+fn run_round(
+    package: &Arc<elide_core::api::ProtectedPackage>,
+    platform: &Arc<Platform>,
+    server: &Arc<AuthServer>,
+    n: usize,
+    round: u64,
+) -> f64 {
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind");
+    let addr = acceptor.local_addr().expect("addr").to_string();
+    let handle =
+        serve(acceptor, Arc::clone(server), ServiceConfig::default().with_max_connections(Some(n)));
+
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..n)
+        .map(|i| {
+            let package = Arc::clone(package);
+            let platform = Arc::clone(platform);
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let transport =
+                    Arc::new(Mutex::new(TcpTransport::connect(&addr).expect("connect")));
+                let mut app = package
+                    .launch(&platform, transport, new_sealed_store(), round * 1000 + i as u64)
+                    .expect("launch");
+                app.restore(1).expect("restore");
+                assert_eq!(app.runtime.ecall(0, &[], 0).expect("ecall").status, 7);
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    handle.join();
+    elapsed
+}

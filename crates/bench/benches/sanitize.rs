@@ -1,36 +1,31 @@
-//! Criterion bench for Table 2's "Sanitize Time" columns: the offline
-//! sanitizer over each benchmark's enclave image, remote vs. local mode
-//! (local is slower because it AES-GCM-encrypts the secret data at
-//! sanitize time, matching the paper's 0.09 ms vs 0.15 ms split).
+//! Bench for Table 2's "Sanitize Time" columns: the offline sanitizer over
+//! each benchmark's enclave image, remote vs. local mode (local is slower
+//! because it AES-GCM-encrypts the secret data at sanitize time, matching
+//! the paper's 0.09 ms vs 0.15 ms split).
+//!
+//! Plain-main harness (`cargo bench --bench sanitize`); prints mean ± std
+//! per app and mode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use elide_bench::{stats, time_runs};
 use elide_core::sanitizer::{sanitize, DataPlacement};
 use elide_core::whitelist::Whitelist;
 use elide_crypto::rng::SeededRandom;
 
-fn bench_sanitize(c: &mut Criterion) {
+fn main() {
     let whitelist = Whitelist::from_dummy_enclave().expect("whitelist");
-    let mut group = c.benchmark_group("table2_sanitize");
-    group.sample_size(20);
+    println!("table2_sanitize");
+    println!("{:<14} {:>8} {:>12} {:>12}", "app", "mode", "mean (ms)", "std (ms)");
     for app in elide_apps::all_apps() {
         let image = app.build_elide_image().expect("build");
         for (label, placement) in
             [("remote", DataPlacement::Remote), ("local", DataPlacement::LocalEncrypted)]
         {
-            group.bench_with_input(
-                BenchmarkId::new(label, app.name),
-                &image,
-                |b, image| {
-                    let mut rng = SeededRandom::new(1);
-                    b.iter(|| {
-                        sanitize(image, &whitelist, placement, &mut rng).expect("sanitize")
-                    });
-                },
-            );
+            let mut rng = SeededRandom::new(1);
+            let samples = time_runs(20, || {
+                sanitize(&image, &whitelist, placement, &mut rng).expect("sanitize");
+            });
+            let s = stats(&samples);
+            println!("{:<14} {:>8} {:>12.4} {:>12.4}", app.name, label, s.mean_ms, s.std_ms);
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sanitize);
-criterion_main!(benches);

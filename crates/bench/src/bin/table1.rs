@@ -17,8 +17,7 @@ fn main() {
         let r = table1_row(&app, &whitelist);
         println!(
             "{:<10} {:>8} {:>10} {:>9} {:>11} {:>11}",
-            r.name, r.asm_loc, r.tc_functions, r.tc_bytes, r.sanitized_functions,
-            r.sanitized_bytes
+            r.name, r.asm_loc, r.tc_functions, r.tc_bytes, r.sanitized_functions, r.sanitized_bytes
         );
     }
     println!();

@@ -169,7 +169,7 @@ pub struct PreparedElide {
     app: App,
     package: elide_core::api::ProtectedPackage,
     platform: elide_core::api::Platform,
-    server: std::sync::Arc<std::sync::Mutex<elide_core::server::AuthServer>>,
+    server: std::sync::Arc<elide_core::server::AuthServer>,
     indices: std::collections::HashMap<String, u64>,
 }
 
@@ -188,7 +188,7 @@ pub fn prepare_elide(app: &App, placement: DataPlacement) -> PreparedElide {
     let package = protect(&image, &vendor, &Mode::Whitelist, placement, &mut rng).expect("protect");
     let mut ias = AttestationService::new();
     let platform = Platform::provision(&mut rng, &mut ias);
-    let server = std::sync::Arc::new(std::sync::Mutex::new(package.make_server(ias)));
+    let server = std::sync::Arc::new(package.make_server(ias));
     PreparedElide { app: app.clone(), package, platform, server, indices: app.protected_indices() }
 }
 

@@ -6,7 +6,8 @@ use crate::error::ElideError;
 use crate::meta::SecretMeta;
 use crate::protocol::Transport;
 use crate::restore::{
-    elide_restore, install_elide_ocalls, ElideFiles, RestoreStats, SealedStore,
+    elide_restore, elide_restore_with_retry, install_elide_ocalls, ElideFiles, RestoreStats,
+    RetryPolicy, SealedStore,
 };
 use crate::sanitizer::{sanitize, sanitize_blacklist, DataPlacement, SanitizedEnclave};
 use crate::server::{AuthServer, ExpectedIdentity};
@@ -154,8 +155,7 @@ impl ProtectedPackage {
         seed: u64,
     ) -> Result<LaunchedApp, ElideError> {
         let loaded = load_enclave(&platform.cpu, &self.image, &self.sigstruct)?;
-        let mut runtime =
-            EnclaveRuntime::with_rng(loaded, Box::new(SeededRandom::new(seed)));
+        let mut runtime = EnclaveRuntime::with_rng(loaded, Box::new(SeededRandom::new(seed)));
         install_elide_ocalls(&mut runtime, transport, Arc::clone(&platform.qe), self.files(sealed));
         Ok(LaunchedApp { runtime })
     }
@@ -176,5 +176,19 @@ impl LaunchedApp {
     /// See [`elide_restore`].
     pub fn restore(&mut self, restore_ecall_index: u64) -> Result<RestoreStats, ElideError> {
         elide_restore(&mut self.runtime, restore_ecall_index)
+    }
+
+    /// [`Self::restore`] with client-side retries and exponential backoff
+    /// for transient server failures.
+    ///
+    /// # Errors
+    ///
+    /// See [`elide_restore_with_retry`].
+    pub fn restore_with_retry(
+        &mut self,
+        restore_ecall_index: u64,
+        policy: &RetryPolicy,
+    ) -> Result<RestoreStats, ElideError> {
+        elide_restore_with_retry(&mut self.runtime, restore_ecall_index, policy)
     }
 }

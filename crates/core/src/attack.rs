@@ -42,9 +42,8 @@ impl AttackReport {
 /// Returns [`ElideError::BadImage`] if the image has no text section.
 pub fn analyze_image(image: &[u8]) -> Result<AttackReport, ElideError> {
     let elf = ElfFile::parse(image.to_vec())?;
-    let text = elf
-        .section_by_name(".text")
-        .ok_or_else(|| ElideError::BadImage("no .text".into()))?;
+    let text =
+        elf.section_by_name(".text").ok_or_else(|| ElideError::BadImage("no .text".into()))?;
     let text_data = elf.section_data(text)?.to_vec();
 
     let mut total_functions = 0;
@@ -85,9 +84,8 @@ pub fn find_signature(image: &[u8], needle: &[u8]) -> bool {
 /// Returns [`ElideError::BadImage`] if the image or function is missing.
 pub fn disassemble_function(image: &[u8], function: Option<&str>) -> Result<String, ElideError> {
     let elf = ElfFile::parse(image.to_vec())?;
-    let text = elf
-        .section_by_name(".text")
-        .ok_or_else(|| ElideError::BadImage("no .text".into()))?;
+    let text =
+        elf.section_by_name(".text").ok_or_else(|| ElideError::BadImage("no .text".into()))?;
     let data = elf.section_data(text)?;
     match function {
         None => Ok(listing(data, text.sh_addr)),

@@ -22,6 +22,8 @@ pub enum ElideError {
     Server(ServerError),
     /// A transport-level failure talking to the server.
     Transport(String),
+    /// A secret-store registration/loading failure.
+    Store(String),
 }
 
 /// Errors the authentication server reports.
@@ -68,6 +70,7 @@ impl fmt::Display for ElideError {
             }
             ElideError::Server(e) => write!(f, "server error: {e}"),
             ElideError::Transport(s) => write!(f, "transport error: {s}"),
+            ElideError::Store(s) => write!(f, "secret store error: {s}"),
         }
     }
 }

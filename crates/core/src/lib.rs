@@ -14,10 +14,17 @@
 //!   `enclave.secret.data`, and sets `PF_W` on the text segment.
 //! * [`elide_asm`] — the in-enclave restorer (`elide_restore`) in EV64
 //!   assembly, including sealing for server-free relaunches.
-//! * [`server`] / [`protocol`] — the authentication server (in-process or
-//!   TCP) releasing secrets only to attested enclaves.
+//! * The provisioning service, split into four layers:
+//!   [`transport`] (length-prefixed framing with size limits and timeouts,
+//!   over TCP or an in-process channel), [`session`] (the per-connection
+//!   attested-handshake state machine), [`store`] (the MRENCLAVE-keyed
+//!   [`store::SecretStore`] so one server provisions many enclaves), and
+//!   [`service`] (a bounded worker pool with graceful shutdown).
+//!   [`server`] holds the shared `AuthServer` state and [`protocol`] the
+//!   client transports plus channel crypto.
 //! * [`restore`] — the untrusted ocalls (`elide_server_request`,
-//!   `elide_read_file`, `elide_write_file`) and the restore entry point.
+//!   `elide_read_file`, `elide_write_file`), the restore entry point, and
+//!   the client-side [`restore::RetryPolicy`].
 //! * [`api`] — one-call `protect` / `launch` / `restore` orchestration.
 //! * [`attack`] — the adversary's toolkit (disassembly, signature scans,
 //!   controlled-channel page-trace attribution) used by the evaluation.
@@ -52,7 +59,7 @@
 //! let package = protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng)?;
 //! let mut ias = AttestationService::new();
 //! let platform = Platform::provision(&mut rng, &mut ias);
-//! let server = Arc::new(Mutex::new(package.make_server(ias)));
+//! let server = Arc::new(package.make_server(ias));
 //! let transport = Arc::new(Mutex::new(InProcessTransport::new(server)));
 //!
 //! // Launch: the secret is dead until restored...
@@ -74,6 +81,10 @@ pub mod protocol;
 pub mod restore;
 pub mod sanitizer;
 pub mod server;
+pub mod service;
+pub mod session;
+pub mod store;
+pub mod transport;
 pub mod whitelist;
 
 pub use error::{ElideError, ServerError};

@@ -1,31 +1,45 @@
 //! The client/server protocol (§5): single-byte requests, length-prefixed
 //! frames, AES-GCM channel encryption after the attested handshake.
+//!
+//! This module is the *client* half plus the shared message crypto; the
+//! server half lives in [`crate::session`] (state machine) and
+//! [`crate::service`] (connection loop). Both client transports — TCP and
+//! in-process — speak through the same [`crate::transport::Framed`] codec
+//! to the same [`crate::service::serve_connection`] loop.
 
 use crate::error::{ElideError, ServerError};
 use crate::server::AuthServer;
+use crate::transport::channel::pipe;
+use crate::transport::{BoxedWire, Framed, Limits};
 use elide_crypto::gcm::AesGcm;
 use elide_crypto::rng::RandomSource;
-use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Channel message overhead: 12-byte IV + 16-byte tag.
 pub const CHANNEL_OVERHEAD: usize = 28;
 
-/// Encrypts a channel message as `[iv 12][ct][tag 16]`.
-pub fn encrypt_msg(key: &[u8; 16], plaintext: &[u8], rng: &mut dyn RandomSource) -> Vec<u8> {
+/// Seals a channel message as `[iv 12][ct][tag 16]` under an explicit IV
+/// (the session layer derives IVs from its sequence counter).
+pub fn seal_msg(key: &[u8; 16], iv: &[u8; 12], plaintext: &[u8]) -> Vec<u8> {
     let gcm = AesGcm::new(key).expect("16-byte key");
-    let mut iv = [0u8; 12];
-    rng.fill(&mut iv);
-    let (ct, tag) = gcm.seal(&iv, &[], plaintext);
+    let (ct, tag) = gcm.seal(iv, &[], plaintext);
     let mut out = Vec::with_capacity(CHANNEL_OVERHEAD + ct.len());
-    out.extend_from_slice(&iv);
+    out.extend_from_slice(iv);
     out.extend_from_slice(&ct);
     out.extend_from_slice(&tag);
     out
 }
 
-/// Decrypts a channel message produced by [`encrypt_msg`].
+/// Encrypts a channel message as `[iv 12][ct][tag 16]` with a random IV.
+pub fn encrypt_msg(key: &[u8; 16], plaintext: &[u8], rng: &mut dyn RandomSource) -> Vec<u8> {
+    let mut iv = [0u8; 12];
+    rng.fill(&mut iv);
+    seal_msg(key, &iv, plaintext)
+}
+
+/// Decrypts a channel message produced by [`seal_msg`]/[`encrypt_msg`].
 ///
 /// # Errors
 ///
@@ -52,41 +66,14 @@ pub trait Transport {
     fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError>;
 }
 
-/// In-process transport: calls the server object directly. Fast path for
-/// tests and single-process demos.
-pub struct InProcessTransport {
-    server: Arc<Mutex<AuthServer>>,
-}
-
-impl std::fmt::Debug for InProcessTransport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("InProcessTransport").finish_non_exhaustive()
-    }
-}
-
-impl InProcessTransport {
-    /// Wraps a shared server.
-    pub fn new(server: Arc<Mutex<AuthServer>>) -> Self {
-        InProcessTransport { server }
-    }
-}
-
-impl Transport for InProcessTransport {
+impl Transport for Box<dyn Transport + Send> {
     fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError> {
-        let mut server = self.server.lock().expect("server mutex poisoned");
-        server.handle(req, payload).map_err(ElideError::Server)
+        (**self).request(req, payload)
     }
 }
-
-// ---------------------------------------------------------------------
-// TCP transport (the paper's server.py runs over network sockets).
-// Frame format:  request  = [req u8][len u32 LE][payload]
-//                response = [status u8][len u32 LE][payload]
-// status 0 = ok; otherwise a ServerError discriminant.
-// ---------------------------------------------------------------------
 
 /// Status byte for success.
-const STATUS_OK: u8 = 0;
+pub(crate) const STATUS_OK: u8 = 0;
 
 pub(crate) fn server_error_to_status(e: &ServerError) -> u8 {
     match e {
@@ -110,49 +97,34 @@ pub(crate) fn status_to_server_error(status: u8) -> ServerError {
     }
 }
 
-fn write_frame(stream: &mut TcpStream, tag: u8, payload: &[u8]) -> std::io::Result<()> {
-    stream.write_all(&[tag])?;
-    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
-    stream.write_all(payload)?;
-    stream.flush()
-}
-
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<(u8, Vec<u8>)> {
-    let mut header = [0u8; 5];
-    stream.read_exact(&mut header)?;
-    let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes")) as usize;
-    let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload)?;
-    Ok((header[0], payload))
-}
-
-/// TCP transport to a [`crate::server::AuthServer`] served by
-/// [`crate::server::serve_tcp`].
+/// The one client-side request loop: a [`Framed`] codec over any wire.
+/// Both [`TcpTransport`] and [`InProcessTransport`] deref to this.
 #[derive(Debug)]
-pub struct TcpTransport {
-    stream: TcpStream,
+pub struct FramedTransport {
+    framed: Framed<BoxedWire>,
 }
 
-impl TcpTransport {
-    /// Connects to `addr` (e.g. `"127.0.0.1:7788"`).
+impl FramedTransport {
+    /// Wraps an already-connected wire.
     ///
     /// # Errors
     ///
-    /// Returns [`ElideError::Transport`] if the connection fails.
-    pub fn connect(addr: &str) -> Result<Self, ElideError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| ElideError::Transport(format!("connect {addr}: {e}")))?;
-        stream.set_nodelay(true).ok();
-        Ok(TcpTransport { stream })
+    /// Returns [`ElideError::Transport`] if limits cannot be applied.
+    pub fn new(wire: BoxedWire, limits: Limits) -> Result<Self, ElideError> {
+        let framed = Framed::new(wire, limits)
+            .map_err(|e| ElideError::Transport(format!("configure connection: {e}")))?;
+        Ok(FramedTransport { framed })
     }
 }
 
-impl Transport for TcpTransport {
+impl Transport for FramedTransport {
     fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError> {
-        write_frame(&mut self.stream, req, payload)
-            .map_err(|e| ElideError::Transport(format!("send: {e}")))?;
-        let (status, body) = read_frame(&mut self.stream)
-            .map_err(|e| ElideError::Transport(format!("recv: {e}")))?;
+        self.framed.send(req, payload).map_err(|e| ElideError::Transport(format!("send: {e}")))?;
+        let (status, body) = self
+            .framed
+            .recv()
+            .map_err(|e| ElideError::Transport(format!("recv: {e}")))?
+            .ok_or_else(|| ElideError::Transport("server closed the connection".into()))?;
         if status == STATUS_OK {
             Ok(body)
         } else {
@@ -161,35 +133,121 @@ impl Transport for TcpTransport {
     }
 }
 
-/// Serves one TCP connection against the shared server state with its own
-/// [`crate::server::SessionState`]; returns when the peer disconnects.
-/// Concurrent connections never share a channel key.
-pub(crate) fn serve_connection(
-    stream: &mut TcpStream,
-    server: &Arc<Mutex<AuthServer>>,
-) -> std::io::Result<()> {
-    let mut session = crate::server::SessionState::new();
-    loop {
-        let (req, payload) = match read_frame(stream) {
-            Ok(f) => f,
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(()),
-            Err(e) => return Err(e),
-        };
-        let result = {
-            let mut s = server.lock().expect("server mutex poisoned");
-            s.handle_with_session(&mut session, req, &payload)
-        };
-        match result {
-            Ok(body) => write_frame(stream, STATUS_OK, &body)?,
-            Err(e) => write_frame(stream, server_error_to_status(&e), &[])?,
+/// TCP transport to an [`AuthServer`] served by [`crate::service::serve`].
+#[derive(Debug)]
+pub struct TcpTransport {
+    inner: FramedTransport,
+}
+
+impl TcpTransport {
+    /// Connects to `addr` (e.g. `"127.0.0.1:7788"`) with default limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElideError::Transport`] if the connection fails.
+    pub fn connect(addr: &str) -> Result<Self, ElideError> {
+        Self::connect_with(addr, Limits::default())
+    }
+
+    /// Connects with explicit wire limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ElideError::Transport`] if the connection fails.
+    pub fn connect_with(addr: &str, limits: Limits) -> Result<Self, ElideError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| ElideError::Transport(format!("connect {addr}: {e}")))?;
+        Ok(TcpTransport { inner: FramedTransport::new(Box::new(stream), limits)? })
+    }
+
+    /// Connects with retries and exponential backoff: the service-layer
+    /// client policy for servers that are still starting up.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connect error once attempts are exhausted.
+    pub fn connect_with_retry(
+        addr: &str,
+        limits: Limits,
+        policy: &crate::restore::RetryPolicy,
+    ) -> Result<Self, ElideError> {
+        let mut last = None;
+        for delay in policy.delays() {
+            match Self::connect_with(addr, limits) {
+                Ok(t) => return Ok(t),
+                Err(e) => {
+                    last = Some(e);
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+        match Self::connect_with(addr, limits) {
+            Ok(t) => Ok(t),
+            Err(e) => Err(last.unwrap_or(e)),
         }
     }
+}
+
+impl Transport for TcpTransport {
+    fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError> {
+        self.inner.request(req, payload)
+    }
+}
+
+/// In-process transport: a private pipe to a dedicated serving thread
+/// running the same [`crate::service::serve_connection`] loop as the TCP
+/// service. Fast path for tests and single-process demos — on the
+/// identical wire/session code path as the network.
+#[derive(Debug)]
+pub struct InProcessTransport {
+    inner: FramedTransport,
+}
+
+impl InProcessTransport {
+    /// Connects a fresh in-process session to `server` (default limits).
+    pub fn new(server: Arc<AuthServer>) -> Self {
+        Self::with_limits(server, Limits::default())
+    }
+
+    /// Connects with explicit wire limits (both directions).
+    pub fn with_limits(server: Arc<AuthServer>, limits: Limits) -> Self {
+        let (client, server_end) = pipe();
+        std::thread::spawn(move || {
+            // The thread exits when the client end drops (clean EOF).
+            if let Ok(mut framed) = Framed::new(server_end, limits) {
+                let _ = crate::service::serve_connection(&server, &mut framed);
+            }
+        });
+        let inner =
+            FramedTransport::new(Box::new(client), limits).expect("pipe limits are infallible");
+        InProcessTransport { inner }
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError> {
+        self.inner.request(req, payload)
+    }
+}
+
+/// A `Duration` helper: exponential backoff series for retry loops.
+pub(crate) fn backoff_series(initial: Duration, max: Duration, attempts: u32) -> Vec<Duration> {
+    let mut out = Vec::with_capacity(attempts as usize);
+    let mut d = initial;
+    for _ in 0..attempts {
+        out.push(d.min(max));
+        d = d.checked_mul(2).unwrap_or(max).min(max);
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::meta::SecretMeta;
+    use crate::server::ExpectedIdentity;
     use elide_crypto::rng::SeededRandom;
+    use sgx_sim::quote::AttestationService;
 
     #[test]
     fn channel_roundtrip() {
@@ -198,6 +256,15 @@ mod tests {
         let msg = encrypt_msg(&key, b"the secret text section", &mut rng);
         assert_eq!(msg.len(), b"the secret text section".len() + CHANNEL_OVERHEAD);
         assert_eq!(decrypt_msg(&key, &msg).unwrap(), b"the secret text section");
+    }
+
+    #[test]
+    fn sealed_iv_is_recoverable() {
+        let key = [5u8; 16];
+        let iv = [9u8; 12];
+        let msg = seal_msg(&key, &iv, b"payload");
+        assert_eq!(&msg[..12], &iv);
+        assert_eq!(decrypt_msg(&key, &msg).unwrap(), b"payload");
     }
 
     #[test]
@@ -222,5 +289,50 @@ mod tests {
         ] {
             assert_eq!(status_to_server_error(server_error_to_status(&e)), e);
         }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let s = backoff_series(Duration::from_millis(10), Duration::from_millis(50), 4);
+        assert_eq!(
+            s,
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(40),
+                Duration::from_millis(50),
+            ]
+        );
+    }
+
+    #[test]
+    fn in_process_transport_speaks_the_wire_protocol() {
+        let meta = SecretMeta {
+            flags: 0,
+            data_len: 4,
+            text_len: 4,
+            restore_offset: 0,
+            key: [1; 16],
+            iv: [2; 12],
+            tag: [3; 16],
+        };
+        let server = Arc::new(
+            AuthServer::new(
+                meta,
+                b"data".to_vec(),
+                ExpectedIdentity::default(),
+                AttestationService::new(),
+            )
+            .with_rng(Box::new(SeededRandom::new(1))),
+        );
+        let mut t = InProcessTransport::new(Arc::clone(&server));
+        // Pre-handshake META is NoSession — served through real frames.
+        assert!(matches!(t.request(1, &[]), Err(ElideError::Server(ServerError::NoSession))));
+        // The wire carries only the status code, so the offending request
+        // byte is not recoverable client-side.
+        assert!(matches!(
+            t.request(9, &[]),
+            Err(ElideError::Server(ServerError::UnknownRequest(_)))
+        ));
     }
 }

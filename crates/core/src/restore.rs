@@ -64,8 +64,7 @@ pub fn install_elide_ocalls(
             let out_ptr = regs[4];
             let out_cap = regs[5] as usize;
             let result = (|| -> Result<Vec<u8>, ElideError> {
-                let payload =
-                    if in_len > 0 { mem.read(in_ptr, in_len)? } else { Vec::new() };
+                let payload = if in_len > 0 { mem.read(in_ptr, in_len)? } else { Vec::new() };
                 if req as u64 == request::HANDSHAKE {
                     if payload.len() <= Report::SERIALIZED_LEN {
                         return Err(ElideError::Transport("handshake payload too short".into()));
@@ -76,8 +75,7 @@ pub fn install_elide_ocalls(
                         .quote(&report)
                         .map_err(|e| ElideError::Transport(format!("quoting failed: {e}")))?;
                     let quote_bytes = quote.to_bytes();
-                    let mut fwd =
-                        Vec::with_capacity(4 + quote_bytes.len() + payload.len() - 160);
+                    let mut fwd = Vec::with_capacity(4 + quote_bytes.len() + payload.len() - 160);
                     fwd.extend_from_slice(&(quote_bytes.len() as u32).to_le_bytes());
                     fwd.extend_from_slice(&quote_bytes);
                     fwd.extend_from_slice(&payload[Report::SERIALIZED_LEN..]);
@@ -148,6 +146,40 @@ pub struct RestoreStats {
     pub instructions: u64,
 }
 
+/// Client-side retry policy: connect attempts and restore re-runs back
+/// off exponentially (each delay doubles, capped at `max_delay`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = fail fast).
+    pub retries: u32,
+    /// Delay before the first retry.
+    pub initial_delay: std::time::Duration,
+    /// Upper bound on any single delay.
+    pub max_delay: std::time::Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 3,
+            initial_delay: std::time::Duration::from_millis(50),
+            max_delay: std::time::Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy { retries: 0, ..Default::default() }
+    }
+
+    /// The backoff delays, one per retry.
+    pub fn delays(&self) -> Vec<std::time::Duration> {
+        crate::protocol::backoff_series(self.initial_delay, self.max_delay, self.retries)
+    }
+}
+
 /// Invokes the `elide_restore` ecall (the single call a developer adds,
 /// §3.4) and maps its status to an error.
 ///
@@ -165,4 +197,46 @@ pub fn elide_restore(
         return Err(ElideError::RestoreFailed { status: result.status });
     }
     Ok(RestoreStats { instructions: result.instructions })
+}
+
+/// [`elide_restore`] with retries: transient failures (a server still
+/// starting, a dropped connection mid-handshake) surface as restore
+/// statuses, and each retry re-runs the full handshake after an
+/// exponential backoff. Non-transient statuses (e.g. a bad server key)
+/// fail immediately.
+///
+/// # Errors
+///
+/// The last error once retries are exhausted; see [`elide_restore`].
+pub fn elide_restore_with_retry(
+    rt: &mut EnclaveRuntime,
+    restore_ecall_index: u64,
+    policy: &RetryPolicy,
+) -> Result<RestoreStats, ElideError> {
+    use crate::elide_asm::restore_status;
+    let mut last;
+    match elide_restore(rt, restore_ecall_index) {
+        Ok(stats) => return Ok(stats),
+        Err(e) => last = e,
+    }
+    for delay in policy.delays() {
+        // Only statuses a healthy server could later satisfy are retried.
+        let transient = matches!(
+            last,
+            ElideError::RestoreFailed {
+                status: restore_status::HANDSHAKE_FAILED
+                    | restore_status::META_FAILED
+                    | restore_status::DATA_FAILED,
+            }
+        );
+        if !transient {
+            return Err(last);
+        }
+        std::thread::sleep(delay);
+        match elide_restore(rt, restore_ecall_index) {
+            Ok(stats) => return Ok(stats),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
 }

@@ -230,8 +230,8 @@ mod tests {
     use super::*;
     use crate::elide_asm::ELIDE_ASM;
     use elide_crypto::rng::SeededRandom;
-    use elide_enclave::image::EnclaveImageBuilder;
     use elide_elf::types::{PF_R, PF_X};
+    use elide_enclave::image::EnclaveImageBuilder;
 
     fn build_image() -> Vec<u8> {
         let mut b = EnclaveImageBuilder::new();
@@ -253,8 +253,7 @@ mod tests {
         let image = build_image();
         let mut rng = SeededRandom::new(1);
         let out = sanitize(&image, &wl(), DataPlacement::Remote, &mut rng).unwrap();
-        let names: Vec<&str> =
-            out.sanitized_functions.iter().map(|(n, _)| n.as_str()).collect();
+        let names: Vec<&str> = out.sanitized_functions.iter().map(|(n, _)| n.as_str()).collect();
         assert!(names.contains(&"secret_fn"));
         assert!(names.contains(&"secret_helper"));
         assert!(!names.contains(&"elide_restore"));

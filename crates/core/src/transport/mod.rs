@@ -1,0 +1,253 @@
+//! Wire layer: length-prefixed framing with hard size limits and
+//! read/write timeouts, over any bidirectional byte stream.
+//!
+//! The same [`Framed`] codec runs on both sides of both transports —
+//! loopback TCP ([`tcp`]) and the in-process channel ([`channel`]) — so
+//! tests and benches exercise the identical code path the network server
+//! uses. Frame format (unchanged from the paper's `server.py` protocol):
+//!
+//! ```text
+//! request  = [req u8][len u32 LE][payload]
+//! response = [status u8][len u32 LE][payload]
+//! ```
+
+pub mod channel;
+pub mod tcp;
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Hard limits applied to every connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum frame payload length accepted or sent.
+    pub max_frame: usize,
+    /// Timeout for blocking reads (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+    /// Timeout for blocking writes (`None` = wait forever).
+    pub write_timeout: Option<Duration>,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_frame: 1 << 20, // 1 MiB: well above any secret.data payload
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+impl Limits {
+    /// Limits with a short read timeout (tests exercising stalled peers).
+    pub fn with_read_timeout(mut self, t: Duration) -> Self {
+        self.read_timeout = Some(t);
+        self
+    }
+
+    /// Limits with a different maximum frame size.
+    pub fn with_max_frame(mut self, max: usize) -> Self {
+        self.max_frame = max;
+        self
+    }
+}
+
+/// A bidirectional byte stream a [`Framed`] codec can run over.
+pub trait Wire: Read + Write + Send {
+    /// Applies the connection limits (timeouts) to the underlying stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the stream's timeout-configuration errors.
+    fn apply_limits(&mut self, limits: &Limits) -> io::Result<()>;
+
+    /// Human-readable peer description (logging/diagnostics only).
+    fn peer(&self) -> String;
+}
+
+/// Type-erased wire, as produced by a [`Listener`].
+pub type BoxedWire = Box<dyn Wire>;
+
+impl Wire for BoxedWire {
+    fn apply_limits(&mut self, limits: &Limits) -> io::Result<()> {
+        (**self).apply_limits(limits)
+    }
+
+    fn peer(&self) -> String {
+        (**self).peer()
+    }
+}
+
+/// A source of inbound connections (the server side of a transport).
+pub trait Listener: Send {
+    /// Blocks for the next connection; `None` means the listener closed.
+    fn accept(&mut self) -> Option<BoxedWire>;
+
+    /// Human-readable bound-address description.
+    fn local_desc(&self) -> String;
+
+    /// Returns a closer that unblocks `accept` and makes it return `None`.
+    /// Used for graceful service shutdown; callable from any thread.
+    fn closer(&self) -> Box<dyn Fn() + Send + Sync>;
+}
+
+/// Length-prefixed frame codec over a [`Wire`], enforcing [`Limits`].
+pub struct Framed<W: Wire> {
+    wire: W,
+    limits: Limits,
+}
+
+impl<W: Wire> std::fmt::Debug for Framed<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Framed")
+            .field("peer", &self.wire.peer())
+            .field("limits", &self.limits)
+            .finish()
+    }
+}
+
+impl<W: Wire> Framed<W> {
+    /// Wraps `wire`, applying `limits` to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timeout-configuration errors from the wire.
+    pub fn new(mut wire: W, limits: Limits) -> io::Result<Self> {
+        wire.apply_limits(&limits)?;
+        Ok(Framed { wire, limits })
+    }
+
+    /// The configured limits.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Peer description of the underlying wire.
+    pub fn peer(&self) -> String {
+        self.wire.peer()
+    }
+
+    /// Sends one `[tag][len u32][payload]` frame.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` if the payload exceeds the frame limit; otherwise the
+    /// wire's write errors.
+    pub fn send(&mut self, tag: u8, payload: &[u8]) -> io::Result<()> {
+        if payload.len() > self.limits.max_frame {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame of {} bytes exceeds limit {}", payload.len(), self.limits.max_frame),
+            ));
+        }
+        let mut header = [0u8; 5];
+        header[0] = tag;
+        header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.wire.write_all(&header)?;
+        self.wire.write_all(payload)?;
+        self.wire.flush()
+    }
+
+    /// Receives one frame. `Ok(None)` means the peer closed cleanly at a
+    /// frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// * `InvalidData` — declared length exceeds the frame limit.
+    /// * `UnexpectedEof` — the peer closed mid-frame (truncated frame).
+    /// * `TimedOut`/`WouldBlock` — the peer stalled past the read timeout.
+    pub fn recv(&mut self) -> io::Result<Option<(u8, Vec<u8>)>> {
+        let mut tag = [0u8; 1];
+        // Distinguish clean EOF (no frame started) from a truncated frame.
+        if self.wire.read(&mut tag)? == 0 {
+            return Ok(None);
+        }
+        let mut len_bytes = [0u8; 4];
+        self.wire.read_exact(&mut len_bytes)?;
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len > self.limits.max_frame {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("declared frame length {len} exceeds limit {}", self.limits.max_frame),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        self.wire.read_exact(&mut payload)?;
+        Ok(Some((tag[0], payload)))
+    }
+}
+
+/// True for errors produced by a stalled peer hitting the read timeout.
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::pipe;
+    use super::*;
+    use std::time::Duration;
+
+    fn framed_pair(
+        limits: Limits,
+    ) -> (Framed<super::channel::PipeStream>, Framed<super::channel::PipeStream>) {
+        let (a, b) = pipe();
+        (Framed::new(a, limits).unwrap(), Framed::new(b, limits).unwrap())
+    }
+
+    #[test]
+    fn roundtrip_frames() {
+        let (mut a, mut b) = framed_pair(Limits::default());
+        a.send(3, b"hello").unwrap();
+        a.send(1, &[]).unwrap();
+        assert_eq!(b.recv().unwrap(), Some((3, b"hello".to_vec())));
+        assert_eq!(b.recv().unwrap(), Some((1, Vec::new())));
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let (a, mut b) = framed_pair(Limits::default());
+        drop(a);
+        assert_eq!(b.recv().unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_send_rejected_locally() {
+        let limits = Limits::default().with_max_frame(8);
+        let (mut a, _b) = framed_pair(limits);
+        let e = a.send(1, &[0u8; 9]).unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn oversized_declared_length_rejected() {
+        let (mut a, mut b) = framed_pair(Limits::default());
+        // Sender has generous limits; receiver enforces a small one.
+        a.send(1, &[0u8; 64]).unwrap();
+        b.limits.max_frame = 8;
+        let e = b.recv().unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_frame_is_unexpected_eof() {
+        let (mut a, b) = pipe();
+        use std::io::Write;
+        // Header declares 100 bytes but the peer hangs up after 3.
+        a.write_all(&[1, 100, 0, 0, 0]).unwrap();
+        a.write_all(&[9, 9, 9]).unwrap();
+        drop(a);
+        let mut framed = Framed::new(b, Limits::default()).unwrap();
+        let e = framed.recv().unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn stalled_peer_hits_read_timeout() {
+        let limits = Limits::default().with_read_timeout(Duration::from_millis(50));
+        let (_a, b) = pipe();
+        let mut framed = Framed::new(b, limits).unwrap();
+        let e = framed.recv().unwrap_err();
+        assert!(is_timeout(&e), "{e:?}");
+    }
+}

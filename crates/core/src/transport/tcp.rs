@@ -1,0 +1,144 @@
+//! Loopback/network TCP transport: [`Wire`] for `TcpStream` and a
+//! [`Listener`] over `TcpListener` with graceful close.
+
+use super::{BoxedWire, Limits, Listener, Wire};
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+impl Wire for TcpStream {
+    fn apply_limits(&mut self, limits: &Limits) -> io::Result<()> {
+        self.set_nodelay(true).ok();
+        self.set_read_timeout(limits.read_timeout)?;
+        self.set_write_timeout(limits.write_timeout)?;
+        Ok(())
+    }
+
+    fn peer(&self) -> String {
+        self.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "tcp:?".into())
+    }
+}
+
+/// TCP [`Listener`] with a cooperative close: the closer sets a flag and
+/// pokes the accept loop with a loopback connection so it observes it.
+pub struct TcpAcceptor {
+    listener: TcpListener,
+    closed: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for TcpAcceptor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpAcceptor").field("addr", &self.local_desc()).finish()
+    }
+}
+
+impl TcpAcceptor {
+    /// Wraps a bound listener.
+    pub fn new(listener: TcpListener) -> Self {
+        TcpAcceptor { listener, closed: Arc::new(AtomicBool::new(false)) }
+    }
+
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        Ok(Self::new(TcpListener::bind(addr)?))
+    }
+
+    /// The bound socket address (to print or connect back to).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+}
+
+impl Listener for TcpAcceptor {
+    fn accept(&mut self) -> Option<BoxedWire> {
+        if self.closed.load(Ordering::SeqCst) {
+            return None;
+        }
+        match self.listener.accept() {
+            Ok((stream, _)) => {
+                // The closer's wake-up connection is not a real client.
+                if self.closed.load(Ordering::SeqCst) {
+                    return None;
+                }
+                Some(Box::new(stream))
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn local_desc(&self) -> String {
+        self.listener.local_addr().map(|a| a.to_string()).unwrap_or_else(|_| "tcp:?".into())
+    }
+
+    fn closer(&self) -> Box<dyn Fn() + Send + Sync> {
+        let closed = Arc::clone(&self.closed);
+        let addr = self.listener.local_addr().ok();
+        Box::new(move || {
+            if closed.swap(true, Ordering::SeqCst) {
+                return; // already closed
+            }
+            // Unblock the accept call.
+            if let Some(addr) = addr {
+                let _ = TcpStream::connect(addr);
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Framed;
+    use std::io::Write;
+
+    #[test]
+    fn accept_and_frame_over_tcp() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut framed = Framed::new(stream, Limits::default()).unwrap();
+            framed.send(7, b"ping").unwrap();
+            framed.recv().unwrap()
+        });
+        let wire = acceptor.accept().expect("connection");
+        let mut framed = Framed::new(wire, Limits::default()).unwrap();
+        let (tag, body) = framed.recv().unwrap().expect("frame");
+        assert_eq!((tag, body.as_slice()), (7, b"ping".as_slice()));
+        framed.send(0, b"pong").unwrap();
+        assert_eq!(client.join().unwrap(), Some((0, b"pong".to_vec())));
+    }
+
+    #[test]
+    fn closer_unblocks_accept() {
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let close = acceptor.closer();
+        let t = std::thread::spawn(move || acceptor.accept().is_none());
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        close();
+        assert!(t.join().unwrap(), "accept must return None after close");
+    }
+
+    #[test]
+    fn garbage_before_handshake_is_a_bad_frame() {
+        // A client that writes garbage bytes produces either an oversized
+        // declared length or an unknown tag — never a panic.
+        let mut acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap();
+        let t = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&[0xFF; 64]).unwrap();
+        });
+        let wire = acceptor.accept().expect("connection");
+        let mut framed = Framed::new(wire, Limits::default()).unwrap();
+        // 0xFFFFFFFF declared length must be rejected by the limit.
+        let e = framed.recv().unwrap_err();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        t.join().unwrap();
+    }
+}

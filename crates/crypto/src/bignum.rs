@@ -180,9 +180,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &limb) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = limb.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -337,8 +337,7 @@ impl BigUint {
             let mut qhat = top / vn[n - 1] as u128;
             let mut rhat = top % vn[n - 1] as u128;
             while qhat >= B
-                || (n >= 2
-                    && qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128))
+                || (n >= 2 && qhat * vn[n - 2] as u128 > ((rhat << 64) | un[j + n - 2] as u128))
             {
                 qhat -= 1;
                 rhat += vn[n - 1] as u128;
@@ -463,7 +462,7 @@ fn signed_sub(a: &(bool, BigUint), b: &(bool, BigUint)) -> (bool, BigUint) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{RandomSource, SeededRandom};
 
     #[test]
     fn bytes_roundtrip() {
@@ -546,68 +545,114 @@ mod tests {
         assert_eq!(BigUint::zero().bits(), 0);
     }
 
-    proptest! {
-        #[test]
-        fn prop_add_sub_roundtrip(a in any::<u128>(), b in any::<u128>()) {
+    fn next_u128(rng: &mut SeededRandom) -> u128 {
+        (rng.next_u64() as u128) << 64 | rng.next_u64() as u128
+    }
+
+    // Randomized property checks driven by the in-tree deterministic RNG.
+    #[test]
+    fn prop_add_sub_roundtrip() {
+        let mut rng = SeededRandom::new(0xB1601);
+        for _ in 0..256 {
+            let a = next_u128(&mut rng);
+            let b = next_u128(&mut rng);
             let ab = BigUint::from_bytes_be(&a.to_be_bytes());
             let bb = BigUint::from_bytes_be(&b.to_be_bytes());
-            prop_assert_eq!(ab.add(&bb).sub(&bb), ab);
+            assert_eq!(ab.add(&bb).sub(&bb), ab);
         }
+    }
 
-        #[test]
-        fn prop_mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+    #[test]
+    fn prop_mul_matches_u128() {
+        let mut rng = SeededRandom::new(0xB1602);
+        for _ in 0..256 {
+            let a = rng.next_u64();
+            let b = rng.next_u64();
             let prod = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
             let expect = (a as u128) * (b as u128);
-            prop_assert_eq!(prod.to_bytes_be(), BigUint::from_bytes_be(&expect.to_be_bytes()).to_bytes_be());
+            assert_eq!(
+                prod.to_bytes_be(),
+                BigUint::from_bytes_be(&expect.to_be_bytes()).to_bytes_be()
+            );
         }
+    }
 
-        #[test]
-        fn prop_divrem_invariant(a in any::<u128>(), b in 1u64..) {
+    #[test]
+    fn prop_divrem_invariant() {
+        let mut rng = SeededRandom::new(0xB1603);
+        for _ in 0..256 {
+            let a = next_u128(&mut rng);
+            let b = rng.next_u64().max(1);
             let ab = BigUint::from_bytes_be(&a.to_be_bytes());
             let bb = BigUint::from_u64(b);
             let (q, r) = ab.divrem(&bb);
-            prop_assert!(r < bb);
-            prop_assert_eq!(q.mul(&bb).add(&r), ab);
+            assert!(r < bb);
+            assert_eq!(q.mul(&bb).add(&r), ab);
         }
+    }
 
-        #[test]
-        fn prop_divrem_multilimb(a in proptest::collection::vec(any::<u64>(), 1..12),
-                                 b in proptest::collection::vec(any::<u64>(), 1..6)) {
+    #[test]
+    fn prop_divrem_multilimb() {
+        let mut rng = SeededRandom::new(0xB1604);
+        for _ in 0..128 {
+            let a_limbs = 1 + (rng.next_u64() % 11) as usize;
+            let b_limbs = 1 + (rng.next_u64() % 5) as usize;
+            let a: Vec<u64> = (0..a_limbs).map(|_| rng.next_u64()).collect();
+            let b: Vec<u64> = (0..b_limbs).map(|_| rng.next_u64()).collect();
             let ab = BigUint { limbs: a }.add(&BigUint::zero()); // normalize
             let mut bb = BigUint { limbs: b }.add(&BigUint::zero());
-            if bb.is_zero() { bb = BigUint::one(); }
+            if bb.is_zero() {
+                bb = BigUint::one();
+            }
             let (q, r) = ab.divrem(&bb);
-            prop_assert!(r < bb);
-            prop_assert_eq!(q.mul(&bb).add(&r), ab);
+            assert!(r < bb);
+            assert_eq!(q.mul(&bb).add(&r), ab);
         }
+    }
 
-        #[test]
-        fn prop_divrem_big_divisor(a in any::<u128>(), b in any::<u128>()) {
-            prop_assume!(b != 0);
+    #[test]
+    fn prop_divrem_big_divisor() {
+        let mut rng = SeededRandom::new(0xB1605);
+        for _ in 0..256 {
+            let a = next_u128(&mut rng);
+            let b = next_u128(&mut rng).max(1);
             let ab = BigUint::from_bytes_be(&a.to_be_bytes());
             let bb = BigUint::from_bytes_be(&b.to_be_bytes());
             let (q, r) = ab.divrem(&bb);
-            prop_assert!(r < bb);
-            prop_assert_eq!(q.mul(&bb).add(&r), ab);
+            assert!(r < bb);
+            assert_eq!(q.mul(&bb).add(&r), ab);
         }
+    }
 
-        #[test]
-        fn prop_modpow_matches_naive(b in 0u64..1000, e in 0u64..30, m in 2u64..10000) {
+    #[test]
+    fn prop_modpow_matches_naive() {
+        let mut rng = SeededRandom::new(0xB1606);
+        for _ in 0..256 {
+            let b = rng.next_u64() % 1000;
+            let e = rng.next_u64() % 30;
+            let m = 2 + rng.next_u64() % 9998;
             let expect = {
                 let mut acc: u128 = 1;
-                for _ in 0..e { acc = acc * b as u128 % m as u128; }
+                for _ in 0..e {
+                    acc = acc * b as u128 % m as u128;
+                }
                 acc as u64
             };
             let got = BigUint::from_u64(b).modpow(&BigUint::from_u64(e), &BigUint::from_u64(m));
-            prop_assert_eq!(got.to_u64(), Some(expect));
+            assert_eq!(got.to_u64(), Some(expect));
         }
+    }
 
-        #[test]
-        fn prop_modinv_is_inverse(a in 1u64.., m in 3u64..) {
+    #[test]
+    fn prop_modinv_is_inverse() {
+        let mut rng = SeededRandom::new(0xB1607);
+        for _ in 0..256 {
+            let a = rng.next_u64().max(1);
+            let m = rng.next_u64().max(3);
             let ab = BigUint::from_u64(a);
             let mb = BigUint::from_u64(m);
             if let Some(inv) = ab.modinv(&mb) {
-                prop_assert_eq!(ab.mul(&inv).rem(&mb), BigUint::one());
+                assert_eq!(ab.mul(&inv).rem(&mb), BigUint::one());
             }
         }
     }

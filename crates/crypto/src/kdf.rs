@@ -35,9 +35,7 @@ pub fn derive_key(secret: &[u8], label: &str, context: &[u8], len: usize) -> Vec
 
 /// Derives a 16-byte AES-128 key; convenience wrapper over [`derive_key`].
 pub fn derive_key_128(secret: &[u8], label: &str, context: &[u8]) -> [u8; 16] {
-    derive_key(secret, label, context, 16)
-        .try_into()
-        .expect("derive_key returned 16 bytes")
+    derive_key(secret, label, context, 16).try_into().expect("derive_key returned 16 bytes")
 }
 
 #[cfg(test)]

@@ -6,8 +6,8 @@ use crate::rng::RandomSource;
 
 /// Small primes used for trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 30] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113,
 ];
 
 /// Miller–Rabin probabilistic primality test with `rounds` random bases.
@@ -53,7 +53,7 @@ pub fn is_probable_prime(n: &BigUint, rounds: usize, rng: &mut dyn RandomSource)
 
 /// Returns a uniformly random value in `[0, bound)`.
 fn random_below(bound: &BigUint, rng: &mut dyn RandomSource) -> BigUint {
-    let bytes = (bound.bits() + 7) / 8;
+    let bytes = bound.bits().div_ceil(8);
     loop {
         let mut buf = vec![0u8; bytes];
         rng.fill(&mut buf);
@@ -72,7 +72,7 @@ fn random_below(bound: &BigUint, rng: &mut dyn RandomSource) -> BigUint {
 pub fn generate_prime(bits: usize, rng: &mut dyn RandomSource) -> BigUint {
     assert!(bits >= 8, "prime size must be at least 8 bits");
     loop {
-        let bytes = (bits + 7) / 8;
+        let bytes = bits.div_ceil(8);
         let mut buf = vec![0u8; bytes];
         rng.fill(&mut buf);
         // Force exact bit length and oddness.

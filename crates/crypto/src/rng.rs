@@ -2,9 +2,11 @@
 //!
 //! A tiny trait so the rest of the project can use either the OS RNG (real
 //! runs) or a seeded deterministic RNG (reproducible tests and benches).
+//! Both generators are implemented from scratch — the crate builds with no
+//! network access and no external dependencies.
 
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use std::cell::RefCell;
+use std::io::Read;
 
 /// A source of random bytes.
 pub trait RandomSource {
@@ -19,30 +21,109 @@ pub trait RandomSource {
     }
 }
 
-/// OS-backed RNG, for production paths.
+/// SplitMix64 step — used to expand seeds into generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ core (Blackman & Vigna): fast, 256-bit state, good
+/// statistical quality. Not cryptographic — the cryptographic primitives
+/// in this crate never rely on the *generator*, only on the seed entropy.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        Xoshiro256 {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn fill(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+thread_local! {
+    static OS_ENTROPY: RefCell<Option<std::fs::File>> = const { RefCell::new(None) };
+}
+
+/// Entropy of last resort when `/dev/urandom` is unavailable: clock nanos,
+/// a process-wide counter, and ASLR-influenced addresses, whitened through
+/// SplitMix64. Only used on platforms without an OS entropy device.
+fn fallback_entropy(dest: &mut [u8]) {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0xDEAD_BEEF);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let stack_addr = &nanos as *const u64 as u64;
+    let mut seed = nanos ^ count.rotate_left(32) ^ stack_addr.rotate_left(17);
+    let mut gen = Xoshiro256::from_seed(splitmix64(&mut seed));
+    gen.fill(dest);
+}
+
+/// OS-backed RNG, for production paths. Reads `/dev/urandom` (cached per
+/// thread); falls back to clock/address entropy where no device exists.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct OsRandom;
 
 impl RandomSource for OsRandom {
     fn fill(&mut self, dest: &mut [u8]) {
-        rand::thread_rng().fill_bytes(dest);
+        let ok = OS_ENTROPY.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            if slot.is_none() {
+                *slot = std::fs::File::open("/dev/urandom").ok();
+            }
+            match slot.as_mut() {
+                Some(f) => f.read_exact(dest).is_ok(),
+                None => false,
+            }
+        });
+        if !ok {
+            fallback_entropy(dest);
+        }
     }
 }
 
 /// Seeded deterministic RNG, for tests and reproducible benches.
 #[derive(Debug, Clone)]
-pub struct SeededRandom(StdRng);
+pub struct SeededRandom(Xoshiro256);
 
 impl SeededRandom {
     /// Creates a RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        SeededRandom(StdRng::seed_from_u64(seed))
+        SeededRandom(Xoshiro256::from_seed(seed))
     }
 }
 
 impl RandomSource for SeededRandom {
     fn fill(&mut self, dest: &mut [u8]) {
-        self.0.fill_bytes(dest);
+        self.0.fill(dest);
     }
 }
 
@@ -69,11 +150,38 @@ mod tests {
     }
 
     #[test]
+    fn unaligned_fill_lengths() {
+        let mut r = SeededRandom::new(9);
+        for len in [0usize, 1, 3, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            r.fill(&mut buf);
+            assert_eq!(buf.len(), len);
+        }
+    }
+
+    #[test]
+    fn stream_is_not_constant() {
+        let mut r = SeededRandom::new(3);
+        let mut block = [0u8; 64];
+        r.fill(&mut block);
+        assert!(block.iter().any(|&b| b != block[0]), "degenerate stream");
+    }
+
+    #[test]
     fn os_random_fills() {
         let mut r = OsRandom;
         let mut x = [0u8; 16];
         r.fill(&mut x);
         // All-zero output is astronomically unlikely.
         assert_ne!(x, [0u8; 16]);
+    }
+
+    #[test]
+    fn fallback_entropy_differs_between_calls() {
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        fallback_entropy(&mut a);
+        fallback_entropy(&mut b);
+        assert_ne!(a, b);
     }
 }

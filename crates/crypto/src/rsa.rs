@@ -33,14 +33,14 @@ impl std::fmt::Debug for RsaKeyPair {
 
 /// DER-ish prefix marking a SHA-256 DigestInfo, as in PKCS#1 v1.5.
 const SHA256_PREFIX: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 impl RsaPublicKey {
     /// Modulus size in bytes (the signature length).
     pub fn modulus_len(&self) -> usize {
-        (self.n.bits() + 7) / 8
+        self.n.bits().div_ceil(8)
     }
 
     /// Serializes the key as `len(n) || n || len(e) || e` (u32 LE lengths).
@@ -226,10 +226,7 @@ mod tests {
     fn wrong_message_rejected() {
         let kp = test_keypair();
         let sig = kp.sign(b"message a").unwrap();
-        assert_eq!(
-            kp.public_key().verify(b"message b", &sig),
-            Err(CryptoError::BadSignature)
-        );
+        assert_eq!(kp.public_key().verify(b"message b", &sig), Err(CryptoError::BadSignature));
     }
 
     #[test]

@@ -33,7 +33,13 @@ impl SectionSpec {
 
     /// Convenience constructor for a `.bss`-style section.
     pub fn nobits(name: &str, flags: u64, mem_size: u64) -> Self {
-        SectionSpec { name: name.to_string(), sh_type: SHT_NOBITS, flags, data: Vec::new(), mem_size }
+        SectionSpec {
+            name: name.to_string(),
+            sh_type: SHT_NOBITS,
+            flags,
+            data: Vec::new(),
+            mem_size,
+        }
     }
 }
 
@@ -158,7 +164,7 @@ impl ElfBuilder {
         // Build string tables and the symbol table.
         let mut strtab = vec![0u8]; // index 0 = empty string
         let mut symtab = vec![0u8; SYM_SIZE]; // null symbol
-        // Locals must precede globals; sh_info = index of first global.
+                                              // Locals must precede globals; sh_info = index of first global.
         let mut ordered: Vec<&SymbolSpec> = self.symbols.iter().filter(|s| !s.global).collect();
         let first_global = ordered.len() + 1;
         ordered.extend(self.symbols.iter().filter(|s| s.global));
@@ -166,18 +172,17 @@ impl ElfBuilder {
             let name_off = strtab.len() as u32;
             strtab.extend_from_slice(sym.name.as_bytes());
             strtab.push(0);
-            let sec_index = self
-                .sections
-                .iter()
-                .position(|s| s.name == sym.section)
-                .ok_or_else(|| ElfError::NotFound { what: format!("section {}", sym.section) })?;
+            let sec_index =
+                self.sections.iter().position(|s| s.name == sym.section).ok_or_else(|| {
+                    ElfError::NotFound { what: format!("section {}", sym.section) }
+                })?;
             let value = placed[sec_index].vaddr + sym.offset;
             let binding = if sym.global { STB_GLOBAL } else { STB_LOCAL };
             let mut entry = [0u8; SYM_SIZE];
             entry[..4].copy_from_slice(&name_off.to_le_bytes());
             entry[4] = (binding << 4) | (sym.sym_type & 0xf);
             entry[5] = 0; // st_other
-            // +1: section header index 0 is the null section.
+                          // +1: section header index 0 is the null section.
             entry[6..8].copy_from_slice(&((sec_index as u16) + 1).to_le_bytes());
             entry[8..16].copy_from_slice(&value.to_le_bytes());
             entry[16..24].copy_from_slice(&sym.size.to_le_bytes());
@@ -187,11 +192,10 @@ impl ElfBuilder {
         // Entry point.
         let e_entry = match &self.entry_symbol {
             Some(name) => {
-                let sym = self
-                    .symbols
-                    .iter()
-                    .find(|s| s.name == *name)
-                    .ok_or_else(|| ElfError::NotFound { what: format!("entry symbol {name}") })?;
+                let sym =
+                    self.symbols.iter().find(|s| s.name == *name).ok_or_else(|| {
+                        ElfError::NotFound { what: format!("entry symbol {name}") }
+                    })?;
                 section_vaddr(&sym.section)? + sym.offset
             }
             None => 0,
@@ -242,7 +246,7 @@ impl ElfBuilder {
         out[56..58].copy_from_slice(&phnum.to_le_bytes());
         out[58..60].copy_from_slice(&(SHDR_SIZE as u16).to_le_bytes());
         out[60..62].copy_from_slice(&shnum.to_le_bytes());
-        out[62..64].copy_from_slice(&((shnum - 1) as u16).to_le_bytes()); // shstrtab is last
+        out[62..64].copy_from_slice(&(shnum - 1).to_le_bytes()); // shstrtab is last
 
         // --- Program headers (one PT_LOAD per alloc section) ---
         let mut ph_cursor = EHDR_SIZE;
@@ -372,7 +376,7 @@ impl ElfBuilder {
 }
 
 fn align_up(v: u64, align: u64) -> u64 {
-    (v + align - 1) / align * align
+    v.div_ceil(align) * align
 }
 
 #[cfg(test)]

@@ -34,11 +34,7 @@ fn read_u64(b: &[u8], off: usize) -> Result<u64, ElfError> {
 }
 
 fn read_cstr(table: &[u8], off: usize) -> String {
-    let end = table[off..]
-        .iter()
-        .position(|&c| c == 0)
-        .map(|p| off + p)
-        .unwrap_or(table.len());
+    let end = table[off..].iter().position(|&c| c == 0).map(|p| off + p).unwrap_or(table.len());
     String::from_utf8_lossy(&table[off..end]).into_owned()
 }
 
@@ -147,7 +143,11 @@ impl ElfFile {
                 let info = bytes[off + 4];
                 let shndx = read_u16(&bytes, off + 6)?;
                 symbols.push(SymbolEntry {
-                    name: if name_off < strs.len() { read_cstr(&strs, name_off) } else { String::new() },
+                    name: if name_off < strs.len() {
+                        read_cstr(&strs, name_off)
+                    } else {
+                        String::new()
+                    },
                     value: read_u64(&bytes, off + 8)?,
                     size: read_u64(&bytes, off + 16)?,
                     sym_type: info & 0xf,
@@ -240,10 +240,7 @@ impl ElfFile {
     /// Translates a virtual address to a file offset using the segment table.
     pub fn vaddr_to_offset(&self, vaddr: u64) -> Option<usize> {
         self.segments.iter().find_map(|seg| {
-            if seg.p_type == PT_LOAD
-                && vaddr >= seg.p_vaddr
-                && vaddr < seg.p_vaddr + seg.p_filesz
-            {
+            if seg.p_type == PT_LOAD && vaddr >= seg.p_vaddr && vaddr < seg.p_vaddr + seg.p_filesz {
                 Some((seg.p_offset + (vaddr - seg.p_vaddr)) as usize)
             } else {
                 None
@@ -258,7 +255,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(ElfFile::parse(vec![0u8; 10]).unwrap_err(), ElfError::Truncated { what: "file header" });
+        assert_eq!(
+            ElfFile::parse(vec![0u8; 10]).unwrap_err(),
+            ElfError::Truncated { what: "file header" }
+        );
         let mut bad = vec![0u8; 128];
         bad[..4].copy_from_slice(b"NOPE");
         assert_eq!(ElfFile::parse(bad).unwrap_err(), ElfError::BadMagic);

@@ -51,9 +51,7 @@ pub fn or_segment_flags(elf: &mut ElfFile, vaddr: u64, flags: u32) -> Result<u32
     let seg_index = elf
         .segments()
         .iter()
-        .position(|s| {
-            s.p_type == PT_LOAD && vaddr >= s.p_vaddr && vaddr < s.p_vaddr + s.p_memsz
-        })
+        .position(|s| s.p_type == PT_LOAD && vaddr >= s.p_vaddr && vaddr < s.p_vaddr + s.p_memsz)
         .ok_or_else(|| ElfError::NotFound { what: format!("segment covering {vaddr:#x}") })?;
     debug_assert!(seg_index < phnum);
     let field_off = phoff + seg_index * PHDR_SIZE + 4;

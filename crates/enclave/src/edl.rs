@@ -80,7 +80,10 @@ impl Edl {
                     match (kind, &section) {
                         ("ecall", Section::Trusted) => {
                             if edl.ecalls.contains(&name) {
-                                return Err(syntax_error(line_no, format!("duplicate ecall {name}")));
+                                return Err(syntax_error(
+                                    line_no,
+                                    format!("duplicate ecall {name}"),
+                                ));
                             }
                             if parts.next().is_some() {
                                 return Err(syntax_error(line_no, "ecalls take no options"));

@@ -10,9 +10,9 @@
 //! SIGSTRUCT — the `sgx_sign` analog.
 
 use crate::error::EnclaveError;
+use elide_crypto::rsa::RsaKeyPair;
 use elide_elf::types::{PF_R, PF_W, PF_X, PT_LOAD};
 use elide_elf::ElfFile;
-use elide_crypto::rsa::RsaKeyPair;
 use sgx_sim::epc::{PagePerms, PageType, PAGE_SIZE};
 use sgx_sim::measure::{Measurement, EEXTEND_CHUNK};
 use sgx_sim::sigstruct::SigStruct;
@@ -85,7 +85,10 @@ pub fn measure_enclave(image: &[u8]) -> Result<[u8; 32], EnclaveError> {
         let off = page.vaddr - base;
         m.eadd(off, page.perms, PageType::Reg);
         for c in 0..(PAGE_SIZE as usize / EEXTEND_CHUNK) {
-            m.eextend(off + (c * EEXTEND_CHUNK) as u64, &page.data[c * EEXTEND_CHUNK..(c + 1) * EEXTEND_CHUNK]);
+            m.eextend(
+                off + (c * EEXTEND_CHUNK) as u64,
+                &page.data[c * EEXTEND_CHUNK..(c + 1) * EEXTEND_CHUNK],
+            );
         }
     }
     Ok(m.finalize())
@@ -164,7 +167,8 @@ mod tests {
     use elide_vm::link::{link, LinkOptions};
 
     fn build_image() -> Vec<u8> {
-        let user = ".section text\n.global hello\n.func hello\n    movi r0, 123\n    ret\n.endfunc\n";
+        let user =
+            ".section text\n.global hello\n.func hello\n    movi r0, 123\n    ret\n.endfunc\n";
         let table = ecall_table_asm(&["hello"]);
         let objs = assemble_all([TRTS_ASM, user, table.as_str()]).unwrap();
         link(&objs, &LinkOptions::default()).unwrap()

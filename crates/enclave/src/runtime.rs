@@ -66,10 +66,9 @@ impl UntrustedMemory {
     ///
     /// Returns [`EnclaveError::MarshalOverflow`] if out of range.
     pub fn read(&self, addr: u64, len: usize) -> Result<Vec<u8>, EnclaveError> {
-        let off = self.offset(addr, len).ok_or(EnclaveError::MarshalOverflow {
-            requested: len,
-            available: self.data.len(),
-        })?;
+        let off = self
+            .offset(addr, len)
+            .ok_or(EnclaveError::MarshalOverflow { requested: len, available: self.data.len() })?;
         Ok(self.data[off..off + len].to_vec())
     }
 
@@ -159,9 +158,7 @@ impl EnclaveWorld {
                     }
                 }
             }
-            self.enclave
-                .write(addr, data)
-                .map_err(|e| map_sgx_fault(e, addr, Access::Write))
+            self.enclave.write(addr, data).map_err(|e| map_sgx_fault(e, addr, Access::Write))
         } else {
             self.untrusted
                 .write(addr, data)
@@ -215,8 +212,7 @@ impl Bus for EnclaveWorld {
         let bad = || VmFault::BadIntrinsic { index };
         match index {
             intrinsics::AESGCM_ENCRYPT | intrinsics::AESGCM_DECRYPT => {
-                let key: [u8; 16] =
-                    self.read_guest(regs[1], 16)?.try_into().map_err(|_| bad())?;
+                let key: [u8; 16] = self.read_guest(regs[1], 16)?.try_into().map_err(|_| bad())?;
                 let iv: [u8; 12] = self.read_guest(regs[2], 12)?.try_into().map_err(|_| bad())?;
                 let src = regs[3];
                 let len = regs[4] as usize;
@@ -259,10 +255,10 @@ impl Bus for EnclaveWorld {
                 regs[0] = 0;
             }
             intrinsics::EREPORT => {
-                let data: [u8; 64] =
-                    self.read_guest(regs[1], 64)?.try_into().map_err(|_| bad())?;
-                let report = ereport(&self.enclave, &TargetInfo { mrenclave: QE_MEASUREMENT }, data)
-                    .map_err(|_| bad())?;
+                let data: [u8; 64] = self.read_guest(regs[1], 64)?.try_into().map_err(|_| bad())?;
+                let report =
+                    ereport(&self.enclave, &TargetInfo { mrenclave: QE_MEASUREMENT }, data)
+                        .map_err(|_| bad())?;
                 self.write_guest(regs[2], &report.to_bytes())?;
                 regs[0] = sgx_sim::report::Report::SERIALIZED_LEN as u64;
             }

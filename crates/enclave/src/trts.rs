@@ -138,7 +138,8 @@ mod tests {
     #[test]
     fn ecall_table_asm_assembles() {
         let table = ecall_table_asm(&["f", "g"]);
-        let full = format!(".section text\n.func f\nret\n.endfunc\n.func g\nret\n.endfunc\n{table}");
+        let full =
+            format!(".section text\n.func f\nret\n.endfunc\n.func g\nret\n.endfunc\n{table}");
         let obj = assemble(&full).unwrap();
         let ro = obj.section("rodata").unwrap();
         assert_eq!(&ro.bytes[..8], &2u64.to_le_bytes());

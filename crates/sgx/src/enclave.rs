@@ -75,7 +75,7 @@ impl SgxCpu {
     /// Returns [`SgxError::BadAlignment`] unless both `base` and `size` are
     /// page-aligned and `size` is nonzero.
     pub fn ecreate(&self, base: u64, size: u64) -> Result<Enclave, SgxError> {
-        if base % PAGE_SIZE != 0 || size % PAGE_SIZE != 0 || size == 0 {
+        if !base.is_multiple_of(PAGE_SIZE) || !size.is_multiple_of(PAGE_SIZE) || size == 0 {
             return Err(SgxError::BadAlignment { addr: base });
         }
         Ok(Enclave {
@@ -168,10 +168,7 @@ impl Enclave {
             return Err(SgxError::BadAlignment { addr: vaddr });
         }
         self.pages.insert(off, EpcPage::new(Box::new(*data), perms, ptype));
-        self.measurement
-            .as_mut()
-            .expect("measurement live before EINIT")
-            .eadd(off, perms, ptype);
+        self.measurement.as_mut().expect("measurement live before EINIT").eadd(off, perms, ptype);
         Ok(())
     }
 
@@ -193,10 +190,7 @@ impl Enclave {
         let page = self.pages.get(&page_off).ok_or(SgxError::PageNotPresent { addr: vaddr })?;
         let within = (off - page_off) as usize;
         let chunk = page.data[within..within + EEXTEND_CHUNK].to_vec();
-        self.measurement
-            .as_mut()
-            .expect("measurement live before EINIT")
-            .eextend(off, &chunk);
+        self.measurement.as_mut().expect("measurement live before EINIT").eextend(off, &chunk);
         Ok(())
     }
 
@@ -213,11 +207,7 @@ impl Enclave {
             return Err(SgxError::AlreadyInitialized);
         }
         sigstruct.verify().map_err(|_| SgxError::BadSigstruct)?;
-        let measured = self
-            .measurement
-            .take()
-            .expect("measurement live before EINIT")
-            .finalize();
+        let measured = self.measurement.take().expect("measurement live before EINIT").finalize();
         if measured != sigstruct.measurement {
             // Restore the state? Architecturally EINIT can be retried, but a
             // failed measurement means the enclave must be rebuilt anyway.
@@ -232,11 +222,7 @@ impl Enclave {
         Ok(())
     }
 
-    fn page_for(
-        &self,
-        vaddr: u64,
-        kind: AccessKind,
-    ) -> Result<(&EpcPage, usize), SgxError> {
+    fn page_for(&self, vaddr: u64, kind: AccessKind) -> Result<(&EpcPage, usize), SgxError> {
         let off = self.check_vaddr(vaddr)?;
         let page_off = off & !(PAGE_SIZE - 1);
         let page = self.pages.get(&page_off).ok_or(SgxError::PageNotPresent { addr: vaddr })?;
@@ -378,10 +364,7 @@ impl Enclave {
     ///
     /// Fails after `EINIT` (the live measurement is consumed).
     pub fn current_measurement(&self) -> Result<[u8; 32], SgxError> {
-        self.measurement
-            .as_ref()
-            .map(|m| m.current())
-            .ok_or(SgxError::AlreadyInitialized)
+        self.measurement.as_ref().map(|m| m.current()).ok_or(SgxError::AlreadyInitialized)
     }
 
     pub(crate) fn page_restore(&mut self, page_off: u64, page: EpcPage) {

@@ -94,10 +94,7 @@ pub struct EpcPage {
 impl std::fmt::Debug for EpcPage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never dump page contents (they may hold secrets after restore).
-        f.debug_struct("EpcPage")
-            .field("perms", &self.perms)
-            .field("ptype", &self.ptype)
-            .finish()
+        f.debug_struct("EpcPage").field("perms", &self.perms).field("ptype", &self.ptype).finish()
     }
 }
 

@@ -217,9 +217,6 @@ mod tests {
     #[test]
     fn evict_absent_page_rejected() {
         let (mut e, mut pm, mut rng) = setup();
-        assert!(matches!(
-            pm.ewb(&mut e, 0x5000, &mut rng),
-            Err(SgxError::PageNotPresent { .. })
-        ));
+        assert!(matches!(pm.ewb(&mut e, 0x5000, &mut rng), Err(SgxError::PageNotPresent { .. })));
     }
 }

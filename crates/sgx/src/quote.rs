@@ -221,8 +221,7 @@ mod tests {
         let qe = QuotingEnclave::provision(&cpu, &mut rng);
         let ias = AttestationService::new(); // nothing registered
         let e = make_enclave(&cpu);
-        let report =
-            ereport(&e, &TargetInfo { mrenclave: QE_MEASUREMENT }, [0u8; 64]).unwrap();
+        let report = ereport(&e, &TargetInfo { mrenclave: QE_MEASUREMENT }, [0u8; 64]).unwrap();
         let quote = qe.quote(&report).unwrap();
         assert_eq!(ias.verify_quote(&quote), Err(SgxError::BadQuote));
     }
@@ -235,8 +234,7 @@ mod tests {
         let mut ias = AttestationService::new();
         ias.register_device(qe.device_public_key().clone());
         let e = make_enclave(&cpu);
-        let report =
-            ereport(&e, &TargetInfo { mrenclave: QE_MEASUREMENT }, [0u8; 64]).unwrap();
+        let report = ereport(&e, &TargetInfo { mrenclave: QE_MEASUREMENT }, [0u8; 64]).unwrap();
         let mut quote = qe.quote(&report).unwrap();
         quote.mrenclave[0] ^= 1; // claim to be a different enclave
         assert_eq!(ias.verify_quote(&quote), Err(SgxError::BadQuote));

@@ -153,8 +153,7 @@ mod tests {
         let cpu = SgxCpu::new(&mut SeededRandom::new(3));
         let a = make(&cpu, 1);
         let b = make(&cpu, 2);
-        let mut report =
-            ereport(&a, &TargetInfo { mrenclave: b.mrenclave() }, [0u8; 64]).unwrap();
+        let mut report = ereport(&a, &TargetInfo { mrenclave: b.mrenclave() }, [0u8; 64]).unwrap();
         report.report_data[0] ^= 1;
         assert_eq!(verify_report(&b, &report), Err(SgxError::ReportMacMismatch));
     }
@@ -165,8 +164,7 @@ mod tests {
         let a = make(&cpu, 1);
         let b = make(&cpu, 2);
         let c = make(&cpu, 3);
-        let report =
-            ereport(&a, &TargetInfo { mrenclave: b.mrenclave() }, [0u8; 64]).unwrap();
+        let report = ereport(&a, &TargetInfo { mrenclave: b.mrenclave() }, [0u8; 64]).unwrap();
         assert!(verify_report(&c, &report).is_err());
     }
 
@@ -176,8 +174,7 @@ mod tests {
         let cpu2 = SgxCpu::new(&mut SeededRandom::new(4));
         let a = make(&cpu1, 1);
         let b = make(&cpu2, 1);
-        let report =
-            ereport(&a, &TargetInfo { mrenclave: b.mrenclave() }, [0u8; 64]).unwrap();
+        let report = ereport(&a, &TargetInfo { mrenclave: b.mrenclave() }, [0u8; 64]).unwrap();
         assert!(verify_report(&b, &report).is_err());
     }
 }

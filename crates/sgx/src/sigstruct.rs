@@ -63,8 +63,8 @@ impl SigStruct {
     /// Returns [`CryptoError::BadSignature`] if the signature (or embedded
     /// key encoding) is invalid.
     pub fn verify(&self) -> Result<RsaPublicKey, CryptoError> {
-        let key = RsaPublicKey::from_bytes(&self.signer_key)
-            .map_err(|_| CryptoError::BadSignature)?;
+        let key =
+            RsaPublicKey::from_bytes(&self.signer_key).map_err(|_| CryptoError::BadSignature)?;
         let payload = Self::payload(&self.measurement, self.product_id, self.svn);
         key.verify(&payload, &self.signature)?;
         Ok(key)

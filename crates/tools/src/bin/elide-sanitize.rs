@@ -6,8 +6,12 @@
 //! ```text
 //! elide-sanitize ENCLAVE.so --out SANITIZED.so \
 //!     --meta enclave.secret.meta --data enclave.secret.data [-c] \
-//!     [--blacklist fn1,fn2]
+//!     [--blacklist fn1,fn2] [--mrenclave-out NAME.mrenclave]
 //! ```
+//!
+//! `--mrenclave-out` writes the sanitized image's measurement as hex — the
+//! sidecar `elide-server --secrets-dir` reads to pin a store entry to its
+//! enclave.
 //!
 //! Also regenerates the reusable whitelist:
 //!
@@ -17,7 +21,7 @@
 
 use elide_core::sanitizer::{sanitize, sanitize_blacklist, DataPlacement};
 use elide_core::whitelist::Whitelist;
-use elide_tools::{read_file, run_tool, write_file, Args};
+use elide_tools::{read_file, run_tool, to_hex, write_file, Args};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -41,6 +45,7 @@ fn real_main() -> Result<(), String> {
     let local = args.flag("-c");
     let blacklist = args.opt("--blacklist");
     let whitelist_path = args.opt("--whitelist");
+    let mrenclave_out = args.opt("--mrenclave-out");
     let inputs = args.finish()?;
     let [input] = inputs.as_slice() else {
         return Err("expected exactly one enclave image".into());
@@ -72,9 +77,15 @@ fn real_main() -> Result<(), String> {
     // Remote mode: the server needs the plaintext payload; local mode: the
     // enclave ships the ciphertext. Both are "enclave.secret.data" in the
     // paper — what differs is who holds it.
-    let data_contents =
-        if local { &result.local_data_file } else { &result.secret_data };
+    let data_contents = if local { &result.local_data_file } else { &result.secret_data };
     write_file(&data_path, data_contents)?;
+
+    if let Some(p) = &mrenclave_out {
+        let mrenclave = elide_enclave::loader::measure_enclave(&result.image)
+            .map_err(|e| format!("measure failed: {e}"))?;
+        write_file(p, format!("{}\n", to_hex(&mrenclave)).as_bytes())?;
+        println!("MRENCLAVE = {}", to_hex(&mrenclave));
+    }
 
     // The artifact measures this print ("will print the time it took to
     // sanitize the enclave", Appendix A.5).

@@ -3,21 +3,34 @@
 //! ```text
 //! elide-server --meta enclave.secret.meta --data enclave.secret.data \
 //!     --listen 127.0.0.1:7788 --platform platform.bin \
-//!     [--mrenclave HEX] [--connections N]
+//!     [--mrenclave HEX] [--connections N] [--workers N]
+//!
+//! elide-server --secrets-dir secrets/ --listen 127.0.0.1:7788 \
+//!     --platform platform.bin [--connections N] [--workers N]
 //! ```
 //!
 //! `--platform` names the simulated machine whose quoting enclave the
 //! server trusts (the attestation-service registration step). The paper's
 //! server must be started "before each SgxElide application" — run this,
 //! then `elide-run`.
+//!
+//! With `--secrets-dir`, one server provisions *many* sanitized enclaves:
+//! the directory is scanned for `NAME.secret.meta` / `NAME.secret.data`
+//! pairs (plus optional `NAME.mrenclave` hex sidecars pinning each entry
+//! to a measurement), and each attested client is served the secret whose
+//! identity its quote reports.
 
 use elide_core::meta::SecretMeta;
-use elide_core::server::{serve_tcp, AuthServer, ExpectedIdentity};
+use elide_core::server::{AuthServer, ExpectedIdentity};
+use elide_core::service::{serve, ServiceConfig};
+use elide_core::store::SecretStore;
+use elide_core::transport::tcp::TcpAcceptor;
 use elide_tools::{parse_hex, read_file, run_tool, Args, PlatformFile};
 use sgx_sim::quote::AttestationService;
 use std::net::TcpListener;
+use std::path::Path;
 use std::process::ExitCode;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     run_tool(real_main())
@@ -25,34 +38,54 @@ fn main() -> ExitCode {
 
 fn real_main() -> Result<(), String> {
     let mut args = Args::capture();
-    let meta_path = args.opt("--meta").ok_or("missing --meta")?;
-    let data_path = args.opt("--data").ok_or("missing --data")?;
+    let meta_path = args.opt("--meta");
+    let data_path = args.opt("--data");
+    let secrets_dir = args.opt("--secrets-dir");
     let listen = args.opt("--listen").unwrap_or_else(|| "127.0.0.1:7788".to_string());
     let platform_path = args.opt("--platform").unwrap_or_else(|| "platform.bin".to_string());
     let mrenclave = args.opt("--mrenclave");
     let connections = args.opt("--connections").map(|c| c.parse::<usize>());
+    let workers = args.opt("--workers").map(|w| w.parse::<usize>());
     args.finish()?;
-
-    let meta = SecretMeta::from_file_bytes(&read_file(&meta_path)?)
-        .ok_or_else(|| format!("{meta_path}: not a secret.meta file"))?;
-    let data = if meta.is_local() { Vec::new() } else { read_file(&data_path)? };
 
     let platform = PlatformFile::load_or_create(&platform_path)?;
     let mut ias = AttestationService::new();
     ias.register_device(platform.qe.device_public_key().clone());
 
-    let expected = ExpectedIdentity {
-        mrenclave: match mrenclave {
-            Some(hex) => {
-                let bytes = parse_hex(&hex)?;
-                Some(bytes.try_into().map_err(|_| "MRENCLAVE must be 32 bytes")?)
+    let server = match (&secrets_dir, &meta_path) {
+        (Some(dir), None) => {
+            let store = SecretStore::load_dir(Path::new(dir)).map_err(|e| e.to_string())?;
+            if store.is_empty() {
+                return Err(format!("{dir}: no *.secret.meta files found"));
             }
-            None => None,
-        },
-        mrsigner: None,
+            println!(
+                "elide-server serving {} secret(s): {}",
+                store.len(),
+                store.names().join(", ")
+            );
+            Arc::new(AuthServer::with_store(store, ias))
+        }
+        (None, Some(meta_path)) => {
+            let data_path = data_path.ok_or("missing --data")?;
+            let meta = SecretMeta::from_file_bytes(&read_file(meta_path)?)
+                .ok_or_else(|| format!("{meta_path}: not a secret.meta file"))?;
+            let data = if meta.is_local() { Vec::new() } else { read_file(&data_path)? };
+            let expected = ExpectedIdentity {
+                mrenclave: match mrenclave {
+                    Some(hex) => {
+                        let bytes = parse_hex(&hex)?;
+                        Some(bytes.try_into().map_err(|_| "MRENCLAVE must be 32 bytes")?)
+                    }
+                    None => None,
+                },
+                mrsigner: None,
+            };
+            Arc::new(AuthServer::new(meta, data, expected, ias))
+        }
+        (Some(_), Some(_)) => return Err("--secrets-dir and --meta are mutually exclusive".into()),
+        (None, None) => return Err("missing --meta (or --secrets-dir)".into()),
     };
 
-    let server = Arc::new(Mutex::new(AuthServer::new(meta, data, expected, ias)));
     let listener =
         TcpListener::bind(&listen).map_err(|e| format!("cannot listen on {listen}: {e}"))?;
     println!("elide-server listening on {listen}");
@@ -61,6 +94,12 @@ fn real_main() -> Result<(), String> {
         Some(Err(e)) => return Err(format!("bad --connections: {e}")),
         None => None,
     };
-    serve_tcp(listener, server, max).join().map_err(|_| "server thread panicked".to_string())?;
+    let mut config = ServiceConfig::default().with_max_connections(max);
+    match workers {
+        Some(Ok(n)) => config = config.with_workers(n),
+        Some(Err(e)) => return Err(format!("bad --workers: {e}")),
+        None => {}
+    }
+    serve(TcpAcceptor::new(listener), server, config).join();
     Ok(())
 }

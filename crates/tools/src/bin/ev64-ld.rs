@@ -16,7 +16,9 @@ fn main() -> ExitCode {
 
 fn real_main() -> Result<(), String> {
     let mut args = Args::capture();
-    let out = args.opt("--out").ok_or("usage: ev64-ld --out FILE [--elide] [--ecall NAME]... SRC.s...")?;
+    let out = args
+        .opt("--out")
+        .ok_or("usage: ev64-ld --out FILE [--elide] [--ecall NAME]... SRC.s...")?;
     let with_elide = args.flag("--elide");
     let no_trts = args.flag("--no-trts");
     let mut ecalls = Vec::new();

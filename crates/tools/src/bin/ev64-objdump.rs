@@ -27,20 +27,19 @@ fn real_main() -> Result<(), String> {
     if summary {
         let r = analyze_image(&image).map_err(|e| e.to_string())?;
         println!("{input}:");
-        println!("  functions:        {} total, {} readable", r.total_functions, r.readable_functions);
-        println!("  decodable text:   {:.1}%", r.decodable_fraction * 100.0);
         println!(
-            "  visible bytes:    {} of {}",
-            r.visible_text_bytes, r.total_text_bytes
+            "  functions:        {} total, {} readable",
+            r.total_functions, r.readable_functions
         );
+        println!("  decodable text:   {:.1}%", r.decodable_fraction * 100.0);
+        println!("  visible bytes:    {} of {}", r.visible_text_bytes, r.total_text_bytes);
         for name in &r.readable_names {
             println!("    readable: {name}");
         }
         return Ok(());
     }
 
-    let listing =
-        disassemble_function(&image, func.as_deref()).map_err(|e| e.to_string())?;
+    let listing = disassemble_function(&image, func.as_deref()).map_err(|e| e.to_string())?;
     println!("{listing}");
     Ok(())
 }

@@ -102,7 +102,7 @@ pub fn write_file(path: &str, data: &[u8]) -> Result<(), String> {
 ///
 /// Returns a printable message for odd length or bad digits.
 pub fn parse_hex(s: &str) -> Result<Vec<u8>, String> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err("hex string must have even length".into());
     }
     (0..s.len())

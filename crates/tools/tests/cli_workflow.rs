@@ -63,8 +63,15 @@ fn full_artifact_workflow() {
     let out = run(
         "elide-sanitize",
         &[
-            "enclave.so", "--out", "sanitized.so", "--meta", "enclave.secret.meta",
-            "--data", "enclave.secret.data", "--whitelist", "whitelist.txt",
+            "enclave.so",
+            "--out",
+            "sanitized.so",
+            "--meta",
+            "enclave.secret.meta",
+            "--data",
+            "enclave.secret.data",
+            "--whitelist",
+            "whitelist.txt",
         ],
         &dir,
     );
@@ -85,16 +92,26 @@ fn full_artifact_workflow() {
         .trim()
         .to_string();
 
-    // 5. Start the server pinned to the sanitized measurement. Three
-    //    connections: the readiness probe plus two `elide-run`s.
+    // 5. Start the server pinned to the sanitized measurement. Two
+    //    connections: the readiness probe plus the first `elide-run` (the
+    //    sealed re-run never connects).
     let port = free_port();
     let listen = format!("127.0.0.1:{port}");
     let server_bin = env!("CARGO_BIN_EXE_elide-server");
     let mut server = Command::new(server_bin)
         .args([
-            "--meta", "enclave.secret.meta", "--data", "enclave.secret.data",
-            "--listen", &listen, "--platform", "platform.bin",
-            "--mrenclave", &mrenclave, "--connections", "3",
+            "--meta",
+            "enclave.secret.meta",
+            "--data",
+            "enclave.secret.data",
+            "--listen",
+            &listen,
+            "--platform",
+            "platform.bin",
+            "--mrenclave",
+            &mrenclave,
+            "--connections",
+            "2",
         ])
         .current_dir(&dir)
         .spawn()
@@ -111,9 +128,21 @@ fn full_artifact_workflow() {
     let out = run(
         "elide-run",
         &[
-            "sanitized.so", "--sig", "enclave.sig", "--platform", "platform.bin",
-            "--server", &listen, "--restore-index", "1",
-            "--sealed", "sealed.bin", "--ecall", "0", "--out-cap", "0",
+            "sanitized.so",
+            "--sig",
+            "enclave.sig",
+            "--platform",
+            "platform.bin",
+            "--server",
+            &listen,
+            "--restore-index",
+            "1",
+            "--sealed",
+            "sealed.bin",
+            "--ecall",
+            "0",
+            "--out-cap",
+            "0",
         ],
         &dir,
     );
@@ -122,22 +151,33 @@ fn full_artifact_workflow() {
     assert!(stdout.contains(&format!("status = {}", 0x1234)), "{stdout}");
     assert!(dir.join("sealed.bin").exists(), "step 7 must write the sealed blob");
 
-    // 7. Second run restores from sealed data; it still connects the
-    //    transport but must not need a handshake. (The server allows one
-    //    more connection; the run closes it without requests.)
+    // 7. The server has served its two connections and exited — the
+    //    second run restores from sealed data with no server at all,
+    //    exactly the paper's "never needs the server again" claim.
+    server.wait().expect("server exits after max connections");
     let out = run(
         "elide-run",
         &[
-            "sanitized.so", "--sig", "enclave.sig", "--platform", "platform.bin",
-            "--server", &listen, "--restore-index", "1",
-            "--sealed", "sealed.bin", "--ecall", "0", "--out-cap", "0",
+            "sanitized.so",
+            "--sig",
+            "enclave.sig",
+            "--platform",
+            "platform.bin",
+            "--server",
+            &listen,
+            "--restore-index",
+            "1",
+            "--sealed",
+            "sealed.bin",
+            "--ecall",
+            "0",
+            "--out-cap",
+            "0",
         ],
         &dir,
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains(&format!("status = {}", 0x1234)), "{stdout}");
-
-    server.wait().expect("server exits after max connections");
     fs::remove_dir_all(&dir).ok();
 }
 
@@ -150,8 +190,14 @@ fn local_data_workflow() {
     run(
         "elide-sanitize",
         &[
-            "enclave.so", "--out", "sanitized.so", "--meta", "enclave.secret.meta",
-            "--data", "enclave.secret.data", "-c",
+            "enclave.so",
+            "--out",
+            "sanitized.so",
+            "--meta",
+            "enclave.secret.meta",
+            "--data",
+            "enclave.secret.data",
+            "-c",
         ],
         &dir,
     );
@@ -165,8 +211,16 @@ fn local_data_workflow() {
     let listen = format!("127.0.0.1:{port}");
     let mut server = Command::new(env!("CARGO_BIN_EXE_elide-server"))
         .args([
-            "--meta", "enclave.secret.meta", "--data", "enclave.secret.data",
-            "--listen", &listen, "--platform", "platform.bin", "--connections", "2",
+            "--meta",
+            "enclave.secret.meta",
+            "--data",
+            "enclave.secret.data",
+            "--listen",
+            &listen,
+            "--platform",
+            "platform.bin",
+            "--connections",
+            "2",
         ])
         .current_dir(&dir)
         .spawn()
@@ -181,9 +235,21 @@ fn local_data_workflow() {
     let out = run(
         "elide-run",
         &[
-            "sanitized.so", "--sig", "enclave.sig", "--platform", "platform.bin",
-            "--server", &listen, "--restore-index", "1",
-            "--data", "enclave.secret.data", "--ecall", "0", "--out-cap", "0",
+            "sanitized.so",
+            "--sig",
+            "enclave.sig",
+            "--platform",
+            "platform.bin",
+            "--server",
+            &listen,
+            "--restore-index",
+            "1",
+            "--data",
+            "enclave.secret.data",
+            "--ecall",
+            "0",
+            "--out-cap",
+            "0",
         ],
         &dir,
     );
@@ -200,9 +266,7 @@ fn sanitized_enclave_is_unreadable() {
     run("ev64-ld", &["--out", "enclave.so", "--elide", "--ecall", "get_magic", "guest.s"], &dir);
     run(
         "elide-sanitize",
-        &[
-            "enclave.so", "--out", "sanitized.so", "--meta", "m.bin", "--data", "d.bin",
-        ],
+        &["enclave.so", "--out", "sanitized.so", "--meta", "m.bin", "--data", "d.bin"],
         &dir,
     );
     // The magic constant is in the original but not the sanitized image.

@@ -348,7 +348,12 @@ impl Assembler {
         }
     }
 
-    fn reloc_here(&mut self, field_offset: u64, symbol: &str, kind: RelocKind) -> Result<(), AsmError> {
+    fn reloc_here(
+        &mut self,
+        field_offset: u64,
+        symbol: &str,
+        kind: RelocKind,
+    ) -> Result<(), AsmError> {
         let sym = self.mangle(symbol)?;
         self.cur().relocs.push(Reloc { offset: field_offset, symbol: sym, kind, addend: 0 });
         Ok(())
@@ -380,10 +385,22 @@ impl Assembler {
 
         // Three-register ALU ops.
         let alu3 = [
-            ("add", Add), ("sub", Sub), ("mul", Mul), ("divu", Divu), ("remu", Remu),
-            ("and", And), ("or", Or), ("xor", Xor), ("shl", Shl), ("shru", Shru),
-            ("shrs", Shrs), ("rotl32", Rotl32), ("rotr32", Rotr32), ("add32", Add32),
-            ("sub32", Sub32), ("mul32", Mul32),
+            ("add", Add),
+            ("sub", Sub),
+            ("mul", Mul),
+            ("divu", Divu),
+            ("remu", Remu),
+            ("and", And),
+            ("or", Or),
+            ("xor", Xor),
+            ("shl", Shl),
+            ("shru", Shru),
+            ("shrs", Shrs),
+            ("rotl32", Rotl32),
+            ("rotr32", Rotr32),
+            ("add32", Add32),
+            ("sub32", Sub32),
+            ("mul32", Mul32),
         ];
         if let Some((_, op)) = alu3.iter().find(|(m, _)| *m == mnemonic) {
             want(3)?;
@@ -393,8 +410,15 @@ impl Assembler {
 
         // Register-immediate ALU ops.
         let alu_imm = [
-            ("addi", Addi), ("andi", Andi), ("ori", Ori), ("xori", Xori), ("shli", Shli),
-            ("shrui", Shrui), ("shrsi", Shrsi), ("rotl32i", Rotl32i), ("rotr32i", Rotr32i),
+            ("addi", Addi),
+            ("andi", Andi),
+            ("ori", Ori),
+            ("xori", Xori),
+            ("shli", Shli),
+            ("shrui", Shrui),
+            ("shrsi", Shrsi),
+            ("rotl32i", Rotl32i),
+            ("rotr32i", Rotr32i),
             ("add32i", Add32i),
         ];
         if let Some((_, op)) = alu_imm.iter().find(|(m, _)| *m == mnemonic) {
@@ -405,8 +429,14 @@ impl Assembler {
 
         // Loads/stores.
         let mems = [
-            ("ld8u", Ld8u), ("ld16u", Ld16u), ("ld32u", Ld32u), ("ld64", Ld64),
-            ("st8", St8), ("st16", St16), ("st32", St32), ("st64", St64),
+            ("ld8u", Ld8u),
+            ("ld16u", Ld16u),
+            ("ld32u", Ld32u),
+            ("ld64", Ld64),
+            ("st8", St8),
+            ("st16", St16),
+            ("st32", St32),
+            ("st64", St64),
         ];
         if let Some((_, op)) = mems.iter().find(|(m, _)| *m == mnemonic) {
             want(2)?;
@@ -420,7 +450,11 @@ impl Assembler {
 
         // Branches.
         let branches = [
-            ("beq", Beq), ("bne", Bne), ("bltu", Bltu), ("bgeu", Bgeu), ("blts", Blts),
+            ("beq", Beq),
+            ("bne", Bne),
+            ("bltu", Bltu),
+            ("bgeu", Bgeu),
+            ("blts", Blts),
             ("bges", Bges),
         ];
         if let Some((_, op)) = branches.iter().find(|(m, _)| *m == mnemonic) {
@@ -615,10 +649,7 @@ fn parse_int(s: &str) -> Result<i64, String> {
 }
 
 fn parse_int_list(s: &str, line: usize) -> Result<Vec<i64>, AsmError> {
-    split_commas(s)
-        .iter()
-        .map(|p| parse_int(p).map_err(|msg| AsmError { line, msg }))
-        .collect()
+    split_commas(s).iter().map(|p| parse_int(p).map_err(|msg| AsmError { line, msg })).collect()
 }
 
 fn parse_string(s: &str, line: usize) -> Result<String, AsmError> {
@@ -827,8 +858,7 @@ mod tests {
     fn li_expands_by_magnitude() {
         let small = assemble(".section text\n.func f\nli r1, 5\nret\n.endfunc\n").unwrap();
         assert_eq!(small.section("text").unwrap().bytes.len(), 16);
-        let big =
-            assemble(".section text\n.func f\nli r1, 0x123456789a\nret\n.endfunc\n").unwrap();
+        let big = assemble(".section text\n.func f\nli r1, 0x123456789a\nret\n.endfunc\n").unwrap();
         assert_eq!(big.section("text").unwrap().bytes.len(), 24);
         // Negative i32 range still fits one instruction.
         let neg = assemble(".section text\n.func f\nli r1, -4\nret\n.endfunc\n").unwrap();
@@ -883,25 +913,55 @@ mod tests {
 
     #[test]
     fn comments_and_strings() {
-        let obj = assemble(
-            ".section rodata\nmsg: .ascii \"a;b#c\" ; trailing comment\n# full line\n",
-        )
-        .unwrap();
+        let obj =
+            assemble(".section rodata\nmsg: .ascii \"a;b#c\" ; trailing comment\n# full line\n")
+                .unwrap();
         assert_eq!(obj.section("rodata").unwrap().bytes, b"a;b#c");
     }
 
     #[test]
     fn assembler_never_panics_on_arbitrary_lines() {
-        use proptest::prelude::*;
-        use proptest::test_runner::TestRunner;
-        let mut runner = TestRunner::default();
-        runner
-            .run(&proptest::collection::vec(".{0,40}", 0..12), |lines| {
-                let src = lines.join("\n");
-                let _ = assemble(&src); // must never panic
-                Ok(())
-            })
-            .unwrap();
+        // Deterministic fuzz: random printable-ish lines, plus mutations of
+        // valid directive/mnemonic fragments to reach deeper parse paths.
+        let mut state = 0xA5E_0001u64;
+        let mut next = move |m: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % m
+        };
+        const FRAGMENTS: [&str; 10] = [
+            ".section text",
+            ".func f",
+            ".endfunc",
+            ".byte",
+            ".word",
+            ".ascii \"x\"",
+            "mov r1,",
+            "ldi r0, 5",
+            "label:",
+            "ret",
+        ];
+        for _ in 0..256 {
+            let n_lines = next(12);
+            let mut lines = Vec::new();
+            for _ in 0..n_lines {
+                if next(2) == 0 {
+                    // Arbitrary bytes in the printable range plus tabs/punct.
+                    let len = next(41) as usize;
+                    let line: String =
+                        (0..len).map(|_| (0x20 + next(0x5F) as u8) as char).collect();
+                    lines.push(line);
+                } else {
+                    // A valid-ish fragment with a random suffix chopped off.
+                    let frag = FRAGMENTS[next(FRAGMENTS.len() as u64) as usize];
+                    let cut = next(frag.len() as u64 + 1) as usize;
+                    lines.push(frag[..cut].to_string());
+                }
+            }
+            let src = lines.join("\n");
+            let _ = assemble(&src); // must never panic
+        }
     }
 
     #[test]

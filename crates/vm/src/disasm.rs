@@ -150,7 +150,9 @@ mod tests {
     #[test]
     fn decodable_fraction_mixed() {
         let mut code = vec![0u8; 8];
-        code.extend_from_slice(&crate::isa::Instr::new(crate::isa::Opcode::Halt, 0, 0, 0, 0).encode());
+        code.extend_from_slice(
+            &crate::isa::Instr::new(crate::isa::Opcode::Halt, 0, 0, 0, 0).encode(),
+        );
         assert!((decodable_fraction(&code) - 0.5).abs() < 1e-9);
     }
 }

@@ -116,13 +116,10 @@ fn lex(src: &str) -> Result<Vec<Lexed>, ElcError> {
                 i += 2;
             }
             let num_start = i;
-            while i < bytes.len()
-                && ((bytes[i] as char).is_ascii_hexdigit() || bytes[i] == b'_')
-            {
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_hexdigit() || bytes[i] == b'_') {
                 i += 1;
             }
-            let text: String =
-                src[num_start..i].chars().filter(|&ch| ch != '_').collect();
+            let text: String = src[num_start..i].chars().filter(|&ch| ch != '_').collect();
             let text = if radix == 10 { &src[start..i] } else { text.as_str() };
             let v = u64::from_str_radix(text.trim_start_matches("0x"), radix)
                 .map_err(|e| ElcError { line, msg: format!("bad number: {e}") })?;
@@ -131,9 +128,7 @@ fn lex(src: &str) -> Result<Vec<Lexed>, ElcError> {
         }
         if c.is_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len()
-                && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
-            {
+            while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_') {
                 i += 1;
             }
             out.push(Lexed { tok: Tok::Ident(src[start..i].to_string()), line });
@@ -552,7 +547,7 @@ impl Codegen {
                 let r = self.top_reg();
                 match *op {
                     "-" => {
-                        self.emit(&format!("movi r1, 0"));
+                        self.emit("movi r1, 0");
                         self.emit(&format!("sub {r}, r1, {r}"));
                     }
                     "~" => self.emit(&format!("xori {r}, {r}, -1")),
@@ -587,8 +582,8 @@ impl Codegen {
                 }
                 // Save value-stack registers below the arguments.
                 let arg_base = self.depth - args.len();
-                for i in 0..arg_base {
-                    self.emit(&format!("push {}", VALUE_REGS[i]));
+                for reg in &VALUE_REGS[..arg_base] {
+                    self.emit(&format!("push {reg}"));
                 }
                 // Move arguments into r2..r5 (they sit on top of the stack).
                 for (i, _) in args.iter().enumerate() {
@@ -852,7 +847,7 @@ mod tests {
     /// Compiles, links (entry = `main`), and runs with up to 4 args.
     fn run_elc(src: &str, args: &[u64]) -> u64 {
         let asm = compile(src).unwrap_or_else(|e| panic!("compile: {e}\n{src}"));
-        let full = format!("{asm}");
+        let full = asm.to_string();
         let obj = assemble(&full).unwrap_or_else(|e| panic!("assemble: {e}\n{full}"));
         let image = link(&[obj], &LinkOptions { base: 0, entry: "main".into() }).unwrap();
         let elf = elide_elf::ElfFile::parse(image).unwrap();

@@ -73,8 +73,7 @@ impl Vm {
 
             let addr = self.pc;
             let raw = bus.fetch(addr)?;
-            let instr =
-                Instr::decode(&raw).ok_or(VmFault::IllegalInstruction { addr })?;
+            let instr = Instr::decode(&raw).ok_or(VmFault::IllegalInstruction { addr })?;
             let mut next = addr.wrapping_add(INSTR_SIZE);
             self.retired += 1;
 
@@ -90,8 +89,8 @@ impl Vm {
                 Mov => r[instr.a as usize] = r[instr.b as usize],
                 Movi => r[instr.a as usize] = imm_s,
                 Movhi => {
-                    r[instr.a as usize] = (r[instr.a as usize] & 0xFFFF_FFFF)
-                        | ((instr.imm as u32 as u64) << 32)
+                    r[instr.a as usize] =
+                        (r[instr.a as usize] & 0xFFFF_FFFF) | ((instr.imm as u32 as u64) << 32)
                 }
                 Add => binop(r, instr, u64::wrapping_add),
                 Sub => binop(r, instr, u64::wrapping_sub),
@@ -289,9 +288,9 @@ mod tests {
             I::new(Movi, 0, 0, 0, 0),  // acc
             I::new(Movi, 2, 0, 0, 0),  // zero
             // loop:
-            I::new(Add, 0, 0, 1, 0),     // acc += i
-            I::new(Addi, 1, 1, 0, -1),   // i -= 1
-            I::new(Bne, 1, 2, 0, -24),   // if i != 0 goto loop (3 instrs back)
+            I::new(Add, 0, 0, 1, 0),   // acc += i
+            I::new(Addi, 1, 1, 0, -1), // i -= 1
+            I::new(Bne, 1, 2, 0, -24), // if i != 0 goto loop (3 instrs back)
             I::new(Halt, 0, 0, 0, 0),
         ]);
         assert_eq!(r.unwrap(), Exit::Halt(55));
@@ -301,9 +300,9 @@ mod tests {
     fn call_and_ret() {
         // call +16 (skip halt, land on function); function: movi r0, 7; ret
         let (_, r) = run_program(&[
-            I::new(Call, 0, 0, 0, 8),  // call the function at instr 2
-            I::new(Halt, 0, 0, 0, 0),  // returns here
-            I::new(Movi, 0, 0, 0, 7),  // function body
+            I::new(Call, 0, 0, 0, 8), // call the function at instr 2
+            I::new(Halt, 0, 0, 0, 0), // returns here
+            I::new(Movi, 0, 0, 0, 7), // function body
             I::new(Ret, 0, 0, 0, 0),
         ]);
         assert_eq!(r.unwrap(), Exit::Halt(7));

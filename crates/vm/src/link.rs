@@ -10,9 +10,7 @@
 use crate::obj::{Object, RelocKind, SymKind};
 use elide_elf::builder::{ElfBuilder, SectionSpec, SymbolSpec};
 use elide_elf::parse::ElfFile;
-use elide_elf::types::{
-    ElfError, SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE, STT_FUNC, STT_OBJECT,
-};
+use elide_elf::types::{ElfError, SHF_ALLOC, SHF_EXECINSTR, SHF_WRITE, STT_FUNC, STT_OBJECT};
 use std::collections::HashMap;
 
 /// Default link base for enclave images.
@@ -115,7 +113,7 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Vec<u8>, LinkError
                 let pad = (16 - size % 16) % 16;
                 size += pad;
                 if canon != "bss" {
-                    bytes.extend(std::iter::repeat(0u8).take(pad as usize));
+                    bytes.extend(std::iter::repeat_n(0u8, pad as usize));
                     chunk_base.insert((oi, canon.to_string()), size);
                     bytes.extend_from_slice(&data.bytes);
                     size += data.bytes.len() as u64;
@@ -237,13 +235,12 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Vec<u8>, LinkError
                         // The imm field sits at instr_offset + 4.
                         let instr_vaddr = sec_addr + base + reloc.offset - 4;
                         let delta = target_vaddr.wrapping_sub(instr_vaddr.wrapping_add(8)) as i64;
-                        let delta = i32::try_from(delta as i64)
+                        let delta = i32::try_from(delta)
                             .map_err(|_| LinkError::RelocOutOfRange(reloc.symbol.clone()))?;
                         out[field..field + 4].copy_from_slice(&delta.to_le_bytes());
                     }
                     RelocKind::AbsLo32 => {
-                        out[field..field + 4]
-                            .copy_from_slice(&(target_vaddr as u32).to_le_bytes());
+                        out[field..field + 4].copy_from_slice(&(target_vaddr as u32).to_le_bytes());
                     }
                     RelocKind::AbsHi32 => {
                         out[field..field + 4]
@@ -285,14 +282,11 @@ mod tests {
 
     #[test]
     fn cross_object_call_resolves() {
-        let a = assemble(
-            ".section text\n.global main\n.func main\ncall helper\nhalt\n.endfunc\n",
-        )
-        .unwrap();
-        let b = assemble(
-            ".section text\n.global helper\n.func helper\nmovi r0, 9\nret\n.endfunc\n",
-        )
-        .unwrap();
+        let a = assemble(".section text\n.global main\n.func main\ncall helper\nhalt\n.endfunc\n")
+            .unwrap();
+        let b =
+            assemble(".section text\n.global helper\n.func helper\nmovi r0, 9\nret\n.endfunc\n")
+                .unwrap();
         let image =
             link(&[a, b], &LinkOptions { entry: "main".into(), ..Default::default() }).unwrap();
         let elf = ElfFile::parse(image).unwrap();
@@ -301,29 +295,26 @@ mod tests {
 
     #[test]
     fn undefined_symbol_reported() {
-        let a = assemble(".section text\n.global main\n.func main\ncall ghost\n.endfunc\n")
-            .unwrap();
-        let e = link(&[a], &LinkOptions { entry: "main".into(), ..Default::default() })
-            .unwrap_err();
+        let a =
+            assemble(".section text\n.global main\n.func main\ncall ghost\n.endfunc\n").unwrap();
+        let e =
+            link(&[a], &LinkOptions { entry: "main".into(), ..Default::default() }).unwrap_err();
         assert_eq!(e, LinkError::UndefinedSymbol("ghost".into()));
     }
 
     #[test]
     fn duplicate_global_reported() {
         let a = assemble(".section text\n.global f\n.func f\nret\n.endfunc\n").unwrap();
-        let e = link(
-            &[a.clone(), a],
-            &LinkOptions { entry: "f".into(), ..Default::default() },
-        )
-        .unwrap_err();
+        let e = link(&[a.clone(), a], &LinkOptions { entry: "f".into(), ..Default::default() })
+            .unwrap_err();
         assert_eq!(e, LinkError::DuplicateSymbol("f".into()));
     }
 
     #[test]
     fn missing_entry_reported() {
         let a = assemble(".section text\n.func f\nret\n.endfunc\n").unwrap();
-        let e = link(&[a], &LinkOptions { entry: "main".into(), ..Default::default() })
-            .unwrap_err();
+        let e =
+            link(&[a], &LinkOptions { entry: "main".into(), ..Default::default() }).unwrap_err();
         assert_eq!(e, LinkError::MissingEntry("main".into()));
     }
 

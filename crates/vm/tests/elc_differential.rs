@@ -7,7 +7,6 @@ use elide_vm::elc::compile;
 use elide_vm::interp::{Exit, Vm};
 use elide_vm::link::{link, LinkOptions};
 use elide_vm::mem::FlatMemory;
-use proptest::prelude::*;
 
 /// Expression AST mirrored on both sides.
 #[derive(Debug, Clone)]
@@ -67,27 +66,39 @@ fn to_src(e: &E) -> String {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        Just(E::A),
-        Just(E::B),
-        (0u64..1_000_000).prop_map(E::Lit),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Add(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Sub(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Mul(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::And(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Or(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Xor(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Shl(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Shr(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Lt(Box::new(x), Box::new(y))),
-            (inner.clone(), inner.clone()).prop_map(|(x, y)| E::Eq(Box::new(x), Box::new(y))),
-            inner.prop_map(|x| E::Not(Box::new(x))),
-        ]
-    })
+/// Deterministic xorshift64 so the differential sweep needs no external deps.
+fn next(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// Random expression tree with bounded depth (mirrors the old proptest
+/// recursive strategy: leaves are `a`, `b`, or a small literal).
+fn arb_expr(state: &mut u64, depth: u32) -> E {
+    if depth == 0 || next(state).is_multiple_of(4) {
+        return match next(state) % 3 {
+            0 => E::A,
+            1 => E::B,
+            _ => E::Lit(next(state) % 1_000_000),
+        };
+    }
+    let x = Box::new(arb_expr(state, depth - 1));
+    let y = Box::new(arb_expr(state, depth - 1));
+    match next(state) % 11 {
+        0 => E::Add(x, y),
+        1 => E::Sub(x, y),
+        2 => E::Mul(x, y),
+        3 => E::And(x, y),
+        4 => E::Or(x, y),
+        5 => E::Xor(x, y),
+        6 => E::Shl(x, y),
+        7 => E::Shr(x, y),
+        8 => E::Lt(x, y),
+        9 => E::Eq(x, y),
+        _ => E::Not(x),
+    }
 }
 
 fn run_compiled(src: &str, a: u64, b: u64) -> u64 {
@@ -116,13 +127,16 @@ fn run_compiled(src: &str, a: u64, b: u64) -> u64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-    #[test]
-    fn compiled_expressions_match_interpreter(e in arb_expr(), a in any::<u64>(), b in any::<u64>()) {
+#[test]
+fn compiled_expressions_match_interpreter() {
+    let mut state = 0xE1C_D1FFu64;
+    for case in 0..48 {
+        let e = arb_expr(&mut state, 4);
+        let a = next(&mut state);
+        let b = next(&mut state);
         let src = format!("fn main(a, b) {{ return {}; }}", to_src(&e));
         let expect = eval(&e, a, b);
         let got = run_compiled(&src, a, b);
-        prop_assert_eq!(got, expect, "source: {}", src);
+        assert_eq!(got, expect, "case {case}, source: {src}");
     }
 }

@@ -14,7 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== 1. static analysis of the shipped enclave file ===");
     let original = app.build_elide_image()?;
-    for (label, image) in [("unprotected", &original)] {
+    {
+        let (label, image) = ("unprotected", &original);
         let r = analyze_image(image)?;
         println!(
             "{label}: {}/{} functions readable, {:.0}% of text decodable, {} of {} bytes visible",

@@ -7,16 +7,17 @@
 
 use sgxelide::apps::harness::App;
 use sgxelide::core::api::{protect, Mode, Platform};
-use sgxelide::core::protocol::TcpTransport;
-use sgxelide::core::restore::new_sealed_store;
-use sgxelide::core::sanitizer::DataPlacement;
-use sgxelide::core::server::serve_tcp;
 use sgxelide::core::elide_asm::ELIDE_ASM;
+use sgxelide::core::protocol::TcpTransport;
+use sgxelide::core::restore::{new_sealed_store, RetryPolicy};
+use sgxelide::core::sanitizer::DataPlacement;
+use sgxelide::core::service::{serve, ServiceConfig};
+use sgxelide::core::transport::tcp::TcpAcceptor;
+use sgxelide::core::transport::Limits;
 use sgxelide::crypto::rng::OsRandom;
 use sgxelide::crypto::rsa::RsaKeyPair;
 use sgxelide::enclave::image::EnclaveImageBuilder;
 use sgxelide::sgx::quote::AttestationService;
-use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -44,14 +45,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let package = protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng)?;
     let mut ias = AttestationService::new();
     let platform = Platform::provision(&mut rng, &mut ias);
-    let server = Arc::new(Mutex::new(package.make_server(ias)));
-    let listener = TcpListener::bind("127.0.0.1:0")?;
-    let addr = listener.local_addr()?;
+    let server = Arc::new(package.make_server(ias));
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0")?;
+    let addr = acceptor.local_addr()?;
     println!("[vendor] authentication server listening on {addr}");
-    let handle = serve_tcp(listener, Arc::clone(&server), Some(1));
+    let handle = serve(
+        acceptor,
+        Arc::clone(&server),
+        ServiceConfig::default().with_max_connections(Some(1)),
+    );
 
     println!("[cloud ] launching sanitized enclave; restoring over TCP");
-    let transport = Arc::new(Mutex::new(TcpTransport::connect(&addr.to_string())?));
+    let transport = Arc::new(Mutex::new(TcpTransport::connect_with_retry(
+        &addr.to_string(),
+        Limits::default(),
+        &RetryPolicy::default(),
+    )?));
     let sealed = new_sealed_store();
     let mut enclave = package.launch(&platform, transport, Arc::clone(&sealed), 1)?;
     enclave.restore(1)?;
@@ -59,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("[cloud ] risk_score(100) = {}", r.status);
     assert_eq!(r.status, 100 * 31 + 17);
     drop(enclave);
-    handle.join().expect("server thread");
+    handle.join();
 
     println!("[cloud ] relaunching OFFLINE from sealed data (step 7)");
     struct NoNetwork;
@@ -68,8 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Err(sgxelide::core::ElideError::Transport("network disabled".into()))
         }
     }
-    let mut enclave2 =
-        package.launch(&platform, Arc::new(Mutex::new(NoNetwork)), sealed, 2)?;
+    let mut enclave2 = package.launch(&platform, Arc::new(Mutex::new(NoNetwork)), sealed, 2)?;
     enclave2.restore(1)?;
     let r = enclave2.runtime.ecall(0, &7u64.to_le_bytes(), 0)?;
     println!("[cloud ] risk_score(7) = {} — restored without any server", r.status);

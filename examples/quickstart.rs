@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ".section text\n.global get_answer\n.func get_answer\n    movi r0, 42\n    ret\n.endfunc\n",
         )
         .ecall("get_answer")       // index 0
-        .ecall("elide_restore");   // index 1
+        .ecall("elide_restore"); // index 1
     let image = builder.build()?;
 
     // 2. Sanitize + sign (Figure 1's "Dummy Enclave Code Generation").
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("[3] provisioning SGX platform + authentication server");
     let mut ias = AttestationService::new();
     let platform = Platform::provision(&mut rng, &mut ias);
-    let server = Arc::new(Mutex::new(package.make_server(ias)));
+    let server = Arc::new(package.make_server(ias));
     let transport = Arc::new(Mutex::new(InProcessTransport::new(server)));
 
     // 4. Launch: EINIT succeeds (the *sanitized* measurement was signed),

@@ -1,66 +1,146 @@
 //! Concurrency: one authentication server provisioning several enclaves at
 //! once over TCP, each connection with its own attested session.
+//!
+//! The acceptance bar for the layered service: a single [`AuthServer`]
+//! backed by an MRENCLAVE-keyed [`SecretStore`] must concurrently serve
+//! two *different* sanitized enclaves to eight parallel clients each, and
+//! every client must end up with a byte-identical copy of its original
+//! `.text` section.
 
-use sgxelide::core::api::{protect, Mode, Platform};
+use sgxelide::core::api::{protect, Mode, Platform, ProtectedPackage};
 use sgxelide::core::elide_asm::ELIDE_ASM;
 use sgxelide::core::protocol::TcpTransport;
 use sgxelide::core::restore::new_sealed_store;
 use sgxelide::core::sanitizer::DataPlacement;
-use sgxelide::core::server::serve_tcp;
+use sgxelide::core::server::{AuthServer, ExpectedIdentity};
+use sgxelide::core::service::{serve, ServiceConfig};
+use sgxelide::core::store::{SecretEntry, SecretStore};
+use sgxelide::core::transport::tcp::TcpAcceptor;
 use sgxelide::crypto::rng::SeededRandom;
 use sgxelide::crypto::rsa::RsaKeyPair;
+use sgxelide::elf::parse::ElfFile;
 use sgxelide::enclave::image::EnclaveImageBuilder;
+use sgxelide::sgx::enclave::AccessKind;
 use sgxelide::sgx::quote::AttestationService;
-use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
 
-#[test]
-fn many_clients_restore_concurrently_from_one_server() {
-    const CLIENTS: usize = 4;
-
+/// Builds an enclave exposing one secret ecall per `(name, ret)` pair.
+/// Tenants with different numbers of functions have different image
+/// layouts, hence different sanitized measurements.
+fn build_image(fns: &[(&str, u64)]) -> Vec<u8> {
     let mut b = EnclaveImageBuilder::new();
-    b.source(ELIDE_ASM)
-        .source(".section text\n.global s\n.func s\n    movi r0, 77\n    ret\n.endfunc\n")
-        .ecall("s")
-        .ecall("elide_restore");
-    let image = b.build().unwrap();
-    let mut rng = SeededRandom::new(0xC0C0);
+    b.source(ELIDE_ASM);
+    for (fn_name, ret) in fns {
+        b.source(&format!(
+            ".section text\n.global {fn_name}\n.func {fn_name}\n    movi r0, {ret}\n    ret\n.endfunc\n"
+        ));
+        b.ecall(fn_name);
+    }
+    b.ecall("elide_restore");
+    b.build().unwrap()
+}
+
+struct Tenant {
+    package: Arc<ProtectedPackage>,
+    /// The pre-sanitization image (ground truth for `.text`).
+    original: Vec<u8>,
+    /// Ecall index of `elide_restore`.
+    restore_index: u64,
+    answer: u64,
+}
+
+fn protect_tenant(fns: &[(&str, u64)], seed: u64) -> Tenant {
+    let original = build_image(fns);
+    let mut rng = SeededRandom::new(seed);
     let vendor = RsaKeyPair::generate(512, &mut rng);
     let package = Arc::new(
-        protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng).unwrap(),
+        protect(&original, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng).unwrap(),
+    );
+    Tenant { package, original, restore_index: fns.len() as u64, answer: fns[0].1 }
+}
+
+#[test]
+fn one_server_provisions_two_enclaves_to_parallel_clients() {
+    const CLIENTS_PER_TENANT: usize = 8;
+
+    let tenants = [
+        Arc::new(protect_tenant(&[("alpha_secret", 77)], 0xC0C0)),
+        Arc::new(protect_tenant(&[("beta_secret", 99), ("beta_helper", 3)], 0xC0C1)),
+    ];
+    assert_ne!(
+        tenants[0].package.mrenclave, tenants[1].package.mrenclave,
+        "distinct enclaves must have distinct measurements"
     );
 
     // All clients run on the same (trusted) platform model; the server
     // trusts that platform's quoting enclave.
+    let mut rng = SeededRandom::new(0xC0C2);
     let mut ias = AttestationService::new();
     let platform = Arc::new(Platform::provision(&mut rng, &mut ias));
-    let server = Arc::new(Mutex::new(package.make_server(ias)));
-    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let addr = listener.local_addr().unwrap().to_string();
-    let server_thread = serve_tcp(listener, Arc::clone(&server), Some(CLIENTS));
+
+    // One store, one server: each tenant's entry is pinned to its
+    // sanitized measurement.
+    let mut store = SecretStore::new();
+    for t in &tenants {
+        store.insert(SecretEntry {
+            name: format!("tenant-{}", t.answer),
+            meta: t.package.meta.clone(),
+            data: t.package.server_data.clone(),
+            expected: ExpectedIdentity {
+                mrenclave: Some(t.package.mrenclave),
+                mrsigner: t.package.sigstruct.mrsigner().ok(),
+            },
+        });
+    }
+    let server = Arc::new(AuthServer::with_store(store, ias));
+
+    let total = CLIENTS_PER_TENANT * tenants.len();
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+    let addr = acceptor.local_addr().unwrap().to_string();
+    let handle = serve(
+        acceptor,
+        Arc::clone(&server),
+        ServiceConfig::default().with_workers(4).with_max_connections(Some(total)),
+    );
 
     let mut clients = Vec::new();
-    for i in 0..CLIENTS {
-        let package = Arc::clone(&package);
-        let platform = Arc::clone(&platform);
-        let addr = addr.clone();
-        clients.push(std::thread::spawn(move || {
-            let transport =
-                Arc::new(Mutex::new(TcpTransport::connect(&addr).expect("connect")));
-            let mut app = package
-                .launch(&platform, transport, new_sealed_store(), 0xC1 + i as u64)
-                .expect("launch");
-            app.restore(1).expect("restore");
-            app.runtime.ecall(0, &[], 0).expect("ecall").status
-        }));
+    for (t_idx, tenant) in tenants.iter().enumerate() {
+        for i in 0..CLIENTS_PER_TENANT {
+            let tenant = Arc::clone(tenant);
+            let platform = Arc::clone(&platform);
+            let addr = addr.clone();
+            clients.push(std::thread::spawn(move || {
+                let transport =
+                    Arc::new(Mutex::new(TcpTransport::connect(&addr).expect("connect")));
+                let seed = 0xC1 + (t_idx * CLIENTS_PER_TENANT + i) as u64;
+                let mut app = tenant
+                    .package
+                    .launch(&platform, transport, new_sealed_store(), seed)
+                    .expect("launch");
+                app.restore(tenant.restore_index).expect("restore");
+                assert_eq!(app.runtime.ecall(0, &[], 0).expect("ecall").status, tenant.answer);
+
+                // Byte-identical `.text`: the restored enclave memory must
+                // equal the original (pre-sanitization) image's section.
+                let elf = ElfFile::parse(tenant.original.clone()).expect("parse original");
+                let text = elf.section_by_name(".text").expect(".text section");
+                let original_text = elf.section_data(text).expect("section data").to_vec();
+                let restored = app
+                    .runtime
+                    .enclave()
+                    .read(text.sh_addr, original_text.len(), AccessKind::Read)
+                    .expect("read restored text");
+                assert_eq!(restored, original_text, "restored .text must be byte-identical");
+            }));
+        }
     }
     for c in clients {
-        assert_eq!(c.join().expect("client thread"), 77);
+        c.join().expect("client thread");
     }
-    server_thread.join().expect("server thread");
+    handle.join();
     assert_eq!(
-        server.lock().unwrap().handshakes,
-        CLIENTS as u64,
+        server.handshakes(),
+        total as u64,
         "every client performed its own attested handshake"
     );
 }

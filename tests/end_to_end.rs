@@ -7,13 +7,13 @@ use sgxelide::core::elide_asm::{restore_status, ELIDE_ASM};
 use sgxelide::core::protocol::{InProcessTransport, TcpTransport};
 use sgxelide::core::restore::new_sealed_store;
 use sgxelide::core::sanitizer::DataPlacement;
-use sgxelide::core::server::serve_tcp;
+use sgxelide::core::service::{serve, ServiceConfig};
+use sgxelide::core::transport::tcp::TcpAcceptor;
 use sgxelide::core::{ElideError, ServerError};
 use sgxelide::crypto::rng::SeededRandom;
 use sgxelide::crypto::rsa::RsaKeyPair;
 use sgxelide::enclave::image::EnclaveImageBuilder;
 use sgxelide::sgx::quote::AttestationService;
-use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
 
 /// A small enclave with two user functions; `get_answer` is the secret.
@@ -38,15 +38,14 @@ const ELIDE_RESTORE: u64 = 2;
 fn setup(
     placement: DataPlacement,
     mode: Mode,
-) -> (sgxelide::core::api::ProtectedPackage, Platform, Arc<Mutex<sgxelide::core::server::AuthServer>>)
-{
+) -> (sgxelide::core::api::ProtectedPackage, Platform, Arc<sgxelide::core::server::AuthServer>) {
     let image = build_test_image();
     let mut rng = SeededRandom::new(0xE2E);
     let vendor = RsaKeyPair::generate(512, &mut rng);
     let package = protect(&image, &vendor, &mode, placement, &mut rng).unwrap();
     let mut ias = AttestationService::new();
     let platform = Platform::provision(&mut rng, &mut ias);
-    let server = Arc::new(Mutex::new(package.make_server(ias)));
+    let server = Arc::new(package.make_server(ias));
     (package, platform, server)
 }
 
@@ -62,11 +61,8 @@ fn whitelist_remote_full_flow() {
 
     app.restore(ELIDE_RESTORE).unwrap();
     assert_eq!(app.runtime.ecall(GET_ANSWER, &[], 0).unwrap().status, 42);
-    assert_eq!(
-        app.runtime.ecall(DOUBLE_INPUT, &21u64.to_le_bytes(), 0).unwrap().status,
-        42
-    );
-    assert!(server.lock().unwrap().handshakes >= 1);
+    assert_eq!(app.runtime.ecall(DOUBLE_INPUT, &21u64.to_le_bytes(), 0).unwrap().status, 42);
+    assert!(server.handshakes() >= 1);
 }
 
 #[test]
@@ -111,17 +107,20 @@ fn blacklist_local_mode_full_flow() {
 #[test]
 fn restore_over_real_tcp() {
     let (package, platform, server) = setup(DataPlacement::Remote, Mode::Whitelist);
-    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let addr = listener.local_addr().unwrap();
-    let handle = serve_tcp(listener, Arc::clone(&server), Some(1));
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+    let addr = acceptor.local_addr().unwrap();
+    let handle = serve(
+        acceptor,
+        Arc::clone(&server),
+        ServiceConfig::default().with_max_connections(Some(1)),
+    );
 
-    let transport =
-        Arc::new(Mutex::new(TcpTransport::connect(&addr.to_string()).unwrap()));
+    let transport = Arc::new(Mutex::new(TcpTransport::connect(&addr.to_string()).unwrap()));
     let mut app = package.launch(&platform, transport, new_sealed_store(), 5).unwrap();
     app.restore(ELIDE_RESTORE).unwrap();
     assert_eq!(app.runtime.ecall(GET_ANSWER, &[], 0).unwrap().status, 42);
     drop(app);
-    handle.join().unwrap();
+    handle.join();
 }
 
 #[test]
@@ -147,7 +146,7 @@ fn unreachable_server_is_denial_of_service_only() {
 fn server_rejects_wrong_enclave() {
     // A *different* (attacker) enclave attests fine as itself but must not
     // receive this package's secrets.
-    let (package, platform, _server) = setup(DataPlacement::Remote, Mode::Whitelist);
+    let (package, _platform, _server) = setup(DataPlacement::Remote, Mode::Whitelist);
 
     // Build an attacker package and point its client at the victim server.
     let mut rng = SeededRandom::new(0xBAD);
@@ -164,18 +163,17 @@ fn server_rejects_wrong_enclave() {
     // The victim's server (fresh IAS trusting the same platform).
     let mut ias = AttestationService::new();
     let platform2 = Platform::provision(&mut rng, &mut ias);
-    let victim_server = Arc::new(Mutex::new(package.make_server(ias)));
+    let victim_server = Arc::new(package.make_server(ias));
     let transport = Arc::new(Mutex::new(InProcessTransport::new(Arc::clone(&victim_server))));
 
-    let mut evil_app =
-        evil_package.launch(&platform2, transport, new_sealed_store(), 7).unwrap();
+    let mut evil_app = evil_package.launch(&platform2, transport, new_sealed_store(), 7).unwrap();
     let err = evil_app.restore(1).unwrap_err();
     assert_eq!(
         err,
         ElideError::RestoreFailed { status: restore_status::HANDSHAKE_FAILED },
         "server must reject the wrong MRENCLAVE during the handshake"
     );
-    assert!(!victim_server.lock().unwrap().has_session());
+    assert_eq!(victim_server.handshakes(), 0, "no session may have been established");
 }
 
 #[test]
@@ -187,12 +185,9 @@ fn tampered_local_data_rejected() {
     if let Some(data) = &mut tampered.data_file {
         data[0] ^= 0xFF;
     }
-    let loaded = sgxelide::enclave::loader::load_enclave(
-        &platform.cpu,
-        &package.image,
-        &package.sigstruct,
-    )
-    .unwrap();
+    let loaded =
+        sgxelide::enclave::loader::load_enclave(&platform.cpu, &package.image, &package.sigstruct)
+            .unwrap();
     let mut rt = sgxelide::enclave::runtime::EnclaveRuntime::with_rng(
         loaded,
         Box::new(SeededRandom::new(8)),
@@ -216,14 +211,14 @@ fn sealed_data_survives_relaunch_but_not_rebuild() {
     let mut app =
         package.launch(&platform, Arc::clone(&transport) as _, Arc::clone(&sealed), 9).unwrap();
     app.restore(ELIDE_RESTORE).unwrap();
-    let handshakes = server.lock().unwrap().handshakes;
+    let handshakes = server.handshakes();
     assert!(sealed.lock().unwrap().is_some());
 
     // Relaunch with the sealed blob: no server contact.
     let mut app2 = package.launch(&platform, transport, Arc::clone(&sealed), 10).unwrap();
     app2.restore(ELIDE_RESTORE).unwrap();
     assert_eq!(app2.runtime.ecall(GET_ANSWER, &[], 0).unwrap().status, 42);
-    assert_eq!(server.lock().unwrap().handshakes, handshakes);
+    assert_eq!(server.handshakes(), handshakes);
 }
 
 #[test]
@@ -234,13 +229,12 @@ fn sanitized_image_fails_einit_under_original_signature() {
     let image = build_test_image();
     let mut rng = SeededRandom::new(11);
     let vendor = RsaKeyPair::generate(512, &mut rng);
-    let original_sig =
-        sgxelide::enclave::loader::sign_enclave(&image, &vendor, 1, 1).unwrap();
+    let original_sig = sgxelide::enclave::loader::sign_enclave(&image, &vendor, 1, 1).unwrap();
     let package =
         protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng).unwrap();
     let cpu = sgxelide::sgx::SgxCpu::new(&mut rng);
-    let err = sgxelide::enclave::loader::load_enclave(&cpu, &package.image, &original_sig)
-        .unwrap_err();
+    let err =
+        sgxelide::enclave::loader::load_enclave(&cpu, &package.image, &original_sig).unwrap_err();
     assert!(matches!(
         err,
         sgxelide::enclave::EnclaveError::Sgx(sgxelide::sgx::SgxError::MeasurementMismatch { .. })
@@ -250,9 +244,9 @@ fn sanitized_image_fails_einit_under_original_signature() {
 #[test]
 fn meta_and_data_require_attested_session() {
     let (_package, _platform, server) = setup(DataPlacement::Remote, Mode::Whitelist);
-    let mut s = server.lock().unwrap();
-    assert_eq!(s.handle(1, &[]), Err(ServerError::NoSession));
-    assert_eq!(s.handle(2, &[]), Err(ServerError::NoSession));
+    let mut session = server.new_session();
+    assert_eq!(session.handle(&server, 1, &[]), Err(ServerError::NoSession));
+    assert_eq!(session.handle(&server, 2, &[]), Err(ServerError::NoSession));
 }
 
 #[test]

@@ -131,7 +131,7 @@ fn sealed_blob_bound_to_enclave_identity() {
     // B restored *its own* code via the server (seal decrypt failed and
     // fell through), so its workload still passes.
     sgxelide::apps::game2048::workload(&mut b.app.runtime, &b.indices);
-    assert!(b.server.lock().unwrap().handshakes >= 1, "server fallback must have happened");
+    assert!(b.server.handshakes() >= 1, "server fallback must have happened");
 }
 
 /// Restored enclaves survive an `EWB`/`ELDU` cycle *of the text pages

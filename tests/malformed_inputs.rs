@@ -1,7 +1,9 @@
-//! Robustness against malformed untrusted inputs: oversized, truncated and
-//! garbage server responses must produce clean failure statuses (never
-//! faults or partial restores), since the untrusted host fully controls
-//! the ocall results.
+//! Robustness against malformed untrusted inputs, in both directions:
+//! oversized, truncated and garbage *server responses* must produce clean
+//! failure statuses inside the enclave (never faults or partial restores),
+//! and abusive *client bytes* on the wire — truncated frames, oversized
+//! length prefixes, pre-handshake garbage, mid-frame stalls — must make
+//! the service drop the connection without harming other clients.
 
 use sgxelide::core::api::{protect, Mode, Platform};
 use sgxelide::core::elide_asm::{request, restore_status, ELIDE_ASM};
@@ -43,11 +45,9 @@ where
         protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng).unwrap();
     let mut ias = AttestationService::new();
     let platform = Platform::provision(&mut rng, &mut ias);
-    let server = Arc::new(Mutex::new(package.make_server(ias)));
-    let transport = Arc::new(Mutex::new(Rewriter {
-        inner: InProcessTransport::new(server),
-        rewrite,
-    }));
+    let server = Arc::new(package.make_server(ias));
+    let transport =
+        Arc::new(Mutex::new(Rewriter { inner: InProcessTransport::new(server), rewrite }));
     let mut app = package.launch(&platform, transport, new_sealed_store(), seed ^ 3).unwrap();
     app.restore(1).map(|_| ())
 }
@@ -69,11 +69,9 @@ fn truncated_meta_response_fails_cleanly() {
 
 #[test]
 fn empty_meta_response_fails_cleanly() {
-    let err = restore_with(
-        |req, resp| if req as u64 == request::META { Vec::new() } else { resp },
-        0xA2,
-    )
-    .unwrap_err();
+    let err =
+        restore_with(|req, resp| if req as u64 == request::META { Vec::new() } else { resp }, 0xA2)
+            .unwrap_err();
     // An empty response fits no message; the enclave reports META failure
     // (the host-side ocall also maps zero-capacity overflows to -1).
     assert_eq!(err, ElideError::RestoreFailed { status: restore_status::META_FAILED });
@@ -138,5 +136,138 @@ fn wrong_sized_handshake_response_fails_cleanly() {
             ),
             "len {len}: got {err:?}"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire-level abuse against the TCP service. Every scenario ends with a
+// well-formed probe request proving the service survived the abuse.
+// ---------------------------------------------------------------------------
+
+mod wire_abuse {
+    use sgxelide::core::meta::SecretMeta;
+    use sgxelide::core::server::{AuthServer, ExpectedIdentity};
+    use sgxelide::core::service::{serve, ServiceConfig, ServiceHandle};
+    use sgxelide::core::transport::tcp::TcpAcceptor;
+    use sgxelide::core::transport::Limits;
+    use sgxelide::crypto::rng::SeededRandom;
+    use sgxelide::sgx::quote::AttestationService;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn start_service(limits: Limits, connections: usize) -> (String, ServiceHandle) {
+        let meta = SecretMeta {
+            flags: 0,
+            data_len: 4,
+            text_len: 4,
+            restore_offset: 0,
+            key: [1; 16],
+            iv: [2; 12],
+            tag: [3; 16],
+        };
+        let server = Arc::new(
+            AuthServer::new(
+                meta,
+                b"data".to_vec(),
+                ExpectedIdentity::default(),
+                AttestationService::new(),
+            )
+            .with_rng(Box::new(SeededRandom::new(0xAB))),
+        );
+        let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+        let addr = acceptor.local_addr().unwrap().to_string();
+        let handle = serve(
+            acceptor,
+            server,
+            ServiceConfig::default()
+                .with_workers(2)
+                .with_limits(limits)
+                .with_max_connections(Some(connections)),
+        );
+        (addr, handle)
+    }
+
+    /// Reads until EOF (bounded by a client-side timeout) and returns the
+    /// bytes received.
+    fn drain(stream: &mut TcpStream) -> Vec<u8> {
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut buf = Vec::new();
+        let _ = stream.read_to_end(&mut buf);
+        buf
+    }
+
+    /// A well-formed pre-handshake META request: the server must answer
+    /// with a NoSession status frame, proving it is still healthy.
+    fn probe_ok(addr: &str) {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&[1u8]).unwrap();
+        s.write_all(&0u32.to_le_bytes()).unwrap();
+        let mut head = [0u8; 5];
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.read_exact(&mut head).unwrap();
+        assert_eq!(head[0], 4, "NoSession status expected from healthy server");
+        assert_eq!(u32::from_le_bytes(head[1..5].try_into().unwrap()), 0);
+    }
+
+    #[test]
+    fn truncated_frame_drops_connection() {
+        let (addr, handle) = start_service(Limits::default(), 2);
+        let mut s = TcpStream::connect(&addr).unwrap();
+        // Declare 100 payload bytes, deliver 10, then half-close.
+        s.write_all(&[3u8]).unwrap();
+        s.write_all(&100u32.to_le_bytes()).unwrap();
+        s.write_all(&[0u8; 10]).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        assert!(drain(&mut s).is_empty(), "no response for a truncated frame");
+        probe_ok(&addr);
+        handle.join();
+    }
+
+    #[test]
+    fn oversized_length_prefix_drops_connection() {
+        let limits = Limits::default().with_max_frame(1024);
+        let (addr, handle) = start_service(limits, 2);
+        let mut s = TcpStream::connect(&addr).unwrap();
+        // The declared length exceeds the service's frame limit: the
+        // connection must drop before any payload is even read.
+        s.write_all(&[3u8]).unwrap();
+        s.write_all(&(1024u32 + 1).to_le_bytes()).unwrap();
+        assert!(drain(&mut s).is_empty(), "no response for an oversized frame");
+        probe_ok(&addr);
+        handle.join();
+    }
+
+    #[test]
+    fn garbage_before_handshake_drops_connection() {
+        let (addr, handle) = start_service(Limits::default(), 2);
+        let mut s = TcpStream::connect(&addr).unwrap();
+        // Not a frame at all: byte 2..6 decode as a huge length prefix.
+        s.write_all(&[0xFFu8; 64]).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        assert!(drain(&mut s).is_empty(), "no response for garbage bytes");
+        probe_ok(&addr);
+        handle.join();
+    }
+
+    #[test]
+    fn stalled_client_mid_frame_hits_read_timeout() {
+        let limits = Limits::default().with_read_timeout(Duration::from_millis(200));
+        let (addr, handle) = start_service(limits, 2);
+        let mut s = TcpStream::connect(&addr).unwrap();
+        // Start a frame and then stall with the socket held open: the
+        // worker's read timeout must free it for the next client.
+        s.write_all(&[3u8]).unwrap();
+        s.write_all(&100u32.to_le_bytes()).unwrap();
+        s.write_all(&[0u8; 10]).unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(drain(&mut s).is_empty(), "stalled connection must be dropped");
+        assert!(
+            t0.elapsed() < Duration::from_secs(8),
+            "drop must come from the server's read timeout, not the client's"
+        );
+        probe_ok(&addr);
+        handle.join();
     }
 }

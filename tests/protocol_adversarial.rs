@@ -1,14 +1,20 @@
 //! Adversarial protocol tests: an active attacker on the untrusted host or
 //! network. The paper's claim (§3.1) is that such an attacker achieves at
 //! most denial of service — these tests pin that down.
+//!
+//! Every tamper scenario runs against *both* transports (in-process and
+//! loopback TCP): the layered service serves them through the same
+//! framing/session code, so the security argument must hold identically.
 
 use sgxelide::apps::crackme;
-use sgxelide::apps::harness::launch_protected;
 use sgxelide::core::api::{protect, Mode, Platform};
 use sgxelide::core::elide_asm::{request, restore_status, ELIDE_ASM};
-use sgxelide::core::protocol::{InProcessTransport, Transport};
+use sgxelide::core::protocol::{InProcessTransport, TcpTransport, Transport};
 use sgxelide::core::restore::{elide_restore, install_elide_ocalls, new_sealed_store, ElideFiles};
 use sgxelide::core::sanitizer::DataPlacement;
+use sgxelide::core::server::AuthServer;
+use sgxelide::core::service::{serve, ServiceConfig};
+use sgxelide::core::transport::tcp::TcpAcceptor;
 use sgxelide::core::{ElideError, ServerError};
 use sgxelide::crypto::rng::SeededRandom;
 use sgxelide::crypto::rsa::RsaKeyPair;
@@ -25,23 +31,53 @@ fn build_simple() -> Vec<u8> {
     b.build().unwrap()
 }
 
-/// A transport wrapper that lets the attacker tamper with responses.
-struct Mitm<F: FnMut(u8, Vec<u8>) -> Vec<u8>> {
-    inner: InProcessTransport,
+/// A transport wrapper that lets the attacker tamper with responses,
+/// generic over the underlying transport.
+struct Mitm<T: Transport, F: FnMut(u8, Vec<u8>) -> Vec<u8>> {
+    inner: T,
     tamper: F,
 }
 
-impl<F: FnMut(u8, Vec<u8>) -> Vec<u8>> Transport for Mitm<F> {
+impl<T: Transport, F: FnMut(u8, Vec<u8>) -> Vec<u8>> Transport for Mitm<T, F> {
     fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError> {
         let resp = self.inner.request(req, payload)?;
         Ok((self.tamper)(req, resp))
     }
 }
 
+/// Which wire the attacker sits on.
+#[derive(Clone, Copy, Debug)]
+enum Wire {
+    InProcess,
+    Tcp,
+}
+
+const BOTH_WIRES: [Wire; 2] = [Wire::InProcess, Wire::Tcp];
+
+/// Connects a client transport to `server` over the chosen wire. For TCP
+/// a real service (acceptor + worker pool) is stood up; its threads exit
+/// when the connection drops.
+fn connect(server: &Arc<AuthServer>, wire: Wire) -> Box<dyn Transport + Send> {
+    match wire {
+        Wire::InProcess => Box::new(InProcessTransport::new(Arc::clone(server))),
+        Wire::Tcp => {
+            let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+            let addr = acceptor.local_addr().unwrap().to_string();
+            let _handle = serve(
+                acceptor,
+                Arc::clone(server),
+                ServiceConfig::default().with_workers(1).with_max_connections(Some(1)),
+            );
+            Box::new(TcpTransport::connect(&addr).expect("connect"))
+        }
+    }
+}
+
 fn setup_mitm<F>(
     tamper: F,
+    wire: Wire,
     seed: u64,
-) -> (sgxelide::core::api::LaunchedApp, Arc<Mutex<sgxelide::core::server::AuthServer>>)
+) -> (sgxelide::core::api::LaunchedApp, Arc<AuthServer>)
 where
     F: FnMut(u8, Vec<u8>) -> Vec<u8> + Send + 'static,
 {
@@ -52,11 +88,8 @@ where
         protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng).unwrap();
     let mut ias = AttestationService::new();
     let platform = Platform::provision(&mut rng, &mut ias);
-    let server = Arc::new(Mutex::new(package.make_server(ias)));
-    let transport = Arc::new(Mutex::new(Mitm {
-        inner: InProcessTransport::new(Arc::clone(&server)),
-        tamper,
-    }));
+    let server = Arc::new(package.make_server(ias));
+    let transport = Arc::new(Mutex::new(Mitm { inner: connect(&server, wire), tamper }));
     let app = package.launch(&platform, transport, new_sealed_store(), seed ^ 5).unwrap();
     (app, server)
 }
@@ -66,67 +99,84 @@ where
 /// authenticate — denial of service, no secrets, no wrong code executed.
 #[test]
 fn mitm_key_substitution_is_dos_only() {
-    let (mut app, _server) = setup_mitm(
-        |req, mut resp| {
-            if req as u64 == request::HANDSHAKE {
-                // Replace the server public value with garbage of the same
-                // length (a full MITM would use its own keypair; either
-                // way the enclave's channel key differs from the server's).
-                for b in resp.iter_mut() {
-                    *b ^= 0xA5;
+    for wire in BOTH_WIRES {
+        let (mut app, _server) = setup_mitm(
+            |req, mut resp| {
+                if req as u64 == request::HANDSHAKE {
+                    // Replace the server public value with garbage of the same
+                    // length (a full MITM would use its own keypair; either
+                    // way the enclave's channel key differs from the server's).
+                    for b in resp.iter_mut() {
+                        *b ^= 0xA5;
+                    }
                 }
-            }
-            resp
-        },
-        0x111,
-    );
-    let err = app.restore(1).unwrap_err();
-    assert!(
-        matches!(
-            err,
-            ElideError::RestoreFailed {
-                status: restore_status::META_FAILED | restore_status::BAD_SERVER_KEY
-            }
-        ),
-        "got {err:?}"
-    );
-    assert!(app.runtime.ecall(0, &[], 0).is_err(), "secret must stay dead");
+                resp
+            },
+            wire,
+            0x111,
+        );
+        let err = app.restore(1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ElideError::RestoreFailed {
+                    status: restore_status::META_FAILED | restore_status::BAD_SERVER_KEY
+                }
+            ),
+            "{wire:?}: got {err:?}"
+        );
+        assert!(app.runtime.ecall(0, &[], 0).is_err(), "{wire:?}: secret must stay dead");
+    }
 }
 
 /// Tampering with the encrypted META message on the wire is detected by
 /// the channel's GCM tag.
 #[test]
 fn tampered_meta_message_rejected() {
-    let (mut app, _server) = setup_mitm(
-        |req, mut resp| {
-            if req as u64 == request::META && !resp.is_empty() {
-                let mid = resp.len() / 2;
-                resp[mid] ^= 1;
-            }
-            resp
-        },
-        0x222,
-    );
-    let err = app.restore(1).unwrap_err();
-    assert_eq!(err, ElideError::RestoreFailed { status: restore_status::META_FAILED });
+    for wire in BOTH_WIRES {
+        let (mut app, _server) = setup_mitm(
+            |req, mut resp| {
+                if req as u64 == request::META && !resp.is_empty() {
+                    let mid = resp.len() / 2;
+                    resp[mid] ^= 1;
+                }
+                resp
+            },
+            wire,
+            0x222,
+        );
+        let err = app.restore(1).unwrap_err();
+        assert_eq!(
+            err,
+            ElideError::RestoreFailed { status: restore_status::META_FAILED },
+            "{wire:?}"
+        );
+    }
 }
 
 /// Tampering with the encrypted DATA message is likewise caught; no
 /// partially-attacker-controlled code is ever written over the text.
 #[test]
 fn tampered_data_message_rejected() {
-    let (mut app, _server) = setup_mitm(
-        |req, mut resp| {
-            if req as u64 == request::DATA && resp.len() > 40 {
-                resp[40] ^= 0xFF;
-            }
-            resp
-        },
-        0x333,
-    );
-    let err = app.restore(1).unwrap_err();
-    assert_eq!(err, ElideError::RestoreFailed { status: restore_status::DATA_AUTH_FAILED });
-    assert!(app.runtime.ecall(0, &[], 0).is_err());
+    for wire in BOTH_WIRES {
+        let (mut app, _server) = setup_mitm(
+            |req, mut resp| {
+                if req as u64 == request::DATA && resp.len() > 40 {
+                    resp[40] ^= 0xFF;
+                }
+                resp
+            },
+            wire,
+            0x333,
+        );
+        let err = app.restore(1).unwrap_err();
+        assert_eq!(
+            err,
+            ElideError::RestoreFailed { status: restore_status::DATA_AUTH_FAILED },
+            "{wire:?}"
+        );
+        assert!(app.runtime.ecall(0, &[], 0).is_err(), "{wire:?}");
+    }
 }
 
 /// Replaying a response captured from a previous session fails: each
@@ -134,61 +184,70 @@ fn tampered_data_message_rejected() {
 /// authenticate under the new key.
 #[test]
 fn replayed_previous_session_response_rejected() {
-    // Capture the META response of a successful first restore.
-    let captured: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
-    let cap = Arc::clone(&captured);
-    let first_session = Arc::new(Mutex::new(true));
-    let gate = Arc::clone(&first_session);
-    let (mut app, server) = setup_mitm(
-        move |req, resp| {
-            if req as u64 == request::META {
-                let mut first = gate.lock().unwrap();
-                if *first {
+    for wire in BOTH_WIRES {
+        // Capture the META response of a successful first restore.
+        let captured: Arc<Mutex<Option<Vec<u8>>>> = Arc::new(Mutex::new(None));
+        let cap = Arc::clone(&captured);
+        let (mut app, _server) = setup_mitm(
+            move |req, resp| {
+                if req as u64 == request::META && cap.lock().unwrap().is_none() {
                     *cap.lock().unwrap() = Some(resp.clone());
-                    *first = false;
-                    return resp;
                 }
-                // Later sessions: replay the stale blob.
-                return cap.lock().unwrap().clone().expect("captured");
-            }
-            resp
-        },
-        0x444,
-    );
-    app.restore(1).unwrap();
-    assert!(captured.lock().unwrap().is_some());
+                resp
+            },
+            wire,
+            0x444,
+        );
+        app.restore(1).unwrap();
+        let stale = captured.lock().unwrap().clone().expect("captured META response");
 
-    // Re-handshake on the same server (new session key), replay stale META.
-    {
-        // Clear the victim's sealed blob so the full path runs again.
-        // (The attacker controls storage, so this is within the model.)
+        // Any later session derives a different channel key, under which
+        // the stale ciphertext must not authenticate.
+        let fresh_key = [0x5Au8; 16];
+        assert!(
+            sgxelide::core::protocol::decrypt_msg(&fresh_key, &stale).is_err(),
+            "{wire:?}: stale blob must not decrypt under another session key"
+        );
     }
-    // Fresh launch against the same server: the MITM now replays.
-    // We need the same package/platform; setup_mitm built them internally,
-    // so drive the protocol directly instead: a fresh handshake gives a new
-    // session key, under which the stale blob must not decrypt.
-    let stale = captured.lock().unwrap().clone().unwrap();
-    let mut s = server.lock().unwrap();
-    // Simulate "new session established" by checking the crypto directly:
-    // the stale message only authenticates under the original session key.
-    assert!(s.has_session());
-    let fresh_key = [0x5Au8; 16]; // any other key
-    assert!(sgxelide::core::protocol::decrypt_msg(&fresh_key, &stale).is_err());
 }
 
 /// In local mode the server refuses to stream the data (it only releases
 /// the key via META), so a compromised host cannot use REQUEST_DATA to
-/// exfiltrate plaintext.
+/// exfiltrate plaintext — even on a connection whose session *is*
+/// legitimately established.
 #[test]
 fn local_mode_server_refuses_data_requests() {
-    let app = crackme::app();
-    let p = launch_protected(&app, DataPlacement::LocalEncrypted, 0x777).unwrap();
-    // Complete a handshake legitimately first.
-    let mut runner = p;
-    runner.restore().unwrap();
-    let mut server = runner.server.lock().unwrap();
-    assert!(server.has_session());
-    assert_eq!(server.handle(request::DATA as u8, &[]), Err(ServerError::BadRequest));
+    for wire in BOTH_WIRES {
+        let app = crackme::app();
+        let image = app.build_elide_image().unwrap();
+        let mut rng = SeededRandom::new(0x777);
+        let vendor = RsaKeyPair::generate(512, &mut rng);
+        let package =
+            protect(&image, &vendor, &Mode::Whitelist, DataPlacement::LocalEncrypted, &mut rng)
+                .unwrap();
+        let mut ias = AttestationService::new();
+        let platform = Platform::provision(&mut rng, &mut ias);
+        let server = Arc::new(package.make_server(ias));
+        // Keep a handle on the connection so the attacker can reuse the
+        // enclave's *own* established session after the restore.
+        let transport = Arc::new(Mutex::new(connect(&server, wire)));
+        let mut launched = package
+            .launch(
+                &platform,
+                Arc::clone(&transport) as Arc<Mutex<dyn Transport + Send>>,
+                new_sealed_store(),
+                0x778,
+            )
+            .unwrap();
+        let restore_index = app.protected_indices()["elide_restore"];
+        launched
+            .restore(restore_index)
+            .unwrap_or_else(|e| panic!("{wire:?}: local-mode restore failed: {e}"));
+        assert!(server.handshakes() >= 1, "{wire:?}: handshake must have happened");
+        // The attacker pivots on the live session: DATA must be refused.
+        let err = transport.lock().unwrap().request(request::DATA as u8, &[]).unwrap_err();
+        assert_eq!(err, ElideError::Server(ServerError::BadRequest), "{wire:?}");
+    }
 }
 
 /// A malicious host swapping the sealed blob for garbage forces the full
@@ -202,14 +261,16 @@ fn garbage_sealed_blob_falls_back_to_server() {
         protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng).unwrap();
     let mut ias = AttestationService::new();
     let platform = Platform::provision(&mut rng, &mut ias);
-    let server = Arc::new(Mutex::new(package.make_server(ias)));
+    let server = Arc::new(package.make_server(ias));
     let transport = Arc::new(Mutex::new(InProcessTransport::new(Arc::clone(&server))));
 
     let loaded =
         sgxelide::enclave::loader::load_enclave(&platform.cpu, &package.image, &package.sigstruct)
             .unwrap();
-    let mut rt =
-        sgxelide::enclave::runtime::EnclaveRuntime::with_rng(loaded, Box::new(SeededRandom::new(1)));
+    let mut rt = sgxelide::enclave::runtime::EnclaveRuntime::with_rng(
+        loaded,
+        Box::new(SeededRandom::new(1)),
+    );
     let sealed = Arc::new(Mutex::new(Some(vec![0xABu8; 333])));
     install_elide_ocalls(
         &mut rt,
@@ -219,5 +280,5 @@ fn garbage_sealed_blob_falls_back_to_server() {
     );
     elide_restore(&mut rt, 1).unwrap();
     assert_eq!(rt.ecall(0, &[], 0).unwrap().status, 9);
-    assert!(server.lock().unwrap().handshakes >= 1, "server path must have been used");
+    assert!(server.handshakes() >= 1, "server path must have been used");
 }

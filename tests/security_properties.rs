@@ -1,12 +1,12 @@
 //! Security-property tests: what each class of attacker can and cannot
 //! learn, following the protection model of §2.2 and the discussion of §7.
 
+use sgxelide::apps::harness::{launch_plain, launch_protected};
 use sgxelide::core::attack::{
     analyze_image, attribute_page_trace, disassemble_function, find_signature,
 };
 use sgxelide::core::sanitizer::DataPlacement;
 use sgxelide::core::whitelist::Whitelist;
-use sgxelide::apps::harness::{launch_plain, launch_protected};
 use sgxelide::sgx::enclave::AccessKind;
 
 /// Static attacker with the enclave *file*: before SgxElide they recover
@@ -177,11 +177,7 @@ fn restored_text_is_byte_identical_to_original() {
 
     let mut p = launch_protected(&app, DataPlacement::Remote, 0x1D).unwrap();
     p.restore().unwrap();
-    let restored = p
-        .app
-        .runtime
-        .enclave()
-        .read(text.sh_addr, original_text.len(), AccessKind::Read)
-        .unwrap();
+    let restored =
+        p.app.runtime.enclave().read(text.sh_addr, original_text.len(), AccessKind::Read).unwrap();
     assert_eq!(restored, original_text);
 }

@@ -1,10 +1,9 @@
 //! Property tests over the EV64 toolchain and the ELF/sanitizer layers —
 //! the invariants the SgxElide pipeline silently relies on.
 
-use proptest::prelude::*;
 use sgxelide::core::sanitizer::{sanitize, DataPlacement};
 use sgxelide::core::whitelist::Whitelist;
-use sgxelide::crypto::rng::SeededRandom;
+use sgxelide::crypto::rng::{RandomSource, SeededRandom};
 use sgxelide::elf::ElfFile;
 use sgxelide::vm::asm::assemble;
 use sgxelide::vm::disasm::disassemble;
@@ -45,37 +44,68 @@ fn assembled_code_is_fully_decodable() {
     assert!(lines.iter().all(|l| l.valid), "{lines:#?}");
 }
 
-proptest! {
-    /// Encode → decode → encode is the identity for every valid instruction.
-    #[test]
-    fn prop_instruction_roundtrip(op in prop::sample::select(vec![
-            Opcode::Halt, Opcode::Mov, Opcode::Movi, Opcode::Movhi, Opcode::Add,
-            Opcode::Divu, Opcode::Shrs, Opcode::Rotl32, Opcode::Add32i, Opcode::Ld8u,
-            Opcode::St64, Opcode::Jmp, Opcode::Beq, Opcode::Call, Opcode::Callr,
-            Opcode::Ret, Opcode::Ldpc, Opcode::Ocall, Opcode::Intrin,
-        ]), a in 0u8..16, b in 0u8..16, c in 0u8..16, imm in any::<i32>()) {
-        let i = Instr::new(op, a, b, c, imm);
-        let decoded = Instr::decode(&i.encode()).unwrap();
-        prop_assert_eq!(decoded.encode(), i.encode());
+/// Encode → decode → encode is the identity for every valid instruction.
+#[test]
+fn prop_instruction_roundtrip() {
+    const OPS: [Opcode; 19] = [
+        Opcode::Halt,
+        Opcode::Mov,
+        Opcode::Movi,
+        Opcode::Movhi,
+        Opcode::Add,
+        Opcode::Divu,
+        Opcode::Shrs,
+        Opcode::Rotl32,
+        Opcode::Add32i,
+        Opcode::Ld8u,
+        Opcode::St64,
+        Opcode::Jmp,
+        Opcode::Beq,
+        Opcode::Call,
+        Opcode::Callr,
+        Opcode::Ret,
+        Opcode::Ldpc,
+        Opcode::Ocall,
+        Opcode::Intrin,
+    ];
+    let mut rng = SeededRandom::new(0x700101);
+    for &op in &OPS {
+        for _ in 0..16 {
+            let a = (rng.next_u64() % 16) as u8;
+            let b = (rng.next_u64() % 16) as u8;
+            let c = (rng.next_u64() % 16) as u8;
+            let imm = rng.next_u64() as u32 as i32;
+            let i = Instr::new(op, a, b, c, imm);
+            let decoded = Instr::decode(&i.encode()).unwrap();
+            assert_eq!(decoded.encode(), i.encode());
+        }
     }
+}
 
-    /// The ELF parser never panics on arbitrary byte soup (robustness of
-    /// the attacker-facing and loader-facing surface).
-    #[test]
-    fn prop_elf_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// The ELF parser never panics on arbitrary byte soup (robustness of
+/// the attacker-facing and loader-facing surface).
+#[test]
+fn prop_elf_parser_never_panics() {
+    let mut rng = SeededRandom::new(0x700102);
+    for _ in 0..256 {
+        let mut bytes = vec![0u8; (rng.next_u64() % 512) as usize];
+        rng.fill(&mut bytes);
         let _ = ElfFile::parse(bytes);
     }
+}
 
-    /// The parser also never panics on a *mutated valid image* — the shape
-    /// a malicious host would feed the loader.
-    #[test]
-    fn prop_elf_parser_survives_mutations(pos in 0usize..2048, val in any::<u8>()) {
-        let obj = assemble(".section text\n.global m\n.func m\n    halt\n.endfunc\n").unwrap();
-        let mut image = link(&[obj], &LinkOptions { entry: "m".into(), ..Default::default() })
-            .unwrap();
-        let idx = pos % image.len();
-        image[idx] = val;
-        let _ = ElfFile::parse(image);
+/// The parser also never panics on a *mutated valid image* — the shape
+/// a malicious host would feed the loader.
+#[test]
+fn prop_elf_parser_survives_mutations() {
+    let obj = assemble(".section text\n.global m\n.func m\n    halt\n.endfunc\n").unwrap();
+    let image = link(&[obj], &LinkOptions { entry: "m".into(), ..Default::default() }).unwrap();
+    let mut rng = SeededRandom::new(0x700103);
+    for _ in 0..256 {
+        let mut mutated = image.clone();
+        let idx = (rng.next_u64() as usize) % mutated.len();
+        mutated[idx] = rng.next_u64() as u8;
+        let _ = ElfFile::parse(mutated);
     }
 }
 
