@@ -42,10 +42,17 @@ impl std::fmt::Debug for Session {
 
 impl Session {
     /// Creates a pre-handshake session. `seed` feeds the session's private
-    /// RNG (DH ephemeral key, IV salt); [`AuthServer::new_session`] draws
-    /// it from the server's master RNG.
-    pub fn new(seed: u64) -> Self {
-        Session { key: None, entry: None, iv_salt: [0u8; 4], seq: 0, rng: SeededRandom::new(seed) }
+    /// RNG (DH ephemeral key, IV salt); [`AuthServer::new_session`] fills
+    /// it from the server's master RNG. The seed is full-width so the DH
+    /// ephemeral key retains all 256 bits of the master's entropy.
+    pub fn new(seed: [u8; 32]) -> Self {
+        Session {
+            key: None,
+            entry: None,
+            iv_salt: [0u8; 4],
+            seq: 0,
+            rng: SeededRandom::from_seed_bytes(seed),
+        }
     }
 
     /// True once a handshake succeeded on this session.

@@ -151,7 +151,10 @@ impl SecretStore {
             let data_path = dir.join(format!("{name}.secret.data"));
             let data = match std::fs::read(&data_path) {
                 Ok(bytes) => bytes,
-                Err(_) if meta.is_local() => Vec::new(),
+                // Only a genuinely absent data file is acceptable (and only
+                // in local mode); permission or I/O errors must not be
+                // mistaken for "no payload".
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound && meta.is_local() => Vec::new(),
                 Err(e) => return Err(err(format!("read {}: {e}", data_path.display()))),
             };
 
@@ -160,7 +163,13 @@ impl SecretStore {
                 Ok(hex) => Some(parse_mrenclave(hex.trim()).ok_or_else(|| {
                     err(format!("bad mrenclave hex in {}", mrenclave_path.display()))
                 })?),
-                Err(_) => None,
+                // An unreadable sidecar must fail loudly: treating it as "no
+                // sidecar" would silently demote a pinned secret to an
+                // unpinned fallback served to any attested enclave.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+                Err(e) => {
+                    return Err(err(format!("read {}: {e}", mrenclave_path.display())));
+                }
             };
 
             store.insert(SecretEntry {
@@ -266,6 +275,19 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("elide-store-missing-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("orphan.secret.meta"), meta(false).to_file_bytes()).unwrap();
+        assert!(SecretStore::load_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_dir_propagates_unreadable_sidecar() {
+        // A sidecar that exists but cannot be read (here: it is a
+        // directory) must be a hard error, not a silent unpin.
+        let dir = std::env::temp_dir().join(format!("elide-store-sidecar-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("one.secret.meta"), meta(false).to_file_bytes()).unwrap();
+        std::fs::write(dir.join("one.secret.data"), b"payload").unwrap();
+        std::fs::create_dir_all(dir.join("one.mrenclave")).unwrap();
         assert!(SecretStore::load_dir(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -56,18 +56,43 @@ impl TcpAcceptor {
 
 impl Listener for TcpAcceptor {
     fn accept(&mut self) -> Option<BoxedWire> {
-        if self.closed.load(Ordering::SeqCst) {
-            return None;
-        }
-        match self.listener.accept() {
-            Ok((stream, _)) => {
-                // The closer's wake-up connection is not a real client.
-                if self.closed.load(Ordering::SeqCst) {
-                    return None;
-                }
-                Some(Box::new(stream))
+        // Errors from accept() must not kill the service: a client that
+        // resets mid-handshake (ECONNABORTED) or a transient fd shortage
+        // (EMFILE) during a flood would otherwise terminate the accept
+        // loop and shut the whole server down.
+        let mut persistent_errors = 0u32;
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return None;
             }
-            Err(_) => None,
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // The closer's wake-up connection is not a real client.
+                    if self.closed.load(Ordering::SeqCst) {
+                        return None;
+                    }
+                    return Some(Box::new(stream));
+                }
+                Err(e) => match e.kind() {
+                    // Per-connection failures: the next accept is expected
+                    // to work, retry immediately and indefinitely.
+                    io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::Interrupted
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::TimedOut => {}
+                    // Anything else (resource exhaustion, listener gone):
+                    // back off briefly — the shortage may pass — and give
+                    // up only after it proves persistent.
+                    _ => {
+                        persistent_errors += 1;
+                        if persistent_errors > 250 {
+                            return None;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                },
+            }
         }
     }
 

@@ -5,7 +5,9 @@
 //! Both generators are implemented from scratch — the crate builds with no
 //! network access and no external dependencies.
 
+#[cfg(unix)]
 use std::cell::RefCell;
+#[cfg(unix)]
 use std::io::Read;
 
 /// A source of random bytes.
@@ -66,13 +68,16 @@ impl Xoshiro256 {
     }
 }
 
+#[cfg(unix)]
 thread_local! {
     static OS_ENTROPY: RefCell<Option<std::fs::File>> = const { RefCell::new(None) };
 }
 
-/// Entropy of last resort when `/dev/urandom` is unavailable: clock nanos,
-/// a process-wide counter, and ASLR-influenced addresses, whitened through
-/// SplitMix64. Only used on platforms without an OS entropy device.
+/// Entropy of last resort on platforms with no OS entropy device: clock
+/// nanos, a process-wide counter, and ASLR-influenced addresses, whitened
+/// through SplitMix64. Never used where `/dev/urandom` is expected to
+/// exist — a failure to read it there is a hard error, not a downgrade.
+#[cfg_attr(unix, allow(dead_code))]
 fn fallback_entropy(dest: &mut [u8]) {
     use std::sync::atomic::{AtomicU64, Ordering};
     static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -88,25 +93,32 @@ fn fallback_entropy(dest: &mut [u8]) {
 }
 
 /// OS-backed RNG, for production paths. Reads `/dev/urandom` (cached per
-/// thread); falls back to clock/address entropy where no device exists.
+/// thread). On unix a failure to open or read the device panics rather
+/// than silently degrading key material to clock/address entropy; the
+/// weak fallback only exists for platforms without an entropy device.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct OsRandom;
 
 impl RandomSource for OsRandom {
+    #[cfg(unix)]
     fn fill(&mut self, dest: &mut [u8]) {
-        let ok = OS_ENTROPY.with(|slot| {
+        OS_ENTROPY.with(|slot| {
             let mut slot = slot.borrow_mut();
             if slot.is_none() {
-                *slot = std::fs::File::open("/dev/urandom").ok();
+                let f = std::fs::File::open("/dev/urandom")
+                    .expect("open /dev/urandom: refusing to fall back to weak entropy");
+                *slot = Some(f);
             }
-            match slot.as_mut() {
-                Some(f) => f.read_exact(dest).is_ok(),
-                None => false,
-            }
+            slot.as_mut()
+                .expect("urandom handle")
+                .read_exact(dest)
+                .expect("read /dev/urandom: refusing to fall back to weak entropy");
         });
-        if !ok {
-            fallback_entropy(dest);
-        }
+    }
+
+    #[cfg(not(unix))]
+    fn fill(&mut self, dest: &mut [u8]) {
+        fallback_entropy(dest);
     }
 }
 
@@ -118,6 +130,30 @@ impl SeededRandom {
     /// Creates a RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         SeededRandom(Xoshiro256::from_seed(seed))
+    }
+
+    /// Creates a RNG from a full-width 256-bit seed, preserving all of the
+    /// seed's entropy in the generator state. Use this (never [`new`])
+    /// whenever the seed carries cryptographic entropy — a 64-bit seed
+    /// caps the state space at 2^64 regardless of what is drawn from it.
+    ///
+    /// [`new`]: SeededRandom::new
+    pub fn from_seed_bytes(seed: [u8; 32]) -> Self {
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        }
+        if s == [0u64; 4] {
+            // xoshiro must not start from the all-zero state.
+            let mut sm = 0u64;
+            s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+        }
+        SeededRandom(Xoshiro256 { s })
     }
 }
 
@@ -165,6 +201,32 @@ mod tests {
         let mut block = [0u8; 64];
         r.fill(&mut block);
         assert!(block.iter().any(|&b| b != block[0]), "degenerate stream");
+    }
+
+    #[test]
+    fn seed_bytes_preserve_distinctness_beyond_64_bits() {
+        // Two seeds identical in their first 8 bytes must still produce
+        // different streams: the full 256 bits reach the state.
+        let mut lo = [0u8; 32];
+        let mut hi = [0u8; 32];
+        lo[0] = 1;
+        hi[0] = 1;
+        hi[31] = 1;
+        let mut a = SeededRandom::from_seed_bytes(lo);
+        let mut b = SeededRandom::from_seed_bytes(hi);
+        assert_ne!(a.next_u64(), b.next_u64());
+        // Same seed bytes → same stream.
+        let mut c = SeededRandom::from_seed_bytes(lo);
+        let mut d = SeededRandom::from_seed_bytes(lo);
+        assert_eq!(c.next_u64(), d.next_u64());
+    }
+
+    #[test]
+    fn all_zero_seed_bytes_are_not_degenerate() {
+        let mut r = SeededRandom::from_seed_bytes([0u8; 32]);
+        let mut block = [0u8; 64];
+        r.fill(&mut block);
+        assert!(block.iter().any(|&b| b != 0), "all-zero state must be avoided");
     }
 
     #[test]

@@ -219,7 +219,8 @@ mod wire_abuse {
         s.write_all(&[3u8]).unwrap();
         s.write_all(&100u32.to_le_bytes()).unwrap();
         s.write_all(&[0u8; 10]).unwrap();
-        s.shutdown(std::net::Shutdown::Write).unwrap();
+        // Tolerate the server racing us to the drop (see the garbage test).
+        let _ = s.shutdown(std::net::Shutdown::Write);
         assert!(drain(&mut s).is_empty(), "no response for a truncated frame");
         probe_ok(&addr);
         handle.join();
@@ -245,7 +246,9 @@ mod wire_abuse {
         let mut s = TcpStream::connect(&addr).unwrap();
         // Not a frame at all: byte 2..6 decode as a huge length prefix.
         s.write_all(&[0xFFu8; 64]).unwrap();
-        s.shutdown(std::net::Shutdown::Write).unwrap();
+        // The server may have already dropped the connection on the bad
+        // frame; a NotConnected error here is the behavior under test.
+        let _ = s.shutdown(std::net::Shutdown::Write);
         assert!(drain(&mut s).is_empty(), "no response for garbage bytes");
         probe_ok(&addr);
         handle.join();
