@@ -1,0 +1,84 @@
+//! Raw interpreter throughput (instructions per second) on the
+//! instruction-bound paper workloads, plain build versus restored SgxElide
+//! build. Unlike `overhead`, launch and restore are *excluded* from the
+//! timed region: this isolates the execution engine itself, and is the
+//! number the page-granular decode cache is meant to move.
+//!
+//! Emits `BENCH_exec_throughput.json` next to the working directory for CI
+//! artifact upload. `ELIDE_BENCH_REPS` overrides the per-app repetition
+//! count (CI smoke runs use a tiny value).
+//!
+//! Plain-main harness (`cargo bench --bench exec_throughput`).
+
+use elide_apps::harness::{launch_plain, launch_protected};
+use elide_apps::run_workload;
+use elide_bench::{write_bench_json, BenchRecord};
+use elide_core::sanitizer::DataPlacement;
+use std::time::Instant;
+
+fn main() {
+    let reps: usize = std::env::var("ELIDE_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(30);
+
+    // The three crypto kernels: tight arithmetic loops over enclave data,
+    // where fetch/decode dominates an interpreter's runtime.
+    let apps = {
+        use elide_apps::*;
+        vec![aes_app::app(), des_app::app(), sha1_app::app()]
+    };
+
+    let mut records = Vec::new();
+    println!("exec_throughput (reps={reps})");
+    println!("{:<14} {:>8} {:>14} {:>10} {:>10}", "app", "build", "instructions", "ms", "mips");
+
+    for app in &apps {
+        // Plain build: launch once (untimed), then time the workload loop.
+        let mut p = launch_plain(app, 42).expect("launch");
+        run_workload(app.name, &mut p.runtime, &p.indices); // warmup
+        let base = p.runtime.retired_total();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            run_workload(app.name, &mut p.runtime, &p.indices);
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+        let instructions = p.runtime.retired_total() - base;
+        let rec = BenchRecord { name: app.name.to_string(), build: "plain", instructions, seconds };
+        println!(
+            "{:<14} {:>8} {:>14} {:>10.2} {:>10.2}",
+            rec.name,
+            rec.build,
+            rec.instructions,
+            rec.seconds * 1e3,
+            rec.mips()
+        );
+        records.push(rec);
+
+        // SgxElide build: launch + restore untimed, same timed region.
+        let mut p = launch_protected(app, DataPlacement::Remote, 42).expect("launch");
+        p.restore().expect("restore");
+        run_workload(app.name, &mut p.app.runtime, &p.indices); // warmup
+        let base = p.app.runtime.retired_total();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            run_workload(app.name, &mut p.app.runtime, &p.indices);
+        }
+        let seconds = t0.elapsed().as_secs_f64();
+        let instructions = p.app.runtime.retired_total() - base;
+        let rec = BenchRecord { name: app.name.to_string(), build: "elide", instructions, seconds };
+        println!(
+            "{:<14} {:>8} {:>14} {:>10.2} {:>10.2}",
+            rec.name,
+            rec.build,
+            rec.instructions,
+            rec.seconds * 1e3,
+            rec.mips()
+        );
+        records.push(rec);
+    }
+
+    let path = write_bench_json("exec_throughput", &records).expect("write json");
+    println!("\nwrote {}", path.display());
+}

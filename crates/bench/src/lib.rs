@@ -225,6 +225,76 @@ pub fn figure_apps() -> Vec<App> {
     vec![aes_app::app(), des_app::app(), sha1_app::app(), shas_app::app(), crackme::app()]
 }
 
+/// One measured configuration of a throughput bench: how many guest
+/// instructions retired in how many seconds.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark app name.
+    pub name: String,
+    /// Build configuration (`"plain"` / `"elide"`).
+    pub build: &'static str,
+    /// Guest instructions retired over the timed region.
+    pub instructions: u64,
+    /// Wall-clock seconds of the timed region.
+    pub seconds: f64,
+}
+
+impl BenchRecord {
+    /// Millions of guest instructions per second.
+    pub fn mips(&self) -> f64 {
+        self.instructions as f64 / self.seconds / 1e6
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders bench records as a machine-readable JSON document (hand-rolled:
+/// the workspace deliberately has no third-party dependencies).
+pub fn bench_records_json(bench: &str, records: &[BenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
+    out.push_str("  \"unit\": \"instructions_per_second\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"build\": \"{}\", \"instructions\": {}, \"seconds\": {:.6}, \"mips\": {:.3}}}{}\n",
+            json_escape(&r.name),
+            json_escape(r.build),
+            r.instructions,
+            r.seconds,
+            r.mips(),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_<bench>.json` in the current directory and returns its
+/// path, for CI artifact upload.
+///
+/// # Errors
+///
+/// Propagates the underlying file-write error.
+pub fn write_bench_json(
+    bench: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::PathBuf::from(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, bench_records_json(bench, records))?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +304,19 @@ mod tests {
         let s = stats(&[0.002, 0.002, 0.002]);
         assert!((s.mean_ms - 2.0).abs() < 1e-9);
         assert!(s.std_ms.abs() < 1e-9);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let records = vec![
+            BenchRecord { name: "aes".into(), build: "plain", instructions: 1000, seconds: 0.5 },
+            BenchRecord { name: "a\"b".into(), build: "elide", instructions: 2000, seconds: 1.0 },
+        ];
+        let json = bench_records_json("exec_throughput", &records);
+        assert!(json.contains("\"bench\": \"exec_throughput\""));
+        assert!(json.contains("\"mips\": 0.002"));
+        assert!(json.contains("a\\\"b"), "quotes must be escaped: {json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use elide_crypto::rng::{OsRandom, RandomSource};
 use elide_crypto::sha2::Sha256;
 use elide_vm::interp::{Exit, Vm};
 use elide_vm::isa::{intrinsics, NUM_REGS};
-use elide_vm::mem::{Access, Bus, VmFault};
+use elide_vm::mem::{Access, Bus, VmFault, CODE_PAGE_SIZE};
 use sgx_sim::enclave::AccessKind;
 use sgx_sim::epc::PagePerms;
 use sgx_sim::keys::SealPolicy;
@@ -66,10 +66,30 @@ impl UntrustedMemory {
     ///
     /// Returns [`EnclaveError::MarshalOverflow`] if out of range.
     pub fn read(&self, addr: u64, len: usize) -> Result<Vec<u8>, EnclaveError> {
+        Ok(self.slice(addr, len)?.to_vec())
+    }
+
+    /// Borrowed view of `len` bytes at untrusted address `addr` — the
+    /// allocation-free accessor behind guest loads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::MarshalOverflow`] if out of range.
+    pub fn slice(&self, addr: u64, len: usize) -> Result<&[u8], EnclaveError> {
         let off = self
             .offset(addr, len)
             .ok_or(EnclaveError::MarshalOverflow { requested: len, available: self.data.len() })?;
-        Ok(self.data[off..off + len].to_vec())
+        Ok(&self.data[off..off + len])
+    }
+
+    /// Allocation-free read into `buf` at untrusted address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::MarshalOverflow`] if out of range.
+    pub fn read_into(&self, addr: u64, buf: &mut [u8]) -> Result<(), EnclaveError> {
+        buf.copy_from_slice(self.slice(addr, buf.len())?);
+        Ok(())
     }
 
     /// Writes bytes at untrusted address `addr`.
@@ -148,12 +168,29 @@ impl EnclaveWorld {
         }
     }
 
+    /// Allocation-free variant of [`Self::read_guest`] backing the VM's
+    /// load path: the destination is a caller-owned stack buffer.
+    fn read_guest_into(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), VmFault> {
+        if self.in_enclave(addr) {
+            self.enclave
+                .read_into(addr, buf, AccessKind::Read)
+                .map_err(|e| map_sgx_fault(e, addr, Access::Read))
+        } else {
+            self.untrusted
+                .read_into(addr, buf)
+                .map_err(|_| VmFault::Unmapped { addr, access: Access::Read })
+        }
+    }
+
     fn write_guest(&mut self, addr: u64, data: &[u8]) -> Result<(), VmFault> {
         if self.in_enclave(addr) {
             if !self.malicious_os {
-                let end = addr + data.len() as u64;
-                for &(lo, hi) in &self.os_readonly {
-                    if addr < hi && end > lo {
+                // `os_readonly` is sorted and disjoint: the only candidate
+                // overlap is the first range ending after `addr`.
+                let end = addr.saturating_add(data.len() as u64);
+                let i = self.os_readonly.partition_point(|&(_, hi)| hi <= addr);
+                if let Some(&(lo, _)) = self.os_readonly.get(i) {
+                    if lo < end {
                         return Err(VmFault::AccessViolation { addr, access: Access::Write });
                     }
                 }
@@ -169,17 +206,16 @@ impl EnclaveWorld {
 
 impl Bus for EnclaveWorld {
     fn load(&mut self, addr: u64, size: usize) -> Result<u64, VmFault> {
-        let bytes = self.read_guest(addr, size)?;
-        let mut v = 0u64;
-        for (i, b) in bytes.iter().enumerate() {
-            v |= (*b as u64) << (8 * i);
-        }
-        Ok(v)
+        debug_assert!(size <= 8);
+        let mut buf = [0u8; 8];
+        self.read_guest_into(addr, &mut buf[..size])?;
+        Ok(u64::from_le_bytes(buf))
     }
 
     fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), VmFault> {
-        let bytes: Vec<u8> = (0..size).map(|i| (value >> (8 * i)) as u8).collect();
-        self.write_guest(addr, &bytes)
+        debug_assert!(size <= 8);
+        let bytes = value.to_le_bytes();
+        self.write_guest(addr, &bytes[..size])
     }
 
     fn fetch(&mut self, addr: u64) -> Result<[u8; 8], VmFault> {
@@ -193,11 +229,43 @@ impl Bus for EnclaveWorld {
                 trace.push(page);
             }
         }
-        let bytes = self
-            .enclave
-            .read(addr, 8, AccessKind::Execute)
+        let mut raw = [0u8; 8];
+        self.enclave
+            .read_into(addr, &mut raw, AccessKind::Execute)
             .map_err(|e| map_sgx_fault(e, addr, Access::Execute))?;
-        Ok(bytes.try_into().expect("read returned 8 bytes"))
+        Ok(raw)
+    }
+
+    fn exec_page_generation(&mut self, page_addr: u64) -> Option<u64> {
+        // Page-granular execution is only offered when it is exactly
+        // equivalent to per-instruction fetches: never while the
+        // controlled-channel trace is recording (the fast path would hide
+        // fetches from the attacker's page-fault view), never outside
+        // ELRANGE, and never on a non-executable page.
+        if self.page_trace.is_some() || !self.in_enclave(page_addr) {
+            return None;
+        }
+        if !self.enclave.page_perms(page_addr)?.executable() {
+            return None;
+        }
+        self.enclave.page_generation(page_addr)
+    }
+
+    fn fetch_exec_page(
+        &mut self,
+        page_addr: u64,
+        buf: &mut [u8; CODE_PAGE_SIZE as usize],
+    ) -> Result<u64, VmFault> {
+        let gen = self
+            .enclave
+            .page_generation(page_addr)
+            .ok_or(VmFault::Unmapped { addr: page_addr, access: Access::Execute })?;
+        let page = self
+            .enclave
+            .page_slice(page_addr, AccessKind::Execute)
+            .map_err(|e| map_sgx_fault(e, page_addr, Access::Execute))?;
+        buf.copy_from_slice(&page[..]);
+        Ok(gen)
     }
 
     fn read_bytes(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, VmFault> {
@@ -317,6 +385,7 @@ pub struct EnclaveRuntime {
     ocalls: HashMap<i32, OcallHandler>,
     /// Instruction budget per ecall.
     pub fuel: u64,
+    retired_total: u64,
 }
 
 impl std::fmt::Debug for EnclaveRuntime {
@@ -350,6 +419,7 @@ impl EnclaveRuntime {
             stack_top: loaded.stack_top,
             ocalls: HashMap::new(),
             fuel: DEFAULT_FUEL,
+            retired_total: 0,
         }
     }
 
@@ -410,8 +480,15 @@ impl EnclaveRuntime {
         vm.regs[4] = out_ptr;
         vm.regs[5] = out_cap as u64;
 
+        // `fuel` is the budget for the whole ecall: instructions retired
+        // before an ocall count against the resumes after it.
+        let mut remaining = self.fuel;
         loop {
-            match vm.run(&mut self.world, self.fuel)? {
+            let before = vm.retired;
+            let exit = vm.run(&mut self.world, remaining);
+            self.retired_total += vm.retired - before;
+            remaining = remaining.saturating_sub(vm.retired - before);
+            match exit? {
                 Exit::Halt(status) => {
                     let output = self.world.untrusted.read(out_ptr, out_cap)?;
                     return Ok(EcallResult { status, output, instructions: vm.retired });
@@ -425,6 +502,12 @@ impl EnclaveRuntime {
                 }
             }
         }
+    }
+
+    /// Total instructions retired across every ecall on this runtime —
+    /// the numerator of the throughput benchmarks.
+    pub fn retired_total(&self) -> u64 {
+        self.retired_total
     }
 
     /// Text-page permissions at `vaddr`, for assertions about the
@@ -454,7 +537,28 @@ impl EnclaveRuntime {
     /// The protection is only as strong as the OS: see
     /// [`EnclaveRuntime::set_malicious_os`].
     pub fn os_revoke_write(&mut self, addr: u64, len: u64) {
-        self.world.os_readonly.push((addr, addr + len));
+        let lo = addr;
+        let hi = addr.saturating_add(len);
+        if lo >= hi {
+            return;
+        }
+        // Keep the range list sorted and disjoint, coalescing any existing
+        // ranges the new one overlaps or abuts — repeated restore cycles
+        // would otherwise grow the list (and the per-write scan) forever.
+        let ranges = &mut self.world.os_readonly;
+        let start = ranges.partition_point(|&(_, h)| h < lo);
+        let end = ranges.partition_point(|&(l, _)| l <= hi);
+        let mut merged = (lo, hi);
+        for &(l, h) in &ranges[start..end] {
+            merged.0 = merged.0.min(l);
+            merged.1 = merged.1.max(h);
+        }
+        ranges.splice(start..end, std::iter::once(merged));
+    }
+
+    /// The OS-level read-only ranges currently in force (sorted, disjoint).
+    pub fn os_readonly_ranges(&self) -> &[(u64, u64)] {
+        &self.world.os_readonly
     }
 
     /// Models an OS that ignores `mprotect` requests — the §7 limitation
@@ -710,5 +814,58 @@ ptbuf: .zero 16
         let mut rt = build_runtime(user, &["spin"]);
         rt.fuel = 1000;
         assert_eq!(rt.ecall(0, &[], 0).unwrap_err(), EnclaveError::Fault(VmFault::OutOfFuel));
+    }
+
+    #[test]
+    fn fuel_budget_spans_ocall_resumes() {
+        // 600 iterations of (ocall + 2 instructions): every run segment is
+        // tiny, but the whole ecall retires well over 1000 instructions, so
+        // a per-ecall budget of 1000 must still trip.
+        let user = "
+.section text
+.global chatty
+.func chatty
+    movi r3, 600
+    movi r4, 0
+.l:
+    ocall 3
+    addi r3, r3, -1
+    bne  r3, r4, .l
+    movi r0, 7
+    ret
+.endfunc
+";
+        let mut rt = build_runtime(user, &["chatty"]);
+        rt.register_ocall(3, Box::new(|_regs, _mem| Ok(())));
+        rt.fuel = 1000;
+        assert_eq!(rt.ecall(0, &[], 0).unwrap_err(), EnclaveError::Fault(VmFault::OutOfFuel));
+        // With a budget that covers the whole ecall it completes, and the
+        // retired counter reflects the full cost.
+        rt.fuel = DEFAULT_FUEL;
+        let r = rt.ecall(0, &[], 0).unwrap();
+        assert_eq!(r.status, 7);
+        assert!(r.instructions > 1800, "retired {} across resumes", r.instructions);
+        assert!(rt.retired_total() > r.instructions);
+    }
+
+    #[test]
+    fn os_readonly_ranges_coalesce() {
+        let user = ".section text\n.global f\n.func f\n    ret\n.endfunc\n";
+        let mut rt = build_runtime(user, &["f"]);
+        rt.os_revoke_write(0x1000, 0x1000);
+        rt.os_revoke_write(0x4000, 0x1000);
+        assert_eq!(rt.os_readonly_ranges(), &[(0x1000, 0x2000), (0x4000, 0x5000)]);
+        // Overlapping both: everything merges into one range.
+        rt.os_revoke_write(0x1800, 0x3000);
+        assert_eq!(rt.os_readonly_ranges(), &[(0x1000, 0x5000)]);
+        // Re-protecting an already covered range changes nothing.
+        rt.os_revoke_write(0x2000, 0x100);
+        assert_eq!(rt.os_readonly_ranges(), &[(0x1000, 0x5000)]);
+        // Abutting ranges merge too.
+        rt.os_revoke_write(0x5000, 0x1000);
+        assert_eq!(rt.os_readonly_ranges(), &[(0x1000, 0x6000)]);
+        // Zero-length requests are ignored.
+        rt.os_revoke_write(0x9000, 0);
+        assert_eq!(rt.os_readonly_ranges(), &[(0x1000, 0x6000)]);
     }
 }

@@ -8,7 +8,6 @@ use crate::keys::{HardwareKeys, SealPolicy};
 use crate::measure::{Measurement, EEXTEND_CHUNK};
 use elide_crypto::aes::{ctr_xor, Aes};
 use elide_crypto::rng::RandomSource;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The kind of memory access being attempted (maps onto VM accesses).
@@ -78,11 +77,14 @@ impl SgxCpu {
         if !base.is_multiple_of(PAGE_SIZE) || !size.is_multiple_of(PAGE_SIZE) || size == 0 {
             return Err(SgxError::BadAlignment { addr: base });
         }
+        let slots = (size / PAGE_SIZE) as usize;
         Ok(Enclave {
             cpu: self.clone(),
             base,
             size,
-            pages: BTreeMap::new(),
+            pages: vec![None; slots],
+            page_gens: vec![0; slots],
+            epoch: 0,
             measurement: Some(Measurement::ecreate(size)),
             mrenclave: [0; 32],
             mrsigner: [0; 32],
@@ -96,7 +98,16 @@ pub struct Enclave {
     cpu: SgxCpu,
     base: u64,
     size: u64,
-    pages: BTreeMap<u64, EpcPage>, // keyed by page offset within ELRANGE
+    /// Dense page table indexed by page number — ELRANGE is contiguous and
+    /// small, so `vaddr → page` is one bounds check and an array index
+    /// instead of a tree lookup on the interpreter's hot path.
+    pages: Vec<Option<EpcPage>>,
+    /// Per-page generation stamps (same indexing): moved on every write,
+    /// restore, or eviction touching the page. The interpreter's decode
+    /// cache uses them for icache-style invalidation.
+    page_gens: Vec<u64>,
+    /// Monotonic source for generation stamps.
+    epoch: u64,
     measurement: Option<Measurement>,
     mrenclave: [u8; 32],
     mrsigner: [u8; 32],
@@ -108,7 +119,7 @@ impl std::fmt::Debug for Enclave {
         f.debug_struct("Enclave")
             .field("base", &format_args!("{:#x}", self.base))
             .field("size", &format_args!("{:#x}", self.size))
-            .field("pages", &self.pages.len())
+            .field("pages", &self.pages.iter().flatten().count())
             .field("initialized", &self.initialized)
             .finish()
     }
@@ -167,7 +178,10 @@ impl Enclave {
         if off % PAGE_SIZE != 0 {
             return Err(SgxError::BadAlignment { addr: vaddr });
         }
-        self.pages.insert(off, EpcPage::new(Box::new(*data), perms, ptype));
+        let idx = (off / PAGE_SIZE) as usize;
+        self.epoch += 1;
+        self.page_gens[idx] = self.epoch;
+        self.pages[idx] = Some(EpcPage::new(Box::new(*data), perms, ptype));
         self.measurement.as_mut().expect("measurement live before EINIT").eadd(off, perms, ptype);
         Ok(())
     }
@@ -187,7 +201,9 @@ impl Enclave {
             return Err(SgxError::BadExtendChunk);
         }
         let page_off = off & !(PAGE_SIZE - 1);
-        let page = self.pages.get(&page_off).ok_or(SgxError::PageNotPresent { addr: vaddr })?;
+        let page = self.pages[(page_off / PAGE_SIZE) as usize]
+            .as_ref()
+            .ok_or(SgxError::PageNotPresent { addr: vaddr })?;
         let within = (off - page_off) as usize;
         let chunk = page.data[within..within + EEXTEND_CHUNK].to_vec();
         self.measurement.as_mut().expect("measurement live before EINIT").eextend(off, &chunk);
@@ -224,8 +240,9 @@ impl Enclave {
 
     fn page_for(&self, vaddr: u64, kind: AccessKind) -> Result<(&EpcPage, usize), SgxError> {
         let off = self.check_vaddr(vaddr)?;
-        let page_off = off & !(PAGE_SIZE - 1);
-        let page = self.pages.get(&page_off).ok_or(SgxError::PageNotPresent { addr: vaddr })?;
+        let page = self.pages[(off / PAGE_SIZE) as usize]
+            .as_ref()
+            .ok_or(SgxError::PageNotPresent { addr: vaddr })?;
         let ok = match kind {
             AccessKind::Read => page.perms.readable(),
             AccessKind::Write => page.perms.writable(),
@@ -234,7 +251,7 @@ impl Enclave {
         if !ok {
             return Err(SgxError::PermissionDenied { addr: vaddr });
         }
-        Ok((page, (off - page_off) as usize))
+        Ok((page, (off % PAGE_SIZE) as usize))
     }
 
     /// Reads `len` bytes at `vaddr` from enclave mode, permission-checked,
@@ -251,17 +268,70 @@ impl Enclave {
         if len as u64 > self.size {
             return Err(SgxError::OutOfRange { addr: vaddr });
         }
-        let mut out = Vec::with_capacity(len);
-        let mut addr = vaddr;
-        let mut remaining = len;
-        while remaining > 0 {
-            let (page, within) = self.page_for(addr, kind)?;
-            let take = remaining.min(PAGE_SIZE as usize - within);
-            out.extend_from_slice(&page.data[within..within + take]);
-            addr += take as u64;
-            remaining -= take;
-        }
+        let mut out = vec![0u8; len];
+        self.read_into(vaddr, &mut out, kind)?;
         Ok(out)
+    }
+
+    /// Allocation-free variant of [`Enclave::read`]: fills `buf` from
+    /// enclave memory at `vaddr`. This is the interpreter's hot path — a
+    /// load is a stack buffer and two array indexes, no heap traffic.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Enclave::read`].
+    pub fn read_into(&self, vaddr: u64, buf: &mut [u8], kind: AccessKind) -> Result<(), SgxError> {
+        if !self.initialized {
+            return Err(SgxError::NotInitialized);
+        }
+        if buf.len() as u64 > self.size {
+            return Err(SgxError::OutOfRange { addr: vaddr });
+        }
+        let mut addr = vaddr;
+        let mut out = buf;
+        while !out.is_empty() {
+            let (page, within) = self.page_for(addr, kind)?;
+            let take = out.len().min(PAGE_SIZE as usize - within);
+            out[..take].copy_from_slice(&page.data[within..within + take]);
+            addr += take as u64;
+            out = &mut out[take..];
+        }
+        Ok(())
+    }
+
+    /// Borrowed view of the whole resident page containing `vaddr`, with
+    /// one permission check for the entire page. Zero-copy accessor behind
+    /// the interpreter's decode cache; sound because EPC permissions are
+    /// immutable after `EADD`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Enclave::read`].
+    pub fn page_slice(
+        &self,
+        vaddr: u64,
+        kind: AccessKind,
+    ) -> Result<&[u8; PAGE_SIZE as usize], SgxError> {
+        if !self.initialized {
+            return Err(SgxError::NotInitialized);
+        }
+        let (page, _) = self.page_for(vaddr & !(PAGE_SIZE - 1), kind)?;
+        Ok(&page.data)
+    }
+
+    /// Generation stamp of the resident page containing `vaddr`: moved on
+    /// every write to the page and on eviction/reload. `None` for absent
+    /// pages or addresses outside ELRANGE. A stable value guarantees the
+    /// page bytes (and, by `EADD` immutability, its permissions) are
+    /// unchanged.
+    pub fn page_generation(&self, vaddr: u64) -> Option<u64> {
+        let off = vaddr.checked_sub(self.base)?;
+        if off >= self.size {
+            return None;
+        }
+        let idx = (off / PAGE_SIZE) as usize;
+        self.pages[idx].as_ref()?;
+        Some(self.page_gens[idx])
     }
 
     /// Writes bytes at `vaddr` from enclave mode, permission-checked.
@@ -285,15 +355,20 @@ impl Enclave {
             addr += take as u64;
             remaining -= take;
         }
+        self.epoch += 1;
         let mut addr = vaddr;
         let mut src = data;
         while !src.is_empty() {
             let off = addr - self.base;
-            let page_off = off & !(PAGE_SIZE - 1);
-            let within = (off - page_off) as usize;
+            let idx = (off / PAGE_SIZE) as usize;
+            let within = (off % PAGE_SIZE) as usize;
             let take = src.len().min(PAGE_SIZE as usize - within);
-            let page = self.pages.get_mut(&page_off).expect("validated above");
+            let page = self.pages[idx].as_mut().expect("validated above");
             page.data[within..within + take].copy_from_slice(&src[..take]);
+            // Moving the generation is the architectural hook for decode
+            // caches: a write to an executable page is self-modification
+            // and must invalidate any cached decoding.
+            self.page_gens[idx] = self.epoch;
             addr += take as u64;
             src = &src[take..];
         }
@@ -346,12 +421,15 @@ impl Enclave {
         let mee = Aes::new_128(&self.cpu.hw.mee_key(&self.cpu.boot_nonce));
         self.pages
             .iter()
-            .map(|(&off, page)| {
+            .enumerate()
+            .filter_map(|(idx, page)| {
+                let page = page.as_ref()?;
+                let off = idx as u64 * PAGE_SIZE;
                 let mut buf = page.data.to_vec();
                 let mut ctr = [0u8; 16];
                 ctr[..8].copy_from_slice(&off.to_le_bytes());
                 ctr_xor(&mee, &ctr, &mut buf);
-                (off, buf)
+                Some((off, buf))
             })
             .collect()
     }
@@ -368,22 +446,37 @@ impl Enclave {
     }
 
     pub(crate) fn page_restore(&mut self, page_off: u64, page: EpcPage) {
-        self.pages.insert(page_off, page);
+        let idx = (page_off / PAGE_SIZE) as usize;
+        self.epoch += 1;
+        self.page_gens[idx] = self.epoch;
+        self.pages[idx] = Some(page);
     }
 
     pub(crate) fn page_evict(&mut self, page_off: u64) -> Option<EpcPage> {
-        self.pages.remove(&page_off)
+        let idx = (page_off / PAGE_SIZE) as usize;
+        let slot = self.pages.get_mut(idx)?;
+        self.epoch += 1;
+        self.page_gens[idx] = self.epoch;
+        slot.take()
     }
 
-    /// Page offsets of all resident pages (for iteration by tooling).
+    /// Page offsets of all resident pages (for iteration by tooling), in
+    /// ascending order.
     pub fn resident_pages(&self) -> Vec<u64> {
-        self.pages.keys().copied().collect()
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, p)| p.as_ref().map(|_| idx as u64 * PAGE_SIZE))
+            .collect()
     }
 
     /// Permissions of the page containing `vaddr`, if resident.
     pub fn page_perms(&self, vaddr: u64) -> Option<PagePerms> {
         let off = vaddr.checked_sub(self.base)?;
-        self.pages.get(&(off & !(PAGE_SIZE - 1))).map(|p| p.perms)
+        if off >= self.size {
+            return None;
+        }
+        self.pages[(off / PAGE_SIZE) as usize].as_ref().map(|p| p.perms)
     }
 }
 
@@ -538,6 +631,52 @@ mod tests {
             a.egetkey(SealPolicy::MrSigner).unwrap(),
             b.egetkey(SealPolicy::MrSigner).unwrap()
         );
+    }
+
+    #[test]
+    fn read_into_matches_read_and_checks_perms() {
+        let e = small_enclave(PagePerms::RX, 7);
+        let mut buf = [0u8; 6];
+        e.read_into(0x100002, &mut buf, AccessKind::Read).unwrap();
+        assert_eq!(buf.to_vec(), e.read(0x100002, 6, AccessKind::Read).unwrap());
+        let mut one = [0u8];
+        assert!(matches!(
+            e.read_into(0x100000, &mut one, AccessKind::Write),
+            Err(SgxError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn page_slice_is_whole_page_and_checked() {
+        let e = small_enclave(PagePerms::RX, 9);
+        let page = e.page_slice(0x100123, AccessKind::Execute).unwrap();
+        assert_eq!(page.len(), PAGE_SIZE as usize);
+        assert_eq!(page[0], 9);
+        assert!(matches!(
+            e.page_slice(0x100000, AccessKind::Write),
+            Err(SgxError::PermissionDenied { .. })
+        ));
+        assert!(matches!(
+            e.page_slice(0x10F000, AccessKind::Read),
+            Err(SgxError::PageNotPresent { .. })
+        ));
+    }
+
+    #[test]
+    fn page_generation_moves_on_write_and_paging() {
+        let mut e = small_enclave(PagePerms::RWX, 0);
+        let g0 = e.page_generation(0x100000).unwrap();
+        e.write(0x100010, &[1, 2, 3]).unwrap();
+        let g1 = e.page_generation(0x100000).unwrap();
+        assert_ne!(g0, g1, "a write must move the page generation");
+        let page = e.page_evict(0).unwrap();
+        assert_eq!(e.page_generation(0x100000), None, "absent pages have no generation");
+        e.page_restore(0, page);
+        let g2 = e.page_generation(0x100000).unwrap();
+        assert_ne!(g1, g2, "an evict/reload cycle must move the generation");
+        // Out-of-range addresses have no generation.
+        assert_eq!(e.page_generation(0x0), None);
+        assert_eq!(e.page_generation(0x100000 + 0x10000), None);
     }
 
     #[test]

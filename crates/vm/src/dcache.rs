@@ -1,0 +1,182 @@
+//! Page-granular decode cache: the interpreter's "icache".
+//!
+//! The hot cost of a naive interpreter is per-instruction: a page lookup,
+//! a permission check, and a decode for every retired instruction. On
+//! SGX-v1 the permissions of an EPC page are immutable after `EADD`
+//! (§3.1), so a single execute check is valid for as long as the page's
+//! *bytes* are unchanged — which the bus advertises through
+//! [`Bus::exec_page_generation`]. This cache pre-decodes whole pages into
+//! arrays of [`Instr`] and serves straight-line execution without touching
+//! the bus at all.
+//!
+//! Invalidation is generation-based: any write reaching a page (guest
+//! self-modification, `elide_restore` rewriting sanitized text) and any
+//! mapping change (`EWB` eviction / `ELDU` reload) moves the page's
+//! generation, and the next fetch re-decodes. That is exactly the
+//! icache-flush obligation real self-modifying code has after writing
+//! `.text`.
+//!
+//! Bytes that do not decode — including the all-zero bytes of sanitized
+//! functions — are cached as [`Opcode::Illegal`], which the interpreter
+//! turns into the same `IllegalInstruction` fault a direct fetch would
+//! produce, so the sanitized→faulting→restored→running life cycle is
+//! byte-for-byte equivalent to the uncached path.
+
+use crate::isa::{Instr, Opcode, INSTR_SIZE};
+use crate::mem::{Bus, CODE_PAGE_SIZE};
+use std::collections::HashMap;
+
+/// Decoded instruction slots per page.
+pub const INSTRS_PER_PAGE: usize = (CODE_PAGE_SIZE / INSTR_SIZE) as usize;
+
+/// Upper bound on cached pages (16 MiB of guest text) before the cache is
+/// wholesale reset — a backstop, not a tuning knob; real enclaves here are
+/// a few dozen pages.
+const MAX_CACHED_PAGES: usize = 4096;
+
+const ILLEGAL: Instr = Instr { op: Opcode::Illegal, a: 0, b: 0, c: 0, imm: 0 };
+
+#[derive(Clone)]
+struct DecodedPage {
+    gen: u64,
+    instrs: Box<[Instr; INSTRS_PER_PAGE]>,
+}
+
+impl DecodedPage {
+    fn decode_from(&mut self, bytes: &[u8; CODE_PAGE_SIZE as usize], gen: u64) {
+        self.gen = gen;
+        for (slot, chunk) in bytes.chunks_exact(INSTR_SIZE as usize).enumerate() {
+            let raw: &[u8; 8] = chunk.try_into().expect("exact 8-byte chunk");
+            self.instrs[slot] = Instr::decode(raw).unwrap_or(ILLEGAL);
+        }
+    }
+}
+
+/// The decode cache itself; owned by a [`crate::interp::Vm`].
+#[derive(Clone)]
+pub struct DecodeCache {
+    index: HashMap<u64, usize>,
+    pages: Vec<DecodedPage>,
+    scratch: Box<[u8; CODE_PAGE_SIZE as usize]>,
+}
+
+impl std::fmt::Debug for DecodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeCache").field("pages", &self.pages.len()).finish()
+    }
+}
+
+impl Default for DecodeCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecodeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        DecodeCache {
+            index: HashMap::new(),
+            pages: Vec::new(),
+            scratch: Box::new([0; CODE_PAGE_SIZE as usize]),
+        }
+    }
+
+    /// Ensures an up-to-date decoded copy of the page at `page_addr`
+    /// (page-aligned) and returns its slot, or `None` when the bus opts
+    /// out of page-granular execution (then the caller must fetch
+    /// instruction by instruction). A fetch error while (re)decoding also
+    /// degrades to `None` so the slow path reports the fault with the
+    /// exact faulting address.
+    pub fn validate(&mut self, bus: &mut dyn Bus, page_addr: u64) -> Option<usize> {
+        let gen = bus.exec_page_generation(page_addr)?;
+        if let Some(&slot) = self.index.get(&page_addr) {
+            if self.pages[slot].gen == gen {
+                return Some(slot);
+            }
+            // Stale: the page was written, evicted, or reloaded since we
+            // decoded it. Re-decode in place (the icache flush).
+            let fresh = bus.fetch_exec_page(page_addr, &mut self.scratch).ok()?;
+            self.pages[slot].decode_from(&self.scratch, fresh);
+            return Some(slot);
+        }
+        if self.pages.len() >= MAX_CACHED_PAGES {
+            self.index.clear();
+            self.pages.clear();
+        }
+        let fresh = bus.fetch_exec_page(page_addr, &mut self.scratch).ok()?;
+        let mut page = DecodedPage { gen: fresh, instrs: Box::new([ILLEGAL; INSTRS_PER_PAGE]) };
+        page.decode_from(&self.scratch, fresh);
+        let slot = self.pages.len();
+        self.pages.push(page);
+        self.index.insert(page_addr, slot);
+        Some(slot)
+    }
+
+    /// The decoded instruction in `slot` at instruction index `idx`.
+    #[inline]
+    pub fn instr(&self, slot: usize, idx: usize) -> Instr {
+        self.pages[slot].instrs[idx]
+    }
+
+    /// The generation a slot was decoded at (for cheap revalidation).
+    #[inline]
+    pub fn generation(&self, slot: usize) -> u64 {
+        self.pages[slot].gen
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Drops every cached page (full icache flush).
+    pub fn invalidate_all(&mut self) {
+        self.index.clear();
+        self.pages.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::FlatMemory;
+
+    #[test]
+    fn caches_and_revalidates_on_write() {
+        let mut mem = FlatMemory::new(0, 8192);
+        mem.write_at(0, &Instr::new(Opcode::Movi, 0, 0, 0, 7).encode());
+        let mut c = DecodeCache::new();
+        let slot = c.validate(&mut mem, 0).unwrap();
+        assert_eq!(c.instr(slot, 0).imm, 7);
+        assert_eq!(c.cached_pages(), 1);
+        // Unchanged: same slot, same generation, no re-decode.
+        let gen = c.generation(slot);
+        assert_eq!(c.validate(&mut mem, 0), Some(slot));
+        assert_eq!(c.generation(slot), gen);
+        // Write moves the generation and the cache picks up the new bytes.
+        mem.write_at(0, &Instr::new(Opcode::Movi, 0, 0, 0, 9).encode());
+        let slot2 = c.validate(&mut mem, 0).unwrap();
+        assert_eq!(c.instr(slot2, 0).imm, 9);
+        assert_ne!(c.generation(slot2), gen);
+    }
+
+    #[test]
+    fn undecodable_bytes_cache_as_illegal() {
+        let mut mem = FlatMemory::new(0, 4096);
+        mem.write_at(8, &[0xFF; 8]); // unknown opcode
+        let mut c = DecodeCache::new();
+        let slot = c.validate(&mut mem, 0).unwrap();
+        assert_eq!(c.instr(slot, 0).op, Opcode::Illegal); // zeroed bytes
+        assert_eq!(c.instr(slot, 1).op, Opcode::Illegal); // undecodable bytes
+    }
+
+    #[test]
+    fn uncacheable_bus_returns_none() {
+        // A region smaller than a page cannot be page-cached.
+        let mut mem = FlatMemory::new(0, 64);
+        let mut c = DecodeCache::new();
+        assert_eq!(c.validate(&mut mem, 0), None);
+        assert_eq!(c.cached_pages(), 0);
+    }
+}

@@ -5,8 +5,9 @@
 //! page permissions (and therefore the paper's self-modification constraint)
 //! are enforced.
 
+use crate::dcache::DecodeCache;
 use crate::isa::{Instr, Opcode, INSTR_SIZE, NUM_REGS, REG_SP};
-use crate::mem::{Bus, VmFault};
+use crate::mem::{Bus, VmFault, CODE_PAGE_SIZE};
 
 /// Why execution returned to the host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,12 +42,14 @@ pub struct Vm {
     pub pc: u64,
     /// Instructions executed since construction (for benchmarks).
     pub retired: u64,
+    /// Page-granular decode cache serving the fetch fast path.
+    pub dcache: DecodeCache,
 }
 
 impl Vm {
     /// Creates a VM with cleared registers, starting at `entry`.
     pub fn new(entry: u64) -> Self {
-        Vm { regs: [0; NUM_REGS], pc: entry, retired: 0 }
+        Vm { regs: [0; NUM_REGS], pc: entry, retired: 0, dcache: DecodeCache::new() }
     }
 
     /// Sets the stack pointer (`r15`).
@@ -65,6 +68,17 @@ impl Vm {
     ///
     /// Returns the first [`VmFault`] raised.
     pub fn run(&mut self, bus: &mut dyn Bus, mut fuel: u64) -> Result<Exit, VmFault> {
+        // Fast-path state: which decode-cache slot serves the current page.
+        // `revalidate` marks the icache sync points — run entry (the host
+        // or an ocall may have run since the last instruction) and every
+        // instruction that can write memory. Between sync points, while the
+        // PC stays on one page, instructions are served from the cache with
+        // no bus traffic at all; permissions were checked once for the
+        // whole page, which is sound because EPC permissions are fixed at
+        // `EADD`.
+        let mut cur_page = u64::MAX; // not page-aligned → never matches
+        let mut cur_slot = usize::MAX;
+        let mut revalidate = true;
         loop {
             if fuel == 0 {
                 return Err(VmFault::OutOfFuel);
@@ -72,8 +86,41 @@ impl Vm {
             fuel -= 1;
 
             let addr = self.pc;
-            let raw = bus.fetch(addr)?;
-            let instr = Instr::decode(&raw).ok_or(VmFault::IllegalInstruction { addr })?;
+            let instr = if addr & (INSTR_SIZE - 1) == 0 {
+                let page = addr & !(CODE_PAGE_SIZE - 1);
+                if page != cur_page {
+                    cur_page = u64::MAX;
+                    cur_slot = usize::MAX;
+                    if let Some(slot) = self.dcache.validate(bus, page) {
+                        cur_page = page;
+                        cur_slot = slot;
+                    }
+                    revalidate = false;
+                } else if revalidate {
+                    // Same page, but memory may have changed: a cheap
+                    // generation probe, and a re-decode only if it moved.
+                    if bus.exec_page_generation(page) != Some(self.dcache.generation(cur_slot)) {
+                        match self.dcache.validate(bus, page) {
+                            Some(slot) => cur_slot = slot,
+                            None => {
+                                cur_page = u64::MAX;
+                                cur_slot = usize::MAX;
+                            }
+                        }
+                    }
+                    revalidate = false;
+                }
+                if cur_slot != usize::MAX {
+                    self.dcache.instr(cur_slot, ((addr & (CODE_PAGE_SIZE - 1)) >> 3) as usize)
+                } else {
+                    let raw = bus.fetch(addr)?;
+                    Instr::decode(&raw).ok_or(VmFault::IllegalInstruction { addr })?
+                }
+            } else {
+                // Misaligned PC: straddles decode-cache slots; always fetch.
+                let raw = bus.fetch(addr)?;
+                Instr::decode(&raw).ok_or(VmFault::IllegalInstruction { addr })?
+            };
             let mut next = addr.wrapping_add(INSTR_SIZE);
             self.retired += 1;
 
@@ -160,6 +207,7 @@ impl Vm {
                     };
                     let ea = r[instr.b as usize].wrapping_add(imm_s);
                     bus.store(ea, size, r[instr.a as usize])?;
+                    revalidate = true;
                 }
                 Jmp => next = next.wrapping_add(imm_s),
                 Beq | Bne | Bltu | Bgeu | Blts | Bges => {
@@ -182,6 +230,7 @@ impl Vm {
                     bus.store(sp, 8, next)?;
                     r[REG_SP as usize] = sp;
                     next = next.wrapping_add(imm_s);
+                    revalidate = true;
                 }
                 Callr => {
                     let target = r[instr.b as usize];
@@ -189,6 +238,7 @@ impl Vm {
                     bus.store(sp, 8, next)?;
                     r[REG_SP as usize] = sp;
                     next = target;
+                    revalidate = true;
                 }
                 Ret => {
                     let sp = r[REG_SP as usize];
@@ -204,6 +254,7 @@ impl Vm {
                 Intrin => {
                     self.pc = next;
                     bus.intrinsic(instr.imm, &mut self.regs)?;
+                    revalidate = true;
                     continue;
                 }
             }

@@ -11,6 +11,8 @@
 //! * [`link`] — a two-pass linker emitting enclave ELF images.
 //! * [`interp`] — the interpreter; every access goes through a [`mem::Bus`],
 //!   which is how EPC page permissions are enforced.
+//! * [`dcache`] — the page-granular decode cache (the interpreter's
+//!   "icache"), invalidated by generation when code pages change.
 //! * [`disasm`] — the attacker's disassembler.
 //!
 //! # Examples
@@ -29,6 +31,7 @@
 //! ```
 
 pub mod asm;
+pub mod dcache;
 pub mod disasm;
 pub mod elc;
 pub mod interp;

@@ -7,6 +7,10 @@
 
 use std::fmt;
 
+/// Size of a code page as seen by the interpreter's decode cache. Matches
+/// the EPC page size so one execute-permission check covers one EPC page.
+pub const CODE_PAGE_SIZE: u64 = 4096;
+
 /// The kind of memory access that faulted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Access {
@@ -127,6 +131,39 @@ pub trait Bus {
         Err(VmFault::BadIntrinsic { index })
     }
 
+    /// Generation stamp of the executable code page containing `page_addr`
+    /// (which is [`CODE_PAGE_SIZE`]-aligned), or `None` if the bus does not
+    /// support page-granular execution for this page and the interpreter
+    /// must fetch instruction by instruction.
+    ///
+    /// A `Some(g)` result is a promise: as long as later calls keep
+    /// returning `g`, neither the bytes nor the execute permission of the
+    /// page have changed, so pre-decoded instructions may be served without
+    /// touching the bus. Any write reaching the page, and any mapping
+    /// change (page eviction/restore), must move the generation — this is
+    /// the simulator's icache-coherence contract.
+    fn exec_page_generation(&mut self, page_addr: u64) -> Option<u64> {
+        let _ = page_addr;
+        None
+    }
+
+    /// Copies the whole aligned code page at `page_addr` into `buf`,
+    /// checking execute permission once for the entire page, and returns
+    /// its generation stamp. Only called for pages where
+    /// [`Bus::exec_page_generation`] returned `Some`.
+    ///
+    /// # Errors
+    ///
+    /// Faults if the page is unmapped or not executable.
+    fn fetch_exec_page(
+        &mut self,
+        page_addr: u64,
+        buf: &mut [u8; CODE_PAGE_SIZE as usize],
+    ) -> Result<u64, VmFault> {
+        let _ = buf;
+        Err(VmFault::Unmapped { addr: page_addr, access: Access::Execute })
+    }
+
     /// Bulk read used by intrinsics; default loops over byte loads.
     ///
     /// # Errors
@@ -158,12 +195,16 @@ pub trait Bus {
 pub struct FlatMemory {
     base: u64,
     data: Vec<u8>,
+    /// Bumped on every write; doubles as the code-page generation (every
+    /// byte of a flat region is executable, so any write may be a code
+    /// write).
+    epoch: u64,
 }
 
 impl FlatMemory {
     /// Creates a region of `size` zero bytes starting at `base`.
     pub fn new(base: u64, size: usize) -> Self {
-        FlatMemory { base, data: vec![0; size] }
+        FlatMemory { base, data: vec![0; size], epoch: 0 }
     }
 
     /// Copies `bytes` into the region at `addr`.
@@ -174,6 +215,7 @@ impl FlatMemory {
     pub fn write_at(&mut self, addr: u64, bytes: &[u8]) {
         let off = (addr - self.base) as usize;
         self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        self.epoch += 1;
     }
 
     /// Reads a slice at `addr`.
@@ -187,11 +229,14 @@ impl FlatMemory {
     }
 
     fn offset(&self, addr: u64, len: usize, access: Access) -> Result<usize, VmFault> {
-        let off = addr.checked_sub(self.base).ok_or(VmFault::Unmapped { addr, access })? as usize;
-        if off + len > self.data.len() {
+        let off = addr.checked_sub(self.base).ok_or(VmFault::Unmapped { addr, access })?;
+        // `off + len` can wrap for addresses near u64::MAX; that is an
+        // Unmapped fault, not a panic.
+        let end = off.checked_add(len as u64).ok_or(VmFault::Unmapped { addr, access })?;
+        if end > self.data.len() as u64 {
             return Err(VmFault::Unmapped { addr, access });
         }
-        Ok(off)
+        Ok(off as usize)
     }
 }
 
@@ -210,12 +255,42 @@ impl Bus for FlatMemory {
         for i in 0..size {
             self.data[off + i] = (value >> (8 * i)) as u8;
         }
+        self.epoch += 1;
         Ok(())
     }
 
     fn fetch(&mut self, addr: u64) -> Result<[u8; 8], VmFault> {
         let off = self.offset(addr, 8, Access::Execute)?;
         Ok(self.data[off..off + 8].try_into().unwrap())
+    }
+
+    fn exec_page_generation(&mut self, page_addr: u64) -> Option<u64> {
+        // Cacheable only when the whole page lies inside the region; a
+        // partially mapped page falls back to per-instruction fetches so
+        // edge faults keep their exact addresses.
+        let off = page_addr.checked_sub(self.base)?;
+        let end = off.checked_add(CODE_PAGE_SIZE)?;
+        if end > self.data.len() as u64 {
+            return None;
+        }
+        Some(self.epoch)
+    }
+
+    fn fetch_exec_page(
+        &mut self,
+        page_addr: u64,
+        buf: &mut [u8; CODE_PAGE_SIZE as usize],
+    ) -> Result<u64, VmFault> {
+        let off = self.offset(page_addr, CODE_PAGE_SIZE as usize, Access::Execute)?;
+        buf.copy_from_slice(&self.data[off..off + CODE_PAGE_SIZE as usize]);
+        Ok(self.epoch)
+    }
+
+    fn write_bytes(&mut self, addr: u64, data: &[u8]) -> Result<(), VmFault> {
+        let off = self.offset(addr, data.len(), Access::Write)?;
+        self.data[off..off + data.len()].copy_from_slice(data);
+        self.epoch += 1;
+        Ok(())
     }
 }
 
@@ -245,5 +320,31 @@ mod tests {
         let mut m = FlatMemory::new(0, 32);
         m.write_bytes(4, &[1, 2, 3]).unwrap();
         assert_eq!(m.read_bytes(4, 3).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn near_max_address_faults_instead_of_overflowing() {
+        // `off + len` used to wrap for addresses near u64::MAX, turning an
+        // Unmapped fault into a panic.
+        let mut m = FlatMemory::new(0, 4096);
+        assert!(matches!(m.load(u64::MAX - 3, 8), Err(VmFault::Unmapped { .. })));
+        assert!(matches!(m.store(u64::MAX, 1, 0), Err(VmFault::Unmapped { .. })));
+        assert!(matches!(m.fetch(u64::MAX - 7), Err(VmFault::Unmapped { .. })));
+        let mut m = FlatMemory::new(u64::MAX - 15, 8);
+        assert!(matches!(m.load(u64::MAX - 10, 8), Err(VmFault::Unmapped { .. })));
+    }
+
+    #[test]
+    fn writes_move_the_epoch() {
+        let mut m = FlatMemory::new(0, 4096);
+        let g0 = m.exec_page_generation(0).unwrap();
+        m.store(16, 8, 7).unwrap();
+        let g1 = m.exec_page_generation(0).unwrap();
+        assert_ne!(g0, g1);
+        m.write_at(0, &[1]);
+        assert_ne!(m.exec_page_generation(0).unwrap(), g1);
+        // Partially mapped pages are not cacheable.
+        let mut small = FlatMemory::new(0, 64);
+        assert_eq!(small.exec_page_generation(0), None);
     }
 }

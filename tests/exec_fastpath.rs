@@ -1,0 +1,74 @@
+//! Decode-cache coherence at the enclave level: the execution fast path
+//! must never serve stale instructions across the ways SgxElide mutates
+//! code — sanitization (zeroed pages must fault), restoration (new bytes
+//! must run), and in-enclave self-patching on the writable text pages the
+//! sanitizer leaves behind.
+
+use sgxelide::apps::harness::{launch_protected, App};
+use sgxelide::core::sanitizer::DataPlacement;
+use sgxelide::enclave::error::EnclaveError;
+use sgxelide::vm::isa::{Instr, Opcode};
+use sgxelide::vm::mem::VmFault;
+
+/// Guest whose `patcher` ecall memcpys fresh machine code from rodata over
+/// `victim` and calls it *within the same ecall* — the enclave analog of
+/// JIT patching, and the sharpest stale-icache probe available.
+fn jit_patch_app() -> App {
+    let patched: Vec<String> = Instr::new(Opcode::Movi, 0, 0, 0, 77)
+        .encode()
+        .iter()
+        .chain(Instr::new(Opcode::Ret, 0, 0, 0, 0).encode().iter())
+        .map(|b| b.to_string())
+        .collect();
+    App {
+        name: "jitpatch",
+        asm: format!(
+            ".section text\n\
+             .global patcher\n.func patcher\n\
+             \x20   la   r1, victim\n\
+             \x20   la   r2, newcode\n\
+             \x20   movi r3, 16\n\
+             \x20   call elide_memcpy\n\
+             \x20   call victim\n\
+             \x20   ret\n.endfunc\n\
+             .global victim\n.func victim\n\
+             \x20   movi r0, 7\n\
+             \x20   ret\n.endfunc\n\
+             .section rodata\n\
+             newcode: .byte {}\n",
+            patched.join(",")
+        ),
+        ecalls: vec!["patcher", "victim"],
+    }
+}
+
+#[test]
+fn self_patch_within_one_ecall_executes_new_code() {
+    let app = jit_patch_app();
+    let mut p = launch_protected(&app, DataPlacement::Remote, 0xFA57).unwrap();
+    p.restore().unwrap();
+    // Unpatched behaviour first, to warm the decode cache on victim's page.
+    assert_eq!(p.app.runtime.ecall(p.indices["victim"], &[], 0).unwrap().status, 7);
+    // Patch + call in one ecall: stale decode would still return 7.
+    assert_eq!(p.app.runtime.ecall(p.indices["patcher"], &[], 0).unwrap().status, 77);
+    // The patch persists for later ecalls.
+    assert_eq!(p.app.runtime.ecall(p.indices["victim"], &[], 0).unwrap().status, 77);
+}
+
+#[test]
+fn sanitized_page_faults_as_illegal_until_restored() {
+    let app = jit_patch_app();
+    let mut p = launch_protected(&app, DataPlacement::Remote, 0xFA58).unwrap();
+    // Before restoration the function bodies are zeroed; executing them
+    // must fault as IllegalInstruction (the cache stores zeroed slots as
+    // Illegal, matching the uncached fetch exactly).
+    for _ in 0..2 {
+        match p.app.runtime.ecall(p.indices["victim"], &[], 0).unwrap_err() {
+            EnclaveError::Fault(VmFault::IllegalInstruction { .. }) => {}
+            other => panic!("sanitized code must fault illegal, got {other:?}"),
+        }
+    }
+    // Restore rewrites the same pages; the very next ecall must execute.
+    p.restore().unwrap();
+    assert_eq!(p.app.runtime.ecall(p.indices["victim"], &[], 0).unwrap().status, 7);
+}
