@@ -4,7 +4,7 @@
 //! timed region: this isolates the execution engine itself, and is the
 //! number the page-granular decode cache is meant to move.
 //!
-//! Emits `BENCH_exec_throughput.json` next to the working directory for CI
+//! Emits `BENCH_exec_throughput.json` at the workspace root for CI
 //! artifact upload. `ELIDE_BENCH_REPS` overrides the per-app repetition
 //! count (CI smoke runs use a tiny value).
 //!

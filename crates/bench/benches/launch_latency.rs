@@ -1,0 +1,75 @@
+//! End-to-end enclave launch latency: the full ECREATE→EADD/EEXTEND→EINIT
+//! cycle for the plain build, and ECREATE→…→EINIT→provision (attest + DH +
+//! GCM transfer)→restore for the SgxElide build. Image build, signing, and
+//! server standup happen once, untimed — matching the paper's `time ./app`
+//! methodology on pre-built binaries. Every elided run uses a fresh sealed
+//! store, so each one pays the full first-launch provisioning handshake.
+//!
+//! This is the number the crypto-kernel work moves: EEXTEND measurement is
+//! SHA-256-bound, EINIT is RSA-bound, provisioning is DH + AES-GCM-bound.
+//!
+//! Emits `BENCH_launch_latency.json` at the workspace root.
+//! `ELIDE_BENCH_REPS` overrides the per-app run count (CI smoke uses 2).
+//!
+//! Plain-main harness (`cargo bench --bench launch_latency`).
+
+use elide_bench::{prepare_elide, prepare_plain, time_runs, write_latency_json, LatencyRecord};
+use elide_core::sanitizer::DataPlacement;
+
+fn main() {
+    let runs: usize = std::env::var("ELIDE_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(20);
+
+    let apps = {
+        use elide_apps::*;
+        vec![aes_app::app(), sha1_app::app(), crackme::app()]
+    };
+
+    let mut records: Vec<LatencyRecord> = Vec::new();
+    println!("launch_latency (runs={runs})");
+    println!(
+        "{:<14} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "app", "build", "mean_ms", "std_ms", "min_ms", "max_ms"
+    );
+    let mut push = |rec: LatencyRecord| {
+        let s = rec.stats();
+        println!(
+            "{:<14} {:>8} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            rec.name,
+            rec.build,
+            s.mean_ms,
+            s.std_ms,
+            rec.min_ms(),
+            rec.max_ms()
+        );
+        records.push(rec);
+    };
+
+    for app in &apps {
+        // Plain: load + EEXTEND measurement + EINIT, zero workload reps.
+        let plain = prepare_plain(app);
+        plain.run_seconds(900, 0); // warmup
+        let mut seed = 1000u64;
+        let samples = time_runs(runs, || {
+            std::hint::black_box(plain.run_seconds(seed, 0));
+            seed += 1;
+        });
+        push(LatencyRecord { name: app.name.to_string(), build: "plain", runs, samples });
+
+        // Elide: load + EINIT + full provisioning handshake + restore.
+        let elide = prepare_elide(app, DataPlacement::Remote);
+        elide.run_seconds(900, 0); // warmup
+        let mut seed = 2000u64;
+        let samples = time_runs(runs, || {
+            std::hint::black_box(elide.run_seconds(seed, 0));
+            seed += 1;
+        });
+        push(LatencyRecord { name: app.name.to_string(), build: "elide", runs, samples });
+    }
+
+    let path = write_latency_json("launch_latency", &records).expect("write json");
+    println!("\nwrote {}", path.display());
+}

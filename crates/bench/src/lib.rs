@@ -280,8 +280,19 @@ pub fn bench_records_json(bench: &str, records: &[BenchRecord]) -> String {
     out
 }
 
-/// Writes `BENCH_<bench>.json` in the current directory and returns its
-/// path, for CI artifact upload.
+/// The workspace root, resolved at compile time. Bench binaries run with
+/// the package directory (`crates/bench`) as their working directory, which
+/// is gitignored; persisted `BENCH_*.json` files belong at the repo root so
+/// the perf trajectory stays tracked across PRs.
+pub fn workspace_root() -> &'static std::path::Path {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root")
+}
+
+/// Writes `BENCH_<bench>.json` at the workspace root and returns its path,
+/// for git tracking and CI artifact upload.
 ///
 /// # Errors
 ///
@@ -290,8 +301,143 @@ pub fn write_bench_json(
     bench: &str,
     records: &[BenchRecord],
 ) -> std::io::Result<std::path::PathBuf> {
-    let path = std::path::PathBuf::from(format!("BENCH_{bench}.json"));
+    let path = workspace_root().join(format!("BENCH_{bench}.json"));
     std::fs::write(&path, bench_records_json(bench, records))?;
+    Ok(path)
+}
+
+/// One measured crypto kernel: `bytes` processed per iteration, `iters`
+/// iterations over `seconds` of wall clock.
+#[derive(Debug, Clone)]
+pub struct KernelRecord {
+    /// Kernel name (e.g. `"aes_gcm_seal"`).
+    pub name: String,
+    /// Bytes processed per iteration (0 for pure op-rate kernels).
+    pub bytes: u64,
+    /// Iterations in the timed region.
+    pub iters: u64,
+    /// Wall-clock seconds of the timed region.
+    pub seconds: f64,
+}
+
+impl KernelRecord {
+    /// Megabytes per second (0 when the kernel is op-rate only).
+    pub fn mb_per_s(&self) -> f64 {
+        (self.bytes * self.iters) as f64 / self.seconds / 1e6
+    }
+
+    /// Iterations per second.
+    pub fn ops_per_s(&self) -> f64 {
+        self.iters as f64 / self.seconds
+    }
+}
+
+/// Renders kernel throughput records as JSON.
+pub fn kernel_records_json(bench: &str, records: &[KernelRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
+    out.push_str("  \"unit\": \"mb_per_s\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"bytes\": {}, \"iters\": {}, \"seconds\": {:.6}, \
+             \"mb_per_s\": {:.3}, \"ops_per_s\": {:.3}}}{}\n",
+            json_escape(&r.name),
+            r.bytes,
+            r.iters,
+            r.seconds,
+            r.mb_per_s(),
+            r.ops_per_s(),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_<bench>.json` (kernel schema) at the workspace root.
+///
+/// # Errors
+///
+/// Propagates the underlying file-write error.
+pub fn write_kernel_json(
+    bench: &str,
+    records: &[KernelRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = workspace_root().join(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, kernel_records_json(bench, records))?;
+    Ok(path)
+}
+
+/// One measured launch configuration: wall-clock latency of the full
+/// ECREATE→EADD/EEXTEND→EINIT(→provision→restore) cycle.
+#[derive(Debug, Clone)]
+pub struct LatencyRecord {
+    /// Benchmark app name.
+    pub name: String,
+    /// Build configuration (`"plain"` / `"elide"`).
+    pub build: &'static str,
+    /// Number of timed launches.
+    pub runs: usize,
+    /// Per-run latencies in seconds.
+    pub samples: Vec<f64>,
+}
+
+impl LatencyRecord {
+    /// Mean/stddev of the samples.
+    pub fn stats(&self) -> Stats {
+        stats(&self.samples)
+    }
+
+    /// Fastest sample, in milliseconds.
+    pub fn min_ms(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min) * 1e3
+    }
+
+    /// Slowest sample, in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max) * 1e3
+    }
+}
+
+/// Renders launch-latency records as JSON.
+pub fn latency_records_json(bench: &str, records: &[LatencyRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
+    out.push_str("  \"unit\": \"ms\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let s = r.stats();
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"build\": \"{}\", \"runs\": {}, \"mean_ms\": {:.3}, \
+             \"std_ms\": {:.3}, \"min_ms\": {:.3}, \"max_ms\": {:.3}}}{}\n",
+            json_escape(&r.name),
+            json_escape(r.build),
+            r.runs,
+            s.mean_ms,
+            s.std_ms,
+            r.min_ms(),
+            r.max_ms(),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_<bench>.json` (latency schema) at the workspace root.
+///
+/// # Errors
+///
+/// Propagates the underlying file-write error.
+pub fn write_latency_json(
+    bench: &str,
+    records: &[LatencyRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = workspace_root().join(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, latency_records_json(bench, records))?;
     Ok(path)
 }
 
@@ -317,6 +463,38 @@ mod tests {
         assert!(json.contains("\"mips\": 0.002"));
         assert!(json.contains("a\\\"b"), "quotes must be escaped: {json}");
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn kernel_json_is_well_formed() {
+        let records = vec![
+            KernelRecord { name: "aes_gcm_seal".into(), bytes: 1 << 20, iters: 8, seconds: 0.5 },
+            KernelRecord { name: "rsa_verify".into(), bytes: 0, iters: 100, seconds: 1.0 },
+        ];
+        let json = kernel_records_json("crypto_kernels", &records);
+        assert!(json.contains("\"kernel\": \"aes_gcm_seal\""));
+        assert!(json.contains("\"ops_per_s\": 100.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn latency_json_is_well_formed() {
+        let records = vec![LatencyRecord {
+            name: "aes".into(),
+            build: "elide",
+            runs: 2,
+            samples: vec![0.010, 0.012],
+        }];
+        let json = latency_records_json("launch_latency", &records);
+        assert!(json.contains("\"mean_ms\": 11.000"));
+        assert!(json.contains("\"min_ms\": 10.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn workspace_root_is_a_workspace() {
+        assert!(workspace_root().join("Cargo.toml").is_file());
+        assert!(workspace_root().join("crates/bench").is_dir());
     }
 
     #[test]

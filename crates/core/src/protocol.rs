@@ -23,7 +23,15 @@ pub const CHANNEL_OVERHEAD: usize = 28;
 /// Seals a channel message as `[iv 12][ct][tag 16]` under an explicit IV
 /// (the session layer derives IVs from its sequence counter).
 pub fn seal_msg(key: &[u8; 16], iv: &[u8; 12], plaintext: &[u8]) -> Vec<u8> {
-    let gcm = AesGcm::new(key).expect("16-byte key");
+    seal_msg_with(&AesGcm::new(key).expect("16-byte key"), iv, plaintext)
+}
+
+/// Seals a channel message under an already-expanded cipher context.
+///
+/// [`crate::session::Session`] builds its [`AesGcm`] once per handshake and
+/// reuses it here, so per-message cost is the GCM pass alone — no AES key
+/// expansion or GHASH table derivation on the hot path.
+pub fn seal_msg_with(gcm: &AesGcm, iv: &[u8; 12], plaintext: &[u8]) -> Vec<u8> {
     let (ct, tag) = gcm.seal(iv, &[], plaintext);
     let mut out = Vec::with_capacity(CHANNEL_OVERHEAD + ct.len());
     out.extend_from_slice(iv);

@@ -10,10 +10,11 @@
 
 use crate::elide_asm::request;
 use crate::error::ServerError;
-use crate::protocol::seal_msg;
+use crate::protocol::seal_msg_with;
 use crate::server::AuthServer;
 use crate::store::SecretEntry;
 use elide_crypto::dh::DhKeyPair;
+use elide_crypto::gcm::AesGcm;
 use elide_crypto::rng::{RandomSource, SeededRandom};
 use elide_crypto::sha2::Sha256;
 use sgx_sim::quote::Quote;
@@ -21,7 +22,9 @@ use std::sync::Arc;
 
 /// Per-connection protocol state machine.
 pub struct Session {
-    key: Option<[u8; 16]>,
+    /// Channel cipher, expanded once per handshake (AES key schedule plus
+    /// GHASH table) and reused for every message sealed on this session.
+    channel: Option<AesGcm>,
     entry: Option<Arc<SecretEntry>>,
     /// Per-session IV salt (bytes 8..12 of every channel IV).
     iv_salt: [u8; 4],
@@ -33,7 +36,7 @@ pub struct Session {
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
-            .field("established", &self.key.is_some())
+            .field("established", &self.channel.is_some())
             .field("entry", &self.entry.as_ref().map(|e| e.name.clone()))
             .field("seq", &self.seq)
             .finish()
@@ -47,7 +50,7 @@ impl Session {
     /// ephemeral key retains all 256 bits of the master's entropy.
     pub fn new(seed: [u8; 32]) -> Self {
         Session {
-            key: None,
+            channel: None,
             entry: None,
             iv_salt: [0u8; 4],
             seq: 0,
@@ -57,7 +60,7 @@ impl Session {
 
     /// True once a handshake succeeded on this session.
     pub fn is_established(&self) -> bool {
-        self.key.is_some()
+        self.channel.is_some()
     }
 
     /// Name of the store entry this session resolved to (post-handshake).
@@ -85,27 +88,27 @@ impl Session {
         match req as u64 {
             request::HANDSHAKE => self.handshake(server, payload),
             request::META => {
-                let (key, entry) = self.established()?;
+                let entry = self.established()?;
                 let body = entry.meta.to_body();
-                Ok(self.seal(&key, &body))
+                Ok(self.seal(&body))
             }
             request::DATA => {
-                let (key, entry) = self.established()?;
+                let entry = self.established()?;
                 if entry.meta.is_local() {
                     // Local mode: the data never leaves via the wire; the
                     // enclave should have asked for the meta (key) only.
                     return Err(ServerError::BadRequest);
                 }
                 let data = entry.data.clone();
-                Ok(self.seal(&key, &data))
+                Ok(self.seal(&data))
             }
             other => Err(ServerError::UnknownRequest(other as u8)),
         }
     }
 
-    fn established(&self) -> Result<([u8; 16], Arc<SecretEntry>), ServerError> {
-        match (self.key, &self.entry) {
-            (Some(key), Some(entry)) => Ok((key, Arc::clone(entry))),
+    fn established(&self) -> Result<Arc<SecretEntry>, ServerError> {
+        match (&self.channel, &self.entry) {
+            (Some(_), Some(entry)) => Ok(Arc::clone(entry)),
             _ => Err(ServerError::NoSession),
         }
     }
@@ -142,7 +145,7 @@ impl Session {
         let kp = DhKeyPair::generate(&mut self.rng);
         let channel_key = kp.derive_session_key(client_pub).ok_or(ServerError::BadBinding)?;
 
-        self.key = Some(channel_key);
+        self.channel = Some(AesGcm::new(&channel_key).expect("16-byte channel key"));
         self.entry = Some(entry);
         self.rng.fill(&mut self.iv_salt);
         self.seq = 0;
@@ -150,14 +153,16 @@ impl Session {
         Ok(kp.public_bytes())
     }
 
-    /// Seals a channel message under the session key with a sequence-based
-    /// IV: `[seq u64 LE][iv_salt]`, unique per message per session.
-    fn seal(&mut self, key: &[u8; 16], plaintext: &[u8]) -> Vec<u8> {
+    /// Seals a channel message under the cached session cipher with a
+    /// sequence-based IV: `[seq u64 LE][iv_salt]`, unique per message per
+    /// session.
+    fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
         let mut iv = [0u8; 12];
         iv[..8].copy_from_slice(&self.seq.to_le_bytes());
         iv[8..].copy_from_slice(&self.iv_salt);
         self.seq += 1;
-        seal_msg(key, &iv, plaintext)
+        let gcm = self.channel.as_ref().expect("seal only called post-handshake");
+        seal_msg_with(gcm, &iv, plaintext)
     }
 }
 

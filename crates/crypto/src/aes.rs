@@ -1,9 +1,18 @@
 //! AES block cipher (FIPS 197), supporting 128- and 256-bit keys.
 //!
-//! This is a straightforward table-free implementation: the S-box is
-//! precomputed but MixColumns is done with xtime arithmetic, which keeps the
-//! code auditable. Performance is adequate for the simulator's needs (the
-//! paper's enclaves move tens of kilobytes per restore).
+//! The implementation is table-driven: the four encryption T-tables (the
+//! fused SubBytes+ShiftRows+MixColumns lookup) and their decryption
+//! counterparts are generated at compile time from [`SBOX`] and [`gmul`], so
+//! the tables stay auditable against the spec while each round costs 16
+//! lookups and a handful of XORs instead of byte-wise xtime arithmetic.
+//! Decryption uses the equivalent inverse cipher (FIPS 197 §5.3.5): the
+//! decryption key schedule is the encryption schedule reversed with
+//! InvMixColumns folded into the middle round keys, computed once in
+//! [`Aes::new`].
+//!
+//! Table lookups are data-dependent, so this AES is **not constant-time**
+//! against cache-timing observers; see DESIGN.md ("crypto kernels") for why
+//! that is acceptable in this simulator's threat model.
 
 use crate::error::CryptoError;
 
@@ -31,39 +40,97 @@ pub const SBOX: [u8; 256] = [
     0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
 ];
 
-/// Inverse S-box, derived from [`SBOX`] at first use.
+/// Inverse S-box, derived from [`SBOX`] at compile time.
+const INV_SBOX: [u8; 256] = {
+    let mut inv = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        inv[SBOX[i] as usize] = i as u8;
+        i += 1;
+    }
+    inv
+};
+
+/// Inverse S-box, derived from [`SBOX`].
 pub fn inv_sbox() -> &'static [u8; 256] {
-    use std::sync::OnceLock;
-    static INV: OnceLock<[u8; 256]> = OnceLock::new();
-    INV.get_or_init(|| {
-        let mut inv = [0u8; 256];
-        for (i, &s) in SBOX.iter().enumerate() {
-            inv[s as usize] = i as u8;
-        }
-        inv
-    })
+    &INV_SBOX
 }
 
 #[inline]
-fn xtime(x: u8) -> u8 {
+const fn xtime(x: u8) -> u8 {
     (x << 1) ^ (((x >> 7) & 1) * 0x1b)
 }
 
 /// Multiply in GF(2^8) with the AES reduction polynomial.
 #[inline]
-pub fn gmul(mut a: u8, mut b: u8) -> u8 {
-    let mut p = 0u8;
-    for _ in 0..8 {
+pub const fn gmul(a: u8, b: u8) -> u8 {
+    let (mut a, mut b, mut p) = (a, b, 0u8);
+    let mut i = 0;
+    while i < 8 {
         if b & 1 != 0 {
             p ^= a;
         }
         a = xtime(a);
         b >>= 1;
+        i += 1;
     }
     p
 }
 
-/// Expanded-key AES context.
+const fn pack(b0: u8, b1: u8, b2: u8, b3: u8) -> u32 {
+    ((b0 as u32) << 24) | ((b1 as u32) << 16) | ((b2 as u32) << 8) | (b3 as u32)
+}
+
+const fn ror_table(src: &[u32; 256], bits: u32) -> [u32; 256] {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = src[i].rotate_right(bits);
+        i += 1;
+    }
+    t
+}
+
+// Encryption T-tables. State columns are big-endian u32s, so byte 0 is
+// row 0. TE0[x] is the MixColumns matrix column (2,1,1,3) scaled by S(x);
+// TE1..TE3 are byte rotations of TE0 for rows 1..3.
+const TE0: [u32; 256] = {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        t[i] = pack(gmul(s, 2), s, s, gmul(s, 3));
+        i += 1;
+    }
+    t
+};
+const TE1: [u32; 256] = ror_table(&TE0, 8);
+const TE2: [u32; 256] = ror_table(&TE0, 16);
+const TE3: [u32; 256] = ror_table(&TE0, 24);
+
+// Decryption T-tables for the equivalent inverse cipher: TD0[x] is the
+// InvMixColumns matrix column (14,9,13,11) scaled by InvS(x).
+const TD0: [u32; 256] = {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = INV_SBOX[i];
+        t[i] = pack(gmul(s, 14), gmul(s, 9), gmul(s, 13), gmul(s, 11));
+        i += 1;
+    }
+    t
+};
+const TD1: [u32; 256] = ror_table(&TD0, 8);
+const TD2: [u32; 256] = ror_table(&TD0, 16);
+const TD3: [u32; 256] = ror_table(&TD0, 24);
+
+/// Maximum round-key words: 4 per round for AES-256's 14 rounds + 1.
+const MAX_RK_WORDS: usize = 60;
+
+/// Expanded-key AES context. The encryption and decryption key schedules
+/// are both derived once at construction and reused across every block.
+/// The schedules live in fixed arrays sized for AES-256, so a context is
+/// a flat value with no heap indirection on the block path.
 ///
 /// # Examples
 ///
@@ -77,7 +144,11 @@ pub fn gmul(mut a: u8, mut b: u8) -> u8 {
 /// ```
 #[derive(Clone)]
 pub struct Aes {
-    round_keys: Vec<[u8; 16]>,
+    /// Encryption round keys, 4 big-endian words per round.
+    ek: [u32; MAX_RK_WORDS],
+    /// Equivalent-inverse-cipher round keys: encryption schedule reversed,
+    /// InvMixColumns applied to the middle rounds.
+    dk: [u32; MAX_RK_WORDS],
     rounds: usize,
 }
 
@@ -86,6 +157,16 @@ impl std::fmt::Debug for Aes {
         // Never leak key schedule material through Debug output.
         f.debug_struct("Aes").field("rounds", &self.rounds).finish()
     }
+}
+
+/// InvMixColumns on one big-endian column word, via the decryption tables
+/// (TD[S(x)] undoes the InvSubBytes baked into TD).
+#[inline]
+fn inv_mix_word(w: u32) -> u32 {
+    TD0[SBOX[(w >> 24) as usize] as usize]
+        ^ TD1[SBOX[((w >> 16) & 0xff) as usize] as usize]
+        ^ TD2[SBOX[((w >> 8) & 0xff) as usize] as usize]
+        ^ TD3[SBOX[(w & 0xff) as usize] as usize]
 }
 
 impl Aes {
@@ -115,146 +196,233 @@ impl Aes {
     fn expand(key: &[u8], rounds: usize) -> Self {
         let nk = key.len() / 4; // words in key: 4 or 8
         let total_words = 4 * (rounds + 1);
-        let mut w = vec![[0u8; 4]; total_words];
-        for (i, word) in w.iter_mut().enumerate().take(nk) {
-            word.copy_from_slice(&key[4 * i..4 * i + 4]);
+        let mut ek = [0u32; MAX_RK_WORDS];
+        for (i, w) in ek.iter_mut().enumerate().take(nk) {
+            *w = u32::from_be_bytes(key[4 * i..4 * i + 4].try_into().expect("4 bytes"));
         }
         let mut rcon: u8 = 1;
         for i in nk..total_words {
-            let mut t = w[i - 1];
+            let mut t = ek[i - 1];
             if i % nk == 0 {
-                t.rotate_left(1);
-                for b in &mut t {
-                    *b = SBOX[*b as usize];
-                }
-                t[0] ^= rcon;
+                t = t.rotate_left(8);
+                t = sub_word(t) ^ ((rcon as u32) << 24);
                 rcon = xtime(rcon);
             } else if nk > 6 && i % nk == 4 {
-                for b in &mut t {
-                    *b = SBOX[*b as usize];
-                }
+                t = sub_word(t);
             }
-            for j in 0..4 {
-                w[i][j] = w[i - nk][j] ^ t[j];
+            ek[i] = ek[i - nk] ^ t;
+        }
+        // Equivalent inverse cipher schedule: reverse the round order and
+        // fold InvMixColumns into rounds 1..rounds.
+        let mut dk = [0u32; MAX_RK_WORDS];
+        for r in 0..=rounds {
+            for c in 0..4 {
+                let w = ek[4 * (rounds - r) + c];
+                dk[4 * r + c] = if r == 0 || r == rounds { w } else { inv_mix_word(w) };
             }
         }
-        let round_keys = w
-            .chunks(4)
-            .map(|c| {
-                let mut rk = [0u8; 16];
-                for (i, word) in c.iter().enumerate() {
-                    rk[4 * i..4 * i + 4].copy_from_slice(word);
-                }
-                rk
-            })
-            .collect();
-        Aes { round_keys, rounds }
+        Aes { ek, dk, rounds }
+    }
+
+    /// Encrypts `N` independent 16-byte states in one pass. The per-round
+    /// inner loop over states is unrolled by the compiler, interleaving the
+    /// table lookups of all `N` blocks so the L1 load latency of one block
+    /// overlaps the XOR tree of another — this is what lets CTR mode beat
+    /// the serial one-block-at-a-time dependency chain.
+    #[inline]
+    fn encrypt_states<const N: usize>(&self, s: &mut [[u32; 4]; N]) {
+        let rk0: &[u32; 4] = self.ek[..4].try_into().expect("4 words");
+        for st in s.iter_mut() {
+            for c in 0..4 {
+                st[c] ^= rk0[c];
+            }
+        }
+        let mut keys = self.ek[4..].chunks_exact(4);
+        for _ in 1..self.rounds {
+            let rk: &[u32; 4] = keys.next().expect("schedule").try_into().expect("4 words");
+            for st in s.iter_mut() {
+                *st = enc_round(*st, rk);
+            }
+        }
+        let rk: &[u32; 4] = keys.next().expect("schedule").try_into().expect("4 words");
+        for st in s.iter_mut() {
+            let [s0, s1, s2, s3] = *st;
+            *st = [
+                last_round_word(s0, s1, s2, s3, &SBOX) ^ rk[0],
+                last_round_word(s1, s2, s3, s0, &SBOX) ^ rk[1],
+                last_round_word(s2, s3, s0, s1, &SBOX) ^ rk[2],
+                last_round_word(s3, s0, s1, s2, &SBOX) ^ rk[3],
+            ];
+        }
     }
 
     /// Encrypts one 16-byte block in place.
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[0]);
-        for r in 1..self.rounds {
-            sub_bytes(block);
-            shift_rows(block);
-            mix_columns(block);
-            add_round_key(block, &self.round_keys[r]);
-        }
-        sub_bytes(block);
-        shift_rows(block);
-        add_round_key(block, &self.round_keys[self.rounds]);
+        let mut s = [[
+            u32::from_be_bytes(block[0..4].try_into().expect("4")),
+            u32::from_be_bytes(block[4..8].try_into().expect("4")),
+            u32::from_be_bytes(block[8..12].try_into().expect("4")),
+            u32::from_be_bytes(block[12..16].try_into().expect("4")),
+        ]];
+        self.encrypt_states(&mut s);
+        block[0..4].copy_from_slice(&s[0][0].to_be_bytes());
+        block[4..8].copy_from_slice(&s[0][1].to_be_bytes());
+        block[8..12].copy_from_slice(&s[0][2].to_be_bytes());
+        block[12..16].copy_from_slice(&s[0][3].to_be_bytes());
     }
 
-    /// Decrypts one 16-byte block in place.
+    /// Decrypts one 16-byte block in place (equivalent inverse cipher).
     pub fn decrypt_block(&self, block: &mut [u8; 16]) {
-        add_round_key(block, &self.round_keys[self.rounds]);
-        inv_shift_rows(block);
-        inv_sub_bytes(block);
-        for r in (1..self.rounds).rev() {
-            add_round_key(block, &self.round_keys[r]);
-            inv_mix_columns(block);
-            inv_shift_rows(block);
-            inv_sub_bytes(block);
+        let rk = &self.dk;
+        let mut s0 = u32::from_be_bytes(block[0..4].try_into().expect("4")) ^ rk[0];
+        let mut s1 = u32::from_be_bytes(block[4..8].try_into().expect("4")) ^ rk[1];
+        let mut s2 = u32::from_be_bytes(block[8..12].try_into().expect("4")) ^ rk[2];
+        let mut s3 = u32::from_be_bytes(block[12..16].try_into().expect("4")) ^ rk[3];
+        for r in 1..self.rounds {
+            let t0 = TD0[(s0 >> 24) as usize]
+                ^ TD1[((s3 >> 16) & 0xff) as usize]
+                ^ TD2[((s2 >> 8) & 0xff) as usize]
+                ^ TD3[(s1 & 0xff) as usize]
+                ^ rk[4 * r];
+            let t1 = TD0[(s1 >> 24) as usize]
+                ^ TD1[((s0 >> 16) & 0xff) as usize]
+                ^ TD2[((s3 >> 8) & 0xff) as usize]
+                ^ TD3[(s2 & 0xff) as usize]
+                ^ rk[4 * r + 1];
+            let t2 = TD0[(s2 >> 24) as usize]
+                ^ TD1[((s1 >> 16) & 0xff) as usize]
+                ^ TD2[((s0 >> 8) & 0xff) as usize]
+                ^ TD3[(s3 & 0xff) as usize]
+                ^ rk[4 * r + 2];
+            let t3 = TD0[(s3 >> 24) as usize]
+                ^ TD1[((s2 >> 16) & 0xff) as usize]
+                ^ TD2[((s1 >> 8) & 0xff) as usize]
+                ^ TD3[(s0 & 0xff) as usize]
+                ^ rk[4 * r + 3];
+            (s0, s1, s2, s3) = (t0, t1, t2, t3);
         }
-        add_round_key(block, &self.round_keys[0]);
+        let last = 4 * self.rounds;
+        let t0 = last_round_word(s0, s3, s2, s1, &INV_SBOX) ^ rk[last];
+        let t1 = last_round_word(s1, s0, s3, s2, &INV_SBOX) ^ rk[last + 1];
+        let t2 = last_round_word(s2, s1, s0, s3, &INV_SBOX) ^ rk[last + 2];
+        let t3 = last_round_word(s3, s2, s1, s0, &INV_SBOX) ^ rk[last + 3];
+        block[0..4].copy_from_slice(&t0.to_be_bytes());
+        block[4..8].copy_from_slice(&t1.to_be_bytes());
+        block[8..12].copy_from_slice(&t2.to_be_bytes());
+        block[12..16].copy_from_slice(&t3.to_be_bytes());
     }
 }
 
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for i in 0..16 {
-        state[i] ^= rk[i];
-    }
+/// One full T-table round on a single state column set.
+#[inline(always)]
+fn enc_round(s: [u32; 4], rk: &[u32; 4]) -> [u32; 4] {
+    [
+        TE0[(s[0] >> 24) as usize]
+            ^ TE1[((s[1] >> 16) & 0xff) as usize]
+            ^ TE2[((s[2] >> 8) & 0xff) as usize]
+            ^ TE3[(s[3] & 0xff) as usize]
+            ^ rk[0],
+        TE0[(s[1] >> 24) as usize]
+            ^ TE1[((s[2] >> 16) & 0xff) as usize]
+            ^ TE2[((s[3] >> 8) & 0xff) as usize]
+            ^ TE3[(s[0] & 0xff) as usize]
+            ^ rk[1],
+        TE0[(s[2] >> 24) as usize]
+            ^ TE1[((s[3] >> 16) & 0xff) as usize]
+            ^ TE2[((s[0] >> 8) & 0xff) as usize]
+            ^ TE3[(s[1] & 0xff) as usize]
+            ^ rk[2],
+        TE0[(s[3] >> 24) as usize]
+            ^ TE1[((s[0] >> 16) & 0xff) as usize]
+            ^ TE2[((s[1] >> 8) & 0xff) as usize]
+            ^ TE3[(s[2] & 0xff) as usize]
+            ^ rk[3],
+    ]
 }
 
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
+/// SubWord of the key schedule: S-box applied to each byte of a word.
+#[inline]
+fn sub_word(w: u32) -> u32 {
+    pack(
+        SBOX[(w >> 24) as usize],
+        SBOX[((w >> 16) & 0xff) as usize],
+        SBOX[((w >> 8) & 0xff) as usize],
+        SBOX[(w & 0xff) as usize],
+    )
 }
 
-fn inv_sub_bytes(state: &mut [u8; 16]) {
-    let inv = inv_sbox();
-    for b in state.iter_mut() {
-        *b = inv[*b as usize];
-    }
+/// Final-round word: SubBytes + ShiftRows only, one source word per row.
+#[inline]
+fn last_round_word(r0: u32, r1: u32, r2: u32, r3: u32, sbox: &[u8; 256]) -> u32 {
+    pack(
+        sbox[(r0 >> 24) as usize],
+        sbox[((r1 >> 16) & 0xff) as usize],
+        sbox[((r2 >> 8) & 0xff) as usize],
+        sbox[(r3 & 0xff) as usize],
+    )
 }
 
-// State is column-major: state[4*c + r] is row r, column c.
-fn shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
-        }
-    }
-}
-
-fn inv_shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[4 * ((c + r) % 4) + r] = s[4 * c + r];
-        }
-    }
-}
-
-fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
-        state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
-        state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
-        state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
-    }
-}
-
-fn inv_mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
-        state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
-        state[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
-        state[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
-        state[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
-    }
-}
+/// Number of counter blocks encrypted per interleaved batch in [`ctr_xor`].
+const CTR_LANES: usize = 4;
 
 /// Encrypts a counter block stream (AES-CTR) over `data` in place.
 ///
 /// The 16-byte `counter_block` is treated as a big-endian counter in its last
-/// 4 bytes, as in GCM's CTR mode.
+/// 4 bytes, as in GCM's CTR mode. Counter blocks are independent, so the
+/// keystream is generated [`CTR_LANES`] blocks at a time through
+/// [`Aes::encrypt_states`], hiding table-lookup latency behind the other
+/// lanes' work.
 pub fn ctr_xor(aes: &Aes, counter_block: &[u8; 16], data: &mut [u8]) {
-    let mut ctr = *counter_block;
-    for chunk in data.chunks_mut(16) {
-        let mut ks = ctr;
-        aes.encrypt_block(&mut ks);
-        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+    let p0 = u32::from_be_bytes(counter_block[0..4].try_into().expect("4"));
+    let p1 = u32::from_be_bytes(counter_block[4..8].try_into().expect("4"));
+    let p2 = u32::from_be_bytes(counter_block[8..12].try_into().expect("4"));
+    let mut c = u32::from_be_bytes(counter_block[12..16].try_into().expect("4"));
+
+    let mut wide = data.chunks_exact_mut(16 * CTR_LANES);
+    for batch in &mut wide {
+        let mut s = [[0u32; 4]; CTR_LANES];
+        for (lane, st) in s.iter_mut().enumerate() {
+            *st = [p0, p1, p2, c.wrapping_add(lane as u32)];
+        }
+        c = c.wrapping_add(CTR_LANES as u32);
+        aes.encrypt_states(&mut s);
+        for (lane, chunk) in batch.chunks_exact_mut(16).enumerate() {
+            xor_keystream_block(chunk, &s[lane]);
+        }
+    }
+
+    let tail = wide.into_remainder();
+    let mut chunks = tail.chunks_exact_mut(16);
+    for chunk in &mut chunks {
+        let mut s = [[p0, p1, p2, c]];
+        c = c.wrapping_add(1);
+        aes.encrypt_states(&mut s);
+        xor_keystream_block(chunk, &s[0]);
+    }
+    let rest = chunks.into_remainder();
+    if !rest.is_empty() {
+        let mut s = [[p0, p1, p2, c]];
+        aes.encrypt_states(&mut s);
+        let mut ks = [0u8; 16];
+        for (b, w) in s[0].iter().enumerate() {
+            ks[4 * b..4 * b + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        for (d, k) in rest.iter_mut().zip(ks.iter()) {
             *d ^= k;
         }
-        // 32-bit big-endian increment of the final word.
-        let mut c = u32::from_be_bytes([ctr[12], ctr[13], ctr[14], ctr[15]]);
-        c = c.wrapping_add(1);
-        ctr[12..16].copy_from_slice(&c.to_be_bytes());
     }
+}
+
+/// XORs one encrypted counter state (4 big-endian words) into a 16-byte
+/// chunk of data.
+#[inline(always)]
+fn xor_keystream_block(chunk: &mut [u8], state: &[u32; 4]) {
+    let ks = ((state[0] as u128) << 96)
+        | ((state[1] as u128) << 64)
+        | ((state[2] as u128) << 32)
+        | (state[3] as u128);
+    let word = u128::from_be_bytes(chunk.try_into().expect("16 bytes")) ^ ks;
+    chunk.copy_from_slice(&word.to_be_bytes());
 }
 
 #[cfg(test)]
@@ -353,5 +521,26 @@ mod tests {
     fn gmul_matches_known_products() {
         assert_eq!(gmul(0x57, 0x83), 0xc1);
         assert_eq!(gmul(0x57, 0x13), 0xfe);
+    }
+
+    #[test]
+    fn inv_sbox_inverts_sbox() {
+        for i in 0..=255u8 {
+            assert_eq!(inv_sbox()[SBOX[i as usize] as usize], i);
+        }
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt_many_keys() {
+        for seed in 0..32u8 {
+            let key = [seed.wrapping_mul(37).wrapping_add(11); 32];
+            let aes = Aes::new_256(&key);
+            let mut block = [seed; 16];
+            let orig = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, orig);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, orig);
+        }
     }
 }

@@ -385,6 +385,10 @@ impl BigUint {
 
     /// Modular exponentiation: `self^exp mod m`.
     ///
+    /// Odd moduli — every RSA and DH modulus — take the Montgomery +
+    /// 4-bit fixed-window path; even moduli fall back to the schoolbook
+    /// square-and-multiply with a division per step.
+    ///
     /// # Panics
     ///
     /// Panics if `m` is zero.
@@ -392,6 +396,9 @@ impl BigUint {
         assert!(!m.is_zero(), "modpow modulus must be nonzero");
         if m == &BigUint::one() {
             return BigUint::zero();
+        }
+        if m.is_odd() {
+            return Montgomery::new(m).modpow(&self.rem(m), exp);
         }
         let mut base = self.rem(m);
         let mut result = BigUint::one();
@@ -431,6 +438,139 @@ impl BigUint {
         let val = if t0.0 { m.sub(&t0.1.rem(m)).rem(m) } else { t0.1.rem(m) };
         Some(val)
     }
+}
+
+/// Montgomery context for one odd modulus: all reductions inside
+/// [`Montgomery::modpow`] are carry-propagating multiplications (CIOS), no
+/// division. Built once per exponentiation; the expensive parts — `n0` and
+/// `R² mod n` — amortize over the exponent's hundreds of multiplies.
+struct Montgomery {
+    /// Modulus limbs (little-endian), length `k`.
+    n: Vec<u64>,
+    /// `-n[0]⁻¹ mod 2^64`.
+    n0: u64,
+    /// `R² mod n` where `R = 2^(64k)`, padded to `k` limbs.
+    rr: Vec<u64>,
+    k: usize,
+}
+
+impl Montgomery {
+    /// # Panics
+    ///
+    /// Panics if `m` is even or < 3 (callers gate on `is_odd`).
+    fn new(m: &BigUint) -> Montgomery {
+        assert!(m.is_odd() && *m > BigUint::one(), "Montgomery needs an odd modulus > 1");
+        let n = m.limbs.clone();
+        let k = n.len();
+        // Newton's iteration doubles the valid low bits each round:
+        // 5 rounds take the trivial inverse mod 2 up to mod 2^64.
+        let mut inv = n[0]; // n[0] odd ⇒ self-inverse mod 8, seed for Newton
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n[0].wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n[0].wrapping_mul(inv), 1);
+        let mut rr = BigUint::one().shl(128 * k).rem(m).limbs;
+        rr.resize(k, 0);
+        Montgomery { n, n0: inv.wrapping_neg(), rr, k }
+    }
+
+    /// Montgomery product `a·b·R⁻¹ mod n` (CIOS: interleaved multiply and
+    /// reduce, one limb of `a` per pass). `a` and `b` are `k` limbs.
+    fn mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k;
+        let mut t = vec![0u64; k + 2];
+        for &ai in a {
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let s = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+            // One reduction step: add m·n (making t[0] zero) and shift out
+            // the low limb.
+            let m = t[0].wrapping_mul(self.n0);
+            let mut carry = (t[0] as u128 + m as u128 * self.n[0] as u128) >> 64;
+            for j in 1..k {
+                let s = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1].wrapping_add((s >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        // CIOS keeps t < 2n, so at most one final subtraction. When the
+        // carry limb t[k] is set, the low limbs may borrow; the borrow
+        // exactly cancels the carry limb (t < 2n means t[k] is 0 or 1).
+        if t[k] != 0 || !limbs_lt(&t[..k], &self.n) {
+            let borrow = limbs_sub_assign(&mut t[..k], &self.n);
+            debug_assert_eq!(t[k], borrow);
+            t[k] = 0;
+        }
+        t.truncate(k);
+        t
+    }
+
+    /// `x^exp mod n` with a 4-bit fixed window. `x` must already be < n.
+    fn modpow(&self, x: &BigUint, exp: &BigUint) -> BigUint {
+        let mut base = x.limbs.clone();
+        base.resize(self.k, 0);
+        let mut one = vec![0u64; self.k];
+        one[0] = 1;
+        let one_m = self.mul(&one, &self.rr); // R mod n
+        let base_m = self.mul(&base, &self.rr);
+        // table[i] = baseⁱ in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(one_m.clone());
+        for i in 1..16 {
+            table.push(self.mul(&table[i - 1], &base_m));
+        }
+        // 64 % 4 == 0, so exponent nibbles never straddle limbs.
+        let windows = exp.bits().div_ceil(4);
+        let mut acc = one_m;
+        for w in (0..windows).rev() {
+            if w + 1 != windows {
+                for _ in 0..4 {
+                    acc = self.mul(&acc, &acc);
+                }
+            }
+            let nib = ((exp.limbs[w / 16] >> (4 * (w % 16))) & 0xf) as usize;
+            if nib != 0 {
+                acc = self.mul(&acc, &table[nib]);
+            }
+        }
+        let mut out = BigUint { limbs: self.mul(&acc, &one) };
+        out.normalize();
+        out
+    }
+}
+
+/// `a < b` over equal-length little-endian limb slices.
+fn limbs_lt(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+/// `a -= b` over equal-length little-endian limb slices, returning the
+/// final borrow (0 or 1) for the caller to settle against any carry limb.
+fn limbs_sub_assign(a: &mut [u64], b: &[u64]) -> u64 {
+    let mut borrow = 0u64;
+    for (ai, &bi) in a.iter_mut().zip(b) {
+        let (d1, u1) = ai.overflowing_sub(bi);
+        let (d2, u2) = d1.overflowing_sub(borrow);
+        *ai = d2;
+        borrow = (u1 as u64) + (u2 as u64);
+    }
+    borrow
 }
 
 /// Computes `a - b` on sign-magnitude pairs.
@@ -641,6 +781,46 @@ mod tests {
             let got = BigUint::from_u64(b).modpow(&BigUint::from_u64(e), &BigUint::from_u64(m));
             assert_eq!(got.to_u64(), Some(expect));
         }
+    }
+
+    #[test]
+    fn prop_modpow_montgomery_matches_schoolbook() {
+        let mut rng = SeededRandom::new(0xB1608);
+        for case in 0..64 {
+            let m_limbs = 1 + (rng.next_u64() % 6) as usize;
+            let mut m = BigUint { limbs: (0..m_limbs).map(|_| rng.next_u64()).collect() };
+            m.limbs[0] |= 1; // force odd ⇒ Montgomery path
+            m.normalize();
+            if m <= BigUint::one() {
+                continue;
+            }
+            let base = BigUint { limbs: (0..m_limbs).map(|_| rng.next_u64()).collect() }
+                .add(&BigUint::zero());
+            let exp = BigUint::from_u64(rng.next_u64() % 512);
+            // Square-and-multiply with divisions, as a reference.
+            let mut expect = BigUint::one();
+            let mut b = base.rem(&m);
+            for i in 0..exp.bits() {
+                if exp.bit(i) {
+                    expect = expect.mul(&b).rem(&m);
+                }
+                b = b.mul(&b).rem(&m);
+            }
+            assert_eq!(base.modpow(&exp, &m), expect, "case {case} m={m}");
+        }
+    }
+
+    #[test]
+    fn modpow_zero_exponent_and_base_edges() {
+        let m = BigUint::from_u64(0x1_0000_0001).mul(&BigUint::from_u64(97)).add(&BigUint::zero());
+        let m = if m.is_odd() { m } else { m.add(&BigUint::one()) };
+        assert_eq!(BigUint::from_u64(12345).modpow(&BigUint::zero(), &m), BigUint::one());
+        assert_eq!(BigUint::zero().modpow(&BigUint::from_u64(5), &m), BigUint::zero());
+        assert_eq!(BigUint::zero().modpow(&BigUint::zero(), &m), BigUint::one());
+        assert_eq!(
+            BigUint::from_u64(7).modpow(&BigUint::from_u64(3), &BigUint::one()),
+            BigUint::zero()
+        );
     }
 
     #[test]

@@ -13,37 +13,104 @@ pub const IV_LEN: usize = 12;
 /// GCM authentication tag length in bytes.
 pub const TAG_LEN: usize = 16;
 
-/// Multiplies two elements of GF(2^128) as defined for GHASH.
-fn gf_mul(x: u128, y: u128) -> u128 {
-    const R: u128 = 0xe1 << 120;
-    let mut z = 0u128;
-    let mut v = x;
-    for i in 0..128 {
-        if (y >> (127 - i)) & 1 == 1 {
-            z ^= v;
+/// Reduction constants for an 8-bit right shift in GHASH's bit-reversed
+/// field representation: `LAST8[r]` folds the byte shifted off the low end
+/// back into the top 16 bits (`r`'s bit `i` contributes `x^(135-i) mod P`).
+const LAST8: [u16; 256] = {
+    let mut t = [0u16; 256];
+    let mut b = 0;
+    while b < 256 {
+        let mut r: u16 = 0;
+        let mut i = 0;
+        while i < 8 {
+            if (b >> i) & 1 == 1 {
+                r ^= 0xE100 >> (7 - i);
+            }
+            i += 1;
         }
-        let lsb = v & 1;
-        v >>= 1;
-        if lsb == 1 {
-            v ^= R;
-        }
+        t[b] = r;
+        b += 1;
     }
-    z
+    t
+};
+
+/// One GHASH key: Shoup's full 8-bit table, `t[k][b] = (b·H)·x^(8(15-k))`
+/// for byte position `k`, derived once per key (64 KiB). Each 16-byte block
+/// then costs 16 *independent* table lookups XORed together — no serial
+/// shift-and-reduce chain at all, so the lookups of one block pipeline
+/// freely.
+#[derive(Clone)]
+struct GhashKey {
+    t: Box<[[u128; 256]; 16]>,
 }
 
-fn ghash(h: u128, aad: &[u8], ct: &[u8]) -> u128 {
-    let mut y = 0u128;
-    let absorb = |data: &[u8], y: &mut u128| {
-        for chunk in data.chunks(16) {
-            let mut block = [0u8; 16];
-            block[..chunk.len()].copy_from_slice(chunk);
-            *y = gf_mul(*y ^ u128::from_be_bytes(block), h);
+impl GhashKey {
+    fn new(h: u128) -> Self {
+        // Byte table for the most significant position first: m[b] = b·H,
+        // built from 8 halvings of H (GHASH is bit-reversed, so ·x is a
+        // right shift with reduction) plus linearity: m[i|j] = m[i]^m[j].
+        let mut m = [0u128; 256];
+        m[128] = h;
+        let mut i = 64;
+        loop {
+            m[i] = {
+                let v = m[2 * i];
+                (v >> 1) ^ ((v & 1) * (0xe1 << 120))
+            };
+            if i == 1 {
+                break;
+            }
+            i >>= 1;
         }
-    };
-    absorb(aad, &mut y);
-    absorb(ct, &mut y);
-    let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
-    gf_mul(y ^ lens, h)
+        for i in [2usize, 4, 8, 16, 32, 64, 128] {
+            for j in 1..i {
+                m[i + j] = m[i] ^ m[j];
+            }
+        }
+        // Remaining byte positions by repeated ·x^8: shifting a block right
+        // one byte multiplies its field element by x^8.
+        let mut t = Box::new([[0u128; 256]; 16]);
+        t[15] = m;
+        for k in (0..15).rev() {
+            for b in 0..256 {
+                let v = t[k + 1][b];
+                t[k][b] = (v >> 8) ^ ((LAST8[(v & 0xff) as usize] as u128) << 112);
+            }
+        }
+        GhashKey { t }
+    }
+
+    /// Multiplies `x` by the key's `H`: one table lookup per byte of `x`,
+    /// all independent, XORed together.
+    #[inline]
+    fn mul(&self, x: u128) -> u128 {
+        let mut z = 0u128;
+        for (k, tbl) in self.t.iter().enumerate() {
+            z ^= tbl[((x >> (8 * k)) & 0xff) as usize];
+        }
+        z
+    }
+
+    fn ghash(&self, aad: &[u8], ct: &[u8]) -> u128 {
+        let mut y = 0u128;
+        let absorb = |data: &[u8], y: &mut u128| {
+            let mut chunks = data.chunks_exact(16);
+            for chunk in &mut chunks {
+                let block: [u8; 16] = chunk.try_into().expect("16 bytes");
+                *y = self.mul(*y ^ u128::from_be_bytes(block));
+            }
+            let rest = chunks.remainder();
+            if !rest.is_empty() {
+                let mut block = [0u8; 16];
+                block[..rest.len()].copy_from_slice(rest);
+                *y = self.mul(*y ^ u128::from_be_bytes(block));
+            }
+        };
+        absorb(aad, &mut y);
+        absorb(ct, &mut y);
+        let lens = ((aad.len() as u128 * 8) << 64) | (ct.len() as u128 * 8);
+        self.mul(y ^ lens)
+    }
 }
 
 /// AES-GCM context bound to one key.
@@ -64,7 +131,7 @@ fn ghash(h: u128, aad: &[u8], ct: &[u8]) -> u128 {
 #[derive(Clone)]
 pub struct AesGcm {
     aes: Aes,
-    h: u128,
+    ghash: GhashKey,
 }
 
 impl std::fmt::Debug for AesGcm {
@@ -83,7 +150,7 @@ impl AesGcm {
         let aes = Aes::new(key)?;
         let mut hb = [0u8; 16];
         aes.encrypt_block(&mut hb);
-        Ok(AesGcm { aes, h: u128::from_be_bytes(hb) })
+        Ok(AesGcm { aes, ghash: GhashKey::new(u128::from_be_bytes(hb)) })
     }
 
     fn j0(&self, iv: &[u8; IV_LEN]) -> [u8; 16] {
@@ -110,7 +177,7 @@ impl AesGcm {
         let mut ct = plaintext.to_vec();
         ctr_xor(&self.aes, &ctr1, &mut ct);
 
-        let s = ghash(self.h, aad, &ct);
+        let s = self.ghash.ghash(aad, &ct);
         let mut tag_block = j0;
         self.aes.encrypt_block(&mut tag_block);
         let tag = (u128::from_be_bytes(tag_block) ^ s).to_be_bytes();
@@ -131,7 +198,7 @@ impl AesGcm {
         tag: &[u8; TAG_LEN],
     ) -> Result<Vec<u8>, CryptoError> {
         let j0 = self.j0(iv);
-        let s = ghash(self.h, aad, ciphertext);
+        let s = self.ghash.ghash(aad, ciphertext);
         let mut tag_block = j0;
         self.aes.encrypt_block(&mut tag_block);
         let expect = (u128::from_be_bytes(tag_block) ^ s).to_be_bytes();
@@ -266,6 +333,45 @@ mod tests {
             let bit = (rng.next_u64() as usize) % (ct.len() * 8);
             ct[bit / 8] ^= 1 << (bit % 8);
             assert!(gcm.open(&iv, &[], &ct, &tag).is_err(), "case {case} bit {bit}");
+        }
+    }
+
+    /// Bitwise GF(2^128) multiply, straight from SP 800-38D §6.3 — the
+    /// reference the Shoup table is checked against.
+    fn gf_mul_reference(x: u128, y: u128) -> u128 {
+        const R: u128 = 0xe1 << 120;
+        let mut z = 0u128;
+        let mut v = x;
+        for i in 0..128 {
+            if (y >> (127 - i)) & 1 == 1 {
+                z ^= v;
+            }
+            let lsb = v & 1;
+            v >>= 1;
+            if lsb == 1 {
+                v ^= R;
+            }
+        }
+        z
+    }
+
+    #[test]
+    fn table_mul_matches_bitwise_reference() {
+        let mut rng = SeededRandom::new(0x6113);
+        for _ in 0..64 {
+            let h = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+            let key = GhashKey::new(h);
+            for _ in 0..16 {
+                let x = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+                assert_eq!(key.mul(x), gf_mul_reference(h, x), "h={h:032x} x={x:032x}");
+            }
+        }
+        // Degenerate operands exercise the reduction-table edges.
+        for &h in &[0u128, 1, u128::MAX, 0xe1 << 120] {
+            let key = GhashKey::new(h);
+            for &x in &[0u128, 1, u128::MAX, 1 << 127] {
+                assert_eq!(key.mul(x), gf_mul_reference(h, x), "h={h:032x} x={x:032x}");
+            }
         }
     }
 

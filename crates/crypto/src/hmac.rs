@@ -2,7 +2,78 @@
 
 use crate::sha2::Sha256;
 
-/// Computes HMAC-SHA256 of `data` under `key`.
+/// HMAC-SHA256 context bound to one key: the ipad/opad key blocks are
+/// absorbed into hasher states once at construction, so each message costs
+/// two state clones instead of re-deriving the padded key blocks.
+///
+/// # Examples
+///
+/// ```
+/// use elide_crypto::hmac::Hmac;
+/// let mac = Hmac::new(b"key");
+/// let tag = mac.mac(b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(tag[0], 0xf7);
+/// ```
+#[derive(Clone)]
+pub struct Hmac {
+    /// SHA-256 state with the ipad block already compressed.
+    inner: Sha256,
+    /// SHA-256 state with the opad block already compressed.
+    outer: Sha256,
+}
+
+impl std::fmt::Debug for Hmac {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never leak key-derived state through Debug output.
+        f.debug_struct("Hmac").finish_non_exhaustive()
+    }
+}
+
+impl Hmac {
+    /// Prepares the keyed inner/outer states (keys longer than the 64-byte
+    /// block are first hashed, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; 64];
+        if key.len() > 64 {
+            k[..32].copy_from_slice(&Sha256::digest(key));
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0x36u8; 64];
+        let mut opad = [0x5cu8; 64];
+        for i in 0..64 {
+            ipad[i] ^= k[i];
+            opad[i] ^= k[i];
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        let mut outer = Sha256::new();
+        outer.update(&opad);
+        Hmac { inner, outer }
+    }
+
+    /// Computes the tag over `data`.
+    pub fn mac(&self, data: &[u8]) -> [u8; 32] {
+        let mut inner = self.inner.clone();
+        inner.update(data);
+        let mut outer = self.outer.clone();
+        outer.update(&inner.finalize());
+        outer.finalize()
+    }
+
+    /// Verifies a tag over `data` without early exit on mismatching bytes.
+    pub fn verify(&self, data: &[u8], tag: &[u8; 32]) -> bool {
+        let expect = self.mac(data);
+        let mut diff = 0u8;
+        for (a, b) in expect.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+/// Computes HMAC-SHA256 of `data` under `key` (one-shot convenience; use
+/// [`Hmac`] to amortize the key schedule across messages).
 ///
 /// # Examples
 ///
@@ -12,36 +83,12 @@ use crate::sha2::Sha256;
 /// assert_eq!(tag[0], 0xf7);
 /// ```
 pub fn hmac_sha256(key: &[u8], data: &[u8]) -> [u8; 32] {
-    let mut k = [0u8; 64];
-    if key.len() > 64 {
-        k[..32].copy_from_slice(&Sha256::digest(key));
-    } else {
-        k[..key.len()].copy_from_slice(key);
-    }
-    let mut ipad = [0x36u8; 64];
-    let mut opad = [0x5cu8; 64];
-    for i in 0..64 {
-        ipad[i] ^= k[i];
-        opad[i] ^= k[i];
-    }
-    let mut inner = Sha256::new();
-    inner.update(&ipad);
-    inner.update(data);
-    let inner_digest = inner.finalize();
-    let mut outer = Sha256::new();
-    outer.update(&opad);
-    outer.update(&inner_digest);
-    outer.finalize()
+    Hmac::new(key).mac(data)
 }
 
 /// Verifies an HMAC-SHA256 tag without early exit on mismatching bytes.
 pub fn hmac_sha256_verify(key: &[u8], data: &[u8], tag: &[u8; 32]) -> bool {
-    let expect = hmac_sha256(key, data);
-    let mut diff = 0u8;
-    for (a, b) in expect.iter().zip(tag.iter()) {
-        diff |= a ^ b;
-    }
-    diff == 0
+    Hmac::new(key).verify(data, tag)
 }
 
 #[cfg(test)]
@@ -83,5 +130,13 @@ mod tests {
         bad[31] ^= 1;
         assert!(!hmac_sha256_verify(b"k", b"m", &bad));
         assert!(!hmac_sha256_verify(b"k2", b"m", &tag));
+    }
+
+    #[test]
+    fn reused_context_matches_oneshot() {
+        let mac = Hmac::new(b"shared key");
+        for msg in [&b"first"[..], b"second", b"", &[0u8; 200]] {
+            assert_eq!(mac.mac(msg), hmac_sha256(b"shared key", msg));
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Key derivation used by the SGX simulator (`EGETKEY`) and the channel
 //! handshake: a simple extract-and-expand construction over HMAC-SHA256.
 
-use crate::hmac::hmac_sha256;
+use crate::hmac::Hmac;
 
 /// Derives `len` bytes from `secret`, domain-separated by `label` and bound
 /// to `context` (e.g. MRENCLAVE for seal keys).
@@ -14,19 +14,20 @@ use crate::hmac::hmac_sha256;
 /// Panics if `len > 64`.
 pub fn derive_key(secret: &[u8], label: &str, context: &[u8], len: usize) -> Vec<u8> {
     assert!(len <= 64, "derive_key supports at most 64 output bytes");
+    // One keyed context shared by both expansion rounds: the padded key
+    // blocks are absorbed once, not re-derived per round.
+    let hmac = Hmac::new(secret);
     let mut msg = Vec::with_capacity(label.len() + context.len() + 2);
     msg.extend_from_slice(label.as_bytes());
     msg.push(0);
     msg.extend_from_slice(context);
     msg.push(1);
-    let block1 = hmac_sha256(secret, &msg);
+    let block1 = hmac.mac(&msg);
     if len <= 32 {
         return block1[..len].to_vec();
     }
-    let last = *msg.last_mut().expect("msg is non-empty");
-    let _ = last;
     *msg.last_mut().expect("msg is non-empty") = 2;
-    let block2 = hmac_sha256(secret, &msg);
+    let block2 = hmac.mac(&msg);
     let mut out = block1.to_vec();
     out.extend_from_slice(&block2);
     out.truncate(len);

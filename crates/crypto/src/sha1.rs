@@ -17,7 +17,9 @@
 #[derive(Clone, Debug)]
 pub struct Sha1 {
     state: [u32; 5],
-    buf: Vec<u8>,
+    /// Partial-block staging buffer; only `buf_len` bytes are live.
+    buf: [u8; 64],
+    buf_len: usize,
     len: u64,
 }
 
@@ -32,33 +34,47 @@ impl Sha1 {
     pub fn new() -> Self {
         Sha1 {
             state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
-            buf: Vec::new(),
+            buf: [0; 64],
+            buf_len: 0,
             len: 0,
         }
     }
 
-    /// Absorbs `data`.
-    pub fn update(&mut self, data: &[u8]) {
+    /// Absorbs `data` without allocating: tops up the staging buffer, then
+    /// compresses full 64-byte blocks straight out of the borrowed slice.
+    pub fn update(&mut self, mut data: &[u8]) {
         self.len = self.len.wrapping_add(data.len() as u64);
-        self.buf.extend_from_slice(data);
-        let take = self.buf.len() - self.buf.len() % 64;
-        let complete: Vec<u8> = self.buf.drain(..take).collect();
-        for block in complete.chunks_exact(64) {
-            compress(&mut self.state, block.try_into().unwrap());
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 64 {
+                return;
+            }
+            let block = self.buf;
+            compress(&mut self.state, &block);
+            self.buf_len = 0;
         }
+        let mut blocks = data.chunks_exact(64);
+        for block in &mut blocks {
+            compress(&mut self.state, block.try_into().expect("64 bytes"));
+        }
+        let rest = blocks.remainder();
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
     }
 
     /// Finishes, returning the 20-byte digest.
     pub fn finalize(mut self) -> [u8; 20] {
         let bitlen = self.len.wrapping_mul(8);
-        self.buf.push(0x80);
-        while self.buf.len() % 64 != 56 {
-            self.buf.push(0);
-        }
-        self.buf.extend_from_slice(&bitlen.to_be_bytes());
-        let blocks = std::mem::take(&mut self.buf);
-        for block in blocks.chunks_exact(64) {
-            compress(&mut self.state, block.try_into().unwrap());
+        let mut pad = [0u8; 128];
+        pad[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        pad[self.buf_len] = 0x80;
+        let total = if self.buf_len < 56 { 64 } else { 128 };
+        pad[total - 8..total].copy_from_slice(&bitlen.to_be_bytes());
+        for block in pad[..total].chunks_exact(64) {
+            compress(&mut self.state, block.try_into().expect("64 bytes"));
         }
         let mut out = [0u8; 20];
         for (i, w) in self.state.iter().enumerate() {

@@ -114,7 +114,11 @@ pub const K512: [u64; 80] = [
 #[derive(Clone, Debug)]
 pub struct Sha256 {
     state: [u32; 8],
-    buf: Vec<u8>,
+    /// Partial-block staging buffer; only `buf_len` bytes are live. Fixed
+    /// size keeps `update` allocation-free — the measurement path calls it
+    /// thousands of times with tiny chunks.
+    buf: [u8; 64],
+    buf_len: usize,
     len: u64,
     trunc224: bool,
 }
@@ -133,7 +137,8 @@ impl Sha256 {
                 0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
                 0x5be0cd19,
             ],
-            buf: Vec::new(),
+            buf: [0; 64],
+            buf_len: 0,
             len: 0,
             trunc224: false,
         }
@@ -146,35 +151,49 @@ impl Sha256 {
                 0xc1059ed8, 0x367cd507, 0x3070dd17, 0xf70e5939, 0xffc00b31, 0x68581511, 0x64f98fa7,
                 0xbefa4fa4,
             ],
-            buf: Vec::new(),
+            buf: [0; 64],
+            buf_len: 0,
             len: 0,
             trunc224: true,
         }
     }
 
-    /// Absorbs `data`.
-    pub fn update(&mut self, data: &[u8]) {
+    /// Absorbs `data` without allocating: tops up the staging buffer, then
+    /// compresses full 64-byte blocks straight out of the borrowed slice.
+    pub fn update(&mut self, mut data: &[u8]) {
         self.len = self.len.wrapping_add(data.len() as u64);
-        self.buf.extend_from_slice(data);
-        let take = self.buf.len() - self.buf.len() % 64;
-        let complete: Vec<u8> = self.buf.drain(..take).collect();
-        for block in complete.chunks_exact(64) {
-            compress256(&mut self.state, block.try_into().unwrap());
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 64 {
+                return;
+            }
+            let block = self.buf;
+            compress256(&mut self.state, &block);
+            self.buf_len = 0;
         }
+        let mut blocks = data.chunks_exact(64);
+        for block in &mut blocks {
+            compress256(&mut self.state, block.try_into().expect("64 bytes"));
+        }
+        let rest = blocks.remainder();
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
     }
 
     /// Finishes and returns the 32-byte digest (28 meaningful bytes for
     /// SHA-224; see [`Sha256::finalize_vec`] for the truncated form).
     pub fn finalize(mut self) -> [u8; 32] {
         let bitlen = self.len.wrapping_mul(8);
-        self.buf.push(0x80);
-        while self.buf.len() % 64 != 56 {
-            self.buf.push(0);
-        }
-        self.buf.extend_from_slice(&bitlen.to_be_bytes());
-        let blocks = std::mem::take(&mut self.buf);
-        for block in blocks.chunks_exact(64) {
-            compress256(&mut self.state, block.try_into().unwrap());
+        let mut pad = [0u8; 128];
+        pad[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        pad[self.buf_len] = 0x80;
+        let total = if self.buf_len < 56 { 64 } else { 128 };
+        pad[total - 8..total].copy_from_slice(&bitlen.to_be_bytes());
+        for block in pad[..total].chunks_exact(64) {
+            compress256(&mut self.state, block.try_into().expect("64 bytes"));
         }
         let mut out = [0u8; 32];
         for (i, w) in self.state.iter().enumerate() {
@@ -244,7 +263,9 @@ fn compress256(state: &mut [u32; 8], block: &[u8; 64]) {
 #[derive(Clone, Debug)]
 pub struct Sha512 {
     state: [u64; 8],
-    buf: Vec<u8>,
+    /// Partial-block staging buffer; only `buf_len` bytes are live.
+    buf: [u8; 128],
+    buf_len: usize,
     len: u128,
     trunc384: bool,
 }
@@ -269,7 +290,8 @@ impl Sha512 {
                 0x1f83d9abfb41bd6b,
                 0x5be0cd19137e2179,
             ],
-            buf: Vec::new(),
+            buf: [0; 128],
+            buf_len: 0,
             len: 0,
             trunc384: false,
         }
@@ -288,35 +310,48 @@ impl Sha512 {
                 0xdb0c2e0d64f98fa7,
                 0x47b5481dbefa4fa4,
             ],
-            buf: Vec::new(),
+            buf: [0; 128],
+            buf_len: 0,
             len: 0,
             trunc384: true,
         }
     }
 
-    /// Absorbs `data`.
-    pub fn update(&mut self, data: &[u8]) {
+    /// Absorbs `data` without allocating (see [`Sha256::update`]).
+    pub fn update(&mut self, mut data: &[u8]) {
         self.len = self.len.wrapping_add(data.len() as u128);
-        self.buf.extend_from_slice(data);
-        let take = self.buf.len() - self.buf.len() % 128;
-        let complete: Vec<u8> = self.buf.drain(..take).collect();
-        for block in complete.chunks_exact(128) {
-            compress512(&mut self.state, block.try_into().unwrap());
+        if self.buf_len > 0 {
+            let take = (128 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len < 128 {
+                return;
+            }
+            let block = self.buf;
+            compress512(&mut self.state, &block);
+            self.buf_len = 0;
         }
+        let mut blocks = data.chunks_exact(128);
+        for block in &mut blocks {
+            compress512(&mut self.state, block.try_into().expect("128 bytes"));
+        }
+        let rest = blocks.remainder();
+        self.buf[..rest.len()].copy_from_slice(rest);
+        self.buf_len = rest.len();
     }
 
     /// Finishes, returning the digest at its native length (48 bytes for
     /// SHA-384, 64 for SHA-512).
     pub fn finalize_vec(mut self) -> Vec<u8> {
         let bitlen = self.len.wrapping_mul(8);
-        self.buf.push(0x80);
-        while self.buf.len() % 128 != 112 {
-            self.buf.push(0);
-        }
-        self.buf.extend_from_slice(&bitlen.to_be_bytes());
-        let blocks = std::mem::take(&mut self.buf);
-        for block in blocks.chunks_exact(128) {
-            compress512(&mut self.state, block.try_into().unwrap());
+        let mut pad = [0u8; 256];
+        pad[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        pad[self.buf_len] = 0x80;
+        let total = if self.buf_len < 112 { 128 } else { 256 };
+        pad[total - 16..total].copy_from_slice(&bitlen.to_be_bytes());
+        for block in pad[..total].chunks_exact(128) {
+            compress512(&mut self.state, block.try_into().expect("128 bytes"));
         }
         let mut out = Vec::with_capacity(64);
         for w in self.state.iter() {

@@ -84,11 +84,9 @@ pub fn measure_enclave(image: &[u8]) -> Result<[u8; 32], EnclaveError> {
     for page in &plans {
         let off = page.vaddr - base;
         m.eadd(off, page.perms, PageType::Reg);
-        for c in 0..(PAGE_SIZE as usize / EEXTEND_CHUNK) {
-            m.eextend(
-                off + (c * EEXTEND_CHUNK) as u64,
-                &page.data[c * EEXTEND_CHUNK..(c + 1) * EEXTEND_CHUNK],
-            );
+        // Chunks are borrowed straight from the page plan — no staging copy.
+        for (c, chunk) in page.data.chunks_exact(EEXTEND_CHUNK).enumerate() {
+            m.eextend(off + (c * EEXTEND_CHUNK) as u64, chunk.try_into().expect("256-byte chunk"));
         }
     }
     Ok(m.finalize())

@@ -201,12 +201,17 @@ impl Enclave {
             return Err(SgxError::BadExtendChunk);
         }
         let page_off = off & !(PAGE_SIZE - 1);
-        let page = self.pages[(page_off / PAGE_SIZE) as usize]
-            .as_ref()
-            .ok_or(SgxError::PageNotPresent { addr: vaddr })?;
+        if self.pages[(page_off / PAGE_SIZE) as usize].is_none() {
+            return Err(SgxError::PageNotPresent { addr: vaddr });
+        }
+        // Detach the measurement so the hasher can absorb the page memory
+        // as a borrowed slice — no staging copy of the chunk.
+        let mut measurement = self.measurement.take().expect("measurement live before EINIT");
+        let page = self.pages[(page_off / PAGE_SIZE) as usize].as_ref().expect("checked above");
         let within = (off - page_off) as usize;
-        let chunk = page.data[within..within + EEXTEND_CHUNK].to_vec();
-        self.measurement.as_mut().expect("measurement live before EINIT").eextend(off, &chunk);
+        let chunk = page.data[within..within + EEXTEND_CHUNK].try_into().expect("chunk-aligned");
+        measurement.eextend(off, chunk);
+        self.measurement = Some(measurement);
         Ok(())
     }
 

@@ -38,11 +38,11 @@ impl Measurement {
 
     /// Absorbs one 256-byte `EEXTEND` chunk at `offset` within the enclave.
     ///
-    /// # Panics
-    ///
-    /// Panics if `chunk` is not exactly 256 bytes (callers validate first).
-    pub fn eextend(&mut self, offset: u64, chunk: &[u8]) {
-        assert_eq!(chunk.len(), EEXTEND_CHUNK, "EEXTEND chunk must be 256 bytes");
+    /// The chunk is borrowed — callers hand page memory in directly (e.g.
+    /// via [`crate::enclave::Enclave::page_slice`]) with no staging copy,
+    /// and the fixed-size reference makes the 256-byte contract a
+    /// compile-time fact instead of a runtime assert.
+    pub fn eextend(&mut self, offset: u64, chunk: &[u8; EEXTEND_CHUNK]) {
         self.hasher.update(b"EEXTEND\0");
         self.hasher.update(&offset.to_le_bytes());
         self.hasher.update(chunk);
@@ -75,8 +75,8 @@ mod tests {
         let mut m = Measurement::ecreate(0x10000);
         for (off, data) in pages {
             m.eadd(*off, PagePerms::RX, PageType::Reg);
-            for (i, chunk) in data.chunks(EEXTEND_CHUNK).enumerate() {
-                m.eextend(off + (i * EEXTEND_CHUNK) as u64, chunk);
+            for (i, chunk) in data.chunks_exact(EEXTEND_CHUNK).enumerate() {
+                m.eextend(off + (i * EEXTEND_CHUNK) as u64, chunk.try_into().unwrap());
             }
         }
         m.finalize()
@@ -119,11 +119,5 @@ mod tests {
             m.eextend(i * 256, &[0u8; 256]);
         }
         assert_eq!(m.extend_count(), 16);
-    }
-
-    #[test]
-    #[should_panic(expected = "256 bytes")]
-    fn bad_chunk_panics() {
-        Measurement::ecreate(0).eextend(0, &[0u8; 255]);
     }
 }
