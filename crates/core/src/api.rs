@@ -6,8 +6,8 @@ use crate::error::ElideError;
 use crate::meta::SecretMeta;
 use crate::protocol::Transport;
 use crate::restore::{
-    elide_restore, elide_restore_with_retry, install_elide_ocalls, ElideFiles, RestoreStats,
-    RetryPolicy, SealedStore,
+    elide_restore_diag, elide_restore_with_retry_diag, install_elide_ocalls, ElideFiles, ErrorSink,
+    RestoreStats, RetryPolicy, SealedStore,
 };
 use crate::sanitizer::{sanitize, sanitize_blacklist, DataPlacement, SanitizedEnclave};
 use crate::server::{AuthServer, ExpectedIdentity};
@@ -156,8 +156,13 @@ impl ProtectedPackage {
     ) -> Result<LaunchedApp, ElideError> {
         let loaded = load_enclave(&platform.cpu, &self.image, &self.sigstruct)?;
         let mut runtime = EnclaveRuntime::with_rng(loaded, Box::new(SeededRandom::new(seed)));
-        install_elide_ocalls(&mut runtime, transport, Arc::clone(&platform.qe), self.files(sealed));
-        Ok(LaunchedApp { runtime })
+        let errors = install_elide_ocalls(
+            &mut runtime,
+            transport,
+            Arc::clone(&platform.qe),
+            self.files(sealed),
+        );
+        Ok(LaunchedApp { runtime, errors })
     }
 }
 
@@ -166,6 +171,8 @@ impl ProtectedPackage {
 pub struct LaunchedApp {
     /// The underlying enclave runtime; use it for application ecalls.
     pub runtime: EnclaveRuntime,
+    /// Records the underlying host-side error behind a failed restore.
+    pub errors: ErrorSink,
 }
 
 impl LaunchedApp {
@@ -173,9 +180,10 @@ impl LaunchedApp {
     ///
     /// # Errors
     ///
-    /// See [`elide_restore`].
+    /// See [`elide_restore_diag`] — failures report the underlying
+    /// host-side cause when one was recorded, else the guest status.
     pub fn restore(&mut self, restore_ecall_index: u64) -> Result<RestoreStats, ElideError> {
-        elide_restore(&mut self.runtime, restore_ecall_index)
+        elide_restore_diag(&mut self.runtime, restore_ecall_index, &self.errors)
     }
 
     /// [`Self::restore`] with client-side retries and exponential backoff
@@ -183,12 +191,12 @@ impl LaunchedApp {
     ///
     /// # Errors
     ///
-    /// See [`elide_restore_with_retry`].
+    /// See [`elide_restore_with_retry_diag`].
     pub fn restore_with_retry(
         &mut self,
         restore_ecall_index: u64,
         policy: &RetryPolicy,
     ) -> Result<RestoreStats, ElideError> {
-        elide_restore_with_retry(&mut self.runtime, restore_ecall_index, policy)
+        elide_restore_with_retry_diag(&mut self.runtime, restore_ecall_index, policy, &self.errors)
     }
 }

@@ -42,6 +42,9 @@ pub enum ServerError {
     BadRequest,
     /// Unknown request type byte.
     UnknownRequest(u8),
+    /// The server hit an internal failure (e.g. secret-store I/O); the
+    /// client may retry.
+    Internal,
 }
 
 impl fmt::Display for ServerError {
@@ -53,6 +56,7 @@ impl fmt::Display for ServerError {
             ServerError::NoSession => write!(f, "no attested session established"),
             ServerError::BadRequest => write!(f, "malformed request"),
             ServerError::UnknownRequest(b) => write!(f, "unknown request type {b}"),
+            ServerError::Internal => write!(f, "internal server error"),
         }
     }
 }

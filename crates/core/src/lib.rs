@@ -76,6 +76,7 @@ pub mod api;
 pub mod attack;
 pub mod elide_asm;
 pub mod error;
+pub mod faults;
 pub mod meta;
 pub mod protocol;
 pub mod restore;

@@ -91,6 +91,7 @@ pub(crate) fn server_error_to_status(e: &ServerError) -> u8 {
         ServerError::NoSession => 4,
         ServerError::BadRequest => 5,
         ServerError::UnknownRequest(_) => 6,
+        ServerError::Internal => 7,
     }
 }
 
@@ -101,6 +102,7 @@ pub(crate) fn status_to_server_error(status: u8) -> ServerError {
         3 => ServerError::BadBinding,
         4 => ServerError::NoSession,
         5 => ServerError::BadRequest,
+        7 => ServerError::Internal,
         other => ServerError::UnknownRequest(other),
     }
 }
@@ -294,6 +296,7 @@ mod tests {
             ServerError::BadBinding,
             ServerError::NoSession,
             ServerError::BadRequest,
+            ServerError::Internal,
         ] {
             assert_eq!(status_to_server_error(server_error_to_status(&e)), e);
         }

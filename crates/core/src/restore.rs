@@ -15,6 +15,22 @@ use std::sync::{Arc, Mutex};
 /// paper's step ❼ writes to disk; persists across enclave launches).
 pub type SealedStore = Arc<Mutex<Option<Vec<u8>>>>;
 
+/// Side-channel for the *underlying* host error behind a restore failure.
+///
+/// The ocall ABI can only hand the guest `-1`, which the guest folds into a
+/// coarse restore status — losing whether the failure was a timeout, an
+/// authentication rejection, or a server-side fault. The ocalls record the
+/// last host-side error here so [`elide_restore_diag`] can surface it.
+pub type ErrorSink = Arc<Mutex<Option<ElideError>>>;
+
+fn record(sink: &ErrorSink, err: ElideError) {
+    *sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(err);
+}
+
+fn take(sink: &ErrorSink) -> Option<ElideError> {
+    sink.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take()
+}
+
 /// Creates an empty sealed store.
 pub fn new_sealed_store() -> SealedStore {
     Arc::new(Mutex::new(None))
@@ -47,14 +63,20 @@ impl ElideFiles {
 /// local-attestation report into a quote via the platform quoting enclave
 /// before forwarding the handshake — the host-side leg of remote
 /// attestation.
+///
+/// Returns an [`ErrorSink`] that captures the underlying host-side error
+/// whenever `elide_server_request` fails (the guest itself only sees `-1`).
 pub fn install_elide_ocalls(
     rt: &mut EnclaveRuntime,
     transport: Arc<Mutex<dyn Transport + Send>>,
     qe: Arc<QuotingEnclave>,
     files: ElideFiles,
-) {
+) -> ErrorSink {
+    let sink: ErrorSink = Arc::new(Mutex::new(None));
+
     // --- elide_server_request ---
     let t = Arc::clone(&transport);
+    let errors = Arc::clone(&sink);
     rt.register_ocall(
         OCALL_SERVER_REQUEST,
         Box::new(move |regs, mem| {
@@ -75,8 +97,10 @@ pub fn install_elide_ocalls(
                         .quote(&report)
                         .map_err(|e| ElideError::Transport(format!("quoting failed: {e}")))?;
                     let quote_bytes = quote.to_bytes();
+                    let quote_len = u32::try_from(quote_bytes.len())
+                        .map_err(|_| ElideError::Transport("quote too large for frame".into()))?;
                     let mut fwd = Vec::with_capacity(4 + quote_bytes.len() + payload.len() - 160);
-                    fwd.extend_from_slice(&(quote_bytes.len() as u32).to_le_bytes());
+                    fwd.extend_from_slice(&quote_len.to_le_bytes());
                     fwd.extend_from_slice(&quote_bytes);
                     fwd.extend_from_slice(&payload[Report::SERIALIZED_LEN..]);
                     t.lock().expect("transport mutex").request(req, &fwd)
@@ -91,8 +115,21 @@ pub fn install_elide_ocalls(
                 }
                 // Failures surface to the guest as -1; it maps them to its
                 // own status codes (network errors are the developer's to
-                // handle, §3.4).
-                _ => regs[0] = u64::MAX,
+                // handle, §3.4). The real error is kept for the host.
+                Ok(body) => {
+                    record(
+                        &errors,
+                        ElideError::Transport(format!(
+                            "server response of {} bytes exceeds the guest's {out_cap}-byte buffer",
+                            body.len()
+                        )),
+                    );
+                    regs[0] = u64::MAX;
+                }
+                Err(e) => {
+                    record(&errors, e);
+                    regs[0] = u64::MAX;
+                }
             }
             Ok(())
         }),
@@ -137,6 +174,8 @@ pub fn install_elide_ocalls(
             Ok(())
         }),
     );
+
+    sink
 }
 
 /// Statistics from one restoration.
@@ -199,11 +238,91 @@ pub fn elide_restore(
     Ok(RestoreStats { instructions: result.instructions })
 }
 
+/// [`elide_restore`], but when the restore status is a coarse failure code
+/// and the ocalls recorded the underlying host-side error in `sink`, that
+/// underlying error is returned instead of the bare status.
+///
+/// # Errors
+///
+/// See [`elide_restore`]; additionally surfaces recorded
+/// [`ElideError::Transport`] / [`ElideError::Server`] causes.
+pub fn elide_restore_diag(
+    rt: &mut EnclaveRuntime,
+    restore_ecall_index: u64,
+    sink: &ErrorSink,
+) -> Result<RestoreStats, ElideError> {
+    let _ = take(sink); // clear stale errors from a previous attempt
+    match elide_restore(rt, restore_ecall_index) {
+        Ok(stats) => Ok(stats),
+        Err(status_err) => Err(take(sink).unwrap_or(status_err)),
+    }
+}
+
+/// True when `err` is a failure a healthy server could later satisfy, so a
+/// client retry is worthwhile. Authentication rejections
+/// ([`ServerError::AttestationFailed`] / [`ServerError::WrongEnclave`] /
+/// [`ServerError::BadBinding`]) are permanent: retrying would re-present
+/// the same identity and fail the same way.
+///
+/// [`ServerError::AttestationFailed`]: crate::error::ServerError::AttestationFailed
+/// [`ServerError::WrongEnclave`]: crate::error::ServerError::WrongEnclave
+/// [`ServerError::BadBinding`]: crate::error::ServerError::BadBinding
+pub fn is_transient(err: &ElideError) -> bool {
+    use crate::elide_asm::restore_status;
+    use crate::error::ServerError;
+    match err {
+        // Network trouble: the next attempt may reconnect.
+        ElideError::Transport(_) => true,
+        // Server-side internal fault (e.g. store I/O): explicitly retryable.
+        // NoSession is transient too — a reconnect mid-restore lands the
+        // next request on a fresh, unestablished session, and the retry's
+        // re-handshake repairs that.
+        ElideError::Server(ServerError::Internal | ServerError::NoSession) => true,
+        ElideError::Server(_) => false,
+        // Coarse guest statuses with no recorded cause: same set as before.
+        ElideError::RestoreFailed {
+            status:
+                restore_status::HANDSHAKE_FAILED
+                | restore_status::META_FAILED
+                | restore_status::DATA_FAILED,
+        } => true,
+        _ => false,
+    }
+}
+
+fn restore_with_retry_inner(
+    rt: &mut EnclaveRuntime,
+    restore_ecall_index: u64,
+    policy: &RetryPolicy,
+    sink: Option<&ErrorSink>,
+) -> Result<RestoreStats, ElideError> {
+    let attempt = |rt: &mut EnclaveRuntime| match sink {
+        Some(sink) => elide_restore_diag(rt, restore_ecall_index, sink),
+        None => elide_restore(rt, restore_ecall_index),
+    };
+    let mut last;
+    match attempt(rt) {
+        Ok(stats) => return Ok(stats),
+        Err(e) => last = e,
+    }
+    for delay in policy.delays() {
+        if !is_transient(&last) {
+            return Err(last);
+        }
+        std::thread::sleep(delay);
+        match attempt(rt) {
+            Ok(stats) => return Ok(stats),
+            Err(e) => last = e,
+        }
+    }
+    Err(last)
+}
+
 /// [`elide_restore`] with retries: transient failures (a server still
 /// starting, a dropped connection mid-handshake) surface as restore
 /// statuses, and each retry re-runs the full handshake after an
-/// exponential backoff. Non-transient statuses (e.g. a bad server key)
-/// fail immediately.
+/// exponential backoff. Non-transient errors (e.g. a bad server key or an
+/// attestation rejection) fail immediately; see [`is_transient`].
 ///
 /// # Errors
 ///
@@ -213,30 +332,21 @@ pub fn elide_restore_with_retry(
     restore_ecall_index: u64,
     policy: &RetryPolicy,
 ) -> Result<RestoreStats, ElideError> {
-    use crate::elide_asm::restore_status;
-    let mut last;
-    match elide_restore(rt, restore_ecall_index) {
-        Ok(stats) => return Ok(stats),
-        Err(e) => last = e,
-    }
-    for delay in policy.delays() {
-        // Only statuses a healthy server could later satisfy are retried.
-        let transient = matches!(
-            last,
-            ElideError::RestoreFailed {
-                status: restore_status::HANDSHAKE_FAILED
-                    | restore_status::META_FAILED
-                    | restore_status::DATA_FAILED,
-            }
-        );
-        if !transient {
-            return Err(last);
-        }
-        std::thread::sleep(delay);
-        match elide_restore(rt, restore_ecall_index) {
-            Ok(stats) => return Ok(stats),
-            Err(e) => last = e,
-        }
-    }
-    Err(last)
+    restore_with_retry_inner(rt, restore_ecall_index, policy, None)
+}
+
+/// [`elide_restore_with_retry`] with an [`ErrorSink`]: every attempt reads
+/// the recorded underlying error, so transience is judged on (and the final
+/// error reports) the real cause, not the guest's coarse status.
+///
+/// # Errors
+///
+/// The last *underlying* error once retries are exhausted.
+pub fn elide_restore_with_retry_diag(
+    rt: &mut EnclaveRuntime,
+    restore_ecall_index: u64,
+    policy: &RetryPolicy,
+    sink: &ErrorSink,
+) -> Result<RestoreStats, ElideError> {
+    restore_with_retry_inner(rt, restore_ecall_index, policy, Some(sink))
 }

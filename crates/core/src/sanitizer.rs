@@ -196,7 +196,10 @@ pub fn sanitize_blacklist(
             return Err(ElideError::BadImage(format!("{name} is not a function")));
         }
         let body = read_vaddr_range(&elf, sym.value, sym.size)?;
-        entries.push((sym.value - text_addr, sym.size));
+        let off = sym.value.checked_sub(text_addr).ok_or_else(|| {
+            ElideError::BadImage(format!("secret function {name} lies below .text"))
+        })?;
+        entries.push((off, sym.size));
         bytes.extend_from_slice(&body);
         sanitized_functions.push((sym.name.clone(), sym.size));
         zero_vaddr_range(&mut elf, sym.value, sym.size)?;
@@ -342,6 +345,29 @@ mod tests {
         let mut rng = SeededRandom::new(1);
         let err = sanitize(&image, &wl(), DataPlacement::Remote, &mut rng).unwrap_err();
         assert!(matches!(err, ElideError::BadImage(_)));
+    }
+
+    #[test]
+    fn image_without_text_section_rejected() {
+        // An ELF with no `.text` at all used to panic inside `prepare`;
+        // it must be a typed BadImage error.
+        use elide_elf::builder::{ElfBuilder, SectionSpec};
+        use elide_elf::types::{SHF_ALLOC, SHF_EXECINSTR};
+        let mut b = ElfBuilder::new(0x100000);
+        b.add_section(SectionSpec::progbits(".code", SHF_ALLOC | SHF_EXECINSTR, vec![1, 2, 3]));
+        let image = b.build().unwrap();
+        let mut rng = SeededRandom::new(1);
+        let err = sanitize(&image, &wl(), DataPlacement::Remote, &mut rng).unwrap_err();
+        assert!(matches!(&err, ElideError::BadImage(m) if m.contains("no .text")), "{err}");
+        let err = sanitize_blacklist(&image, &[], DataPlacement::Remote, &mut rng).unwrap_err();
+        assert!(matches!(&err, ElideError::BadImage(m) if m.contains("no .text")), "{err}");
+    }
+
+    #[test]
+    fn garbage_bytes_rejected() {
+        let mut rng = SeededRandom::new(1);
+        assert!(sanitize(&[0u8; 64], &wl(), DataPlacement::Remote, &mut rng).is_err());
+        assert!(sanitize(b"not an elf", &wl(), DataPlacement::Remote, &mut rng).is_err());
     }
 
     #[test]

@@ -8,13 +8,14 @@
 //! [`crate::session::Session`].
 
 use crate::error::ServerError;
+use crate::faults::FaultPlan;
 use crate::meta::SecretMeta;
 use crate::session::Session;
 use crate::store::{SecretEntry, SecretStore};
 use elide_crypto::rng::{OsRandom, RandomSource};
 use sgx_sim::quote::{AttestationService, Quote};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// What the server expects an attested enclave to look like.
 #[derive(Debug, Clone, Default)]
@@ -33,6 +34,10 @@ pub struct AuthServer {
     /// this mutex is one lock per connection, not per message.
     rng: Mutex<Box<dyn RandomSource + Send>>,
     handshakes: AtomicU64,
+    /// Fault-injection plan for secret-store reads (chaos testing only;
+    /// `None` in production). Behind an `RwLock` so a test harness can
+    /// swap schedules between runs on a shared server.
+    faults: RwLock<Option<FaultPlan>>,
 }
 
 impl std::fmt::Debug for AuthServer {
@@ -67,6 +72,7 @@ impl AuthServer {
             ias,
             rng: Mutex::new(Box::new(OsRandom)),
             handshakes: AtomicU64::new(0),
+            faults: RwLock::new(None),
         }
     }
 
@@ -74,6 +80,27 @@ impl AuthServer {
     pub fn with_rng(self, rng: Box<dyn RandomSource + Send>) -> Self {
         *self.rng.lock().expect("rng mutex") = rng;
         self
+    }
+
+    /// Installs a fault-injection plan for secret-store reads.
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        self.set_faults(Some(plan));
+        self
+    }
+
+    /// Replaces (or clears) the store fault-injection plan on a live
+    /// server — lets a chaos harness reuse one server across schedules.
+    pub fn set_faults(&self, plan: Option<FaultPlan>) {
+        *self.faults.write().unwrap_or_else(|p| p.into_inner()) = plan;
+    }
+
+    /// True if the next secret-store read should fail (fault injection).
+    pub(crate) fn inject_store_fault(&self) -> bool {
+        self.faults
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .as_ref()
+            .is_some_and(FaultPlan::store_io_error_now)
     }
 
     /// The secret store (read-only after startup).

@@ -7,10 +7,12 @@
 //! worker drives [`serve_connection`] — the single framing/session loop
 //! shared by the TCP and in-process transports.
 
+use crate::faults::FaultPlan;
 use crate::protocol::{server_error_to_status, STATUS_OK};
 use crate::server::AuthServer;
 use crate::transport::{BoxedWire, Framed, Limits, Listener};
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -26,6 +28,8 @@ pub struct ServiceConfig {
     /// Stop accepting after this many connections (`None` = unlimited).
     /// Queued and in-flight connections are still served to completion.
     pub max_connections: Option<usize>,
+    /// Fault-injection plan (worker panics). `None` in production.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -34,6 +38,7 @@ impl Default for ServiceConfig {
             workers: default_workers(),
             limits: Limits::default(),
             max_connections: None,
+            faults: None,
         }
     }
 }
@@ -54,6 +59,12 @@ impl ServiceConfig {
     /// Config with different wire limits.
     pub fn with_limits(mut self, limits: Limits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Config with a fault-injection plan (chaos testing).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 }
@@ -128,7 +139,8 @@ pub fn serve<L: Listener + 'static>(
             let rx = Arc::clone(&rx);
             let server = Arc::clone(&server);
             let limits = config.limits;
-            std::thread::spawn(move || worker_loop(&rx, &server, limits))
+            let faults = config.faults.clone();
+            std::thread::spawn(move || worker_loop(&rx, &server, limits, faults.as_ref()))
         })
         .collect();
 
@@ -150,20 +162,41 @@ pub fn serve<L: Listener + 'static>(
     ServiceHandle { closer, accept: Some(accept), workers: worker_threads, desc }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<BoxedWire>>, server: &AuthServer, limits: Limits) {
+fn worker_loop(
+    rx: &Mutex<Receiver<BoxedWire>>,
+    server: &AuthServer,
+    limits: Limits,
+    faults: Option<&FaultPlan>,
+) {
     loop {
         // Holding the lock while blocked in recv is fine: any handed-off
         // connection wakes exactly one idle worker, and busy workers are
-        // not in this loop.
+        // not in this loop. A panic between lock and unlock poisons the
+        // mutex; recover the guard so one crashed worker cannot wedge the
+        // whole pool behind a poisoned queue.
         let conn = {
-            let guard = rx.lock().expect("work queue poisoned");
+            let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
             guard.recv()
         };
         match conn {
             Ok(wire) => {
-                if let Ok(mut framed) = Framed::new(wire, limits) {
-                    let _ = serve_connection(server, &mut framed);
-                }
+                // One connection's panic must not kill the worker: before
+                // this guard, a single panicking connection permanently
+                // shrank the pool (with one worker, the service stopped
+                // serving and every later client hung until its timeout).
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = faults {
+                        if plan.worker_panic_now() {
+                            panic!("injected worker panic");
+                        }
+                    }
+                    if let Ok(mut framed) = Framed::new(wire, limits) {
+                        let _ = serve_connection(server, &mut framed);
+                    }
+                }));
+                // The connection (and its wire) died with the panic; the
+                // worker lives on to serve the next one.
+                drop(result);
             }
             Err(_) => return, // accept loop gone and queue drained
         }
@@ -267,6 +300,80 @@ mod tests {
             assert_eq!(status, 4, "NoSession status");
         }
         handle.join();
+    }
+
+    #[test]
+    fn worker_pool_survives_connection_panics() {
+        use crate::faults::{FaultConfig, FaultPlan, PPM};
+        // Regression: a worker that panicked mid-connection died silently,
+        // shrinking the pool; with one worker the service stopped serving
+        // and later clients hung until their read timeout.
+        crate::faults::silence_injected_panics();
+        let plan = FaultPlan::new(
+            11,
+            FaultConfig { worker_panic_ppm: PPM, worker_panic_limit: 1, ..FaultConfig::off() },
+        );
+        let (listener, host) = channel_listener();
+        let handle = serve(
+            listener,
+            test_server(),
+            ServiceConfig::default().with_workers(1).with_faults(plan.clone()),
+        );
+
+        // First connection: the (sole) worker panics; the client sees the
+        // connection drop without a response.
+        let wire = host.connect().unwrap();
+        let mut framed = Framed::new(wire, Limits::default()).unwrap();
+        framed.send(9, &[]).unwrap();
+        assert_eq!(framed.recv().unwrap(), None, "panicked connection drops cleanly");
+        assert_eq!(plan.counts().worker_panics, 1);
+
+        // Second connection: the same worker must still be alive.
+        let wire = host.connect().unwrap();
+        let mut framed = Framed::new(wire, Limits::default()).unwrap();
+        framed.send(9, &[]).unwrap();
+        let (status, _) = framed.recv().unwrap().expect("worker survived the panic");
+        assert_eq!(status, 6, "UnknownRequest status");
+        handle.shutdown();
+    }
+
+    #[test]
+    fn store_io_fault_sits_behind_authentication() {
+        use crate::faults::{FaultConfig, FaultPlan, PPM};
+        // Store faults fire on META/DATA of an *established* session (the
+        // chaos suite exercises that path end-to-end); an unauthenticated
+        // request must still answer NoSession, not Internal.
+        let server = Arc::new(
+            AuthServer::new(
+                SecretMeta {
+                    flags: 0,
+                    data_len: 4,
+                    text_len: 4,
+                    restore_offset: 0,
+                    key: [1; 16],
+                    iv: [2; 12],
+                    tag: [3; 16],
+                },
+                b"data".to_vec(),
+                ExpectedIdentity::default(),
+                AttestationService::new(),
+            )
+            .with_rng(Box::new(SeededRandom::new(2)))
+            .with_faults(FaultPlan::new(
+                3,
+                FaultConfig { store_io_ppm: PPM, ..FaultConfig::off() },
+            )),
+        );
+        // No attested session: NoSession (4) outranks the injected fault,
+        // proving injection sits behind authentication, not in front.
+        let (listener, host) = channel_listener();
+        let handle = serve(listener, server, ServiceConfig::default().with_workers(1));
+        let wire = host.connect().unwrap();
+        let mut framed = Framed::new(wire, Limits::default()).unwrap();
+        framed.send(1, &[]).unwrap();
+        let (status, _) = framed.recv().unwrap().expect("response");
+        assert_eq!(status, 4, "store faults only fire on established sessions");
+        handle.shutdown();
     }
 
     #[test]

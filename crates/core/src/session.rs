@@ -89,11 +89,19 @@ impl Session {
             request::HANDSHAKE => self.handshake(server, payload),
             request::META => {
                 let entry = self.established()?;
+                if server.inject_store_fault() {
+                    // Simulated secret-store read failure: the session
+                    // stays established; the client may retry.
+                    return Err(ServerError::Internal);
+                }
                 let body = entry.meta.to_body();
                 Ok(self.seal(&body))
             }
             request::DATA => {
                 let entry = self.established()?;
+                if server.inject_store_fault() {
+                    return Err(ServerError::Internal);
+                }
                 if entry.meta.is_local() {
                     // Local mode: the data never leaves via the wire; the
                     // enclave should have asked for the meta (key) only.

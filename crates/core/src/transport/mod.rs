@@ -39,15 +39,29 @@ impl Default for Limits {
 }
 
 impl Limits {
+    /// The largest frame size any [`Limits`] can carry: the length prefix
+    /// is a `u32`, so a larger limit would let `send` silently truncate
+    /// payload lengths on the wire.
+    pub const MAX_FRAME_CEILING: usize = u32::MAX as usize;
+
     /// Limits with a short read timeout (tests exercising stalled peers).
     pub fn with_read_timeout(mut self, t: Duration) -> Self {
         self.read_timeout = Some(t);
         self
     }
 
-    /// Limits with a different maximum frame size.
+    /// Limits with a different maximum frame size, clamped to
+    /// [`Limits::MAX_FRAME_CEILING`].
     pub fn with_max_frame(mut self, max: usize) -> Self {
-        self.max_frame = max;
+        self.max_frame = max.min(Self::MAX_FRAME_CEILING);
+        self
+    }
+
+    /// A copy with `max_frame` clamped to what the wire format can encode.
+    /// Applied by [`Framed::new`] so limits built via struct update syntax
+    /// are clamped too.
+    pub fn clamped(mut self) -> Self {
+        self.max_frame = self.max_frame.min(Self::MAX_FRAME_CEILING);
         self
     }
 }
@@ -113,6 +127,9 @@ impl<W: Wire> Framed<W> {
     ///
     /// Propagates timeout-configuration errors from the wire.
     pub fn new(mut wire: W, limits: Limits) -> io::Result<Self> {
+        // max_frame is a pub field, so clamp here as well as in the
+        // builder: a limit above u32::MAX would let frame lengths wrap.
+        let limits = limits.clamped();
         wire.apply_limits(&limits)?;
         Ok(Framed { wire, limits })
     }
@@ -140,9 +157,17 @@ impl<W: Wire> Framed<W> {
                 format!("frame of {} bytes exceeds limit {}", payload.len(), self.limits.max_frame),
             ));
         }
+        // max_frame <= u32::MAX is enforced at construction; try_from
+        // keeps that invariant checked rather than silently wrapping.
+        let len = u32::try_from(payload.len()).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("frame of {} bytes exceeds the u32 length prefix", payload.len()),
+            )
+        })?;
         let mut header = [0u8; 5];
         header[0] = tag;
-        header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[1..5].copy_from_slice(&len.to_le_bytes());
         self.wire.write_all(&header)?;
         self.wire.write_all(payload)?;
         self.wire.flush()
@@ -240,6 +265,21 @@ mod tests {
         let mut framed = Framed::new(b, Limits::default()).unwrap();
         let e = framed.recv().unwrap_err();
         assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn max_frame_is_clamped_to_u32() {
+        // Regression: a max_frame above u32::MAX let `send` wrap payload
+        // lengths in the u32 prefix (a 2^32+1-byte payload would declare a
+        // 1-byte frame). Both construction paths must clamp.
+        let limits = Limits::default().with_max_frame(usize::MAX);
+        assert_eq!(limits.max_frame, u32::MAX as usize);
+
+        // Struct-update bypasses the builder; Framed::new must clamp.
+        let raw = Limits { max_frame: usize::MAX, ..Limits::default() };
+        let (a, _b) = pipe();
+        let framed = Framed::new(a, raw).unwrap();
+        assert_eq!(framed.limits().max_frame, u32::MAX as usize);
     }
 
     #[test]

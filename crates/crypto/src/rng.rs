@@ -163,6 +163,38 @@ impl RandomSource for SeededRandom {
     }
 }
 
+/// A [`RandomSource`] that runs dry after a byte budget — fault injection
+/// for chaos tests, standing in for an entropy device that stops
+/// responding. The trait has no error channel (real generators cannot
+/// fail), so exhaustion degrades to all-zero output; consumers must treat
+/// a constant stream as hostile, never crash on it.
+#[derive(Debug, Clone)]
+pub struct FailingRandom {
+    inner: Xoshiro256,
+    budget: usize,
+}
+
+impl FailingRandom {
+    /// Seeded source that yields `budget` good bytes, then only zeroes.
+    pub fn new(seed: u64, budget: usize) -> Self {
+        FailingRandom { inner: Xoshiro256::from_seed(seed), budget }
+    }
+
+    /// True once the source has started zero-filling.
+    pub fn exhausted(&self) -> bool {
+        self.budget == 0
+    }
+}
+
+impl RandomSource for FailingRandom {
+    fn fill(&mut self, dest: &mut [u8]) {
+        let good = self.budget.min(dest.len());
+        self.inner.fill(&mut dest[..good]);
+        dest[good..].fill(0);
+        self.budget -= good;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +268,30 @@ mod tests {
         r.fill(&mut x);
         // All-zero output is astronomically unlikely.
         assert_ne!(x, [0u8; 16]);
+    }
+
+    #[test]
+    fn failing_random_runs_dry_without_panicking() {
+        let mut r = FailingRandom::new(7, 12);
+        let mut first = [0u8; 8];
+        r.fill(&mut first);
+        assert_ne!(first, [0u8; 8]);
+        assert!(!r.exhausted());
+        // Second fill crosses the budget boundary mid-buffer.
+        let mut second = [0xFFu8; 8];
+        r.fill(&mut second);
+        assert!(r.exhausted());
+        assert_eq!(&second[4..], &[0u8; 4], "bytes past the budget are dead");
+        // Every later draw is all zeroes, still no panic.
+        let mut third = [0xFFu8; 16];
+        r.fill(&mut third);
+        assert_eq!(third, [0u8; 16]);
+        assert_eq!(r.next_u64(), 0);
+        // Determinism: the good prefix replays under the same seed.
+        let mut again = FailingRandom::new(7, 12);
+        let mut replay = [0u8; 8];
+        again.fill(&mut replay);
+        assert_eq!(replay, first);
     }
 
     #[test]

@@ -33,6 +33,22 @@ fn read_u64(b: &[u8], off: usize) -> Result<u64, ElfError> {
         .ok_or(ElfError::Truncated { what: "u64 field" })
 }
 
+/// Offset of entry `index` in a table at file offset `base`, or `None` if
+/// the entry does not lie fully inside `bytes` (or the math overflows).
+fn table_entry(bytes: &[u8], base: u64, index: usize, entry_size: usize) -> Option<usize> {
+    let off = usize::try_from(base).ok()?.checked_add(index.checked_mul(entry_size)?)?;
+    let end = off.checked_add(entry_size)?;
+    (end <= bytes.len()).then_some(off)
+}
+
+/// The `bytes[offset..offset + size]` slice, or `None` if the declared
+/// range falls outside the file (or the math overflows).
+fn file_range(bytes: &[u8], offset: u64, size: u64) -> Option<&[u8]> {
+    let start = usize::try_from(offset).ok()?;
+    let end = start.checked_add(usize::try_from(size).ok()?)?;
+    bytes.get(start..end)
+}
+
 fn read_cstr(table: &[u8], off: usize) -> String {
     let end = table[off..].iter().position(|&c| c == 0).map(|p| off + p).unwrap_or(table.len());
     String::from_utf8_lossy(&table[off..end]).into_owned()
@@ -63,12 +79,13 @@ impl ElfFile {
             e_shstrndx: read_u16(&bytes, 62)?,
         };
 
+        // All table offsets come from attacker-controlled header fields, so
+        // every address computation below is checked: a corrupt offset is a
+        // typed `Truncated` error, never an overflow or slice panic.
         let mut segments = Vec::with_capacity(header.e_phnum as usize);
         for i in 0..header.e_phnum as usize {
-            let off = header.e_phoff as usize + i * PHDR_SIZE;
-            if off + PHDR_SIZE > bytes.len() {
-                return Err(ElfError::Truncated { what: "program header" });
-            }
+            let off = table_entry(&bytes, header.e_phoff, i, PHDR_SIZE)
+                .ok_or(ElfError::Truncated { what: "program header" })?;
             segments.push(ProgramHeader {
                 p_type: read_u32(&bytes, off)?,
                 p_flags: read_u32(&bytes, off + 4)?,
@@ -83,10 +100,8 @@ impl ElfFile {
         // First pass: raw section headers without names.
         let mut raw_sections = Vec::with_capacity(header.e_shnum as usize);
         for i in 0..header.e_shnum as usize {
-            let off = header.e_shoff as usize + i * SHDR_SIZE;
-            if off + SHDR_SIZE > bytes.len() {
-                return Err(ElfError::Truncated { what: "section header" });
-            }
+            let off = table_entry(&bytes, header.e_shoff, i, SHDR_SIZE)
+                .ok_or(ElfError::Truncated { what: "section header" })?;
             raw_sections.push(SectionHeader {
                 name: String::new(),
                 sh_name: read_u32(&bytes, off)?,
@@ -108,12 +123,9 @@ impl ElfFile {
             let strtab = raw_sections
                 .get(strndx)
                 .ok_or(ElfError::Unsupported { what: "e_shstrndx out of range" })?;
-            let start = strtab.sh_offset as usize;
-            let end = start + strtab.sh_size as usize;
-            if end > bytes.len() {
-                return Err(ElfError::Truncated { what: "section string table" });
-            }
-            let table = bytes[start..end].to_vec();
+            let table = file_range(&bytes, strtab.sh_offset, strtab.sh_size)
+                .ok_or(ElfError::Truncated { what: "section string table" })?
+                .to_vec();
             for sec in &mut raw_sections {
                 if (sec.sh_name as usize) < table.len() {
                     sec.name = read_cstr(&table, sec.sh_name as usize);
@@ -127,18 +139,13 @@ impl ElfFile {
             let strtab = raw_sections
                 .get(symtab.sh_link as usize)
                 .ok_or(ElfError::Unsupported { what: "symtab sh_link out of range" })?;
-            let str_start = strtab.sh_offset as usize;
-            let str_end = str_start + strtab.sh_size as usize;
-            if str_end > bytes.len() {
-                return Err(ElfError::Truncated { what: "symbol string table" });
-            }
-            let strs = bytes[str_start..str_end].to_vec();
+            let strs = file_range(&bytes, strtab.sh_offset, strtab.sh_size)
+                .ok_or(ElfError::Truncated { what: "symbol string table" })?
+                .to_vec();
             let count = (symtab.sh_size / SYM_SIZE as u64) as usize;
             for i in 0..count {
-                let off = symtab.sh_offset as usize + i * SYM_SIZE;
-                if off + SYM_SIZE > bytes.len() {
-                    return Err(ElfError::Truncated { what: "symbol table" });
-                }
+                let off = table_entry(&bytes, symtab.sh_offset, i, SYM_SIZE)
+                    .ok_or(ElfError::Truncated { what: "symbol table" })?;
                 let name_off = read_u32(&bytes, off)? as usize;
                 let info = bytes[off + 4];
                 let shndx = read_u16(&bytes, off + 6)?;
@@ -221,9 +228,7 @@ impl ElfFile {
         if section.sh_type == SHT_NOBITS {
             return Ok(&[]);
         }
-        let start = section.sh_offset as usize;
-        let end = start + section.sh_size as usize;
-        self.bytes.get(start..end).ok_or(ElfError::OutOfBounds)
+        file_range(&self.bytes, section.sh_offset, section.sh_size).ok_or(ElfError::OutOfBounds)
     }
 
     /// Looks up a defined symbol by name.
@@ -237,14 +242,21 @@ impl ElfFile {
         self.symbols.iter().filter(|s| s.is_function())
     }
 
-    /// Translates a virtual address to a file offset using the segment table.
+    /// Translates a virtual address to a file offset using the segment
+    /// table. Segments whose address math overflows, or whose translated
+    /// offset falls outside the file, are skipped (corrupt headers must
+    /// not map to panicking offsets).
     pub fn vaddr_to_offset(&self, vaddr: u64) -> Option<usize> {
         self.segments.iter().find_map(|seg| {
-            if seg.p_type == PT_LOAD && vaddr >= seg.p_vaddr && vaddr < seg.p_vaddr + seg.p_filesz {
-                Some((seg.p_offset + (vaddr - seg.p_vaddr)) as usize)
-            } else {
-                None
+            if seg.p_type != PT_LOAD || vaddr < seg.p_vaddr {
+                return None;
             }
+            let seg_end = seg.p_vaddr.checked_add(seg.p_filesz)?;
+            if vaddr >= seg_end {
+                return None;
+            }
+            let off = usize::try_from(seg.p_offset.checked_add(vaddr - seg.p_vaddr)?).ok()?;
+            (off < self.bytes.len()).then_some(off)
         })
     }
 }
@@ -271,5 +283,79 @@ mod tests {
         b[4] = 1; // ELFCLASS32
         b[5] = ELFDATA2LSB;
         assert_eq!(ElfFile::parse(b).unwrap_err(), ElfError::BadMagic);
+    }
+
+    fn minimal_valid_image() -> Vec<u8> {
+        use crate::builder::{ElfBuilder, SectionSpec};
+        let mut b = ElfBuilder::new(0x100000);
+        b.add_section(SectionSpec::progbits(".text", SHF_ALLOC | SHF_EXECINSTR, vec![1, 2, 3, 4]));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn rejects_huge_table_offsets_without_panicking() {
+        // Regression: `e_phoff as usize + i * PHDR_SIZE` used to overflow
+        // (panic in debug) when a corrupt header declared an offset near
+        // u64::MAX. Every corrupted field must yield a typed error.
+        let base = minimal_valid_image();
+        for (field_off, what) in [(32usize, "e_phoff"), (40usize, "e_shoff")] {
+            let mut img = base.clone();
+            img[field_off..field_off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            let err = ElfFile::parse(img).unwrap_err();
+            assert!(matches!(err, ElfError::Truncated { .. }), "{what}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_string_table_overflow_without_panicking() {
+        // Corrupt the shstrtab section's sh_offset/sh_size so that
+        // offset + size wraps around; parse must not slice-panic.
+        let base = minimal_valid_image();
+        let parsed = ElfFile::parse(base.clone()).unwrap();
+        let shoff = parsed.header().e_shoff as usize;
+        let strndx = read_u16(&base, 62).unwrap() as usize;
+        let mut img = base;
+        let sh = shoff + strndx * SHDR_SIZE;
+        img[sh + 24..sh + 32].copy_from_slice(&(u64::MAX - 8).to_le_bytes()); // sh_offset
+        img[sh + 32..sh + 40].copy_from_slice(&1024u64.to_le_bytes()); // sh_size
+        let err = ElfFile::parse(img).unwrap_err();
+        assert!(matches!(err, ElfError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn corrupt_segment_never_maps_a_vaddr_outside_the_file() {
+        // A segment whose p_offset points past EOF (or whose p_vaddr +
+        // p_filesz wraps) must translate to None, not a bogus offset.
+        let base = minimal_valid_image();
+        let parsed = ElfFile::parse(base.clone()).unwrap();
+        let phoff = parsed.header().e_phoff as usize;
+        let vaddr = parsed.segments()[0].p_vaddr;
+
+        let mut past_eof = base.clone();
+        past_eof[phoff + 8..phoff + 16].copy_from_slice(&(1u64 << 40).to_le_bytes()); // p_offset
+        let elf = ElfFile::parse(past_eof).unwrap();
+        assert_eq!(elf.vaddr_to_offset(vaddr), None);
+
+        let mut wrapping = base;
+        wrapping[phoff + 16..phoff + 24].copy_from_slice(&(u64::MAX - 4).to_le_bytes()); // p_vaddr
+        wrapping[phoff + 32..phoff + 40].copy_from_slice(&64u64.to_le_bytes()); // p_filesz wraps
+        let elf = ElfFile::parse(wrapping).unwrap();
+        assert_eq!(elf.vaddr_to_offset(u64::MAX - 1), None);
+    }
+
+    #[test]
+    fn rejects_section_data_overflow() {
+        let base = minimal_valid_image();
+        let elf = ElfFile::parse(base).unwrap();
+        let mut sec = elf.section_by_name(".text").unwrap().clone();
+        sec.sh_offset = u64::MAX - 2;
+        sec.sh_size = 16;
+        assert_eq!(elf.section_data(&sec).unwrap_err(), ElfError::OutOfBounds);
+        sec.sh_offset = 0;
+        sec.sh_size = u64::MAX;
+        assert_eq!(elf.section_data(&sec).unwrap_err(), ElfError::OutOfBounds);
+        // Sanity: honest sections still read normally.
+        let text = elf.section_by_name(".text").unwrap().clone();
+        assert_eq!(elf.section_data(&text).unwrap(), &[1, 2, 3, 4]);
     }
 }

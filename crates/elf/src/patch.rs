@@ -12,18 +12,25 @@ use crate::types::*;
 /// Returns [`ElfError::OutOfBounds`] if the range is not fully covered by a
 /// loadable segment.
 pub fn zero_vaddr_range(elf: &mut ElfFile, vaddr: u64, len: u64) -> Result<(), ElfError> {
-    let start = elf.vaddr_to_offset(vaddr).ok_or(ElfError::OutOfBounds)?;
-    // The end must lie within the same translation (segments are contiguous
-    // in both file and memory).
-    let end_vaddr = vaddr + len;
-    if len > 0 {
-        elf.vaddr_to_offset(end_vaddr - 1).ok_or(ElfError::OutOfBounds)?;
-    }
-    let bytes = elf.bytes_mut();
-    for b in &mut bytes[start..start + len as usize] {
+    let (start, end) = file_span(elf, vaddr, len)?;
+    for b in elf.bytes_mut().get_mut(start..end).ok_or(ElfError::OutOfBounds)? {
         *b = 0;
     }
     Ok(())
+}
+
+/// Translates `[vaddr, vaddr + len)` to a file-offset span, checking both
+/// ends map (segments are contiguous in both file and memory) and that the
+/// length arithmetic cannot overflow.
+fn file_span(elf: &ElfFile, vaddr: u64, len: u64) -> Result<(usize, usize), ElfError> {
+    let start = elf.vaddr_to_offset(vaddr).ok_or(ElfError::OutOfBounds)?;
+    if len > 0 {
+        let last = vaddr.checked_add(len - 1).ok_or(ElfError::OutOfBounds)?;
+        elf.vaddr_to_offset(last).ok_or(ElfError::OutOfBounds)?;
+    }
+    let len = usize::try_from(len).map_err(|_| ElfError::OutOfBounds)?;
+    let end = start.checked_add(len).ok_or(ElfError::OutOfBounds)?;
+    Ok((start, end))
 }
 
 /// Reads `len` bytes of the image starting at virtual address `vaddr`.
@@ -32,11 +39,8 @@ pub fn zero_vaddr_range(elf: &mut ElfFile, vaddr: u64, len: u64) -> Result<(), E
 ///
 /// Returns [`ElfError::OutOfBounds`] if the range is not mapped.
 pub fn read_vaddr_range(elf: &ElfFile, vaddr: u64, len: u64) -> Result<Vec<u8>, ElfError> {
-    let start = elf.vaddr_to_offset(vaddr).ok_or(ElfError::OutOfBounds)?;
-    if len > 0 {
-        elf.vaddr_to_offset(vaddr + len - 1).ok_or(ElfError::OutOfBounds)?;
-    }
-    Ok(elf.bytes()[start..start + len as usize].to_vec())
+    let (start, end) = file_span(elf, vaddr, len)?;
+    Ok(elf.bytes().get(start..end).ok_or(ElfError::OutOfBounds)?.to_vec())
 }
 
 /// ORs flag bits into the program header covering `vaddr` ("we *or* the
@@ -51,14 +55,24 @@ pub fn or_segment_flags(elf: &mut ElfFile, vaddr: u64, flags: u32) -> Result<u32
     let seg_index = elf
         .segments()
         .iter()
-        .position(|s| s.p_type == PT_LOAD && vaddr >= s.p_vaddr && vaddr < s.p_vaddr + s.p_memsz)
+        .position(|s| {
+            s.p_type == PT_LOAD
+                && vaddr >= s.p_vaddr
+                && s.p_vaddr.checked_add(s.p_memsz).is_some_and(|end| vaddr < end)
+        })
         .ok_or_else(|| ElfError::NotFound { what: format!("segment covering {vaddr:#x}") })?;
     debug_assert!(seg_index < phnum);
-    let field_off = phoff + seg_index * PHDR_SIZE + 4;
+    let field_off = phoff
+        .checked_add(seg_index * PHDR_SIZE)
+        .and_then(|o| o.checked_add(4))
+        .ok_or(ElfError::OutOfBounds)?;
     let bytes = elf.bytes_mut();
-    let old = u32::from_le_bytes(bytes[field_off..field_off + 4].try_into().unwrap());
+    let field = bytes
+        .get_mut(field_off..field_off + 4)
+        .ok_or(ElfError::Truncated { what: "phdr flags" })?;
+    let old = u32::from_le_bytes(field[..4].try_into().expect("4-byte slice"));
     let new = old | flags;
-    bytes[field_off..field_off + 4].copy_from_slice(&new.to_le_bytes());
+    field.copy_from_slice(&new.to_le_bytes());
     Ok(new)
 }
 
@@ -123,5 +137,23 @@ mod tests {
     fn or_flags_unmapped_vaddr_rejected() {
         let mut elf = sample();
         assert!(or_segment_flags(&mut elf, 0xdead_0000, PF_W).is_err());
+    }
+
+    #[test]
+    fn overflowing_ranges_rejected_without_panicking() {
+        // Regression: `vaddr + len` used to overflow (panic in debug) for
+        // attacker-chosen lengths; both patch primitives must return typed
+        // errors instead.
+        let mut elf = sample();
+        let text_addr = elf.section_by_name(".text").unwrap().sh_addr;
+        assert_eq!(
+            zero_vaddr_range(&mut elf, text_addr, u64::MAX).unwrap_err(),
+            ElfError::OutOfBounds
+        );
+        assert_eq!(read_vaddr_range(&elf, text_addr, u64::MAX).unwrap_err(), ElfError::OutOfBounds);
+        assert_eq!(read_vaddr_range(&elf, u64::MAX, 2).unwrap_err(), ElfError::OutOfBounds);
+        // The image is untouched by the failed zero.
+        let data = read_vaddr_range(&elf, text_addr, 4).unwrap();
+        assert_eq!(data, vec![0, 1, 2, 3]);
     }
 }

@@ -12,7 +12,7 @@
 use crate::error::EnclaveError;
 use elide_crypto::rsa::RsaKeyPair;
 use elide_elf::types::{PF_R, PF_W, PF_X, PT_LOAD};
-use elide_elf::ElfFile;
+use elide_elf::{ElfError, ElfFile};
 use sgx_sim::epc::{PagePerms, PageType, PAGE_SIZE};
 use sgx_sim::measure::{Measurement, EEXTEND_CHUNK};
 use sgx_sim::sigstruct::SigStruct;
@@ -41,19 +41,40 @@ fn perms_from_flags(p_flags: u32) -> PagePerms {
 
 /// Computes the page plan and ELRANGE for an image. Deterministic, shared by
 /// the loader and the signer so their measurements can never diverge.
+///
+/// Every header field used here is attacker-supplied: a corrupt image must
+/// fail with a typed error, never a slice panic, an overflow, or an
+/// allocation sized by a forged `p_memsz`.
 fn plan_pages(elf: &ElfFile) -> Result<(u64, u64, Vec<PagePlan>), EnclaveError> {
+    // Generous caps — orders of magnitude above any image this toolchain
+    // produces — that bound both the address arithmetic and the plan size.
+    const MAX_SEGMENT_VADDR: u64 = 1 << 48;
+    const MAX_IMAGE_PAGES: u64 = 1 << 16; // 256 MiB of 4 KiB pages
     let mut plans = Vec::new();
     let mut min = u64::MAX;
     let mut max = 0u64;
+    let mut total_pages = 0u64;
     for seg in elf.segments() {
         if seg.p_type != PT_LOAD {
             continue;
         }
+        if seg.p_vaddr > MAX_SEGMENT_VADDR || seg.p_filesz > seg.p_memsz {
+            return Err(EnclaveError::Elf(ElfError::Unsupported { what: "segment layout" }));
+        }
+        let pages = seg.p_memsz.div_ceil(PAGE_SIZE);
+        total_pages += pages;
+        if total_pages > MAX_IMAGE_PAGES {
+            return Err(EnclaveError::Elf(ElfError::Unsupported { what: "image size" }));
+        }
+        let file_end = seg
+            .p_offset
+            .checked_add(seg.p_filesz)
+            .filter(|&end| end <= elf.bytes().len() as u64)
+            .ok_or(EnclaveError::Elf(ElfError::Truncated { what: "segment data" }))?;
         min = min.min(seg.p_vaddr);
         max = max.max(seg.p_vaddr + seg.p_memsz);
         let perms = perms_from_flags(seg.p_flags);
-        let file_data = &elf.bytes()[seg.p_offset as usize..(seg.p_offset + seg.p_filesz) as usize];
-        let pages = seg.p_memsz.div_ceil(PAGE_SIZE);
+        let file_data = &elf.bytes()[seg.p_offset as usize..file_end as usize];
         for p in 0..pages {
             let mut data = [0u8; PAGE_SIZE as usize];
             let start = (p * PAGE_SIZE) as usize;
@@ -200,6 +221,28 @@ mod tests {
         tampered[text.sh_offset as usize] ^= 0xFF;
         let err = load_enclave(&cpu, &tampered, &sig).unwrap_err();
         assert!(matches!(err, EnclaveError::Sgx(sgx_sim::SgxError::MeasurementMismatch { .. })));
+    }
+
+    #[test]
+    fn corrupt_program_headers_fail_typed_not_panic() {
+        // Regression (found by the chaos fuzz): forged p_offset/p_filesz
+        // panicked the page-plan slice, and a forged p_memsz sized an
+        // allocation. Each field forged in every program header must yield
+        // a typed error.
+        let image = build_image();
+        let elf = ElfFile::parse(image.clone()).unwrap();
+        let phoff = elf.header().e_phoff as usize;
+        let phnum = elf.header().e_phnum as usize;
+        // Offsets of p_offset / p_filesz / p_memsz within an ELF64 phdr.
+        for field in [8usize, 32, 40] {
+            let mut bad = image.clone();
+            for entry in 0..phnum {
+                let at = phoff + entry * 56 + field;
+                bad[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            }
+            let err = measure_enclave(&bad).unwrap_err();
+            assert!(matches!(err, EnclaveError::Elf(_)), "phdr field +{field}: {err:?}");
+        }
     }
 
     #[test]

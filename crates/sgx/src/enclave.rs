@@ -450,11 +450,15 @@ impl Enclave {
         self.measurement.as_ref().map(|m| m.current()).ok_or(SgxError::AlreadyInitialized)
     }
 
-    pub(crate) fn page_restore(&mut self, page_off: u64, page: EpcPage) {
+    pub(crate) fn page_restore(&mut self, page_off: u64, page: EpcPage) -> Result<(), SgxError> {
         let idx = (page_off / PAGE_SIZE) as usize;
+        // The offset comes from an untrusted evicted blob: a corrupt value
+        // must be a typed error, not an index panic.
+        let slot = self.pages.get_mut(idx).ok_or(SgxError::OutOfRange { addr: page_off })?;
         self.epoch += 1;
+        *slot = Some(page);
         self.page_gens[idx] = self.epoch;
-        self.pages[idx] = Some(page);
+        Ok(())
     }
 
     pub(crate) fn page_evict(&mut self, page_off: u64) -> Option<EpcPage> {
@@ -676,7 +680,7 @@ mod tests {
         assert_ne!(g0, g1, "a write must move the page generation");
         let page = e.page_evict(0).unwrap();
         assert_eq!(e.page_generation(0x100000), None, "absent pages have no generation");
-        e.page_restore(0, page);
+        e.page_restore(0, page).unwrap();
         let g2 = e.page_generation(0x100000).unwrap();
         assert_ne!(g1, g2, "an evict/reload cycle must move the generation");
         // Out-of-range addresses have no generation.

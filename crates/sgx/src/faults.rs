@@ -1,0 +1,165 @@
+//! Deterministic fault injection for the SGX substrate — the attacker's
+//! levers from the paper's threat model, packaged for chaos testing: the
+//! MEE-encrypted DRAM view a physical attacker can disturb, and the
+//! evicted-page blobs an untrusted OS holds between `EWB` and `ELDU`.
+//!
+//! Everything here is seed-driven so a failing schedule replays exactly.
+
+use crate::paging::EvictedPage;
+use elide_crypto::rng::{RandomSource, SeededRandom};
+
+/// The ways an untrusted OS can tamper with an [`EvictedPage`] before
+/// handing it back to `ELDU`. Every variant must be rejected with a typed
+/// error — none may load, panic, or corrupt the page table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EwbTamper {
+    /// Flip a bit in the ciphertext.
+    Ciphertext,
+    /// Flip a bit in the authentication tag.
+    Tag,
+    /// Flip a bit in the nonce.
+    Iv,
+    /// Replay an older (or invent a newer) version number.
+    Version,
+    /// Turn the W permission bit on (RX page becomes writable).
+    PermsEscalate,
+    /// Strip permission bits (denial of service via an unusable page).
+    PermsDowngrade,
+    /// Change the declared page type.
+    PageType,
+    /// Point the blob at a different page offset.
+    Offset,
+    /// Truncate the ciphertext.
+    Truncate,
+}
+
+impl EwbTamper {
+    /// Every tamper variant, for exhaustive sweeps.
+    pub const ALL: [EwbTamper; 9] = [
+        EwbTamper::Ciphertext,
+        EwbTamper::Tag,
+        EwbTamper::Iv,
+        EwbTamper::Version,
+        EwbTamper::PermsEscalate,
+        EwbTamper::PermsDowngrade,
+        EwbTamper::PageType,
+        EwbTamper::Offset,
+        EwbTamper::Truncate,
+    ];
+}
+
+/// Seeded injector for EPC-level faults.
+#[derive(Debug, Clone)]
+pub struct EpcFaultInjector {
+    rng: SeededRandom,
+}
+
+impl EpcFaultInjector {
+    /// Creates an injector; the same seed replays the same corruption.
+    pub fn new(seed: u64) -> Self {
+        EpcFaultInjector { rng: SeededRandom::new(seed) }
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        (self.rng.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Flips one random bit in `buf` (no-op on an empty buffer).
+    pub fn flip_bit(&mut self, buf: &mut [u8]) {
+        if buf.is_empty() {
+            return;
+        }
+        let byte = self.pick(buf.len());
+        let bit = self.pick(8) as u32;
+        buf[byte] ^= 1u8 << bit;
+    }
+
+    /// A physical attacker disturbing DRAM: flips one bit in one page of
+    /// the MEE-encrypted view. The enclave's own reads go through the EPC
+    /// and are unaffected; only outside observers see the change.
+    pub fn corrupt_dram_view(&mut self, dram: &mut [(u64, Vec<u8>)]) {
+        if dram.is_empty() {
+            return;
+        }
+        let page = self.pick(dram.len());
+        let (_, bytes) = &mut dram[page];
+        self.flip_bit(bytes);
+    }
+
+    /// Applies one tamper to an evicted blob.
+    pub fn tamper_evicted(&mut self, blob: &mut EvictedPage, how: EwbTamper) {
+        match how {
+            EwbTamper::Ciphertext => self.flip_bit(&mut blob.ciphertext),
+            EwbTamper::Tag => self.flip_bit(&mut blob.tag),
+            EwbTamper::Iv => self.flip_bit(&mut blob.iv),
+            EwbTamper::Version => {
+                // Either roll back or fast-forward; both must be rejected.
+                blob.version = if self.pick(2) == 0 {
+                    blob.version.wrapping_sub(1)
+                } else {
+                    blob.version.wrapping_add(1 + self.rng.next_u64() % 1000)
+                };
+            }
+            EwbTamper::PermsEscalate => blob.perms |= 0b010, // W bit
+            EwbTamper::PermsDowngrade => blob.perms = 0,
+            EwbTamper::PageType => blob.ptype = blob.ptype.wrapping_add(1) % 3,
+            EwbTamper::Offset => {
+                blob.page_offset = blob.page_offset.wrapping_add(4096 * (1 + self.pick(16) as u64));
+            }
+            EwbTamper::Truncate => {
+                let keep = self.pick(blob.ciphertext.len());
+                blob.ciphertext.truncate(keep);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_corruption() {
+        let mut a = EpcFaultInjector::new(11);
+        let mut b = EpcFaultInjector::new(11);
+        let mut x = vec![0u8; 64];
+        let mut y = vec![0u8; 64];
+        a.flip_bit(&mut x);
+        b.flip_bit(&mut y);
+        assert_eq!(x, y);
+        assert_eq!(x.iter().filter(|&&v| v != 0).count(), 1, "exactly one byte touched");
+    }
+
+    #[test]
+    fn empty_buffers_are_left_alone() {
+        let mut inj = EpcFaultInjector::new(1);
+        inj.flip_bit(&mut []);
+        inj.corrupt_dram_view(&mut []);
+    }
+
+    #[test]
+    fn every_tamper_changes_the_blob() {
+        for (i, how) in EwbTamper::ALL.into_iter().enumerate() {
+            let mut inj = EpcFaultInjector::new(100 + i as u64);
+            let original = EvictedPage {
+                page_offset: 0x1000,
+                iv: [7; 12],
+                ciphertext: vec![0x5A; 4096],
+                tag: [9; 16],
+                perms: 0b101, // RX
+                ptype: 2,
+                version: 42,
+            };
+            let mut blob = original.clone();
+            inj.tamper_evicted(&mut blob, how);
+            let changed = blob.page_offset != original.page_offset
+                || blob.iv != original.iv
+                || blob.ciphertext != original.ciphertext
+                || blob.tag != original.tag
+                || blob.perms != original.perms
+                || blob.ptype != original.ptype
+                || blob.version != original.version;
+            assert!(changed, "{how:?} left the blob identical");
+        }
+    }
+}

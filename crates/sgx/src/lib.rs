@@ -13,6 +13,8 @@
 //!   an attestation-service model.
 //! * [`keys`] — the fused key hierarchy (seal/report/MEE keys).
 //! * [`paging`] — `EWB`/`ELDU` with integrity and rollback protection.
+//! * [`faults`] — seeded fault injection for chaos tests (DRAM bit flips,
+//!   evicted-blob tampering).
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@
 pub mod enclave;
 pub mod epc;
 pub mod error;
+pub mod faults;
 pub mod keys;
 pub mod measure;
 pub mod paging;

@@ -100,13 +100,18 @@ impl PagingManager {
     }
 
     /// `ELDU`: reloads an evicted page into the EPC, verifying integrity
-    /// and freshness.
+    /// and freshness. On any failure the version array keeps its entry, so
+    /// the genuine blob for this offset still loads afterwards — a
+    /// tampered blob must not burn the slot.
     ///
     /// # Errors
     ///
     /// * [`SgxError::ReplayDetected`] — the version does not match the
     ///   version array (stale or replayed blob).
-    /// * [`SgxError::SealAuthFailed`] — ciphertext or metadata tampered.
+    /// * [`SgxError::SealAuthFailed`] — ciphertext or metadata tampered,
+    ///   or the ciphertext does not decrypt to a whole page.
+    /// * [`SgxError::OutOfRange`] — the blob's page offset falls outside
+    ///   the enclave.
     pub fn eldu(&mut self, enclave: &mut Enclave, evicted: &EvictedPage) -> Result<(), SgxError> {
         match self.versions.get(&evicted.page_offset) {
             Some(&v) if v == evicted.version => {}
@@ -130,7 +135,7 @@ impl PagingManager {
         enclave.page_restore(
             evicted.page_offset,
             EpcPage::new(data, PagePerms::from_bits(evicted.perms), ptype),
-        );
+        )?;
         self.versions.remove(&evicted.page_offset);
         Ok(())
     }
@@ -218,5 +223,72 @@ mod tests {
     fn evict_absent_page_rejected() {
         let (mut e, mut pm, mut rng) = setup();
         assert!(matches!(pm.ewb(&mut e, 0x5000, &mut rng), Err(SgxError::PageNotPresent { .. })));
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let (mut e, mut pm, mut rng) = setup();
+        let blob = pm.ewb(&mut e, 0, &mut rng).unwrap();
+        for keep in [0usize, 1, 2048, 4095] {
+            let mut short = blob.clone();
+            short.ciphertext.truncate(keep);
+            assert_eq!(pm.eldu(&mut e, &short), Err(SgxError::SealAuthFailed), "keep={keep}");
+        }
+    }
+
+    #[test]
+    fn failed_eldu_leaves_page_table_untouched() {
+        // Regression: a GCM tag failure on ELDU must not consume the
+        // version slot or resurrect the page — and the genuine blob must
+        // still load afterwards.
+        let (mut e, mut pm, mut rng) = setup();
+        let resident_before_evict = e.resident_pages();
+        let blob = pm.ewb(&mut e, 0, &mut rng).unwrap();
+        let resident = e.resident_pages();
+
+        let mut tampered = blob.clone();
+        tampered.tag[0] ^= 1;
+        assert_eq!(pm.eldu(&mut e, &tampered), Err(SgxError::SealAuthFailed));
+        // Still evicted: same resident set, reads still fault.
+        assert_eq!(e.resident_pages(), resident);
+        assert!(matches!(
+            e.read(0x100000, 1, AccessKind::Read),
+            Err(SgxError::PageNotPresent { .. })
+        ));
+
+        // The genuine blob still loads — the failed attempt did not burn
+        // the version entry.
+        pm.eldu(&mut e, &blob).unwrap();
+        assert_eq!(e.resident_pages(), resident_before_evict);
+        assert_eq!(e.read(0x100000, 2, AccessKind::Read).unwrap(), vec![0xAA, 0xAA]);
+    }
+
+    #[test]
+    fn seeded_tampering_sweep_never_panics_or_loads() {
+        // Every EwbTamper variant under several seeds: ELDU must reject
+        // each with a typed error and keep the honest blob loadable.
+        use crate::faults::{EpcFaultInjector, EwbTamper};
+        for seed in 0..8u64 {
+            let (mut e, mut pm, mut rng) = setup();
+            // The RX page: permission escalation must actually change bits.
+            let blob = pm.ewb(&mut e, 0x1000, &mut rng).unwrap();
+            let mut inj = EpcFaultInjector::new(seed);
+            for how in EwbTamper::ALL {
+                let mut t = blob.clone();
+                inj.tamper_evicted(&mut t, how);
+                let err = pm.eldu(&mut e, &t).expect_err("tampered blob must not load");
+                assert!(
+                    matches!(
+                        err,
+                        SgxError::SealAuthFailed
+                            | SgxError::ReplayDetected
+                            | SgxError::OutOfRange { .. }
+                    ),
+                    "{how:?} → unexpected error {err:?}"
+                );
+            }
+            pm.eldu(&mut e, &blob).unwrap();
+            assert_eq!(e.read(0x101000, 1, AccessKind::Read).unwrap(), vec![0xBB]);
+        }
     }
 }

@@ -1,0 +1,556 @@
+//! Deterministic chaos: seeded fault-injection schedules over the full
+//! SgxElide pipeline — launch → provision → restore → execute — plus
+//! focussed chaos for the EPC paging path, the sanitizer, and the client
+//! retry policy.
+//!
+//! Every schedule is replayable: `CHAOS_SEED=<n>` shifts the whole seed
+//! set (CI runs the pinned default on every push plus one rotating seed
+//! printed in the job log). The invariant under every schedule: an
+//! injected fault may surface only as a typed [`ElideError`] or a clean
+//! client-side retry — never a panic, a hang, a deadlocked worker, or a
+//! "successfully" restored enclave running the wrong code.
+
+use sgxelide::apps::harness::App;
+use sgxelide::apps::{all_apps, run_workload};
+use sgxelide::core::api::{protect, Mode, Platform, ProtectedPackage};
+use sgxelide::core::elide_asm::ELIDE_ASM;
+use sgxelide::core::error::ServerError;
+use sgxelide::core::faults::{
+    silence_injected_panics, FaultConfig, FaultPlan, FaultyListener, FaultyWire, PPM,
+};
+use sgxelide::core::protocol::{FramedTransport, InProcessTransport, Transport};
+use sgxelide::core::restore::{new_sealed_store, RetryPolicy};
+use sgxelide::core::sanitizer::DataPlacement;
+use sgxelide::core::server::AuthServer;
+use sgxelide::core::service::{serve, ServiceConfig, ServiceHandle};
+use sgxelide::core::transport::channel::channel_listener;
+use sgxelide::core::transport::tcp::TcpAcceptor;
+use sgxelide::core::transport::Limits;
+use sgxelide::core::ElideError;
+use sgxelide::crypto::rng::{FailingRandom, RandomSource, SeededRandom};
+use sgxelide::crypto::rsa::RsaKeyPair;
+use sgxelide::enclave::image::EnclaveImageBuilder;
+use sgxelide::sgx::enclave::{AccessKind, SgxCpu};
+use sgxelide::sgx::epc::{PagePerms, PageType};
+use sgxelide::sgx::faults::{EpcFaultInjector, EwbTamper};
+use sgxelide::sgx::paging::PagingManager;
+use sgxelide::sgx::quote::AttestationService;
+use sgxelide::sgx::sigstruct::SigStruct;
+use sgxelide::sgx::{Enclave, SgxError};
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Seeded schedules per (app, transport) cell. Three apps × two transports
+/// × 17 = 102 schedules, over the ≥ 100 floor.
+const SCHEDULES_PER_CELL: u64 = 17;
+
+/// Base seed for the whole run; `CHAOS_SEED` rotates it.
+fn base_seed() -> u64 {
+    match std::env::var("CHAOS_SEED") {
+        Ok(v) => {
+            let seed: u64 = v.trim().parse().expect("CHAOS_SEED must be a u64");
+            println!("chaos: CHAOS_SEED={seed}");
+            seed
+        }
+        Err(_) => 0,
+    }
+}
+
+/// Aborts the whole process if no schedule reports progress for two
+/// minutes: a hang is a finding, and a killed test is how it surfaces.
+fn watchdog(tag: &'static str) -> mpsc::Sender<String> {
+    let (tx, rx) = mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        let mut last = String::from("startup");
+        loop {
+            match rx.recv_timeout(Duration::from_secs(120)) {
+                Ok(mark) => last = mark,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    eprintln!("chaos[{tag}]: no progress for 120s after '{last}' — aborting");
+                    std::process::abort();
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    });
+    tx
+}
+
+/// One protected application plus the environment shared by all of its
+/// schedules (the expensive protect/provision work happens once).
+struct Cell {
+    name: &'static str,
+    package: ProtectedPackage,
+    platform: Platform,
+    server: Arc<AuthServer>,
+    indices: HashMap<String, u64>,
+}
+
+fn build_cell(name: &'static str, image: &[u8], indices: HashMap<String, u64>, seed: u64) -> Cell {
+    let mut rng = SeededRandom::new(seed);
+    let vendor = RsaKeyPair::generate(512, &mut rng);
+    let package = protect(image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng)
+        .expect("protect");
+    let mut ias = AttestationService::new();
+    let platform = Platform::provision(&mut rng, &mut ias);
+    let server = Arc::new(package.make_server(ias));
+    Cell { name, package, platform, server, indices }
+}
+
+fn build_app_cell(app: &App, seed: u64) -> Cell {
+    let image = app.build_elide_image().expect("build app image");
+    build_cell(app.name, &image, app.protected_indices(), seed)
+}
+
+/// A one-ecall enclave for the focussed retry/store tests.
+fn tiny_image() -> Vec<u8> {
+    let mut b = EnclaveImageBuilder::new();
+    b.source(ELIDE_ASM)
+        .source(
+            ".section text\n.global get_answer\n.func get_answer\n    movi r0, 42\n    ret\n.endfunc\n",
+        )
+        .ecall("get_answer")
+        .ecall("elide_restore");
+    b.build().expect("assemble tiny image")
+}
+
+fn build_tiny_cell(seed: u64) -> Cell {
+    let indices =
+        HashMap::from([("get_answer".to_string(), 0u64), ("elide_restore".to_string(), 1u64)]);
+    build_cell("tiny", &tiny_image(), indices, seed)
+}
+
+#[derive(Clone, Copy)]
+enum Kind {
+    Channel,
+    Tcp,
+}
+
+/// Fault rates by schedule intensity: 0 is the fault-free control, then
+/// mild wire noise, moderate wire noise plus a worker panic, and a severe
+/// tier where every substrate misbehaves at once.
+fn fault_configs(intensity: u64) -> (FaultConfig, FaultConfig) {
+    match intensity {
+        0 => (FaultConfig::off(), FaultConfig::off()),
+        1 => (FaultConfig::wire(15_000), FaultConfig::off()),
+        2 => (
+            FaultConfig::wire(60_000),
+            FaultConfig { worker_panic_ppm: 100_000, worker_panic_limit: 1, ..FaultConfig::off() },
+        ),
+        _ => (
+            FaultConfig::wire(200_000),
+            FaultConfig {
+                worker_panic_ppm: 250_000,
+                worker_panic_limit: 2,
+                store_io_ppm: 120_000,
+                ..FaultConfig::wire(60_000)
+            },
+        ),
+    }
+}
+
+/// Client transport that redials the service when the wire dies — the
+/// retry behaviour a real SgxElide host would implement. Server-reported
+/// errors keep the connection; only transport failures drop it.
+struct ReconnectingTransport {
+    connect: Box<dyn FnMut() -> Result<FramedTransport, ElideError> + Send>,
+    conn: Option<FramedTransport>,
+}
+
+impl Transport for ReconnectingTransport {
+    fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError> {
+        if self.conn.is_none() {
+            self.conn = Some((self.connect)()?);
+        }
+        let result = self.conn.as_mut().expect("connected").request(req, payload);
+        if matches!(result, Err(ElideError::Transport(_))) {
+            self.conn = None; // dead wire: redial on the next request
+        }
+        result
+    }
+}
+
+/// Runs one seeded schedule end to end. Returns the workload checksum on
+/// success or the typed error, plus how many faults were injected.
+fn run_schedule(
+    cell: &Cell,
+    kind: Kind,
+    seed: u64,
+    intensity: u64,
+) -> (Result<u64, ElideError>, u64) {
+    let (client_cfg, server_cfg) = fault_configs(intensity);
+    let client_plan = FaultPlan::new(seed.wrapping_mul(2).wrapping_add(1), client_cfg);
+    let server_plan = FaultPlan::new(seed.wrapping_mul(2).wrapping_add(2), server_cfg);
+    // Short timeouts keep injected stalls from slowing the suite; genuine
+    // hangs are caught by the watchdog, not the timeout.
+    let limits = Limits {
+        read_timeout: Some(Duration::from_secs(2)),
+        write_timeout: Some(Duration::from_secs(2)),
+        ..Limits::default()
+    };
+    cell.server.set_faults(Some(server_plan.clone()));
+    let config = ServiceConfig {
+        workers: 2,
+        limits,
+        max_connections: None,
+        faults: Some(server_plan.clone()),
+    };
+
+    type Connect = Box<dyn FnMut() -> Result<FramedTransport, ElideError> + Send>;
+    let (handle, connect): (ServiceHandle, Connect) = match kind {
+        Kind::Channel => {
+            let (listener, host) = channel_listener();
+            let handle = serve(
+                FaultyListener::new(listener, server_plan.clone()),
+                Arc::clone(&cell.server),
+                config,
+            );
+            let plan = client_plan.clone();
+            let connect: Connect = Box::new(move || {
+                let wire =
+                    host.connect().map_err(|e| ElideError::Transport(format!("connect: {e}")))?;
+                FramedTransport::new(Box::new(FaultyWire::new(wire, plan.clone())), limits)
+            });
+            (handle, connect)
+        }
+        Kind::Tcp => {
+            let acceptor = TcpAcceptor::bind("127.0.0.1:0").expect("bind loopback");
+            let addr = acceptor.local_addr().expect("local addr");
+            let handle = serve(
+                FaultyListener::new(acceptor, server_plan.clone()),
+                Arc::clone(&cell.server),
+                config,
+            );
+            let plan = client_plan.clone();
+            let connect: Connect = Box::new(move || {
+                let wire = TcpStream::connect(addr)
+                    .map_err(|e| ElideError::Transport(format!("connect {addr}: {e}")))?;
+                FramedTransport::new(Box::new(FaultyWire::new(wire, plan.clone())), limits)
+            });
+            (handle, connect)
+        }
+    };
+
+    let transport: Arc<Mutex<dyn Transport + Send>> =
+        Arc::new(Mutex::new(ReconnectingTransport { connect, conn: None }));
+    let handshakes_before = cell.server.handshakes();
+    let mut launched = cell
+        .package
+        .launch(&cell.platform, transport, new_sealed_store(), seed ^ 0x5EED)
+        .expect("launch touches no faulted path");
+    let policy = RetryPolicy {
+        retries: 4,
+        initial_delay: Duration::from_millis(2),
+        max_delay: Duration::from_millis(10),
+    };
+    let outcome = match launched.restore_with_retry(cell.indices["elide_restore"], &policy) {
+        Ok(stats) => {
+            assert!(stats.instructions > 0, "seed {seed}: restore reported no work");
+            assert!(
+                cell.server.handshakes() > handshakes_before,
+                "seed {seed}: a fresh launch cannot restore without a server handshake"
+            );
+            // `run_workload` differentially checks the guest against the
+            // host reference — wrong restored plaintext panics here.
+            Ok(run_workload(cell.name, &mut launched.runtime, &cell.indices))
+        }
+        Err(err) => {
+            assert!(
+                matches!(
+                    err,
+                    ElideError::Transport(_)
+                        | ElideError::Server(_)
+                        | ElideError::RestoreFailed { .. }
+                ),
+                "seed {seed}: fault surfaced as an unexpected error family: {err:?}"
+            );
+            // Fail closed: the secret code must still be unexecutable.
+            assert!(
+                launched.runtime.ecall(0, &[], 0).is_err(),
+                "seed {seed}: failed restore left executable secret code"
+            );
+            Err(err)
+        }
+    };
+    drop(launched);
+    cell.server.set_faults(None);
+    handle.shutdown();
+    let injected = client_plan.counts().total() + server_plan.counts().total();
+    (outcome, injected)
+}
+
+fn pipeline_chaos(kind: Kind, tag: &'static str) {
+    silence_injected_panics();
+    let base = base_seed();
+    let progress = watchdog(tag);
+    let picked = ["AES", "2048", "Crackme"];
+    let apps: Vec<App> = all_apps().into_iter().filter(|a| picked.contains(&a.name)).collect();
+    assert_eq!(apps.len(), picked.len(), "pipeline apps missing");
+    let kind_off = match kind {
+        Kind::Channel => 0u64,
+        Kind::Tcp => 1 << 48,
+    };
+    for (ai, app) in apps.iter().enumerate() {
+        let cell = build_app_cell(app, base ^ (0xC0FFEE + ai as u64));
+        let mut reference: Option<u64> = None;
+        let mut injected_total = 0u64;
+        let mut failures = 0u32;
+        for i in 0..SCHEDULES_PER_CELL {
+            let seed = base.wrapping_add(kind_off).wrapping_add((ai as u64) << 32).wrapping_add(i);
+            let intensity = i % 4;
+            progress
+                .send(format!(
+                    "{tag}/{}/schedule {i} (seed {seed}, intensity {intensity})",
+                    app.name
+                ))
+                .ok();
+            let (outcome, injected) = run_schedule(&cell, kind, seed, intensity);
+            injected_total += injected;
+            match outcome {
+                Ok(checksum) => match reference {
+                    Some(r) => assert_eq!(
+                        checksum, r,
+                        "{tag}/{}: seed {seed} restored an enclave that computes differently",
+                        app.name
+                    ),
+                    None => reference = Some(checksum),
+                },
+                Err(err) => {
+                    assert_ne!(
+                        intensity, 0,
+                        "{tag}/{}: control schedule (seed {seed}) must succeed, got {err:?}",
+                        app.name
+                    );
+                    failures += 1;
+                }
+            }
+        }
+        assert!(reference.is_some(), "{tag}/{}: no schedule ever succeeded", app.name);
+        assert!(
+            injected_total > 0,
+            "{tag}/{}: the fault plans never fired — the chaos is vacuous",
+            app.name
+        );
+        println!(
+            "chaos[{tag}/{}]: {SCHEDULES_PER_CELL} schedules, {failures} typed failures, \
+             {injected_total} injected faults",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn pipeline_chaos_over_channel_transport() {
+    pipeline_chaos(Kind::Channel, "channel");
+}
+
+#[test]
+fn pipeline_chaos_over_tcp_transport() {
+    pipeline_chaos(Kind::Tcp, "tcp");
+}
+
+/// A transport that always fails the same way, counting attempts.
+struct ScriptedTransport {
+    attempts: Arc<AtomicU64>,
+    make_err: fn() -> ElideError,
+}
+
+impl Transport for ScriptedTransport {
+    fn request(&mut self, _req: u8, _payload: &[u8]) -> Result<Vec<u8>, ElideError> {
+        self.attempts.fetch_add(1, Ordering::SeqCst);
+        Err((self.make_err)())
+    }
+}
+
+#[test]
+fn retry_budget_gives_up_with_the_underlying_error() {
+    let cell = build_tiny_cell(0xB0B);
+    let attempts = Arc::new(AtomicU64::new(0));
+    let transport: Arc<Mutex<dyn Transport + Send>> = Arc::new(Mutex::new(ScriptedTransport {
+        attempts: Arc::clone(&attempts),
+        make_err: || ElideError::Transport("injected wire failure".into()),
+    }));
+    let mut launched =
+        cell.package.launch(&cell.platform, transport, new_sealed_store(), 7).unwrap();
+    let policy = RetryPolicy {
+        retries: 3,
+        initial_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(2),
+    };
+    let err = launched.restore_with_retry(cell.indices["elide_restore"], &policy).unwrap_err();
+    assert_eq!(
+        err,
+        ElideError::Transport("injected wire failure".into()),
+        "the final error must be the underlying failure, not a generic restore status"
+    );
+    assert_eq!(
+        attempts.load(Ordering::SeqCst),
+        4,
+        "the initial attempt plus the full retry budget, then give up"
+    );
+}
+
+#[test]
+fn authentication_failure_is_not_retried() {
+    let cell = build_tiny_cell(0xA11);
+    let attempts = Arc::new(AtomicU64::new(0));
+    let transport: Arc<Mutex<dyn Transport + Send>> = Arc::new(Mutex::new(ScriptedTransport {
+        attempts: Arc::clone(&attempts),
+        make_err: || ElideError::Server(ServerError::AttestationFailed),
+    }));
+    let mut launched =
+        cell.package.launch(&cell.platform, transport, new_sealed_store(), 8).unwrap();
+    let policy = RetryPolicy {
+        retries: 5,
+        initial_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(2),
+    };
+    let err = launched.restore_with_retry(cell.indices["elide_restore"], &policy).unwrap_err();
+    assert_eq!(err, ElideError::Server(ServerError::AttestationFailed));
+    assert_eq!(
+        attempts.load(Ordering::SeqCst),
+        1,
+        "an authentication verdict is final — retrying it hammers the server for nothing"
+    );
+}
+
+#[test]
+fn store_io_faults_surface_as_internal_and_recover() {
+    let cell = build_tiny_cell(0x510);
+    cell.server.set_faults(Some(FaultPlan::new(
+        3,
+        FaultConfig { store_io_ppm: PPM, ..FaultConfig::off() },
+    )));
+    let transport: Arc<Mutex<dyn Transport + Send>> =
+        Arc::new(Mutex::new(InProcessTransport::new(Arc::clone(&cell.server))));
+    let mut launched =
+        cell.package.launch(&cell.platform, transport, new_sealed_store(), 11).unwrap();
+    let policy = RetryPolicy {
+        retries: 2,
+        initial_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(2),
+    };
+    let before = cell.server.handshakes();
+    let err = launched.restore_with_retry(cell.indices["elide_restore"], &policy).unwrap_err();
+    assert_eq!(
+        err,
+        ElideError::Server(ServerError::Internal),
+        "store I/O faults must surface as the typed Internal error"
+    );
+    assert!(
+        cell.server.handshakes() > before,
+        "the store fault sits behind authentication — the handshakes must have succeeded"
+    );
+    assert!(launched.runtime.ecall(0, &[], 0).is_err(), "failed restore must stay sanitized");
+    // The store recovers: the same launched enclave restores cleanly.
+    cell.server.set_faults(None);
+    launched.restore(cell.indices["elide_restore"]).unwrap();
+    assert_eq!(launched.runtime.ecall(0, &[], 0).unwrap().status, 42);
+}
+
+/// Two-page enclave (0xAA RW, 0xBB RX) for the EPC chaos tests.
+fn chaos_enclave(seed: u64) -> Enclave {
+    let mut rng = SeededRandom::new(seed);
+    let cpu = SgxCpu::new(&mut rng);
+    let mut e = cpu.ecreate(0x100000, 0x10000).unwrap();
+    e.eadd(0x100000, &[0xAA; 4096], PagePerms::RW, PageType::Reg).unwrap();
+    e.eadd(0x101000, &[0xBB; 4096], PagePerms::RX, PageType::Reg).unwrap();
+    for page in [0x100000u64, 0x101000] {
+        for i in 0..16 {
+            e.eextend(page + i * 256).unwrap();
+        }
+    }
+    let kp = RsaKeyPair::generate(512, &mut SeededRandom::new(seed ^ 9));
+    let sig = SigStruct::sign(&kp, e.current_measurement().unwrap(), 1, 1).unwrap();
+    e.einit(&sig).unwrap();
+    e
+}
+
+#[test]
+fn epc_chaos_rejects_every_tampered_blob_with_typed_errors() {
+    let base = base_seed();
+    for s in 0..12u64 {
+        let seed = base.wrapping_add(s);
+        let mut e = chaos_enclave(seed);
+        // The entropy source dies partway through the second eviction:
+        // paging must neither panic nor produce an unloadable blob.
+        let mut rng = FailingRandom::new(seed ^ 0xEE, 48);
+        let mut pm = PagingManager::new(&mut rng);
+        let blob_rx = pm.ewb(&mut e, 0x1000, &mut rng).unwrap();
+        let blob_rw = pm.ewb(&mut e, 0, &mut rng).unwrap();
+        assert!(rng.exhausted(), "the schedule is meant to outlive its entropy");
+
+        let mut inj = EpcFaultInjector::new(seed ^ 0xFF);
+        for how in EwbTamper::ALL {
+            let mut t = blob_rx.clone();
+            inj.tamper_evicted(&mut t, how);
+            let err = pm.eldu(&mut e, &t).expect_err("tampered blob must not load");
+            assert!(
+                matches!(
+                    err,
+                    SgxError::SealAuthFailed
+                        | SgxError::ReplayDetected
+                        | SgxError::OutOfRange { .. }
+                ),
+                "seed {seed}: {how:?} → unexpected error {err:?}"
+            );
+        }
+        // The honest blobs still load — even the one sealed on dead
+        // entropy — and the pages read back intact.
+        pm.eldu(&mut e, &blob_rx).unwrap();
+        pm.eldu(&mut e, &blob_rw).unwrap();
+        assert_eq!(e.read(0x101000, 1, AccessKind::Read).unwrap(), vec![0xBB]);
+        assert_eq!(e.read(0x100000, 1, AccessKind::Read).unwrap(), vec![0xAA]);
+    }
+}
+
+#[test]
+fn mee_dram_view_stays_ciphertext_under_bit_flips() {
+    let base = base_seed();
+    for s in 0..8u64 {
+        let e = chaos_enclave(base.wrapping_add(s));
+        let mut dram = e.dram_image();
+        let mut inj = EpcFaultInjector::new(base.wrapping_add(s) ^ 0xD);
+        for _ in 0..32 {
+            inj.corrupt_dram_view(&mut dram);
+        }
+        // No amount of bit flipping turns the MEE view into plaintext.
+        for (_, page) in &dram {
+            assert!(
+                !page
+                    .windows(16)
+                    .any(|w| w.iter().all(|&b| b == 0xAA) || w.iter().all(|&b| b == 0xBB)),
+                "MEE view leaked a plaintext run"
+            );
+        }
+        // The enclave's own reads go through the EPC, not the snapshot.
+        assert_eq!(e.read(0x100000, 1, AccessKind::Read).unwrap(), vec![0xAA]);
+    }
+}
+
+#[test]
+fn sanitizer_survives_random_image_corruption() {
+    let base = base_seed();
+    let image = tiny_image();
+    let vendor = RsaKeyPair::generate(512, &mut SeededRandom::new(0xFEED));
+    let (mut protected, mut rejected) = (0u32, 0u32);
+    for s in 0..64u64 {
+        let mut rng = SeededRandom::new(base.wrapping_add(s));
+        let mut corrupt = image.clone();
+        let flips = 1 + (rng.next_u64() % 4) as usize;
+        for _ in 0..flips {
+            let pos = (rng.next_u64() % corrupt.len() as u64) as usize;
+            let bit = (rng.next_u64() % 8) as u32;
+            corrupt[pos] ^= 1 << bit;
+        }
+        // Either outcome is fine; a panic or hang is the only failure.
+        match protect(&corrupt, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng) {
+            Ok(_) => protected += 1,
+            Err(_) => rejected += 1,
+        }
+    }
+    println!("chaos[sanitizer]: 64 corrupted images → {protected} protected, {rejected} rejected");
+}

@@ -137,7 +137,8 @@ fn unreachable_server_is_denial_of_service_only() {
     let transport = Arc::new(Mutex::new(DeadTransport));
     let mut app = package.launch(&platform, transport, new_sealed_store(), 6).unwrap();
     let err = app.restore(ELIDE_RESTORE).unwrap_err();
-    assert_eq!(err, ElideError::RestoreFailed { status: restore_status::HANDSHAKE_FAILED });
+    // The host sees the real transport failure, not the coarse status.
+    assert_eq!(err, ElideError::Transport("connection refused".into()));
     // Secrets remain dead.
     assert!(app.runtime.ecall(GET_ANSWER, &[], 0).is_err());
 }
@@ -170,7 +171,7 @@ fn server_rejects_wrong_enclave() {
     let err = evil_app.restore(1).unwrap_err();
     assert_eq!(
         err,
-        ElideError::RestoreFailed { status: restore_status::HANDSHAKE_FAILED },
+        ElideError::Server(sgxelide::core::error::ServerError::WrongEnclave),
         "server must reject the wrong MRENCLAVE during the handshake"
     );
     assert_eq!(victim_server.handshakes(), 0, "no session may have been established");
