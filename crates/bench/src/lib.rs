@@ -441,6 +441,97 @@ pub fn write_latency_json(
     Ok(path)
 }
 
+/// A percentile of a **sorted** sample (nearest-rank), in the sample's
+/// own unit. Returns 0.0 for an empty sample.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (sorted.len() as f64 * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One measured configuration of the open-loop provisioning load bench:
+/// `requests` arrivals at `rate_per_s`, each timed from its *scheduled*
+/// arrival to completion (so queueing delay counts, as in any honest
+/// open-loop load test).
+#[derive(Debug, Clone)]
+pub struct LoadRecord {
+    /// Client mode: `"full"` (handshake + fetch) or `"resumed"` (one
+    /// round-trip ticket resume), or `"hold"` for the concurrency phase.
+    pub mode: &'static str,
+    /// Target arrival rate, requests per second (0 for the hold phase).
+    pub rate_per_s: f64,
+    /// Arrivals issued.
+    pub requests: usize,
+    /// Arrivals that failed (any error; 0 in a healthy run).
+    pub errors: usize,
+    /// Peak concurrently-open client connections during the run.
+    pub concurrent: usize,
+    /// Per-request scheduled-arrival→completion latencies in seconds.
+    pub samples: Vec<f64>,
+}
+
+impl LoadRecord {
+    /// Sorted copy of the samples.
+    fn sorted(&self) -> Vec<f64> {
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s
+    }
+
+    /// (p50, p99, p99.9) of the latency samples, in milliseconds.
+    pub fn percentiles_ms(&self) -> (f64, f64, f64) {
+        let s = self.sorted();
+        (percentile(&s, 0.50) * 1e3, percentile(&s, 0.99) * 1e3, percentile(&s, 0.999) * 1e3)
+    }
+
+    /// Slowest request, in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max) * 1e3
+    }
+}
+
+/// Renders load records as JSON (latency distribution vs arrival rate).
+pub fn load_records_json(bench: &str, records: &[LoadRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
+    out.push_str("  \"unit\": \"ms\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let (p50, p99, p999) = r.percentiles_ms();
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"rate_per_s\": {:.1}, \"requests\": {}, \"errors\": {}, \
+             \"concurrent\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"p999_ms\": {:.3}, \
+             \"max_ms\": {:.3}}}{}\n",
+            json_escape(r.mode),
+            r.rate_per_s,
+            r.requests,
+            r.errors,
+            r.concurrent,
+            p50,
+            p99,
+            p999,
+            r.max_ms(),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_<bench>.json` (load schema) at the workspace root.
+///
+/// # Errors
+///
+/// Propagates the underlying file-write error.
+pub fn write_load_json(bench: &str, records: &[LoadRecord]) -> std::io::Result<std::path::PathBuf> {
+    let path = workspace_root().join(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, load_records_json(bench, records))?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -488,6 +579,33 @@ mod tests {
         let json = latency_records_json("launch_latency", &records);
         assert!(json.contains("\"mean_ms\": 11.000"));
         assert!(json.contains("\"min_ms\": 10.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&s, 0.999), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.999), 7.0);
+    }
+
+    #[test]
+    fn load_json_is_well_formed() {
+        let records = vec![LoadRecord {
+            mode: "full",
+            rate_per_s: 50.0,
+            requests: 3,
+            errors: 0,
+            concurrent: 3,
+            samples: vec![0.001, 0.002, 0.010],
+        }];
+        let json = load_records_json("provision_load", &records);
+        assert!(json.contains("\"rate_per_s\": 50.0"));
+        assert!(json.contains("\"p50_ms\": 2.000"));
+        assert!(json.contains("\"p999_ms\": 10.000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

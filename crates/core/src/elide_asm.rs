@@ -36,6 +36,10 @@ pub mod request {
     pub const DATA: u64 = 2;
     /// Attested DH handshake (precedes META/DATA).
     pub const HANDSHAKE: u64 = 3;
+    /// Issue a sealed resumption ticket for the established session.
+    pub const TICKET: u64 = 4;
+    /// Resume a prior session from a ticket, skipping the handshake.
+    pub const RESUME: u64 = 5;
 }
 
 /// Error codes `elide_restore` returns in `r0`.

@@ -45,6 +45,10 @@ pub enum ServerError {
     /// The server hit an internal failure (e.g. secret-store I/O); the
     /// client may retry.
     Internal,
+    /// A session-resumption ticket was invalid, expired, replayed, or
+    /// sealed for a different enclave; the client must fall back to the
+    /// full attested handshake.
+    TicketRejected,
 }
 
 impl fmt::Display for ServerError {
@@ -57,6 +61,7 @@ impl fmt::Display for ServerError {
             ServerError::BadRequest => write!(f, "malformed request"),
             ServerError::UnknownRequest(b) => write!(f, "unknown request type {b}"),
             ServerError::Internal => write!(f, "internal server error"),
+            ServerError::TicketRejected => write!(f, "resumption ticket rejected"),
         }
     }
 }

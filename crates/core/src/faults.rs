@@ -22,6 +22,7 @@
 
 use crate::transport::{BoxedWire, Limits, Listener, Wire};
 use elide_crypto::rng::{RandomSource, SeededRandom};
+use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -308,22 +309,84 @@ pub fn silence_injected_panics() {
 
 /// A [`Wire`] adapter that injects the plan's wire faults into every read
 /// and write. Works on either side of a connection.
+///
+/// In nonblocking mode the adapter probes the inner wire first and only
+/// draws a fault decision when bytes actually arrived: a polled-but-idle
+/// connection must not consume schedule entries, or an event loop polling
+/// at microsecond cadence would burn through the plan and disconnect every
+/// idle client. Blocking mode keeps the historical decide-then-read order
+/// so existing seeds replay the same schedules.
 pub struct FaultyWire<W: Wire> {
     inner: W,
     plan: FaultPlan,
     read_dead: bool,
     write_dead: bool,
+    nonblocking: bool,
+    /// Bytes withheld by a nonblocking short read, served on later reads
+    /// without consuming further fault draws.
+    stash: VecDeque<u8>,
 }
 
 impl<W: Wire> FaultyWire<W> {
     /// Wraps `inner`, drawing fault decisions from `plan`.
     pub fn new(inner: W, plan: FaultPlan) -> Self {
-        FaultyWire { inner, plan, read_dead: false, write_dead: false }
+        FaultyWire {
+            inner,
+            plan,
+            read_dead: false,
+            write_dead: false,
+            nonblocking: false,
+            stash: VecDeque::new(),
+        }
+    }
+
+    fn read_nonblocking(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        // Probe first: no bytes, no fault draw.
+        let n = self.inner.read(buf)?;
+        if n == 0 {
+            return Ok(0);
+        }
+        match self.plan.next_read_fault() {
+            Some(WireFault::Disconnect) => {
+                self.read_dead = true;
+                self.write_dead = true;
+                Ok(0)
+            }
+            Some(WireFault::Stall) => {
+                // The probed bytes are lost with the "stalled" connection,
+                // like a peer that went silent mid-frame.
+                Err(io::Error::new(io::ErrorKind::TimedOut, "injected stall past read deadline"))
+            }
+            Some(WireFault::ShortRead) => {
+                self.stash.extend(&buf[1..n]);
+                Ok(1)
+            }
+            Some(WireFault::ByteFlip) => {
+                let byte = self.plan.pick(n as u64) as usize;
+                let bit = self.plan.pick(8) as u32;
+                buf[byte] ^= 1 << bit;
+                Ok(n)
+            }
+            Some(WireFault::TornWrite) | None => Ok(n),
+        }
     }
 }
 
 impl<W: Wire> Read for FaultyWire<W> {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if !self.stash.is_empty() {
+            let mut n = 0;
+            while n < buf.len() {
+                match self.stash.pop_front() {
+                    Some(b) => {
+                        buf[n] = b;
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+            return Ok(n);
+        }
         if self.read_dead {
             // A dropped connection reads as EOF, exactly like a real peer
             // hangup: Framed::recv reports a clean close or a truncated
@@ -332,6 +395,9 @@ impl<W: Wire> Read for FaultyWire<W> {
         }
         if buf.is_empty() {
             return self.inner.read(buf);
+        }
+        if self.nonblocking {
+            return self.read_nonblocking(buf);
         }
         match self.plan.next_read_fault() {
             Some(WireFault::Disconnect) => {
@@ -373,9 +439,11 @@ impl<W: Wire> Write for FaultyWire<W> {
             }
             Some(WireFault::TornWrite) => {
                 // The peer receives a prefix and then silence: it observes
-                // a truncated frame (UnexpectedEof or a read timeout).
+                // a truncated frame (UnexpectedEof or a read timeout). A
+                // single best-effort write keeps this safe under
+                // nonblocking wires, where write_all could spin.
                 let keep = (buf.len() / 2).max(1);
-                self.inner.write_all(&buf[..keep])?;
+                let _ = self.inner.write(&buf[..keep]);
                 let _ = self.inner.flush();
                 self.write_dead = true;
                 Err(io::Error::new(io::ErrorKind::BrokenPipe, "injected torn frame"))
@@ -385,8 +453,7 @@ impl<W: Wire> Write for FaultyWire<W> {
                 let byte = self.plan.pick(flipped.len() as u64) as usize;
                 let bit = self.plan.pick(8) as u32;
                 flipped[byte] ^= 1 << bit;
-                self.inner.write_all(&flipped)?;
-                Ok(buf.len())
+                self.inner.write(&flipped)
             }
             Some(WireFault::ShortRead) | Some(WireFault::Stall) | None => self.inner.write(buf),
         }
@@ -407,6 +474,12 @@ impl<W: Wire> Wire for FaultyWire<W> {
 
     fn peer(&self) -> String {
         format!("faulty({})", self.inner.peer())
+    }
+
+    fn set_nonblocking(&mut self, nonblocking: bool) -> io::Result<()> {
+        self.inner.set_nonblocking(nonblocking)?;
+        self.nonblocking = nonblocking;
+        Ok(())
     }
 }
 

@@ -74,6 +74,7 @@
 
 pub mod api;
 pub mod attack;
+pub mod client;
 pub mod elide_asm;
 pub mod error;
 pub mod faults;
@@ -85,6 +86,7 @@ pub mod server;
 pub mod service;
 pub mod session;
 pub mod store;
+pub mod ticket;
 pub mod transport;
 pub mod whitelist;
 

@@ -92,6 +92,7 @@ pub(crate) fn server_error_to_status(e: &ServerError) -> u8 {
         ServerError::BadRequest => 5,
         ServerError::UnknownRequest(_) => 6,
         ServerError::Internal => 7,
+        ServerError::TicketRejected => 8,
     }
 }
 
@@ -103,6 +104,7 @@ pub(crate) fn status_to_server_error(status: u8) -> ServerError {
         4 => ServerError::NoSession,
         5 => ServerError::BadRequest,
         7 => ServerError::Internal,
+        8 => ServerError::TicketRejected,
         other => ServerError::UnknownRequest(other),
     }
 }
@@ -297,6 +299,7 @@ mod tests {
             ServerError::NoSession,
             ServerError::BadRequest,
             ServerError::Internal,
+            ServerError::TicketRejected,
         ] {
             assert_eq!(status_to_server_error(server_error_to_status(&e)), e);
         }

@@ -12,10 +12,13 @@ use crate::faults::FaultPlan;
 use crate::meta::SecretMeta;
 use crate::session::Session;
 use crate::store::{SecretEntry, SecretStore};
+use crate::ticket::{now_ms, TicketPlain};
 use elide_crypto::rng::{OsRandom, RandomSource};
 use sgx_sim::quote::{AttestationService, Quote};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 /// What the server expects an attested enclave to look like.
 #[derive(Debug, Clone, Default)]
@@ -34,6 +37,15 @@ pub struct AuthServer {
     /// this mutex is one lock per connection, not per message.
     rng: Mutex<Box<dyn RandomSource + Send>>,
     handshakes: AtomicU64,
+    resumptions: AtomicU64,
+    /// Seals resumption tickets. Fresh random key per server instance:
+    /// restarting the server invalidates every outstanding ticket by
+    /// construction.
+    ticket_key: [u8; 16],
+    /// Validity window for newly issued tickets.
+    ticket_ttl: Duration,
+    /// Ids of redeemed tickets (single-use enforcement).
+    used_tickets: Mutex<HashSet<[u8; 16]>>,
     /// Fault-injection plan for secret-store reads (chaos testing only;
     /// `None` in production). Behind an `RwLock` so a test harness can
     /// swap schedules between runs on a shared server.
@@ -67,13 +79,35 @@ impl AuthServer {
 
     /// Creates a multi-secret server over a prepared store.
     pub fn with_store(store: SecretStore, ias: AttestationService) -> Self {
+        let mut ticket_key = [0u8; 16];
+        OsRandom.fill(&mut ticket_key);
         AuthServer {
             store,
             ias,
             rng: Mutex::new(Box::new(OsRandom)),
             handshakes: AtomicU64::new(0),
+            resumptions: AtomicU64::new(0),
+            ticket_key,
+            ticket_ttl: Duration::from_secs(3600),
+            used_tickets: Mutex::new(HashSet::new()),
             faults: RwLock::new(None),
         }
+    }
+
+    /// Replaces the ticket-sealing key (tests: share a key across two
+    /// servers, or fix it for determinism). Production servers keep the
+    /// random per-instance key so restarts revoke outstanding tickets.
+    pub fn with_ticket_key(mut self, key: [u8; 16]) -> Self {
+        self.ticket_key = key;
+        self
+    }
+
+    /// Replaces the validity window for newly issued tickets.
+    /// `Duration::ZERO` issues tickets that are already expired — useful
+    /// for deterministic expiry tests.
+    pub fn with_ticket_ttl(mut self, ttl: Duration) -> Self {
+        self.ticket_ttl = ttl;
+        self
     }
 
     /// Replaces the master RNG (seeded in tests).
@@ -117,6 +151,15 @@ impl AuthServer {
         self.handshakes.fetch_add(1, Ordering::SeqCst);
     }
 
+    /// Count of successful ticket resumptions across all sessions.
+    pub fn resumptions(&self) -> u64 {
+        self.resumptions.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn note_resumption(&self) {
+        self.resumptions.fetch_add(1, Ordering::SeqCst);
+    }
+
     /// Starts a fresh per-connection session, seeded with a full-width
     /// 256-bit seed from the master RNG so the session's DH ephemeral key
     /// keeps the master's entropy (a narrower seed would cap the channel
@@ -137,6 +180,77 @@ impl AuthServer {
     pub(crate) fn authenticate(&self, quote: &Quote) -> Result<Arc<SecretEntry>, ServerError> {
         self.ias.verify_quote(quote).map_err(|_| ServerError::AttestationFailed)?;
         self.store.lookup(&quote.mrenclave, &quote.mrsigner).ok_or(ServerError::WrongEnclave)
+    }
+
+    /// Authenticates a batch of quotes that became ready in one shard
+    /// tick: all signature checks first, then one [`SecretStore`] batch
+    /// lookup for the quotes that verified. Order is preserved.
+    pub(crate) fn authenticate_batch(
+        &self,
+        quotes: &[Quote],
+    ) -> Vec<Result<Arc<SecretEntry>, ServerError>> {
+        let verified: Vec<bool> = quotes.iter().map(|q| self.ias.verify_quote(q).is_ok()).collect();
+        let keys: Vec<([u8; 32], [u8; 32])> = quotes
+            .iter()
+            .zip(&verified)
+            .filter(|(_, ok)| **ok)
+            .map(|(q, _)| (q.mrenclave, q.mrsigner))
+            .collect();
+        let mut entries = self.store.lookup_batch(&keys).into_iter();
+        quotes
+            .iter()
+            .zip(&verified)
+            .map(|(_, ok)| {
+                if !*ok {
+                    return Err(ServerError::AttestationFailed);
+                }
+                entries.next().flatten().ok_or(ServerError::WrongEnclave)
+            })
+            .collect()
+    }
+
+    /// Issues a sealed resumption ticket for an established session,
+    /// returning `(ticket_id, sealed_blob)`. The id is drawn from the
+    /// session's RNG so ticket issue never contends on the master RNG.
+    pub(crate) fn issue_ticket(
+        &self,
+        mrenclave: [u8; 32],
+        mrsigner: [u8; 32],
+        channel_key: [u8; 16],
+        rng: &mut dyn RandomSource,
+    ) -> ([u8; 16], Vec<u8>) {
+        let mut ticket_id = [0u8; 16];
+        rng.fill(&mut ticket_id);
+        let plain = TicketPlain {
+            mrenclave,
+            mrsigner,
+            channel_key,
+            ticket_id,
+            issued_ms: now_ms(),
+            ttl_ms: self.ticket_ttl.as_millis() as u64,
+        };
+        (ticket_id, plain.seal(&self.ticket_key, rng))
+    }
+
+    /// Opens and validates a presented resumption ticket, burning its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::TicketRejected`] when the blob fails to open (wrong
+    /// or rotated ticket key), is expired, or was already redeemed. The id
+    /// is burned *before* any further checks so a racing double-spend
+    /// cannot win on both connections.
+    pub(crate) fn redeem_ticket(&self, blob: &[u8]) -> Result<TicketPlain, ServerError> {
+        let plain = TicketPlain::open(&self.ticket_key, blob)?;
+        let fresh =
+            self.used_tickets.lock().unwrap_or_else(|p| p.into_inner()).insert(plain.ticket_id);
+        if !fresh {
+            return Err(ServerError::TicketRejected);
+        }
+        if plain.expired_at(now_ms()) {
+            return Err(ServerError::TicketRejected);
+        }
+        Ok(plain)
     }
 }
 

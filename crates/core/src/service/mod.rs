@@ -1,27 +1,41 @@
-//! Service layer: a bounded worker pool serving any [`Listener`] against a
-//! shared [`AuthServer`], with graceful shutdown.
+//! Service layer: sharded, readiness-driven event loops serving any
+//! [`Listener`] against a shared [`AuthServer`], with graceful shutdown.
 //!
-//! The accept thread hands connections to `workers` (default:
-//! `available_parallelism`) over a bounded queue, so a connection flood
-//! backpressures at accept instead of spawning unbounded threads. Each
-//! worker drives [`serve_connection`] — the single framing/session loop
-//! shared by the TCP and in-process transports.
+//! The accept thread distributes connections round-robin over `workers`
+//! shard event loops ([`shard`]). Each shard owns its connections
+//! outright — nonblocking wires, per-connection frame reassembly and
+//! protocol state machines ([`conn`]), a timer wheel for the read/write
+//! deadlines ([`timer`]), and an end-of-tick batch that runs every staged
+//! handshake's quote verification and secret-store lookup together. A
+//! shard therefore serves thousands of mostly-idle connections from one
+//! thread, where the old bounded worker pool held one blocked thread per
+//! in-flight connection.
+//!
+//! [`serve_connection`] — the blocking single-connection loop — remains
+//! for the in-process transport and as the simplest reference
+//! implementation of the server side of the protocol.
+
+mod conn;
+mod shard;
+mod timer;
 
 use crate::faults::FaultPlan;
 use crate::protocol::{server_error_to_status, STATUS_OK};
 use crate::server::AuthServer;
 use crate::transport::{BoxedWire, Framed, Limits, Listener};
 use std::io;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{sync_channel, Receiver};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Per-shard injector depth: how many accepted-but-unadmitted connections
+/// may queue per shard before accept backpressures.
+const INJECTOR_DEPTH: usize = 256;
 
 /// Tuning for one running service.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Worker threads (connections served concurrently). Defaults to
-    /// `available_parallelism`.
+    /// Shard event loops (threads). Defaults to `available_parallelism`.
     pub workers: usize,
     /// Wire limits applied to every accepted connection.
     pub limits: Limits,
@@ -44,15 +58,26 @@ impl Default for ServiceConfig {
 }
 
 impl ServiceConfig {
+    /// Most shards any config may ask for; far beyond useful, low enough
+    /// to catch a unit mix-up (e.g. passing a byte count as a count).
+    pub const MAX_WORKERS: usize = 1024;
+
     /// Config with a connection cap (CLI `--connections` semantics).
     pub fn with_max_connections(mut self, max: Option<usize>) -> Self {
         self.max_connections = max;
         self
     }
 
-    /// Config with an explicit worker count (0 means one worker).
+    /// Config with an explicit shard count.
+    ///
+    /// # Panics
+    ///
+    /// If `workers` is zero — a service with no shards can accept but
+    /// never serve, which used to surface as every client hanging until
+    /// its timeout. Rejecting at construction makes the mistake loud.
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
+        assert!(workers > 0, "ServiceConfig: workers must be at least 1");
+        self.workers = workers;
         self
     }
 
@@ -67,9 +92,43 @@ impl ServiceConfig {
         self.faults = Some(plan);
         self
     }
+
+    /// Checks the config for values that cannot serve: zero or absurd
+    /// worker counts, a zero frame limit, zero timeouts, a zero
+    /// connection cap. [`serve`] runs this and panics on `Err`, so broken
+    /// deployments fail at startup instead of hanging every client.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be at least 1".into());
+        }
+        if self.workers > Self::MAX_WORKERS {
+            return Err(format!(
+                "workers = {} exceeds the {} maximum",
+                self.workers,
+                Self::MAX_WORKERS
+            ));
+        }
+        if self.limits.max_frame == 0 {
+            return Err("limits.max_frame must be nonzero (no frame could ever arrive)".into());
+        }
+        if self.limits.read_timeout.is_some_and(|t| t.is_zero()) {
+            return Err("limits.read_timeout of zero expires every read immediately".into());
+        }
+        if self.limits.write_timeout.is_some_and(|t| t.is_zero()) {
+            return Err("limits.write_timeout of zero expires every write immediately".into());
+        }
+        if self.max_connections == Some(0) {
+            return Err("max_connections = Some(0) accepts nothing; use None for unlimited".into());
+        }
+        Ok(())
+    }
 }
 
-/// The default worker-pool size.
+/// The default shard count.
 pub fn default_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
 }
@@ -120,27 +179,37 @@ impl ServiceHandle {
     }
 }
 
-/// Serves `listener` against `server` on a bounded worker pool. Returns
-/// immediately; use the handle to shut down or join.
+/// Serves `listener` against `server` on `config.workers` shard event
+/// loops. Returns immediately; use the handle to shut down or join.
+///
+/// # Panics
+///
+/// If `config` fails [`ServiceConfig::validate`] — a config that cannot
+/// serve is a deployment bug, and failing at startup beats hanging every
+/// client at runtime.
 pub fn serve<L: Listener + 'static>(
     mut listener: L,
     server: Arc<AuthServer>,
     config: ServiceConfig,
 ) -> ServiceHandle {
+    if let Err(why) = config.validate() {
+        panic!("invalid ServiceConfig: {why}");
+    }
     let desc = listener.local_desc();
     let closer = listener.closer();
-    let workers = config.workers.max(1);
-    // Bounded queue: a flood of connections blocks accept, not memory.
-    let (tx, rx) = sync_channel::<BoxedWire>(workers * 2);
-    let rx = Arc::new(Mutex::new(rx));
+    let shards = config.workers;
 
-    let worker_threads: Vec<JoinHandle<()>> = (0..workers)
+    let mut injectors: Vec<SyncSender<BoxedWire>> = Vec::with_capacity(shards);
+    let shard_threads: Vec<JoinHandle<()>> = (0..shards)
         .map(|_| {
-            let rx = Arc::clone(&rx);
+            // Bounded injector: a flood of connections blocks accept, not
+            // memory — the same backpressure point the worker pool had.
+            let (tx, rx) = sync_channel::<BoxedWire>(INJECTOR_DEPTH);
+            injectors.push(tx);
             let server = Arc::clone(&server);
             let limits = config.limits;
             let faults = config.faults.clone();
-            std::thread::spawn(move || worker_loop(&rx, &server, limits, faults.as_ref()))
+            std::thread::spawn(move || shard::shard_loop(rx, server, limits, faults))
         })
         .collect();
 
@@ -148,7 +217,8 @@ pub fn serve<L: Listener + 'static>(
     let accept = std::thread::spawn(move || {
         let mut served = 0usize;
         while let Some(wire) = listener.accept() {
-            if tx.send(wire).is_err() {
+            // Round-robin over shards; a full injector blocks here.
+            if injectors[served % injectors.len()].send(wire).is_err() {
                 break;
             }
             served += 1;
@@ -156,51 +226,10 @@ pub fn serve<L: Listener + 'static>(
                 break;
             }
         }
-        // Dropping the sender lets workers drain the queue and exit.
+        // Dropping the injectors lets shards drain and exit.
     });
 
-    ServiceHandle { closer, accept: Some(accept), workers: worker_threads, desc }
-}
-
-fn worker_loop(
-    rx: &Mutex<Receiver<BoxedWire>>,
-    server: &AuthServer,
-    limits: Limits,
-    faults: Option<&FaultPlan>,
-) {
-    loop {
-        // Holding the lock while blocked in recv is fine: any handed-off
-        // connection wakes exactly one idle worker, and busy workers are
-        // not in this loop. A panic between lock and unlock poisons the
-        // mutex; recover the guard so one crashed worker cannot wedge the
-        // whole pool behind a poisoned queue.
-        let conn = {
-            let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
-            guard.recv()
-        };
-        match conn {
-            Ok(wire) => {
-                // One connection's panic must not kill the worker: before
-                // this guard, a single panicking connection permanently
-                // shrank the pool (with one worker, the service stopped
-                // serving and every later client hung until its timeout).
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    if let Some(plan) = faults {
-                        if plan.worker_panic_now() {
-                            panic!("injected worker panic");
-                        }
-                    }
-                    if let Ok(mut framed) = Framed::new(wire, limits) {
-                        let _ = serve_connection(server, &mut framed);
-                    }
-                }));
-                // The connection (and its wire) died with the panic; the
-                // worker lives on to serve the next one.
-                drop(result);
-            }
-            Err(_) => return, // accept loop gone and queue drained
-        }
-    }
+    ServiceHandle { closer, accept: Some(accept), workers: shard_threads, desc }
 }
 
 /// Serves one connection: frames in, session state machine, frames out.
@@ -208,8 +237,9 @@ fn worker_loop(
 /// declared lengths, truncated frames, read timeouts) drops the
 /// connection with the error.
 ///
-/// This is the single server-side protocol loop — the in-process and TCP
-/// transports both land here, so there is exactly one handshake path.
+/// This blocking loop and the shard event loop share the session state
+/// machine, so there is exactly one handshake path; the in-process
+/// transport and the doctests use this entry point directly.
 ///
 /// # Errors
 ///
@@ -307,7 +337,9 @@ mod tests {
         use crate::faults::{FaultConfig, FaultPlan, PPM};
         // Regression: a worker that panicked mid-connection died silently,
         // shrinking the pool; with one worker the service stopped serving
-        // and later clients hung until their read timeout.
+        // and every later client hung until its read timeout. The shard
+        // loop inherits the invariant: an injected panic kills only its
+        // connection.
         crate::faults::silence_injected_panics();
         let plan = FaultPlan::new(
             11,
@@ -320,19 +352,19 @@ mod tests {
             ServiceConfig::default().with_workers(1).with_faults(plan.clone()),
         );
 
-        // First connection: the (sole) worker panics; the client sees the
-        // connection drop without a response.
+        // First connection: the shard's admission panics; the client sees
+        // the connection drop without a response.
         let wire = host.connect().unwrap();
         let mut framed = Framed::new(wire, Limits::default()).unwrap();
         framed.send(9, &[]).unwrap();
         assert_eq!(framed.recv().unwrap(), None, "panicked connection drops cleanly");
         assert_eq!(plan.counts().worker_panics, 1);
 
-        // Second connection: the same worker must still be alive.
+        // Second connection: the same shard must still be alive.
         let wire = host.connect().unwrap();
         let mut framed = Framed::new(wire, Limits::default()).unwrap();
         framed.send(9, &[]).unwrap();
-        let (status, _) = framed.recv().unwrap().expect("worker survived the panic");
+        let (status, _) = framed.recv().unwrap().expect("shard survived the panic");
         assert_eq!(status, 6, "UnknownRequest status");
         handle.shutdown();
     }
@@ -392,5 +424,48 @@ mod tests {
         // Server drops the connection without a response.
         assert_eq!(framed.recv().unwrap(), None);
         handle.shutdown();
+    }
+
+    #[test]
+    fn zero_workers_is_rejected_at_construction() {
+        let r = std::panic::catch_unwind(|| ServiceConfig::default().with_workers(0));
+        assert!(r.is_err(), "with_workers(0) must panic");
+        let broken = ServiceConfig { workers: 0, ..ServiceConfig::default() };
+        assert!(broken.validate().unwrap_err().contains("workers"));
+    }
+
+    #[test]
+    fn absurd_limits_fail_validation() {
+        use std::time::Duration;
+        let ok = ServiceConfig::default();
+        assert!(ok.validate().is_ok());
+
+        let mut zero_frame = ServiceConfig::default();
+        zero_frame.limits.max_frame = 0;
+        assert!(zero_frame.validate().unwrap_err().contains("max_frame"));
+
+        let mut zero_read = ServiceConfig::default();
+        zero_read.limits.read_timeout = Some(Duration::ZERO);
+        assert!(zero_read.validate().unwrap_err().contains("read_timeout"));
+
+        let mut zero_write = ServiceConfig::default();
+        zero_write.limits.write_timeout = Some(Duration::ZERO);
+        assert!(zero_write.validate().unwrap_err().contains("write_timeout"));
+
+        let capped = ServiceConfig::default().with_max_connections(Some(0));
+        assert!(capped.validate().unwrap_err().contains("max_connections"));
+
+        let absurd = ServiceConfig { workers: 1 << 20, ..ServiceConfig::default() };
+        assert!(absurd.validate().unwrap_err().contains("maximum"));
+    }
+
+    #[test]
+    fn serve_rejects_invalid_config_loudly() {
+        let (listener, _host) = channel_listener();
+        let broken = ServiceConfig { workers: 0, ..ServiceConfig::default() };
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve(listener, test_server(), broken)
+        }));
+        assert!(r.is_err(), "serve must refuse a config that cannot serve");
     }
 }

@@ -1,0 +1,129 @@
+//! Hashed timer wheel for per-connection deadlines.
+//!
+//! A shard owns thousands of connections but only two timeout kinds per
+//! connection (read progress, write drain), so the wheel is small and
+//! coarse: deadlines hash into one of `buckets` slots `granularity`
+//! apart, and [`TimerWheel::advance`] pops every entry whose slot the
+//! cursor passed. Entries are *hints*, not truth — a fired entry hands the
+//! `(conn, kind)` pair back to the shard, which consults the connection's
+//! live [`Deadline`](crate::transport::Deadline) and either closes the
+//! connection or re-arms the entry at the newer deadline. That makes
+//! cancellation lazy (resetting a deadline never touches the wheel) and
+//! lets deadlines beyond the wheel horizon clamp into the last slot: the
+//! early fire simply re-arms.
+
+use std::time::{Duration, Instant};
+
+/// Which per-connection deadline a timer entry tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum TimerKind {
+    /// No read progress before the connection's read deadline.
+    Read,
+    /// Buffered response bytes not drained before the write deadline.
+    Write,
+}
+
+/// One armed timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) struct TimerEntry {
+    /// Shard-local connection id.
+    pub conn: u64,
+    /// Which deadline this entry tracks.
+    pub kind: TimerKind,
+    /// When the entry should fire (clamped to the wheel horizon).
+    pub deadline: Instant,
+}
+
+/// The wheel: `buckets` slots of `granularity` each.
+pub(super) struct TimerWheel {
+    buckets: Vec<Vec<TimerEntry>>,
+    granularity: Duration,
+    /// Wheel time, advanced in whole-granularity steps by [`advance`].
+    ///
+    /// [`advance`]: TimerWheel::advance
+    now: Instant,
+    cursor: usize,
+}
+
+impl TimerWheel {
+    pub(super) fn new(granularity: Duration, buckets: usize, now: Instant) -> Self {
+        assert!(buckets > 1, "wheel needs at least two buckets");
+        assert!(!granularity.is_zero(), "wheel needs a nonzero granularity");
+        TimerWheel { buckets: vec![Vec::new(); buckets], granularity, now, cursor: 0 }
+    }
+
+    /// Horizon: the furthest future instant the wheel can represent.
+    fn horizon(&self) -> Duration {
+        self.granularity * (self.buckets.len() as u32 - 1)
+    }
+
+    /// Arms an entry. Deadlines in the past land in the next slot (they
+    /// fire on the next `advance`); deadlines past the horizon clamp to
+    /// the furthest slot and re-arm on fire.
+    pub(super) fn schedule(&mut self, conn: u64, kind: TimerKind, deadline: Instant) {
+        let delta = deadline.saturating_duration_since(self.now).min(self.horizon());
+        let slots = (delta.as_nanos() / self.granularity.as_nanos()).max(1) as usize;
+        let idx = (self.cursor + slots) % self.buckets.len();
+        self.buckets[idx].push(TimerEntry { conn, kind, deadline });
+    }
+
+    /// Advances wheel time to `now`, returning every entry in the slots
+    /// the cursor passed. The caller re-checks each entry's live deadline.
+    pub(super) fn advance(&mut self, now: Instant) -> Vec<TimerEntry> {
+        let mut fired = Vec::new();
+        while now.saturating_duration_since(self.now) >= self.granularity {
+            self.now += self.granularity;
+            self.cursor = (self.cursor + 1) % self.buckets.len();
+            fired.append(&mut self.buckets[self.cursor]);
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: Duration = Duration::from_millis(10);
+
+    #[test]
+    fn fires_after_its_slot_is_passed() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(G, 8, t0);
+        wheel.schedule(1, TimerKind::Read, t0 + Duration::from_millis(25));
+        assert!(wheel.advance(t0 + Duration::from_millis(10)).is_empty());
+        let fired = wheel.advance(t0 + Duration::from_millis(40));
+        assert_eq!(fired.len(), 1);
+        assert_eq!((fired[0].conn, fired[0].kind), (1, TimerKind::Read));
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_next_advance() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(G, 8, t0);
+        wheel.schedule(2, TimerKind::Write, t0);
+        assert_eq!(wheel.advance(t0 + G).len(), 1);
+    }
+
+    #[test]
+    fn beyond_horizon_clamps_and_fires_early() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(G, 4, t0);
+        // Horizon is 30ms; a 10s deadline must still fire (early), so the
+        // shard can re-check and re-arm it.
+        wheel.schedule(3, TimerKind::Read, t0 + Duration::from_secs(10));
+        let fired = wheel.advance(t0 + Duration::from_millis(60));
+        assert_eq!(fired.len(), 1);
+        assert!(fired[0].deadline > t0 + Duration::from_secs(9));
+    }
+
+    #[test]
+    fn multiple_entries_in_one_slot_all_fire() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(G, 8, t0);
+        wheel.schedule(1, TimerKind::Read, t0 + Duration::from_millis(15));
+        wheel.schedule(2, TimerKind::Write, t0 + Duration::from_millis(15));
+        let fired = wheel.advance(t0 + Duration::from_millis(20));
+        assert_eq!(fired.len(), 2);
+    }
+}

@@ -13,8 +13,10 @@ use crate::error::ServerError;
 use crate::protocol::seal_msg_with;
 use crate::server::AuthServer;
 use crate::store::SecretEntry;
+use crate::ticket::{TicketPlain, RESUME_KDF_LABEL};
 use elide_crypto::dh::DhKeyPair;
 use elide_crypto::gcm::AesGcm;
+use elide_crypto::kdf::derive_key_128;
 use elide_crypto::rng::{RandomSource, SeededRandom};
 use elide_crypto::sha2::Sha256;
 use sgx_sim::quote::Quote;
@@ -25,7 +27,12 @@ pub struct Session {
     /// Channel cipher, expanded once per handshake (AES key schedule plus
     /// GHASH table) and reused for every message sealed on this session.
     channel: Option<AesGcm>,
+    /// Raw channel key bytes, kept alongside the cipher because ticket
+    /// issue seals them into the resumption blob.
+    channel_key: Option<[u8; 16]>,
     entry: Option<Arc<SecretEntry>>,
+    /// Measurements this session attested (or resumed), for ticket issue.
+    quoted: Option<([u8; 32], [u8; 32])>,
     /// Per-session IV salt (bytes 8..12 of every channel IV).
     iv_salt: [u8; 4],
     /// Messages sealed on this session (bytes 0..8 of the channel IV).
@@ -51,7 +58,9 @@ impl Session {
     pub fn new(seed: [u8; 32]) -> Self {
         Session {
             channel: None,
+            channel_key: None,
             entry: None,
+            quoted: None,
             iv_salt: [0u8; 4],
             seq: 0,
             rng: SeededRandom::from_seed_bytes(seed),
@@ -110,6 +119,33 @@ impl Session {
                 let data = entry.data.clone();
                 Ok(self.seal(&data))
             }
+            request::TICKET => {
+                let _ = self.established()?;
+                let (mrenclave, mrsigner) = self.quoted.ok_or(ServerError::NoSession)?;
+                let channel_key = self.channel_key.ok_or(ServerError::NoSession)?;
+                let (ticket_id, blob) =
+                    server.issue_ticket(mrenclave, mrsigner, channel_key, &mut self.rng);
+                let mut body = Vec::with_capacity(16 + blob.len());
+                body.extend_from_slice(&ticket_id);
+                body.extend_from_slice(&blob);
+                Ok(self.seal(&body))
+            }
+            request::RESUME => {
+                if self.is_established() {
+                    // Resumption replaces a handshake; it cannot splice a
+                    // different identity into a live session.
+                    return Err(ServerError::BadRequest);
+                }
+                let plain = server.redeem_ticket(payload)?;
+                let entry = server
+                    .store()
+                    .lookup(&plain.mrenclave, &plain.mrsigner)
+                    .ok_or(ServerError::TicketRejected)?;
+                if server.inject_store_fault() {
+                    return Err(ServerError::Internal);
+                }
+                self.finish_resume(server, &plain, entry)
+            }
             other => Err(ServerError::UnknownRequest(other as u8)),
         }
     }
@@ -126,6 +162,15 @@ impl Session {
     /// secret entry from the quoted measurements, checks that the quote's
     /// report data binds the DH public value, and derives the channel key.
     fn handshake(&mut self, server: &AuthServer, payload: &[u8]) -> Result<Vec<u8>, ServerError> {
+        let (quote, client_pub) = Self::parse_handshake(payload)?;
+        let entry = server.authenticate(&quote)?;
+        self.finish_handshake(server, &quote, entry, &client_pub)
+    }
+
+    /// Splits a handshake payload into its quote and DH public value. The
+    /// shard event loop parses eagerly, then defers the expensive quote
+    /// verification to its end-of-tick authentication batch.
+    pub(crate) fn parse_handshake(payload: &[u8]) -> Result<(Quote, Vec<u8>), ServerError> {
         if payload.len() < 4 {
             return Err(ServerError::BadRequest);
         }
@@ -135,13 +180,23 @@ impl Session {
             return Err(ServerError::BadRequest);
         }
         let quote = Quote::from_bytes(&rest[..quote_len]).ok_or(ServerError::BadRequest)?;
-        let client_pub = &rest[quote_len..];
+        let client_pub = rest[quote_len..].to_vec();
         if client_pub.is_empty() {
             return Err(ServerError::BadRequest);
         }
+        Ok((quote, client_pub))
+    }
 
-        let entry = server.authenticate(&quote)?;
-
+    /// Completes a handshake whose quote has already been authenticated:
+    /// checks the report-data binding, runs the DH exchange, and
+    /// establishes the channel.
+    pub(crate) fn finish_handshake(
+        &mut self,
+        server: &AuthServer,
+        quote: &Quote,
+        entry: Arc<SecretEntry>,
+        client_pub: &[u8],
+    ) -> Result<Vec<u8>, ServerError> {
         // The report data must be SHA-256 of the DH public value: this is
         // what stops an attacker splicing their own key into an honest
         // enclave's attestation.
@@ -154,11 +209,42 @@ impl Session {
         let channel_key = kp.derive_session_key(client_pub).ok_or(ServerError::BadBinding)?;
 
         self.channel = Some(AesGcm::new(&channel_key).expect("16-byte channel key"));
+        self.channel_key = Some(channel_key);
         self.entry = Some(entry);
+        self.quoted = Some((quote.mrenclave, quote.mrsigner));
         self.rng.fill(&mut self.iv_salt);
         self.seq = 0;
         server.note_handshake();
         Ok(kp.public_bytes())
+    }
+
+    /// Establishes a session from a redeemed resumption ticket. The
+    /// resumed channel key is *derived* from the ticket's channel key and
+    /// id, never the original key itself: the sequence counter restarts at
+    /// zero, and reusing the old key would repeat IVs already spent on the
+    /// original session. Returns the sealed `[meta body][data]` restore
+    /// payload so resumption completes in this single round trip.
+    pub(crate) fn finish_resume(
+        &mut self,
+        server: &AuthServer,
+        plain: &TicketPlain,
+        entry: Arc<SecretEntry>,
+    ) -> Result<Vec<u8>, ServerError> {
+        let resumed_key = derive_key_128(&plain.channel_key, RESUME_KDF_LABEL, &plain.ticket_id);
+        self.channel = Some(AesGcm::new(&resumed_key).expect("16-byte channel key"));
+        self.channel_key = Some(resumed_key);
+        self.quoted = Some((plain.mrenclave, plain.mrsigner));
+        self.rng.fill(&mut self.iv_salt);
+        self.seq = 0;
+        let meta_body = entry.meta.to_body();
+        let mut body = Vec::with_capacity(meta_body.len() + entry.data.len());
+        body.extend_from_slice(&meta_body);
+        if !entry.meta.is_local() {
+            body.extend_from_slice(&entry.data);
+        }
+        self.entry = Some(entry);
+        server.note_resumption();
+        Ok(self.seal(&body))
     }
 
     /// Seals a channel message under the cached session cipher with a

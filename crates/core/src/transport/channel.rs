@@ -2,7 +2,7 @@
 //! chunks, plus a [`Listener`] so the service layer can serve in-process
 //! clients through the exact same framing/session code as TCP.
 
-use super::{BoxedWire, Limits, Listener, Wire};
+use super::{BoxedWire, Deadline, Limits, Listener, Wire};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
@@ -12,12 +12,15 @@ use std::time::Duration;
 /// One end of an in-process bidirectional byte stream.
 ///
 /// Reads block (honoring the read timeout from [`Limits`]); a dropped peer
-/// reads as clean EOF, exactly like a closed TCP socket.
+/// reads as clean EOF, exactly like a closed TCP socket. In nonblocking
+/// mode ([`Wire::set_nonblocking`]) a read with no buffered data returns
+/// `WouldBlock` instead, mirroring a nonblocking socket.
 pub struct PipeStream {
     tx: Sender<Vec<u8>>,
     rx: Receiver<Vec<u8>>,
     pending: VecDeque<u8>,
     read_timeout: Option<Duration>,
+    nonblocking: bool,
     label: &'static str,
 }
 
@@ -37,6 +40,7 @@ pub fn pipe() -> (PipeStream, PipeStream) {
             rx: rx_a,
             pending: VecDeque::new(),
             read_timeout: None,
+            nonblocking: false,
             label: "pipe:a",
         },
         PipeStream {
@@ -44,6 +48,7 @@ pub fn pipe() -> (PipeStream, PipeStream) {
             rx: rx_b,
             pending: VecDeque::new(),
             read_timeout: None,
+            nonblocking: false,
             label: "pipe:b",
         },
     )
@@ -54,14 +59,29 @@ impl Read for PipeStream {
         if buf.is_empty() {
             return Ok(0);
         }
-        // Block for data, honoring the read timeout. Empty chunks are
-        // legal (a peer writing zero bytes); EOF is only a disconnect.
+        if self.nonblocking {
+            // Drain whatever is buffered without parking the thread.
+            while self.pending.is_empty() {
+                match self.rx.try_recv() {
+                    Ok(chunk) => self.pending.extend(chunk),
+                    Err(TryRecvError::Empty) => {
+                        return Err(io::Error::new(io::ErrorKind::WouldBlock, "pipe not ready"));
+                    }
+                    Err(TryRecvError::Disconnected) => return Ok(0),
+                }
+            }
+        }
+        // Block for data, charging every wait against one deadline so a
+        // peer trickling empty chunks cannot stall a single read past the
+        // read timeout (TCP's kernel timeout has the same bound). EOF is
+        // only a disconnect.
+        let deadline = Deadline::after(self.read_timeout);
         while self.pending.is_empty() {
-            let chunk = match self.read_timeout {
-                Some(t) => match self.rx.recv_timeout(t) {
+            let chunk = match deadline.remaining() {
+                Some(left) => match self.rx.recv_timeout(left) {
                     Ok(c) => c,
                     Err(RecvTimeoutError::Timeout) => {
-                        return Err(io::Error::new(io::ErrorKind::TimedOut, "pipe read timeout"));
+                        return Err(Deadline::timeout_error("pipe read"));
                     }
                     Err(RecvTimeoutError::Disconnected) => return Ok(0),
                 },
@@ -111,6 +131,11 @@ impl Wire for PipeStream {
 
     fn peer(&self) -> String {
         format!("in-process ({})", self.label)
+    }
+
+    fn set_nonblocking(&mut self, nonblocking: bool) -> io::Result<()> {
+        self.nonblocking = nonblocking;
+        Ok(())
     }
 }
 

@@ -1,11 +1,12 @@
 //! Loopback/network TCP transport: [`Wire`] for `TcpStream` and a
 //! [`Listener`] over `TcpListener` with graceful close.
 
-use super::{BoxedWire, Limits, Listener, Wire};
+use super::{BoxedWire, Deadline, Limits, Listener, Wire};
 use std::io;
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 impl Wire for TcpStream {
     fn apply_limits(&mut self, limits: &Limits) -> io::Result<()> {
@@ -17,6 +18,10 @@ impl Wire for TcpStream {
 
     fn peer(&self) -> String {
         self.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "tcp:?".into())
+    }
+
+    fn set_nonblocking(&mut self, nonblocking: bool) -> io::Result<()> {
+        TcpStream::set_nonblocking(self, nonblocking)
     }
 }
 
@@ -60,7 +65,7 @@ impl Listener for TcpAcceptor {
         // resets mid-handshake (ECONNABORTED) or a transient fd shortage
         // (EMFILE) during a flood would otherwise terminate the accept
         // loop and shut the whole server down.
-        let mut persistent_errors = 0u32;
+        let mut give_up = Deadline::unbounded();
         loop {
             if self.closed.load(Ordering::SeqCst) {
                 return None;
@@ -80,16 +85,17 @@ impl Listener for TcpAcceptor {
                     | io::ErrorKind::ConnectionReset
                     | io::ErrorKind::Interrupted
                     | io::ErrorKind::WouldBlock
-                    | io::ErrorKind::TimedOut => {}
+                    | io::ErrorKind::TimedOut => give_up = Deadline::unbounded(),
                     // Anything else (resource exhaustion, listener gone):
                     // back off briefly — the shortage may pass — and give
-                    // up only after it proves persistent.
+                    // up only once it has persisted a full deadline.
                     _ => {
-                        persistent_errors += 1;
-                        if persistent_errors > 250 {
+                        if give_up.instant().is_none() {
+                            give_up = Deadline::after(Some(Duration::from_secs(5)));
+                        } else if give_up.expired() {
                             return None;
                         }
-                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        std::thread::sleep(Duration::from_millis(20));
                     }
                 },
             }

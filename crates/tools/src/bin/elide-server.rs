@@ -96,10 +96,12 @@ fn real_main() -> Result<(), String> {
     };
     let mut config = ServiceConfig::default().with_max_connections(max);
     match workers {
+        Some(Ok(0)) => return Err("bad --workers: must be at least 1".into()),
         Some(Ok(n)) => config = config.with_workers(n),
         Some(Err(e)) => return Err(format!("bad --workers: {e}")),
         None => {}
     }
+    config.validate().map_err(|why| format!("invalid service config: {why}"))?;
     serve(TcpAcceptor::new(listener), server, config).join();
     Ok(())
 }

@@ -8,7 +8,10 @@
 //! `.text` section.
 
 use sgxelide::core::api::{protect, Mode, Platform, ProtectedPackage};
+use sgxelide::core::client::ProvisionClient;
 use sgxelide::core::elide_asm::ELIDE_ASM;
+use sgxelide::core::error::ElideError;
+use sgxelide::core::meta::SecretMeta;
 use sgxelide::core::protocol::TcpTransport;
 use sgxelide::core::restore::new_sealed_store;
 use sgxelide::core::sanitizer::DataPlacement;
@@ -143,4 +146,109 @@ fn one_server_provisions_two_enclaves_to_parallel_clients() {
         total as u64,
         "every client performed its own attested handshake"
     );
+}
+
+/// Stress for the sharded event loop: many *protocol-level* clients (no
+/// enclave launch each — one shared attesting enclave) hammer one
+/// service, each running a full handshake, a data fetch, a ticket
+/// request, and then a resumed relaunch on a second connection.
+///
+/// The client count defaults low so debug runs stay quick; CI raises it
+/// to hundreds with `ELIDE_CONCURRENCY` on the release build (the
+/// acceptance bar for the async provisioning plane).
+#[test]
+fn event_loop_serves_many_protocol_clients() {
+    use sgxelide::core::store::SecretEntry as Entry;
+    use sgxelide::sgx::epc::{PagePerms, PageType};
+    use sgxelide::sgx::quote::QE_MEASUREMENT;
+    use sgxelide::sgx::report::{ereport, TargetInfo};
+    use sgxelide::sgx::sigstruct::SigStruct;
+
+    let clients: usize = std::env::var("ELIDE_CONCURRENCY")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) { 8 } else { 64 });
+    let payload = b"bulk secret".to_vec();
+
+    // One platform, one initialized enclave every client attests from.
+    let mut rng = SeededRandom::new(0xD0D0);
+    let mut ias = AttestationService::new();
+    let platform = Arc::new(Platform::provision(&mut rng, &mut ias));
+    let enclave = {
+        let mut e = platform.cpu.ecreate(0x100000, 0x1000).unwrap();
+        e.eadd(0x100000, &[3; 4096], PagePerms::RX, PageType::Reg).unwrap();
+        for i in 0..16 {
+            e.eextend(0x100000 + i * 256).unwrap();
+        }
+        let kp = RsaKeyPair::generate(512, &mut rng);
+        let sig = SigStruct::sign(&kp, e.current_measurement().unwrap(), 1, 1).unwrap();
+        e.einit(&sig).unwrap();
+        Arc::new(e)
+    };
+
+    let mut store = SecretStore::new();
+    store.insert(Entry {
+        name: "bulk".into(),
+        meta: SecretMeta {
+            flags: 0,
+            data_len: payload.len() as u64,
+            text_len: payload.len() as u64,
+            restore_offset: 0,
+            key: [7; 16],
+            iv: [8; 12],
+            tag: [9; 16],
+        },
+        data: payload.clone(),
+        expected: ExpectedIdentity { mrenclave: Some(enclave.mrenclave()), mrsigner: None },
+    });
+    let server = Arc::new(AuthServer::with_store(store, ias));
+
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+    let addr = acceptor.local_addr().unwrap().to_string();
+    let handle = serve(
+        acceptor,
+        Arc::clone(&server),
+        // Two connections per client (initial + resumed relaunch).
+        ServiceConfig::default().with_workers(4).with_max_connections(Some(clients * 2)),
+    );
+
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let platform = Arc::clone(&platform);
+            let enclave = Arc::clone(&enclave);
+            let addr = addr.clone();
+            let payload = payload.clone();
+            std::thread::spawn(move || {
+                let mut quote_fn = |report_data: [u8; 64]| {
+                    let report =
+                        ereport(&enclave, &TargetInfo { mrenclave: QE_MEASUREMENT }, report_data)
+                            .map_err(|e| ElideError::Transport(format!("ereport: {e}")))?;
+                    let quote = platform
+                        .qe
+                        .quote(&report)
+                        .map_err(|e| ElideError::Transport(format!("quote: {e}")))?;
+                    Ok(quote.to_bytes())
+                };
+                let mut client = ProvisionClient::new();
+                let mut t1 = TcpTransport::connect(&addr).expect("connect");
+                client.full_handshake(&mut t1, &mut quote_fn).expect("handshake");
+                assert_eq!(client.fetch_data(&mut t1).expect("data"), payload);
+                client.request_ticket(&mut t1).expect("ticket");
+                drop(t1);
+
+                // Relaunch on a fresh connection: one-round-trip resume.
+                let mut t2 = TcpTransport::connect(&addr).expect("reconnect");
+                let (secret, fast) = client.try_resume(&mut t2, &mut quote_fn).expect("resume");
+                assert!(fast, "fresh ticket must resume");
+                assert_eq!(secret.data, payload);
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    handle.join();
+
+    assert_eq!(server.handshakes(), clients as u64, "one full handshake per client");
+    assert_eq!(server.resumptions(), clients as u64, "one resumed session per client");
 }

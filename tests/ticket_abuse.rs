@@ -1,0 +1,254 @@
+//! Resumption-ticket abuse: every way a ticket can go stale or hostile
+//! must degrade to the full attested handshake, never to a broken or
+//! over-privileged session.
+//!
+//! Four abuse shapes against the async provisioning plane:
+//!
+//! * **replay** — a redeemed blob presented again is rejected (tickets
+//!   are single-use server-side);
+//! * **wrong MRENCLAVE** — a well-sealed ticket naming an identity the
+//!   store does not hold is rejected at redemption (the sealed identity
+//!   is re-checked, a ticket cannot outlive its entry);
+//! * **expired** — a ticket past its TTL is rejected and the client
+//!   transparently falls back;
+//! * **server restart** — a fresh server holds a fresh random ticket
+//!   key, so every outstanding ticket is revoked at once.
+
+use sgxelide::core::api::Platform;
+use sgxelide::core::client::ProvisionClient;
+use sgxelide::core::elide_asm::request;
+use sgxelide::core::error::{ElideError, ServerError};
+use sgxelide::core::meta::SecretMeta;
+use sgxelide::core::protocol::{TcpTransport, Transport};
+use sgxelide::core::server::{AuthServer, ExpectedIdentity};
+use sgxelide::core::service::{serve, ServiceConfig, ServiceHandle};
+use sgxelide::core::store::{SecretEntry, SecretStore};
+use sgxelide::core::ticket::{now_ms, TicketPlain};
+use sgxelide::core::transport::tcp::TcpAcceptor;
+use sgxelide::crypto::rng::SeededRandom;
+use sgxelide::crypto::rsa::RsaKeyPair;
+use sgxelide::sgx::enclave::Enclave;
+use sgxelide::sgx::epc::{PagePerms, PageType};
+use sgxelide::sgx::quote::{AttestationService, QE_MEASUREMENT};
+use sgxelide::sgx::report::{ereport, TargetInfo};
+use sgxelide::sgx::sigstruct::SigStruct;
+use std::sync::Arc;
+use std::time::Duration;
+
+const PAYLOAD: &[u8] = b"remote secret payload";
+
+/// A provisioned platform plus one initialized enclave to attest from.
+struct Fixture {
+    platform: Platform,
+    enclave: Enclave,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let mut rng = SeededRandom::new(seed);
+    // The registration of this scratch IAS is irrelevant; each server
+    // gets its own IAS below with the platform's device key registered.
+    let mut scratch = AttestationService::new();
+    let platform = Platform::provision(&mut rng, &mut scratch);
+    let mut e = platform.cpu.ecreate(0x100000, 0x1000).unwrap();
+    e.eadd(0x100000, &[3; 4096], PagePerms::RX, PageType::Reg).unwrap();
+    for i in 0..16 {
+        e.eextend(0x100000 + i * 256).unwrap();
+    }
+    let kp = RsaKeyPair::generate(512, &mut rng);
+    let sig = SigStruct::sign(&kp, e.current_measurement().unwrap(), 1, 1).unwrap();
+    e.einit(&sig).unwrap();
+    Fixture { platform, enclave: e }
+}
+
+impl Fixture {
+    /// An attestation service that trusts this platform's quoting enclave.
+    fn ias(&self) -> AttestationService {
+        let mut ias = AttestationService::new();
+        ias.register_device(self.platform.qe.device_public_key().clone());
+        ias
+    }
+
+    /// A store holding one remote-mode secret pinned to the enclave.
+    fn store(&self) -> SecretStore {
+        let mut store = SecretStore::new();
+        store.insert(SecretEntry {
+            name: "tenant".into(),
+            meta: SecretMeta {
+                flags: 0, // remote mode: data travels on resume/DATA
+                data_len: PAYLOAD.len() as u64,
+                text_len: PAYLOAD.len() as u64,
+                restore_offset: 0,
+                key: [7; 16],
+                iv: [8; 12],
+                tag: [9; 16],
+            },
+            data: PAYLOAD.to_vec(),
+            expected: ExpectedIdentity {
+                mrenclave: Some(self.enclave.mrenclave()),
+                mrsigner: None,
+            },
+        });
+        store
+    }
+
+    /// The platform leg of attestation for [`ProvisionClient`]: ereport
+    /// from the fixture enclave, quote through the quoting enclave.
+    fn quote_fn(&self) -> impl FnMut([u8; 64]) -> Result<Vec<u8>, ElideError> + '_ {
+        move |report_data| {
+            let report =
+                ereport(&self.enclave, &TargetInfo { mrenclave: QE_MEASUREMENT }, report_data)
+                    .map_err(|e| ElideError::Transport(format!("ereport: {e}")))?;
+            let quote = self
+                .platform
+                .qe
+                .quote(&report)
+                .map_err(|e| ElideError::Transport(format!("quote: {e}")))?;
+            Ok(quote.to_bytes())
+        }
+    }
+}
+
+fn serve_tcp(server: &Arc<AuthServer>) -> (ServiceHandle, String) {
+    let acceptor = TcpAcceptor::bind("127.0.0.1:0").unwrap();
+    let addr = acceptor.local_addr().unwrap().to_string();
+    let handle = serve(acceptor, Arc::clone(server), ServiceConfig::default().with_workers(2));
+    (handle, addr)
+}
+
+fn connect(addr: &str) -> TcpTransport {
+    TcpTransport::connect(addr).expect("connect")
+}
+
+#[test]
+fn replayed_ticket_is_rejected_and_full_handshake_recovers() {
+    let fx = fixture(0x71C5E701);
+    let server = Arc::new(AuthServer::with_store(fx.store(), fx.ias()));
+    let (handle, addr) = serve_tcp(&server);
+    let mut quote_fn = fx.quote_fn();
+
+    // First launch: full handshake, secret fetch, ticket issued.
+    let mut client = ProvisionClient::new();
+    let mut t1 = connect(&addr);
+    client.full_handshake(&mut t1, &mut quote_fn).expect("handshake");
+    assert_eq!(client.fetch_data(&mut t1).expect("data"), PAYLOAD);
+    client.request_ticket(&mut t1).expect("ticket");
+    let blob = client.ticket_blob().expect("blob held").to_vec();
+    drop(t1);
+
+    // Relaunch: the ticket resumes in one round trip and is consumed.
+    let mut t2 = connect(&addr);
+    let (secret, fast) = client.try_resume(&mut t2, &mut quote_fn).expect("resume");
+    assert!(fast, "fresh ticket must take the resume fast path");
+    assert_eq!(secret.data, PAYLOAD);
+    assert_eq!(server.resumptions(), 1);
+    drop(t2);
+
+    // Replay: the very same blob, already burned, on a new connection.
+    let mut t3 = connect(&addr);
+    match t3.request(request::RESUME as u8, &blob) {
+        Err(ElideError::Server(ServerError::TicketRejected)) => {}
+        other => panic!("replayed ticket must be TicketRejected, got {other:?}"),
+    }
+
+    // The same connection recovers with a full handshake.
+    let mut fresh = ProvisionClient::new();
+    fresh.full_handshake(&mut t3, &mut quote_fn).expect("fallback handshake");
+    assert_eq!(fresh.fetch_data(&mut t3).expect("data"), PAYLOAD);
+    drop(t3);
+
+    assert_eq!(server.handshakes(), 2, "one initial + one fallback handshake");
+    handle.shutdown();
+}
+
+#[test]
+fn ticket_for_wrong_mrenclave_is_rejected_at_redemption() {
+    let fx = fixture(0x71C5E702);
+    let ticket_key = [0x42u8; 16];
+    let server = Arc::new(AuthServer::with_store(fx.store(), fx.ias()).with_ticket_key(ticket_key));
+    let (handle, addr) = serve_tcp(&server);
+    let mut quote_fn = fx.quote_fn();
+
+    // A perfectly sealed ticket (attacker knows the key in this test)
+    // naming an identity the store does not hold: decryption succeeds,
+    // but the store re-check at redemption must still reject it.
+    let mut rng = SeededRandom::new(0x71C5E703);
+    let forged = TicketPlain {
+        mrenclave: [0xEE; 32],
+        mrsigner: [0xEE; 32],
+        channel_key: [5; 16],
+        ticket_id: [6; 16],
+        issued_ms: now_ms(),
+        ttl_ms: 600_000,
+    }
+    .seal(&ticket_key, &mut rng);
+
+    let mut t = connect(&addr);
+    match t.request(request::RESUME as u8, &forged) {
+        Err(ElideError::Server(ServerError::TicketRejected)) => {}
+        other => panic!("unknown-identity ticket must be TicketRejected, got {other:?}"),
+    }
+    assert_eq!(server.resumptions(), 0);
+
+    // The genuine enclave still authenticates the long way.
+    let mut client = ProvisionClient::new();
+    client.full_handshake(&mut t, &mut quote_fn).expect("full handshake");
+    assert_eq!(client.fetch_data(&mut t).expect("data"), PAYLOAD);
+    drop(t); // graceful shutdown waits for open connections
+    handle.shutdown();
+}
+
+#[test]
+fn expired_ticket_falls_back_to_full_handshake() {
+    let fx = fixture(0x71C5E704);
+    // Zero TTL: every issued ticket is already expired at redemption.
+    let server =
+        Arc::new(AuthServer::with_store(fx.store(), fx.ias()).with_ticket_ttl(Duration::ZERO));
+    let (handle, addr) = serve_tcp(&server);
+    let mut quote_fn = fx.quote_fn();
+
+    let mut client = ProvisionClient::new();
+    let mut t1 = connect(&addr);
+    client.full_handshake(&mut t1, &mut quote_fn).expect("handshake");
+    client.request_ticket(&mut t1).expect("ticket issued");
+    assert!(client.has_ticket());
+    drop(t1);
+
+    let mut t2 = connect(&addr);
+    let (secret, fast) = client.try_resume(&mut t2, &mut quote_fn).expect("relaunch");
+    assert!(!fast, "expired ticket must fall back to the full handshake");
+    assert_eq!(secret.data, PAYLOAD);
+    assert_eq!(server.resumptions(), 0, "no resumed session was established");
+    assert_eq!(server.handshakes(), 2, "initial + fallback");
+    drop(t2); // graceful shutdown waits for open connections
+    handle.shutdown();
+}
+
+#[test]
+fn server_restart_revokes_outstanding_tickets() {
+    let fx = fixture(0x71C5E705);
+    let server1 = Arc::new(AuthServer::with_store(fx.store(), fx.ias()));
+    let (handle1, addr1) = serve_tcp(&server1);
+    let mut quote_fn = fx.quote_fn();
+
+    let mut client = ProvisionClient::new();
+    let mut t1 = connect(&addr1);
+    client.full_handshake(&mut t1, &mut quote_fn).expect("handshake");
+    client.request_ticket(&mut t1).expect("ticket");
+    drop(t1);
+    handle1.shutdown();
+
+    // "Restart": a new server over the same store. Its ticket key is
+    // freshly random, so the outstanding blob cannot even be opened.
+    let server2 = Arc::new(AuthServer::with_store(fx.store(), fx.ias()));
+    let (handle2, addr2) = serve_tcp(&server2);
+
+    let mut t2 = connect(&addr2);
+    let (secret, fast) = client.try_resume(&mut t2, &mut quote_fn).expect("relaunch");
+    assert!(!fast, "restart must revoke the ticket; client falls back");
+    assert_eq!(secret.data, PAYLOAD);
+    assert_eq!(server2.resumptions(), 0);
+    assert_eq!(server2.handshakes(), 1, "the fallback handshake");
+    assert!(!client.has_ticket(), "the revoked ticket was consumed client-side");
+    drop(t2); // graceful shutdown waits for open connections
+    handle2.shutdown();
+}
