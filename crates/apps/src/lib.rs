@@ -51,6 +51,7 @@ pub fn run_workload(
         "AES" => aes_app::workload(rt, idx),
         "DES" => des_app::workload(rt, idx),
         "Sha1" => sha1_app::workload(rt, idx),
+        "XTEA" => xtea::workload(rt, idx),
         "Shas" => shas_app::workload(rt, idx),
         "2048" => game2048::workload(rt, idx),
         "Biniax" => biniax::workload(rt, idx),

@@ -1,8 +1,19 @@
-//! Raw interpreter throughput (instructions per second) on the
-//! instruction-bound paper workloads, plain build versus restored SgxElide
-//! build. Unlike `overhead`, launch and restore are *excluded* from the
-//! timed region: this isolates the execution engine itself, and is the
-//! number the page-granular decode cache is meant to move.
+//! Raw execution-engine throughput (instructions per second) on the
+//! instruction-bound paper workloads. Three rows per app:
+//!
+//! * `interp`  — plain build, per-instruction interpreter loop
+//! * `plain`   — plain build, superblock translation (the default engine)
+//! * `elide`   — SgxElide-protected build after restore, superblocks
+//!
+//! Launch and restore are *excluded* from the timed region: this isolates
+//! the execution engine itself, and the `plain`/`interp` ratio is the
+//! speedup the superblock translator buys over the decode-cache
+//! interpreter.
+//!
+//! Each repetition is timed separately and the **minimum** per-rep time is
+//! reported: on shared machines the distribution is one-sided (interference
+//! only ever adds time), so the minimum is the most stable estimate of the
+//! engine's actual speed.
 //!
 //! Emits `BENCH_exec_throughput.json` at the workspace root for CI
 //! artifact upload. `ELIDE_BENCH_REPS` overrides the per-app repetition
@@ -14,7 +25,46 @@ use elide_apps::harness::{launch_plain, launch_protected};
 use elide_apps::run_workload;
 use elide_bench::{write_bench_json, BenchRecord};
 use elide_core::sanitizer::DataPlacement;
+use elide_enclave::EnclaveRuntime;
+use elide_vm::interp::Engine;
+use std::collections::HashMap;
 use std::time::Instant;
+
+/// Times `reps` workload repetitions and returns the record built from the
+/// fastest one (instructions are identical across reps by construction).
+fn time_workload(
+    name: &'static str,
+    build: &'static str,
+    rt: &mut EnclaveRuntime,
+    indices: &HashMap<String, u64>,
+    reps: usize,
+) -> BenchRecord {
+    run_workload(name, rt, indices); // warmup
+    let mut best = f64::INFINITY;
+    let mut instructions = 0;
+    for _ in 0..reps {
+        let base = rt.retired_total();
+        let t0 = Instant::now();
+        run_workload(name, rt, indices);
+        let seconds = t0.elapsed().as_secs_f64();
+        instructions = rt.retired_total() - base;
+        if seconds < best {
+            best = seconds;
+        }
+    }
+    BenchRecord { name: name.to_string(), build, instructions, seconds: best }
+}
+
+fn print_rec(rec: &BenchRecord) {
+    println!(
+        "{:<14} {:>8} {:>14} {:>10.2} {:>10.2}",
+        rec.name,
+        rec.build,
+        rec.instructions,
+        rec.seconds * 1e3,
+        rec.mips()
+    );
+}
 
 fn main() {
     let reps: usize = std::env::var("ELIDE_BENCH_REPS")
@@ -23,59 +73,36 @@ fn main() {
         .filter(|&r| r > 0)
         .unwrap_or(30);
 
-    // The three crypto kernels: tight arithmetic loops over enclave data,
-    // where fetch/decode dominates an interpreter's runtime.
+    // The crypto kernels: tight arithmetic loops over enclave data, where
+    // fetch/decode/dispatch dominates an interpreter's runtime.
     let apps = {
         use elide_apps::*;
-        vec![aes_app::app(), des_app::app(), sha1_app::app()]
+        vec![aes_app::app(), des_app::app(), sha1_app::app(), xtea::app()]
     };
 
     let mut records = Vec::new();
-    println!("exec_throughput (reps={reps})");
+    println!("exec_throughput (reps={reps}, best-of-rep)");
     println!("{:<14} {:>8} {:>14} {:>10} {:>10}", "app", "build", "instructions", "ms", "mips");
 
     for app in &apps {
-        // Plain build: launch once (untimed), then time the workload loop.
+        // Plain build, interpreter engine: the pre-translation baseline.
         let mut p = launch_plain(app, 42).expect("launch");
-        run_workload(app.name, &mut p.runtime, &p.indices); // warmup
-        let base = p.runtime.retired_total();
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            run_workload(app.name, &mut p.runtime, &p.indices);
-        }
-        let seconds = t0.elapsed().as_secs_f64();
-        let instructions = p.runtime.retired_total() - base;
-        let rec = BenchRecord { name: app.name.to_string(), build: "plain", instructions, seconds };
-        println!(
-            "{:<14} {:>8} {:>14} {:>10.2} {:>10.2}",
-            rec.name,
-            rec.build,
-            rec.instructions,
-            rec.seconds * 1e3,
-            rec.mips()
-        );
+        p.runtime.set_engine(Engine::Interp);
+        let rec = time_workload(app.name, "interp", &mut p.runtime, &p.indices, reps);
+        print_rec(&rec);
+        records.push(rec);
+
+        // Same build and enclave, superblock engine.
+        p.runtime.set_engine(Engine::Superblock);
+        let rec = time_workload(app.name, "plain", &mut p.runtime, &p.indices, reps);
+        print_rec(&rec);
         records.push(rec);
 
         // SgxElide build: launch + restore untimed, same timed region.
         let mut p = launch_protected(app, DataPlacement::Remote, 42).expect("launch");
         p.restore().expect("restore");
-        run_workload(app.name, &mut p.app.runtime, &p.indices); // warmup
-        let base = p.app.runtime.retired_total();
-        let t0 = Instant::now();
-        for _ in 0..reps {
-            run_workload(app.name, &mut p.app.runtime, &p.indices);
-        }
-        let seconds = t0.elapsed().as_secs_f64();
-        let instructions = p.app.runtime.retired_total() - base;
-        let rec = BenchRecord { name: app.name.to_string(), build: "elide", instructions, seconds };
-        println!(
-            "{:<14} {:>8} {:>14} {:>10.2} {:>10.2}",
-            rec.name,
-            rec.build,
-            rec.instructions,
-            rec.seconds * 1e3,
-            rec.mips()
-        );
+        let rec = time_workload(app.name, "elide", &mut p.app.runtime, &p.indices, reps);
+        print_rec(&rec);
         records.push(rec);
     }
 

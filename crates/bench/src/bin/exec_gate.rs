@@ -1,0 +1,148 @@
+//! CI regression gate for execution throughput: re-measures the
+//! interp/superblock engines on the crypto workloads and fails (exit 1) if
+//! the superblock speedup has regressed by more than the tolerance against
+//! the tracked `BENCH_exec_throughput.json` at the workspace root.
+//!
+//! Absolute MIPS are machine-dependent — CI runners and dev boxes differ
+//! by integer factors — so the gate compares the **plain/interp ratio**
+//! (translator speedup over the interpreter on the same machine, same
+//! binary, same run), which is stable across hosts. A translator change
+//! that loses >20% of its speedup fails the gate even on a faster machine.
+//!
+//! Env:
+//! * `ELIDE_BENCH_REPS` — per-app repetitions (default 5 here; best-of).
+//! * `ELIDE_GATE_TOLERANCE` — allowed fractional ratio loss (default 0.20).
+
+use elide_apps::harness::launch_plain;
+use elide_apps::run_workload;
+use elide_bench::workspace_root;
+use elide_vm::interp::Engine;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Best-of-`reps` seconds for one workload under the runtime's current
+/// engine (mirrors the tracked bench's methodology).
+fn best_seconds(
+    name: &str,
+    rt: &mut elide_enclave::EnclaveRuntime,
+    indices: &HashMap<String, u64>,
+    reps: usize,
+) -> f64 {
+    run_workload(name, rt, indices); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        run_workload(name, rt, indices);
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Pulls `(app, build) -> mips` out of the tracked JSON. The file is
+/// emitted by our own `bench_records_json`, so a line-oriented parse of
+/// the known shape is enough (the workspace has no JSON dependency).
+fn parse_tracked(text: &str) -> HashMap<(String, String), f64> {
+    let mut out = HashMap::new();
+    for line in text.lines() {
+        let Some(app) = field(line, "\"app\": \"") else { continue };
+        let Some(build) = field(line, "\"build\": \"") else { continue };
+        let Some(mips) = field_num(line, "\"mips\": ") else { continue };
+        out.insert((app, build), mips);
+    }
+    out
+}
+
+fn field(line: &str, key: &str) -> Option<String> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end =
+        rest.find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let reps: usize = std::env::var("ELIDE_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(5);
+    let tolerance: f64 =
+        std::env::var("ELIDE_GATE_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.20);
+
+    let tracked_path = workspace_root().join("BENCH_exec_throughput.json");
+    let tracked = match std::fs::read_to_string(&tracked_path) {
+        Ok(text) => parse_tracked(&text),
+        Err(e) => {
+            eprintln!("exec_gate: cannot read {}: {e}", tracked_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let apps = {
+        use elide_apps::*;
+        vec![aes_app::app(), des_app::app(), sha1_app::app(), xtea::app()]
+    };
+
+    println!("exec_gate (reps={reps}, tolerance={:.0}%)", tolerance * 100.0);
+    println!("{:<14} {:>14} {:>14} {:>10}", "app", "tracked-ratio", "fresh-ratio", "verdict");
+
+    let mut failed = false;
+    for app in &apps {
+        let key_i = (app.name.to_string(), "interp".to_string());
+        let key_p = (app.name.to_string(), "plain".to_string());
+        let (Some(&t_interp), Some(&t_plain)) = (tracked.get(&key_i), tracked.get(&key_p)) else {
+            eprintln!("exec_gate: {} missing from tracked JSON — re-run the bench", app.name);
+            failed = true;
+            continue;
+        };
+        let tracked_ratio = t_plain / t_interp;
+
+        let mut p = launch_plain(app, 42).expect("launch");
+        p.runtime.set_engine(Engine::Interp);
+        let interp_s = best_seconds(app.name, &mut p.runtime, &p.indices, reps);
+        p.runtime.set_engine(Engine::Superblock);
+        let plain_s = best_seconds(app.name, &mut p.runtime, &p.indices, reps);
+        let fresh_ratio = interp_s / plain_s; // same instruction count cancels
+
+        let ok = fresh_ratio >= tracked_ratio * (1.0 - tolerance);
+        println!(
+            "{:<14} {:>13.2}x {:>13.2}x {:>10}",
+            app.name,
+            tracked_ratio,
+            fresh_ratio,
+            if ok { "ok" } else { "REGRESSED" }
+        );
+        failed |= !ok;
+    }
+
+    if failed {
+        eprintln!("exec_gate: superblock speedup regressed >{:.0}%", tolerance * 100.0);
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_own_json_shape() {
+        let text = r#"{
+  "bench": "exec_throughput",
+  "results": [
+    {"app": "AES", "build": "interp", "instructions": 1, "seconds": 1.0, "mips": 150.5},
+    {"app": "AES", "build": "plain", "instructions": 1, "seconds": 0.5, "mips": 450.25}
+  ]
+}"#;
+        let m = parse_tracked(text);
+        assert_eq!(m[&("AES".into(), "interp".into())], 150.5);
+        assert_eq!(m[&("AES".into(), "plain".into())], 450.25);
+    }
+}

@@ -1,0 +1,35 @@
+//! Prints execution-tier counters for each bench app: average superblock
+//! length, translation counts, and the interpreter-fallback share. A
+//! diagnosis tool for translator coverage, not a timed benchmark.
+
+use elide_apps::harness::launch_plain;
+use elide_apps::run_workload;
+
+fn main() {
+    let apps = {
+        use elide_apps::*;
+        vec![aes_app::app(), des_app::app(), sha1_app::app(), xtea::app()]
+    };
+    println!(
+        "{:<8} {:>12} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "app", "blocks", "xlated", "trans_ret", "interp_ret", "ins/blk", "fall%"
+    );
+    for app in &apps {
+        let mut p = launch_plain(app, 42).expect("launch");
+        for _ in 0..3 {
+            run_workload(app.name, &mut p.runtime, &p.indices);
+        }
+        let s = p.runtime.exec_stats();
+        let total = (s.trans_retired + s.interp_retired) as f64;
+        println!(
+            "{:<8} {:>12} {:>10} {:>12} {:>12} {:>10.2} {:>8.3}",
+            app.name,
+            s.blocks_entered,
+            s.blocks_translated,
+            s.trans_retired,
+            s.interp_retired,
+            s.trans_retired as f64 / s.blocks_entered.max(1) as f64,
+            100.0 * s.interp_retired as f64 / total.max(1.0),
+        );
+    }
+}

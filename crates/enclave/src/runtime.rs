@@ -16,7 +16,7 @@ use elide_crypto::dh::DhKeyPair;
 use elide_crypto::gcm::AesGcm;
 use elide_crypto::rng::{OsRandom, RandomSource};
 use elide_crypto::sha2::Sha256;
-use elide_vm::interp::{Exit, Vm};
+use elide_vm::interp::{Engine, ExecStats, Exit, Vm};
 use elide_vm::isa::{intrinsics, NUM_REGS};
 use elide_vm::mem::{Access, Bus, VmFault, CODE_PAGE_SIZE};
 use sgx_sim::enclave::AccessKind;
@@ -182,18 +182,26 @@ impl EnclaveWorld {
         }
     }
 
+    /// Whether the honest-OS page-table write restrictions permit a write
+    /// of `len` bytes at `addr`. `os_readonly` is sorted and disjoint: the
+    /// only candidate overlap is the first range ending after `addr`.
+    #[inline]
+    fn os_write_allowed(&self, addr: u64, len: u64) -> bool {
+        if self.malicious_os {
+            return true;
+        }
+        let end = addr.saturating_add(len);
+        let i = self.os_readonly.partition_point(|&(_, hi)| hi <= addr);
+        match self.os_readonly.get(i) {
+            Some(&(lo, _)) => lo >= end,
+            None => true,
+        }
+    }
+
     fn write_guest(&mut self, addr: u64, data: &[u8]) -> Result<(), VmFault> {
         if self.in_enclave(addr) {
-            if !self.malicious_os {
-                // `os_readonly` is sorted and disjoint: the only candidate
-                // overlap is the first range ending after `addr`.
-                let end = addr.saturating_add(data.len() as u64);
-                let i = self.os_readonly.partition_point(|&(_, hi)| hi <= addr);
-                if let Some(&(lo, _)) = self.os_readonly.get(i) {
-                    if lo < end {
-                        return Err(VmFault::AccessViolation { addr, access: Access::Write });
-                    }
-                }
+            if !self.os_write_allowed(addr, data.len() as u64) {
+                return Err(VmFault::AccessViolation { addr, access: Access::Write });
             }
             self.enclave.write(addr, data).map_err(|e| map_sgx_fault(e, addr, Access::Write))
         } else {
@@ -205,15 +213,27 @@ impl EnclaveWorld {
 }
 
 impl Bus for EnclaveWorld {
+    #[inline]
     fn load(&mut self, addr: u64, size: usize) -> Result<u64, VmFault> {
         debug_assert!(size <= 8);
+        // In-page enclave loads — the guest's stack, bss and lookup tables
+        // — complete without the page-crossing walk or error mapping.
+        if let Some(v) = self.enclave.load_prim(addr, size) {
+            return Ok(v);
+        }
         let mut buf = [0u8; 8];
         self.read_guest_into(addr, &mut buf[..size])?;
         Ok(u64::from_le_bytes(buf))
     }
 
+    #[inline]
     fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), VmFault> {
         debug_assert!(size <= 8);
+        if self.os_write_allowed(addr, size as u64)
+            && self.enclave.store_prim(addr, size, value).is_some()
+        {
+            return Ok(());
+        }
         let bytes = value.to_le_bytes();
         self.write_guest(addr, &bytes[..size])
     }
@@ -386,6 +406,11 @@ pub struct EnclaveRuntime {
     /// Instruction budget per ecall.
     pub fuel: u64,
     retired_total: u64,
+    /// The persistent VM: decode and translation caches (and their
+    /// counters) survive across ecalls — real enclaves do not lose their
+    /// icache at EENTER either. Registers, pc and sp are reset at every
+    /// entry, so no guest state leaks between ecalls.
+    vm: Vm,
 }
 
 impl std::fmt::Debug for EnclaveRuntime {
@@ -406,6 +431,12 @@ impl EnclaveRuntime {
     /// Wraps a loaded enclave, supplying the RNG for trusted services
     /// (seeded in tests for reproducibility).
     pub fn with_rng(loaded: LoadedEnclave, rng: Box<dyn RandomSource>) -> Self {
+        let mut vm = Vm::new(loaded.entry);
+        // `ELIDE_EXEC=interp` forces the instruction-at-a-time loop —
+        // the escape hatch for differential debugging and A/B benches.
+        if std::env::var("ELIDE_EXEC").as_deref() == Ok("interp") {
+            vm.set_engine(Engine::Interp);
+        }
         EnclaveRuntime {
             world: EnclaveWorld {
                 enclave: loaded.enclave,
@@ -420,7 +451,25 @@ impl EnclaveRuntime {
             ocalls: HashMap::new(),
             fuel: DEFAULT_FUEL,
             retired_total: 0,
+            vm,
         }
+    }
+
+    /// Execution-tier counters accumulated by the persistent VM.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.vm.stats
+    }
+
+    /// Selects the execution tier for subsequent ecalls (the
+    /// `ELIDE_EXEC=interp` environment override does the same at
+    /// construction).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.vm.set_engine(engine);
+    }
+
+    /// The execution tier currently driving ecalls.
+    pub fn engine(&self) -> Engine {
+        self.vm.engine
     }
 
     /// Registers an ocall handler under `index`.
@@ -472,13 +521,16 @@ impl EnclaveRuntime {
         // Zero the output area for deterministic results.
         self.world.untrusted.write(out_ptr, &vec![0u8; out_cap])?;
 
-        let mut vm = Vm::new(self.entry);
+        let vm = &mut self.vm;
+        vm.regs = [0; NUM_REGS];
+        vm.pc = self.entry;
         vm.set_sp(self.stack_top);
         vm.regs[1] = index;
         vm.regs[2] = in_ptr;
         vm.regs[3] = input.len() as u64;
         vm.regs[4] = out_ptr;
         vm.regs[5] = out_cap as u64;
+        let start = vm.retired;
 
         // `fuel` is the budget for the whole ecall: instructions retired
         // before an ocall count against the resumes after it.
@@ -491,7 +543,7 @@ impl EnclaveRuntime {
             match exit? {
                 Exit::Halt(status) => {
                     let output = self.world.untrusted.read(out_ptr, out_cap)?;
-                    return Ok(EcallResult { status, output, instructions: vm.retired });
+                    return Ok(EcallResult { status, output, instructions: vm.retired - start });
                 }
                 Exit::Ocall(ocall_index) => {
                     let handler = self

@@ -304,6 +304,84 @@ impl Enclave {
         Ok(())
     }
 
+    /// Single-access fast path behind guest loads: a little-endian read of
+    /// `size` bytes (≤ 8) that stays within one page. Returns `None`
+    /// whenever the fast conditions do not hold — page-crossing access,
+    /// absent page, missing read permission, pre-`EINIT` — and the caller
+    /// falls back to [`Enclave::read_into`] for the exact typed error.
+    #[inline]
+    pub fn load_prim(&self, vaddr: u64, size: usize) -> Option<u64> {
+        debug_assert!(size <= 8);
+        if !self.initialized {
+            return None;
+        }
+        let off = vaddr.wrapping_sub(self.base);
+        if off >= self.size {
+            return None;
+        }
+        let within = (off % PAGE_SIZE) as usize;
+        if within + size > PAGE_SIZE as usize {
+            return None;
+        }
+        let page = self.pages[(off / PAGE_SIZE) as usize].as_ref()?;
+        if !page.perms.readable() {
+            return None;
+        }
+        // Fixed-width reads: a runtime-length copy here compiles to a
+        // `memcpy` call, which dominates the cost of every guest load.
+        let d = &page.data[within..within + size];
+        Some(match size {
+            1 => d[0] as u64,
+            2 => u16::from_le_bytes([d[0], d[1]]) as u64,
+            4 => u32::from_le_bytes([d[0], d[1], d[2], d[3]]) as u64,
+            8 => u64::from_le_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]]),
+            _ => {
+                let mut buf = [0u8; 8];
+                buf[..size].copy_from_slice(d);
+                u64::from_le_bytes(buf)
+            }
+        })
+    }
+
+    /// Single-access fast path behind guest stores; mirror of
+    /// [`Enclave::load_prim`]. Keeps the write-side architectural
+    /// obligations: the page generation moves exactly as in
+    /// [`Enclave::write`], so decode/translation caches stay coherent.
+    #[inline]
+    pub fn store_prim(&mut self, vaddr: u64, size: usize, value: u64) -> Option<()> {
+        debug_assert!(size <= 8);
+        if !self.initialized {
+            return None;
+        }
+        let off = vaddr.wrapping_sub(self.base);
+        if off >= self.size {
+            return None;
+        }
+        let within = (off % PAGE_SIZE) as usize;
+        if within + size > PAGE_SIZE as usize {
+            return None;
+        }
+        let idx = (off / PAGE_SIZE) as usize;
+        let page = self.pages[idx].as_mut()?;
+        if !page.perms.writable() {
+            return None;
+        }
+        // Mirror of the fixed-width reads in `load_prim`: constant-length
+        // copies per arm instead of one runtime-length `memcpy`.
+        let le = value.to_le_bytes();
+        let d = &mut page.data[within..];
+        match size {
+            1 => d[0] = le[0],
+            2 => d[..2].copy_from_slice(&le[..2]),
+            4 => d[..4].copy_from_slice(&le[..4]),
+            8 => d[..8].copy_from_slice(&le[..8]),
+            _ => d[..size].copy_from_slice(&le[..size]),
+        }
+        self.epoch += 1;
+        self.page_gens[idx] = self.epoch;
+        Some(())
+    }
+
     /// Borrowed view of the whole resident page containing `vaddr`, with
     /// one permission check for the entire page. Zero-copy accessor behind
     /// the interpreter's decode cache; sound because EPC permissions are

@@ -29,15 +29,17 @@ use std::collections::HashMap;
 /// Decoded instruction slots per page.
 pub const INSTRS_PER_PAGE: usize = (CODE_PAGE_SIZE / INSTR_SIZE) as usize;
 
-/// Upper bound on cached pages (16 MiB of guest text) before the cache is
-/// wholesale reset — a backstop, not a tuning knob; real enclaves here are
-/// a few dozen pages.
+/// Upper bound on cached pages (16 MiB of guest text). At capacity the
+/// cache evicts one cold slot per miss (round-robin clock) and reuses its
+/// allocation, so a guest larger than the cache degrades to slot churn on
+/// the excess pages instead of thrashing the whole cache to zero.
 const MAX_CACHED_PAGES: usize = 4096;
 
 const ILLEGAL: Instr = Instr { op: Opcode::Illegal, a: 0, b: 0, c: 0, imm: 0 };
 
 #[derive(Clone)]
 struct DecodedPage {
+    addr: u64,
     gen: u64,
     instrs: Box<[Instr; INSTRS_PER_PAGE]>,
 }
@@ -58,6 +60,8 @@ pub struct DecodeCache {
     index: HashMap<u64, usize>,
     pages: Vec<DecodedPage>,
     scratch: Box<[u8; CODE_PAGE_SIZE as usize]>,
+    capacity: usize,
+    clock: usize,
 }
 
 impl std::fmt::Debug for DecodeCache {
@@ -73,12 +77,20 @@ impl Default for DecodeCache {
 }
 
 impl DecodeCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
+        Self::with_capacity(MAX_CACHED_PAGES)
+    }
+
+    /// Creates an empty cache holding at most `capacity` pages (≥ 1) —
+    /// capacity-1 in tests exercises the eviction path cheaply.
+    pub fn with_capacity(capacity: usize) -> Self {
         DecodeCache {
             index: HashMap::new(),
             pages: Vec::new(),
             scratch: Box::new([0; CODE_PAGE_SIZE as usize]),
+            capacity: capacity.max(1),
+            clock: 0,
         }
     }
 
@@ -88,7 +100,7 @@ impl DecodeCache {
     /// instruction by instruction). A fetch error while (re)decoding also
     /// degrades to `None` so the slow path reports the fault with the
     /// exact faulting address.
-    pub fn validate(&mut self, bus: &mut dyn Bus, page_addr: u64) -> Option<usize> {
+    pub fn validate<B: Bus + ?Sized>(&mut self, bus: &mut B, page_addr: u64) -> Option<usize> {
         let gen = bus.exec_page_generation(page_addr)?;
         if let Some(&slot) = self.index.get(&page_addr) {
             if self.pages[slot].gen == gen {
@@ -100,15 +112,27 @@ impl DecodeCache {
             self.pages[slot].decode_from(&self.scratch, fresh);
             return Some(slot);
         }
-        if self.pages.len() >= MAX_CACHED_PAGES {
-            self.index.clear();
-            self.pages.clear();
-        }
         let fresh = bus.fetch_exec_page(page_addr, &mut self.scratch).ok()?;
-        let mut page = DecodedPage { gen: fresh, instrs: Box::new([ILLEGAL; INSTRS_PER_PAGE]) };
-        page.decode_from(&self.scratch, fresh);
-        let slot = self.pages.len();
-        self.pages.push(page);
+        let slot = if self.pages.len() >= self.capacity {
+            // At capacity: evict exactly one slot (round-robin clock) and
+            // reuse its allocation. Only the fetch above can fail, so the
+            // cache is never left inconsistent.
+            let victim = self.clock;
+            self.clock = (self.clock + 1) % self.capacity;
+            self.index.remove(&self.pages[victim].addr);
+            self.pages[victim].addr = page_addr;
+            self.pages[victim].decode_from(&self.scratch, fresh);
+            victim
+        } else {
+            let mut page = DecodedPage {
+                addr: page_addr,
+                gen: fresh,
+                instrs: Box::new([ILLEGAL; INSTRS_PER_PAGE]),
+            };
+            page.decode_from(&self.scratch, fresh);
+            self.pages.push(page);
+            self.pages.len() - 1
+        };
         self.index.insert(page_addr, slot);
         Some(slot)
     }
@@ -119,10 +143,29 @@ impl DecodeCache {
         self.pages[slot].instrs[idx]
     }
 
+    /// The whole decoded instruction array of `slot` — input to the
+    /// superblock translator.
+    #[inline]
+    pub fn instrs(&self, slot: usize) -> &[Instr; INSTRS_PER_PAGE] {
+        &self.pages[slot].instrs
+    }
+
     /// The generation a slot was decoded at (for cheap revalidation).
     #[inline]
     pub fn generation(&self, slot: usize) -> u64 {
         self.pages[slot].gen
+    }
+
+    /// The page address a slot currently serves (slots are reused on
+    /// eviction, so the mapping is not stable across misses).
+    #[inline]
+    pub fn slot_page(&self, slot: usize) -> u64 {
+        self.pages[slot].addr
+    }
+
+    /// Whether `page_addr` currently has a decoded slot (no validation).
+    pub fn is_cached(&self, page_addr: u64) -> bool {
+        self.index.contains_key(&page_addr)
     }
 
     /// Number of pages currently cached.
@@ -134,6 +177,7 @@ impl DecodeCache {
     pub fn invalidate_all(&mut self) {
         self.index.clear();
         self.pages.clear();
+        self.clock = 0;
     }
 }
 
@@ -169,6 +213,36 @@ mod tests {
         let slot = c.validate(&mut mem, 0).unwrap();
         assert_eq!(c.instr(slot, 0).op, Opcode::Illegal); // zeroed bytes
         assert_eq!(c.instr(slot, 1).op, Opcode::Illegal); // undecodable bytes
+    }
+
+    #[test]
+    fn eviction_reuses_one_slot_instead_of_clearing() {
+        // Four full pages of memory, capacity two: the third page must
+        // evict exactly one victim, leaving the other resident — the old
+        // wholesale clear dropped every page and a large guest thrashed
+        // itself to zero.
+        let mut mem = FlatMemory::new(0, 4 * CODE_PAGE_SIZE as usize);
+        mem.write_at(0, &Instr::new(Opcode::Movi, 0, 0, 0, 1).encode());
+        mem.write_at(4096, &Instr::new(Opcode::Movi, 0, 0, 0, 2).encode());
+        mem.write_at(8192, &Instr::new(Opcode::Movi, 0, 0, 0, 3).encode());
+        let mut c = DecodeCache::with_capacity(2);
+        let s0 = c.validate(&mut mem, 0).unwrap();
+        let s1 = c.validate(&mut mem, 4096).unwrap();
+        assert_eq!(c.cached_pages(), 2);
+        // Page 2 evicts the clock victim (slot 0) and reuses its slot.
+        let s2 = c.validate(&mut mem, 8192).unwrap();
+        assert_eq!(c.cached_pages(), 2, "eviction must not shrink the cache");
+        assert_eq!(s2, s0, "victim slot is reused in place");
+        assert!(!c.is_cached(0), "victim page is unmapped");
+        assert!(c.is_cached(4096), "the cold slot's neighbour survives");
+        assert_eq!(c.instr(s2, 0).imm, 3);
+        assert_eq!(c.slot_page(s2), 8192);
+        // The survivor still revalidates without a re-decode.
+        assert_eq!(c.validate(&mut mem, 4096), Some(s1));
+        // And the evicted page comes back by evicting the next victim.
+        let s0b = c.validate(&mut mem, 0).unwrap();
+        assert_eq!(c.instr(s0b, 0).imm, 1);
+        assert_eq!(c.cached_pages(), 2);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 use crate::dcache::DecodeCache;
 use crate::isa::{Instr, Opcode, INSTR_SIZE, NUM_REGS, REG_SP};
 use crate::mem::{Bus, VmFault, CODE_PAGE_SIZE};
+use crate::trans::TransCache;
 
 /// Why execution returned to the host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +17,56 @@ pub enum Exit {
     Halt(u64),
     /// The guest executed `ocall imm`; the host services it and resumes.
     Ocall(i32),
+}
+
+/// Which execution tier [`Vm::run`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Superblock translation (see [`crate::trans`]) with automatic
+    /// fallback to the interpreter loop where translation does not apply.
+    #[default]
+    Superblock,
+    /// The instruction-at-a-time interpreter loop only.
+    Interp,
+}
+
+/// Execution-tier counters, so benches and tests can assert the fast path
+/// is actually taken rather than inferring it from wall-clock speed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Superblocks entered (block dispatches, including chained re-entries).
+    pub blocks_entered: u64,
+    /// Translation misses: blocks lowered from decoded instructions.
+    pub blocks_translated: u64,
+    /// Guest instructions retired inside translated superblocks.
+    pub trans_retired: u64,
+    /// Guest instructions retired by the interpreter loop (the fallback
+    /// path under [`Engine::Superblock`]; everything under
+    /// [`Engine::Interp`]).
+    pub interp_retired: u64,
+}
+
+/// Result of one interpreter-loop invocation (crate-internal: the
+/// translator uses the `Retranslate` arm to reclaim control).
+pub(crate) enum InterpOutcome {
+    /// The run finished: guest exit or fault.
+    Done(Result<Exit, VmFault>),
+    /// Bail-out: the pc is aligned on a validatable page again, so the
+    /// superblock tier can resume with `fuel_left` fuel remaining.
+    Retranslate { fuel_left: u64 },
+}
+
+/// Interpreter-internal stop reason; `From<VmFault>` keeps `?` working on
+/// bus operations inside the loop.
+enum Stop {
+    Fault(VmFault),
+    Bail { fuel_left: u64 },
+}
+
+impl From<VmFault> for Stop {
+    fn from(f: VmFault) -> Self {
+        Stop::Fault(f)
+    }
 }
 
 /// Interpreter state: 16 registers and the program counter.
@@ -44,12 +95,31 @@ pub struct Vm {
     pub retired: u64,
     /// Page-granular decode cache serving the fetch fast path.
     pub dcache: DecodeCache,
+    /// Superblock cache layered over the decode cache.
+    pub trans: TransCache,
+    /// Which execution tier [`Vm::run`] drives.
+    pub engine: Engine,
+    /// Execution-tier counters.
+    pub stats: ExecStats,
 }
 
 impl Vm {
     /// Creates a VM with cleared registers, starting at `entry`.
     pub fn new(entry: u64) -> Self {
-        Vm { regs: [0; NUM_REGS], pc: entry, retired: 0, dcache: DecodeCache::new() }
+        Vm {
+            regs: [0; NUM_REGS],
+            pc: entry,
+            retired: 0,
+            dcache: DecodeCache::new(),
+            trans: TransCache::new(),
+            engine: Engine::default(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Selects the execution tier for subsequent [`Vm::run`] calls.
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
     }
 
     /// Sets the stack pointer (`r15`).
@@ -67,7 +137,39 @@ impl Vm {
     /// # Errors
     ///
     /// Returns the first [`VmFault`] raised.
-    pub fn run(&mut self, bus: &mut dyn Bus, mut fuel: u64) -> Result<Exit, VmFault> {
+    pub fn run<B: Bus + ?Sized>(&mut self, bus: &mut B, fuel: u64) -> Result<Exit, VmFault> {
+        match self.engine {
+            Engine::Superblock => crate::trans::run_superblock(self, bus, fuel),
+            Engine::Interp => match self.run_interp(bus, fuel, false) {
+                InterpOutcome::Done(r) => r,
+                InterpOutcome::Retranslate { .. } => unreachable!("bail disabled"),
+            },
+        }
+    }
+
+    /// Runs the interpreter loop. With `bail` set, returns
+    /// [`InterpOutcome::Retranslate`] as soon as at least one instruction
+    /// has executed and the pc sits aligned on a page the decode cache can
+    /// validate — the point where superblock execution can resume.
+    pub(crate) fn run_interp<B: Bus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        fuel: u64,
+        bail: bool,
+    ) -> InterpOutcome {
+        match self.interp_loop(bus, fuel, bail) {
+            Ok(exit) => InterpOutcome::Done(Ok(exit)),
+            Err(Stop::Fault(f)) => InterpOutcome::Done(Err(f)),
+            Err(Stop::Bail { fuel_left }) => InterpOutcome::Retranslate { fuel_left },
+        }
+    }
+
+    fn interp_loop<B: Bus + ?Sized>(
+        &mut self,
+        bus: &mut B,
+        mut fuel: u64,
+        bail: bool,
+    ) -> Result<Exit, Stop> {
         // Fast-path state: which decode-cache slot serves the current page.
         // `revalidate` marks the icache sync points — run entry (the host
         // or an ocall may have run since the last instruction) and every
@@ -79,9 +181,16 @@ impl Vm {
         let mut cur_page = u64::MAX; // not page-aligned → never matches
         let mut cur_slot = usize::MAX;
         let mut revalidate = true;
+        let mut executed = 0u64;
         loop {
+            if bail && executed != 0 && self.pc & (INSTR_SIZE - 1) == 0 {
+                let page = self.pc & !(CODE_PAGE_SIZE - 1);
+                if self.dcache.validate(bus, page).is_some() {
+                    return Err(Stop::Bail { fuel_left: fuel });
+                }
+            }
             if fuel == 0 {
-                return Err(VmFault::OutOfFuel);
+                return Err(VmFault::OutOfFuel.into());
             }
             fuel -= 1;
 
@@ -123,12 +232,14 @@ impl Vm {
             };
             let mut next = addr.wrapping_add(INSTR_SIZE);
             self.retired += 1;
+            self.stats.interp_retired += 1;
+            executed += 1;
 
             let r = &mut self.regs;
             let imm_s = instr.imm as i64 as u64; // sign-extended immediate
             use Opcode::*;
             match instr.op {
-                Illegal => return Err(VmFault::IllegalInstruction { addr }),
+                Illegal => return Err(VmFault::IllegalInstruction { addr }.into()),
                 Halt => {
                     self.pc = next;
                     return Ok(Exit::Halt(r[0]));
@@ -145,14 +256,14 @@ impl Vm {
                 Divu => {
                     let d = r[instr.c as usize];
                     if d == 0 {
-                        return Err(VmFault::DivideByZero { addr });
+                        return Err(VmFault::DivideByZero { addr }.into());
                     }
                     r[instr.a as usize] = r[instr.b as usize] / d;
                 }
                 Remu => {
                     let d = r[instr.c as usize];
                     if d == 0 {
-                        return Err(VmFault::DivideByZero { addr });
+                        return Err(VmFault::DivideByZero { addr }.into());
                     }
                     r[instr.a as usize] = r[instr.b as usize] % d;
                 }

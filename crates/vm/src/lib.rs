@@ -13,6 +13,9 @@
 //!   which is how EPC page permissions are enforced.
 //! * [`dcache`] — the page-granular decode cache (the interpreter's
 //!   "icache"), invalidated by generation when code pages change.
+//! * [`trans`] — superblock translation over the decode cache: fused
+//!   macro-ops and per-block fuel so hot paths skip per-instruction
+//!   dispatch entirely.
 //! * [`disasm`] — the attacker's disassembler.
 //!
 //! # Examples
@@ -39,3 +42,4 @@ pub mod isa;
 pub mod link;
 pub mod mem;
 pub mod obj;
+pub mod trans;

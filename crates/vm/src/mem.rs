@@ -228,6 +228,7 @@ impl FlatMemory {
         &self.data[off..off + len]
     }
 
+    #[inline]
     fn offset(&self, addr: u64, len: usize, access: Access) -> Result<usize, VmFault> {
         let off = addr.checked_sub(self.base).ok_or(VmFault::Unmapped { addr, access })?;
         // `off + len` can wrap for addresses near u64::MAX; that is an
@@ -241,19 +242,38 @@ impl FlatMemory {
 }
 
 impl Bus for FlatMemory {
+    #[inline]
     fn load(&mut self, addr: u64, size: usize) -> Result<u64, VmFault> {
         let off = self.offset(addr, size, Access::Read)?;
-        let mut v = 0u64;
-        for i in (0..size).rev() {
-            v = (v << 8) | self.data[off + i] as u64;
-        }
-        Ok(v)
+        // Fixed-width little-endian reads per size: the old byte loop (and
+        // equally a runtime-length memcpy) dominated the cost of guest loads.
+        let d = &self.data[off..];
+        Ok(match size {
+            1 => d[0] as u64,
+            2 => u16::from_le_bytes([d[0], d[1]]) as u64,
+            4 => u32::from_le_bytes([d[0], d[1], d[2], d[3]]) as u64,
+            8 => u64::from_le_bytes([d[0], d[1], d[2], d[3], d[4], d[5], d[6], d[7]]),
+            _ => {
+                let mut v = 0u64;
+                for (i, &b) in d[..size].iter().enumerate() {
+                    v |= (b as u64) << (8 * i);
+                }
+                v
+            }
+        })
     }
 
+    #[inline]
     fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), VmFault> {
         let off = self.offset(addr, size, Access::Write)?;
-        for i in 0..size {
-            self.data[off + i] = (value >> (8 * i)) as u8;
+        let le = value.to_le_bytes();
+        let d = &mut self.data[off..];
+        match size {
+            1 => d[0] = le[0],
+            2 => d[..2].copy_from_slice(&le[..2]),
+            4 => d[..4].copy_from_slice(&le[..4]),
+            8 => d[..8].copy_from_slice(&le[..8]),
+            _ => d[..size].copy_from_slice(&le[..size]),
         }
         self.epoch += 1;
         Ok(())

@@ -55,6 +55,34 @@ fn self_patch_within_one_ecall_executes_new_code() {
     assert_eq!(p.app.runtime.ecall(p.indices["victim"], &[], 0).unwrap().status, 77);
 }
 
+/// Restored SgxElide code must actually run through the superblock tier:
+/// restoration rewrites text pages, which moves their generations — the
+/// translator must re-translate and then keep serving translated blocks,
+/// not fall back to the interpreter loop forever.
+#[test]
+fn restored_code_retires_through_the_superblock_tier() {
+    use sgxelide::apps::run_workload;
+    use sgxelide::vm::interp::Engine;
+
+    let app = sgxelide::apps::sha1_app::app();
+    let mut p = launch_protected(&app, DataPlacement::Remote, 0xFA59).unwrap();
+    p.restore().unwrap();
+    assert_eq!(p.app.runtime.engine(), Engine::Superblock, "superblocks are the default");
+
+    let before = p.app.runtime.exec_stats();
+    run_workload(app.name, &mut p.app.runtime, &p.indices);
+    let after = p.app.runtime.exec_stats();
+
+    let trans = after.trans_retired - before.trans_retired;
+    let interp = after.interp_retired - before.interp_retired;
+    assert!(after.blocks_entered > before.blocks_entered, "no superblock entered");
+    assert!(after.blocks_translated > before.blocks_translated, "nothing translated");
+    assert!(
+        trans >= (trans + interp) * 9 / 10,
+        "restored hot code should retire ≥90% translated: trans={trans} interp={interp}"
+    );
+}
+
 #[test]
 fn sanitized_page_faults_as_illegal_until_restored() {
     let app = jit_patch_app();
