@@ -137,6 +137,21 @@ impl ProtectedApp {
             self.package.launch(&self.platform, transport, Arc::clone(&self.sealed), seed)?;
         Ok(())
     }
+
+    /// Relaunches from the sealed blob with **no server wired** — the
+    /// warm-start path. The next [`Self::restore`] must take the sealed
+    /// fast path; any server contact fails with a transport error.
+    ///
+    /// # Errors
+    ///
+    /// [`ElideError::NoSealedState`] before the first successful restore;
+    /// load errors as in [`Self::relaunch`].
+    pub fn warm_relaunch(&mut self, seed: u64) -> Result<(), ElideError> {
+        let plan = self.package.image_plan()?;
+        self.app =
+            self.package.warm_start(&plan, &self.platform, Arc::clone(&self.sealed), seed)?;
+        Ok(())
+    }
 }
 
 /// Builds, protects and launches `app` with an in-process server.

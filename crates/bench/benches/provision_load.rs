@@ -18,6 +18,8 @@
 //! * `ELIDE_LOAD_RATES`    — comma-separated arrival rates/s (default `25,50,100`)
 //! * `ELIDE_LOAD_REQUESTS` — arrivals per rate per mode (default `150`)
 //! * `ELIDE_LOAD_HOLD`     — concurrent connections in the hold phase (default `1000`)
+//! * `ELIDE_LOAD_HOLD_P99_BUDGET_MS` — hold-phase p99 ceiling (default `60000`);
+//!   the run aborts if the tail handshake exceeds it or any request errors
 //!
 //! Plain-main harness (`cargo bench --bench provision_load`).
 
@@ -299,6 +301,22 @@ fn main() {
     }
 
     push(run_hold(hold, &ctx));
+
+    // Hold-mode baseline: with every connection open at once the tail
+    // handshake queues behind all the others, so its latency is the
+    // plane's worst case — bound the p99 by an explicit budget (and the
+    // global errors==0 check below covers the hold phase too). The budget
+    // is deliberately loose: it exists to catch a deadlocked shard or an
+    // accept/readiness livelock, not to benchmark the runner.
+    let hold_rec = records.last().expect("hold record");
+    assert_eq!(hold_rec.errors, 0, "hold mode must complete every handshake");
+    let (_, hold_p99_ms, _) = hold_rec.percentiles_ms();
+    let p99_budget_ms = env_usize("ELIDE_LOAD_HOLD_P99_BUDGET_MS", 60_000) as f64;
+    assert!(
+        hold_p99_ms <= p99_budget_ms,
+        "hold-mode p99 {hold_p99_ms:.1} ms blew the {p99_budget_ms:.0} ms budget \
+         at {hold} held connections"
+    );
 
     let total_errors: usize = records.iter().map(|r| r.errors).sum();
     let path = write_load_json("provision_load", &records).expect("write json");

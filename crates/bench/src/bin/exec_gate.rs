@@ -9,14 +9,26 @@
 //! binary, same run), which is stable across hosts. A translator change
 //! that loses >20% of its speedup fails the gate even on a faster machine.
 //!
+//! Each app also gets an oversubscribed row: the same workload re-runs
+//! under a 4x page deficit (`EpcBudget` at resident/4). That row gates
+//! behaviour, not speed — the run must still pass the workload's
+//! differential checks, must actually page (evictions > 0, no reload
+//! failures), and must not collapse past a generous slowdown ceiling
+//! (an eviction ping-pong or paging livelock blows through it long
+//! before correctness breaks).
+//!
 //! Env:
 //! * `ELIDE_BENCH_REPS` — per-app repetitions (default 5 here; best-of).
 //! * `ELIDE_GATE_TOLERANCE` — allowed fractional ratio loss (default 0.20).
+//! * `ELIDE_GATE_EPC_MAX_SLOWDOWN` — 4x-oversubscribed slowdown ceiling
+//!   vs the unbudgeted superblock run (default 50.0).
 
 use elide_apps::harness::launch_plain;
 use elide_apps::run_workload;
 use elide_bench::workspace_root;
+use elide_crypto::rng::SeededRandom;
 use elide_vm::interp::Engine;
+use sgx_sim::budget::EpcBudget;
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -73,6 +85,10 @@ fn main() -> ExitCode {
         .unwrap_or(5);
     let tolerance: f64 =
         std::env::var("ELIDE_GATE_TOLERANCE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.20);
+    let max_slowdown: f64 = std::env::var("ELIDE_GATE_EPC_MAX_SLOWDOWN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50.0);
 
     let tracked_path = workspace_root().join("BENCH_exec_throughput.json");
     let tracked = match std::fs::read_to_string(&tracked_path) {
@@ -118,6 +134,27 @@ fn main() -> ExitCode {
             if ok { "ok" } else { "REGRESSED" }
         );
         failed |= !ok;
+
+        // Oversubscribed row: same workload, 4x page deficit. The
+        // workload's own differential checks panic on any wrong output;
+        // the gate adds the paging invariants and the slowdown ceiling.
+        let total = p.runtime.enclave().resident_reg_pages();
+        let mut budget_rng = SeededRandom::new(0xE9C);
+        p.runtime
+            .set_epc_budget(EpcBudget::new((total / 4).max(1), &mut budget_rng))
+            .expect("arm 4x budget");
+        let budget_s = best_seconds(app.name, &mut p.runtime, &p.indices, reps);
+        let stats = p.runtime.epc_budget().expect("armed").stats();
+        let slowdown = budget_s / plain_s;
+        let ok_epc = stats.evictions > 0 && stats.reload_failures == 0 && slowdown <= max_slowdown;
+        println!(
+            "{:<14} {:>14} {:>13.2}x {:>10}",
+            "  @4x-EPC",
+            format!("{} evictions", stats.evictions),
+            slowdown,
+            if ok_epc { "ok" } else { "FAILED" }
+        );
+        failed |= !ok_epc;
     }
 
     if failed {

@@ -441,6 +441,275 @@ pub fn write_latency_json(
     Ok(path)
 }
 
+/// One measured EPC-pressure configuration: enclave relaunch rates and
+/// execution throughput at a given oversubscription factor (resident page
+/// cap = total REG pages / factor).
+#[derive(Debug, Clone)]
+pub struct PressureRecord {
+    /// Benchmark app name.
+    pub app: String,
+    /// Build configuration (`"plain"` / `"elide"`).
+    pub build: &'static str,
+    /// EPC oversubscription factor (1 = whole working set resident).
+    pub factor: usize,
+    /// Resident REG-page cap derived from the factor.
+    pub page_cap: usize,
+    /// Total REG pages the enclave holds when unconstrained.
+    pub total_pages: usize,
+    /// Warm relaunches per second (sealed fast-path restore for the elide
+    /// build; pre-parsed [`elide_enclave::loader::ImagePlan`] reload for
+    /// plain).
+    pub warm_per_s: f64,
+    /// Cold launches per second (full attested handshake for the elide
+    /// build; ELF re-parse + load for plain).
+    pub cold_per_s: f64,
+    /// Execution throughput under the page cap, millions of guest
+    /// instructions per second (best-of-reps).
+    pub mips: f64,
+    /// Page evictions (EWB) during the throughput region.
+    pub evictions: u64,
+    /// Page reloads (ELDU) during the throughput region.
+    pub reloads: u64,
+}
+
+impl PressureRecord {
+    /// Warm-over-cold relaunch speedup.
+    pub fn speedup(&self) -> f64 {
+        if self.cold_per_s > 0.0 {
+            self.warm_per_s / self.cold_per_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Renders EPC-pressure records as JSON.
+pub fn pressure_records_json(bench: &str, records: &[PressureRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
+    out.push_str("  \"unit\": \"relaunches_per_second\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"build\": \"{}\", \"factor\": {}, \"page_cap\": {}, \
+             \"total_pages\": {}, \"warm_per_s\": {:.1}, \"cold_per_s\": {:.1}, \
+             \"speedup\": {:.2}, \"mips\": {:.3}, \"evictions\": {}, \"reloads\": {}}}{}\n",
+            json_escape(&r.app),
+            json_escape(r.build),
+            r.factor,
+            r.page_cap,
+            r.total_pages,
+            r.warm_per_s,
+            r.cold_per_s,
+            r.speedup(),
+            r.mips,
+            r.evictions,
+            r.reloads,
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_<bench>.json` (pressure schema) at the workspace root.
+///
+/// # Errors
+///
+/// Propagates the underlying file-write error.
+pub fn write_pressure_json(
+    bench: &str,
+    records: &[PressureRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = workspace_root().join(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, pressure_records_json(bench, records))?;
+    Ok(path)
+}
+
+/// The oversubscription factors the EPC-pressure bench sweeps.
+pub const PRESSURE_FACTORS: [usize; 3] = [1, 4, 16];
+
+/// Times the throughput region (`reps` workload repetitions, best-of) on a
+/// runtime whose budget is already armed, returning (mips, evictions,
+/// reloads) accumulated over the whole region.
+fn pressure_mips(
+    name: &str,
+    rt: &mut elide_enclave::runtime::EnclaveRuntime,
+    indices: &std::collections::HashMap<String, u64>,
+    reps: usize,
+) -> (f64, u64, u64) {
+    run_workload(name, rt, indices); // warmup (first-touch reloads)
+    let mut best = f64::INFINITY;
+    let mut instructions = 0;
+    for _ in 0..reps {
+        let base = rt.retired_total();
+        let t0 = Instant::now();
+        run_workload(name, rt, indices);
+        let seconds = t0.elapsed().as_secs_f64();
+        instructions = rt.retired_total() - base;
+        if seconds < best {
+            best = seconds;
+        }
+    }
+    let (ev, rl) =
+        rt.epc_budget().map(|b| (b.stats().evictions, b.stats().reloads)).unwrap_or((0, 0));
+    (instructions as f64 / best / 1e6, ev, rl)
+}
+
+/// Measures the **elide** build of `app` under EPC pressure: cold
+/// full-handshake launch rate once, then per factor the warm sealed-restore
+/// rate and execution throughput under the derived page cap.
+///
+/// # Panics
+///
+/// Panics if any pipeline stage fails (benchmark harness context).
+pub fn epc_pressure_elide(app: &App, reps: usize) -> Vec<PressureRecord> {
+    use elide_core::api::{protect, Mode, Platform};
+    use elide_core::protocol::InProcessTransport;
+    use elide_core::restore::new_sealed_store;
+    use elide_crypto::rsa::RsaKeyPair;
+    use sgx_sim::budget::EpcBudget;
+    use sgx_sim::quote::AttestationService;
+    use std::sync::{Arc, Mutex};
+
+    let image = app.build_elide_image().expect("build");
+    let mut rng = SeededRandom::new(0xE9C);
+    let vendor = RsaKeyPair::generate(512, &mut rng);
+    let package = protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng)
+        .expect("protect");
+    let mut ias = AttestationService::new();
+    let platform = Platform::provision(&mut rng, &mut ias);
+    let server = Arc::new(package.make_server(ias));
+    let plan = package.image_plan().expect("plan");
+    let indices = app.protected_indices();
+    let restore_idx = indices["elide_restore"];
+
+    // Provision once: the sealed blob every warm start below reuses.
+    let sealed = new_sealed_store();
+    let transport = Arc::new(Mutex::new(InProcessTransport::new(Arc::clone(&server))));
+    let mut launched = package
+        .launch_planned(&plan, &platform, transport, Arc::clone(&sealed), 0xC01D)
+        .expect("launch");
+    launched.restore(restore_idx).expect("restore");
+    let total_pages = launched.runtime.enclave().resident_reg_pages();
+    drop(launched);
+
+    // Cold rate: every cycle pays ELF-planned load + DH + attestation +
+    // GCM transfer (fresh sealed store each time).
+    let t0 = Instant::now();
+    for i in 0..reps {
+        let transport = Arc::new(Mutex::new(InProcessTransport::new(Arc::clone(&server))));
+        let mut l = package
+            .launch_planned(&plan, &platform, transport, new_sealed_store(), 0xC01D + i as u64)
+            .expect("launch");
+        l.restore(restore_idx).expect("restore");
+    }
+    let cold_per_s = reps as f64 / t0.elapsed().as_secs_f64();
+
+    let mut records = Vec::new();
+    for factor in PRESSURE_FACTORS {
+        let page_cap = (total_pages / factor).max(1);
+
+        // Warm rate under the cap: load from the plan, arm the budget,
+        // sealed fast-path restore — zero server contact.
+        let t0 = Instant::now();
+        let mut last = None;
+        for i in 0..reps {
+            let mut l = package
+                .warm_start(&plan, &platform, Arc::clone(&sealed), 0x3A91 + i as u64)
+                .expect("warm start");
+            let mut brng = SeededRandom::new(0xB0D6 + i as u64);
+            l.runtime.set_epc_budget(EpcBudget::new(page_cap, &mut brng)).expect("budget");
+            l.restore(restore_idx).expect("warm restore");
+            last = Some(l);
+        }
+        let warm_per_s = reps as f64 / t0.elapsed().as_secs_f64();
+
+        let mut l = last.expect("reps > 0");
+        let (mips, evictions, reloads) = pressure_mips(app.name, &mut l.runtime, &indices, reps);
+        records.push(PressureRecord {
+            app: app.name.to_string(),
+            build: "elide",
+            factor,
+            page_cap,
+            total_pages,
+            warm_per_s,
+            cold_per_s,
+            mips,
+            evictions,
+            reloads,
+        });
+    }
+    records
+}
+
+/// Measures the **plain** build of `app` under EPC pressure. "Cold" pays
+/// the ELF parse + load every cycle; "warm" reloads from a pre-parsed
+/// [`elide_enclave::loader::ImagePlan`]. There is no restore step.
+///
+/// # Panics
+///
+/// Panics if any pipeline stage fails.
+pub fn epc_pressure_plain(app: &App, reps: usize) -> Vec<PressureRecord> {
+    use elide_crypto::rsa::RsaKeyPair;
+    use elide_enclave::loader::{sign_enclave, ImagePlan};
+    use elide_enclave::runtime::EnclaveRuntime;
+    use sgx_sim::budget::EpcBudget;
+
+    let image = app.build_plain_image().expect("build");
+    let mut rng = SeededRandom::new(0xB1A);
+    let cpu = sgx_sim::SgxCpu::new(&mut rng);
+    let vendor = RsaKeyPair::generate(512, &mut rng);
+    let sigstruct = sign_enclave(&image, &vendor, 1, 1).expect("sign");
+    let plan = ImagePlan::new(&image).expect("plan");
+    let indices = app.plain_indices();
+
+    let probe = plan.load(&cpu, &sigstruct).expect("load");
+    let total_pages = probe.enclave.resident_reg_pages();
+    drop(probe);
+
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        let p = ImagePlan::new(&image).expect("plan");
+        std::hint::black_box(p.load(&cpu, &sigstruct).expect("load"));
+    }
+    let cold_per_s = reps as f64 / t0.elapsed().as_secs_f64();
+
+    let mut records = Vec::new();
+    for factor in PRESSURE_FACTORS {
+        let page_cap = (total_pages / factor).max(1);
+
+        let t0 = Instant::now();
+        let mut last = None;
+        for i in 0..reps {
+            let loaded = plan.load(&cpu, &sigstruct).expect("load");
+            let mut rt =
+                EnclaveRuntime::with_rng(loaded, Box::new(SeededRandom::new(0x11 + i as u64)));
+            let mut brng = SeededRandom::new(0xB0D6 + i as u64);
+            rt.set_epc_budget(EpcBudget::new(page_cap, &mut brng)).expect("budget");
+            last = Some(rt);
+        }
+        let warm_per_s = reps as f64 / t0.elapsed().as_secs_f64();
+
+        let mut rt = last.expect("reps > 0");
+        let (mips, evictions, reloads) = pressure_mips(app.name, &mut rt, &indices, reps);
+        records.push(PressureRecord {
+            app: app.name.to_string(),
+            build: "plain",
+            factor,
+            page_cap,
+            total_pages,
+            warm_per_s,
+            cold_per_s,
+            mips,
+            evictions,
+            reloads,
+        });
+    }
+    records
+}
+
 /// A percentile of a **sorted** sample (nearest-rank), in the sample's
 /// own unit. Returns 0.0 for an empty sample.
 pub fn percentile(sorted: &[f64], q: f64) -> f64 {

@@ -14,7 +14,7 @@ use crate::server::{AuthServer, ExpectedIdentity};
 use crate::whitelist::Whitelist;
 use elide_crypto::rng::{RandomSource, SeededRandom};
 use elide_crypto::rsa::RsaKeyPair;
-use elide_enclave::loader::{load_enclave, measure_enclave, sign_enclave};
+use elide_enclave::loader::{measure_enclave, sign_enclave, ImagePlan};
 use elide_enclave::runtime::EnclaveRuntime;
 use sgx_sim::quote::{AttestationService, QuotingEnclave};
 use sgx_sim::sigstruct::SigStruct;
@@ -154,7 +154,34 @@ impl ProtectedPackage {
         sealed: SealedStore,
         seed: u64,
     ) -> Result<LaunchedApp, ElideError> {
-        let loaded = load_enclave(&platform.cpu, &self.image, &self.sigstruct)?;
+        self.launch_planned(&self.image_plan()?, platform, transport, sealed, seed)
+    }
+
+    /// Pre-parses this package's image into an [`ImagePlan`] so repeated
+    /// launches (warm starts, pool cycling) skip the ELF walk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates image parse failures.
+    pub fn image_plan(&self) -> Result<ImagePlan, ElideError> {
+        Ok(ImagePlan::new(&self.image)?)
+    }
+
+    /// [`Self::launch`] from a pre-parsed [`ImagePlan`] (must come from
+    /// this package's image).
+    ///
+    /// # Errors
+    ///
+    /// Propagates load/`EINIT` failures.
+    pub fn launch_planned(
+        &self,
+        plan: &ImagePlan,
+        platform: &Platform,
+        transport: Arc<Mutex<dyn Transport + Send>>,
+        sealed: SealedStore,
+        seed: u64,
+    ) -> Result<LaunchedApp, ElideError> {
+        let loaded = plan.load(&platform.cpu, &self.sigstruct)?;
         let mut runtime = EnclaveRuntime::with_rng(loaded, Box::new(SeededRandom::new(seed)));
         let errors = install_elide_ocalls(
             &mut runtime,
@@ -163,6 +190,33 @@ impl ProtectedPackage {
             self.files(sealed),
         );
         Ok(LaunchedApp { runtime, errors })
+    }
+
+    /// Warm start: relaunches a previously provisioned enclave from its
+    /// sealed blob, with **no server behind it** — the restore must take
+    /// the sealed fast path (decrypt under `EGETKEY`), skipping the
+    /// DH+attestation round-trip entirely. Pair with
+    /// [`LaunchedApp::restore`]: a restore that tries to reach the server
+    /// fails with a transport error rather than silently re-handshaking.
+    ///
+    /// # Errors
+    ///
+    /// * [`ElideError::NoSealedState`] — the store holds no blob (the
+    ///   enclave was never provisioned on this host).
+    /// * Load/`EINIT` failures as in [`Self::launch`].
+    pub fn warm_start(
+        &self,
+        plan: &ImagePlan,
+        platform: &Platform,
+        sealed: SealedStore,
+        seed: u64,
+    ) -> Result<LaunchedApp, ElideError> {
+        if sealed.lock().unwrap_or_else(std::sync::PoisonError::into_inner).is_none() {
+            return Err(ElideError::NoSealedState);
+        }
+        let transport: Arc<Mutex<dyn Transport + Send>> =
+            Arc::new(Mutex::new(crate::protocol::OfflineTransport));
+        self.launch_planned(plan, platform, transport, sealed, seed)
     }
 }
 

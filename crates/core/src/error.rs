@@ -24,6 +24,10 @@ pub enum ElideError {
     Transport(String),
     /// A secret-store registration/loading failure.
     Store(String),
+    /// A warm start was requested but no sealed blob exists — the enclave
+    /// was never provisioned (or its sealed state was discarded); a cold
+    /// launch with a full attested handshake is required first.
+    NoSealedState,
 }
 
 /// Errors the authentication server reports.
@@ -80,6 +84,9 @@ impl fmt::Display for ElideError {
             ElideError::Server(e) => write!(f, "server error: {e}"),
             ElideError::Transport(s) => write!(f, "transport error: {s}"),
             ElideError::Store(s) => write!(f, "secret store error: {s}"),
+            ElideError::NoSealedState => {
+                write!(f, "no sealed state: the enclave must be provisioned (cold) first")
+            }
         }
     }
 }

@@ -53,6 +53,11 @@ pub struct FaultConfig {
     pub worker_panic_limit: u64,
     /// A secret-store read fails server-side (`ServerError::Internal`).
     pub store_io_ppm: u32,
+    /// An eviction blob is corrupted by the untrusted OS while it sits
+    /// between `EWB` and `ELDU` — the rate handed to
+    /// `EpcBudget::set_tamper` when a schedule runs under a bounded EPC
+    /// (see [`FaultPlan::epc_tamper_params`]).
+    pub epc_tamper_ppm: u32,
 }
 
 impl FaultConfig {
@@ -68,6 +73,7 @@ impl FaultConfig {
             worker_panic_ppm: 0,
             worker_panic_limit: 0,
             store_io_ppm: 0,
+            epc_tamper_ppm: 0,
         }
     }
 
@@ -102,6 +108,9 @@ pub struct FaultCounts {
     pub worker_panics: u64,
     /// Store I/O errors.
     pub store_io_errors: u64,
+    /// Eviction blobs corrupted under a bounded EPC (folded in from the
+    /// budget's own counter via [`FaultPlan::note_epc_tampers`]).
+    pub epc_tampers: u64,
 }
 
 impl FaultCounts {
@@ -114,6 +123,7 @@ impl FaultCounts {
             + self.torn_writes
             + self.worker_panics
             + self.store_io_errors
+            + self.epc_tampers
     }
 }
 
@@ -126,6 +136,7 @@ struct Stats {
     torn_writes: AtomicU64,
     worker_panics: AtomicU64,
     store_io_errors: AtomicU64,
+    epc_tampers: AtomicU64,
 }
 
 struct PlanInner {
@@ -198,6 +209,7 @@ impl FaultPlan {
             torn_writes: s.torn_writes.load(Ordering::Relaxed),
             worker_panics: s.worker_panics.load(Ordering::Relaxed),
             store_io_errors: s.store_io_errors.load(Ordering::Relaxed),
+            epc_tampers: s.epc_tampers.load(Ordering::Relaxed),
         }
     }
 
@@ -268,6 +280,30 @@ impl FaultPlan {
         }
         self.inner.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
         true
+    }
+
+    /// The seed and rate for arming an `EpcBudget`'s eviction-blob
+    /// tamperer, or `None` when the config leaves EPC tampering off.
+    ///
+    /// The seed is drawn from the plan's own stream, so the budget's
+    /// corruption schedule replays with the plan — and because nothing is
+    /// drawn when the rate is zero, plans without EPC faults replay their
+    /// historical schedules unchanged.
+    pub fn epc_tamper_params(&self) -> Option<(u64, u32)> {
+        let ppm = self.inner.config.epc_tamper_ppm;
+        if ppm == 0 {
+            return None;
+        }
+        let seed = self.inner.rng.lock().unwrap_or_else(|p| p.into_inner()).next_u64();
+        Some((seed, ppm))
+    }
+
+    /// Folds `n` eviction-blob corruptions into this plan's totals. The
+    /// budget injects and counts its own tampers (it owns the eviction
+    /// path); the harness reports them back here so one set of counts
+    /// covers every substrate.
+    pub fn note_epc_tampers(&self, n: u64) {
+        self.inner.stats.epc_tampers.fetch_add(n, Ordering::Relaxed);
     }
 
     /// True if the next secret-store read should fail.
@@ -614,6 +650,24 @@ mod tests {
             Framed::new(FaultyWire::new(b, plan.clone()), Limits::default()).unwrap();
         assert_eq!(receiver.recv().unwrap(), Some((3, b"fragmented frame".to_vec())));
         assert!(plan.counts().short_reads > 1);
+    }
+
+    #[test]
+    fn epc_tamper_params_replay_and_count() {
+        // Off by default: no params, and no draw that would shift replay.
+        let off = FaultPlan::new(9, FaultConfig::off());
+        assert_eq!(off.epc_tamper_params(), None);
+
+        let config = FaultConfig { epc_tamper_ppm: 250_000, ..FaultConfig::off() };
+        let a = FaultPlan::new(9, config);
+        let b = FaultPlan::new(9, config);
+        assert_eq!(a.epc_tamper_params(), b.epc_tamper_params());
+        assert_eq!(a.epc_tamper_params().unwrap().1, 250_000);
+
+        // Budget-reported tampers land in the unified totals.
+        a.note_epc_tampers(5);
+        assert_eq!(a.counts().epc_tampers, 5);
+        assert_eq!(a.counts().total(), 5);
     }
 
     #[test]

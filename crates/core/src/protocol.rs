@@ -242,6 +242,21 @@ impl Transport for InProcessTransport {
     }
 }
 
+/// A transport with no server behind it: every request fails.
+///
+/// Warm starts restore from the sealed blob alone, so they wire the
+/// enclave against this — any attempt to reach the authentication server
+/// (i.e. the sealed fast path NOT being taken) fails loudly instead of
+/// silently re-running the DH+attestation round-trip.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OfflineTransport;
+
+impl Transport for OfflineTransport {
+    fn request(&mut self, _req: u8, _payload: &[u8]) -> Result<Vec<u8>, ElideError> {
+        Err(ElideError::Transport("offline warm start: no server available".into()))
+    }
+}
+
 /// A `Duration` helper: exponential backoff series for retry loops.
 pub(crate) fn backoff_series(initial: Duration, max: Duration, attempts: u32) -> Vec<Duration> {
     let mut out = Vec::with_capacity(attempts as usize);

@@ -16,8 +16,11 @@
 //! implementation of the server side of the protocol.
 
 mod conn;
+pub mod pool;
 mod shard;
 mod timer;
+
+pub use pool::{EnclavePool, PoolConfig, PoolStats};
 
 use crate::faults::FaultPlan;
 use crate::protocol::{server_error_to_status, STATUS_OK};

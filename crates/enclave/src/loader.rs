@@ -143,6 +143,97 @@ pub struct LoadedEnclave {
     pub stack_top: u64,
 }
 
+/// A pre-parsed, page-granular load plan for one image: the ELF walk and
+/// page staging happen once, so repeated loads of the same image — the
+/// warm-start path, and the enclave pool cycling instances in and out —
+/// skip straight to the architectural `ECREATE`/`EADD`/`EEXTEND`/`EINIT`
+/// sequence.
+pub struct ImagePlan {
+    base: u64,
+    size: u64,
+    entry: u64,
+    stack_top: u64,
+    plans: Vec<PagePlan>,
+    /// MRENCLAVE of this exact page set, measured once at plan time. Loads
+    /// replay the pages unmeasured and `EINIT` against this cached digest
+    /// (see [`sgx_sim::Enclave::einit_measured`]) — the page contents are
+    /// immutable in `plans`, so re-hashing them per load would recompute
+    /// the same value.
+    mrenclave: [u8; 32],
+}
+
+impl std::fmt::Debug for ImagePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImagePlan")
+            .field("base", &format_args!("{:#x}", self.base))
+            .field("size", &self.size)
+            .field("pages", &self.plans.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ImagePlan {
+    /// Parses `image` and stages its pages.
+    ///
+    /// # Errors
+    ///
+    /// * [`EnclaveError::Elf`] — malformed image.
+    /// * [`EnclaveError::MissingSymbol`] — no `__stack_top` (not linked
+    ///   against the tRTS).
+    pub fn new(image: &[u8]) -> Result<Self, EnclaveError> {
+        let elf = ElfFile::parse(image.to_vec())?;
+        let entry = elf.header().e_entry;
+        let stack_top = elf
+            .symbol_by_name("__stack_top")
+            .map(|s| s.value)
+            .ok_or_else(|| EnclaveError::MissingSymbol("__stack_top".into()))?;
+        let (base, size, plans) = plan_pages(&elf)?;
+        let mut m = Measurement::ecreate(size);
+        for page in &plans {
+            let off = page.vaddr - base;
+            m.eadd(off, page.perms, PageType::Reg);
+            for (c, chunk) in page.data.chunks_exact(EEXTEND_CHUNK).enumerate() {
+                m.eextend(
+                    off + (c * EEXTEND_CHUNK) as u64,
+                    chunk.try_into().expect("256-byte chunk"),
+                );
+            }
+        }
+        let mrenclave = m.finalize();
+        Ok(ImagePlan { base, size, entry, stack_top, plans, mrenclave })
+    }
+
+    /// Number of pages the image `EADD`s — the denominator of an EPC
+    /// oversubscription factor.
+    pub fn pages(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// MRENCLAVE of this page set (what every load of the plan measures).
+    pub fn mrenclave(&self) -> [u8; 32] {
+        self.mrenclave
+    }
+
+    /// Replays the load sequence on `cpu` via the snapshot fast path:
+    /// `ECREATE`, unmeasured `EADD` of the staged pages, then `EINIT`
+    /// against the digest measured once at plan time — repeated loads
+    /// (warm starts, pool cycling) skip the per-chunk `EEXTEND` hashing
+    /// that otherwise dominates launch latency.
+    ///
+    /// # Errors
+    ///
+    /// [`EnclaveError::Sgx`] — `EINIT` rejected the SIGSTRUCT, e.g.
+    /// because the image was modified after signing.
+    pub fn load(&self, cpu: &SgxCpu, sigstruct: &SigStruct) -> Result<LoadedEnclave, EnclaveError> {
+        let mut enclave = cpu.ecreate(self.base, self.size)?;
+        for page in &self.plans {
+            enclave.eadd_unmeasured(page.vaddr, &page.data, page.perms, PageType::Reg)?;
+        }
+        enclave.einit_measured(sigstruct, self.mrenclave)?;
+        Ok(LoadedEnclave { enclave, entry: self.entry, stack_top: self.stack_top })
+    }
+}
+
 /// Loads `image` into a fresh enclave on `cpu` and initializes it against
 /// `sigstruct`.
 ///
@@ -158,23 +249,7 @@ pub fn load_enclave(
     image: &[u8],
     sigstruct: &SigStruct,
 ) -> Result<LoadedEnclave, EnclaveError> {
-    let elf = ElfFile::parse(image.to_vec())?;
-    let entry = elf.header().e_entry;
-    let stack_top = elf
-        .symbol_by_name("__stack_top")
-        .map(|s| s.value)
-        .ok_or_else(|| EnclaveError::MissingSymbol("__stack_top".into()))?;
-
-    let (base, size, plans) = plan_pages(&elf)?;
-    let mut enclave = cpu.ecreate(base, size)?;
-    for page in &plans {
-        enclave.eadd(page.vaddr, &page.data, page.perms, PageType::Reg)?;
-        for c in 0..(PAGE_SIZE / EEXTEND_CHUNK as u64) {
-            enclave.eextend(page.vaddr + c * EEXTEND_CHUNK as u64)?;
-        }
-    }
-    enclave.einit(sigstruct)?;
-    Ok(LoadedEnclave { enclave, entry, stack_top })
+    ImagePlan::new(image)?.load(cpu, sigstruct)
 }
 
 #[cfg(test)]

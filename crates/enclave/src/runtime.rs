@@ -19,6 +19,7 @@ use elide_crypto::sha2::Sha256;
 use elide_vm::interp::{Engine, ExecStats, Exit, Vm};
 use elide_vm::isa::{intrinsics, NUM_REGS};
 use elide_vm::mem::{Access, Bus, VmFault, CODE_PAGE_SIZE};
+use sgx_sim::budget::EpcBudget;
 use sgx_sim::enclave::AccessKind;
 use sgx_sim::epc::PagePerms;
 use sgx_sim::keys::SealPolicy;
@@ -139,6 +140,11 @@ pub struct EnclaveWorld {
     os_readonly: Vec<(u64, u64)>,
     /// Models a malicious OS that ignores `mprotect` requests.
     malicious_os: bool,
+    /// Bounded-EPC mode: when set, resident pages are capped and the miss
+    /// paths below transparently `ELDU` evicted pages back in. `None`
+    /// (the default) costs nothing — the hot paths only consult it after
+    /// an access already missed.
+    budget: Option<EpcBudget>,
 }
 
 fn map_sgx_fault(e: sgx_sim::SgxError, addr: u64, access: Access) -> VmFault {
@@ -156,11 +162,39 @@ impl EnclaveWorld {
         addr >= self.enclave.base() && addr < self.enclave.base() + self.enclave.size()
     }
 
+    /// Reloads the evicted page a range operation faulted on, for up to
+    /// one retry per page the range can touch. Returns `Err` (propagating
+    /// the original fault) once the retry budget is exhausted — a single
+    /// access spanning more pages than the EPC cap must fault, not
+    /// livelock on eviction ping-pong.
+    fn retry_after_page_in(
+        &mut self,
+        e: &sgx_sim::SgxError,
+        access: Access,
+        retries: &mut usize,
+    ) -> Result<bool, VmFault> {
+        if let sgx_sim::SgxError::PageNotPresent { addr } = *e {
+            if *retries > 0 && self.budget_page_in(addr, access)? {
+                *retries -= 1;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
     fn read_guest(&mut self, addr: u64, len: usize) -> Result<Vec<u8>, VmFault> {
         if self.in_enclave(addr) {
-            self.enclave
-                .read(addr, len, AccessKind::Read)
-                .map_err(|e| map_sgx_fault(e, addr, Access::Read))
+            let mut retries = 2 + len / 4096;
+            loop {
+                match self.enclave.read(addr, len, AccessKind::Read) {
+                    Ok(v) => return Ok(v),
+                    Err(e) => {
+                        if !self.retry_after_page_in(&e, Access::Read, &mut retries)? {
+                            return Err(map_sgx_fault(e, addr, Access::Read));
+                        }
+                    }
+                }
+            }
         } else {
             self.untrusted
                 .read(addr, len)
@@ -172,9 +206,17 @@ impl EnclaveWorld {
     /// load path: the destination is a caller-owned stack buffer.
     fn read_guest_into(&mut self, addr: u64, buf: &mut [u8]) -> Result<(), VmFault> {
         if self.in_enclave(addr) {
-            self.enclave
-                .read_into(addr, buf, AccessKind::Read)
-                .map_err(|e| map_sgx_fault(e, addr, Access::Read))
+            let mut retries = 2 + buf.len() / 4096;
+            loop {
+                match self.enclave.read_into(addr, buf, AccessKind::Read) {
+                    Ok(()) => return Ok(()),
+                    Err(e) => {
+                        if !self.retry_after_page_in(&e, Access::Read, &mut retries)? {
+                            return Err(map_sgx_fault(e, addr, Access::Read));
+                        }
+                    }
+                }
+            }
         } else {
             self.untrusted
                 .read_into(addr, buf)
@@ -203,12 +245,32 @@ impl EnclaveWorld {
             if !self.os_write_allowed(addr, data.len() as u64) {
                 return Err(VmFault::AccessViolation { addr, access: Access::Write });
             }
-            self.enclave.write(addr, data).map_err(|e| map_sgx_fault(e, addr, Access::Write))
+            let mut retries = 2 + data.len() / 4096;
+            loop {
+                match self.enclave.write(addr, data) {
+                    Ok(()) => return Ok(()),
+                    Err(e) => {
+                        if !self.retry_after_page_in(&e, Access::Write, &mut retries)? {
+                            return Err(map_sgx_fault(e, addr, Access::Write));
+                        }
+                    }
+                }
+            }
         } else {
             self.untrusted
                 .write(addr, data)
                 .map_err(|_| VmFault::Unmapped { addr, access: Access::Write })
         }
+    }
+
+    /// Attempts a transparent reload of the evicted page containing
+    /// `addr`. `Ok(true)` iff a page came back (retry the access);
+    /// `Ok(false)` when no budget is armed or the page is not evicted
+    /// (the miss is genuine). A blob failing its integrity/freshness
+    /// checks is a fault at `addr` — the guest sees the page as gone.
+    fn budget_page_in(&mut self, addr: u64, access: Access) -> Result<bool, VmFault> {
+        let Some(budget) = self.budget.as_mut() else { return Ok(false) };
+        budget.page_in(&mut self.enclave, addr).map_err(|e| map_sgx_fault(e, addr, access))
     }
 }
 
@@ -221,6 +283,11 @@ impl Bus for EnclaveWorld {
         if let Some(v) = self.enclave.load_prim(addr, size) {
             return Ok(v);
         }
+        if self.budget_page_in(addr, Access::Read)? {
+            if let Some(v) = self.enclave.load_prim(addr, size) {
+                return Ok(v);
+            }
+        }
         let mut buf = [0u8; 8];
         self.read_guest_into(addr, &mut buf[..size])?;
         Ok(u64::from_le_bytes(buf))
@@ -229,10 +296,15 @@ impl Bus for EnclaveWorld {
     #[inline]
     fn store(&mut self, addr: u64, size: usize, value: u64) -> Result<(), VmFault> {
         debug_assert!(size <= 8);
-        if self.os_write_allowed(addr, size as u64)
-            && self.enclave.store_prim(addr, size, value).is_some()
-        {
-            return Ok(());
+        if self.os_write_allowed(addr, size as u64) {
+            if self.enclave.store_prim(addr, size, value).is_some() {
+                return Ok(());
+            }
+            if self.budget_page_in(addr, Access::Write)?
+                && self.enclave.store_prim(addr, size, value).is_some()
+            {
+                return Ok(());
+            }
         }
         let bytes = value.to_le_bytes();
         self.write_guest(addr, &bytes[..size])
@@ -250,9 +322,16 @@ impl Bus for EnclaveWorld {
             }
         }
         let mut raw = [0u8; 8];
-        self.enclave
-            .read_into(addr, &mut raw, AccessKind::Execute)
-            .map_err(|e| map_sgx_fault(e, addr, Access::Execute))?;
+        if let Err(e) = self.enclave.read_into(addr, &mut raw, AccessKind::Execute) {
+            let reloaded = matches!(e, sgx_sim::SgxError::PageNotPresent { .. })
+                && self.budget_page_in(addr, Access::Execute)?;
+            if !reloaded {
+                return Err(map_sgx_fault(e, addr, Access::Execute));
+            }
+            self.enclave
+                .read_into(addr, &mut raw, AccessKind::Execute)
+                .map_err(|e| map_sgx_fault(e, addr, Access::Execute))?;
+        }
         Ok(raw)
     }
 
@@ -265,9 +344,18 @@ impl Bus for EnclaveWorld {
         if self.page_trace.is_some() || !self.in_enclave(page_addr) {
             return None;
         }
+        if self.enclave.page_perms(page_addr).is_none() {
+            // An evicted code page: bring it back before the engine gives
+            // up on page-granular execution. Reload failures fall through
+            // to the per-instruction fetch path, which faults properly.
+            let budget = self.budget.as_mut()?;
+            budget.page_in(&mut self.enclave, page_addr).ok()?;
+        }
         if !self.enclave.page_perms(page_addr)?.executable() {
             return None;
         }
+        // LRU accounting: block entry is the execute-side access.
+        self.enclave.note_exec(page_addr);
         self.enclave.page_generation(page_addr)
     }
 
@@ -276,6 +364,9 @@ impl Bus for EnclaveWorld {
         page_addr: u64,
         buf: &mut [u8; CODE_PAGE_SIZE as usize],
     ) -> Result<u64, VmFault> {
+        if self.enclave.page_generation(page_addr).is_none() {
+            self.budget_page_in(page_addr, Access::Execute)?;
+        }
         let gen = self
             .enclave
             .page_generation(page_addr)
@@ -445,6 +536,7 @@ impl EnclaveRuntime {
                 page_trace: None,
                 os_readonly: Vec::new(),
                 malicious_os: false,
+                budget: None,
             },
             entry: loaded.entry,
             stack_top: loaded.stack_top,
@@ -487,6 +579,41 @@ impl EnclaveRuntime {
     /// the (untrusted) kernel driver manipulating EPC mappings.
     pub fn world_mut(&mut self) -> &mut EnclaveWorld {
         &mut self.world
+    }
+
+    /// Arms bounded-EPC mode: caps resident pages at `budget.cap_pages()`
+    /// and immediately enforces the cap (evicting LRU victims), so the
+    /// runtime starts within budget. Subsequent accesses to evicted pages
+    /// transparently reload them. The current resident set is captured as
+    /// the budget's clean backing first, so pristine pages page out and
+    /// back as plain copies rather than EWB/ELDU sealing cycles until
+    /// they are first written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates paging failures from the initial enforcement.
+    pub fn set_epc_budget(&mut self, mut budget: EpcBudget) -> Result<usize, EnclaveError> {
+        budget.capture_backing(&self.world.enclave);
+        let evicted = budget.enforce(&mut self.world.enclave).map_err(EnclaveError::Sgx)?;
+        self.world.budget = Some(budget);
+        Ok(evicted)
+    }
+
+    /// The armed EPC budget, if any (counters for benches/tests).
+    pub fn epc_budget(&self) -> Option<&EpcBudget> {
+        self.world.budget.as_ref()
+    }
+
+    /// Mutable access to the armed EPC budget (e.g. to arm tampering).
+    pub fn epc_budget_mut(&mut self) -> Option<&mut EpcBudget> {
+        self.world.budget.as_mut()
+    }
+
+    /// Disarms bounded-EPC mode, returning the budget (with any evicted
+    /// blobs it still holds — reload them first if the enclave should
+    /// keep running unbounded).
+    pub fn take_epc_budget(&mut self) -> Option<EpcBudget> {
+        self.world.budget.take()
     }
 
     /// The untrusted marshal area.
@@ -898,6 +1025,50 @@ ptbuf: .zero 16
         assert_eq!(r.status, 7);
         assert!(r.instructions > 1800, "retired {} across resumes", r.instructions);
         assert!(rt.retired_total() > r.instructions);
+    }
+
+    #[test]
+    fn ecalls_survive_a_tight_epc_budget() {
+        // A workload whose code, stack and data straddle several pages,
+        // run under a cap far below the image's page count: every access
+        // class (load, store, fetch, superblock entry) must transparently
+        // reload evicted pages and produce identical results.
+        let user = "
+.section text
+.global sum_table
+.func sum_table
+    la   r1, table
+    movi r2, 512
+    movi r0, 0
+    movi r5, 0
+.l:
+    ld64 r3, [r1]
+    add  r0, r0, r3
+    st64 r0, [r1]
+    addi r1, r1, 8
+    addi r2, r2, -1
+    bne  r2, r5, .l
+    ret
+.endfunc
+.section data
+table: .zero 4096
+";
+        let mut rt = build_runtime(user, &["sum_table"]);
+        let baseline = rt.ecall(0, &[], 0).unwrap();
+
+        let mut rt2 = build_runtime(user, &["sum_table"]);
+        let total_pages = rt2.enclave().resident_pages().len();
+        let mut rng = SeededRandom::new(3);
+        let evicted = rt2.set_epc_budget(EpcBudget::new(2, &mut rng)).unwrap();
+        assert!(evicted > 0, "cap of 2 must evict some of the {total_pages} pages");
+        for _ in 0..3 {
+            let r = rt2.ecall(0, &[], 0).unwrap();
+            assert_eq!(r.status, baseline.status);
+        }
+        let stats = rt2.epc_budget().unwrap().stats();
+        assert!(stats.reloads > 0, "budgeted run must have paged: {stats:?}");
+        assert_eq!(stats.reload_failures, 0);
+        assert!(rt2.enclave().resident_reg_pages() <= 2, "cap must hold after the run");
     }
 
     #[test]

@@ -84,6 +84,8 @@ impl SgxCpu {
             size,
             pages: vec![None; slots],
             page_gens: vec![0; slots],
+            access_stamps: vec![0; slots],
+            access_clock: 0,
             epoch: 0,
             measurement: Some(Measurement::ecreate(size)),
             mrenclave: [0; 32],
@@ -106,6 +108,13 @@ pub struct Enclave {
     /// restore, or eviction touching the page. The interpreter's decode
     /// cache uses them for icache-style invalidation.
     page_gens: Vec<u64>,
+    /// Per-page access stamps (same indexing): moved on every load, store
+    /// and execute entry touching the page. Unlike `page_gens` these never
+    /// invalidate anything — they only order pages by recency so the EPC
+    /// budget ([`crate::budget::EpcBudget`]) can pick LRU eviction victims.
+    access_stamps: Vec<u64>,
+    /// Monotonic source for access stamps.
+    access_clock: u64,
     /// Monotonic source for generation stamps.
     epoch: u64,
     measurement: Option<Measurement>,
@@ -181,9 +190,52 @@ impl Enclave {
         let idx = (off / PAGE_SIZE) as usize;
         self.epoch += 1;
         self.page_gens[idx] = self.epoch;
+        self.touch_idx(idx);
         self.pages[idx] = Some(EpcPage::new(Box::new(*data), perms, ptype));
         self.measurement.as_mut().expect("measurement live before EINIT").eadd(off, perms, ptype);
         Ok(())
+    }
+
+    /// `EADD` without updating the live measurement — the snapshot-load
+    /// fast path for warm starts. The caller asserts the page set is a
+    /// byte-identical replay of one it measured before (e.g. a cached
+    /// [`Measurement`] held by an image plan) and finishes with
+    /// [`Enclave::einit_measured`], passing that cached digest. Following
+    /// unmeasured adds with a regular [`Enclave::einit`] fails with a
+    /// measurement mismatch, because the live digest no longer covers
+    /// these pages — the fast path cannot be used to smuggle unmeasured
+    /// pages past a full `EINIT`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Enclave::eadd`].
+    pub fn eadd_unmeasured(
+        &mut self,
+        vaddr: u64,
+        data: &[u8; PAGE_SIZE as usize],
+        perms: PagePerms,
+        ptype: PageType,
+    ) -> Result<(), SgxError> {
+        if self.initialized {
+            return Err(SgxError::AlreadyInitialized);
+        }
+        let off = self.check_vaddr(vaddr)?;
+        if off % PAGE_SIZE != 0 {
+            return Err(SgxError::BadAlignment { addr: vaddr });
+        }
+        let idx = (off / PAGE_SIZE) as usize;
+        self.epoch += 1;
+        self.page_gens[idx] = self.epoch;
+        self.touch_idx(idx);
+        self.pages[idx] = Some(EpcPage::new(Box::new(*data), perms, ptype));
+        Ok(())
+    }
+
+    /// Marks page `idx` most-recently-used for LRU victim selection.
+    #[inline]
+    fn touch_idx(&mut self, idx: usize) {
+        self.access_clock += 1;
+        self.access_stamps[idx] = self.access_clock;
     }
 
     /// `EEXTEND`: measures one 256-byte chunk of an added page.
@@ -237,6 +289,41 @@ impl Enclave {
                 actual: measured,
             });
         }
+        self.mrenclave = measured;
+        self.mrsigner = sigstruct.mrsigner().map_err(|_| SgxError::BadSigstruct)?;
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// `EINIT` against a digest the loader measured earlier — the other
+    /// half of the [`Enclave::eadd_unmeasured`] snapshot path. The
+    /// SIGSTRUCT signature and the `measured == sigstruct.measurement`
+    /// identity check are exactly those of [`Enclave::einit`]; what's
+    /// skipped is only the per-chunk re-hashing of page contents the
+    /// caller already measured once. The trust argument survives because
+    /// the sealed-state fast path independently authenticates the code: a
+    /// wrong `measured` claim yields a wrong MRENCLAVE, hence a wrong
+    /// `EGETKEY` sealing key, and the warm-start decrypt fails closed.
+    ///
+    /// # Errors
+    ///
+    /// As [`Enclave::einit`].
+    pub fn einit_measured(
+        &mut self,
+        sigstruct: &crate::sigstruct::SigStruct,
+        measured: [u8; 32],
+    ) -> Result<(), SgxError> {
+        if self.initialized {
+            return Err(SgxError::AlreadyInitialized);
+        }
+        sigstruct.verify().map_err(|_| SgxError::BadSigstruct)?;
+        if measured != sigstruct.measurement {
+            return Err(SgxError::MeasurementMismatch {
+                expected: sigstruct.measurement,
+                actual: measured,
+            });
+        }
+        self.measurement = None;
         self.mrenclave = measured;
         self.mrsigner = sigstruct.mrsigner().map_err(|_| SgxError::BadSigstruct)?;
         self.initialized = true;
@@ -310,7 +397,7 @@ impl Enclave {
     /// absent page, missing read permission, pre-`EINIT` — and the caller
     /// falls back to [`Enclave::read_into`] for the exact typed error.
     #[inline]
-    pub fn load_prim(&self, vaddr: u64, size: usize) -> Option<u64> {
+    pub fn load_prim(&mut self, vaddr: u64, size: usize) -> Option<u64> {
         debug_assert!(size <= 8);
         if !self.initialized {
             return None;
@@ -323,7 +410,10 @@ impl Enclave {
         if within + size > PAGE_SIZE as usize {
             return None;
         }
-        let page = self.pages[(off / PAGE_SIZE) as usize].as_ref()?;
+        let idx = (off / PAGE_SIZE) as usize;
+        self.access_clock += 1;
+        self.access_stamps[idx] = self.access_clock;
+        let page = self.pages[idx].as_ref()?;
         if !page.perms.readable() {
             return None;
         }
@@ -362,6 +452,8 @@ impl Enclave {
             return None;
         }
         let idx = (off / PAGE_SIZE) as usize;
+        self.access_clock += 1;
+        self.access_stamps[idx] = self.access_clock;
         let page = self.pages[idx].as_mut()?;
         if !page.perms.writable() {
             return None;
@@ -536,7 +628,19 @@ impl Enclave {
         self.epoch += 1;
         *slot = Some(page);
         self.page_gens[idx] = self.epoch;
+        self.touch_idx(idx);
         Ok(())
+    }
+
+    /// Clone of the resident page at `page_off` plus its current
+    /// generation stamp — the EPC budget's clean-page backing capture
+    /// ([`crate::budget::EpcBudget`]): a page whose generation still
+    /// matches the snapshot has not been written since, so evicting it
+    /// needs no sealing and reloading it is a plain copy.
+    pub(crate) fn page_snapshot(&self, page_off: u64) -> Option<(EpcPage, u64)> {
+        let idx = (page_off / PAGE_SIZE) as usize;
+        let page = self.pages.get(idx)?.as_ref()?;
+        Some((page.clone(), self.page_gens[idx]))
     }
 
     pub(crate) fn page_evict(&mut self, page_off: u64) -> Option<EpcPage> {
@@ -555,6 +659,39 @@ impl Enclave {
             .enumerate()
             .filter_map(|(idx, p)| p.as_ref().map(|_| idx as u64 * PAGE_SIZE))
             .collect()
+    }
+
+    /// Records an execute access to the page containing `vaddr` for LRU
+    /// accounting. Called by the runtime on superblock/decode-cache entry;
+    /// a no-op for addresses outside ELRANGE.
+    #[inline]
+    pub fn note_exec(&mut self, vaddr: u64) {
+        let Some(off) = vaddr.checked_sub(self.base) else { return };
+        if off >= self.size {
+            return;
+        }
+        let idx = (off / PAGE_SIZE) as usize;
+        self.access_clock += 1;
+        self.access_stamps[idx] = self.access_clock;
+    }
+
+    /// Number of resident `Reg` pages — the population the EPC budget
+    /// bounds (SECS/TCS pages pin the enclave's control state and are
+    /// never eviction candidates).
+    pub fn resident_reg_pages(&self) -> usize {
+        self.pages.iter().filter(|p| matches!(p, Some(pg) if pg.ptype == PageType::Reg)).count()
+    }
+
+    /// Page offset of the least-recently-used resident `Reg` page — the
+    /// LRU eviction victim under budget pressure. `None` when no regular
+    /// page is resident.
+    pub fn coldest_resident_page(&self) -> Option<u64> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, Some(pg) if pg.ptype == PageType::Reg))
+            .min_by_key(|(idx, _)| self.access_stamps[*idx])
+            .map(|(idx, _)| idx as u64 * PAGE_SIZE)
     }
 
     /// Permissions of the page containing `vaddr`, if resident.

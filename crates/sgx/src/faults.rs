@@ -86,6 +86,17 @@ impl EpcFaultInjector {
         self.flip_bit(bytes);
     }
 
+    /// Applies one uniformly-drawn tamper to an evicted blob, returning
+    /// which variant fired. This is the per-eviction corruption an
+    /// untrusted OS applies while it holds the blob between `EWB` and
+    /// `ELDU` — the lever [`crate::budget::EpcBudget::set_tamper`] pulls
+    /// on every eviction it decides to corrupt.
+    pub fn tamper_evicted_random(&mut self, blob: &mut EvictedPage) -> EwbTamper {
+        let how = EwbTamper::ALL[self.pick(EwbTamper::ALL.len())];
+        self.tamper_evicted(blob, how);
+        how
+    }
+
     /// Applies one tamper to an evicted blob.
     pub fn tamper_evicted(&mut self, blob: &mut EvictedPage, how: EwbTamper) {
         match how {
@@ -135,6 +146,29 @@ mod tests {
         let mut inj = EpcFaultInjector::new(1);
         inj.flip_bit(&mut []);
         inj.corrupt_dram_view(&mut []);
+    }
+
+    #[test]
+    fn random_tamper_replays_and_always_changes_the_blob() {
+        let blob = EvictedPage {
+            page_offset: 0x2000,
+            iv: [3; 12],
+            ciphertext: vec![0xC3; 4096],
+            tag: [4; 16],
+            perms: 0b011, // RW
+            ptype: 2,
+            version: 7,
+        };
+        let mut a = EpcFaultInjector::new(77);
+        let mut b = EpcFaultInjector::new(77);
+        for _ in 0..16 {
+            let (mut x, mut y) = (blob.clone(), blob.clone());
+            let how_a = a.tamper_evicted_random(&mut x);
+            let how_b = b.tamper_evicted_random(&mut y);
+            assert_eq!(how_a, how_b, "same seed must draw the same variant");
+            assert_eq!(x.ciphertext, y.ciphertext);
+            assert_eq!((x.page_offset, x.version, x.perms), (y.page_offset, y.version, y.perms));
+        }
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!   an attestation-service model.
 //! * [`keys`] — the fused key hierarchy (seal/report/MEE keys).
 //! * [`paging`] — `EWB`/`ELDU` with integrity and rollback protection.
+//! * [`budget`] — bounded-EPC mode: a resident-page cap with LRU
+//!   eviction to sealed blobs and transparent reload on touch.
 //! * [`faults`] — seeded fault injection for chaos tests (DRAM bit flips,
 //!   evicted-blob tampering).
 //!
@@ -41,6 +43,7 @@
 //! # }
 //! ```
 
+pub mod budget;
 pub mod enclave;
 pub mod epc;
 pub mod error;

@@ -152,6 +152,12 @@ struct LOp {
 struct Block {
     /// Guest instructions retired by a full (uninterrupted) execution.
     cost: u64,
+    /// Second page this block lowered instructions from (`u64::MAX` for a
+    /// single-page block): the trace continued across the sequential page
+    /// boundary, so stores hitting `watch` must exit `Patched` and entry
+    /// must re-check the neighbour's generation against the slot's
+    /// `dep_gen`.
+    watch: u64,
     ops: Box<[LOp]>,
 }
 
@@ -160,6 +166,11 @@ struct Block {
 struct TransSlot {
     page_addr: u64,
     gen: u64,
+    /// Cross-page dependency: every block with `watch != u64::MAX` in this
+    /// slot lowered instructions from `dep_page` at generation `dep_gen`
+    /// (`u64::MAX` = no block crosses). Checked on crossing-block entry.
+    dep_page: u64,
+    dep_gen: u64,
     /// Instruction index → block id + 1 (0 = not yet translated).
     block_at: Box<[u32; INSTRS_PER_PAGE]>,
     blocks: Vec<Block>,
@@ -170,6 +181,8 @@ impl TransSlot {
         TransSlot {
             page_addr: u64::MAX,
             gen: 0,
+            dep_page: u64::MAX,
+            dep_gen: 0,
             block_at: Box::new([0; INSTRS_PER_PAGE]),
             blocks: Vec::new(),
         }
@@ -178,6 +191,8 @@ impl TransSlot {
     fn reset(&mut self, page_addr: u64, gen: u64) {
         self.page_addr = page_addr;
         self.gen = gen;
+        self.dep_page = u64::MAX;
+        self.dep_gen = 0;
         self.block_at.fill(0);
         self.blocks.clear();
     }
@@ -226,15 +241,36 @@ impl TransCache {
         }
     }
 
+    /// Drops every translation in `slot` (keeping its page identity):
+    /// called when the cross-page dependency's generation moved, so the
+    /// crossing blocks are stale while the page's own bytes are not.
+    fn drop_dep(&mut self, slot: usize) {
+        let s = &mut self.slots[slot];
+        let (page, gen) = (s.page_addr, s.gen);
+        s.reset(page, gen);
+    }
+
+    /// Translates the block at `idx`. `instrs` covers this page and — when
+    /// `dep` is `Some((next_page, next_gen))` — the sequentially next page,
+    /// letting the trace continue across the boundary; a block that does
+    /// cross records the dependency on the slot and watches `next_page`.
     fn translate(
         &mut self,
         slot: usize,
         idx: usize,
-        instrs: &[Instr; INSTRS_PER_PAGE],
+        instrs: &[Instr],
         page: u64,
+        dep: Option<(u64, u64)>,
     ) -> u32 {
-        let block = translate_block(instrs, page, idx);
+        let (mut block, crossed) = translate_block(instrs, page, idx);
         let s = &mut self.slots[slot];
+        if crossed {
+            let (dep_page, dep_gen) = dep.expect("crossing requires a pair view");
+            debug_assert!(s.dep_page == u64::MAX || s.dep_page == dep_page);
+            s.dep_page = dep_page;
+            s.dep_gen = dep_gen;
+            block.watch = dep_page;
+        }
         let id = s.blocks.len() as u32;
         s.blocks.push(block);
         s.block_at[idx] = id + 1;
@@ -403,11 +439,11 @@ fn mem_size(op: Opcode) -> u8 {
 /// architectural register state at every observable point (each fused
 /// handler performs the same register writes in the same order), so a
 /// mid-op fault reconstructs interpreter-identical state.
-fn try_fuse(instrs: &[Instr; INSTRS_PER_PAGE], idx: usize, page: u64) -> Option<(LOp, usize)> {
+fn try_fuse(instrs: &[Instr], idx: usize, page: u64) -> Option<(LOp, usize)> {
     use LKind::*;
     let i0 = instrs[idx];
-    let i1 = if idx + 1 < INSTRS_PER_PAGE { Some(instrs[idx + 1]) } else { None };
-    let i2 = if idx + 2 < INSTRS_PER_PAGE { Some(instrs[idx + 2]) } else { None };
+    let i1 = if idx + 1 < instrs.len() { Some(instrs[idx + 1]) } else { None };
+    let i2 = if idx + 2 < instrs.len() { Some(instrs[idx + 2]) } else { None };
     let off = idx as u16;
 
     // movi d, lo ; movhi d, hi  →  d = full 64-bit constant (la expansion).
@@ -422,7 +458,7 @@ fn try_fuse(instrs: &[Instr; INSTRS_PER_PAGE], idx: usize, page: u64) -> Option<
                 if let Some(n2) = i2 {
                     if n2.op == Opcode::Add && (n2.b == t || n2.c == t) {
                         let q = if n2.b == t { n2.c } else { n2.b };
-                        if idx + 3 < INSTRS_PER_PAGE {
+                        if idx + 3 < instrs.len() {
                             let n3 = instrs[idx + 3];
                             if is_load(n3.op) && n3.b == n2.a {
                                 return Some((
@@ -826,11 +862,15 @@ fn invert(k: LKind) -> LKind {
     }
 }
 
-/// `addr` as an instruction index, if it is an aligned address on `page`.
+/// `addr` as an instruction index into the trace's view (`n` decoded
+/// instructions starting at `page`), if it is aligned and in range. With a
+/// pair view (`n == 2 * INSTRS_PER_PAGE`) this also resolves addresses on
+/// the sequentially next page, so jumps, calls and loop back-edges that
+/// straddle the boundary stay inside the trace.
 #[inline]
-fn same_page_idx(addr: u64, page: u64) -> Option<usize> {
-    if addr & !PAGE_MASK == page && addr & (INSTR_SIZE - 1) == 0 {
-        Some(((addr & PAGE_MASK) >> 3) as usize)
+fn trace_idx(addr: u64, page: u64, n: usize) -> Option<usize> {
+    if addr >= page && addr < page + n as u64 * INSTR_SIZE && addr & (INSTR_SIZE - 1) == 0 {
+        Some(((addr - page) >> 3) as usize)
     } else {
         None
     }
@@ -849,20 +889,24 @@ const MAX_TRACE_INSTRS: usize = 192;
 /// branches (loop back-edges) are stored inverted so the hot direction
 /// stays inside the trace and the loop body unrolls up to
 /// [`MAX_TRACE_INSTRS`].
-fn translate_block(instrs: &[Instr; INSTRS_PER_PAGE], page: u64, start: usize) -> Block {
+fn translate_block(instrs: &[Instr], page: u64, start: usize) -> (Block, bool) {
+    let n = instrs.len();
     let mut ops = Vec::new();
     let mut cost = 0u64;
     let mut idx = start;
     let mut budget = MAX_TRACE_INSTRS;
+    // Whether any lowered instruction came from beyond the first page —
+    // the caller then records the cross-page dependency.
+    let mut crossed = false;
     // Translation-time call stack: the continuation index expected by each
     // followed same-page call, so the matching `ret` can be guarded
     // ([`LKind::RetHop`]) instead of ending the trace.
     let mut ret_stack: Vec<usize> = Vec::new();
     loop {
-        if idx >= INSTRS_PER_PAGE || budget == 0 {
-            // Page end or trace cap: continue at the next untranslated pc.
-            let cont = if idx >= INSTRS_PER_PAGE {
-                page + CODE_PAGE_SIZE
+        if idx >= n || budget == 0 {
+            // View end or trace cap: continue at the next untranslated pc.
+            let cont = if idx >= n {
+                page + n as u64 * INSTR_SIZE
             } else {
                 page + (idx as u64) * INSTR_SIZE
             };
@@ -871,7 +915,7 @@ fn translate_block(instrs: &[Instr; INSTRS_PER_PAGE], page: u64, start: usize) -
                 a: 0,
                 b: 0,
                 c: 0,
-                off: idx.min(INSTRS_PER_PAGE) as u16,
+                off: idx.min(n) as u16,
                 retire: 0,
                 sz: 0,
                 imm: cont,
@@ -879,13 +923,15 @@ fn translate_block(instrs: &[Instr; INSTRS_PER_PAGE], page: u64, start: usize) -
             });
             break;
         }
+        crossed |= idx >= INSTRS_PER_PAGE;
         let (mut op, len) = match try_fuse(instrs, idx, page) {
             Some((op, len)) => (op, len),
             None => (lower_one(instrs[idx], idx, page), 1),
         };
+        crossed |= idx + len > INSTRS_PER_PAGE;
         budget = budget.saturating_sub(len);
         if op.kind == LKind::TJmp {
-            if let Some(t) = same_page_idx(op.imm, page) {
+            if let Some(t) = trace_idx(op.imm, page, n) {
                 // Followed jump: retire it and keep lowering at the target.
                 op.kind = LKind::Hop;
                 cost += 1;
@@ -895,7 +941,7 @@ fn translate_block(instrs: &[Instr; INSTRS_PER_PAGE], page: u64, start: usize) -
             }
         }
         if op.kind == LKind::TCall {
-            if let Some(t) = same_page_idx(op.imm, page) {
+            if let Some(t) = trace_idx(op.imm, page, n) {
                 // Followed call: push the return address in-trace and keep
                 // lowering inside the callee.
                 op.kind = LKind::HCall;
@@ -920,7 +966,7 @@ fn translate_block(instrs: &[Instr; INSTRS_PER_PAGE], page: u64, start: usize) -
         }
         if is_side_branch(op.kind) {
             let fall_idx = idx + len;
-            match same_page_idx(op.imm, page) {
+            match trace_idx(op.imm, page, n) {
                 Some(t) if t < idx => {
                     // Backward branch: follow the taken direction (the hot
                     // loop edge); the stored condition is inverted and the
@@ -949,7 +995,7 @@ fn translate_block(instrs: &[Instr; INSTRS_PER_PAGE], page: u64, start: usize) -
             break;
         }
     }
-    Block { cost, ops: ops.into_boxed_slice() }
+    (Block { cost, watch: u64::MAX, ops: ops.into_boxed_slice() }, crossed)
 }
 
 /// How a block execution ended. Every arm reports `consumed`, the guest
@@ -979,11 +1025,21 @@ fn hits_page(ea: u64, size: u64, page: u64) -> bool {
     (ea & !PAGE_MASK) == page || (ea.wrapping_add(size - 1) & !PAGE_MASK) == page
 }
 
+/// Whether an access touches the executing page or the block's watched
+/// cross-page neighbour (`u64::MAX` = none; unmappable, so it never hits).
+#[inline]
+fn hits_trace(ea: u64, size: u64, page: u64, watch: u64) -> bool {
+    hits_page(ea, size, page) || hits_page(ea, size, watch)
+}
+
 /// Executes one superblock. The caller has already charged the full block
 /// cost; early exits report `consumed` so the difference can be refunded.
+/// `watch` is the block's cross-page dependency ([`Block::watch`]): stores
+/// that hit it invalidate lowered instructions just like own-page stores.
 fn exec_block<B: Bus + ?Sized>(
     ops: &[LOp],
     page: u64,
+    watch: u64,
     r: &mut [u64; NUM_REGS],
     bus: &mut B,
 ) -> BlockExit {
@@ -1052,7 +1108,7 @@ fn exec_block<B: Bus + ?Sized>(
                     let at = page + op.off as u64 * INSTR_SIZE;
                     return BlockExit::Fault { fault, at, consumed: done + 1 };
                 }
-                if hits_page(ea, size, page) {
+                if hits_trace(ea, size, page, watch) {
                     return BlockExit::Patched {
                         next: page + (op.off as u64 + 1) * INSTR_SIZE,
                         consumed: done + 1,
@@ -1074,7 +1130,7 @@ fn exec_block<B: Bus + ?Sized>(
                     let at = page + (op.off as u64 + 1) * INSTR_SIZE;
                     return BlockExit::Fault { fault, at, consumed: done + 2 };
                 }
-                if hits_page(sea, size, page) {
+                if hits_trace(sea, size, page, watch) {
                     return BlockExit::Patched {
                         next: page + (op.off as u64 + 2) * INSTR_SIZE,
                         consumed: done + 2,
@@ -1177,7 +1233,7 @@ fn exec_block<B: Bus + ?Sized>(
                     let at = page + (op.off as u64 + 1) * INSTR_SIZE;
                     return BlockExit::Fault { fault, at, consumed: done + 2 };
                 }
-                if hits_page(ea, size, page) {
+                if hits_trace(ea, size, page, watch) {
                     return BlockExit::Patched {
                         next: page + (op.off as u64 + 2) * INSTR_SIZE,
                         consumed: done + 2,
@@ -1216,7 +1272,7 @@ fn exec_block<B: Bus + ?Sized>(
                     return BlockExit::Fault { fault, at, consumed: done + 1 };
                 }
                 r[REG_SP as usize] = sp;
-                if hits_page(sp, 8, page) {
+                if hits_trace(sp, 8, page, watch) {
                     return BlockExit::Patched { next: op.imm, consumed: done + 1 };
                 }
                 // Control continues in-trace at the callee's lowering.
@@ -1275,7 +1331,7 @@ fn exec_block<B: Bus + ?Sized>(
                     return BlockExit::Fault { fault, at, consumed: done + 1 };
                 }
                 r[REG_SP as usize] = sp;
-                if hits_page(sp, 8, page) {
+                if hits_trace(sp, 8, page, watch) {
                     return BlockExit::Patched { next: target, consumed: done + 1 };
                 }
                 return BlockExit::Seq { next: target, probe: false, consumed: done + 1 };
@@ -1331,6 +1387,43 @@ fn exec_block<B: Bus + ?Sized>(
     unreachable!("every superblock ends with a terminator")
 }
 
+/// Translates the block at `idx` in `slot`, offering the translator a
+/// two-page view when the sequentially next page is decodable — so traces
+/// (and hot loops) that straddle a page boundary stay in one superblock
+/// instead of ping-ponging through the dispatcher every iteration.
+/// Returns `None` when decoding the neighbour recycled this page's dcache
+/// slot (possible only at cache capacity); the caller then revalidates.
+fn translate_with_pair<B: Bus + ?Sized>(
+    vm: &mut Vm,
+    bus: &mut B,
+    slot: usize,
+    page: u64,
+    idx: usize,
+) -> Option<u32> {
+    let next_page = page + CODE_PAGE_SIZE;
+    let Some(slot2) = vm.dcache.validate(bus, next_page) else {
+        return Some(vm.trans.translate(slot, idx, vm.dcache.instrs(slot), page, None));
+    };
+    if vm.dcache.slot_page(slot) != page {
+        return None;
+    }
+    let gen2 = vm.dcache.generation(slot2);
+    // Crossing blocks already in the slot were translated against an older
+    // neighbour generation: drop them so every crossing block in the slot
+    // shares one (dep_page, dep_gen) pair.
+    let (dep_page, dep_gen) = {
+        let s = &vm.trans.slots[slot];
+        (s.dep_page, s.dep_gen)
+    };
+    if dep_page != u64::MAX && (dep_page, dep_gen) != (next_page, gen2) {
+        vm.trans.drop_dep(slot);
+    }
+    let mut view: Vec<Instr> = Vec::with_capacity(2 * INSTRS_PER_PAGE);
+    view.extend_from_slice(vm.dcache.instrs(slot));
+    view.extend_from_slice(vm.dcache.instrs(slot2));
+    Some(vm.trans.translate(slot, idx, &view, page, Some((next_page, gen2))))
+}
+
 /// Runs the VM under superblock translation until an exit or fault,
 /// falling back to the interpreter loop wherever translation does not
 /// apply. Drives [`Vm::pc`]/[`Vm::retired`]/[`ExecStats`] exactly like the
@@ -1367,19 +1460,35 @@ pub(crate) fn run_superblock<B: Bus + ?Sized>(
         let mut idx = ((pc & PAGE_MASK) >> 3) as usize;
         // Same-page chain: blocks on this page execute without another bus
         // probe. Sound because a store that could change this page's bytes
-        // exits via `Patched`, and everything else that moves the page's
-        // generation (host writes, EWB/ELDU, intrinsics) either cannot
-        // happen mid-run or forces `probe`.
+        // (or a watched neighbour's) exits via `Patched`, and everything
+        // else that moves a page's generation (host writes, EWB/ELDU,
+        // intrinsics) either cannot happen mid-run or forces `probe`.
         loop {
             let block_id = match vm.trans.block_id(slot, idx) {
                 Some(id) => id,
                 None => {
                     vm.stats.blocks_translated += 1;
-                    vm.trans.translate(slot, idx, vm.dcache.instrs(slot), page)
+                    match translate_with_pair(vm, bus, slot, page, idx) {
+                        Some(id) => id,
+                        // Decoding the neighbour recycled this page's
+                        // dcache slot: revalidate from the top.
+                        None => break,
+                    }
                 }
             };
             let block = &vm.trans.slots[slot].blocks[block_id as usize];
-            if fuel < block.cost {
+            let (cost, watch) = (block.cost, block.watch);
+            // A crossing block embeds instructions from the neighbour
+            // page: its generation must still match the one it was
+            // translated against (a store from a chained block, or any
+            // write between runs, may have moved it).
+            if watch != u64::MAX
+                && bus.exec_page_generation(watch) != Some(vm.trans.slots[slot].dep_gen)
+            {
+                vm.trans.drop_dep(slot);
+                continue;
+            }
+            if fuel < cost {
                 // Less fuel than one block: the interpreter finishes the
                 // run with exact per-instruction OutOfFuel semantics.
                 vm.pc = page + idx as u64 * INSTR_SIZE;
@@ -1388,10 +1497,10 @@ pub(crate) fn run_superblock<B: Bus + ?Sized>(
                     InterpOutcome::Retranslate { .. } => unreachable!("bail disabled"),
                 }
             }
-            fuel -= block.cost;
+            fuel -= cost;
             vm.stats.blocks_entered += 1;
-            let cost = block.cost;
-            match exec_block(&block.ops, page, &mut vm.regs, bus) {
+            let block = &vm.trans.slots[slot].blocks[block_id as usize];
+            match exec_block(&block.ops, page, watch, &mut vm.regs, bus) {
                 BlockExit::Seq { next, probe, consumed } => {
                     fuel += cost - consumed;
                     vm.retired += consumed;

@@ -30,6 +30,7 @@ use sgxelide::core::ElideError;
 use sgxelide::crypto::rng::{FailingRandom, RandomSource, SeededRandom};
 use sgxelide::crypto::rsa::RsaKeyPair;
 use sgxelide::enclave::image::EnclaveImageBuilder;
+use sgxelide::sgx::budget::EpcBudget;
 use sgxelide::sgx::enclave::{AccessKind, SgxCpu};
 use sgxelide::sgx::epc::{PagePerms, PageType};
 use sgxelide::sgx::faults::{EpcFaultInjector, EwbTamper};
@@ -241,6 +242,16 @@ fn run_schedule(
         .package
         .launch(&cell.platform, transport, new_sealed_store(), seed ^ 0x5EED)
         .expect("launch touches no faulted path");
+    // Every schedule runs 4x-oversubscribed: the restore and the workload
+    // execute under transparent EPC paging, and any plan-armed blob
+    // tampering rides the resulting eviction-triggered EWB/ELDU cycles.
+    let total_pages = launched.runtime.enclave().resident_reg_pages();
+    let mut epc_rng = SeededRandom::new(seed ^ 0xE9C);
+    let mut epc = EpcBudget::new((total_pages / 4).max(1), &mut epc_rng);
+    if let Some((tamper_seed, ppm)) = client_plan.epc_tamper_params() {
+        epc.set_tamper(tamper_seed, ppm);
+    }
+    launched.runtime.set_epc_budget(epc).expect("arming the budget faults no page");
     let policy = RetryPolicy {
         retries: 4,
         initial_delay: Duration::from_millis(2),
@@ -275,6 +286,9 @@ fn run_schedule(
             Err(err)
         }
     };
+    if let Some(b) = launched.runtime.epc_budget() {
+        client_plan.note_epc_tampers(b.stats().tampers);
+    }
     drop(launched);
     cell.server.set_faults(None);
     handle.shutdown();
@@ -449,6 +463,155 @@ fn store_io_faults_surface_as_internal_and_recover() {
     cell.server.set_faults(None);
     launched.restore(cell.indices["elide_restore"]).unwrap();
     assert_eq!(launched.runtime.ecall(0, &[], 0).unwrap().status, 42);
+}
+
+/// Guest for the eviction chaos schedules: `mix` is a stateless compute
+/// kernel, `stomp` writes the ecall argument across a 128 KiB arena — 32
+/// pages dirtied per call, more than the 4x-oversubscribed cap can hold,
+/// guaranteeing EWB (not clean-drop) traffic on every pass. Both return
+/// values are pure functions of the argument, so any two schedules can
+/// compare outputs positionally.
+const EPC_CHAOS_GUEST: &str = "
+.section text
+.global mix
+.func mix
+    ld64 r0, [r2]
+    movi r1, 40503
+    mul  r0, r0, r1
+    xori r0, r0, 22667
+    add  r0, r0, r1
+    ret
+.endfunc
+
+.global stomp
+.func stomp
+    ld64 r0, [r2]
+    la   r1, arena
+    movi r3, 16384
+    movi r5, 0
+    movi r6, 1
+.fill:
+    st64 r0, [r1]
+    addi r1, r1, 8
+    addi r0, r0, 1
+    sub  r3, r3, r6
+    bne  r3, r5, .fill
+    ret
+.endfunc
+
+.section bss
+.align 8
+arena:
+    .zero 131072
+";
+
+/// Three seeded schedules run the full pipeline 4x-oversubscribed while
+/// the untrusted OS corrupts eviction blobs at increasing rates (0 is the
+/// control). The fail-closed invariant: under tampering, every ecall
+/// either returns the control schedule's answer or a typed error — a
+/// corrupted blob must never load and skew an output — and a restore
+/// killed by a poisoned reload leaves the secret code unexecutable.
+#[test]
+fn epc_eviction_chaos_fails_closed_under_oversubscription() {
+    let base = base_seed();
+    let mut b = EnclaveImageBuilder::new();
+    b.source(ELIDE_ASM).source(EPC_CHAOS_GUEST).ecall("mix").ecall("stomp").ecall("elide_restore");
+    let image = b.build().expect("assemble epc chaos guest");
+    let indices = HashMap::from([
+        ("mix".to_string(), 0u64),
+        ("stomp".to_string(), 1),
+        ("elide_restore".to_string(), 2),
+    ]);
+    let cell = build_cell("epc", &image, indices, base ^ 0xE51DE);
+
+    let mut reference: Option<Vec<u64>> = None;
+    let mut tampers_total = 0u64;
+    for (s, ppm) in [(0u64, 0u32), (1, 300_000), (2, PPM)] {
+        let seed = base.wrapping_add(s);
+        let plan =
+            FaultPlan::new(seed ^ 0xEBB, FaultConfig { epc_tamper_ppm: ppm, ..FaultConfig::off() });
+        let transport: Arc<Mutex<dyn Transport + Send>> =
+            Arc::new(Mutex::new(InProcessTransport::new(Arc::clone(&cell.server))));
+        let mut launched = cell
+            .package
+            .launch(&cell.platform, transport, new_sealed_store(), seed ^ 0x5EED)
+            .expect("launch is fault-free");
+        let total_pages = launched.runtime.enclave().resident_reg_pages();
+        let mut epc_rng = SeededRandom::new(seed ^ 0xB0D6);
+        let mut epc = EpcBudget::new((total_pages / 4).max(1), &mut epc_rng);
+        if let Some((tamper_seed, rate)) = plan.epc_tamper_params() {
+            epc.set_tamper(tamper_seed, rate);
+        }
+        launched.runtime.set_epc_budget(epc).expect("arming the budget");
+
+        match launched.restore(cell.indices["elide_restore"]) {
+            Ok(_) => {
+                // Alternate the stateless kernel with the page-dirtying
+                // stomps so dirty pages keep cycling through EWB/ELDU.
+                let mut failures = 0u32;
+                let outputs: Vec<Option<u64>> = (0..24u64)
+                    .map(|i| {
+                        let (idx, arg) = if i % 3 == 2 {
+                            (cell.indices["stomp"], i)
+                        } else {
+                            (cell.indices["mix"], i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                        };
+                        match launched.runtime.ecall(idx, &arg.to_le_bytes(), 0) {
+                            Ok(r) => Some(r.status),
+                            Err(_) => {
+                                failures += 1;
+                                None // typed error: acceptable, and fail-closed
+                            }
+                        }
+                    })
+                    .collect();
+                match &reference {
+                    None => {
+                        assert_eq!(ppm, 0, "the control schedule runs first");
+                        assert_eq!(failures, 0, "the control schedule must not fault");
+                        reference = Some(outputs.into_iter().map(|o| o.unwrap()).collect());
+                    }
+                    Some(r) => {
+                        for (i, o) in outputs.iter().enumerate() {
+                            if let Some(v) = o {
+                                assert_eq!(
+                                    *v, r[i],
+                                    "ppm {ppm}: ecall {i} loaded a corrupt page and kept running"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            Err(err) => {
+                assert_ne!(ppm, 0, "control schedule must restore, got {err:?}");
+                assert!(
+                    matches!(err, ElideError::Enclave(_) | ElideError::RestoreFailed { .. }),
+                    "poisoned reload surfaced as an unexpected family: {err:?}"
+                );
+                assert!(
+                    launched.runtime.ecall(cell.indices["mix"], &[0; 8], 0).is_err(),
+                    "failed restore left executable secret code"
+                );
+            }
+        }
+
+        let stats = launched.runtime.epc_budget().unwrap().stats();
+        assert!(stats.evictions > 0, "4x oversubscription never paged: {stats:?}");
+        if ppm == 0 {
+            assert_eq!(stats.reload_failures, 0, "control must reload cleanly: {stats:?}");
+            assert_eq!(stats.tampers, 0);
+        }
+        plan.note_epc_tampers(stats.tampers);
+        assert_eq!(plan.counts().epc_tampers, stats.tampers);
+        tampers_total += stats.tampers;
+        println!(
+            "chaos[epc/ppm {ppm}]: {} evictions ({} clean), {} reloads, {} rejected, {} tampered",
+            stats.evictions, stats.clean_drops, stats.reloads, stats.reload_failures, stats.tampers
+        );
+    }
+    assert!(reference.is_some(), "no schedule produced a reference output vector");
+    assert!(tampers_total > 0, "the eviction chaos never corrupted a blob — vacuous");
 }
 
 /// Two-page enclave (0xAA RW, 0xBB RX) for the EPC chaos tests.
