@@ -1,0 +1,244 @@
+//! JSON field extraction in **Elc** — a memory-bound benchmark exercising
+//! the bulk intrinsics on real parsing work: the guest scans a JSON
+//! document for every occurrence of a key and copies the matched values
+//! out, using `MEMCMP` for key probes and `MEMCPY` for value extraction.
+//!
+//! [`app_with`] builds the guest in two variants from one source template:
+//! intrinsics **on** (`memcmp`/`memcpy` builtins → single `intrin`
+//! instructions) and **off** (soft Elc byte loops with identical
+//! semantics). Both must produce bit-identical output — the differential
+//! harness proves the sealed intrinsics are pure accelerators.
+//!
+//! The extractor is deliberately a *scanning* matcher, not a JSON parser:
+//! both the guest and the host reference implement exactly the same
+//! algorithm, so outputs compare byte-for-byte.
+
+use crate::harness::App;
+use elide_vm::elc;
+use std::collections::HashMap;
+
+/// The Elc source template. `{MEMCMP}`/`{MEMCPY}` are substituted with the
+/// intrinsic builtins or the soft loops below.
+///
+/// Input layout: `[key_len u32][key bytes][json bytes]`.
+/// Output: concatenated `[value_len u32][value bytes]` records, one per
+/// match; the ecall returns the total bytes written.
+const JSON_ELC: &str = r#"
+fn soft_memcmp(a, b, n) {
+    let d = 0;
+    let i = 0;
+    while (i < n) {
+        d = d | (load8(a + i) ^ load8(b + i));
+        i = i + 1;
+    }
+    return d != 0;
+}
+
+fn soft_memcpy(d, s, n) {
+    let i = 0;
+    while (i < n) {
+        store8(d + i, load8(s + i));
+        i = i + 1;
+    }
+    return 0;
+}
+
+fn json_extract(inp, len, outp, cap) {
+    let klen = load32(inp);
+    let key = inp + 4;
+    let json = inp + 4 + klen;
+    let jlen = len - 4 - klen;
+    let out = 0;
+    let i = 0;
+    // A match site is `"key":` — quote, key bytes, quote, colon.
+    while (i + klen + 3 < jlen) {
+        if (load8(json + i) == 34) {
+            if (load8(json + i + 1 + klen) == 34) {
+                if (load8(json + i + 2 + klen) == 58) {
+                    if ({MEMCMP}(json + i + 1, key, klen) == 0) {
+                        let v = i + klen + 3;
+                        let e = v;
+                        if (load8(json + v) == 34) {
+                            // string value: bytes between the quotes
+                            v = v + 1;
+                            e = v;
+                            while (e < jlen && load8(json + e) != 34) {
+                                e = e + 1;
+                            }
+                        } else {
+                            // bare value: until , or }
+                            while (e < jlen && load8(json + e) != 44 && load8(json + e) != 125) {
+                                e = e + 1;
+                            }
+                        }
+                        let vlen = e - v;
+                        if (out + 4 + vlen <= cap) {
+                            store32(outp + out, vlen);
+                            if (vlen != 0) {
+                                {MEMCPY}(outp + out + 4, json + v, vlen);
+                            }
+                            out = out + 4 + vlen;
+                        }
+                        i = e;
+                    }
+                }
+            }
+        }
+        i = i + 1;
+    }
+    return out;
+}
+"#;
+
+/// Builds the guest, selecting intrinsic-backed or soft bulk operations.
+///
+/// # Panics
+///
+/// Panics if the bundled Elc source fails to compile (a build-time bug).
+pub fn app_with(intrinsics: bool) -> App {
+    let (cmp, cpy) = if intrinsics { ("memcmp", "memcpy") } else { ("soft_memcmp", "soft_memcpy") };
+    let src = JSON_ELC.replace("{MEMCMP}", cmp).replace("{MEMCPY}", cpy);
+    let asm = elc::compile(&src).expect("bundled Elc compiles");
+    App { name: "JSON", asm, ecalls: vec!["json_extract"] }
+}
+
+/// The default (intrinsics-on) build.
+pub fn app() -> App {
+    app_with(true)
+}
+
+/// Host reference: the exact algorithm the guest runs, byte for byte.
+pub fn reference_extract(key: &[u8], json: &[u8]) -> Vec<u8> {
+    let klen = key.len();
+    let jlen = json.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + klen + 3 < jlen {
+        if json[i] == b'"'
+            && json[i + 1 + klen] == b'"'
+            && json[i + 2 + klen] == b':'
+            && &json[i + 1..i + 1 + klen] == key
+        {
+            let mut v = i + klen + 3;
+            let mut e = v;
+            if json[v] == b'"' {
+                v += 1;
+                e = v;
+                while e < jlen && json[e] != b'"' {
+                    e += 1;
+                }
+            } else {
+                while e < jlen && json[e] != b',' && json[e] != b'}' {
+                    e += 1;
+                }
+            }
+            out.extend_from_slice(&((e - v) as u32).to_le_bytes());
+            out.extend_from_slice(&json[v..e]);
+            i = e;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Builds the workload document: `records` user objects with a handful of
+/// fields each, deterministic from the record index.
+pub fn sample_document(records: usize) -> Vec<u8> {
+    let mut doc = String::from("{\"users\":[");
+    for r in 0..records {
+        if r > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!(
+            "{{\"id\":{r},\"name\":\"user-{r:04}\",\"email\":\"u{r}@example.com\",\
+             \"score\":{},\"bio\":\"member number {r} of the benchmark corpus\"}}",
+            r * 37 % 1000,
+        ));
+    }
+    doc.push_str("]}");
+    doc.into_bytes()
+}
+
+fn marshal(key: &[u8], json: &[u8]) -> Vec<u8> {
+    let mut input = Vec::with_capacity(4 + key.len() + json.len());
+    input.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    input.extend_from_slice(key);
+    input.extend_from_slice(json);
+    input
+}
+
+/// Extracts several keys from a sample document, comparing each result
+/// against the host reference. Returns ops.
+///
+/// # Panics
+///
+/// Panics on divergence from the reference.
+pub fn workload(rt: &mut elide_enclave::EnclaveRuntime, idx: &HashMap<String, u64>) -> u64 {
+    let extract = idx["json_extract"];
+    let doc = sample_document(24);
+    let mut ops = 0;
+    for key in [b"name".as_slice(), b"email", b"score", b"bio", b"missing"] {
+        let expect = reference_extract(key, &doc);
+        let r = rt.ecall(extract, &marshal(key, &doc), 8192).expect("json_extract");
+        assert_eq!(r.status, expect.len() as u64, "JSON length mismatch for {key:?}");
+        assert_eq!(&r.output[..expect.len()], &expect[..], "JSON value mismatch for {key:?}");
+        ops += 1;
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{launch_plain, launch_protected};
+    use elide_core::sanitizer::DataPlacement;
+
+    #[test]
+    fn reference_extracts_expected_values() {
+        let doc = br#"{"a":1,"b":"two","a":"three"}"#;
+        let out = reference_extract(b"a", doc);
+        // [1]["1"] then [5]["three"]
+        assert_eq!(&out[..4], &1u32.to_le_bytes());
+        assert_eq!(&out[4..5], b"1");
+        assert_eq!(&out[5..9], &5u32.to_le_bytes());
+        assert_eq!(&out[9..], b"three");
+        assert!(reference_extract(b"zzz", doc).is_empty());
+    }
+
+    #[test]
+    fn guest_matches_reference_with_intrinsics() {
+        let app = app_with(true);
+        let mut p = launch_plain(&app, 90).unwrap();
+        assert_eq!(workload(&mut p.runtime, &p.indices), 5);
+    }
+
+    #[test]
+    fn guest_matches_reference_without_intrinsics() {
+        let app = app_with(false);
+        let mut p = launch_plain(&app, 91).unwrap();
+        assert_eq!(workload(&mut p.runtime, &p.indices), 5);
+    }
+
+    #[test]
+    fn intrinsic_variants_produce_identical_output() {
+        let doc = sample_document(8);
+        let input = marshal(b"email", &doc);
+        let mut on = launch_plain(&app_with(true), 92).unwrap();
+        let mut off = launch_plain(&app_with(false), 92).unwrap();
+        let a = on.runtime.ecall(on.indices["json_extract"], &input, 4096).unwrap();
+        let b = off.runtime.ecall(off.indices["json_extract"], &input, 4096).unwrap();
+        assert_eq!(a.status, b.status);
+        assert_eq!(a.output, b.output, "intrinsics must be pure accelerators");
+        // The off build does the same work in guest code, so it retires
+        // strictly more instructions than the on build's charged fuel.
+        assert!(b.instructions > a.instructions);
+    }
+
+    #[test]
+    fn protected_build_restores_and_runs() {
+        let app = app_with(true);
+        let mut p = launch_protected(&app, DataPlacement::Remote, 93).unwrap();
+        p.restore().unwrap();
+        workload(&mut p.app.runtime, &p.indices);
+    }
+}

@@ -11,12 +11,15 @@
 //! [`harness`] builds every app in two configurations: plain SGX (the
 //! baseline of Figures 3/4) and SgxElide-protected.
 
+#![forbid(unsafe_code)]
 pub mod aes_app;
 pub mod biniax;
 pub mod crackme;
 pub mod des_app;
 pub mod game2048;
 pub mod harness;
+pub mod json_app;
+pub mod merkle_app;
 pub mod sha1_app;
 pub mod shas_app;
 pub mod xtea;
@@ -52,6 +55,8 @@ pub fn run_workload(
         "DES" => des_app::workload(rt, idx),
         "Sha1" => sha1_app::workload(rt, idx),
         "XTEA" => xtea::workload(rt, idx),
+        "JSON" => json_app::workload(rt, idx),
+        "Merkle" => merkle_app::workload(rt, idx),
         "Shas" => shas_app::workload(rt, idx),
         "2048" => game2048::workload(rt, idx),
         "Biniax" => biniax::workload(rt, idx),

@@ -1,0 +1,396 @@
+//! Merkle-tree build and proof verification in **Elc** — the second
+//! memory-bound benchmark for the sealed bulk intrinsics. Interior nodes
+//! are real SHA-256 digests of the two concatenated children, computed
+//! either with the `SHA256_COMPRESS` intrinsic (on) or a full soft
+//! compression function written in Elc (off); staging copies go through
+//! `MEMCPY` or a soft byte loop. Both variants must produce bit-identical
+//! roots and proof evaluations.
+//!
+//! Hashing a 64-byte parent block takes exactly two compression rounds:
+//! one over the children, one over the constant padding block (`0x80`,
+//! zeros, and the 512-bit message length, precomputed in `.rodata`).
+
+use crate::harness::App;
+use elide_crypto::sha2::Sha256;
+use elide_vm::elc;
+use std::collections::HashMap;
+
+/// SHA-256 round constants (FIPS 180-4), emitted into guest `.rodata` for
+/// the soft compression path.
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// The Elc source template. `{COMPRESS}` is `sha256_compress` (intrinsic)
+/// or `soft_compress`; `{MEMCPY}` is `memcpy` or `soft_memcpy`.
+const MERKLE_ELC: &str = r#"
+fn soft_memcpy(d, s, n) {
+    let i = 0;
+    while (i < n) {
+        store8(d + i, load8(s + i));
+        i = i + 1;
+    }
+    return 0;
+}
+
+fn bswap32(x) {
+    let m = 0xFFFFFFFF;
+    return ((x >> 24) | ((x >> 8) & 0xFF00) | ((x << 8) & 0xFF0000) | ((x << 24) & m)) & m;
+}
+
+fn rotr(x, n) {
+    let m = 0xFFFFFFFF;
+    return ((x >> n) | (x << (32 - n))) & m;
+}
+
+// Full SHA-256 compression in Elc: same contract as the intrinsic —
+// state is 8 little-endian u32 words updated in place, blk is 64 bytes.
+fn soft_compress(st, blk) {
+    let m = 0xFFFFFFFF;
+    let w = &__mk_w;
+    let i = 0;
+    while (i < 16) {
+        store32(w + i * 4, bswap32(load32(blk + i * 4)));
+        i = i + 1;
+    }
+    while (i < 64) {
+        let w15 = load32(w + (i - 15) * 4);
+        let w2 = load32(w + (i - 2) * 4);
+        let s0 = rotr(w15, 7) ^ rotr(w15, 18) ^ (w15 >> 3);
+        let s1 = rotr(w2, 17) ^ rotr(w2, 19) ^ (w2 >> 10);
+        store32(w + i * 4, (load32(w + (i - 16) * 4) + s0 + load32(w + (i - 7) * 4) + s1) & m);
+        i = i + 1;
+    }
+    let a = load32(st);
+    let b = load32(st + 4);
+    let c = load32(st + 8);
+    let d = load32(st + 12);
+    let e = load32(st + 16);
+    let f = load32(st + 20);
+    let g = load32(st + 24);
+    let h = load32(st + 28);
+    let k = &__mk_k;
+    i = 0;
+    while (i < 64) {
+        let e1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        let ch = (e & f) ^ ((~e & m) & g);
+        let t1 = (h + e1 + ch + load32(k + i * 4) + load32(w + i * 4)) & m;
+        let e0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        let mj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = (e0 + mj) & m;
+        h = g;
+        g = f;
+        f = e;
+        e = (d + t1) & m;
+        d = c;
+        c = b;
+        b = a;
+        a = (t1 + t2) & m;
+        i = i + 1;
+    }
+    store32(st, (load32(st) + a) & m);
+    store32(st + 4, (load32(st + 4) + b) & m);
+    store32(st + 8, (load32(st + 8) + c) & m);
+    store32(st + 12, (load32(st + 12) + d) & m);
+    store32(st + 16, (load32(st + 16) + e) & m);
+    store32(st + 20, (load32(st + 20) + f) & m);
+    store32(st + 24, (load32(st + 24) + g) & m);
+    store32(st + 28, (load32(st + 28) + h) & m);
+    return 0;
+}
+
+// SHA-256 of the 64 bytes at src, digest written to dst (32 bytes).
+fn hash64(src, dst) {
+    let st = &__mk_state;
+    store32(st, 0x6A09E667);
+    store32(st + 4, 0xBB67AE85);
+    store32(st + 8, 0x3C6EF372);
+    store32(st + 12, 0xA54FF53A);
+    store32(st + 16, 0x510E527F);
+    store32(st + 20, 0x9B05688C);
+    store32(st + 24, 0x1F83D9AB);
+    store32(st + 28, 0x5BE0CD19);
+    {COMPRESS}(st, src);
+    {COMPRESS}(st, &__mk_pad);
+    let i = 0;
+    while (i < 8) {
+        store32(dst + i * 4, bswap32(load32(st + i * 4)));
+        i = i + 1;
+    }
+    return 0;
+}
+
+// Input: N*32 bytes of leaf hashes. Output: the 32-byte root.
+// Odd levels duplicate their last node (Bitcoin-style padding).
+fn merkle_root(inp, len, outp, cap) {
+    let base = &__mk_nodes;
+    let n = len / 32;
+    {MEMCPY}(base, inp, len);
+    while (n > 1) {
+        if (n & 1) {
+            {MEMCPY}(base + n * 32, base + n * 32 - 32, 32);
+            n = n + 1;
+        }
+        let j = 0;
+        while (j < n / 2) {
+            hash64(base + j * 64, base + j * 32);
+            j = j + 1;
+        }
+        n = n / 2;
+    }
+    {MEMCPY}(outp, base, 32);
+    return 32;
+}
+
+// Input: [leaf 32][index u32][depth u32][siblings depth*32].
+// Output: the root this proof evaluates to (32 bytes).
+fn merkle_verify(inp, len, outp, cap) {
+    let cur = &__mk_cur;
+    let blk = &__mk_blk;
+    {MEMCPY}(cur, inp, 32);
+    let index = load32(inp + 32);
+    let depth = load32(inp + 36);
+    let sib = inp + 40;
+    let d = 0;
+    while (d < depth) {
+        if (index & 1) {
+            {MEMCPY}(blk, sib + d * 32, 32);
+            {MEMCPY}(blk + 32, cur, 32);
+        } else {
+            {MEMCPY}(blk, cur, 32);
+            {MEMCPY}(blk + 32, sib + d * 32, 32);
+        }
+        hash64(blk, cur);
+        index = index >> 1;
+        d = d + 1;
+    }
+    {MEMCPY}(outp, cur, 32);
+    return 32;
+}
+"#;
+
+/// Guest data sections: scratch state in `.bss`, the constant padding
+/// block and round constants in `.rodata` (read-only to the guest).
+fn data_asm() -> String {
+    let mut s = String::from(
+        "\
+.section bss
+.align 16
+__mk_state:
+    .zero 32
+__mk_cur:
+    .zero 32
+__mk_blk:
+    .zero 64
+__mk_w:
+    .zero 256
+__mk_nodes:
+    .zero 4224
+
+.section rodata
+.align 8
+__mk_pad:
+    .quad 0x80
+    .zero 48
+    .quad 0x0002000000000000
+__mk_k:
+",
+    );
+    // Round constants packed two per quad, little-endian.
+    for pair in SHA256_K.chunks_exact(2) {
+        let q = pair[0] as u64 | ((pair[1] as u64) << 32);
+        s.push_str(&format!("    .quad 0x{q:016X}\n"));
+    }
+    s
+}
+
+/// Builds the guest, selecting intrinsic-backed or soft hashing/copies.
+///
+/// # Panics
+///
+/// Panics if the bundled Elc source fails to compile (a build-time bug).
+pub fn app_with(intrinsics: bool) -> App {
+    let (compress, cpy) =
+        if intrinsics { ("sha256_compress", "memcpy") } else { ("soft_compress", "soft_memcpy") };
+    let src = MERKLE_ELC.replace("{COMPRESS}", compress).replace("{MEMCPY}", cpy);
+    let mut asm = elc::compile(&src).expect("bundled Elc compiles");
+    asm.push_str(&data_asm());
+    App { name: "Merkle", asm, ecalls: vec!["merkle_root", "merkle_verify"] }
+}
+
+/// The default (intrinsics-on) build.
+pub fn app() -> App {
+    app_with(true)
+}
+
+fn hash_pair(a: &[u8; 32], b: &[u8; 32]) -> [u8; 32] {
+    let mut block = [0u8; 64];
+    block[..32].copy_from_slice(a);
+    block[32..].copy_from_slice(b);
+    Sha256::digest(&block)
+}
+
+/// Host reference: the root of `leaves`, duplicating the last node of odd
+/// levels exactly like the guest.
+///
+/// # Panics
+///
+/// Panics on an empty leaf set.
+pub fn reference_root(leaves: &[[u8; 32]]) -> [u8; 32] {
+    assert!(!leaves.is_empty());
+    let mut level = leaves.to_vec();
+    while level.len() > 1 {
+        if level.len() % 2 == 1 {
+            level.push(*level.last().expect("non-empty"));
+        }
+        level = level.chunks_exact(2).map(|p| hash_pair(&p[0], &p[1])).collect();
+    }
+    level[0]
+}
+
+/// Host reference: the sibling path proving `leaves[index]`.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range.
+pub fn reference_proof(leaves: &[[u8; 32]], mut index: usize) -> Vec<[u8; 32]> {
+    assert!(index < leaves.len());
+    let mut level = leaves.to_vec();
+    let mut proof = Vec::new();
+    while level.len() > 1 {
+        if level.len() % 2 == 1 {
+            level.push(*level.last().expect("non-empty"));
+        }
+        proof.push(level[index ^ 1]);
+        level = level.chunks_exact(2).map(|p| hash_pair(&p[0], &p[1])).collect();
+        index >>= 1;
+    }
+    proof
+}
+
+/// Deterministic leaves for workloads: leaf i = SHA-256(i as LE u64).
+pub fn sample_leaves(n: usize) -> Vec<[u8; 32]> {
+    (0..n as u64).map(|i| Sha256::digest(&i.to_le_bytes())).collect()
+}
+
+fn marshal_proof(leaf: &[u8; 32], index: u32, siblings: &[[u8; 32]]) -> Vec<u8> {
+    let mut input = Vec::with_capacity(40 + siblings.len() * 32);
+    input.extend_from_slice(leaf);
+    input.extend_from_slice(&index.to_le_bytes());
+    input.extend_from_slice(&(siblings.len() as u32).to_le_bytes());
+    for s in siblings {
+        input.extend_from_slice(s);
+    }
+    input
+}
+
+/// Builds a 24-leaf tree in the guest, checks the root against the
+/// reference, verifies honest proofs and rejects a tampered one. Returns
+/// ops.
+///
+/// # Panics
+///
+/// Panics on divergence from the reference.
+pub fn workload(rt: &mut elide_enclave::EnclaveRuntime, idx: &HashMap<String, u64>) -> u64 {
+    let root_idx = idx["merkle_root"];
+    let verify_idx = idx["merkle_verify"];
+    let leaves = sample_leaves(24);
+    let expect = reference_root(&leaves);
+    let input: Vec<u8> = leaves.iter().flatten().copied().collect();
+    let mut ops = 0;
+
+    let r = rt.ecall(root_idx, &input, 32).expect("merkle_root");
+    assert_eq!(&r.output[..32], &expect, "Merkle root mismatch");
+    ops += 1;
+
+    for index in [0usize, 5, 23] {
+        let proof = reference_proof(&leaves, index);
+        let input = marshal_proof(&leaves[index], index as u32, &proof);
+        let r = rt.ecall(verify_idx, &input, 32).expect("merkle_verify");
+        assert_eq!(&r.output[..32], &expect, "proof for leaf {index} must evaluate to the root");
+
+        let mut bad = proof.clone();
+        bad[0][7] ^= 1;
+        let input = marshal_proof(&leaves[index], index as u32, &bad);
+        let r = rt.ecall(verify_idx, &input, 32).expect("merkle_verify tampered");
+        assert_ne!(&r.output[..32], &expect, "tampered proof for leaf {index} must not verify");
+        ops += 2;
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{launch_plain, launch_protected};
+    use elide_core::sanitizer::DataPlacement;
+
+    #[test]
+    fn reference_root_known_vector() {
+        // Two-leaf tree: root = H(leaf0 || leaf1).
+        let leaves = sample_leaves(2);
+        assert_eq!(reference_root(&leaves), hash_pair(&leaves[0], &leaves[1]));
+        // Odd level duplicates: H(l0||l1) then H(p || p-dup) chains.
+        let three = sample_leaves(3);
+        let p0 = hash_pair(&three[0], &three[1]);
+        let p1 = hash_pair(&three[2], &three[2]);
+        assert_eq!(reference_root(&three), hash_pair(&p0, &p1));
+    }
+
+    #[test]
+    fn reference_proofs_verify() {
+        let leaves = sample_leaves(24);
+        let root = reference_root(&leaves);
+        for index in [0usize, 7, 23] {
+            let proof = reference_proof(&leaves, index);
+            let mut cur = leaves[index];
+            let mut i = index;
+            for sib in &proof {
+                cur = if i & 1 == 1 { hash_pair(sib, &cur) } else { hash_pair(&cur, sib) };
+                i >>= 1;
+            }
+            assert_eq!(cur, root);
+        }
+    }
+
+    #[test]
+    fn guest_matches_reference_with_intrinsics() {
+        let app = app_with(true);
+        let mut p = launch_plain(&app, 94).unwrap();
+        assert_eq!(workload(&mut p.runtime, &p.indices), 7);
+    }
+
+    #[test]
+    fn guest_matches_reference_without_intrinsics() {
+        let app = app_with(false);
+        let mut p = launch_plain(&app, 95).unwrap();
+        assert_eq!(workload(&mut p.runtime, &p.indices), 7);
+    }
+
+    #[test]
+    fn intrinsic_variants_produce_identical_roots() {
+        let leaves = sample_leaves(16);
+        let input: Vec<u8> = leaves.iter().flatten().copied().collect();
+        let mut on = launch_plain(&app_with(true), 96).unwrap();
+        let mut off = launch_plain(&app_with(false), 96).unwrap();
+        let a = on.runtime.ecall(on.indices["merkle_root"], &input, 32).unwrap();
+        let b = off.runtime.ecall(off.indices["merkle_root"], &input, 32).unwrap();
+        assert_eq!(a.output, b.output, "intrinsics must be pure accelerators");
+        assert!(b.instructions > a.instructions);
+    }
+
+    #[test]
+    fn protected_build_restores_and_runs() {
+        let app = app_with(true);
+        let mut p = launch_protected(&app, DataPlacement::Remote, 97).unwrap();
+        p.restore().unwrap();
+        workload(&mut p.app.runtime, &p.indices);
+    }
+}

@@ -113,6 +113,27 @@ fn main() {
     });
     push("sha1", size as u64, iters, secs);
 
+    // --- The raw compression function: the unit the guest-facing
+    // SHA256_COMPRESS intrinsic charges for (one 64-byte block per call,
+    // no padding or length bookkeeping).
+    let mut state = [
+        0x6A09_E667u32,
+        0xBB67_AE85,
+        0x3C6E_F372,
+        0xA54F_F53A,
+        0x510E_527F,
+        0x9B05_688C,
+        0x1F83_D9AB,
+        0x5BE0_CD19,
+    ];
+    let (iters, secs) = time_kernel(min_seconds, || {
+        for chunk in buf.chunks_exact(64) {
+            Sha256::compress(&mut state, chunk.try_into().expect("64-byte chunk"));
+        }
+        std::hint::black_box(state[0]);
+    });
+    push("sha256_compress", (size - size % 64) as u64, iters, secs);
+
     // --- SHA-256 fed EEXTEND-style: 16-byte header + 256-byte chunk per
     // update pair, thousands of tiny updates — the measurement hot path.
     let (iters, secs) = time_kernel(min_seconds, || {

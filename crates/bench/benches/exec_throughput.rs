@@ -74,10 +74,19 @@ fn main() {
         .unwrap_or(30);
 
     // The crypto kernels: tight arithmetic loops over enclave data, where
-    // fetch/decode/dispatch dominates an interpreter's runtime.
+    // fetch/decode/dispatch dominates an interpreter's runtime — plus the
+    // memory-bound apps (JSON scan, Merkle build) whose hot loops are bulk
+    // copies/compares the sealed intrinsics accelerate.
     let apps = {
         use elide_apps::*;
-        vec![aes_app::app(), des_app::app(), sha1_app::app(), xtea::app()]
+        vec![
+            aes_app::app(),
+            des_app::app(),
+            sha1_app::app(),
+            xtea::app(),
+            json_app::app(),
+            merkle_app::app(),
+        ]
     };
 
     let mut records = Vec::new();
@@ -104,6 +113,24 @@ fn main() {
         let rec = time_workload(app.name, "elide", &mut p.app.runtime, &p.indices, reps);
         print_rec(&rec);
         records.push(rec);
+    }
+
+    // Intrinsic-off ("soft") rows for the bulk-intrinsic apps: same
+    // workload, same outputs, but every MEMCPY/MEMCMP/SHA256_COMPRESS is
+    // an Elc loop. The plain/soft gap is what the sealed intrinsics buy.
+    {
+        use elide_apps::harness::App;
+        use elide_apps::{json_app, merkle_app};
+        type Variant = (fn(bool) -> App, &'static str);
+        let variants: [Variant; 2] =
+            [(json_app::app_with, "JSON"), (merkle_app::app_with, "Merkle")];
+        for (build, name) in variants {
+            let soft = build(false);
+            let mut p = launch_plain(&soft, 42).expect("launch");
+            let rec = time_workload(name, "soft", &mut p.runtime, &p.indices, reps);
+            print_rec(&rec);
+            records.push(rec);
+        }
     }
 
     let path = write_bench_json("exec_throughput", &records).expect("write json");

@@ -5,6 +5,7 @@
 //! SgxElide paper maps to one entry point here; see `EXPERIMENTS.md` at the
 //! repository root for the index.
 
+#![forbid(unsafe_code)]
 use elide_apps::harness::{launch_protected, App};
 use elide_apps::run_workload;
 use elide_core::sanitizer::{sanitize, DataPlacement};

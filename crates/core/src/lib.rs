@@ -72,6 +72,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod api;
 pub mod attack;
 pub mod client;

@@ -28,6 +28,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod aes;
 pub mod bignum;
 pub mod des;

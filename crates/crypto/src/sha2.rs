@@ -220,6 +220,14 @@ impl Sha256 {
         h.update(data);
         h.finalize()
     }
+
+    /// One raw compression round over a 64-byte message block, updating
+    /// `state` in place. Exposed for the guest `SHA256_COMPRESS`
+    /// intrinsic, which hands the enclave runtime pre-scheduled blocks
+    /// (padding and length encoding are the caller's job).
+    pub fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+        compress256(state, block);
+    }
 }
 
 fn compress256(state: &mut [u32; 8], block: &[u8; 64]) {

@@ -27,6 +27,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod builder;
 pub mod parse;
 pub mod patch;

@@ -42,6 +42,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod edl;
 pub mod error;
 pub mod image;

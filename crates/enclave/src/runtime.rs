@@ -34,11 +34,20 @@ pub const UNTRUSTED_BASE: u64 = 0x7000_0000;
 pub const UNTRUSTED_SIZE: usize = 1 << 20;
 /// Default instruction budget per ecall.
 pub const DEFAULT_FUEL: u64 = 2_000_000_000;
+/// Chunk size for bulk intrinsics: one stack-allocated page per hop keeps
+/// the copies allocation-free while letting `retry_after_page_in` page
+/// evicted EPC pages back in mid-operation.
+const BULK_CHUNK: usize = CODE_PAGE_SIZE as usize;
+
+pub use elide_vm::isa::intrinsics::{bulk_fuel, BULK_MAX, SHA256_COMPRESS_FUEL};
 
 /// Plain host memory shared between the enclave and the untrusted runtime.
 #[derive(Clone)]
 pub struct UntrustedMemory {
     data: Vec<u8>,
+    /// Bumped on every write; the whole area's data-page generation, so the
+    /// VM's data TLB can cache marshal pages between writes.
+    epoch: u64,
 }
 
 impl std::fmt::Debug for UntrustedMemory {
@@ -49,7 +58,7 @@ impl std::fmt::Debug for UntrustedMemory {
 
 impl UntrustedMemory {
     fn new(size: usize) -> Self {
-        UntrustedMemory { data: vec![0; size] }
+        UntrustedMemory { data: vec![0; size], epoch: 0 }
     }
 
     fn offset(&self, addr: u64, len: usize) -> Option<usize> {
@@ -104,6 +113,7 @@ impl UntrustedMemory {
             available: self.data.len(),
         })?;
         self.data[off..off + bytes.len()].copy_from_slice(bytes);
+        self.epoch += 1;
         Ok(())
     }
 }
@@ -232,7 +242,21 @@ impl EnclaveWorld {
         if self.malicious_os {
             return true;
         }
+        // Bounds fast-out before the binary search: after `elide_restore`
+        // revokes write on the text segment, every data/stack store of the
+        // protected build pays this check — and they all land above the
+        // revoked text, so two compares against the outermost bounds
+        // settle the common case. (This was most of the XTEA
+        // elide-vs-plain throughput gap.)
+        let (Some(&(first_lo, _)), Some(&(_, last_hi))) =
+            (self.os_readonly.first(), self.os_readonly.last())
+        else {
+            return true;
+        };
         let end = addr.saturating_add(len);
+        if addr >= last_hi || end <= first_lo {
+            return true;
+        }
         let i = self.os_readonly.partition_point(|&(_, hi)| hi <= addr);
         match self.os_readonly.get(i) {
             Some(&(lo, _)) => lo >= end,
@@ -271,6 +295,94 @@ impl EnclaveWorld {
     fn budget_page_in(&mut self, addr: u64, access: Access) -> Result<bool, VmFault> {
         let Some(budget) = self.budget.as_mut() else { return Ok(false) };
         budget.page_in(&mut self.enclave, addr).map_err(|e| map_sgx_fault(e, addr, access))
+    }
+
+    /// Validates one operand range of a bulk intrinsic: non-empty, under
+    /// the [`BULK_MAX`] cap, and not wrapping the address space.
+    fn check_bulk_range(index: i32, addr: u64, len: u64) -> Result<(), VmFault> {
+        if len == 0 || len > BULK_MAX || addr.checked_add(len).is_none() {
+            return Err(VmFault::BadBulkArgs { index });
+        }
+        Ok(())
+    }
+
+    /// MEMCPY: forward copy of `len` bytes from `src` to `dst` in
+    /// page-sized chunks. The ranges must not overlap — a forward chunked
+    /// copy over an overlap would silently read already-written bytes, so
+    /// the contract rejects it outright. Routing each chunk through the
+    /// guarded range accessors keeps EPC paging transparent and the
+    /// OS write-revocation on elided text enforced.
+    fn bulk_memcpy(&mut self, index: i32, dst: u64, src: u64, len: u64) -> Result<(), VmFault> {
+        Self::check_bulk_range(index, dst, len)?;
+        Self::check_bulk_range(index, src, len)?;
+        if dst < src + len && src < dst + len {
+            return Err(VmFault::BadBulkArgs { index });
+        }
+        let mut buf = [0u8; BULK_CHUNK];
+        let mut off = 0u64;
+        while off < len {
+            let n = ((len - off) as usize).min(BULK_CHUNK);
+            self.read_guest_into(src + off, &mut buf[..n])?;
+            self.write_guest(dst + off, &buf[..n])?;
+            off += n as u64;
+        }
+        Ok(())
+    }
+
+    /// MEMSET: fills `len` bytes at `dst` with `byte`, in page-sized chunks.
+    fn bulk_memset(&mut self, index: i32, dst: u64, byte: u8, len: u64) -> Result<(), VmFault> {
+        Self::check_bulk_range(index, dst, len)?;
+        let buf = [byte; BULK_CHUNK];
+        let mut off = 0u64;
+        while off < len {
+            let n = ((len - off) as usize).min(BULK_CHUNK);
+            self.write_guest(dst + off, &buf[..n])?;
+            off += n as u64;
+        }
+        Ok(())
+    }
+
+    /// MEMCMP: constant-time comparison of two `len`-byte ranges — the
+    /// full length is always scanned so the result's timing leaks nothing
+    /// about the position of the first difference (the sealed-secret use
+    /// case: MAC and key comparisons). Overlap is harmless for a pure
+    /// read. Returns `0` for equal, `1` for different.
+    fn bulk_memcmp(&mut self, index: i32, a: u64, b: u64, len: u64) -> Result<u64, VmFault> {
+        Self::check_bulk_range(index, a, len)?;
+        Self::check_bulk_range(index, b, len)?;
+        let mut abuf = [0u8; BULK_CHUNK];
+        let mut bbuf = [0u8; BULK_CHUNK];
+        let mut diff = 0u8;
+        let mut off = 0u64;
+        while off < len {
+            let n = ((len - off) as usize).min(BULK_CHUNK);
+            self.read_guest_into(a + off, &mut abuf[..n])?;
+            self.read_guest_into(b + off, &mut bbuf[..n])?;
+            for i in 0..n {
+                diff |= abuf[i] ^ bbuf[i];
+            }
+            off += n as u64;
+        }
+        Ok(u64::from(diff != 0))
+    }
+
+    /// SHA256_COMPRESS: one compression-function round over the 64-byte
+    /// block at `block`, updating the eight little-endian `u32` state
+    /// words at `state` in place. Padding is the guest's job.
+    fn bulk_sha256_compress(&mut self, state_ptr: u64, block_ptr: u64) -> Result<(), VmFault> {
+        let mut state_bytes = [0u8; 32];
+        let mut block = [0u8; 64];
+        self.read_guest_into(state_ptr, &mut state_bytes)?;
+        self.read_guest_into(block_ptr, &mut block)?;
+        let mut state = [0u32; 8];
+        for (w, chunk) in state.iter_mut().zip(state_bytes.chunks_exact(4)) {
+            *w = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        Sha256::compress(&mut state, &block);
+        for (w, chunk) in state.iter().zip(state_bytes.chunks_exact_mut(4)) {
+            chunk.copy_from_slice(&w.to_le_bytes());
+        }
+        self.write_guest(state_ptr, &state_bytes)
     }
 }
 
@@ -387,9 +499,100 @@ impl Bus for EnclaveWorld {
         self.write_guest(addr, data)
     }
 
-    fn intrinsic(&mut self, index: i32, regs: &mut [u64; NUM_REGS]) -> Result<(), VmFault> {
+    fn store_in_page(
+        &mut self,
+        addr: u64,
+        size: usize,
+        value: u64,
+    ) -> Result<Option<u64>, VmFault> {
+        debug_assert!(size <= 8);
+        if self.os_write_allowed(addr, size as u64) {
+            if let Some(gen) = self.enclave.store_prim(addr, size, value) {
+                // Under an armed EPC budget the TLB holds nothing and
+                // fills are off; report "uncacheable" so it stays empty.
+                return Ok(if self.budget.is_some() { None } else { Some(gen) });
+            }
+            if self.budget_page_in(addr, Access::Write)?
+                && self.enclave.store_prim(addr, size, value).is_some()
+            {
+                return Ok(None);
+            }
+        }
+        let bytes = value.to_le_bytes();
+        self.write_guest(addr, &bytes[..size])?;
+        if self.budget.is_none()
+            && size > 0
+            && !self.in_enclave(addr)
+            && addr / CODE_PAGE_SIZE == (addr + size as u64 - 1) / CODE_PAGE_SIZE
+        {
+            // A single-page marshal-area store: the write bumped the
+            // area's epoch, which is exactly the generation the TLB will
+            // see from `data_page_generation`.
+            return Ok(Some(self.untrusted.epoch));
+        }
+        Ok(None)
+    }
+
+    fn data_page_generation(&mut self, page_addr: u64) -> Option<u64> {
+        // With an EPC budget armed, pages evict and reload behind the
+        // TLB's back (reloads restore the *stamped* generation), so data
+        // caching is disabled wholesale — mirroring how the exec-side
+        // page cache already treats eviction.
+        if self.budget.is_some() {
+            return None;
+        }
+        if self.in_enclave(page_addr) {
+            self.enclave.page_generation(page_addr)
+        } else {
+            self.untrusted.offset(page_addr, CODE_PAGE_SIZE as usize)?;
+            Some(self.untrusted.epoch)
+        }
+    }
+
+    fn data_page(
+        &mut self,
+        page_addr: u64,
+        buf: &mut [u8; CODE_PAGE_SIZE as usize],
+    ) -> Option<u64> {
+        if self.budget.is_some() {
+            return None;
+        }
+        if self.in_enclave(page_addr) {
+            let page = self.enclave.page_slice(page_addr, AccessKind::Read).ok()?;
+            buf.copy_from_slice(page);
+            self.enclave.page_generation(page_addr)
+        } else {
+            let src = self.untrusted.slice(page_addr, CODE_PAGE_SIZE as usize).ok()?;
+            buf.copy_from_slice(src);
+            Some(self.untrusted.epoch)
+        }
+    }
+
+    fn intrinsic(&mut self, index: i32, regs: &mut [u64; NUM_REGS]) -> Result<u64, VmFault> {
         let bad = || VmFault::BadIntrinsic { index };
         match index {
+            // Bulk data intrinsics return the fuel they consumed up front:
+            // proportional to bytes moved, so `retired` keeps meaning
+            // "work done" whether an app copies with a loop or one call.
+            intrinsics::MEMCPY => {
+                self.bulk_memcpy(index, regs[1], regs[2], regs[3])?;
+                regs[0] = 0;
+                return Ok(bulk_fuel(regs[3]));
+            }
+            intrinsics::MEMSET => {
+                self.bulk_memset(index, regs[1], regs[2] as u8, regs[3])?;
+                regs[0] = 0;
+                return Ok(bulk_fuel(regs[3]));
+            }
+            intrinsics::MEMCMP => {
+                regs[0] = self.bulk_memcmp(index, regs[1], regs[2], regs[3])?;
+                return Ok(bulk_fuel(regs[3]));
+            }
+            intrinsics::SHA256_COMPRESS => {
+                self.bulk_sha256_compress(regs[1], regs[2])?;
+                regs[0] = 0;
+                return Ok(SHA256_COMPRESS_FUEL);
+            }
             intrinsics::AESGCM_ENCRYPT | intrinsics::AESGCM_DECRYPT => {
                 let key: [u8; 16] = self.read_guest(regs[1], 16)?.try_into().map_err(|_| bad())?;
                 let iv: [u8; 12] = self.read_guest(regs[2], 12)?.try_into().map_err(|_| bad())?;
@@ -467,7 +670,9 @@ impl Bus for EnclaveWorld {
             }
             _ => return Err(bad()),
         }
-        Ok(())
+        // Trusted-service intrinsics keep their historical flat cost of
+        // one retired instruction (the `intrin` itself).
+        Ok(0)
     }
 }
 
@@ -596,6 +801,9 @@ impl EnclaveRuntime {
         budget.capture_backing(&self.world.enclave);
         let evicted = budget.enforce(&mut self.world.enclave).map_err(EnclaveError::Sgx)?;
         self.world.budget = Some(budget);
+        // Bounded-EPC mode disables data-TLB fills; drop whatever the TLB
+        // cached before arming, or stale copies of evicted pages survive.
+        self.vm.dtlb.flush();
         Ok(evicted)
     }
 
@@ -1069,6 +1277,222 @@ table: .zero 4096
         assert!(stats.reloads > 0, "budgeted run must have paged: {stats:?}");
         assert_eq!(stats.reload_failures, 0);
         assert!(rt2.enclave().resident_reg_pages() <= 2, "cap must hold after the run");
+    }
+
+    #[test]
+    fn bulk_memcpy_intrinsic_copies_and_charges_fuel() {
+        // Copies input to output with a single MEMCPY intrinsic; fuel is
+        // charged per 8-byte word moved, so the retired count must grow by
+        // exactly the bulk-fuel delta when only the length changes.
+        let user = "
+.section text
+.global bulk_echo
+.func bulk_echo
+    ; r2=in, r3=len, r4=out
+    mov  r1, r4
+    mov  r5, r3
+    intrin 9
+    mov  r0, r5
+    ret
+.endfunc
+";
+        let mut rt = build_runtime(user, &["bulk_echo"]);
+        let data: Vec<u8> = (0..2048u32).map(|i| (i as u8).wrapping_mul(7)).collect();
+        let small = rt.ecall(0, &data[..64], 64).unwrap();
+        assert_eq!(&small.output[..], &data[..64]);
+        let big = rt.ecall(0, &data, 2048).unwrap();
+        assert_eq!(big.status, 2048);
+        assert_eq!(&big.output[..], &data[..]);
+        assert_eq!(
+            big.instructions - small.instructions,
+            bulk_fuel(2048) - bulk_fuel(64),
+            "retired fuel must scale with bytes moved"
+        );
+    }
+
+    #[test]
+    fn bulk_memset_and_memcmp_intrinsics_work_in_guest() {
+        // Fills the output area with 0x5A, then proves MEMCMP sees the two
+        // freshly filled halves as equal and detects a one-byte flip.
+        let user = "
+.section text
+.global fill_cmp
+.func fill_cmp
+    ; r4=out (256 bytes)
+    mov  r1, r4
+    movi r2, 0x5A
+    movi r3, 256
+    intrin 10
+    mov  r1, r4
+    addi r2, r4, 128
+    movi r3, 128
+    intrin 11
+    mov  r5, r0
+    ; flip one byte in the second half, compare again
+    movi r2, 0x5B
+    addi r1, r4, 200
+    movi r3, 1
+    intrin 10
+    mov  r1, r4
+    addi r2, r4, 128
+    movi r3, 128
+    intrin 11
+    ; status = equal-before | differ-after<<1
+    shli r0, r0, 1
+    or   r0, r0, r5
+    ret
+.endfunc
+";
+        let mut rt = build_runtime(user, &["fill_cmp"]);
+        let r = rt.ecall(0, &[], 256).unwrap();
+        assert_eq!(r.status, 0b10, "halves equal after fill, unequal after flip");
+        let mut expect = vec![0x5Au8; 256];
+        expect[200] = 0x5B;
+        assert_eq!(r.output, expect);
+    }
+
+    #[test]
+    fn sha256_compress_intrinsic_matches_host() {
+        // Input: [state 8×u32 LE][block 64B]; the guest compresses in place
+        // and copies the updated state out.
+        let user = "
+.section text
+.global comp
+.func comp
+    ; r2=in, r4=out
+    mov  r1, r2
+    addi r2, r2, 32
+    intrin 12
+    mov  r2, r1
+    mov  r1, r4
+    movi r3, 32
+    intrin 9
+    movi r0, 32
+    ret
+.endfunc
+";
+        let mut rt = build_runtime(user, &["comp"]);
+        let mut state: [u32; 8] = [
+            0x6A09_E667,
+            0xBB67_AE85,
+            0x3C6E_F372,
+            0xA54F_F53A,
+            0x510E_527F,
+            0x9B05_688C,
+            0x1F83_D9AB,
+            0x5BE0_CD19,
+        ];
+        let block: [u8; 64] = core::array::from_fn(|i| (i as u8).wrapping_mul(3));
+        let mut input = Vec::new();
+        for w in state {
+            input.extend_from_slice(&w.to_le_bytes());
+        }
+        input.extend_from_slice(&block);
+        let r = rt.ecall(0, &input, 32).unwrap();
+        Sha256::compress(&mut state, &block);
+        let expect: Vec<u8> = state.iter().flat_map(|w| w.to_le_bytes()).collect();
+        assert_eq!(r.output, expect);
+    }
+
+    fn bulk_fault(body: &str) -> EnclaveError {
+        let user = format!(".section text\n.global f\n.func f\n{body}    ret\n.endfunc\n");
+        let mut rt = build_runtime(&user, &["f"]);
+        rt.ecall(0, &[], 0).unwrap_err()
+    }
+
+    #[test]
+    fn bulk_intrinsic_bad_args_fault_typed() {
+        // Zero length, overlapping copy, oversized length and wrapping
+        // ranges all land in BadBulkArgs — never a panic, never a partial
+        // write.
+        let zero_memset =
+            "    li   r1, 0x70000800\n    movi r2, 0\n    movi r3, 0\n    intrin 10\n";
+        assert_eq!(
+            bulk_fault(zero_memset),
+            EnclaveError::Fault(VmFault::BadBulkArgs { index: 10 })
+        );
+
+        let zero_memcmp =
+            "    li   r1, 0x70000800\n    mov  r2, r1\n    movi r3, 0\n    intrin 11\n";
+        assert_eq!(
+            bulk_fault(zero_memcmp),
+            EnclaveError::Fault(VmFault::BadBulkArgs { index: 11 })
+        );
+
+        let overlap_memcpy =
+            "    li   r1, 0x70000800\n    addi r2, r1, 8\n    movi r3, 64\n    intrin 9\n";
+        assert_eq!(
+            bulk_fault(overlap_memcpy),
+            EnclaveError::Fault(VmFault::BadBulkArgs { index: 9 })
+        );
+
+        let oversized =
+            "    li   r1, 0x70000800\n    mov  r2, r1\n    li   r3, 0x10000001\n    intrin 11\n";
+        assert_eq!(bulk_fault(oversized), EnclaveError::Fault(VmFault::BadBulkArgs { index: 11 }));
+
+        let wrapping =
+            "    li   r1, 0xFFFFFFFFFFFFF000\n    movi r2, 0\n    li   r3, 0x2000\n    intrin 10\n";
+        assert_eq!(bulk_fault(wrapping), EnclaveError::Fault(VmFault::BadBulkArgs { index: 10 }));
+    }
+
+    #[test]
+    fn bulk_memcpy_respects_os_readonly_ranges() {
+        // Text pages are write-revoked; an intrinsic store into them must
+        // reject the same way st64 does — the bulk path cannot be a bypass.
+        let user = "
+.section text
+.global poke
+.func poke
+    la   r1, poke
+    movi r2, 0x41
+    movi r3, 64
+    intrin 10
+    ret
+.endfunc
+";
+        let mut rt = build_runtime(user, &["poke"]);
+        match rt.ecall(0, &[], 0).unwrap_err() {
+            EnclaveError::Fault(VmFault::AccessViolation { access: Access::Write, .. }) => {}
+            other => panic!("expected write violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bulk_intrinsics_page_evicted_memory_back_in() {
+        // MEMCPY between two enclave data buffers under a 2-page EPC cap:
+        // the source and destination pages are evicted between ecalls and
+        // must transparently reload mid-copy.
+        let user = "
+.section text
+.global shuffle
+.func shuffle
+    la   r1, dstbuf
+    la   r2, srcbuf
+    li   r3, 4096
+    intrin 9
+    la   r1, dstbuf
+    ld64 r0, [r1]
+    ret
+.endfunc
+.section data
+srcbuf: .quad 0x1122334455667788
+    .zero 4088
+dstbuf: .zero 4096
+";
+        let mut rt = build_runtime(user, &["shuffle"]);
+        let baseline = rt.ecall(0, &[], 0).unwrap();
+        assert_eq!(baseline.status, 0x1122_3344_5566_7788);
+
+        let mut rt2 = build_runtime(user, &["shuffle"]);
+        let mut rng = SeededRandom::new(5);
+        rt2.set_epc_budget(EpcBudget::new(2, &mut rng)).unwrap();
+        for _ in 0..3 {
+            let r = rt2.ecall(0, &[], 0).unwrap();
+            assert_eq!(r.status, baseline.status);
+        }
+        let stats = rt2.epc_budget().unwrap().stats();
+        assert!(stats.reloads > 0, "budgeted run must have paged: {stats:?}");
+        assert_eq!(stats.reload_failures, 0);
     }
 
     #[test]

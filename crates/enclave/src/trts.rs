@@ -35,9 +35,22 @@ pub const TRTS_ASM: &str = r#"
 .endfunc
 
 ; elide_memcpy(dst=r1, src=r2, len=r3) -> r0 = dst
+; Disjoint copies dispatch to the sealed MEMCPY intrinsic (fuel ~ len/8);
+; overlapping ranges — which the intrinsic rejects by contract — fall back
+; to the original byte/word loop.
 .global elide_memcpy
 .func elide_memcpy
     mov  r0, r1
+    movi r6, 0
+    beq  r3, r6, .done       ; zero length: nothing to do
+    sub  r6, r1, r2
+    bltu r6, r3, .soft       ; dst inside [src, src+len): overlap
+    sub  r6, r2, r1
+    bltu r6, r3, .soft       ; src inside [dst, dst+len): overlap
+    intrin 9                 ; MEMCPY
+    mov  r0, r1
+    ret
+.soft:
     movi r6, 0
     movi r7, 8
 .loop8:
@@ -63,38 +76,23 @@ pub const TRTS_ASM: &str = r#"
 ; elide_memset(dst=r1, byte=r2, len=r3) -> r0 = dst
 .global elide_memset
 .func elide_memset
-    mov  r0, r1
     movi r6, 0
-.loop:
-    beq  r3, r6, .done
-    st8  r2, [r1]
-    addi r1, r1, 1
-    addi r3, r3, -1
-    jmp  .loop
+    beq  r3, r6, .done       ; zero length: the intrinsic faults on it
+    intrin 10                ; MEMSET
 .done:
+    mov  r0, r1
     ret
 .endfunc
 
 ; elide_memcmp(a=r1, b=r2, len=r3) -> r0 = 0 if equal, 1 otherwise
-; (constant-time: always scans the full length)
+; (constant-time: the intrinsic always scans the full length)
 .global elide_memcmp
 .func elide_memcmp
     movi r0, 0
     movi r6, 0
-.loop:
-    beq  r3, r6, .done
-    ld8u r4, [r1]
-    ld8u r5, [r2]
-    xor  r4, r4, r5
-    or   r0, r0, r4
-    addi r1, r1, 1
-    addi r2, r2, 1
-    addi r3, r3, -1
-    jmp  .loop
+    beq  r3, r6, .done       ; empty ranges compare equal
+    intrin 11                ; MEMCMP
 .done:
-    beq  r0, r6, .eq
-    movi r0, 1
-.eq:
     ret
 .endfunc
 
@@ -133,6 +131,23 @@ mod tests {
         assert!(obj.symbol("__stack_top").is_some());
         let bss = obj.section("bss").unwrap();
         assert!(bss.size >= STACK_SIZE);
+    }
+
+    #[test]
+    fn memory_helpers_dispatch_to_bulk_intrinsics() {
+        use elide_vm::isa::{intrinsics, Instr, Opcode};
+        let obj = assemble(TRTS_ASM).unwrap();
+        let text = obj.section("text").unwrap();
+        let imms: Vec<i32> = text
+            .bytes
+            .chunks_exact(8)
+            .filter_map(|c| Instr::decode(c.try_into().unwrap()))
+            .filter(|i| i.op == Opcode::Intrin)
+            .map(|i| i.imm)
+            .collect();
+        assert!(imms.contains(&intrinsics::MEMCPY));
+        assert!(imms.contains(&intrinsics::MEMSET));
+        assert!(imms.contains(&intrinsics::MEMCMP));
     }
 
     #[test]

@@ -437,8 +437,10 @@ impl Enclave {
     /// [`Enclave::load_prim`]. Keeps the write-side architectural
     /// obligations: the page generation moves exactly as in
     /// [`Enclave::write`], so decode/translation caches stay coherent.
+    /// Returns the page's **new** generation stamp, which the VM's data
+    /// TLB uses to keep its write-through copy vouched-for.
     #[inline]
-    pub fn store_prim(&mut self, vaddr: u64, size: usize, value: u64) -> Option<()> {
+    pub fn store_prim(&mut self, vaddr: u64, size: usize, value: u64) -> Option<u64> {
         debug_assert!(size <= 8);
         if !self.initialized {
             return None;
@@ -471,7 +473,7 @@ impl Enclave {
         }
         self.epoch += 1;
         self.page_gens[idx] = self.epoch;
-        Some(())
+        Some(self.epoch)
     }
 
     /// Borrowed view of the whole resident page containing `vaddr`, with

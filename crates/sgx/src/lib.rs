@@ -43,6 +43,7 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod budget;
 pub mod enclave;
 pub mod epc;

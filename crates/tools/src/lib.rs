@@ -16,6 +16,7 @@
 //! The simulated platform (CPU fuses + quoting-enclave key) persists in a
 //! `platform.bin` file so separate tool invocations model the same machine.
 
+#![forbid(unsafe_code)]
 use std::path::Path;
 use std::process::ExitCode;
 

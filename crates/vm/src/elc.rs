@@ -34,7 +34,12 @@
 //! * Functions take up to 4 parameters, passed in `r2..r5` — exactly the
 //!   ecall ABI, so an Elc function is directly usable as an ecall.
 //! * Builtins: `load8/load16/load32/load64(addr)`,
-//!   `store8/store16/store32/store64(addr, value)`.
+//!   `store8/store16/store32/store64(addr, value)`; the sealed bulk
+//!   intrinsics `memcpy(dst, src, len)`, `memset(dst, byte, len)`,
+//!   `memcmp(a, b, len)` and `sha256_compress(state, block)` compile to
+//!   single `intrin` instructions (result = the intrinsic's `r0`).
+//! * `&symbol` takes the address of a link-time symbol (an assembly-side
+//!   buffer or table) via `la`.
 //! * Operators by falling precedence: unary `- ~ !`; `* / %`; `+ -`;
 //!   `<< >>`; `< <= > >=`; `== !=`; `&`; `^`; `|`; `&&`; `||`
 //!   (logical forms short-circuit).
@@ -155,9 +160,11 @@ fn lex(src: &str) -> Result<Vec<Lexed>, ElcError> {
 enum Expr {
     Num(u64),
     Var(String),
+    AddrOf(String), // &symbol: address of a link-time symbol
     Unary(&'static str, Box<Expr>),
     Binary(&'static str, Box<Expr>, Box<Expr>),
     Call(String, Vec<Expr>),
+    Intrin(i32, Vec<Expr>), // sealed intrinsic (args in r1..r3)
     Load(usize, Box<Expr>), // size in bytes
 }
 
@@ -401,6 +408,10 @@ impl Parser {
                 self.next();
                 Ok(Expr::Unary(op, Box::new(self.unary()?)))
             }
+            Tok::Punct("&") => {
+                self.next();
+                Ok(Expr::AddrOf(self.expect_ident()?))
+            }
             _ => self.primary(),
         }
     }
@@ -434,6 +445,12 @@ impl Parser {
                     }
                     if store_size(&name).is_some() {
                         return err(line, format!("{name} is a statement, not an expression"));
+                    }
+                    if let Some((index, arity)) = intrin_builtin(&name) {
+                        if args.len() != arity {
+                            return err(line, format!("{name} takes {arity} arguments"));
+                        }
+                        return Ok(Expr::Intrin(index, args));
                     }
                     if args.len() > 4 {
                         return err(line, "at most 4 arguments supported");
@@ -474,6 +491,19 @@ fn store_size(name: &str) -> Option<usize> {
         "store16" => Some(2),
         "store32" => Some(4),
         "store64" => Some(8),
+        _ => None,
+    }
+}
+
+/// Builtins that compile to a single `intrin` instruction: name →
+/// (intrinsic index, arity). Arguments go to `r1..`, the result is `r0`.
+fn intrin_builtin(name: &str) -> Option<(i32, usize)> {
+    use crate::isa::intrinsics;
+    match name {
+        "memcpy" => Some((intrinsics::MEMCPY, 3)),
+        "memset" => Some((intrinsics::MEMSET, 3)),
+        "memcmp" => Some((intrinsics::MEMCMP, 3)),
+        "sha256_compress" => Some((intrinsics::SHA256_COMPRESS, 2)),
         _ => None,
     }
 }
@@ -542,6 +572,10 @@ impl Codegen {
                 let r = self.push_reg()?;
                 self.emit(&format!("ld64 {r}, [sp+{off}]"));
             }
+            Expr::AddrOf(symbol) => {
+                let r = self.push_reg()?;
+                self.emit(&format!("la {r}, {symbol}"));
+            }
             Expr::Unary(op, inner) => {
                 self.expr(inner)?;
                 let r = self.top_reg();
@@ -595,6 +629,23 @@ impl Codegen {
                 }
                 for i in (0..arg_base).rev() {
                     self.emit(&format!("pop {}", VALUE_REGS[i]));
+                }
+                let r = self.push_reg()?;
+                self.emit(&format!("mov {r}, r0"));
+            }
+            Expr::Intrin(index, args) => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                // Intrinsics clobber only r0 and memory, so the value
+                // stack needs no saving — just marshal args to r1..
+                let arg_base = self.depth - args.len();
+                for (i, _) in args.iter().enumerate() {
+                    self.emit(&format!("mov r{}, {}", 1 + i, VALUE_REGS[arg_base + i]));
+                }
+                self.emit(&format!("intrin {index}"));
+                for _ in args {
+                    self.pop_reg();
                 }
                 let r = self.push_reg()?;
                 self.emit(&format!("mov {r}, r0"));
@@ -972,6 +1023,59 @@ fn main(p) {
     #[test]
     fn implicit_return_zero() {
         assert_eq!(eval("fn main() { let x = 5; }", &[]), 0);
+    }
+
+    #[test]
+    fn bulk_intrinsic_builtins() {
+        // memset + memcpy + memcmp against FlatMemory's intrinsic impls.
+        let src = "
+fn main(p) {
+    let q = p + 256;
+    memset(p, 0xAA, 64);
+    memcpy(q, p, 64);
+    if (memcmp(p, q, 64) != 0) { return 100; }
+    store8(q + 63, 0xAB);
+    if (memcmp(p, q, 64) != 1) { return 200; }
+    return load8(p) + load8(q + 63);
+}";
+        assert_eq!(eval(src, &[0x80000]), 0xAA + 0xAB);
+    }
+
+    #[test]
+    fn address_of_link_time_symbols() {
+        // `&symbol` resolves through the linker like a hand-written `la`.
+        let asm = compile("fn main() { return load64(&table); }").unwrap();
+        assert!(asm.contains("la r6, table"));
+        let extra = ".section text\n.global table\ntable:\n    .quad 0x1234\n";
+        let wrapper = "\
+.section text
+.global __start
+.func __start
+    mov r15, sp
+    call main
+    halt
+.endfunc
+";
+        let objs =
+            vec![assemble(wrapper).unwrap(), assemble(&asm).unwrap(), assemble(extra).unwrap()];
+        let image = link(&objs, &LinkOptions { base: 0, entry: "__start".into() }).unwrap();
+        let elf = elide_elf::ElfFile::parse(image).unwrap();
+        let text = elf.section_by_name(".text").unwrap();
+        let mut mem = FlatMemory::new(0, 1 << 20);
+        mem.write_at(text.sh_addr, elf.section_data(text).unwrap());
+        let mut vm = Vm::new(elf.header().e_entry);
+        vm.set_sp((1 << 20) - 64);
+        match vm.run(&mut mem, 1_000_000).unwrap() {
+            Exit::Halt(v) => assert_eq!(v, 0x1234),
+            Exit::Ocall(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn intrinsic_builtin_arity_is_checked() {
+        assert!(compile("fn main(p) { memcpy(p, p); }").is_err());
+        assert!(compile("fn main(p) { sha256_compress(p); }").is_err());
+        assert!(compile("fn main(p) { memset(p, 0, 1, 2); }").is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use crate::dcache::DecodeCache;
 use crate::isa::{Instr, Opcode, INSTR_SIZE, NUM_REGS, REG_SP};
-use crate::mem::{Bus, VmFault, CODE_PAGE_SIZE};
+use crate::mem::{Bus, DTlb, VmFault, CODE_PAGE_SIZE};
 use crate::trans::TransCache;
 
 /// Why execution returned to the host.
@@ -97,6 +97,8 @@ pub struct Vm {
     pub dcache: DecodeCache,
     /// Superblock cache layered over the decode cache.
     pub trans: TransCache,
+    /// Software data TLB serving the load/store fast path in both engines.
+    pub dtlb: DTlb,
     /// Which execution tier [`Vm::run`] drives.
     pub engine: Engine,
     /// Execution-tier counters.
@@ -112,6 +114,7 @@ impl Vm {
             retired: 0,
             dcache: DecodeCache::new(),
             trans: TransCache::new(),
+            dtlb: DTlb::new(),
             engine: Engine::default(),
             stats: ExecStats::default(),
         }
@@ -138,6 +141,11 @@ impl Vm {
     ///
     /// Returns the first [`VmFault`] raised.
     pub fn run<B: Bus + ?Sized>(&mut self, bus: &mut B, fuel: u64) -> Result<Exit, VmFault> {
+        // Memory may have changed since the last run (ecall input staging,
+        // ocall handlers writing guest buffers): drop stale data-TLB
+        // entries once per entry. Within a run, coherence is maintained by
+        // write-through stores and the post-intrinsic revalidation.
+        self.dtlb.revalidate(bus);
         match self.engine {
             Engine::Superblock => crate::trans::run_superblock(self, bus, fuel),
             Engine::Interp => match self.run_interp(bus, fuel, false) {
@@ -307,7 +315,7 @@ impl Vm {
                         _ => 8,
                     };
                     let ea = r[instr.b as usize].wrapping_add(imm_s);
-                    r[instr.a as usize] = bus.load(ea, size)?;
+                    r[instr.a as usize] = self.dtlb.load(bus, ea, size)?;
                 }
                 St8 | St16 | St32 | St64 => {
                     let size = match instr.op {
@@ -317,7 +325,7 @@ impl Vm {
                         _ => 8,
                     };
                     let ea = r[instr.b as usize].wrapping_add(imm_s);
-                    bus.store(ea, size, r[instr.a as usize])?;
+                    self.dtlb.store(bus, ea, size, r[instr.a as usize])?;
                     revalidate = true;
                 }
                 Jmp => next = next.wrapping_add(imm_s),
@@ -338,23 +346,23 @@ impl Vm {
                 }
                 Call => {
                     let sp = r[REG_SP as usize].wrapping_sub(8);
-                    bus.store(sp, 8, next)?;
-                    r[REG_SP as usize] = sp;
+                    self.dtlb.store(bus, sp, 8, next)?;
+                    self.regs[REG_SP as usize] = sp;
                     next = next.wrapping_add(imm_s);
                     revalidate = true;
                 }
                 Callr => {
                     let target = r[instr.b as usize];
                     let sp = r[REG_SP as usize].wrapping_sub(8);
-                    bus.store(sp, 8, next)?;
-                    r[REG_SP as usize] = sp;
+                    self.dtlb.store(bus, sp, 8, next)?;
+                    self.regs[REG_SP as usize] = sp;
                     next = target;
                     revalidate = true;
                 }
                 Ret => {
                     let sp = r[REG_SP as usize];
-                    next = bus.load(sp, 8)?;
-                    r[REG_SP as usize] = sp.wrapping_add(8);
+                    next = self.dtlb.load(bus, sp, 8)?;
+                    self.regs[REG_SP as usize] = sp.wrapping_add(8);
                 }
                 Ldpc => r[instr.a as usize] = next,
                 Jmpr => next = r[instr.b as usize],
@@ -364,8 +372,25 @@ impl Vm {
                 }
                 Intrin => {
                     self.pc = next;
-                    bus.intrinsic(instr.imm, &mut self.regs)?;
+                    let extra = bus.intrinsic(instr.imm, &mut self.regs)?;
+                    // Intrinsics write guest memory directly: both caches
+                    // must re-check their generations.
+                    self.dtlb.revalidate(bus);
                     revalidate = true;
+                    if extra > 0 {
+                        // Bulk intrinsics charge fuel proportional to the
+                        // bytes they moved. The charge lands after the work
+                        // (the byte count is only known then), so an
+                        // exhausted budget faults with the effects already
+                        // committed and the pc past the `intrin` — the
+                        // translator mirrors this exactly.
+                        self.retired += extra;
+                        self.stats.interp_retired += extra;
+                        if fuel < extra {
+                            return Err(VmFault::OutOfFuel.into());
+                        }
+                        fuel -= extra;
+                    }
                     continue;
                 }
             }
@@ -540,10 +565,14 @@ mod tests {
             fn fetch(&mut self, addr: u64) -> Result<[u8; 8], VmFault> {
                 self.0.fetch(addr)
             }
-            fn intrinsic(&mut self, index: i32, regs: &mut [u64; NUM_REGS]) -> Result<(), VmFault> {
+            fn intrinsic(
+                &mut self,
+                index: i32,
+                regs: &mut [u64; NUM_REGS],
+            ) -> Result<u64, VmFault> {
                 assert_eq!(index, 9);
                 regs[0] = regs[1] * 2;
-                Ok(())
+                Ok(0)
             }
         }
         let mut mem = Doubling(program(&[

@@ -339,6 +339,37 @@ pub mod intrinsics {
     pub const DH_DERIVE: i32 = 7;
     /// Random bytes: `r1`=dst, `r2`=len.
     pub const RAND: i32 = 8;
+    /// Bulk copy: `r1`=dst, `r2`=src, `r3`=len. Ranges must not overlap.
+    /// Charges `ceil(len / 8)` extra fuel; `r0` = 0.
+    pub const MEMCPY: i32 = 9;
+    /// Bulk fill: `r1`=dst, `r2`=fill byte (low 8 bits), `r3`=len.
+    /// Charges `ceil(len / 8)` extra fuel; `r0` = 0.
+    pub const MEMSET: i32 = 10;
+    /// Bulk compare: `r1`=a, `r2`=b, `r3`=len. Constant-time full scan
+    /// (no early exit); `r0` = 0 when equal, 1 otherwise. Charges
+    /// `ceil(len / 8)` extra fuel.
+    pub const MEMCMP: i32 = 11;
+    /// One SHA-256 compression round: `r1`=state ptr (8 little-endian u32,
+    /// updated in place), `r2`=block ptr (64 message bytes). Charges 64
+    /// extra fuel; `r0` = 0.
+    pub const SHA256_COMPRESS: i32 = 12;
+
+    /// Upper bound on a bulk intrinsic's length operand (256 MiB) — far
+    /// above any real marshal buffer, low enough that a hostile length
+    /// cannot stall the host for minutes inside one instruction.
+    pub const BULK_MAX: u64 = 1 << 28;
+
+    /// Fuel charged for moving `len` bytes through a bulk intrinsic: one
+    /// unit per 8-byte word, mirroring what a hand-rolled EV64 copy loop
+    /// retires per word — so `retired` and `ExecStats` stay comparable
+    /// across intrinsic-on and intrinsic-off builds of the same app.
+    pub fn bulk_fuel(len: u64) -> u64 {
+        len.div_ceil(8)
+    }
+
+    /// Fuel charged per SHA-256 compression round (64 rounds of message
+    /// schedule + state update).
+    pub const SHA256_COMPRESS_FUEL: u64 = 64;
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@
 //! assert_eq!(vm.run(&mut mem, 100).unwrap(), Exit::Halt(42));
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod asm;
 pub mod dcache;
 pub mod disasm;

@@ -52,6 +52,9 @@ struct GenCfg {
     self_mod: u64,
     /// Out of 100: probability of an explicitly undecodable instruction.
     illegal: u64,
+    /// Out of 100: probability of a bulk intrinsic (half pinned-valid
+    /// args, half whatever garbage the registers hold).
+    intrin: u64,
 }
 
 fn gen_program(rng: &mut Rng, n: usize, cfg: &GenCfg) -> Vec<Instr> {
@@ -75,27 +78,41 @@ fn gen_program(rng: &mut Rng, n: usize, cfg: &GenCfg) -> Vec<Instr> {
             // An opcode byte that does not decode; reaches the
             // IllegalInstruction path through both engines.
             prog.push(Instr::new(Illegal, 0, 0, 0, 0));
-        } else if roll < cfg.self_mod + cfg.illegal + 34 {
+        } else if roll < cfg.self_mod + cfg.illegal + cfg.intrin {
+            // Bulk intrinsic. Pinned-valid args exercise the happy path
+            // (chunked copies, fuel charging, TLB revalidation); raw
+            // register garbage exercises the typed-fault path. Either way
+            // both engines must land on the identical outcome.
+            if rng.below(2) == 0 && prog.len() + 4 <= n {
+                prog.push(Instr::new(Movi, 1, 0, 0, DATA as i32));
+                prog.push(Instr::new(Movi, 2, 0, 0, (DATA + 0x1000) as i32));
+                prog.push(Instr::new(Movi, 3, 0, 0, 1 + rng.below(256) as i32));
+                let idx = [9, 10, 11][rng.below(3) as usize];
+                prog.push(Instr::new(Intrin, 0, 0, 0, idx));
+            } else {
+                prog.push(Instr::new(Intrin, 0, 0, 0, rng.below(16) as i32));
+            }
+        } else if roll < cfg.self_mod + cfg.illegal + cfg.intrin + 34 {
             let op = alu2[rng.below(alu2.len() as u64) as usize];
             prog.push(Instr::new(op, rng.reg(), rng.reg(), rng.reg(), 0));
-        } else if roll < cfg.self_mod + cfg.illegal + 50 {
+        } else if roll < cfg.self_mod + cfg.illegal + cfg.intrin + 50 {
             let op = alui[rng.below(alui.len() as u64) as usize];
             prog.push(Instr::new(op, rng.reg(), rng.reg(), 0, rng.next() as i32));
-        } else if roll < cfg.self_mod + cfg.illegal + 58 {
+        } else if roll < cfg.self_mod + cfg.illegal + cfg.intrin + 58 {
             // Constant materialization: movi (+ movhi) — the LImm fusion.
             let d = rng.reg();
             prog.push(Instr::new(Movi, d, 0, 0, rng.next() as i32));
             if rng.below(2) == 0 && prog.len() < n {
                 prog.push(Instr::new(Movhi, d, 0, 0, rng.next() as i32));
             }
-        } else if roll < cfg.self_mod + cfg.illegal + 68 {
+        } else if roll < cfg.self_mod + cfg.illegal + cfg.intrin + 68 {
             // Data load: r13 is pinned to DATA each iteration below.
             let op = lds[rng.below(lds.len() as u64) as usize];
             prog.push(Instr::new(op, rng.reg(), 13, 0, rng.below(0xFF0) as i32));
-        } else if roll < cfg.self_mod + cfg.illegal + 76 {
+        } else if roll < cfg.self_mod + cfg.illegal + cfg.intrin + 76 {
             let op = sts[rng.below(sts.len() as u64) as usize];
             prog.push(Instr::new(op, rng.reg(), 13, 0, rng.below(0xFF0) as i32));
-        } else if roll < cfg.self_mod + cfg.illegal + 88 {
+        } else if roll < cfg.self_mod + cfg.illegal + cfg.intrin + 88 {
             // Conditional branch to a random in-program slot (forward or
             // backward — backward edges exercise the loop-unroll side
             // exits, forward ones the taken exits).
@@ -104,18 +121,18 @@ fn gen_program(rng: &mut Rng, n: usize, cfg: &GenCfg) -> Vec<Instr> {
             let target = rng.below(n as u64) as i64;
             let imm = (target - (i as i64 + 1)) * 8;
             prog.push(Instr::new(op, rng.reg(), rng.reg(), 0, imm as i32));
-        } else if roll < cfg.self_mod + cfg.illegal + 92 {
+        } else if roll < cfg.self_mod + cfg.illegal + cfg.intrin + 92 {
             let target = rng.below(n as u64) as i64;
             let imm = (target - (i as i64 + 1)) * 8;
             prog.push(Instr::new(Jmp, 0, 0, 0, imm as i32));
-        } else if roll < cfg.self_mod + cfg.illegal + 96 {
+        } else if roll < cfg.self_mod + cfg.illegal + cfg.intrin + 96 {
             // Call a forward slot; the matching ret (if ever reached)
             // exercises the RetHop guard against a possibly-clobbered
             // return slot.
             let target = (i as u64 + 1 + rng.below(8)).min(n as u64 - 1) as i64;
             let imm = (target - (i as i64 + 1)) * 8;
             prog.push(Instr::new(Call, 0, 0, 0, imm as i32));
-        } else if roll < cfg.self_mod + cfg.illegal + 98 {
+        } else if roll < cfg.self_mod + cfg.illegal + cfg.intrin + 98 {
             prog.push(Instr::new(Ret, 0, 0, 0, 0));
         } else {
             // Pin the anchors mid-stream so wild ALU results do not leave
@@ -172,7 +189,7 @@ fn assert_agree(prog: &[Instr], seed: u64) {
 
 #[test]
 fn random_programs_agree() {
-    let cfg = GenCfg { self_mod: 2, illegal: 1 };
+    let cfg = GenCfg { self_mod: 2, illegal: 1, intrin: 0 };
     for case in 0..400u64 {
         let seed = 0xE1DE_0000 + case;
         let mut rng = Rng(seed.wrapping_mul(0x6C62_272E_07BB_0142) | 1);
@@ -187,7 +204,7 @@ fn self_modifying_programs_agree() {
     // Heavy self-modification: every ~8th instruction rewrites the code
     // page, so translated blocks are invalidated (and re-translated)
     // constantly, often from inside themselves.
-    let cfg = GenCfg { self_mod: 12, illegal: 2 };
+    let cfg = GenCfg { self_mod: 12, illegal: 2, intrin: 0 };
     for case in 0..200u64 {
         let seed = 0x5E1F_0000 + case;
         let mut rng = Rng(seed.wrapping_mul(0x6C62_272E_07BB_0142) | 1);
@@ -307,6 +324,139 @@ fn stats_attribute_retirement_to_the_right_tier() {
     assert_eq!(it.blocks_entered, 0);
     assert_eq!(it.trans_retired, 0);
     assert_eq!(it.interp_retired, retired_i);
+}
+
+/// Random programs peppered with bulk intrinsics — pinned-valid sequences
+/// and raw garbage alike — agree across engines, including the extra fuel
+/// the intrinsics charge into the retired counter and the typed faults
+/// their argument checks raise.
+#[test]
+fn intrinsic_programs_agree() {
+    let cfg = GenCfg { self_mod: 3, illegal: 1, intrin: 8 };
+    for case in 0..300u64 {
+        let seed = 0x147E_0000 + case;
+        let mut rng = Rng(seed.wrapping_mul(0x6C62_272E_07BB_0142) | 1);
+        let n = 24 + rng.below(140) as usize;
+        let prog = gen_program(&mut rng, n, &cfg);
+        assert_agree(&prog, seed);
+    }
+}
+
+/// The data-TLB is write-through: a store to a page promoted into the TLB
+/// must be visible to the very next load, under both engines.
+#[test]
+fn dtlb_write_through_is_coherent() {
+    use Opcode::*;
+    let prog = [
+        // Two consecutive loads promote DATA's page into the TLB.
+        Instr::new(Ld64, 1, 13, 0, 0),
+        Instr::new(Ld64, 1, 13, 0, 0),
+        Instr::new(Movi, 2, 0, 0, 77),
+        Instr::new(St64, 2, 13, 0, 0),
+        Instr::new(Ld64, 3, 13, 0, 0),
+        Instr::new(Halt, 0, 0, 0, 0),
+    ];
+    for engine in [Engine::Interp, Engine::Superblock] {
+        let mut mem = load_image(&prog, 1);
+        let mut vm = Vm::new(BASE);
+        vm.set_engine(engine);
+        vm.regs[13] = DATA;
+        vm.regs[15] = STACK_TOP;
+        vm.run(&mut mem, FUEL).expect("run");
+        assert_eq!(vm.regs[3], 77, "stale TLB read under {engine:?}");
+    }
+}
+
+/// A bulk intrinsic that rewrites a TLB-promoted page bumps the page
+/// generation; the post-intrinsic revalidation must drop the stale entry
+/// so the next load reads the fresh bytes.
+#[test]
+fn intrinsic_stores_invalidate_cached_pages() {
+    use Opcode::*;
+    let prog = [
+        // Promote DATA's page.
+        Instr::new(Ld64, 4, 13, 0, 0),
+        Instr::new(Ld64, 4, 13, 0, 0),
+        // memset(DATA, 0x5A, 64) behind the TLB's back.
+        Instr::new(Movi, 1, 0, 0, DATA as i32),
+        Instr::new(Movi, 2, 0, 0, 0x5A),
+        Instr::new(Movi, 3, 0, 0, 64),
+        Instr::new(Intrin, 0, 0, 0, 10),
+        Instr::new(Ld64, 5, 13, 0, 0),
+        Instr::new(Halt, 0, 0, 0, 0),
+    ];
+    for engine in [Engine::Interp, Engine::Superblock] {
+        let mut mem = load_image(&prog, 1);
+        let mut vm = Vm::new(BASE);
+        vm.set_engine(engine);
+        vm.regs[13] = DATA;
+        vm.regs[15] = STACK_TOP;
+        vm.run(&mut mem, FUEL).expect("run");
+        assert_ne!(vm.regs[4], 0x5A5A_5A5A_5A5A_5A5A, "pre-set data was already 0x5A");
+        assert_eq!(vm.regs[5], 0x5A5A_5A5A_5A5A_5A5A, "TLB served stale bytes under {engine:?}");
+    }
+}
+
+/// Bulk fuel is charged into `retired` identically in both engines and
+/// scales exactly with the byte count: two MEMCPYs differing only in
+/// length retire exactly `bulk_fuel` apart.
+#[test]
+fn intrinsic_fuel_is_charged_per_byte() {
+    use elide_vm::isa::intrinsics::bulk_fuel;
+    use Opcode::*;
+    let run = |len: i32, engine: Engine| {
+        let prog = [
+            Instr::new(Movi, 1, 0, 0, DATA as i32),
+            Instr::new(Movi, 2, 0, 0, (DATA + 0x1000) as i32),
+            Instr::new(Movi, 3, 0, 0, len),
+            Instr::new(Intrin, 0, 0, 0, 9),
+            Instr::new(Halt, 0, 0, 0, 0),
+        ];
+        let mut mem = load_image(&prog, 1);
+        let mut vm = Vm::new(BASE);
+        vm.set_engine(engine);
+        vm.regs[15] = STACK_TOP;
+        vm.run(&mut mem, FUEL).expect("run");
+        vm.retired
+    };
+    for engine in [Engine::Interp, Engine::Superblock] {
+        let small = run(8, engine);
+        let big = run(1024, engine);
+        assert_eq!(
+            big - small,
+            bulk_fuel(1024) - bulk_fuel(8),
+            "bulk fuel attribution wrong under {engine:?}"
+        );
+    }
+    assert_eq!(run(512, Engine::Interp), run(512, Engine::Superblock));
+}
+
+/// Fuel exhaustion must cut an intrinsic off at the same boundary in both
+/// engines: an intrin whose bulk charge exceeds the remaining fuel faults
+/// with OutOfFuel before any extra work is accounted.
+#[test]
+fn intrinsic_fuel_exhaustion_agrees() {
+    use Opcode::*;
+    let prog = [
+        Instr::new(Movi, 1, 0, 0, DATA as i32),
+        Instr::new(Movi, 2, 0, 0, (DATA + 0x1000) as i32),
+        Instr::new(Movi, 3, 0, 0, 1024),
+        Instr::new(Intrin, 0, 0, 0, 9),
+        Instr::new(Halt, 0, 0, 0, 0),
+    ];
+    // bulk_fuel(1024) = 128 extra on top of 4 instructions: probe fuel
+    // values straddling every boundary.
+    for fuel in [0u64, 3, 4, 5, 100, 131, 132, 133, 200] {
+        let run = |engine: Engine| {
+            let mut mem = load_image(&prog, 1);
+            let mut vm = Vm::new(BASE);
+            vm.set_engine(engine);
+            vm.regs[15] = STACK_TOP;
+            let res = vm.run(&mut mem, fuel);
+            (res, vm.pc, vm.retired)
+        };
+        assert_eq!(run(Engine::Interp), run(Engine::Superblock), "fuel={fuel}");
+    }
 }
 
 /// Fuel exhaustion must fault at the same instruction boundary under both

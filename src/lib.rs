@@ -15,6 +15,7 @@
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! system inventory.
 
+#![forbid(unsafe_code)]
 pub use elide_apps as apps;
 pub use elide_core as core;
 pub use elide_crypto as crypto;

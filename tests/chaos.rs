@@ -614,6 +614,134 @@ fn epc_eviction_chaos_fails_closed_under_oversubscription() {
     assert!(tampers_total > 0, "the eviction chaos never corrupted a blob — vacuous");
 }
 
+/// Guest for the bulk-intrinsic eviction schedules: one ecall MEMSETs a
+/// 64 KiB half-arena, MEMCPYs it onto the other half and MEMCMPs the two
+/// back — 32 pages touched per call through the sealed intrinsic path,
+/// far over the oversubscribed cap, so every bulk operation crosses
+/// evicted pages mid-flight and must page them back in transparently.
+/// The return value is a pure function of the argument.
+const BULK_CHAOS_GUEST: &str = "
+.section text
+.global bulksweep
+.func bulksweep
+    ld64 r7, [r2]
+    andi r7, r7, 255
+    ; memset(arena, arg & 0xFF, 64K)
+    la   r1, arena
+    mov  r2, r7
+    li   r3, 65536
+    intrin 10
+    ; memcpy(arena + 64K, arena, 64K)
+    la   r1, arena
+    la   r2, arena
+    add  r1, r1, r3
+    intrin 9
+    ; memcmp(arena, arena + 64K, 64K) -> r0 (0 iff equal)
+    la   r1, arena
+    add  r2, r1, r3
+    intrin 11
+    ; status = (cmp << 8) | fill-byte
+    shli r0, r0, 8
+    or   r0, r0, r7
+    ret
+.endfunc
+
+.section bss
+.align 8
+arena:
+    .zero 131072
+";
+
+/// Seeded schedules fire the bulk intrinsics under an armed [`EpcBudget`]:
+/// a MEMCPY/MEMSET/MEMCMP sweep over 32 pages with a cap of a quarter of
+/// the image means evicted pages are touched mid-copy on every call and
+/// page back in transparently. The control schedule pins the answers;
+/// tampered schedules must match positionally or fail with typed errors
+/// (the fail-closed invariant extended to the bulk path).
+#[test]
+fn bulk_intrinsic_chaos_pages_in_transparently_under_epc_pressure() {
+    let base = base_seed();
+    let mut b = EnclaveImageBuilder::new();
+    b.source(ELIDE_ASM).source(BULK_CHAOS_GUEST).ecall("bulksweep").ecall("elide_restore");
+    let image = b.build().expect("assemble bulk chaos guest");
+    let indices =
+        HashMap::from([("bulksweep".to_string(), 0u64), ("elide_restore".to_string(), 1)]);
+    let cell = build_cell("bulk", &image, indices, base ^ 0xB31C);
+
+    let mut reference: Option<Vec<u64>> = None;
+    for (s, ppm) in [(0u64, 0u32), (1, 300_000)] {
+        let seed = base.wrapping_add(s);
+        let plan =
+            FaultPlan::new(seed ^ 0xEBB, FaultConfig { epc_tamper_ppm: ppm, ..FaultConfig::off() });
+        let transport: Arc<Mutex<dyn Transport + Send>> =
+            Arc::new(Mutex::new(InProcessTransport::new(Arc::clone(&cell.server))));
+        let mut launched = cell
+            .package
+            .launch(&cell.platform, transport, new_sealed_store(), seed ^ 0x5EED)
+            .expect("launch is fault-free");
+        let total_pages = launched.runtime.enclave().resident_reg_pages();
+        let mut epc_rng = SeededRandom::new(seed ^ 0xB0D6);
+        let mut epc = EpcBudget::new((total_pages / 4).max(1), &mut epc_rng);
+        if let Some((tamper_seed, rate)) = plan.epc_tamper_params() {
+            epc.set_tamper(tamper_seed, rate);
+        }
+        launched.runtime.set_epc_budget(epc).expect("arming the budget");
+
+        match launched.restore(cell.indices["elide_restore"]) {
+            Ok(_) => {
+                let outputs: Vec<Option<u64>> = (0..12u64)
+                    .map(|i| {
+                        let arg = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        match launched.runtime.ecall(
+                            cell.indices["bulksweep"],
+                            &arg.to_le_bytes(),
+                            0,
+                        ) {
+                            Ok(r) => Some(r.status),
+                            Err(_) => None, // typed error: fail-closed
+                        }
+                    })
+                    .collect();
+                match &reference {
+                    None => {
+                        assert_eq!(ppm, 0, "the control schedule runs first");
+                        let pinned: Vec<u64> = outputs
+                            .into_iter()
+                            .map(|o| o.expect("control schedule must not fault"))
+                            .collect();
+                        // cmp byte must be 0: the copy matched the fill.
+                        for (i, v) in pinned.iter().enumerate() {
+                            assert_eq!(*v >> 8, 0, "call {i}: MEMCMP saw a torn copy under paging");
+                        }
+                        reference = Some(pinned);
+                    }
+                    Some(r) => {
+                        for (i, o) in outputs.iter().enumerate() {
+                            if let Some(v) = o {
+                                assert_eq!(*v, r[i], "ppm {ppm}: bulk sweep {i} diverged");
+                            }
+                        }
+                    }
+                }
+                let stats = launched.runtime.epc_budget().unwrap().stats();
+                assert!(stats.evictions > 0, "sweeps never paged: {stats:?}");
+                if ppm == 0 {
+                    assert!(stats.reloads > 0, "evicted pages never touched mid-sweep: {stats:?}");
+                    assert_eq!(stats.reload_failures, 0, "control must reload cleanly: {stats:?}");
+                }
+            }
+            Err(err) => {
+                assert_ne!(ppm, 0, "control schedule must restore, got {err:?}");
+                assert!(
+                    launched.runtime.ecall(cell.indices["bulksweep"], &[0; 8], 0).is_err(),
+                    "failed restore left executable secret code"
+                );
+            }
+        }
+    }
+    assert!(reference.is_some(), "no schedule produced a reference output vector");
+}
+
 /// Two-page enclave (0xAA RW, 0xBB RX) for the EPC chaos tests.
 fn chaos_enclave(seed: u64) -> Enclave {
     let mut rng = SeededRandom::new(seed);

@@ -1,0 +1,151 @@
+//! Differential properties of the sealed bulk intrinsics at the app
+//! level: the intrinsic-on and intrinsic-off builds of the JSON and
+//! Merkle apps must produce bit-identical outputs under both execution
+//! engines, builds must stay deterministic (bit-identical images and
+//! MRENCLAVEs for identical sources), and `ExecStats` must attribute the
+//! per-byte bulk fuel to the right tier in both engines.
+
+use sgxelide::apps::harness::{launch_plain, launch_protected, App};
+use sgxelide::apps::{json_app, merkle_app};
+use sgxelide::core::sanitizer::DataPlacement;
+use sgxelide::enclave::EnclaveRuntime;
+use sgxelide::vm::interp::Engine;
+use std::collections::HashMap;
+
+fn json_input() -> (Vec<u8>, usize) {
+    let doc = json_app::sample_document(16);
+    let mut input = Vec::new();
+    input.extend_from_slice(&(5u32).to_le_bytes());
+    input.extend_from_slice(b"email");
+    input.extend_from_slice(&doc);
+    (input, 8192)
+}
+
+fn merkle_input() -> (Vec<u8>, usize) {
+    let leaves = merkle_app::sample_leaves(24);
+    (leaves.iter().flatten().copied().collect(), 32)
+}
+
+/// One ecall under a chosen engine; returns (status, output, instructions).
+fn probe(
+    rt: &mut EnclaveRuntime,
+    idx: &HashMap<String, u64>,
+    ecall: &str,
+    input: &[u8],
+    cap: usize,
+    engine: Engine,
+) -> (u64, Vec<u8>, u64) {
+    rt.set_engine(engine);
+    let r = rt.ecall(idx[ecall], input, cap).expect("ecall");
+    (r.status, r.output, r.instructions)
+}
+
+/// A case: app builder (intrinsics on/off), ecall name, (input, cap).
+type Case = (fn(bool) -> App, &'static str, (Vec<u8>, usize));
+
+/// The 2×2 matrix: {intrinsics on, off} × {superblock, interp}. All four
+/// cells must agree on status and output bytes; within a build the two
+/// engines must also retire the identical instruction count (bulk fuel is
+/// engine-independent), and the off build must retire strictly more.
+#[test]
+fn intrinsic_variants_agree_across_engines() {
+    let cases: [Case; 2] = [
+        (json_app::app_with, "json_extract", json_input()),
+        (merkle_app::app_with, "merkle_root", merkle_input()),
+    ];
+    for (build, ecall, (input, cap)) in cases {
+        let mut on = launch_plain(&build(true), 0x1D1F).unwrap();
+        let mut off = launch_plain(&build(false), 0x1D1F).unwrap();
+        let on_sb = probe(&mut on.runtime, &on.indices, ecall, &input, cap, Engine::Superblock);
+        let on_it = probe(&mut on.runtime, &on.indices, ecall, &input, cap, Engine::Interp);
+        let off_sb = probe(&mut off.runtime, &off.indices, ecall, &input, cap, Engine::Superblock);
+        let off_it = probe(&mut off.runtime, &off.indices, ecall, &input, cap, Engine::Interp);
+
+        assert_eq!(on_sb, on_it, "{ecall}: engines diverged on the intrinsic build");
+        assert_eq!(off_sb, off_it, "{ecall}: engines diverged on the soft build");
+        assert_eq!((&on_sb.0, &on_sb.1), (&off_sb.0, &off_sb.1), "{ecall}: on/off outputs differ");
+        assert!(
+            off_sb.2 > on_sb.2,
+            "{ecall}: soft build must retire more than the charged bulk fuel"
+        );
+    }
+}
+
+/// Builds are deterministic: assembling the same source twice yields
+/// bit-identical images and identical MRENCLAVEs — the intrinsic dispatch
+/// adds no nondeterminism to measurement. The on/off variants, which
+/// differ in text, must measure differently.
+#[test]
+fn intrinsic_builds_measure_deterministically() {
+    for build in [json_app::app_with, merkle_app::app_with] {
+        let a = build(true).build_plain_image().unwrap();
+        let b = build(true).build_plain_image().unwrap();
+        assert_eq!(a, b, "same-source images must be bit-identical");
+
+        let ra = launch_plain(&build(true), 7).unwrap();
+        let rb = launch_plain(&build(true), 8).unwrap();
+        assert_eq!(
+            ra.runtime.enclave().mrenclave(),
+            rb.runtime.enclave().mrenclave(),
+            "MRENCLAVE must not depend on the launch seed"
+        );
+        let soft = launch_plain(&build(false), 7).unwrap();
+        assert_ne!(
+            ra.runtime.enclave().mrenclave(),
+            soft.runtime.enclave().mrenclave(),
+            "on/off variants have different text and must measure differently"
+        );
+    }
+}
+
+/// Elided builds of both variants restore and agree with each other: the
+/// sanitizer/whitelist path handles the intrinsic-bearing tRTS and guest
+/// text the same as plain loads.
+#[test]
+fn protected_intrinsic_variants_agree() {
+    let (input, cap) = merkle_input();
+    let mut outputs = Vec::new();
+    for on in [true, false] {
+        let app = merkle_app::app_with(on);
+        let mut p = launch_protected(&app, DataPlacement::Remote, 0xD1FF).unwrap();
+        p.restore().unwrap();
+        let r = p.app.runtime.ecall(p.indices["merkle_root"], &input, cap).unwrap();
+        outputs.push((r.status, r.output));
+    }
+    assert_eq!(outputs[0], outputs[1], "elided on/off builds diverged");
+}
+
+/// `ExecStats` tier attribution stays exact when bulk intrinsics charge
+/// extra fuel: the per-tier retirement deltas must sum to the retired
+/// total in both engines, and the interpreter engine must never enter a
+/// superblock.
+#[test]
+fn exec_stats_attribute_bulk_fuel_in_both_engines() {
+    let (input, cap) = json_input();
+    let mut p = launch_plain(&json_app::app_with(true), 0x57A7).unwrap();
+    for engine in [Engine::Superblock, Engine::Interp] {
+        p.runtime.set_engine(engine);
+        let before_stats = p.runtime.exec_stats();
+        let before_total = p.runtime.retired_total();
+        let r = p.runtime.ecall(p.indices["json_extract"], &input, cap).unwrap();
+        let after_stats = p.runtime.exec_stats();
+        let after_total = p.runtime.retired_total();
+
+        let trans = after_stats.trans_retired - before_stats.trans_retired;
+        let interp = after_stats.interp_retired - before_stats.interp_retired;
+        assert_eq!(trans + interp, after_total - before_total, "tier attribution must sum");
+        assert_eq!(trans + interp, r.instructions, "ecall accounting must match stats");
+        match engine {
+            Engine::Interp => {
+                assert_eq!(
+                    after_stats.blocks_entered, before_stats.blocks_entered,
+                    "interp engine entered a superblock"
+                );
+                assert_eq!(trans, 0);
+            }
+            Engine::Superblock => {
+                assert!(trans > 0, "superblock engine never used the translated tier");
+            }
+        }
+    }
+}
