@@ -802,6 +802,212 @@ pub fn write_load_json(bench: &str, records: &[LoadRecord]) -> std::io::Result<s
     Ok(path)
 }
 
+/// One measured configuration of the delegated-provisioning bench: `peers`
+/// enclaves provisioned per repetition, either each against the origin
+/// server ("central") or through one local delegate ("delegated" — the
+/// per-rep cost includes standing the delegate up, so the single origin
+/// handshake it amortises is inside the timed region).
+#[derive(Debug, Clone)]
+pub struct DelegationRecord {
+    /// Provisioning mode: `"central"` or `"delegated"`.
+    pub mode: &'static str,
+    /// Peer enclaves provisioned per repetition.
+    pub peers: usize,
+    /// Repetitions timed.
+    pub reps: usize,
+    /// Origin handshakes consumed per repetition (the headline: `peers`
+    /// for central, exactly 1 for delegated).
+    pub origin_handshakes: u64,
+    /// Peer provisions per second over the whole timed region.
+    pub provisions_per_s: f64,
+}
+
+impl DelegationRecord {
+    /// Mean wall-clock milliseconds per peer provision.
+    pub fn ms_per_peer(&self) -> f64 {
+        if self.provisions_per_s > 0.0 {
+            1e3 / self.provisions_per_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Renders delegation records as JSON.
+pub fn delegation_records_json(bench: &str, records: &[DelegationRecord]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", json_escape(bench)));
+    out.push_str("  \"unit\": \"provisions_per_second\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"peers\": {}, \"reps\": {}, \"origin_handshakes\": {}, \
+             \"provisions_per_s\": {:.1}, \"ms_per_peer\": {:.3}}}{}\n",
+            json_escape(r.mode),
+            r.peers,
+            r.reps,
+            r.origin_handshakes,
+            r.provisions_per_s,
+            r.ms_per_peer(),
+            if i + 1 == records.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `BENCH_<bench>.json` (delegation schema) at the workspace root.
+///
+/// # Errors
+///
+/// Propagates the underlying file-write error.
+pub fn write_delegation_json(
+    bench: &str,
+    records: &[DelegationRecord],
+) -> std::io::Result<std::path::PathBuf> {
+    let path = workspace_root().join(format!("BENCH_{bench}.json"));
+    std::fs::write(&path, delegation_records_json(bench, records))?;
+    Ok(path)
+}
+
+/// Measures host-level provisioning fan-out: `peers` enclaves per rep,
+/// central (every peer pays the full origin handshake) vs delegated (one
+/// delegate stands up against the origin, every peer restores from it over
+/// local attestation). Returns one record per mode.
+///
+/// # Panics
+///
+/// Panics if any pipeline stage fails (benchmark harness context).
+pub fn delegation_provisioning(peers: usize, reps: usize) -> Vec<DelegationRecord> {
+    use elide_core::api::{protect, Mode, Platform};
+    use elide_core::client::ProvisionClient;
+    use elide_core::delegation::{DelegateServer, EcallReportVerifier};
+    use elide_core::elide_asm::ELIDE_ASM;
+    use elide_core::protocol::{InProcessTransport, Transport};
+    use elide_core::restore::{new_sealed_store, RestoreRoute};
+    use elide_core::ticket::now_ms;
+    use elide_core::ElideError;
+    use elide_crypto::rsa::RsaKeyPair;
+    use sgx_sim::quote::{AttestationService, QE_MEASUREMENT};
+    use sgx_sim::report::{ereport, TargetInfo};
+    use std::sync::{Arc, Mutex};
+
+    const RESTORE_IDX: u64 = 1;
+    const VERIFY_IDX: u64 = 2;
+
+    let mut rng = SeededRandom::new(0xDE1E);
+    let mut b = elide_enclave::image::EnclaveImageBuilder::new();
+    b.source(ELIDE_ASM)
+        .source(
+            ".section text\n.global get_answer\n.func get_answer\n    movi r0, 42\n    ret\n.endfunc\n",
+        )
+        .ecall("get_answer")
+        .ecall("elide_restore")
+        .ecall("elide_verify_report");
+    let image = b.build().expect("assemble delegation guest");
+    let vendor = RsaKeyPair::generate(512, &mut rng);
+    let package = protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng)
+        .expect("protect");
+
+    let mut scratch = AttestationService::new();
+    let platform = Arc::new(Platform::provision(&mut rng, &mut scratch));
+    let mut ias = AttestationService::new();
+    ias.register_device(platform.qe.device_public_key().clone());
+    let mrenclave = package.mrenclave;
+    let mrsigner = package.sigstruct.mrsigner().expect("mrsigner");
+    let server = Arc::new(package.make_server(ias));
+    server.authorize_delegate(mrenclave, &[(mrenclave, mrsigner)]);
+    let plan = package.image_plan().expect("plan");
+
+    let origin =
+        |server: &Arc<elide_core::server::AuthServer>| -> Arc<Mutex<dyn Transport + Send>> {
+            Arc::new(Mutex::new(InProcessTransport::new(Arc::clone(server))))
+        };
+
+    // Central: every peer runs the full DH + quote + GCM handshake.
+    let before = server.handshakes();
+    let t0 = Instant::now();
+    for rep in 0..reps {
+        for i in 0..peers {
+            let seed = 0xC000 + (rep * peers + i) as u64;
+            let mut l = package
+                .launch_planned(&plan, &platform, origin(&server), new_sealed_store(), seed)
+                .expect("launch");
+            l.restore(RESTORE_IDX).expect("central restore");
+        }
+    }
+    let central_s = t0.elapsed().as_secs_f64();
+    let central_handshakes = (server.handshakes() - before) / reps as u64;
+
+    // Delegated: one stand-up handshake per rep, then every peer restores
+    // from the local delegate over a targeted report.
+    let before = server.handshakes();
+    let t0 = Instant::now();
+    for rep in 0..reps {
+        let host_seed = 0xD000 + rep as u64;
+        let anchor = package
+            .launch_planned(&plan, &platform, origin(&server), new_sealed_store(), host_seed)
+            .expect("anchor launch");
+        let anchor = Arc::new(Mutex::new(anchor));
+        let mut client = ProvisionClient::new().with_rng(Box::new(SeededRandom::new(host_seed)));
+        let mut transport = InProcessTransport::new(Arc::clone(&server));
+        let a = Arc::clone(&anchor);
+        let qe = Arc::clone(&platform.qe);
+        let mut quote_fn = move |report_data: [u8; 64]| {
+            let app = a.lock().unwrap();
+            let target = TargetInfo { mrenclave: QE_MEASUREMENT };
+            let report = ereport(app.runtime.enclave(), &target, report_data)
+                .map_err(|e| ElideError::Transport(format!("ereport: {e}")))?;
+            let quote =
+                qe.quote(&report).map_err(|e| ElideError::Transport(format!("quote: {e}")))?;
+            Ok(quote.to_bytes())
+        };
+        client.full_handshake(&mut transport, &mut quote_fn).expect("delegate handshake");
+        let origin_key = server.delegation_public_key().expect("delegation key");
+        let bundle = client.fetch_delegation(&mut transport, &origin_key).expect("bundle");
+        let verifier = EcallReportVerifier::new(anchor, VERIFY_IDX, mrenclave);
+        let delegate = DelegateServer::new(
+            bundle,
+            &origin_key,
+            Box::new(verifier),
+            Box::new(SeededRandom::new(host_seed ^ 0xD11)),
+            now_ms(),
+        )
+        .expect("delegate stands up");
+        let target = delegate.policy().delegate_mrenclave;
+        for i in 0..peers {
+            let seed = 0xE000 + (rep * peers + i) as u64;
+            let peer: Arc<Mutex<dyn Transport + Send>> = Arc::new(Mutex::new(delegate.connect()));
+            let route = RestoreRoute { origin: origin(&server), delegate: Some(peer) };
+            let mut l = package
+                .launch_routed(&plan, &platform, route, new_sealed_store(), seed)
+                .expect("peer launch");
+            l.restore_delegated(RESTORE_IDX, &target).expect("delegated restore");
+        }
+    }
+    let delegated_s = t0.elapsed().as_secs_f64();
+    let delegated_handshakes = (server.handshakes() - before) / reps as u64;
+
+    let total = (peers * reps) as f64;
+    vec![
+        DelegationRecord {
+            mode: "central",
+            peers,
+            reps,
+            origin_handshakes: central_handshakes,
+            provisions_per_s: total / central_s,
+        },
+        DelegationRecord {
+            mode: "delegated",
+            peers,
+            reps,
+            origin_handshakes: delegated_handshakes,
+            provisions_per_s: total / delegated_s,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -876,6 +1082,31 @@ mod tests {
         assert!(json.contains("\"rate_per_s\": 50.0"));
         assert!(json.contains("\"p50_ms\": 2.000"));
         assert!(json.contains("\"p999_ms\": 10.000"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn delegation_json_is_well_formed() {
+        let records = vec![
+            DelegationRecord {
+                mode: "central",
+                peers: 4,
+                reps: 10,
+                origin_handshakes: 4,
+                provisions_per_s: 250.0,
+            },
+            DelegationRecord {
+                mode: "delegated",
+                peers: 4,
+                reps: 10,
+                origin_handshakes: 1,
+                provisions_per_s: 500.0,
+            },
+        ];
+        let json = delegation_records_json("delegation", &records);
+        assert!(json.contains("\"mode\": \"delegated\""));
+        assert!(json.contains("\"origin_handshakes\": 1"));
+        assert!(json.contains("\"ms_per_peer\": 2.000"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

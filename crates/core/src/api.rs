@@ -6,7 +6,8 @@ use crate::error::ElideError;
 use crate::meta::SecretMeta;
 use crate::protocol::Transport;
 use crate::restore::{
-    elide_restore_diag, elide_restore_with_retry_diag, install_elide_ocalls, ElideFiles, ErrorSink,
+    elide_restore_diag, elide_restore_targeted_diag, elide_restore_with_retry_diag,
+    install_elide_ocalls_routed, DelegationSwitch, ElideFiles, ErrorSink, RestoreRoute,
     RestoreStats, RetryPolicy, SealedStore,
 };
 use crate::sanitizer::{sanitize, sanitize_blacklist, DataPlacement, SanitizedEnclave};
@@ -181,15 +182,35 @@ impl ProtectedPackage {
         sealed: SealedStore,
         seed: u64,
     ) -> Result<LaunchedApp, ElideError> {
+        self.launch_routed(plan, platform, RestoreRoute::origin_only(transport), sealed, seed)
+    }
+
+    /// [`Self::launch_planned`] with a [`RestoreRoute`]: the origin server
+    /// plus an optional local delegate. The returned app can then
+    /// [`LaunchedApp::restore_delegated`] against the delegate, falling
+    /// back to a plain [`LaunchedApp::restore`] (origin) on any failure —
+    /// same runtime, no relaunch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load/`EINIT` failures.
+    pub fn launch_routed(
+        &self,
+        plan: &ImagePlan,
+        platform: &Platform,
+        route: RestoreRoute,
+        sealed: SealedStore,
+        seed: u64,
+    ) -> Result<LaunchedApp, ElideError> {
         let loaded = plan.load(&platform.cpu, &self.sigstruct)?;
         let mut runtime = EnclaveRuntime::with_rng(loaded, Box::new(SeededRandom::new(seed)));
-        let errors = install_elide_ocalls(
+        let (errors, delegation) = install_elide_ocalls_routed(
             &mut runtime,
-            transport,
+            route,
             Arc::clone(&platform.qe),
             self.files(sealed),
         );
-        Ok(LaunchedApp { runtime, errors })
+        Ok(LaunchedApp { runtime, errors, delegation })
     }
 
     /// Warm start: relaunches a previously provisioned enclave from its
@@ -227,6 +248,8 @@ pub struct LaunchedApp {
     pub runtime: EnclaveRuntime,
     /// Records the underlying host-side error behind a failed restore.
     pub errors: ErrorSink,
+    /// Arms delegate routing for the duration of a delegated restore.
+    pub(crate) delegation: DelegationSwitch,
 }
 
 impl LaunchedApp {
@@ -252,5 +275,33 @@ impl LaunchedApp {
         policy: &RetryPolicy,
     ) -> Result<RestoreStats, ElideError> {
         elide_restore_with_retry_diag(&mut self.runtime, restore_ecall_index, policy, &self.errors)
+    }
+
+    /// Restores through a local delegate instead of the origin server: the
+    /// guest attests to `delegate_mrenclave` and the routed ocalls forward
+    /// the peer attestation to the delegate transport the app was launched
+    /// with ([`ProtectedPackage::launch_routed`]). Any failure leaves the
+    /// enclave sanitized; the caller can fall back to [`Self::restore`].
+    ///
+    /// # Errors
+    ///
+    /// See [`elide_restore_targeted_diag`]; additionally
+    /// [`ElideError::Transport`] when the app was launched without a
+    /// delegate route.
+    pub fn restore_delegated(
+        &mut self,
+        restore_ecall_index: u64,
+        delegate_mrenclave: &[u8; 32],
+    ) -> Result<RestoreStats, ElideError> {
+        use std::sync::atomic::Ordering;
+        self.delegation.store(true, Ordering::SeqCst);
+        let result = elide_restore_targeted_diag(
+            &mut self.runtime,
+            restore_ecall_index,
+            delegate_mrenclave,
+            &self.errors,
+        );
+        self.delegation.store(false, Ordering::SeqCst);
+        result
     }
 }

@@ -40,6 +40,17 @@ pub mod request {
     pub const TICKET: u64 = 4;
     /// Resume a prior session from a ticket, skipping the handshake.
     pub const RESUME: u64 = 5;
+    /// Fetch a signed delegation bundle (policy + peer secrets) for the
+    /// established session's enclave, authorizing it to provision local
+    /// peers without further origin contact. Origin-server only.
+    pub const DELEGATE: u64 = 6;
+    /// Peer-to-delegate local attestation: a report targeted at the
+    /// delegate's MRENCLAVE plus the peer's DH public value. Served by a
+    /// delegate enclave, never by the origin server.
+    pub const PEER_ATTEST: u64 = 7;
+    /// Fetch the re-sealed restore payload over the peer-attested channel.
+    /// Served by a delegate enclave, never by the origin server.
+    pub const PEER_RESTORE: u64 = 8;
 }
 
 /// Error codes `elide_restore` returns in `r0`.
@@ -75,6 +86,11 @@ pub const ELIDE_ASM: &str = r#"
     ldpc r9
     addi r9, r9, -8          ; r9 = &elide_restore (PIC anchor)
     push r9
+    ; Optional ecall input: a 32-byte target MRENCLAVE selects delegated
+    ; provisioning (the handshake report is retargeted from the quoting
+    ; enclave to a local delegate). Empty input keeps the classic path.
+    push r2                  ; [sp+8] = ecall input ptr
+    push r3                  ; [sp]   = ecall input len
 
     ; ---------- fast path: sealed blob from a previous run ----------
     movi r1, 1               ; file id 1 = sealed blob
@@ -104,7 +120,7 @@ pub const ELIDE_ASM: &str = r#"
     movi r1, 0               ; seal key policy = MRENCLAVE
     la   r2, __elide_seal_key
     intrin 4                 ; EGETKEY
-    ld64 r12, [sp]           ; &elide_restore
+    ld64 r12, [sp+16]        ; &elide_restore
     sub  r12, r12, r11       ; text base
     la   r1, __elide_seal_key
     addi r2, r8, 16          ; iv
@@ -115,8 +131,7 @@ pub const ELIDE_ASM: &str = r#"
     movi r6, 0
     bne  r0, r6, .no_seal    ; rebuilt enclave or tampered blob: full path
     movi r0, 0
-    pop  r9
-    ret
+    jmp  .done
 
 .no_seal:
     ; ---------- attested handshake ----------
@@ -133,7 +148,15 @@ pub const ELIDE_ASM: &str = r#"
     intrin 3                 ; SHA256(dh_pub) -> report_data
     la   r1, __elide_report_data
     la   r2, __elide_report
-    intrin 5                 ; EREPORT
+    ld64 r6, [sp]            ; ecall input length
+    movi r7, 32
+    bne  r6, r7, .qe_report
+    ld64 r3, [sp+8]          ; 32-byte delegate MRENCLAVE from the input
+    intrin 13                ; EREPORT_TARGETED (attest to the delegate)
+    jmp  .report_done
+.qe_report:
+    intrin 5                 ; EREPORT (quoting-enclave target)
+.report_done:
     ; request payload: report(160) || dh_pub
     li   r1, 0x70040000
     la   r2, __elide_report
@@ -264,7 +287,7 @@ pub const ELIDE_ASM: &str = r#"
 
 .restore:
     ; ---------- step 6: copy original bytes over sanitized text ----------
-    ld64 r14, [sp]           ; &elide_restore
+    ld64 r14, [sp+16]        ; &elide_restore
     sub  r14, r14, r13       ; text base = &elide_restore - restore_offset
     andi r6, r10, 2
     movi r7, 0
@@ -329,28 +352,45 @@ pub const ELIDE_ASM: &str = r#"
     addi r3, r12, 44
     ocall 102                ; elide_write_file (best effort)
     movi r0, 0
-    pop  r9
-    ret
+    jmp  .done
 
 .fail_handshake:
     movi r0, 1
-    pop  r9
-    ret
+    jmp  .done
 .fail_badkey:
     movi r0, 2
-    pop  r9
-    ret
+    jmp  .done
 .fail_meta:
     movi r0, 3
-    pop  r9
-    ret
+    jmp  .done
 .fail_data:
     movi r0, 4
-    pop  r9
-    ret
+    jmp  .done
 .fail_auth:
     movi r0, 5
-    pop  r9
+.done:
+    pop  r6                  ; ecall input len
+    pop  r6                  ; ecall input ptr
+    pop  r6                  ; PIC anchor
+    ret
+.endfunc
+
+; Verify a peer's local-attestation report targeted at THIS enclave.
+; Whitelisted (part of the elide runtime), so a provisioned delegate can
+; serve neighbors — and it works even pre-restore, which lets a freshly
+; launched delegate instance act as the verifier for its twin.
+; Input (ecall marshal): the 160-byte serialized report in r2/r3.
+; Returns 0 = report genuine (same processor, targeted at us),
+;         1 = MAC/parse failure, 2 = wrong input length.
+.global elide_verify_report
+.func elide_verify_report
+    movi r6, 160
+    bne  r3, r6, .vr_badlen
+    mov  r1, r2
+    intrin 14                ; VERIFY_REPORT -> r0 = 0 ok / 1 bad
+    ret
+.vr_badlen:
+    movi r0, 2
     ret
 .endfunc
 
@@ -388,6 +428,9 @@ mod tests {
         assert!(restore.global);
         assert!(restore.size > 0);
         assert!(obj.symbol("__elide_buf").is_some());
+        let verify = obj.symbol("elide_verify_report").unwrap();
+        assert!(verify.global);
+        assert!(verify.size > 0);
     }
 
     #[test]

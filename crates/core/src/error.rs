@@ -53,6 +53,11 @@ pub enum ServerError {
     /// sealed for a different enclave; the client must fall back to the
     /// full attested handshake.
     TicketRejected,
+    /// A delegation request was refused: the requester is not authorized
+    /// to delegate, the peer is outside the signed policy, the policy has
+    /// expired or been revoked, or a peer-attestation report failed
+    /// in-enclave verification. The peer must fall back to the origin.
+    DelegationRejected,
 }
 
 impl fmt::Display for ServerError {
@@ -66,6 +71,7 @@ impl fmt::Display for ServerError {
             ServerError::UnknownRequest(b) => write!(f, "unknown request type {b}"),
             ServerError::Internal => write!(f, "internal server error"),
             ServerError::TicketRejected => write!(f, "resumption ticket rejected"),
+            ServerError::DelegationRejected => write!(f, "delegation request rejected"),
         }
     }
 }

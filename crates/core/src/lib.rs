@@ -26,6 +26,9 @@
 //!   `elide_read_file`, `elide_write_file`), the restore entry point, and
 //!   the client-side [`restore::RetryPolicy`].
 //! * [`api`] — one-call `protect` / `launch` / `restore` orchestration.
+//! * [`delegation`] — peer-to-peer secret fan-out: a provisioned enclave
+//!   serves neighbor enclaves from a signed origin policy, so the origin
+//!   server is contacted once per host.
 //! * [`attack`] — the adversary's toolkit (disassembly, signature scans,
 //!   controlled-channel page-trace attribution) used by the evaluation.
 //!
@@ -76,6 +79,7 @@
 pub mod api;
 pub mod attack;
 pub mod client;
+pub mod delegation;
 pub mod elide_asm;
 pub mod error;
 pub mod faults;

@@ -93,6 +93,7 @@ pub(crate) fn server_error_to_status(e: &ServerError) -> u8 {
         ServerError::UnknownRequest(_) => 6,
         ServerError::Internal => 7,
         ServerError::TicketRejected => 8,
+        ServerError::DelegationRejected => 9,
     }
 }
 
@@ -105,6 +106,7 @@ pub(crate) fn status_to_server_error(status: u8) -> ServerError {
         5 => ServerError::BadRequest,
         7 => ServerError::Internal,
         8 => ServerError::TicketRejected,
+        9 => ServerError::DelegationRejected,
         other => ServerError::UnknownRequest(other),
     }
 }
@@ -315,6 +317,7 @@ mod tests {
             ServerError::BadRequest,
             ServerError::Internal,
             ServerError::TicketRejected,
+            ServerError::DelegationRejected,
         ] {
             assert_eq!(status_to_server_error(server_error_to_status(&e)), e);
         }

@@ -9,6 +9,7 @@ use crate::protocol::Transport;
 use elide_enclave::runtime::EnclaveRuntime;
 use sgx_sim::quote::QuotingEnclave;
 use sgx_sim::report::Report;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Shared, persistent store for the sealed blob (stands in for the file the
@@ -57,6 +58,37 @@ impl ElideFiles {
     }
 }
 
+/// Where a routed restore's server requests go: the origin authentication
+/// server, plus (optionally) a local delegate enclave's peer transport.
+#[derive(Clone)]
+pub struct RestoreRoute {
+    /// The origin server (always required — delegate failures fall back).
+    pub origin: Arc<Mutex<dyn Transport + Send>>,
+    /// A local delegate, spoken to with `PEER_ATTEST`-style payloads when
+    /// the delegation switch is armed.
+    pub delegate: Option<Arc<Mutex<dyn Transport + Send>>>,
+}
+
+impl std::fmt::Debug for RestoreRoute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RestoreRoute").field("delegate", &self.delegate.is_some()).finish()
+    }
+}
+
+impl RestoreRoute {
+    /// A route with no delegate: every request goes to the origin.
+    pub fn origin_only(origin: Arc<Mutex<dyn Transport + Send>>) -> Self {
+        RestoreRoute { origin, delegate: None }
+    }
+}
+
+/// Arms/disarms delegated provisioning on a routed runtime: while armed
+/// (and a delegate is routed), the guest's `HANDSHAKE` ocall is forwarded
+/// to the delegate as a peer attestation instead of being quoted to the
+/// origin. [`crate::api::LaunchedApp::restore_delegated`] arms it around
+/// the targeted restore ecall.
+pub type DelegationSwitch = Arc<AtomicBool>;
+
 /// Installs the three SgxElide ocalls into an enclave runtime.
 ///
 /// The `elide_server_request` handler additionally converts the enclave's
@@ -72,11 +104,37 @@ pub fn install_elide_ocalls(
     qe: Arc<QuotingEnclave>,
     files: ElideFiles,
 ) -> ErrorSink {
+    install_elide_ocalls_routed(rt, RestoreRoute::origin_only(transport), qe, files).0
+}
+
+/// [`install_elide_ocalls`] with delegate routing.
+///
+/// While the returned [`DelegationSwitch`] is armed and the route has a
+/// delegate, the guest's `HANDSHAKE` — whose payload is the raw
+/// `[report 160][dh_pub]`, with the report targeted at the *delegate's*
+/// MRENCLAVE by the targeted restore ecall — is forwarded to the delegate
+/// verbatim (such a report cannot be quoted: the quoting enclave refuses
+/// reports not targeted at itself). Follow-up requests of the same restore
+/// stay on the delegate. Disarmed, the classic quote-to-origin path runs
+/// unchanged, so one runtime can fall back without relaunching.
+pub fn install_elide_ocalls_routed(
+    rt: &mut EnclaveRuntime,
+    route: RestoreRoute,
+    qe: Arc<QuotingEnclave>,
+    files: ElideFiles,
+) -> (ErrorSink, DelegationSwitch) {
     let sink: ErrorSink = Arc::new(Mutex::new(None));
+    let armed: DelegationSwitch = Arc::new(AtomicBool::new(false));
 
     // --- elide_server_request ---
-    let t = Arc::clone(&transport);
+    let origin = Arc::clone(&route.origin);
+    let delegate = route.delegate.clone();
+    let armed_flag = Arc::clone(&armed);
     let errors = Arc::clone(&sink);
+    // True between a delegate-served handshake and the next handshake (or
+    // a disarm): the guest's follow-up META/DATA belong to the delegate's
+    // channel, not the origin's.
+    let mut delegate_session = false;
     rt.register_ocall(
         OCALL_SERVER_REQUEST,
         Box::new(move |regs, mem| {
@@ -85,11 +143,26 @@ pub fn install_elide_ocalls(
             let in_len = regs[3] as usize;
             let out_ptr = regs[4];
             let out_cap = regs[5] as usize;
+            let use_delegate = delegate.is_some() && armed_flag.load(Ordering::SeqCst);
+            if req as u64 == request::HANDSHAKE {
+                delegate_session = false;
+            }
             let result = (|| -> Result<Vec<u8>, ElideError> {
                 let payload = if in_len > 0 { mem.read(in_ptr, in_len)? } else { Vec::new() };
                 if req as u64 == request::HANDSHAKE {
                     if payload.len() <= Report::SERIALIZED_LEN {
                         return Err(ElideError::Transport("handshake payload too short".into()));
+                    }
+                    if use_delegate {
+                        // The report targets the delegate, not the quoting
+                        // enclave: forward it raw as a peer attestation.
+                        let delegate = delegate.as_ref().expect("use_delegate checked");
+                        let body = delegate
+                            .lock()
+                            .expect("delegate transport mutex")
+                            .request(request::PEER_ATTEST as u8, &payload)?;
+                        delegate_session = true;
+                        return Ok(body);
                     }
                     let report = Report::from_bytes(&payload[..Report::SERIALIZED_LEN])
                         .ok_or_else(|| ElideError::Transport("bad report".into()))?;
@@ -103,9 +176,12 @@ pub fn install_elide_ocalls(
                     fwd.extend_from_slice(&quote_len.to_le_bytes());
                     fwd.extend_from_slice(&quote_bytes);
                     fwd.extend_from_slice(&payload[Report::SERIALIZED_LEN..]);
-                    t.lock().expect("transport mutex").request(req, &fwd)
+                    origin.lock().expect("transport mutex").request(req, &fwd)
+                } else if delegate_session && use_delegate {
+                    let delegate = delegate.as_ref().expect("use_delegate checked");
+                    delegate.lock().expect("delegate transport mutex").request(req, &payload)
                 } else {
-                    t.lock().expect("transport mutex").request(req, &payload)
+                    origin.lock().expect("transport mutex").request(req, &payload)
                 }
             })();
             match result {
@@ -175,7 +251,7 @@ pub fn install_elide_ocalls(
         }),
     );
 
-    sink
+    (sink, armed)
 }
 
 /// Statistics from one restoration.
@@ -231,7 +307,31 @@ pub fn elide_restore(
     rt: &mut EnclaveRuntime,
     restore_ecall_index: u64,
 ) -> Result<RestoreStats, ElideError> {
-    let result = rt.ecall(restore_ecall_index, &[], 0)?;
+    elide_restore_input(rt, restore_ecall_index, &[])
+}
+
+/// [`elide_restore`] with a 32-byte target MRENCLAVE as the ecall input:
+/// the guest attests to *that* enclave (a local delegate) instead of the
+/// quoting enclave, enabling delegated provisioning. With an empty input
+/// the guest takes the classic quoting-enclave path.
+///
+/// # Errors
+///
+/// See [`elide_restore`].
+pub fn elide_restore_targeted(
+    rt: &mut EnclaveRuntime,
+    restore_ecall_index: u64,
+    target_mrenclave: &[u8; 32],
+) -> Result<RestoreStats, ElideError> {
+    elide_restore_input(rt, restore_ecall_index, target_mrenclave)
+}
+
+fn elide_restore_input(
+    rt: &mut EnclaveRuntime,
+    restore_ecall_index: u64,
+    input: &[u8],
+) -> Result<RestoreStats, ElideError> {
+    let result = rt.ecall(restore_ecall_index, input, 0)?;
     if result.status != crate::elide_asm::restore_status::OK {
         return Err(ElideError::RestoreFailed { status: result.status });
     }
@@ -253,6 +353,25 @@ pub fn elide_restore_diag(
 ) -> Result<RestoreStats, ElideError> {
     let _ = take(sink); // clear stale errors from a previous attempt
     match elide_restore(rt, restore_ecall_index) {
+        Ok(stats) => Ok(stats),
+        Err(status_err) => Err(take(sink).unwrap_or(status_err)),
+    }
+}
+
+/// [`elide_restore_targeted`] with the same error-sink upgrade as
+/// [`elide_restore_diag`].
+///
+/// # Errors
+///
+/// See [`elide_restore_diag`].
+pub fn elide_restore_targeted_diag(
+    rt: &mut EnclaveRuntime,
+    restore_ecall_index: u64,
+    target_mrenclave: &[u8; 32],
+    sink: &ErrorSink,
+) -> Result<RestoreStats, ElideError> {
+    let _ = take(sink);
+    match elide_restore_targeted(rt, restore_ecall_index, target_mrenclave) {
         Ok(stats) => Ok(stats),
         Err(status_err) => Err(take(sink).unwrap_or(status_err)),
     }

@@ -7,6 +7,7 @@
 //! an outer mutex. All per-connection state lives in
 //! [`crate::session::Session`].
 
+use crate::delegation::{DelegationBundle, DelegationPolicy, PeerGrant, PeerSecret, SignedPolicy};
 use crate::error::ServerError;
 use crate::faults::FaultPlan;
 use crate::meta::SecretMeta;
@@ -14,8 +15,9 @@ use crate::session::Session;
 use crate::store::{SecretEntry, SecretStore};
 use crate::ticket::{now_ms, TicketPlain};
 use elide_crypto::rng::{OsRandom, RandomSource};
+use elide_crypto::rsa::{RsaKeyPair, RsaPublicKey};
 use sgx_sim::quote::{AttestationService, Quote};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
@@ -50,6 +52,17 @@ pub struct AuthServer {
     /// `None` in production). Behind an `RwLock` so a test harness can
     /// swap schedules between runs on a shared server.
     faults: RwLock<Option<FaultPlan>>,
+    /// Delegation authorizations: signing key (lazily generated on the
+    /// first grant) and per-delegate peer grant lists.
+    delegation: Mutex<DelegationState>,
+    /// Validity window for newly signed delegation policies.
+    delegation_ttl: Duration,
+}
+
+#[derive(Default)]
+struct DelegationState {
+    key: Option<RsaKeyPair>,
+    grants: HashMap<[u8; 32], Vec<PeerGrant>>,
 }
 
 impl std::fmt::Debug for AuthServer {
@@ -91,7 +104,17 @@ impl AuthServer {
             ticket_ttl: Duration::from_secs(3600),
             used_tickets: Mutex::new(HashSet::new()),
             faults: RwLock::new(None),
+            delegation: Mutex::new(DelegationState::default()),
+            delegation_ttl: Duration::from_secs(3600),
         }
+    }
+
+    /// Replaces the validity window for newly signed delegation policies.
+    /// `Duration::ZERO` signs policies that are already expired — useful
+    /// for deterministic expiry tests.
+    pub fn with_delegation_ttl(mut self, ttl: Duration) -> Self {
+        self.delegation_ttl = ttl;
+        self
     }
 
     /// Replaces the ticket-sealing key (tests: share a key across two
@@ -251,6 +274,98 @@ impl AuthServer {
             return Err(ServerError::TicketRejected);
         }
         Ok(plain)
+    }
+
+    /// Authorizes the enclave measured `delegate_mrenclave` to act as a
+    /// delegate secret server for `peers` (pairs of MRENCLAVE/MRSIGNER).
+    /// The delegation signing key is generated lazily on the first grant;
+    /// re-authorizing a delegate replaces its grant list.
+    pub fn authorize_delegate(&self, delegate_mrenclave: [u8; 32], peers: &[([u8; 32], [u8; 32])]) {
+        let mut state = self.delegation.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if state.key.is_none() {
+            let mut rng = self.rng.lock().expect("rng mutex");
+            state.key = Some(RsaKeyPair::generate(512, rng.as_mut()));
+        }
+        state.grants.insert(
+            delegate_mrenclave,
+            peers
+                .iter()
+                .map(|(mrenclave, mrsigner)| PeerGrant {
+                    mrenclave: *mrenclave,
+                    mrsigner: *mrsigner,
+                })
+                .collect(),
+        );
+    }
+
+    /// Revokes a delegate's grant: subsequent `DELEGATE` requests from it
+    /// are refused. Hosts learn of origin-side revocation out of band (or
+    /// at the next policy expiry); [`crate::delegation::DelegateServer::revoke`]
+    /// is the host-side kill switch.
+    pub fn revoke_delegate(&self, delegate_mrenclave: &[u8; 32]) {
+        self.delegation
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .grants
+            .remove(delegate_mrenclave);
+    }
+
+    /// The public half of the delegation signing key, to be distributed
+    /// to hosts so they can validate policies offline. `None` until the
+    /// first [`Self::authorize_delegate`].
+    pub fn delegation_public_key(&self) -> Option<RsaPublicKey> {
+        self.delegation
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .key
+            .as_ref()
+            .map(|k| k.public_key().clone())
+    }
+
+    /// Builds and signs a [`DelegationBundle`] for the attested delegate:
+    /// the signed policy plus every granted peer's secret pulled from the
+    /// store. Called by the session layer on a `DELEGATE` request, so the
+    /// bundle only ever travels over the delegate's attested channel.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::DelegationRejected`] when `delegate_mrenclave` has
+    /// no grant or a granted peer has no store entry (a stale grant must
+    /// not silently shrink the bundle); [`ServerError::Internal`] if
+    /// signing fails.
+    pub(crate) fn delegation_bundle_for(
+        &self,
+        delegate_mrenclave: &[u8; 32],
+        rng: &mut dyn RandomSource,
+    ) -> Result<DelegationBundle, ServerError> {
+        let state = self.delegation.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let peers =
+            state.grants.get(delegate_mrenclave).ok_or(ServerError::DelegationRejected)?.clone();
+        let key = state.key.as_ref().ok_or(ServerError::DelegationRejected)?;
+        let mut secrets = Vec::with_capacity(peers.len());
+        for g in &peers {
+            let entry = self
+                .store
+                .lookup(&g.mrenclave, &g.mrsigner)
+                .ok_or(ServerError::DelegationRejected)?;
+            secrets.push(PeerSecret {
+                mrenclave: g.mrenclave,
+                mrsigner: g.mrsigner,
+                meta: entry.meta.clone(),
+                data: entry.data.clone(),
+            });
+        }
+        let mut policy_id = [0u8; 16];
+        rng.fill(&mut policy_id);
+        let policy = DelegationPolicy {
+            delegate_mrenclave: *delegate_mrenclave,
+            policy_id,
+            issued_ms: now_ms(),
+            ttl_ms: self.delegation_ttl.as_millis() as u64,
+            peers,
+        };
+        let signature = key.sign(&policy.to_bytes()).map_err(|_| ServerError::Internal)?;
+        Ok(DelegationBundle { signed: SignedPolicy { policy, signature }, secrets })
     }
 }
 

@@ -16,9 +16,10 @@
 //! paper's model where the secret is code, not session data).
 
 use crate::api::{LaunchedApp, Platform, ProtectedPackage};
+use crate::delegation::DelegateRegistry;
 use crate::error::ElideError;
 use crate::protocol::Transport;
-use crate::restore::{new_sealed_store, SealedStore};
+use crate::restore::{new_sealed_store, RestoreRoute, SealedStore};
 use elide_crypto::rng::SeededRandom;
 use elide_enclave::loader::ImagePlan;
 use sgx_sim::budget::EpcBudget;
@@ -52,6 +53,8 @@ pub struct PoolStats {
     pub warm_starts: u64,
     /// Cold provisions (full attested handshake) at admission.
     pub cold_provisions: u64,
+    /// Cold provisions served by a local delegate instead of the origin.
+    pub delegated_provisions: u64,
     /// Whole enclaves evicted to sealed state.
     pub enclave_evictions: u64,
 }
@@ -78,6 +81,8 @@ pub struct EnclavePool {
     clock: u64,
     entries: HashMap<String, PoolEntry>,
     stats: PoolStats,
+    /// Local delegates consulted before the origin on cold provisions.
+    delegates: Option<Arc<DelegateRegistry>>,
 }
 
 impl std::fmt::Debug for EnclavePool {
@@ -94,7 +99,24 @@ impl EnclavePool {
     /// Creates a pool; `max_resident` is clamped to ≥ 1.
     pub fn new(config: PoolConfig) -> Self {
         let config = PoolConfig { max_resident: config.max_resident.max(1), ..config };
-        EnclavePool { config, clock: 0, entries: HashMap::new(), stats: PoolStats::default() }
+        EnclavePool {
+            config,
+            clock: 0,
+            entries: HashMap::new(),
+            stats: PoolStats::default(),
+            delegates: None,
+        }
+    }
+
+    /// Wires a [`DelegateRegistry`]: cold provisions first look for a
+    /// local delegate whose policy covers the admitted enclave and restore
+    /// through it — the origin server is only contacted when no delegate
+    /// applies or the delegated restore fails (fail-open to the origin,
+    /// never fail-open to running unsanitized code).
+    #[must_use]
+    pub fn with_delegates(mut self, delegates: Arc<DelegateRegistry>) -> Self {
+        self.delegates = Some(delegates);
+        self
     }
 
     /// Pool counters so far.
@@ -215,11 +237,38 @@ impl EnclavePool {
         }
     }
 
-    /// Cold provision: launch over the entry's transport and run the full
-    /// attested restore, which writes the sealed blob.
+    /// Cold provision: launch and run the full attested restore, which
+    /// writes the sealed blob. With a [`DelegateRegistry`] wired and a
+    /// delegate covering this enclave, the restore is served locally and
+    /// the origin is never contacted; a failed delegated restore falls
+    /// back to the origin on the same runtime.
     fn cold_provision(&mut self, entry: &mut PoolEntry) -> Result<LaunchedApp, ElideError> {
         entry.launches += 1;
         let launch_seed = entry.seed ^ (entry.launches << 32);
+        let delegate = self.delegates.as_ref().and_then(|registry| {
+            let mrsigner = entry.package.sigstruct.mrsigner().ok()?;
+            registry.delegate_for(&entry.package.mrenclave, &mrsigner)
+        });
+        if let Some(delegate) = delegate {
+            let peer: Arc<Mutex<dyn Transport + Send>> = Arc::new(Mutex::new(delegate.connect()));
+            let route = RestoreRoute { origin: Arc::clone(&entry.transport), delegate: Some(peer) };
+            let mut app = entry.package.launch_routed(
+                &entry.plan,
+                &entry.platform,
+                route,
+                Arc::clone(&entry.sealed),
+                launch_seed,
+            )?;
+            let target = delegate.policy().delegate_mrenclave;
+            if app.restore_delegated(entry.restore_idx, &target).is_ok() {
+                self.stats.delegated_provisions += 1;
+                return Ok(app);
+            }
+            // Delegate rejected or died mid-restore: same runtime, origin
+            // route (the switch is disarmed again), full handshake.
+            app.restore(entry.restore_idx)?;
+            return Ok(app);
+        }
         let mut app = entry.package.launch_planned(
             &entry.plan,
             &entry.platform,

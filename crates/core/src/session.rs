@@ -130,6 +130,18 @@ impl Session {
                 body.extend_from_slice(&blob);
                 Ok(self.seal(&body))
             }
+            request::DELEGATE => {
+                // Only an attested session may pick up its delegation
+                // bundle — the bundle carries other enclaves' secrets, so
+                // it travels exclusively over the delegate's own channel.
+                let _ = self.established()?;
+                let (mrenclave, _) = self.quoted.ok_or(ServerError::NoSession)?;
+                if server.inject_store_fault() {
+                    return Err(ServerError::Internal);
+                }
+                let bundle = server.delegation_bundle_for(&mrenclave, &mut self.rng)?;
+                Ok(self.seal(&bundle.to_bytes()))
+            }
             request::RESUME => {
                 if self.is_established() {
                     // Resumption replaces a handshake; it cannot splice a

@@ -36,6 +36,14 @@ pub const TICKET_PLAIN_LEN: usize = 1 + 32 + 32 + 16 + 16 + 8 + 8;
 /// `derive_key_128(channel_key, RESUME_KDF_LABEL, ticket_id)`.
 pub const RESUME_KDF_LABEL: &str = "elide-resume";
 
+/// Maximum tolerated clock skew, in milliseconds, between the issuer of a
+/// timestamped credential (ticket, delegation policy) and the clock that
+/// later judges its expiry. A credential dated further than this into the
+/// future is treated as forged/expired rather than "not yet valid": a
+/// future `issued_ms` would otherwise let the credential outlive its TTL
+/// once the verifier's clock catches up.
+pub const MAX_CLOCK_SKEW_MS: u64 = 10_000;
+
 /// The decrypted contents of a resumption ticket. Only the server ever
 /// sees this; clients hold the sealed blob.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,9 +103,16 @@ impl TicketPlain {
     }
 
     /// True once the validity window has elapsed at `now` (ms since
-    /// epoch). A zero TTL is always expired.
+    /// epoch). A zero TTL is always expired, and so is a ticket issued
+    /// more than [`MAX_CLOCK_SKEW_MS`] in the future: the issuing server
+    /// holds the only sealing key, so a far-future `issued_ms` means a
+    /// skewed or tampered clock, and accepting it would keep the ticket
+    /// redeemable for its full TTL after `now` catches up.
     pub fn expired_at(&self, now: u64) -> bool {
-        self.ttl_ms == 0 || now.saturating_sub(self.issued_ms) >= self.ttl_ms
+        if self.ttl_ms == 0 || self.issued_ms > now.saturating_add(MAX_CLOCK_SKEW_MS) {
+            return true;
+        }
+        now.saturating_sub(self.issued_ms) >= self.ttl_ms
     }
 
     /// Seals the ticket under the server's ticket key into an opaque blob.
@@ -175,5 +190,26 @@ mod tests {
         assert!(t.expired_at(61_000));
         let zero = TicketPlain { ttl_ms: 0, ..sample() };
         assert!(zero.expired_at(0));
+    }
+
+    #[test]
+    fn future_dated_ticket_is_expired() {
+        // issued 1h ahead of `now`: far beyond the skew allowance, so it
+        // must be dead immediately, not "valid once the clock catches up".
+        let t = TicketPlain { issued_ms: 3_600_000, ttl_ms: 60_000, ..sample() };
+        assert!(t.expired_at(0));
+        assert!(t.expired_at(3_600_000 - MAX_CLOCK_SKEW_MS - 1));
+        // Once `now` is inside the skew allowance it behaves normally.
+        assert!(!t.expired_at(3_600_000 - MAX_CLOCK_SKEW_MS));
+        assert!(!t.expired_at(3_600_000));
+        assert!(t.expired_at(3_660_000));
+    }
+
+    #[test]
+    fn small_skew_is_tolerated() {
+        let t = TicketPlain { issued_ms: 5_000, ttl_ms: 60_000, ..sample() };
+        // Verifier clock lags issuer by up to MAX_CLOCK_SKEW_MS: fine.
+        assert!(!t.expired_at(0));
+        assert!(!t.expired_at(4_999));
     }
 }

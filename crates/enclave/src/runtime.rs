@@ -24,7 +24,7 @@ use sgx_sim::enclave::AccessKind;
 use sgx_sim::epc::PagePerms;
 use sgx_sim::keys::SealPolicy;
 use sgx_sim::quote::QE_MEASUREMENT;
-use sgx_sim::report::{ereport, TargetInfo};
+use sgx_sim::report::{ereport, verify_report, TargetInfo};
 use sgx_sim::Enclave;
 use std::collections::HashMap;
 
@@ -121,7 +121,7 @@ impl UntrustedMemory {
 /// Trusted services state (the "statically linked SDK" inside the enclave).
 struct TrustedServices {
     dh: Option<DhKeyPair>,
-    rng: Box<dyn RandomSource>,
+    rng: Box<dyn RandomSource + Send>,
 }
 
 impl std::fmt::Debug for TrustedServices {
@@ -644,6 +644,22 @@ impl Bus for EnclaveWorld {
                 self.write_guest(regs[2], &report.to_bytes())?;
                 regs[0] = sgx_sim::report::Report::SERIALIZED_LEN as u64;
             }
+            intrinsics::EREPORT_TARGETED => {
+                let data: [u8; 64] = self.read_guest(regs[1], 64)?.try_into().map_err(|_| bad())?;
+                let mrenclave: [u8; 32] =
+                    self.read_guest(regs[3], 32)?.try_into().map_err(|_| bad())?;
+                let report =
+                    ereport(&self.enclave, &TargetInfo { mrenclave }, data).map_err(|_| bad())?;
+                self.write_guest(regs[2], &report.to_bytes())?;
+                regs[0] = sgx_sim::report::Report::SERIALIZED_LEN as u64;
+            }
+            intrinsics::VERIFY_REPORT => {
+                let raw = self.read_guest(regs[1], sgx_sim::report::Report::SERIALIZED_LEN)?;
+                regs[0] = match sgx_sim::report::Report::from_bytes(&raw) {
+                    Some(report) if verify_report(&self.enclave, &report).is_ok() => 0,
+                    _ => 1,
+                };
+            }
             intrinsics::DH_KEYGEN => {
                 let kp = DhKeyPair::generate(self.services.rng.as_mut());
                 let public = kp.public_bytes();
@@ -678,9 +694,11 @@ impl Bus for EnclaveWorld {
 
 /// Signature of an ocall handler: receives the guest registers (arguments
 /// in `r1..r5`, result in `r0`) and the untrusted memory — the host can
-/// never touch enclave memory, exactly like a real ocall.
+/// never touch enclave memory, exactly like a real ocall. Handlers are
+/// `Send` so a launched runtime can be shared across host threads (e.g. a
+/// delegate enclave serving peers behind a mutex).
 pub type OcallHandler =
-    Box<dyn FnMut(&mut [u64; NUM_REGS], &mut UntrustedMemory) -> Result<(), EnclaveError>>;
+    Box<dyn FnMut(&mut [u64; NUM_REGS], &mut UntrustedMemory) -> Result<(), EnclaveError> + Send>;
 
 /// Result of one ecall.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -726,7 +744,7 @@ impl EnclaveRuntime {
 
     /// Wraps a loaded enclave, supplying the RNG for trusted services
     /// (seeded in tests for reproducibility).
-    pub fn with_rng(loaded: LoadedEnclave, rng: Box<dyn RandomSource>) -> Self {
+    pub fn with_rng(loaded: LoadedEnclave, rng: Box<dyn RandomSource + Send>) -> Self {
         let mut vm = Vm::new(loaded.entry);
         // `ELIDE_EXEC=interp` forces the instruction-at-a-time loop —
         // the escape hatch for differential debugging and A/B benches.

@@ -40,7 +40,9 @@ impl SealedBlob {
         out
     }
 
-    /// Parses a serialized blob.
+    /// Parses a serialized blob. The encoding is canonical: the input must
+    /// end exactly where the length-prefixed ciphertext does, so appended
+    /// trailing bytes are rejected.
     pub fn from_bytes(bytes: &[u8]) -> Option<SealedBlob> {
         if bytes.len() < 41 || &bytes[..8] != SEAL_MAGIC {
             return None;
@@ -49,7 +51,10 @@ impl SealedBlob {
         let iv: [u8; 12] = bytes[9..21].try_into().ok()?;
         let tag: [u8; 16] = bytes[21..37].try_into().ok()?;
         let len = u32::from_le_bytes(bytes[37..41].try_into().ok()?) as usize;
-        let ciphertext = bytes.get(41..41 + len)?.to_vec();
+        if bytes.len() != 41usize.checked_add(len)? {
+            return None;
+        }
+        let ciphertext = bytes[41..].to_vec();
         Some(SealedBlob { policy, iv, ciphertext, tag })
     }
 }
@@ -137,6 +142,12 @@ mod tests {
         assert_eq!(parsed, blob);
         assert!(SealedBlob::from_bytes(b"short").is_none());
         assert!(SealedBlob::from_bytes(b"WRONGMAGIC_________________________________").is_none());
+        // Canonical encoding: appended garbage and truncation both fail.
+        let mut padded = blob.to_bytes();
+        padded.push(0);
+        assert!(SealedBlob::from_bytes(&padded).is_none());
+        let bytes = blob.to_bytes();
+        assert!(SealedBlob::from_bytes(&bytes[..bytes.len() - 1]).is_none());
     }
 
     #[test]

@@ -54,7 +54,9 @@ impl Quote {
         out
     }
 
-    /// Parses a quote serialized by [`Quote::to_bytes`].
+    /// Parses a quote serialized by [`Quote::to_bytes`]. The encoding is
+    /// canonical: trailing bytes after `device_key` are rejected, so two
+    /// distinct byte strings never parse to the same quote.
     pub fn from_bytes(bytes: &[u8]) -> Option<Quote> {
         if bytes.len() < 132 {
             return None;
@@ -70,6 +72,10 @@ impl Quote {
         let key_len = u32::from_le_bytes(bytes.get(off..off + 4)?.try_into().ok()?) as usize;
         off += 4;
         let device_key = bytes.get(off..off + key_len)?.to_vec();
+        off += key_len;
+        if off != bytes.len() {
+            return None;
+        }
         Some(Quote { mrenclave, mrsigner, report_data, signature, device_key })
     }
 }
@@ -224,6 +230,28 @@ mod tests {
         let report = ereport(&e, &TargetInfo { mrenclave: QE_MEASUREMENT }, [0u8; 64]).unwrap();
         let quote = qe.quote(&report).unwrap();
         assert_eq!(ias.verify_quote(&quote), Err(SgxError::BadQuote));
+    }
+
+    #[test]
+    fn quote_encoding_is_canonical() {
+        let mut rng = SeededRandom::new(9);
+        let cpu = SgxCpu::new(&mut rng);
+        let qe = QuotingEnclave::provision(&cpu, &mut rng);
+        let e = make_enclave(&cpu);
+        let report = ereport(&e, &TargetInfo { mrenclave: QE_MEASUREMENT }, [0u8; 64]).unwrap();
+        let quote = qe.quote(&report).unwrap();
+        let bytes = quote.to_bytes();
+        assert_eq!(Quote::from_bytes(&bytes), Some(quote));
+        // Appended garbage must not parse back to the original quote.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(Quote::from_bytes(&padded), None);
+        padded.extend_from_slice(&[0xFF; 16]);
+        assert_eq!(Quote::from_bytes(&padded), None);
+        // Truncation anywhere must fail too.
+        for cut in [bytes.len() - 1, 131, 64, 0] {
+            assert_eq!(Quote::from_bytes(&bytes[..cut]), None);
+        }
     }
 
     #[test]

@@ -353,6 +353,17 @@ pub mod intrinsics {
     /// updated in place), `r2`=block ptr (64 message bytes). Charges 64
     /// extra fuel; `r0` = 0.
     pub const SHA256_COMPRESS: i32 = 12;
+    /// EREPORT at an arbitrary target: `r1`=report-data ptr (64 bytes),
+    /// `r2`=dst report buffer, `r3`=target MRENCLAVE ptr (32 bytes).
+    /// Unlike [`EREPORT`] (hard-wired to the quoting enclave) this lets
+    /// a peer enclave attest itself *to a delegate enclave* for local
+    /// provisioning. Returns serialized report length in `r0`.
+    pub const EREPORT_TARGETED: i32 = 13;
+    /// Verify a local-attestation report targeted at *this* enclave:
+    /// `r1`=serialized report ptr (160 bytes). Returns 0 in `r0` when the
+    /// report MAC checks out under this enclave's report key (same
+    /// processor, targeted at this MRENCLAVE), 1 otherwise.
+    pub const VERIFY_REPORT: i32 = 14;
 
     /// Upper bound on a bulk intrinsic's length operand (256 MiB) — far
     /// above any real marshal buffer, low enough that a hostile length

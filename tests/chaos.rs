@@ -13,16 +13,19 @@
 use sgxelide::apps::harness::App;
 use sgxelide::apps::{all_apps, run_workload};
 use sgxelide::core::api::{protect, Mode, Platform, ProtectedPackage};
-use sgxelide::core::elide_asm::ELIDE_ASM;
+use sgxelide::core::client::ProvisionClient;
+use sgxelide::core::delegation::{DelegateRegistry, DelegateServer, EcallReportVerifier};
+use sgxelide::core::elide_asm::{request, ELIDE_ASM};
 use sgxelide::core::error::ServerError;
 use sgxelide::core::faults::{
     silence_injected_panics, FaultConfig, FaultPlan, FaultyListener, FaultyWire, PPM,
 };
 use sgxelide::core::protocol::{FramedTransport, InProcessTransport, Transport};
-use sgxelide::core::restore::{new_sealed_store, RetryPolicy};
+use sgxelide::core::restore::{new_sealed_store, RestoreRoute, RetryPolicy};
 use sgxelide::core::sanitizer::DataPlacement;
 use sgxelide::core::server::AuthServer;
 use sgxelide::core::service::{serve, ServiceConfig, ServiceHandle};
+use sgxelide::core::ticket::now_ms;
 use sgxelide::core::transport::channel::channel_listener;
 use sgxelide::core::transport::tcp::TcpAcceptor;
 use sgxelide::core::transport::Limits;
@@ -35,7 +38,8 @@ use sgxelide::sgx::enclave::{AccessKind, SgxCpu};
 use sgxelide::sgx::epc::{PagePerms, PageType};
 use sgxelide::sgx::faults::{EpcFaultInjector, EwbTamper};
 use sgxelide::sgx::paging::PagingManager;
-use sgxelide::sgx::quote::AttestationService;
+use sgxelide::sgx::quote::{AttestationService, QE_MEASUREMENT};
+use sgxelide::sgx::report::{ereport, TargetInfo};
 use sgxelide::sgx::sigstruct::SigStruct;
 use sgxelide::sgx::{Enclave, SgxError};
 use std::collections::HashMap;
@@ -844,4 +848,274 @@ fn sanitizer_survives_random_image_corruption() {
         }
     }
     println!("chaos[sanitizer]: 64 corrupted images → {protected} protected, {rejected} rejected");
+}
+
+// ---------------------------------------------------------------------------
+// Delegated-provisioning chaos: the registry routes *around* delegates it can
+// see are unusable, so these schedules attack the window it cannot see — the
+// delegate turns bad after selection, mid-restore. Every schedule must fail
+// closed (the peer's secret code stays unexecutable) and then recover through
+// the origin fallback on the same runtime.
+// ---------------------------------------------------------------------------
+
+const DELEG_ANSWER_IDX: u64 = 0;
+const DELEG_RESTORE_IDX: u64 = 1;
+const DELEG_VERIFY_IDX: u64 = 2;
+const DELEG_ANSWER: u64 = 42;
+
+/// Deterministic build: same seed → same vendor key and measurement, so
+/// every instance on the simulated host shares one identity.
+fn delegation_package(seed: u64) -> ProtectedPackage {
+    let mut rng = SeededRandom::new(seed);
+    let mut b = EnclaveImageBuilder::new();
+    b.source(ELIDE_ASM)
+        .source(&format!(
+            ".section text\n.global get_answer\n.func get_answer\n    movi r0, {DELEG_ANSWER}\n    ret\n.endfunc\n"
+        ))
+        .ecall("get_answer")
+        .ecall("elide_restore")
+        .ecall("elide_verify_report");
+    let image = b.build().expect("assemble delegation chaos guest");
+    let vendor = RsaKeyPair::generate(512, &mut rng);
+    protect(&image, &vendor, &Mode::Whitelist, DataPlacement::Remote, &mut rng).expect("protect")
+}
+
+struct DelegationHost {
+    platform: Arc<Platform>,
+    server: Arc<AuthServer>,
+    mrenclave: [u8; 32],
+    pkg_seed: u64,
+}
+
+fn delegation_host(seed: u64) -> DelegationHost {
+    let mut rng = SeededRandom::new(seed);
+    let mut scratch = AttestationService::new();
+    let platform = Arc::new(Platform::provision(&mut rng, &mut scratch));
+    let mut ias = AttestationService::new();
+    ias.register_device(platform.qe.device_public_key().clone());
+    let pkg_seed = seed ^ 0x9A6E;
+    let package = delegation_package(pkg_seed);
+    let mrsigner = package.sigstruct.mrsigner().unwrap();
+    let mrenclave = package.mrenclave;
+    let server =
+        Arc::new(package.make_server(ias).with_rng(Box::new(SeededRandom::new(seed ^ 0x5E6))));
+    server.authorize_delegate(mrenclave, &[(mrenclave, mrsigner)]);
+    DelegationHost { platform, server, mrenclave, pkg_seed }
+}
+
+impl DelegationHost {
+    fn package(&self) -> ProtectedPackage {
+        delegation_package(self.pkg_seed)
+    }
+
+    fn origin_transport(&self) -> Arc<Mutex<dyn Transport + Send>> {
+        Arc::new(Mutex::new(InProcessTransport::new(Arc::clone(&self.server))))
+    }
+
+    /// One origin handshake stands the delegate up (anchor enclave for
+    /// in-enclave report verification + the signed bundle).
+    fn stand_up_delegate(&self, host_seed: u64) -> Arc<DelegateServer> {
+        let anchor = self
+            .package()
+            .launch(&self.platform, self.origin_transport(), new_sealed_store(), host_seed)
+            .unwrap();
+        let anchor = Arc::new(Mutex::new(anchor));
+        let mut client = ProvisionClient::new().with_rng(Box::new(SeededRandom::new(host_seed)));
+        let mut transport = InProcessTransport::new(Arc::clone(&self.server));
+        let a = Arc::clone(&anchor);
+        let qe = Arc::clone(&self.platform.qe);
+        let mut quote_fn = move |report_data: [u8; 64]| {
+            let app = a.lock().unwrap();
+            let target = TargetInfo { mrenclave: QE_MEASUREMENT };
+            let report = ereport(app.runtime.enclave(), &target, report_data)
+                .map_err(|e| ElideError::Transport(format!("ereport: {e}")))?;
+            let quote =
+                qe.quote(&report).map_err(|e| ElideError::Transport(format!("quote: {e}")))?;
+            Ok(quote.to_bytes())
+        };
+        client.full_handshake(&mut transport, &mut quote_fn).expect("delegate handshake");
+        let origin_key = self.server.delegation_public_key().expect("delegation key");
+        let bundle = client.fetch_delegation(&mut transport, &origin_key).expect("bundle");
+        let verifier = EcallReportVerifier::new(anchor, DELEG_VERIFY_IDX, self.mrenclave);
+        DelegateServer::new(
+            bundle,
+            &origin_key,
+            Box::new(verifier),
+            Box::new(SeededRandom::new(host_seed ^ 0xD11)),
+            now_ms(),
+        )
+        .expect("delegate stands up")
+    }
+
+    /// Launches a peer routed at `delegate` through `wrap`, so schedules
+    /// can interpose chaos between the peer and the delegate.
+    fn launch_via_delegate(
+        &self,
+        delegate: &Arc<DelegateServer>,
+        seed: u64,
+        wrap: impl FnOnce(Box<dyn Transport + Send>) -> Box<dyn Transport + Send>,
+    ) -> sgxelide::core::api::LaunchedApp {
+        let package = self.package();
+        let plan = package.image_plan().unwrap();
+        let peer: Arc<Mutex<dyn Transport + Send>> =
+            Arc::new(Mutex::new(BoxedTransport(wrap(Box::new(delegate.connect())))));
+        let route = RestoreRoute { origin: self.origin_transport(), delegate: Some(peer) };
+        package.launch_routed(&plan, &self.platform, route, new_sealed_store(), seed).unwrap()
+    }
+}
+
+/// Adapter so `Box<dyn Transport + Send>` itself satisfies [`Transport`].
+struct BoxedTransport(Box<dyn Transport + Send>);
+
+impl Transport for BoxedTransport {
+    fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError> {
+        self.0.request(req, payload)
+    }
+}
+
+/// The delegate is revoked after the registry would have picked it (the
+/// revocation raced the peer's restore). The peer's delegated restore must
+/// fail closed with the typed rejection and the origin fallback — the exact
+/// sequence `EnclavePool::cold_provision` runs — must still provision the
+/// same runtime. The registry side is also checked: once revoked, the
+/// delegate is never offered again.
+#[test]
+fn revoked_delegate_fails_closed_and_origin_fallback_recovers() {
+    let base = base_seed();
+    let host = delegation_host(base ^ 0xDE1E_6A01);
+    let delegate = host.stand_up_delegate(0xE1);
+    let target = delegate.policy().delegate_mrenclave;
+    delegate.revoke();
+
+    let mut app = host.launch_via_delegate(&delegate, 0xF1, |t| t);
+    let err = app.restore_delegated(DELEG_RESTORE_IDX, &target).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ElideError::Server(ServerError::DelegationRejected) | ElideError::RestoreFailed { .. }
+        ),
+        "revoked delegate surfaced as an unexpected family: {err:?}"
+    );
+    assert!(
+        app.runtime.ecall(DELEG_ANSWER_IDX, &[], 0).is_err(),
+        "rejected delegation left executable secret code"
+    );
+    assert_eq!(delegate.served(), 0, "a revoked delegate must serve nothing");
+
+    // Registry view: the revoked delegate is filtered, not offered.
+    let registry = DelegateRegistry::new();
+    registry.register(Arc::clone(&delegate));
+    let mrsigner = host.package().sigstruct.mrsigner().unwrap();
+    assert!(
+        registry.delegate_for(&host.mrenclave, &mrsigner).is_none(),
+        "the registry must route around a revoked delegate"
+    );
+
+    // Origin fallback on the very same runtime provisions cleanly.
+    let before = host.server.handshakes();
+    app.restore(DELEG_RESTORE_IDX).unwrap();
+    assert!(host.server.handshakes() > before, "fallback must go through the origin");
+    assert_eq!(app.runtime.ecall(DELEG_ANSWER_IDX, &[], 0).unwrap().status, DELEG_ANSWER);
+}
+
+/// Flips one bit in every post-attestation response — the re-sealed
+/// delivery a compromised delegate host could corrupt in transit.
+struct SealTamper {
+    inner: Box<dyn Transport + Send>,
+    tampered: Arc<AtomicU64>,
+}
+
+impl Transport for SealTamper {
+    fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError> {
+        let mut resp = self.inner.request(req, payload)?;
+        if req != request::PEER_ATTEST as u8 && !resp.is_empty() {
+            let mid = resp.len() / 2;
+            resp[mid] ^= 0x01;
+            self.tampered.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok(resp)
+    }
+}
+
+/// A delegate host flips bits in the re-sealed secret stream. The peer's
+/// channel GCM must refuse every tampered frame: the restore fails with a
+/// typed error, the secret code never becomes executable, and the origin
+/// fallback still provisions.
+#[test]
+fn tampered_delegate_seal_stream_fails_closed() {
+    let base = base_seed();
+    let host = delegation_host(base ^ 0xDE1E_6A02);
+    let delegate = host.stand_up_delegate(0xE2);
+    let target = delegate.policy().delegate_mrenclave;
+
+    let tampered = Arc::new(AtomicU64::new(0));
+    let counter = Arc::clone(&tampered);
+    let mut app = host.launch_via_delegate(&delegate, 0xF2, move |t| {
+        Box::new(SealTamper { inner: t, tampered: counter })
+    });
+    let err = app.restore_delegated(DELEG_RESTORE_IDX, &target).unwrap_err();
+    assert!(
+        matches!(err, ElideError::RestoreFailed { .. } | ElideError::Server(_)),
+        "tampered seal stream surfaced as an unexpected family: {err:?}"
+    );
+    assert!(tampered.load(Ordering::SeqCst) > 0, "the tamper never fired — vacuous schedule");
+    assert!(
+        app.runtime.ecall(DELEG_ANSWER_IDX, &[], 0).is_err(),
+        "tampered delegate stream left executable secret code"
+    );
+
+    app.restore(DELEG_RESTORE_IDX).unwrap();
+    assert_eq!(app.runtime.ecall(DELEG_ANSWER_IDX, &[], 0).unwrap().status, DELEG_ANSWER);
+}
+
+/// Takes the delegate offline right after its first response — eviction
+/// mid-handshake, the narrowest recoverable window.
+struct MidHandshakeEviction {
+    inner: Box<dyn Transport + Send>,
+    server: Arc<DelegateServer>,
+    responses: u64,
+}
+
+impl Transport for MidHandshakeEviction {
+    fn request(&mut self, req: u8, payload: &[u8]) -> Result<Vec<u8>, ElideError> {
+        let resp = self.inner.request(req, payload);
+        if resp.is_ok() {
+            self.responses += 1;
+            if self.responses == 1 {
+                self.server.set_online(false);
+            }
+        }
+        resp
+    }
+}
+
+/// The delegate is evicted from its pool between the peer attestation and
+/// the secret fetch. The half-provisioned peer must surface a typed
+/// transport error, stay sanitized, and then complete through the origin.
+#[test]
+fn delegate_evicted_mid_handshake_falls_back_to_origin() {
+    let base = base_seed();
+    let host = delegation_host(base ^ 0xDE1E_6A03);
+    let delegate = host.stand_up_delegate(0xE3);
+    let target = delegate.policy().delegate_mrenclave;
+
+    let server = Arc::clone(&delegate);
+    let mut app = host.launch_via_delegate(&delegate, 0xF3, move |t| {
+        Box::new(MidHandshakeEviction { inner: t, server, responses: 0 })
+    });
+    let err = app.restore_delegated(DELEG_RESTORE_IDX, &target).unwrap_err();
+    assert!(
+        matches!(err, ElideError::Transport(_) | ElideError::RestoreFailed { .. }),
+        "mid-handshake eviction surfaced as an unexpected family: {err:?}"
+    );
+    assert_eq!(delegate.served(), 1, "the attestation leg must have completed before eviction");
+    assert!(
+        app.runtime.ecall(DELEG_ANSWER_IDX, &[], 0).is_err(),
+        "half-provisioned peer left executable secret code"
+    );
+
+    let before = host.server.handshakes();
+    app.restore(DELEG_RESTORE_IDX).unwrap();
+    assert!(host.server.handshakes() > before, "recovery must go through the origin");
+    assert_eq!(app.runtime.ecall(DELEG_ANSWER_IDX, &[], 0).unwrap().status, DELEG_ANSWER);
 }

@@ -252,3 +252,48 @@ fn server_restart_revokes_outstanding_tickets() {
     drop(t2); // graceful shutdown waits for open connections
     handle2.shutdown();
 }
+
+#[test]
+fn future_dated_ticket_is_rejected_at_redemption() {
+    let fx = fixture(0x71C5E706);
+    let ticket_key = [0x51u8; 16];
+    let server = Arc::new(AuthServer::with_store(fx.store(), fx.ias()).with_ticket_key(ticket_key));
+    let (handle, addr) = serve_tcp(&server);
+    let mut quote_fn = fx.quote_fn();
+
+    // A well-sealed ticket for the *right* identity, dated one hour into
+    // the future (a skewed or attacker-steered issuing clock). Accepting
+    // it would let the ticket stay redeemable for its whole TTL after the
+    // server's clock catches up — so redemption must refuse it now,
+    // deterministically, regardless of TTL headroom.
+    let mut rng = SeededRandom::new(0x71C5E707);
+    let future = TicketPlain {
+        mrenclave: fx.enclave.mrenclave(),
+        mrsigner: [0xEE; 32],
+        channel_key: [5; 16],
+        ticket_id: [6; 16],
+        issued_ms: now_ms() + 3_600_000,
+        ttl_ms: 7_200_000,
+    }
+    .seal(&ticket_key, &mut rng);
+
+    let mut t = connect(&addr);
+    match t.request(request::RESUME as u8, &future) {
+        Err(ElideError::Server(ServerError::TicketRejected)) => {}
+        other => panic!("future-dated ticket must be TicketRejected, got {other:?}"),
+    }
+    assert_eq!(server.resumptions(), 0);
+
+    // A ticket within the skew allowance is indistinguishable from an
+    // honest just-issued one and still redeems through the normal path.
+    let mut client = ProvisionClient::new();
+    client.full_handshake(&mut t, &mut quote_fn).expect("handshake");
+    client.request_ticket(&mut t).expect("ticket");
+    drop(t);
+    let mut t2 = connect(&addr);
+    let (secret, fast) = client.try_resume(&mut t2, &mut quote_fn).expect("resume");
+    assert!(fast, "honest ticket still takes the fast path");
+    assert_eq!(secret.data, PAYLOAD);
+    drop(t2); // graceful shutdown waits for open connections
+    handle.shutdown();
+}
